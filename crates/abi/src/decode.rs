@@ -1,0 +1,422 @@
+//! A strict, validating ABI decoder.
+//!
+//! This is the foundation of ParChecker (§6.1 of the paper): given the
+//! recovered parameter types and the raw call data, decode every argument
+//! *and reject malformed encodings* — wrong padding (the short-address
+//! attack leaves a truncated address whose missing bytes are stolen from the
+//! next argument), out-of-range offsets, inconsistent lengths, and
+//! non-boolean booleans.
+
+use crate::types::AbiType;
+use crate::value::AbiValue;
+use sigrec_evm::U256;
+use std::fmt;
+
+/// Why a call-data payload failed validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Data ended before a required word (truncated calldata — the hallmark
+    /// of a short-address attack).
+    OutOfBounds {
+        /// Byte offset of the word that could not be read.
+        at: usize,
+        /// What the decoder was reading.
+        context: &'static str,
+    },
+    /// A `uintM`/`address` word had non-zero bits above the type's width.
+    BadLeftPadding {
+        /// The offending type.
+        ty: String,
+        /// Byte offset of the word.
+        at: usize,
+    },
+    /// A `bytesM` word (or `bytes`/`string` final word) had non-zero bits
+    /// below the payload.
+    BadRightPadding {
+        /// The offending type.
+        ty: String,
+        /// Byte offset of the word.
+        at: usize,
+    },
+    /// An `intM` word was not a valid sign-extended M-bit value.
+    BadSignExtension {
+        /// The offending type.
+        ty: String,
+        /// Byte offset of the word.
+        at: usize,
+    },
+    /// A `bool` word held something other than 0 or 1.
+    BadBool {
+        /// Byte offset of the word.
+        at: usize,
+    },
+    /// An offset or length word exceeded the calldata or `usize`.
+    Unrepresentable {
+        /// What the oversized word was.
+        context: &'static str,
+        /// Byte offset of the word.
+        at: usize,
+    },
+}
+
+impl DecodeError {
+    /// True for the error classes a truncated (short-address style) payload
+    /// produces.
+    pub fn is_truncation(&self) -> bool {
+        matches!(self, DecodeError::OutOfBounds { .. })
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::OutOfBounds { at, context } => {
+                write!(f, "calldata ends before {} at byte {}", context, at)
+            }
+            DecodeError::BadLeftPadding { ty, at } => {
+                write!(f, "non-zero high-order padding for {} at byte {}", ty, at)
+            }
+            DecodeError::BadRightPadding { ty, at } => {
+                write!(f, "non-zero low-order padding for {} at byte {}", ty, at)
+            }
+            DecodeError::BadSignExtension { ty, at } => {
+                write!(f, "invalid sign extension for {} at byte {}", ty, at)
+            }
+            DecodeError::BadBool { at } => write!(f, "non-boolean bool word at byte {}", at),
+            DecodeError::Unrepresentable { context, at } => {
+                write!(f, "unrepresentable {} at byte {}", context, at)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes and validates an argument list (no selector).
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_abi::{encode, decode, AbiType, AbiValue};
+/// use sigrec_evm::U256;
+///
+/// let types = [AbiType::Address, AbiType::Uint(256)];
+/// let values = [AbiValue::Address(U256::from(7u64)), AbiValue::Uint(U256::from(9u64))];
+/// let data = encode(&types, &values).unwrap();
+/// assert_eq!(decode(&types, &data).unwrap(), values);
+/// // A truncated payload (short-address attack shape) is rejected:
+/// assert!(decode(&types, &data[..63]).is_err());
+/// ```
+pub fn decode(types: &[AbiType], data: &[u8]) -> Result<Vec<AbiValue>, DecodeError> {
+    let mut d = Decoder { data };
+    d.sequence(types, 0)
+}
+
+/// Decodes a full call payload (selector + arguments), returning the raw
+/// selector bytes and the values.
+pub fn decode_call(
+    types: &[AbiType],
+    calldata: &[u8],
+) -> Result<([u8; 4], Vec<AbiValue>), DecodeError> {
+    if calldata.len() < 4 {
+        return Err(DecodeError::OutOfBounds { at: 0, context: "function id" });
+    }
+    let mut sel = [0u8; 4];
+    sel.copy_from_slice(&calldata[..4]);
+    Ok((sel, decode(types, &calldata[4..])?))
+}
+
+struct Decoder<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    fn word(&self, at: usize, context: &'static str) -> Result<U256, DecodeError> {
+        if at + 32 > self.data.len() {
+            return Err(DecodeError::OutOfBounds { at, context });
+        }
+        Ok(U256::from_be_bytes(&self.data[at..at + 32]))
+    }
+
+    fn usize_word(&self, at: usize, context: &'static str) -> Result<usize, DecodeError> {
+        let w = self.word(at, context)?;
+        match w.as_usize() {
+            // Cap at calldata length: any in-range offset/length fits well
+            // below this and anything larger is malformed anyway.
+            Some(v) if v <= self.data.len() => Ok(v),
+            _ => Err(DecodeError::Unrepresentable { context, at }),
+        }
+    }
+
+    /// Decodes a head/tail sequence whose head starts at `base`.
+    fn sequence(&mut self, types: &[AbiType], base: usize) -> Result<Vec<AbiValue>, DecodeError> {
+        let mut out = Vec::with_capacity(types.len());
+        let mut head = base;
+        for t in types {
+            if t.is_dynamic() {
+                let rel = self.usize_word(head, "offset field")?;
+                out.push(self.dynamic_value(t, base + rel)?);
+                head += 32;
+            } else {
+                out.push(self.static_value(t, &mut head)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a static value inline at `*at`, advancing it.
+    fn static_value(&mut self, ty: &AbiType, at: &mut usize) -> Result<AbiValue, DecodeError> {
+        match ty {
+            AbiType::Uint(m) => {
+                let w = self.word(*at, "uint value")?;
+                if *m < 256 && w > U256::low_mask(*m as u32) {
+                    return Err(DecodeError::BadLeftPadding { ty: ty.canonical(), at: *at });
+                }
+                *at += 32;
+                Ok(AbiValue::Uint(w))
+            }
+            AbiType::Int(m) => {
+                let w = self.word(*at, "int value")?;
+                if *m < 256 && w.sign_extend(U256::from((m / 8 - 1) as u64)) != w {
+                    return Err(DecodeError::BadSignExtension { ty: ty.canonical(), at: *at });
+                }
+                *at += 32;
+                Ok(AbiValue::Int(w))
+            }
+            AbiType::Address => {
+                let w = self.word(*at, "address value")?;
+                if w > U256::low_mask(160) {
+                    return Err(DecodeError::BadLeftPadding { ty: ty.canonical(), at: *at });
+                }
+                *at += 32;
+                Ok(AbiValue::Address(w))
+            }
+            AbiType::Bool => {
+                let w = self.word(*at, "bool value")?;
+                if w > U256::ONE {
+                    return Err(DecodeError::BadBool { at: *at });
+                }
+                *at += 32;
+                Ok(AbiValue::Bool(w == U256::ONE))
+            }
+            AbiType::FixedBytes(m) => {
+                let w = self.word(*at, "bytesM value")?;
+                if w & !U256::high_mask(8 * *m as u32) != U256::ZERO {
+                    return Err(DecodeError::BadRightPadding { ty: ty.canonical(), at: *at });
+                }
+                let bytes = w.to_be_bytes()[..*m as usize].to_vec();
+                *at += 32;
+                Ok(AbiValue::FixedBytes(bytes))
+            }
+            AbiType::Array(el, n) => {
+                let mut items = Vec::with_capacity(*n);
+                for _ in 0..*n {
+                    items.push(self.static_value(el, at)?);
+                }
+                Ok(AbiValue::Array(items))
+            }
+            AbiType::Tuple(ts) => {
+                let mut items = Vec::with_capacity(ts.len());
+                for t in ts {
+                    items.push(self.static_value(t, at)?);
+                }
+                Ok(AbiValue::Tuple(items))
+            }
+            AbiType::Bytes | AbiType::String | AbiType::DynArray(_) => {
+                unreachable!("dynamic types are decoded via dynamic_value")
+            }
+        }
+    }
+
+    /// Decodes a dynamic value whose content begins at absolute `at`.
+    fn dynamic_value(&mut self, ty: &AbiType, at: usize) -> Result<AbiValue, DecodeError> {
+        match ty {
+            AbiType::Bytes => Ok(AbiValue::Bytes(self.byte_payload(at, ty)?)),
+            AbiType::String => {
+                let raw = self.byte_payload(at, ty)?;
+                // Lossy conversion: the chain does not enforce UTF-8, and
+                // neither does ParChecker.
+                Ok(AbiValue::Str(String::from_utf8_lossy(&raw).into_owned()))
+            }
+            AbiType::DynArray(el) => {
+                let n = self.usize_word(at, "num field")?;
+                let types: Vec<AbiType> = (0..n).map(|_| (**el).clone()).collect();
+                Ok(AbiValue::Array(self.sequence(&types, at + 32)?))
+            }
+            // Dynamic-but-fixed-count composites: a head/tail sequence with
+            // no num field.
+            AbiType::Array(el, n) => {
+                let types: Vec<AbiType> = (0..*n).map(|_| (**el).clone()).collect();
+                Ok(AbiValue::Array(self.sequence(&types, at)?))
+            }
+            AbiType::Tuple(ts) => Ok(AbiValue::Tuple(self.sequence(ts, at)?)),
+            _ => unreachable!("static types are decoded via static_value"),
+        }
+    }
+
+    /// Reads a num-prefixed, right-padded byte payload and validates the
+    /// padding zeros.
+    fn byte_payload(&mut self, at: usize, ty: &AbiType) -> Result<Vec<u8>, DecodeError> {
+        let len = self.usize_word(at, "num field")?;
+        let padded = len.div_ceil(32) * 32;
+        let start = at + 32;
+        if start + padded > self.data.len() {
+            return Err(DecodeError::OutOfBounds { at: start, context: "byte payload" });
+        }
+        let payload = self.data[start..start + len].to_vec();
+        if self.data[start + len..start + padded].iter().any(|&b| b != 0) {
+            return Err(DecodeError::BadRightPadding { ty: ty.canonical(), at: start + len });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn ty(s: &str) -> AbiType {
+        AbiType::parse(s).unwrap()
+    }
+
+    fn u(v: u64) -> AbiValue {
+        AbiValue::Uint(U256::from(v))
+    }
+
+    fn round_trip(types: &[AbiType], values: &[AbiValue]) {
+        let data = encode(types, values).unwrap();
+        let back = decode(types, &data).unwrap();
+        assert_eq!(back, values, "round trip failed for {:?}", types);
+    }
+
+    #[test]
+    fn round_trips_all_categories() {
+        round_trip(&[ty("uint8")], &[u(200)]);
+        round_trip(&[ty("int16")], &[AbiValue::Int(U256::from(-1234i64))]);
+        round_trip(&[ty("address")], &[AbiValue::Address(U256::from(0xabcdefu64))]);
+        round_trip(&[ty("bool")], &[AbiValue::Bool(true)]);
+        round_trip(&[ty("bytes4")], &[AbiValue::FixedBytes(b"abcd".to_vec())]);
+        round_trip(&[ty("bytes")], &[AbiValue::Bytes(vec![1, 2, 3, 4, 5])]);
+        round_trip(&[ty("string")], &[AbiValue::Str("hello world".into())]);
+        round_trip(
+            &[ty("uint256[3]")],
+            &[AbiValue::Array(vec![u(1), u(2), u(3)])],
+        );
+        round_trip(
+            &[ty("uint8[]")],
+            &[AbiValue::Array(vec![u(9), u(8)])],
+        );
+        round_trip(
+            &[ty("uint256[][]")],
+            &[AbiValue::Array(vec![
+                AbiValue::Array(vec![u(1), u(2)]),
+                AbiValue::Array(vec![u(3)]),
+            ])],
+        );
+        round_trip(
+            &[ty("(uint256[],uint256)")],
+            &[AbiValue::Tuple(vec![AbiValue::Array(vec![u(1), u(2)]), u(3)])],
+        );
+        round_trip(
+            &[ty("uint8"), ty("bytes"), ty("bool")],
+            &[u(5), AbiValue::Bytes(vec![0xff; 40]), AbiValue::Bool(false)],
+        );
+    }
+
+    #[test]
+    fn rejects_bad_left_padding() {
+        // uint8 word with a dirty high byte.
+        let mut data = encode(&[ty("uint8")], &[u(5)]).unwrap();
+        data[0] = 0x01;
+        assert!(matches!(
+            decode(&[ty("uint8")], &data),
+            Err(DecodeError::BadLeftPadding { .. })
+        ));
+        // address word with dirt in the upper 12 bytes.
+        let mut data = encode(&[ty("address")], &[AbiValue::Address(U256::ONE)]).unwrap();
+        data[11] = 0x80;
+        assert!(matches!(
+            decode(&[ty("address")], &data),
+            Err(DecodeError::BadLeftPadding { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_right_padding() {
+        let mut data =
+            encode(&[ty("bytes4")], &[AbiValue::FixedBytes(b"abcd".to_vec())]).unwrap();
+        data[31] = 0x01;
+        assert!(matches!(
+            decode(&[ty("bytes4")], &data),
+            Err(DecodeError::BadRightPadding { .. })
+        ));
+        let mut data = encode(&[ty("bytes")], &[AbiValue::Bytes(b"ab".to_vec())]).unwrap();
+        *data.last_mut().unwrap() = 0x01;
+        assert!(matches!(
+            decode(&[ty("bytes")], &data),
+            Err(DecodeError::BadRightPadding { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_bool_and_sign() {
+        let mut data = encode(&[ty("bool")], &[AbiValue::Bool(true)]).unwrap();
+        data[31] = 0x02;
+        assert!(matches!(decode(&[ty("bool")], &data), Err(DecodeError::BadBool { .. })));
+        let mut data = encode(&[ty("int8")], &[AbiValue::Int(U256::from(-5i64))]).unwrap();
+        data[0] = 0x00; // break the sign extension
+        assert!(matches!(
+            decode(&[ty("int8")], &data),
+            Err(DecodeError::BadSignExtension { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let data = encode(
+            &[ty("address"), ty("uint256")],
+            &[AbiValue::Address(U256::ONE), u(10000)],
+        )
+        .unwrap();
+        // The short-address attack ships 63 bytes instead of 64.
+        let err = decode(&[ty("address"), ty("uint256")], &data[..63]).unwrap_err();
+        assert!(err.is_truncation());
+    }
+
+    #[test]
+    fn rejects_wild_offset() {
+        let mut data = encode(&[ty("bytes")], &[AbiValue::Bytes(vec![1])]).unwrap();
+        data[0..32].copy_from_slice(&U256::MAX.to_be_bytes());
+        assert!(decode(&[ty("bytes")], &data).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_num() {
+        let mut data = encode(&[ty("uint8[]")], &[AbiValue::Array(vec![u(1)])]).unwrap();
+        // num claims 2^200 items.
+        let huge = U256::ONE << 200u32;
+        data[32..64].copy_from_slice(&huge.to_be_bytes());
+        assert!(decode(&[ty("uint8[]")], &data).is_err());
+    }
+
+    #[test]
+    fn decode_call_splits_selector() {
+        let types = [ty("uint256")];
+        let mut calldata = vec![0xa9, 0x05, 0x9c, 0xbb];
+        calldata.extend(encode(&types, &[u(7)]).unwrap());
+        let (sel, vals) = decode_call(&types, &calldata).unwrap();
+        assert_eq!(sel, [0xa9, 0x05, 0x9c, 0xbb]);
+        assert_eq!(vals, vec![u(7)]);
+        assert!(decode_call(&types, &[0x01, 0x02]).is_err());
+    }
+
+    #[test]
+    fn extra_trailing_bytes_tolerated() {
+        // The ABI permits callers to append garbage past the encoded args;
+        // the decoder reads only what the types require.
+        let mut data = encode(&[ty("uint256")], &[u(1)]).unwrap();
+        data.extend_from_slice(&[0xde, 0xad]);
+        assert!(decode(&[ty("uint256")], &data).is_ok());
+    }
+}

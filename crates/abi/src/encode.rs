@@ -1,0 +1,332 @@
+//! The Solidity ABI encoder (head/tail scheme).
+//!
+//! Implements the contract-ABI specification the paper's §2 describes: basic
+//! types extend to one 32-byte word (`uintM`/`intM`/`address`/`bool` on the
+//! left, `bytesM` on the right); static composites inline their elements;
+//! dynamic types contribute a 32-byte *offset* word to the head and place
+//! their content (for arrays/bytes/strings: a *num* word then the payload)
+//! in the tail.
+
+use crate::sig::FunctionSignature;
+use crate::types::AbiType;
+use crate::value::AbiValue;
+use sigrec_evm::U256;
+use std::fmt;
+
+/// Error from [`encode`] / [`encode_call`]: a value does not inhabit its
+/// declared type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EncodeError {
+    /// Canonical spelling of the offending type.
+    pub ty: String,
+    /// Display form of the offending value.
+    pub value: String,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} does not conform to ABI type {}", self.value, self.ty)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encodes an argument list (no selector). `types` and `values` are paired
+/// positionally.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if the lengths differ or any value fails
+/// [`AbiValue::conforms_to`].
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_abi::{encode, AbiType, AbiValue};
+/// use sigrec_evm::U256;
+///
+/// let data = encode(&[AbiType::Uint(32)], &[AbiValue::Uint(U256::from(0x11223344u64))]).unwrap();
+/// assert_eq!(data.len(), 32);
+/// assert_eq!(&data[28..], &[0x11, 0x22, 0x33, 0x44]); // left-extended
+/// ```
+pub fn encode(types: &[AbiType], values: &[AbiValue]) -> Result<Vec<u8>, EncodeError> {
+    if types.len() != values.len() {
+        return Err(EncodeError {
+            ty: format!("{} types", types.len()),
+            value: format!("{} values", values.len()),
+        });
+    }
+    for (t, v) in types.iter().zip(values) {
+        if !v.conforms_to(t) {
+            return Err(EncodeError { ty: t.canonical(), value: v.to_string() });
+        }
+    }
+    Ok(encode_sequence(types, values))
+}
+
+/// Encodes a full call-data payload: 4-byte selector followed by the
+/// encoded arguments.
+pub fn encode_call(
+    sig: &FunctionSignature,
+    values: &[AbiValue],
+) -> Result<Vec<u8>, EncodeError> {
+    let mut out = sig.selector.0.to_vec();
+    out.extend(encode(&sig.params, values)?);
+    Ok(out)
+}
+
+/// Head/tail encoding of a positional sequence (the body of a tuple, an
+/// argument list, or a dynamic array's items).
+fn encode_sequence(types: &[AbiType], values: &[AbiValue]) -> Vec<u8> {
+    let head_len: usize = types.iter().map(AbiType::head_size).sum();
+    let mut head = Vec::with_capacity(head_len);
+    let mut tail: Vec<u8> = Vec::new();
+    for (t, v) in types.iter().zip(values) {
+        if t.is_dynamic() {
+            let offset = U256::from(head_len + tail.len());
+            head.extend_from_slice(&offset.to_be_bytes());
+            tail.extend(encode_tail(t, v));
+        } else {
+            head.extend(encode_static(t, v));
+        }
+    }
+    head.extend(tail);
+    head
+}
+
+/// Inline encoding of a static type.
+fn encode_static(ty: &AbiType, value: &AbiValue) -> Vec<u8> {
+    match (ty, value) {
+        (AbiType::Uint(_), AbiValue::Uint(v))
+        | (AbiType::Int(_), AbiValue::Int(v))
+        | (AbiType::Address, AbiValue::Address(v)) => v.to_be_bytes().to_vec(),
+        (AbiType::Bool, AbiValue::Bool(b)) => {
+            let mut w = [0u8; 32];
+            w[31] = *b as u8;
+            w.to_vec()
+        }
+        (AbiType::FixedBytes(_), AbiValue::FixedBytes(b)) => {
+            let mut w = [0u8; 32];
+            w[..b.len()].copy_from_slice(b); // right-padded
+            w.to_vec()
+        }
+        (AbiType::Array(el, _), AbiValue::Array(items)) => {
+            let types: Vec<AbiType> = items.iter().map(|_| (**el).clone()).collect();
+            encode_sequence(&types, items)
+        }
+        (AbiType::Tuple(ts), AbiValue::Tuple(items)) => encode_sequence(ts, items),
+        _ => unreachable!("conformance checked before encoding"),
+    }
+}
+
+/// Tail encoding of a dynamic type (what the head offset points at).
+fn encode_tail(ty: &AbiType, value: &AbiValue) -> Vec<u8> {
+    match (ty, value) {
+        (AbiType::Bytes, AbiValue::Bytes(b)) => encode_byte_payload(b),
+        (AbiType::String, AbiValue::Str(s)) => encode_byte_payload(s.as_bytes()),
+        (AbiType::DynArray(el), AbiValue::Array(items)) => {
+            let mut out = U256::from(items.len()).to_be_bytes().to_vec();
+            let types: Vec<AbiType> = items.iter().map(|_| (**el).clone()).collect();
+            out.extend(encode_sequence(&types, items));
+            out
+        }
+        // A dynamic static-count array or dynamic tuple: no num field, just
+        // the head/tail sequence of its elements.
+        (AbiType::Array(el, _), AbiValue::Array(items)) => {
+            let types: Vec<AbiType> = items.iter().map(|_| (**el).clone()).collect();
+            encode_sequence(&types, items)
+        }
+        (AbiType::Tuple(ts), AbiValue::Tuple(items)) => encode_sequence(ts, items),
+        _ => unreachable!("conformance checked before encoding"),
+    }
+}
+
+/// `num` word (byte length before padding) followed by right-zero-padded
+/// payload — the §2.3.1 `bytes`/`string` layout.
+fn encode_byte_payload(bytes: &[u8]) -> Vec<u8> {
+    let mut out = U256::from(bytes.len()).to_be_bytes().to_vec();
+    out.extend_from_slice(bytes);
+    let rem = bytes.len() % 32;
+    if rem != 0 {
+        out.extend(std::iter::repeat(0u8).take(32 - rem));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(s: &str) -> AbiType {
+        AbiType::parse(s).unwrap()
+    }
+
+    fn u(v: u64) -> AbiValue {
+        AbiValue::Uint(U256::from(v))
+    }
+
+    fn word(n: u64) -> Vec<u8> {
+        U256::from(n).to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn uint32_left_extended() {
+        // Fig. 3 of the paper: uint32 value 0x11223344.
+        let data = encode(&[ty("uint32")], &[u(0x11223344)]).unwrap();
+        let mut expect = vec![0u8; 32];
+        expect[28..].copy_from_slice(&[0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn bytes4_right_extended() {
+        // Fig. 4 of the paper: bytes4 'abcd'.
+        let data = encode(
+            &[ty("bytes4")],
+            &[AbiValue::FixedBytes(b"abcd".to_vec())],
+        )
+        .unwrap();
+        let mut expect = vec![0u8; 32];
+        expect[..4].copy_from_slice(b"abcd");
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn static_array_consecutive() {
+        // Fig. 5: uint256[3][2] is six consecutive words.
+        let inner1 = AbiValue::Array(vec![u(1), u(2), u(3)]);
+        let inner2 = AbiValue::Array(vec![u(4), u(5), u(6)]);
+        let data = encode(&[ty("uint256[3][2]")], &[AbiValue::Array(vec![inner1, inner2])])
+            .unwrap();
+        assert_eq!(data.len(), 192);
+        for (i, expected) in (1u64..=6).enumerate() {
+            assert_eq!(&data[i * 32..(i + 1) * 32], word(expected).as_slice());
+        }
+    }
+
+    #[test]
+    fn dynamic_array_offset_and_num() {
+        // Fig. 6: uint256[3][] with actual argument uint256[3][2].
+        let inner1 = AbiValue::Array(vec![u(1), u(2), u(3)]);
+        let inner2 = AbiValue::Array(vec![u(4), u(5), u(6)]);
+        let data = encode(&[ty("uint256[3][]")], &[AbiValue::Array(vec![inner1, inner2])])
+            .unwrap();
+        // Head: one offset word pointing at byte 32 (relative to arg start).
+        assert_eq!(&data[0..32], word(32).as_slice());
+        // num = 2, then six items.
+        assert_eq!(&data[32..64], word(2).as_slice());
+        assert_eq!(data.len(), 32 + 32 + 192);
+        assert_eq!(&data[64..96], word(1).as_slice());
+        assert_eq!(&data[data.len() - 32..], word(6).as_slice());
+    }
+
+    #[test]
+    fn nested_array_per_item_offsets() {
+        // Fig. 7: uint256[][] with argument [[1,2],[3]].
+        let v = AbiValue::Array(vec![
+            AbiValue::Array(vec![u(1), u(2)]),
+            AbiValue::Array(vec![u(3)]),
+        ]);
+        let data = encode(&[ty("uint256[][]")], &[v]).unwrap();
+        // offset1 -> num1.
+        assert_eq!(&data[0..32], word(32).as_slice());
+        assert_eq!(&data[32..64], word(2).as_slice()); // num1
+        // Two inner offsets, relative to after num1.
+        let off2 = U256::from_be_bytes(&data[64..96]).as_usize().unwrap();
+        let off3 = U256::from_be_bytes(&data[96..128]).as_usize().unwrap();
+        let base = 64; // item area starts after offset1 + num1
+        assert_eq!(U256::from_be_bytes(&data[base + off2..base + off2 + 32]), U256::from(2u64)); // num2
+        assert_eq!(U256::from_be_bytes(&data[base + off3..base + off3 + 32]), U256::from(1u64)); // num3
+        assert_eq!(
+            U256::from_be_bytes(&data[base + off3 + 32..base + off3 + 64]),
+            U256::from(3u64)
+        );
+    }
+
+    #[test]
+    fn bytes_padded_to_word_multiple() {
+        let data = encode(&[ty("bytes")], &[AbiValue::Bytes(b"abcd".to_vec())]).unwrap();
+        assert_eq!(&data[0..32], word(32).as_slice()); // offset
+        assert_eq!(&data[32..64], word(4).as_slice()); // num = unpadded length
+        assert_eq!(&data[64..68], b"abcd");
+        assert!(data[68..96].iter().all(|&b| b == 0));
+        assert_eq!(data.len(), 96);
+    }
+
+    #[test]
+    fn empty_bytes_has_no_payload_words() {
+        let data = encode(&[ty("bytes")], &[AbiValue::Bytes(Vec::new())]).unwrap();
+        assert_eq!(data.len(), 64); // offset + num only
+        assert_eq!(&data[32..64], word(0).as_slice());
+    }
+
+    #[test]
+    fn string_same_layout_as_bytes() {
+        let b = encode(&[ty("bytes")], &[AbiValue::Bytes(b"hi".to_vec())]).unwrap();
+        let s = encode(&[ty("string")], &[AbiValue::Str("hi".into())]).unwrap();
+        assert_eq!(b, s);
+    }
+
+    #[test]
+    fn static_struct_same_layout_as_flattened() {
+        // Fig. 8: (uint256,uint256) == two uint256 params.
+        let tup = encode(
+            &[ty("(uint256,uint256)")],
+            &[AbiValue::Tuple(vec![u(10), u(20)])],
+        )
+        .unwrap();
+        let flat = encode(&[ty("uint256"), ty("uint256")], &[u(10), u(20)]).unwrap();
+        assert_eq!(tup, flat);
+    }
+
+    #[test]
+    fn dynamic_struct_layout() {
+        // Fig. 9: (uint256[],uint256) with argument ([1,2], 3).
+        let v = AbiValue::Tuple(vec![AbiValue::Array(vec![u(1), u(2)]), u(3)]);
+        let data = encode(&[ty("(uint256[],uint256)")], &[v]).unwrap();
+        // offset1 (struct) -> struct body.
+        assert_eq!(&data[0..32], word(32).as_slice());
+        // Struct body: offset2 (array head) then item 3.
+        assert_eq!(&data[32..64], word(64).as_slice()); // offset2 relative to struct body
+        assert_eq!(&data[64..96], word(3).as_slice());
+        assert_eq!(&data[96..128], word(2).as_slice()); // num1
+        assert_eq!(&data[128..160], word(1).as_slice());
+        assert_eq!(&data[160..192], word(2).as_slice());
+    }
+
+    #[test]
+    fn multiple_dynamic_args_offsets_in_order() {
+        let data = encode(
+            &[ty("uint8[]"), ty("bytes")],
+            &[
+                AbiValue::Array(vec![u(9)]),
+                AbiValue::Bytes(vec![0xee; 3]),
+            ],
+        )
+        .unwrap();
+        let off1 = U256::from_be_bytes(&data[0..32]).as_usize().unwrap();
+        let off2 = U256::from_be_bytes(&data[32..64]).as_usize().unwrap();
+        assert_eq!(off1, 64);
+        assert_eq!(off2, 64 + 32 + 32); // after arg1's num + one item
+        assert_eq!(U256::from_be_bytes(&data[off2..off2 + 32]), U256::from(3u64));
+    }
+
+    #[test]
+    fn encode_call_prepends_selector() {
+        let sig = FunctionSignature::parse("transfer(address,uint256)").unwrap();
+        let data = encode_call(
+            &sig,
+            &[AbiValue::Address(U256::from(0xbeefu64)), u(1000)],
+        )
+        .unwrap();
+        assert_eq!(&data[..4], &[0xa9, 0x05, 0x9c, 0xbb]);
+        assert_eq!(data.len(), 4 + 64);
+    }
+
+    #[test]
+    fn nonconforming_value_rejected() {
+        let err = encode(&[ty("uint8")], &[u(300)]).unwrap_err();
+        assert!(err.to_string().contains("uint8"));
+        assert!(encode(&[ty("uint8")], &[]).is_err());
+    }
+}

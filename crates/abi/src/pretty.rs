@@ -1,0 +1,121 @@
+//! Human-readable rendering of decoded call data.
+//!
+//! Turns `(types, values)` into an indented tree — the building block of
+//! inspection tooling (the `parcheck` CLI prints suspicious transactions
+//! with it).
+
+use crate::types::AbiType;
+use crate::value::AbiValue;
+use std::fmt::Write as _;
+
+/// Renders an argument list as an indented tree.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_abi::{pretty_args, AbiType, AbiValue};
+/// use sigrec_evm::U256;
+///
+/// let out = pretty_args(
+///     &[AbiType::Address, AbiType::parse("uint8[]").unwrap()],
+///     &[
+///         AbiValue::Address(U256::from(0xabcu64)),
+///         AbiValue::Array(vec![AbiValue::Uint(U256::ONE), AbiValue::Uint(U256::from(2u64))]),
+///     ],
+/// );
+/// assert!(out.contains("[0] address = 0xabc"));
+/// assert!(out.contains("[1] uint8[] (2 items)"));
+/// ```
+pub fn pretty_args(types: &[AbiType], values: &[AbiValue]) -> String {
+    let mut out = String::new();
+    for (i, (t, v)) in types.iter().zip(values).enumerate() {
+        render(&mut out, &format!("[{}]", i), t, v, 0);
+    }
+    out
+}
+
+fn render(out: &mut String, label: &str, ty: &AbiType, value: &AbiValue, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match (ty, value) {
+        (AbiType::Array(el, _), AbiValue::Array(items))
+        | (AbiType::DynArray(el), AbiValue::Array(items)) => {
+            let _ = writeln!(out, "{pad}{label} {} ({} items)", ty.canonical(), items.len());
+            for (i, item) in items.iter().enumerate() {
+                render(out, &format!("[{}]", i), el, item, depth + 1);
+            }
+        }
+        (AbiType::Tuple(ts), AbiValue::Tuple(items)) => {
+            let _ = writeln!(out, "{pad}{label} {} (struct)", ty.canonical());
+            for (i, (t, item)) in ts.iter().zip(items).enumerate() {
+                render(out, &format!(".{}", i), t, item, depth + 1);
+            }
+        }
+        (AbiType::Bytes, AbiValue::Bytes(b)) => {
+            let _ = writeln!(out, "{pad}{label} bytes ({} bytes) = {}", b.len(), hex_preview(b));
+        }
+        (AbiType::String, AbiValue::Str(s)) => {
+            let shown: String = s.chars().take(48).collect();
+            let ellipsis = if s.len() > 48 { "…" } else { "" };
+            let _ = writeln!(out, "{pad}{label} string = {:?}{}", shown, ellipsis);
+        }
+        _ => {
+            let _ = writeln!(out, "{pad}{label} {} = {}", ty.canonical(), value);
+        }
+    }
+}
+
+fn hex_preview(bytes: &[u8]) -> String {
+    let shown = &bytes[..bytes.len().min(24)];
+    let mut s = String::with_capacity(2 + shown.len() * 2);
+    s.push_str("0x");
+    for b in shown {
+        let _ = write!(s, "{:02x}", b);
+    }
+    if bytes.len() > 24 {
+        s.push('…');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_evm::U256;
+
+    fn ty(s: &str) -> AbiType {
+        AbiType::parse(s).unwrap()
+    }
+
+    #[test]
+    fn nested_structures_indent() {
+        let t = ty("(uint256[],bool)");
+        let v = AbiValue::Tuple(vec![
+            AbiValue::Array(vec![AbiValue::Uint(U256::ONE)]),
+            AbiValue::Bool(true),
+        ]);
+        let out = pretty_args(std::slice::from_ref(&t), std::slice::from_ref(&v));
+        assert!(out.contains("(struct)"));
+        assert!(out.contains("  .0 uint256[] (1 items)"));
+        assert!(out.contains("    [0] uint256 = 1"));
+        assert!(out.contains("  .1 bool = true"));
+    }
+
+    #[test]
+    fn long_payloads_truncate() {
+        let out = pretty_args(&[ty("bytes")], &[AbiValue::Bytes(vec![0xab; 100])]);
+        assert!(out.contains("(100 bytes)"));
+        assert!(out.contains('…'));
+        let out = pretty_args(&[ty("string")], &[AbiValue::Str("x".repeat(100))]);
+        assert!(out.contains('…'));
+    }
+
+    #[test]
+    fn scalar_rendering() {
+        let out = pretty_args(
+            &[ty("address"), ty("int8")],
+            &[AbiValue::Address(U256::from(0x99u64)), AbiValue::Int(U256::from(-5i64))],
+        );
+        assert!(out.contains("[0] address = 0x99"));
+        assert!(out.contains("[1] int8 ="));
+    }
+}

@@ -1,0 +1,194 @@
+//! Function signatures and 4-byte selectors.
+//!
+//! A *function signature* in the paper's sense is a function id (the first
+//! four bytes of the Keccak-256 hash of `name(type1,type2,…)`) plus the
+//! ordered list of parameter types. Recovery works from bytecode, so the
+//! name itself is unrecoverable — [`FunctionSignature`] stores the selector
+//! and types, with the name kept only when it is known (ground truth).
+
+use crate::types::{AbiType, TypeParseError};
+use sigrec_evm::keccak256;
+use std::fmt;
+
+/// A 4-byte function id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Selector(pub [u8; 4]);
+
+impl Selector {
+    /// Computes the selector of a canonical signature string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sigrec_abi::Selector;
+    ///
+    /// let s = Selector::of("transfer(address,uint256)");
+    /// assert_eq!(s.to_string(), "0xa9059cbb");
+    /// ```
+    pub fn of(canonical_signature: &str) -> Selector {
+        let d = keccak256(canonical_signature.as_bytes());
+        Selector([d[0], d[1], d[2], d[3]])
+    }
+
+    /// The selector as a big-endian `u32`.
+    pub fn as_u32(&self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Builds a selector from a big-endian `u32`.
+    pub fn from_u32(v: u32) -> Selector {
+        Selector(v.to_be_bytes())
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02x}{:02x}{:02x}{:02x}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// A function signature: selector plus ordered parameter types.
+///
+/// `name` is `Some` only for ground-truth signatures (from the corpus
+/// generator); recovered signatures have `name == None` and render as
+/// `func_a9059cbb(address,uint256)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FunctionSignature {
+    /// The 4-byte function id.
+    pub selector: Selector,
+    /// Parameter types in declaration order.
+    pub params: Vec<AbiType>,
+    /// Source-level name, when known.
+    pub name: Option<String>,
+}
+
+impl FunctionSignature {
+    /// Builds the ground-truth signature of `name(params…)`, computing the
+    /// selector from the canonical string.
+    pub fn from_declaration(name: &str, params: Vec<AbiType>) -> Self {
+        let canonical = render(name, &params);
+        FunctionSignature {
+            selector: Selector::of(&canonical),
+            params,
+            name: Some(name.to_string()),
+        }
+    }
+
+    /// Builds a recovered signature (no name) from a selector and types.
+    pub fn recovered(selector: Selector, params: Vec<AbiType>) -> Self {
+        FunctionSignature { selector, params, name: None }
+    }
+
+    /// Parses a declaration like `transfer(address,uint256)`.
+    pub fn parse(decl: &str) -> Result<Self, TypeParseError> {
+        let open = decl
+            .find('(')
+            .ok_or_else(|| TypeParseError::new(decl, "missing parameter list"))?;
+        let name = &decl[..open];
+        let inner = decl[open..].trim();
+        let params = if inner == "()" {
+            Vec::new()
+        } else {
+            // Parse as a tuple, then unwrap its fields.
+            match AbiType::parse(inner)? {
+                AbiType::Tuple(ts) => ts,
+                single => vec![single],
+            }
+        };
+        Ok(FunctionSignature::from_declaration(name, params))
+    }
+
+    /// The canonical parameter-list string, e.g. `(address,uint256)`.
+    pub fn param_list(&self) -> String {
+        let inner: Vec<String> = self.params.iter().map(AbiType::canonical).collect();
+        format!("({})", inner.join(","))
+    }
+
+    /// The canonical full signature. Recovered signatures use the
+    /// placeholder name `func_<selector>`.
+    pub fn canonical(&self) -> String {
+        match &self.name {
+            Some(n) => format!("{}{}", n, self.param_list()),
+            None => format!("func_{:08x}{}", self.selector.as_u32(), self.param_list()),
+        }
+    }
+
+    /// True if `other` recovers this signature correctly per the paper's
+    /// criterion (§5.2): same function id, same number, order, and types of
+    /// parameters. Names are not compared.
+    pub fn matches(&self, other: &FunctionSignature) -> bool {
+        self.selector == other.selector && self.params == other.params
+    }
+}
+
+impl fmt::Display for FunctionSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.canonical(), self.selector)
+    }
+}
+
+fn render(name: &str, params: &[AbiType]) -> String {
+    let inner: Vec<String> = params.iter().map(AbiType::canonical).collect();
+    format!("{}({})", name, inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_selector() {
+        let sig = FunctionSignature::from_declaration(
+            "transfer",
+            vec![AbiType::Address, AbiType::Uint(256)],
+        );
+        assert_eq!(sig.selector, Selector([0xa9, 0x05, 0x9c, 0xbb]));
+        assert_eq!(sig.canonical(), "transfer(address,uint256)");
+    }
+
+    #[test]
+    fn parse_declaration() {
+        let sig = FunctionSignature::parse("transferFrom(address,address,uint256)").unwrap();
+        assert_eq!(sig.selector.to_string(), "0x23b872dd");
+        assert_eq!(sig.params.len(), 3);
+    }
+
+    #[test]
+    fn parse_no_params() {
+        let sig = FunctionSignature::parse("totalSupply()").unwrap();
+        assert!(sig.params.is_empty());
+        assert_eq!(sig.selector.to_string(), "0x18160ddd");
+    }
+
+    #[test]
+    fn parse_single_param() {
+        let sig = FunctionSignature::parse("balanceOf(address)").unwrap();
+        assert_eq!(sig.params, vec![AbiType::Address]);
+        assert_eq!(sig.selector.to_string(), "0x70a08231");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FunctionSignature::parse("no_parens").is_err());
+        assert!(FunctionSignature::parse("f(uint7)").is_err());
+    }
+
+    #[test]
+    fn recovered_matches_ground_truth_ignoring_name() {
+        let truth = FunctionSignature::parse("transfer(address,uint256)").unwrap();
+        let rec = FunctionSignature::recovered(
+            truth.selector,
+            vec![AbiType::Address, AbiType::Uint(256)],
+        );
+        assert!(truth.matches(&rec));
+        assert_eq!(rec.canonical(), "func_a9059cbb(address,uint256)");
+        let wrong = FunctionSignature::recovered(truth.selector, vec![AbiType::Uint(256)]);
+        assert!(!truth.matches(&wrong));
+    }
+
+    #[test]
+    fn selector_u32_round_trip() {
+        let s = Selector::of("f()");
+        assert_eq!(Selector::from_u32(s.as_u32()), s);
+    }
+}

@@ -1,0 +1,437 @@
+//! The Solidity ABI type grammar.
+//!
+//! [`AbiType`] models every parameter type SigRec recovers (§2.3.1 of the
+//! paper): the five basic types, static/dynamic/nested arrays, `bytes`,
+//! `string`, and structs (tuples). Vyper's surface types live in
+//! [`crate::vyper::VyperType`] and lower onto this grammar.
+
+use std::fmt;
+
+/// A Solidity ABI parameter type.
+///
+/// Array composition covers all three paper categories:
+/// - *static array* `T[N]` = `Array(T, N)` where every element type is static;
+/// - *dynamic array* `T[X1]..[Xn-1][]` = `DynArray(Array(..))` — only the
+///   outermost dimension dynamic;
+/// - *nested array* = any composition with an inner `DynArray`.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_abi::AbiType;
+///
+/// let t = AbiType::DynArray(Box::new(AbiType::Array(Box::new(AbiType::Uint(256)), 3)));
+/// assert_eq!(t.canonical(), "uint256[3][]");
+/// assert!(t.is_dynamic());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AbiType {
+    /// `uintM`, `8 <= M <= 256`, `M % 8 == 0`.
+    Uint(u16),
+    /// `intM`, `8 <= M <= 256`, `M % 8 == 0`.
+    Int(u16),
+    /// 20-byte account address.
+    Address,
+    /// Boolean, encoded as a full word holding 0 or 1.
+    Bool,
+    /// `bytesM`, `1 <= M <= 32`: fixed-size byte sequence, right-padded.
+    FixedBytes(u8),
+    /// `bytes`: dynamic byte sequence.
+    Bytes,
+    /// `string`: dynamic UTF-8 string.
+    String,
+    /// `T[N]`: fixed-count array.
+    Array(Box<AbiType>, usize),
+    /// `T[]`: dynamic-count array.
+    DynArray(Box<AbiType>),
+    /// Struct / tuple `(T1, ..., Tn)` (ABIEncoderV2).
+    Tuple(Vec<AbiType>),
+}
+
+impl AbiType {
+    /// Validates the width constraints of the grammar (`uintM`/`intM` widths,
+    /// `bytesM` sizes, non-empty static arrays and tuples), recursively.
+    pub fn is_well_formed(&self) -> bool {
+        match self {
+            AbiType::Uint(m) | AbiType::Int(m) => *m >= 8 && *m <= 256 && m % 8 == 0,
+            AbiType::Address | AbiType::Bool | AbiType::Bytes | AbiType::String => true,
+            AbiType::FixedBytes(m) => (1..=32).contains(m),
+            AbiType::Array(t, n) => *n >= 1 && t.is_well_formed(),
+            AbiType::DynArray(t) => t.is_well_formed(),
+            AbiType::Tuple(ts) => !ts.is_empty() && ts.iter().all(AbiType::is_well_formed),
+        }
+    }
+
+    /// True if the encoding of this type has variable length (`bytes`,
+    /// `string`, dynamic arrays, or any composite containing one).
+    pub fn is_dynamic(&self) -> bool {
+        match self {
+            AbiType::Bytes | AbiType::String | AbiType::DynArray(_) => true,
+            AbiType::Array(t, _) => t.is_dynamic(),
+            AbiType::Tuple(ts) => ts.iter().any(AbiType::is_dynamic),
+            _ => false,
+        }
+    }
+
+    /// Size in bytes of this type's *head* in the ABI encoding: 32 for any
+    /// dynamic type (the offset word), the full inline size otherwise.
+    pub fn head_size(&self) -> usize {
+        if self.is_dynamic() {
+            return 32;
+        }
+        match self {
+            AbiType::Array(t, n) => t.head_size() * n,
+            AbiType::Tuple(ts) => ts.iter().map(AbiType::head_size).sum(),
+            _ => 32,
+        }
+    }
+
+    /// True for the paper's "basic types" (§2.3.1 category 1): value types
+    /// occupying exactly one calldata word.
+    pub fn is_basic(&self) -> bool {
+        matches!(
+            self,
+            AbiType::Uint(_)
+                | AbiType::Int(_)
+                | AbiType::Address
+                | AbiType::Bool
+                | AbiType::FixedBytes(_)
+        )
+    }
+
+    /// The element type of an array, or `None`.
+    pub fn element(&self) -> Option<&AbiType> {
+        match self {
+            AbiType::Array(t, _) | AbiType::DynArray(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The innermost non-array type of an (arbitrarily nested) array, or
+    /// `self` for non-arrays.
+    pub fn base_type(&self) -> &AbiType {
+        match self {
+            AbiType::Array(t, _) | AbiType::DynArray(t) => t.base_type(),
+            _ => self,
+        }
+    }
+
+    /// Array nesting depth (0 for non-arrays).
+    pub fn dimensions(&self) -> usize {
+        match self {
+            AbiType::Array(t, _) | AbiType::DynArray(t) => 1 + t.dimensions(),
+            _ => 0,
+        }
+    }
+
+    /// Paper classification: a *static array* has every dimension fixed.
+    pub fn is_static_array(&self) -> bool {
+        matches!(self, AbiType::Array(..)) && !self.is_dynamic()
+    }
+
+    /// Paper classification: a *dynamic array* `T[X1]..[Xn-1][]` — the
+    /// outermost dimension dynamic, all inner dimensions static.
+    pub fn is_dynamic_array(&self) -> bool {
+        match self {
+            AbiType::DynArray(t) => match &**t {
+                inner @ AbiType::Array(..) => !inner.is_dynamic(),
+                inner => !inner.is_dynamic() && inner.dimensions() == 0,
+            },
+            _ => false,
+        }
+    }
+
+    /// Paper classification: a *nested array* — an array with at least one
+    /// dynamic dimension strictly inside another dimension.
+    pub fn is_nested_array(&self) -> bool {
+        fn contains_dyn_dim(t: &AbiType) -> bool {
+            match t {
+                AbiType::DynArray(_) => true,
+                AbiType::Array(inner, _) => contains_dyn_dim(inner),
+                _ => false,
+            }
+        }
+        match self {
+            AbiType::Array(inner, _) => contains_dyn_dim(inner),
+            AbiType::DynArray(inner) => contains_dyn_dim(inner),
+            _ => false,
+        }
+    }
+
+    /// The canonical ABI spelling used for selector hashing, e.g.
+    /// `uint256`, `uint8[3][]`, `(uint256,bytes)`.
+    pub fn canonical(&self) -> String {
+        match self {
+            AbiType::Uint(m) => format!("uint{}", m),
+            AbiType::Int(m) => format!("int{}", m),
+            AbiType::Address => "address".into(),
+            AbiType::Bool => "bool".into(),
+            AbiType::FixedBytes(m) => format!("bytes{}", m),
+            AbiType::Bytes => "bytes".into(),
+            AbiType::String => "string".into(),
+            AbiType::Array(t, n) => format!("{}[{}]", t.canonical(), n),
+            AbiType::DynArray(t) => format!("{}[]", t.canonical()),
+            AbiType::Tuple(ts) => {
+                let inner: Vec<String> = ts.iter().map(AbiType::canonical).collect();
+                format!("({})", inner.join(","))
+            }
+        }
+    }
+
+    /// Parses a canonical type spelling. Accepts the shorthand `uint`/`int`
+    /// (= 256 bits) the way Solidity sources do, but [`Self::canonical`]
+    /// always renders the explicit width.
+    pub fn parse(s: &str) -> Result<AbiType, TypeParseError> {
+        let mut p = Parser { input: s.as_bytes(), pos: 0 };
+        let t = p.parse_type()?;
+        if p.pos != s.len() {
+            return Err(TypeParseError::new(s, "trailing characters"));
+        }
+        if !t.is_well_formed() {
+            return Err(TypeParseError::new(s, "width constraint violated"));
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for AbiType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl std::str::FromStr for AbiType {
+    type Err = TypeParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AbiType::parse(s)
+    }
+}
+
+/// Error from [`AbiType::parse`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypeParseError {
+    input: String,
+    reason: &'static str,
+}
+
+impl TypeParseError {
+    pub(crate) fn new(input: &str, reason: &'static str) -> Self {
+        TypeParseError { input: input.to_string(), reason }
+    }
+}
+
+impl fmt::Display for TypeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ABI type {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for TypeParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_type(&mut self) -> Result<AbiType, TypeParseError> {
+        let base = if self.peek() == Some(b'(') {
+            self.parse_tuple()?
+        } else {
+            self.parse_elementary()?
+        };
+        self.parse_array_suffixes(base)
+    }
+
+    fn parse_tuple(&mut self) -> Result<AbiType, TypeParseError> {
+        self.expect(b'(')?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_type()?);
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or ')'")),
+            }
+        }
+        Ok(AbiType::Tuple(items))
+    }
+
+    fn parse_elementary(&mut self) -> Result<AbiType, TypeParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_lowercase()) {
+            self.pos += 1;
+        }
+        let word = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+        let digits = self.take_digits();
+        match (word, digits) {
+            ("uint", None) => Ok(AbiType::Uint(256)),
+            ("uint", Some(m)) => Ok(AbiType::Uint(m as u16)),
+            ("int", None) => Ok(AbiType::Int(256)),
+            ("int", Some(m)) => Ok(AbiType::Int(m as u16)),
+            ("address", None) => Ok(AbiType::Address),
+            ("bool", None) => Ok(AbiType::Bool),
+            ("bytes", None) => Ok(AbiType::Bytes),
+            ("bytes", Some(m)) if m <= 32 => Ok(AbiType::FixedBytes(m as u8)),
+            ("string", None) => Ok(AbiType::String),
+            _ => Err(self.err("unknown elementary type")),
+        }
+    }
+
+    fn parse_array_suffixes(&mut self, mut t: AbiType) -> Result<AbiType, TypeParseError> {
+        while self.peek() == Some(b'[') {
+            self.pos += 1;
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                t = AbiType::DynArray(Box::new(t));
+            } else {
+                let n = self.take_digits().ok_or_else(|| self.err("expected array size"))?;
+                self.expect(b']')?;
+                t = AbiType::Array(Box::new(t), n as usize);
+            }
+        }
+        Ok(t)
+    }
+
+    fn take_digits(&mut self) -> Option<u64> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.input[start..self.pos]).unwrap().parse().ok()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), TypeParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn err(&self, reason: &'static str) -> TypeParseError {
+        TypeParseError::new(std::str::from_utf8(self.input).unwrap_or("<non-utf8>"), reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> AbiType {
+        AbiType::parse(s).unwrap()
+    }
+
+    #[test]
+    fn canonical_round_trip() {
+        for s in [
+            "uint256",
+            "uint8",
+            "int128",
+            "address",
+            "bool",
+            "bytes4",
+            "bytes32",
+            "bytes",
+            "string",
+            "uint256[3]",
+            "uint256[3][2]",
+            "uint8[]",
+            "uint256[3][]",
+            "uint8[][2]",
+            "(uint256,uint256)",
+            "(uint256[],uint256)",
+            "(uint8,(bool,address))[2]",
+        ] {
+            assert_eq!(t(s).canonical(), s, "round trip failed for {}", s);
+        }
+    }
+
+    #[test]
+    fn shorthand_widths() {
+        assert_eq!(t("uint"), AbiType::Uint(256));
+        assert_eq!(t("int"), AbiType::Int(256));
+        assert_eq!(t("uint[]").canonical(), "uint256[]");
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(AbiType::parse("uint7").is_err());
+        assert!(AbiType::parse("uint264").is_err());
+        assert!(AbiType::parse("int0").is_err());
+        assert!(AbiType::parse("bytes33").is_err());
+        assert!(AbiType::parse("bytes0").is_err());
+        assert!(AbiType::parse("uint256[0]").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(AbiType::parse("").is_err());
+        assert!(AbiType::parse("uint256 ").is_err());
+        assert!(AbiType::parse("float").is_err());
+        assert!(AbiType::parse("uint256[").is_err());
+        assert!(AbiType::parse("(uint256").is_err());
+        assert!(AbiType::parse("()").is_err());
+    }
+
+    #[test]
+    fn dynamic_classification() {
+        assert!(!t("uint256").is_dynamic());
+        assert!(t("bytes").is_dynamic());
+        assert!(t("string").is_dynamic());
+        assert!(t("uint8[]").is_dynamic());
+        assert!(!t("uint8[4]").is_dynamic());
+        assert!(t("uint8[][4]").is_dynamic());
+        assert!(t("(uint256,bytes)").is_dynamic());
+        assert!(!t("(uint256,bool)").is_dynamic());
+    }
+
+    #[test]
+    fn paper_array_categories() {
+        // §2.3.1: static, dynamic, nested.
+        assert!(t("uint256[3][2]").is_static_array());
+        assert!(!t("uint256[3][2]").is_nested_array());
+        assert!(t("uint256[3][]").is_dynamic_array());
+        assert!(!t("uint256[3][]").is_nested_array());
+        // uint[][1]: inner dimension dynamic → nested.
+        assert!(t("uint256[][1]").is_nested_array());
+        assert!(!t("uint256[][1]").is_dynamic_array());
+        // uint[][]: nested per the paper's definition.
+        assert!(t("uint256[][]").is_nested_array());
+        assert!(!t("uint256[][]").is_dynamic_array());
+        assert!(!t("uint8").is_static_array());
+    }
+
+    #[test]
+    fn head_sizes() {
+        assert_eq!(t("uint8").head_size(), 32);
+        assert_eq!(t("uint256[3]").head_size(), 96);
+        assert_eq!(t("uint256[3][2]").head_size(), 192);
+        assert_eq!(t("bytes").head_size(), 32);
+        assert_eq!(t("uint8[]").head_size(), 32);
+        assert_eq!(t("(uint256,uint256)").head_size(), 64);
+        assert_eq!(t("(uint256,bytes)").head_size(), 32);
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let a = t("uint8[3][]");
+        assert_eq!(a.dimensions(), 2);
+        assert_eq!(a.base_type(), &AbiType::Uint(8));
+        assert_eq!(a.element().unwrap().canonical(), "uint8[3]");
+        assert!(t("uint8").element().is_none());
+    }
+}

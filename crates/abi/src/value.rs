@@ -1,0 +1,172 @@
+//! Runtime argument values for ABI encoding.
+
+use crate::types::AbiType;
+use sigrec_evm::U256;
+use std::fmt;
+
+/// An argument value, paired with an [`AbiType`] when encoding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AbiValue {
+    /// Value for `uintM` (must fit in M bits).
+    Uint(U256),
+    /// Value for `intM`, stored in two's-complement 256-bit form.
+    Int(U256),
+    /// Value for `address` (low 160 bits).
+    Address(U256),
+    /// Value for `bool`.
+    Bool(bool),
+    /// Value for `bytesM` (exactly M bytes).
+    FixedBytes(Vec<u8>),
+    /// Value for `bytes`.
+    Bytes(Vec<u8>),
+    /// Value for `string`.
+    Str(String),
+    /// Value for `T[N]` and `T[]`.
+    Array(Vec<AbiValue>),
+    /// Value for tuples/structs.
+    Tuple(Vec<AbiValue>),
+}
+
+impl AbiValue {
+    /// Checks that this value is a well-typed inhabitant of `ty`: variant
+    /// match, width fit, element counts, recursive element types.
+    pub fn conforms_to(&self, ty: &AbiType) -> bool {
+        match (self, ty) {
+            (AbiValue::Uint(v), AbiType::Uint(m)) => {
+                *m == 256 || *v <= U256::low_mask(*m as u32)
+            }
+            (AbiValue::Int(v), AbiType::Int(m)) => {
+                if *m == 256 {
+                    true
+                } else {
+                    // Value must be a sign-extended M-bit integer.
+                    v.sign_extend(U256::from((m / 8 - 1) as u64)) == *v
+                }
+            }
+            (AbiValue::Address(v), AbiType::Address) => *v <= U256::low_mask(160),
+            (AbiValue::Bool(_), AbiType::Bool) => true,
+            (AbiValue::FixedBytes(b), AbiType::FixedBytes(m)) => b.len() == *m as usize,
+            (AbiValue::Bytes(_), AbiType::Bytes) => true,
+            (AbiValue::Str(_), AbiType::String) => true,
+            (AbiValue::Array(items), AbiType::Array(el, n)) => {
+                items.len() == *n && items.iter().all(|i| i.conforms_to(el))
+            }
+            (AbiValue::Array(items), AbiType::DynArray(el)) => {
+                items.iter().all(|i| i.conforms_to(el))
+            }
+            (AbiValue::Tuple(items), AbiType::Tuple(tys)) => {
+                items.len() == tys.len()
+                    && items.iter().zip(tys).all(|(v, t)| v.conforms_to(t))
+            }
+            _ => false,
+        }
+    }
+
+    /// A canonical zero/empty value of `ty` (zero integers, empty arrays
+    /// and byte strings, recursively zeroed static composites).
+    pub fn zero_of(ty: &AbiType) -> AbiValue {
+        match ty {
+            AbiType::Uint(_) => AbiValue::Uint(U256::ZERO),
+            AbiType::Int(_) => AbiValue::Int(U256::ZERO),
+            AbiType::Address => AbiValue::Address(U256::ZERO),
+            AbiType::Bool => AbiValue::Bool(false),
+            AbiType::FixedBytes(m) => AbiValue::FixedBytes(vec![0; *m as usize]),
+            AbiType::Bytes => AbiValue::Bytes(Vec::new()),
+            AbiType::String => AbiValue::Str(String::new()),
+            AbiType::Array(el, n) => {
+                AbiValue::Array((0..*n).map(|_| AbiValue::zero_of(el)).collect())
+            }
+            AbiType::DynArray(_) => AbiValue::Array(Vec::new()),
+            AbiType::Tuple(ts) => AbiValue::Tuple(ts.iter().map(AbiValue::zero_of).collect()),
+        }
+    }
+}
+
+impl fmt::Display for AbiValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbiValue::Uint(v) | AbiValue::Int(v) => write!(f, "{}", v),
+            AbiValue::Address(v) => write!(f, "0x{:x}", v),
+            AbiValue::Bool(b) => write!(f, "{}", b),
+            AbiValue::FixedBytes(b) | AbiValue::Bytes(b) => {
+                write!(f, "0x")?;
+                for byte in b {
+                    write!(f, "{:02x}", byte)?;
+                }
+                Ok(())
+            }
+            AbiValue::Str(s) => write!(f, "{:?}", s),
+            AbiValue::Array(items) | AbiValue::Tuple(items) => {
+                let open = if matches!(self, AbiValue::Array(_)) { '[' } else { '(' };
+                let close = if open == '[' { ']' } else { ')' };
+                write!(f, "{}", open)?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", item)?;
+                }
+                write!(f, "{}", close)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(s: &str) -> AbiType {
+        AbiType::parse(s).unwrap()
+    }
+
+    #[test]
+    fn conformance_basic() {
+        assert!(AbiValue::Uint(U256::from(255u64)).conforms_to(&ty("uint8")));
+        assert!(!AbiValue::Uint(U256::from(256u64)).conforms_to(&ty("uint8")));
+        assert!(AbiValue::Int(U256::from(-128i64)).conforms_to(&ty("int8")));
+        assert!(!AbiValue::Int(U256::from(-129i64)).conforms_to(&ty("int8")));
+        assert!(AbiValue::Int(U256::from(127i64)).conforms_to(&ty("int8")));
+        assert!(!AbiValue::Int(U256::from(128i64)).conforms_to(&ty("int8")));
+        assert!(AbiValue::Address(U256::low_mask(160)).conforms_to(&ty("address")));
+        assert!(!AbiValue::Address(U256::low_mask(161)).conforms_to(&ty("address")));
+        assert!(!AbiValue::Uint(U256::ZERO).conforms_to(&ty("bool")));
+    }
+
+    #[test]
+    fn conformance_composite() {
+        let v = AbiValue::Array(vec![
+            AbiValue::Uint(U256::ONE),
+            AbiValue::Uint(U256::from(2u64)),
+        ]);
+        assert!(v.conforms_to(&ty("uint8[2]")));
+        assert!(!v.conforms_to(&ty("uint8[3]")));
+        assert!(v.conforms_to(&ty("uint8[]")));
+        let t = AbiValue::Tuple(vec![AbiValue::Bool(true), AbiValue::Str("x".into())]);
+        assert!(t.conforms_to(&ty("(bool,string)")));
+        assert!(!t.conforms_to(&ty("(bool,bytes)")));
+    }
+
+    #[test]
+    fn zero_values_conform() {
+        for s in ["uint8", "int256", "address", "bool", "bytes4", "bytes", "string",
+                  "uint256[3]", "uint8[]", "(uint256,string)", "uint8[2][]"] {
+            let t = ty(s);
+            assert!(AbiValue::zero_of(&t).conforms_to(&t), "zero of {} must conform", s);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AbiValue::Uint(U256::from(7u64)).to_string(), "7");
+        assert_eq!(AbiValue::Bytes(vec![0xab, 0xcd]).to_string(), "0xabcd");
+        assert_eq!(
+            AbiValue::Array(vec![AbiValue::Bool(true), AbiValue::Bool(false)]).to_string(),
+            "[true, false]"
+        );
+        assert_eq!(
+            AbiValue::Tuple(vec![AbiValue::Uint(U256::ONE)]).to_string(),
+            "(1)"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Vyper's surface type system (§2.3.2 of the paper).
+//!
+//! Vyper supports ten parameter types. Five coincide with Solidity types
+//! (`bool`, `int128`, `uint256`, `address`, `bytes32`); the other five are
+//! Vyper-specific: `decimal`, fixed-size lists, fixed-size byte arrays,
+//! fixed-size strings, and structs. [`VyperType`] models the surface
+//! grammar; [`VyperType::lower`] maps each type to the [`AbiType`] that
+//! describes its calldata layout (what the recovery tool can actually see).
+
+use crate::types::AbiType;
+use std::fmt;
+
+/// A Vyper parameter type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum VyperType {
+    /// `bool`.
+    Bool,
+    /// `int128`.
+    Int128,
+    /// `uint256`.
+    Uint256,
+    /// `address`.
+    Address,
+    /// `bytes32`.
+    Bytes32,
+    /// `decimal`: fixed-point with 10 decimal places, range ±2¹²⁷.
+    Decimal,
+    /// Fixed-size list `T[N1]…[Nn]`: dimensions from outermost to innermost.
+    FixedList(Box<VyperType>, usize),
+    /// `bytes[maxLen]`: byte sequence with a compile-time maximum length.
+    FixedBytes(usize),
+    /// `string[maxLen]`: string with a compile-time maximum length.
+    FixedString(usize),
+    /// `struct { T1, …, Tn }` of basic types.
+    Struct(Vec<VyperType>),
+}
+
+impl VyperType {
+    /// True for the six single-word types a fixed-size list may contain.
+    pub fn is_basic(&self) -> bool {
+        matches!(
+            self,
+            VyperType::Bool
+                | VyperType::Int128
+                | VyperType::Uint256
+                | VyperType::Address
+                | VyperType::Bytes32
+                | VyperType::Decimal
+        )
+    }
+
+    /// Validates the grammar: list elements basic (possibly via nested
+    /// lists), struct items basic, positive sizes.
+    pub fn is_well_formed(&self) -> bool {
+        match self {
+            t if t.is_basic() => true,
+            VyperType::FixedList(el, n) => {
+                *n >= 1 && (el.is_basic() || matches!(**el, VyperType::FixedList(..))) && el.is_well_formed()
+            }
+            VyperType::FixedBytes(m) | VyperType::FixedString(m) => *m >= 1,
+            VyperType::Struct(items) => {
+                !items.is_empty() && items.iter().all(VyperType::is_basic)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// The calldata-layout type: what the access pattern in bytecode
+    /// corresponds to, and therefore what SigRec recovers.
+    ///
+    /// `decimal` lowers to `int168` per the canonical `fixed168x10` ABI
+    /// encoding's storage width (a 168-bit signed integer scaled by 10¹⁰).
+    /// `bytes[maxLen]`/`string[maxLen]` lower to dynamic `bytes`/`string`
+    /// (the layout is identical; only the in-contract bound check differs).
+    /// A struct lowers to its flattened items (§2.3.2: indistinguishable
+    /// from the items not being in a struct).
+    pub fn lower(&self) -> Vec<AbiType> {
+        match self {
+            VyperType::Bool => vec![AbiType::Bool],
+            VyperType::Int128 => vec![AbiType::Int(128)],
+            VyperType::Uint256 => vec![AbiType::Uint(256)],
+            VyperType::Address => vec![AbiType::Address],
+            VyperType::Bytes32 => vec![AbiType::FixedBytes(32)],
+            VyperType::Decimal => vec![AbiType::Int(168)],
+            VyperType::FixedList(el, n) => {
+                let inner = el.lower();
+                debug_assert_eq!(inner.len(), 1, "list elements are single-slot");
+                vec![AbiType::Array(Box::new(inner[0].clone()), *n)]
+            }
+            VyperType::FixedBytes(_) => vec![AbiType::Bytes],
+            VyperType::FixedString(_) => vec![AbiType::String],
+            VyperType::Struct(items) => items.iter().flat_map(VyperType::lower).collect(),
+        }
+    }
+
+    /// The Vyper source spelling.
+    pub fn vyper_spelling(&self) -> String {
+        match self {
+            VyperType::Bool => "bool".into(),
+            VyperType::Int128 => "int128".into(),
+            VyperType::Uint256 => "uint256".into(),
+            VyperType::Address => "address".into(),
+            VyperType::Bytes32 => "bytes32".into(),
+            VyperType::Decimal => "decimal".into(),
+            VyperType::FixedList(el, n) => format!("{}[{}]", el.vyper_spelling(), n),
+            VyperType::FixedBytes(m) => format!("bytes[{}]", m),
+            VyperType::FixedString(m) => format!("string[{}]", m),
+            VyperType::Struct(items) => {
+                let inner: Vec<String> = items.iter().map(VyperType::vyper_spelling).collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for VyperType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.vyper_spelling())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics_lower_to_solidity_equivalents() {
+        assert_eq!(VyperType::Bool.lower(), vec![AbiType::Bool]);
+        assert_eq!(VyperType::Int128.lower(), vec![AbiType::Int(128)]);
+        assert_eq!(VyperType::Uint256.lower(), vec![AbiType::Uint(256)]);
+        assert_eq!(VyperType::Address.lower(), vec![AbiType::Address]);
+        assert_eq!(VyperType::Bytes32.lower(), vec![AbiType::FixedBytes(32)]);
+        assert_eq!(VyperType::Decimal.lower(), vec![AbiType::Int(168)]);
+    }
+
+    #[test]
+    fn fixed_list_lowers_to_static_array() {
+        let t = VyperType::FixedList(Box::new(VyperType::Uint256), 3);
+        assert_eq!(t.lower()[0].canonical(), "uint256[3]");
+        let nested = VyperType::FixedList(Box::new(t), 2);
+        assert_eq!(nested.lower()[0].canonical(), "uint256[3][2]");
+    }
+
+    #[test]
+    fn byte_array_and_string_lower_to_dynamic() {
+        assert_eq!(VyperType::FixedBytes(50).lower(), vec![AbiType::Bytes]);
+        assert_eq!(VyperType::FixedString(10).lower(), vec![AbiType::String]);
+    }
+
+    #[test]
+    fn struct_flattens() {
+        // §2.3.2: a struct's layout equals its items side by side.
+        let s = VyperType::Struct(vec![VyperType::Uint256, VyperType::Uint256]);
+        assert_eq!(s.lower(), vec![AbiType::Uint(256), AbiType::Uint(256)]);
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(VyperType::Decimal.is_well_formed());
+        assert!(VyperType::FixedList(Box::new(VyperType::Bool), 4).is_well_formed());
+        assert!(!VyperType::FixedList(Box::new(VyperType::Bool), 0).is_well_formed());
+        assert!(!VyperType::FixedList(Box::new(VyperType::FixedBytes(3)), 2).is_well_formed());
+        assert!(!VyperType::Struct(vec![]).is_well_formed());
+        assert!(!VyperType::Struct(vec![VyperType::FixedString(5)]).is_well_formed());
+        assert!(!VyperType::FixedBytes(0).is_well_formed());
+    }
+
+    #[test]
+    fn spellings() {
+        assert_eq!(
+            VyperType::FixedList(Box::new(VyperType::Decimal), 7).to_string(),
+            "decimal[7]"
+        );
+        assert_eq!(VyperType::FixedBytes(50).to_string(), "bytes[50]");
+        assert_eq!(
+            VyperType::Struct(vec![VyperType::Uint256, VyperType::Bool]).to_string(),
+            "{uint256, bool}"
+        );
+    }
+}

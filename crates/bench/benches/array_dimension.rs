@@ -1,0 +1,41 @@
+//! Fig. 18 as a Criterion benchmark: recovery time vs array dimension
+//! (the paper reports linear growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigrec_abi::{AbiType, FunctionSignature};
+use sigrec_core::SigRec;
+use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+
+fn bench_dimensions(c: &mut Criterion) {
+    let sigrec = SigRec::new();
+    let mut group = c.benchmark_group("array_dimension");
+    for dim in [1usize, 2, 4, 8, 12, 16, 20] {
+        let mut ty = AbiType::Uint(256);
+        for _ in 0..dim {
+            ty = AbiType::DynArray(Box::new(ty));
+        }
+        let sig = FunctionSignature::from_declaration("probe", vec![ty]);
+        let code = compile_single(
+            FunctionSpec::new(sig, Visibility::External),
+            &CompilerConfig::default(),
+        )
+        .code;
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &code, |b, code| {
+            b.iter(|| {
+                let out = sigrec.recover(std::hint::black_box(code));
+                assert_eq!(out.len(), 1);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_dimensions
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the recovery pipeline (Fig. 17's
+//! per-function cost at fixed workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigrec_abi::FunctionSignature;
+use sigrec_core::SigRec;
+use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+
+fn contract(decl: &str, vis: Visibility) -> Vec<u8> {
+    compile_single(
+        FunctionSpec::new(FunctionSignature::parse(decl).unwrap(), vis),
+        &CompilerConfig::default(),
+    )
+    .code
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let sigrec = SigRec::new();
+    let cases = [
+        ("basic", contract("f(address,uint256,bool)", Visibility::External)),
+        ("static_array", contract("f(uint256[3][2])", Visibility::Public)),
+        ("dynamic_array", contract("f(uint8[])", Visibility::Public)),
+        ("bytes", contract("f(bytes)", Visibility::Public)),
+        ("nested_array", contract("f(uint256[][])", Visibility::External)),
+        ("dynamic_struct", contract("f((uint256[],uint256))", Visibility::External)),
+    ];
+    let mut group = c.benchmark_group("recovery_time");
+    for (name, code) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), code, |b, code| {
+            b.iter(|| {
+                let out = sigrec.recover(std::hint::black_box(code));
+                assert_eq!(out.len(), 1);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_recovery
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Substrate micro-benchmarks: Keccak-256, U256 arithmetic, ABI
+//! encode/decode, concrete interpretation, and batch recovery throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sigrec_abi::{decode, encode, AbiType, AbiValue, FunctionSignature};
+use sigrec_core::{recover_batch, SigRec};
+use sigrec_evm::{keccak256, Env, Interpreter, U256};
+use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+
+fn bench_keccak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keccak256");
+    for size in [32usize, 1024, 65536] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{}B", size), |b| {
+            b.iter(|| keccak256(std::hint::black_box(&data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_u256(c: &mut Criterion) {
+    let a = U256::from_hex("deadbeefcafebabe0123456789abcdef00ff00ff00ff00ff1122334455667788")
+        .unwrap();
+    let b2 = U256::from_hex("0123456789abcdef").unwrap();
+    let mut group = c.benchmark_group("u256");
+    group.bench_function("mul", |b| b.iter(|| std::hint::black_box(a) * std::hint::black_box(b2)));
+    group.bench_function("div", |b| b.iter(|| std::hint::black_box(a) / std::hint::black_box(b2)));
+    group.bench_function("signed_div", |b| {
+        b.iter(|| std::hint::black_box(a).signed_div(std::hint::black_box(b2)))
+    });
+    group.bench_function("mulmod", |b| {
+        b.iter(|| std::hint::black_box(a).mul_mod(std::hint::black_box(a), std::hint::black_box(b2)))
+    });
+    group.finish();
+}
+
+fn bench_abi(c: &mut Criterion) {
+    let types: Vec<AbiType> = vec![
+        AbiType::Address,
+        AbiType::parse("uint8[]").unwrap(),
+        AbiType::Bytes,
+    ];
+    let values = vec![
+        AbiValue::Address(U256::from(7u64)),
+        AbiValue::Array(vec![AbiValue::Uint(U256::ONE); 8]),
+        AbiValue::Bytes(vec![0xee; 100]),
+    ];
+    let data = encode(&types, &values).unwrap();
+    let mut group = c.benchmark_group("abi");
+    group.bench_function("encode", |b| {
+        b.iter(|| encode(std::hint::black_box(&types), std::hint::black_box(&values)).unwrap())
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| decode(std::hint::black_box(&types), std::hint::black_box(&data)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let sig = FunctionSignature::parse("f(uint256[])").unwrap();
+    let contract = compile_single(
+        FunctionSpec::new(sig.clone(), Visibility::Public),
+        &CompilerConfig::default(),
+    );
+    let values = vec![AbiValue::Array(vec![AbiValue::Uint(U256::ONE); 16])];
+    let calldata = sigrec_abi::encode_call(&sig, &values).unwrap();
+    let interp = Interpreter::new(&contract.code);
+    c.bench_function("interpreter_run", |b| {
+        b.iter(|| interp.run(&Env::with_calldata(std::hint::black_box(calldata.clone()))))
+    });
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let codes: Vec<Vec<u8>> = (0..32)
+        .map(|i| {
+            let decl = format!("fn{}(address,uint256[],bool)", i);
+            compile_single(
+                FunctionSpec::new(
+                    FunctionSignature::parse(&decl).unwrap(),
+                    Visibility::Public,
+                ),
+                &CompilerConfig::default(),
+            )
+            .code
+        })
+        .collect();
+    let sigrec = SigRec::new();
+    let mut group = c.benchmark_group("batch_recovery");
+    for workers in [1usize, 4] {
+        group.bench_function(format!("{}workers", workers), |b| {
+            b.iter(|| recover_batch(&sigrec, std::hint::black_box(&codes), workers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_keccak, bench_u256, bench_abi, bench_interpreter, bench_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! Accuracy experiments: RQ1, RQ2 (Figs. 15–16), and the §5.6 comparisons
+//! (Tables 1–5).
+
+use crate::report::{pct, TextTable};
+use sigrec_core::SigRec;
+use sigrec_corpus::{datasets, evaluate, Corpus, Toolchain};
+use sigrec_efsd::{
+    reference_outputs, run_tool, DbTool, Efsd, EveemTool, GigahorseTool, RecoveryTool,
+    SigRecTool, ToolReport,
+};
+
+/// Experiment scale: contracts per corpus. The paper runs on millions;
+/// the default reproduces every trend at laptop scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Contracts in dataset-1/3-like corpora.
+    pub contracts: usize,
+    /// Contracts per compiler version in the RQ2 sweeps.
+    pub per_version: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale { contracts: 600, per_version: 12, seed: 0x516_7EC }
+    }
+}
+
+/// RQ1: headline accuracy (paper: 98.74 % Solidity, 97.77 % Vyper,
+/// 98.7 % overall).
+pub fn rq1(scale: &Scale) -> String {
+    let sigrec = SigRec::new();
+    let sol = datasets::dataset3(scale.contracts, scale.seed);
+    let vy = datasets::vyper_corpus(scale.contracts.div_ceil(4), scale.seed + 1);
+    let es = evaluate(&sigrec, &sol);
+    let ev = evaluate(&sigrec, &vy);
+    let overall = (es.correct() + ev.correct()) as f64 / (es.total() + ev.total()) as f64;
+    let mut t = TextTable::new(&["corpus", "functions", "accuracy", "paper", "soundness"]);
+    t.row(&[
+        "Solidity".into(),
+        es.total().to_string(),
+        pct(es.accuracy()),
+        "98.7%".into(),
+        pct(es.soundness_accuracy()),
+    ]);
+    t.row(&[
+        "Vyper".into(),
+        ev.total().to_string(),
+        pct(ev.accuracy()),
+        "97.8%".into(),
+        pct(ev.soundness_accuracy()),
+    ]);
+    t.row(&[
+        "overall".into(),
+        (es.total() + ev.total()).to_string(),
+        pct(overall),
+        "98.7%".into(),
+        String::new(),
+    ]);
+    format!("RQ1 — recovery accuracy (§5.2)\n{}", t.render())
+}
+
+/// Fig. 15: accuracy per Solidity compiler version (paper: ≥ 96 % for all
+/// 155 versions).
+pub fn fig15(scale: &Scale) -> String {
+    let sigrec = SigRec::new();
+    let mut t = TextTable::new(&["solc version", "optimize", "functions", "accuracy"]);
+    let mut min_acc: f64 = 1.0;
+    for (version, optimize, corpus) in
+        datasets::solidity_version_sweep(scale.per_version, scale.seed + 2)
+    {
+        let e = evaluate(&sigrec, &corpus);
+        min_acc = min_acc.min(e.accuracy());
+        t.row(&[
+            version.to_string(),
+            optimize.to_string(),
+            e.total().to_string(),
+            pct(e.accuracy()),
+        ]);
+    }
+    format!(
+        "Fig. 15 — accuracy across Solidity versions (paper: never < 96%)\n{}\nminimum: {}\n",
+        t.render(),
+        pct(min_acc)
+    )
+}
+
+/// Fig. 16: accuracy per Vyper version (paper: > 90 % for 12 of 15; dips
+/// only where the per-version contract count is tiny).
+pub fn fig16(scale: &Scale) -> String {
+    let sigrec = SigRec::new();
+    let mut t = TextTable::new(&["vyper version", "contracts", "functions", "accuracy"]);
+    for (version, corpus) in datasets::vyper_version_sweep(scale.per_version, scale.seed + 3) {
+        let e = evaluate(&sigrec, &corpus);
+        t.row(&[
+            version.to_string(),
+            corpus.contracts.len().to_string(),
+            e.total().to_string(),
+            pct(e.accuracy()),
+        ]);
+    }
+    format!(
+        "Fig. 16 — accuracy across Vyper versions (dips only at tiny-sample versions)\n{}",
+        t.render()
+    )
+}
+
+fn comparison_table(title: &str, corpus: &Corpus, db: &Efsd, with_reference: bool) -> String {
+    let sigrec_tool = SigRecTool::new();
+    let reference = if with_reference {
+        Some(reference_outputs(&sigrec_tool, corpus))
+    } else {
+        None
+    };
+    let tools: Vec<Box<dyn RecoveryTool>> = vec![
+        Box::new(SigRecTool::new()),
+        Box::new(GigahorseTool::new(db.clone())),
+        Box::new(EveemTool::new(db.clone())),
+        Box::new(DbTool::new("OSD", db.clone(), 1.0)),
+        Box::new(DbTool::new("EBD", db.clone(), 0.88)),
+        Box::new(DbTool::new("JEB", db.clone(), 0.78)),
+    ];
+    let mut t = TextTable::new(&[
+        "tool",
+        "accuracy",
+        "missing",
+        "wrong types",
+        "wrong count",
+        "aborted",
+        if with_reference { "agree w/ SigRec" } else { "" },
+    ]);
+    let mut rows: Vec<ToolReport> = Vec::new();
+    for tool in &tools {
+        rows.push(run_tool(tool.as_ref(), corpus, reference.as_ref()));
+    }
+    for r in &rows {
+        t.row(&[
+            r.tool.clone(),
+            pct(r.accuracy()),
+            r.missing.to_string(),
+            r.wrong_types.to_string(),
+            r.wrong_count.to_string(),
+            pct(r.abort_ratio()),
+            if with_reference { pct(r.agreement()) } else { String::new() },
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Table 1: closed-source dataset — agreement with SigRec and abort rates.
+pub fn table1(scale: &Scale) -> String {
+    let corpus = datasets::dataset1(scale.contracts, scale.seed + 4);
+    // Closed-source coverage is poor: most ids unknown to the databases.
+    let db = Efsd::seeded_from(&corpus, 0.33, scale.seed + 5);
+    comparison_table(
+        "Table 1 — dataset 1 (closed-source-like): tools vs SigRec",
+        &corpus,
+        &db,
+        true,
+    )
+}
+
+/// Table 2: 1 000 synthesized functions — database tools recover nothing
+/// (paper: SigRec 98.8 %, OSD/EBD/JEB 0 %, Eveem 18.3 %).
+pub fn table2(scale: &Scale) -> String {
+    let corpus = datasets::dataset2(scale.seed + 6);
+    // Synthesized names exist in no database.
+    let db = Efsd::new();
+    comparison_table(
+        "Table 2 — dataset 2 (1,000 synthesized functions; ids not in any database)",
+        &corpus,
+        &db,
+        false,
+    )
+}
+
+/// Table 3: open-source dataset — the databases know ~51 % of signatures
+/// (paper: SigRec ≥ +22.5 % over the best baseline).
+pub fn table3(scale: &Scale) -> String {
+    let corpus = datasets::dataset3(scale.contracts, scale.seed + 7);
+    let db = Efsd::seeded_from(&corpus, 0.51, scale.seed + 8);
+    comparison_table("Table 3 — dataset 3 (open-source-like)", &corpus, &db, false)
+}
+
+/// Table 4: struct and nested-array parameters (paper: SigRec 61.3 %,
+/// baselines ≤ 11 %).
+pub fn table4(scale: &Scale) -> String {
+    let corpus =
+        datasets::struct_nested_corpus(scale.contracts.min(400), 0.387, scale.seed + 9);
+    // ~10 % of these signatures happen to be in the database (Table 4's
+    // explanation of the baselines' 10.1 %).
+    let db = Efsd::seeded_from(&corpus, 0.101, scale.seed + 10);
+    comparison_table(
+        "Table 4 — struct & nested-array parameters (ABIEncoderV2)",
+        &corpus,
+        &db,
+        false,
+    )
+}
+
+/// Table 5: Vyper contracts (paper: baselines near zero — Vyper signatures
+/// are largely absent from databases and the baselines' rules assume
+/// Solidity patterns).
+pub fn table5(scale: &Scale) -> String {
+    let corpus = datasets::vyper_corpus(scale.contracts.div_ceil(3), scale.seed + 11);
+    debug_assert!(corpus
+        .contracts
+        .iter()
+        .all(|c| matches!(c.toolchain, Toolchain::Vyper(_))));
+    let db = Efsd::seeded_from(&corpus, 0.08, scale.seed + 12);
+    comparison_table("Table 5 — Vyper contracts", &corpus, &db, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { contracts: 30, per_version: 2, seed: 7 }
+    }
+
+    #[test]
+    fn rq1_reports_high_accuracy() {
+        let out = rq1(&tiny());
+        assert!(out.contains("Solidity"));
+        assert!(out.contains("Vyper"));
+        assert!(out.contains("overall"));
+    }
+
+    #[test]
+    fn table2_zeroes_db_tools() {
+        let out = table2(&tiny());
+        // OSD row must show 0.0% accuracy (nothing in the database).
+        let osd_line = out.lines().find(|l| l.starts_with("OSD")).unwrap();
+        let acc = osd_line.split_whitespace().nth(1).unwrap();
+        assert_eq!(acc, "0.0%", "{osd_line}");
+        let sig_line = out.lines().find(|l| l.starts_with("SigRec")).unwrap();
+        let acc = sig_line.split_whitespace().nth(1).unwrap();
+        assert_ne!(acc, "0.0%", "{sig_line}");
+    }
+
+    #[test]
+    fn comparison_orders_sigrec_first() {
+        let out = table3(&tiny());
+        let first_row = out
+            .lines()
+            .skip(3) // title, header, separator
+            .next()
+            .unwrap();
+        assert!(first_row.starts_with("SigRec"), "{first_row}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Application experiments: Fig. 19 (rule frequency), §6.1 (ParChecker),
+//! §6.2 (fuzzing), §6.3 (Erays+).
+
+use crate::accuracy::Scale;
+use crate::report::{pct, TextTable};
+use sigrec_core::{RuleId, SigRec};
+use sigrec_corpus::{datasets, evaluate, generate_traffic, TrafficLabel, TrafficParams};
+use sigrec_erays::{enhance, lift, ReadabilityDelta};
+use sigrec_fuzz::{run_campaign, target::generate_targets, Campaign, InputStrategy};
+use sigrec_parchecker::ParChecker;
+
+/// Fig. 19: how often each rule fires across a mixed corpus (paper: all
+/// rules used; R4 most frequent, R9 least).
+pub fn fig19(scale: &Scale) -> String {
+    let sigrec = SigRec::new();
+    let sol = datasets::dataset3(scale.contracts, scale.seed + 30);
+    let vy = datasets::vyper_corpus(scale.contracts.div_ceil(4), scale.seed + 31);
+    // Make sure the rare public multi-dimensional static arrays (R9) and
+    // struct/nested rules appear: add the Table 4 subset.
+    let structs = datasets::struct_nested_corpus(120, 0.3, scale.seed + 32);
+    let mut stats = evaluate(&sigrec, &sol).rule_stats;
+    stats.merge(&evaluate(&sigrec, &vy).rule_stats);
+    stats.merge(&evaluate(&sigrec, &structs).rule_stats);
+    let mut t = TextTable::new(&["rule", "applications"]);
+    for (rule, count) in stats.iter() {
+        t.row(&[rule.to_string(), count.to_string()]);
+    }
+    format!(
+        "Fig. 19 — rule usage frequency (paper: all rules used; R4 max, R9 min)\n{}\nmost used: {:?}   least used: {:?}\n",
+        t.render(),
+        stats.most_used(),
+        stats.least_used()
+    )
+}
+
+/// §6.1: ParChecker over synthetic transaction traffic (paper: ~1 % of
+/// transactions invalid; 73 short-address attacks found).
+pub fn attacks(scale: &Scale) -> String {
+    let corpus = datasets::dataset3(scale.contracts, scale.seed + 40);
+    // Recover signatures from bytecode — ParChecker runs on recovery
+    // output, not ground truth.
+    let checker =
+        ParChecker::from_bytecode(corpus.contracts.iter().map(|c| c.code.as_slice()));
+    let params = TrafficParams {
+        transactions: 4000,
+        invalid_rate: 0.01,
+        attacks: 12,
+        seed: scale.seed + 41,
+    };
+    let txs = generate_traffic(&corpus, &params);
+    let report = checker.sweep(txs.iter().map(|t| t.calldata.as_slice()));
+    // Ground-truth comparison.
+    let truly_invalid = txs
+        .iter()
+        .filter(|t| !matches!(t.label, TrafficLabel::Valid))
+        .count();
+    let true_attacks =
+        txs.iter().filter(|t| t.label == TrafficLabel::ShortAddressAttack).count();
+    let mut t = TextTable::new(&["measure", "value"]);
+    t.row(&["transactions".into(), report.total.to_string()]);
+    t.row(&["recovered signatures".into(), checker.signature_count().to_string()]);
+    t.row(&["flagged invalid".into(), report.invalid.to_string()]);
+    t.row(&["truly invalid".into(), truly_invalid.to_string()]);
+    t.row(&["invalid rate".into(), pct(report.invalid as f64 / report.total.max(1) as f64)]);
+    t.row(&["short-address attacks found".into(), report.short_address_attacks.to_string()]);
+    t.row(&["short-address attacks injected".into(), true_attacks.to_string()]);
+    t.row(&["unknown-id transactions".into(), report.unknown.to_string()]);
+    t.row(&[
+        "  · truncated / left-pad / right-pad".into(),
+        format!(
+            "{} / {} / {}",
+            report.by_kind.truncated, report.by_kind.left_padding, report.by_kind.right_padding
+        ),
+    ]);
+    t.row(&[
+        "  · bad bool / wild offset".into(),
+        format!("{} / {}", report.by_kind.bad_bool, report.by_kind.unrepresentable),
+    ]);
+    format!(
+        "§6.1 — ParChecker: invalid actual arguments & short-address attacks\n{}",
+        t.render()
+    )
+}
+
+/// §6.2: type-aware vs random fuzzing (paper: 23 % more bugs, 25 % more
+/// vulnerable contracts with recovered signatures).
+pub fn fuzzing(scale: &Scale) -> String {
+    let targets = generate_targets(scale.contracts.min(250), 0.5, scale.seed + 50);
+    let campaign = Campaign { budget_per_function: 48, seed: scale.seed + 51 };
+    let typed = run_campaign(&targets, InputStrategy::TypeAware, &campaign);
+    let random = run_campaign(&targets, InputStrategy::Random, &campaign);
+    let more_bugs = if random.bugs_found > 0 {
+        typed.bugs_found as f64 / random.bugs_found as f64 - 1.0
+    } else {
+        f64::INFINITY
+    };
+    let more_vuln = if random.vulnerable_contracts > 0 {
+        typed.vulnerable_contracts as f64 / random.vulnerable_contracts as f64 - 1.0
+    } else {
+        f64::INFINITY
+    };
+    let mut t = TextTable::new(&["fuzzer", "bugs found", "vulnerable contracts", "executions"]);
+    t.row(&[
+        "ContractFuzzer + SigRec".into(),
+        typed.bugs_found.to_string(),
+        typed.vulnerable_contracts.to_string(),
+        typed.executions.to_string(),
+    ]);
+    t.row(&[
+        "ContractFuzzer- (random)".into(),
+        random.bugs_found.to_string(),
+        random.vulnerable_contracts.to_string(),
+        random.executions.to_string(),
+    ]);
+    format!(
+        "§6.2 — fuzzing with recovered signatures (paper: +23% bugs, +25% vulnerable contracts)\n{}\nseeded bugs: {}   more bugs: {}   more vulnerable contracts: {}\n",
+        t.render(),
+        typed.bugs_seeded,
+        pct(more_bugs),
+        pct(more_vuln)
+    )
+}
+
+/// §6.3: Erays+ readability deltas (paper means per contract: +5.5 types,
+/// +15 parameter names, +3.4 num names, −15 access lines; improvement in
+/// 100 % of processed contracts).
+pub fn erays(scale: &Scale) -> String {
+    let corpus = datasets::dataset3(scale.contracts.min(300), scale.seed + 60);
+    let sigrec = SigRec::new();
+    let mut improved = 0usize;
+    let mut with_functions = 0usize;
+    let mut total = ReadabilityDelta::default();
+    for contract in &corpus.contracts {
+        let recovered = sigrec.recover(&contract.code);
+        // "Processed" contracts are those with at least one parameterised
+        // function — there is nothing for Erays+ to rewrite otherwise.
+        if recovered.iter().all(|r| r.params.is_empty()) {
+            continue;
+        }
+        let entries: Vec<usize> = recovered.iter().map(|r| r.entry).collect();
+        let program = lift(&contract.code, &entries);
+        let enhanced = enhance(&program, &recovered);
+        let mut delta = ReadabilityDelta::default();
+        for e in &enhanced {
+            delta.absorb(&e.delta);
+        }
+        with_functions += 1;
+        if delta.improved() {
+            improved += 1;
+        }
+        total.absorb(&delta);
+    }
+    let n = with_functions.max(1) as f64;
+    let mut t = TextTable::new(&["per-contract mean", "value", "paper"]);
+    t.row(&["added types".into(), format!("{:.1}", total.added_types as f64 / n), "5.5".into()]);
+    t.row(&[
+        "added parameter names".into(),
+        format!("{:.1}", total.added_param_names as f64 / n),
+        "15".into(),
+    ]);
+    t.row(&[
+        "added num names".into(),
+        format!("{:.1}", total.added_num_names as f64 / n),
+        "3.4".into(),
+    ]);
+    t.row(&[
+        "removed access lines".into(),
+        format!("{:.1}", total.removed_lines as f64 / n),
+        "15".into(),
+    ]);
+    format!(
+        "§6.3 — Erays+ readability (improved {}/{} contracts = {})\n{}",
+        improved,
+        with_functions,
+        pct(improved as f64 / n),
+        t.render()
+    )
+}
+
+/// Smoke helper used by tests: runs every experiment at tiny scale.
+pub fn run_all_tiny() -> Vec<String> {
+    let scale = Scale { contracts: 12, per_version: 1, seed: 99 };
+    vec![
+        crate::accuracy::rq1(&scale),
+        crate::accuracy::table2(&scale),
+        fig19(&scale),
+        attacks(&scale),
+        fuzzing(&scale),
+        erays(&scale),
+    ]
+}
+
+/// Checks that every rule fired at least once over a decent corpus —
+/// the Fig. 19 "all rules used" claim.
+pub fn all_rules_fire(scale: &Scale) -> Vec<RuleId> {
+    let sigrec = SigRec::new();
+    let sol = datasets::dataset3(scale.contracts, scale.seed + 30);
+    let vy = datasets::vyper_corpus(scale.contracts.div_ceil(4), scale.seed + 31);
+    let structs = datasets::struct_nested_corpus(120, 0.3, scale.seed + 32);
+    let mut stats = evaluate(&sigrec, &sol).rule_stats;
+    stats.merge(&evaluate(&sigrec, &vy).rule_stats);
+    stats.merge(&evaluate(&sigrec, &structs).rule_stats);
+    RuleId::ALL.iter().copied().filter(|&r| stats.count(r) == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_render_at_tiny_scale() {
+        for out in run_all_tiny() {
+            assert!(!out.is_empty());
+            assert!(out.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn fuzzing_gap_positive() {
+        let out = fuzzing(&Scale { contracts: 40, per_version: 1, seed: 5 });
+        assert!(out.contains("more bugs"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--contracts N] [--seed S]
+//! experiments: rq1 fig15 fig16 fig17 fig18 fig19
+//!              table1 table2 table3 table4 table5
+//!              attacks fuzzing erays all
+//! ```
+
+use sigrec_bench::{Scale, *};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default();
+    let mut which = String::from("all");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--contracts" => {
+                i += 1;
+                scale.contracts = args[i].parse().expect("--contracts takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--per-version" => {
+                i += 1;
+                scale.per_version = args[i].parse().expect("--per-version takes a number");
+            }
+            name => which = name.to_string(),
+        }
+        i += 1;
+    }
+    let run = |name: &str| -> Option<String> {
+        Some(match name {
+            "rq1" => rq1(&scale),
+            "fig15" => fig15(&scale),
+            "fig16" => fig16(&scale),
+            "fig17" => fig17(&scale),
+            "fig18" => fig18(),
+            "fig19" => fig19(&scale),
+            "table1" => table1(&scale),
+            "table2" => table2(&scale),
+            "table3" => table3(&scale),
+            "table4" => table4(&scale),
+            "table5" => table5(&scale),
+            "attacks" => attacks(&scale),
+            "fuzzing" => fuzzing(&scale),
+            "erays" => erays(&scale),
+            "ablation" => ablation(&scale),
+            "obfuscation" => obfuscation(&scale),
+            _ => return None,
+        })
+    };
+    let all = [
+        "rq1", "fig15", "fig16", "fig17", "fig18", "fig19", "table1", "table2", "table3",
+        "table4", "table5", "attacks", "fuzzing", "erays", "ablation", "obfuscation",
+    ];
+    if which == "all" {
+        for name in all {
+            println!("{}", run(name).unwrap());
+            println!();
+        }
+    } else {
+        match run(&which) {
+            Some(out) => println!("{}", out),
+            None => {
+                eprintln!("unknown experiment {:?}; choose one of {:?} or 'all'", which, all);
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Command-line signature recovery.
+//!
+//! ```text
+//! sigrec <file>      # file containing hex runtime bytecode (0x prefix ok)
+//! sigrec -           # read hex from stdin
+//! ```
+//!
+//! Prints one line per recovered function: selector, parameter list,
+//! detected language, applied rules, and recovery time.
+
+use sigrec_core::SigRec;
+use std::io::Read;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let explain = args.iter().any(|a| a == "--explain");
+    args.retain(|a| a != "--explain");
+    let arg = args.into_iter().next().unwrap_or_else(|| {
+        eprintln!("usage: sigrec [--explain] <file-with-hex-bytecode | ->");
+        std::process::exit(2);
+    });
+    let raw = if arg == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(&arg).unwrap_or_else(|e| {
+            eprintln!("sigrec: cannot read {arg}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let code = match parse_hex(&raw) {
+        Some(code) if !code.is_empty() => code,
+        _ => {
+            eprintln!("sigrec: input is not hex bytecode");
+            std::process::exit(2);
+        }
+    };
+    if explain {
+        for e in SigRec::new().explain(&code) {
+            println!("{}  paths={} {}", e.function.signature(), e.paths_explored,
+                if e.hit_symbolic_jump { "(cut at symbolic jump)" } else { "" });
+            for (pc, loc) in &e.loads {
+                println!("  load  @{pc:<5} cd[{loc}]");
+            }
+            for (pc, src, len) in &e.copies {
+                println!("  copy  @{pc:<5} src={src} len={len}");
+            }
+            for (pc, cond, is_loop) in &e.guards {
+                println!("  guard @{pc:<5} {cond}{}", if *is_loop { "  [loop]" } else { "" });
+            }
+        }
+        return;
+    }
+    let recovered = SigRec::new().recover(&code);
+    if recovered.is_empty() {
+        println!("no public/external functions found ({} bytes of code)", code.len());
+        return;
+    }
+    println!(
+        "{} function(s) in {} bytes of runtime code:",
+        recovered.len(),
+        code.len()
+    );
+    for f in &recovered {
+        let rules: Vec<String> = {
+            let mut seen = std::collections::BTreeSet::new();
+            f.rules.iter().for_each(|r| {
+                seen.insert(r.to_string());
+            });
+            seen.into_iter().collect()
+        };
+        println!(
+            "  {}  {:<40}  {:?}  [{}]  {:?}",
+            f.selector,
+            f.signature().param_list(),
+            f.language,
+            rules.join(","),
+            f.elapsed
+        );
+    }
+}
+
+fn parse_hex(s: &str) -> Option<Vec<u8>> {
+    let cleaned: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    let cleaned = cleaned.strip_prefix("0x").unwrap_or(&cleaned);
+    if cleaned.len() % 2 != 0 {
+        return None;
+    }
+    (0..cleaned.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&cleaned[i..i + 2], 16).ok())
+        .collect()
+}

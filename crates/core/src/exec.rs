@@ -1,0 +1,781 @@
+//! The type-aware symbolic executor (TASE).
+//!
+//! §4.2 of the paper: TASE statically explores the paths of a function,
+//! treating the call data as symbols and every environment read as a free
+//! symbol, and stops a path when a jump target depends on the input. On the
+//! way it gathers the [`FunctionFacts`] the rules consume.
+//!
+//! Loop discipline: symbolic branch conditions fork the path, but each block
+//! forks at most a few times, after which the executor takes the
+//! larger-target branch (compilers place loop exits after bodies, so this
+//! exits loops). Concrete conditions never fork; runaway concrete loops are
+//! cut by a per-block visit cap. Loop *heads* are detected statically (a
+//! forward conditional jump over a region containing a backward jump), which
+//! lets the inference engine scope loop bounds to the facts inside the loop
+//! body by pc range.
+
+use crate::expr::{bin, un, BinOp, Expr, UnOp};
+use crate::facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, UseFact, Usage};
+use crate::memory::SymMemory;
+use sigrec_evm::{Disassembly, Opcode, U256};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Exploration budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct TaseConfig {
+    /// Maximum paths explored per function.
+    pub max_paths: usize,
+    /// Maximum instructions per path.
+    pub max_steps_per_path: usize,
+    /// Maximum instructions across all paths of one function.
+    pub max_total_steps: usize,
+    /// How many times one block may fork on a symbolic condition per path.
+    pub fork_limit_per_block: u32,
+    /// How many times one block may be entered per path (concrete loops).
+    pub block_visit_limit: u32,
+}
+
+impl Default for TaseConfig {
+    fn default() -> Self {
+        TaseConfig {
+            max_paths: 512,
+            max_steps_per_path: 60_000,
+            max_total_steps: 400_000,
+            fork_limit_per_block: 3,
+            block_visit_limit: 600,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct PathState {
+    pc: usize,
+    stack: Vec<Rc<Expr>>,
+    memory: SymMemory,
+    visits: HashMap<usize, u32>,
+    steps: usize,
+}
+
+/// The executor for one contract.
+pub struct Tase<'a> {
+    disasm: &'a Disassembly,
+    config: TaseConfig,
+    /// jumpi pc → forward exit pc, for statically detected loop heads.
+    loop_exits: HashMap<usize, usize>,
+    syms: HashMap<String, u32>,
+    next_sym: u32,
+    facts: FunctionFacts,
+    total_steps: usize,
+}
+
+impl<'a> Tase<'a> {
+    /// Creates an executor over a disassembly.
+    pub fn new(disasm: &'a Disassembly, config: TaseConfig) -> Self {
+        let loop_exits = detect_loop_guards(disasm);
+        Tase { disasm, config, loop_exits, syms: HashMap::new(), next_sym: 0, facts: FunctionFacts::default(), total_steps: 0 }
+    }
+
+    /// Explores the function whose body starts at `entry`, returning the
+    /// gathered facts. The initial stack holds one free symbol (the
+    /// selector word the dispatcher leaves behind).
+    pub fn explore(mut self, entry: usize) -> FunctionFacts {
+        let residue = self.intern("dispatch-residue");
+        let init = PathState {
+            pc: entry,
+            stack: vec![residue],
+            memory: SymMemory::new(),
+            visits: HashMap::new(),
+            steps: 0,
+        };
+        let mut worklist = vec![init];
+        let mut paths = 0usize;
+        while let Some(state) = worklist.pop() {
+            if paths >= self.config.max_paths || self.total_steps >= self.config.max_total_steps
+            {
+                break;
+            }
+            paths += 1;
+            self.run_path(state, &mut worklist);
+        }
+        self.facts.paths_explored = paths;
+        self.facts
+    }
+
+    fn intern(&mut self, key: &str) -> Rc<Expr> {
+        let id = match self.syms.get(key) {
+            Some(&id) => id,
+            None => {
+                let id = self.next_sym;
+                self.next_sym += 1;
+                self.syms.insert(key.to_string(), id);
+                id
+            }
+        };
+        Rc::new(Expr::FreeSym(id))
+    }
+
+    fn fresh(&mut self, tag: &str, pc: usize) -> Rc<Expr> {
+        self.intern(&format!("{tag}:{pc}"))
+    }
+
+    fn run_path(&mut self, mut st: PathState, worklist: &mut Vec<PathState>) {
+        loop {
+            if st.steps >= self.config.max_steps_per_path
+                || self.total_steps >= self.config.max_total_steps
+            {
+                return;
+            }
+            let Some(ins) = self.disasm.at(st.pc) else {
+                return; // ran off the end: implicit STOP
+            };
+            st.steps += 1;
+            self.total_steps += 1;
+            let op = ins.opcode;
+            let next_pc = ins.next_pc();
+            let push_val = ins.push_value();
+            match self.step(&mut st, op, push_val, next_pc, worklist) {
+                Flow::Continue(pc) => st.pc = pc,
+                Flow::End => return,
+            }
+        }
+    }
+
+    fn step(
+        &mut self,
+        st: &mut PathState,
+        op: Opcode,
+        push_val: Option<U256>,
+        next_pc: usize,
+        worklist: &mut Vec<PathState>,
+    ) -> Flow {
+        use Opcode::*;
+        let pc = st.pc;
+        macro_rules! pop {
+            () => {
+                match st.stack.pop() {
+                    Some(v) => v,
+                    None => return Flow::End,
+                }
+            };
+        }
+        match op {
+            Stop | Return | Revert | SelfDestruct | Invalid(_) => return Flow::End,
+            Push(_) => st.stack.push(Expr::constant(push_val.unwrap_or(U256::ZERO))),
+            Pop => {
+                pop!();
+            }
+            Dup(n) => {
+                let n = n as usize;
+                if st.stack.len() < n {
+                    return Flow::End;
+                }
+                let v = Rc::clone(&st.stack[st.stack.len() - n]);
+                st.stack.push(v);
+            }
+            Swap(n) => {
+                let n = n as usize;
+                if st.stack.len() < n + 1 {
+                    return Flow::End;
+                }
+                let top = st.stack.len() - 1;
+                st.stack.swap(top, top - n);
+            }
+            JumpDest => {}
+            Add | Sub | Mul | Div | SDiv | Mod | SMod | Exp | And | Or | Xor | Lt | Gt | SLt
+            | SGt | Eq => {
+                let a = pop!();
+                let b = pop!();
+                let bop = binop_of(op);
+                self.record_binop_uses(pc, bop, &a, &b);
+                st.stack.push(bin(bop, a, b));
+            }
+            Shl | Shr | Sar => {
+                let amount = pop!();
+                let value = pop!();
+                let bop = binop_of(op);
+                // Generalised mask rules (§7: one rule per *semantics*, not
+                // per instruction sequence): a shift pair is a mask.
+                //   SHR(SHL(x,k),k)  == AND(x, low_mask(256-k))
+                //   SHL(SHR(x,k),k)  == AND(x, high_mask(256-k))
+                //   SAR(SHL(x,k),k)  == SIGNEXTEND((256-k)/8 - 1, x)
+                if let (Some(k), Expr::Binary(inner_op, x, k2)) = (amount.as_const(), &*value) {
+                    if k2.as_const() == Some(k) && x.depends_on_calldata() {
+                        if let Some(kk) = k.as_u64() {
+                            if kk > 0 && kk < 256 && kk % 8 == 0 {
+                                match (op, inner_op) {
+                                    (Shr, BinOp::Shl) => self.add_use(
+                                        pc,
+                                        x,
+                                        Usage::MaskAnd(U256::low_mask(256 - kk as u32)),
+                                    ),
+                                    (Shl, BinOp::Shr) => self.add_use(
+                                        pc,
+                                        x,
+                                        Usage::MaskAnd(U256::high_mask(256 - kk as u32)),
+                                    ),
+                                    (Sar, BinOp::Shl) => self.add_use(
+                                        pc,
+                                        x,
+                                        Usage::SignExtendFrom((256 - kk) / 8 - 1),
+                                    ),
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                if op == Sar && !matches!(&*value, Expr::Binary(BinOp::Shl, ..)) {
+                    self.record_signed_use(pc, &value);
+                }
+                st.stack.push(bin(bop, value, amount));
+            }
+            Byte => {
+                let idx = pop!();
+                let value = pop!();
+                if value.depends_on_calldata() {
+                    self.add_use(pc, &value, Usage::ByteExtract);
+                }
+                st.stack.push(bin(BinOp::Byte, value, idx));
+            }
+            SignExtend => {
+                let idx = pop!();
+                let value = pop!();
+                if let (Some(b), true) = (idx.eval().and_then(|v| v.as_u64()), value.depends_on_calldata()) {
+                    self.add_use(pc, &value, Usage::SignExtendFrom(b));
+                }
+                st.stack.push(bin(BinOp::SignExtend, value, idx));
+            }
+            IsZero => {
+                let a = pop!();
+                // EQ(x, 0) is ISZERO in disguise — the generalised form of
+                // the double-negation bool hint (R14).
+                let negated_calldata = match &*a {
+                    Expr::Unary(UnOp::IsZero, inner) => Some(inner),
+                    Expr::Binary(BinOp::Eq, x, z)
+                        if z.as_const() == Some(U256::ZERO) && x.depends_on_calldata() =>
+                    {
+                        Some(x)
+                    }
+                    Expr::Binary(BinOp::Eq, z, x)
+                        if z.as_const() == Some(U256::ZERO) && x.depends_on_calldata() =>
+                    {
+                        Some(x)
+                    }
+                    _ => None,
+                };
+                if let Some(inner) = negated_calldata {
+                    if inner.depends_on_calldata() {
+                        self.add_use(pc, inner, Usage::DoubleIsZero);
+                    }
+                }
+                st.stack.push(un(UnOp::IsZero, a));
+            }
+            Not => {
+                let a = pop!();
+                st.stack.push(un(UnOp::Not, a));
+            }
+            AddMod | MulMod => {
+                pop!();
+                pop!();
+                pop!();
+                let s = self.fresh("modmath", pc);
+                st.stack.push(s);
+            }
+            Keccak256 => {
+                pop!();
+                pop!();
+                let s = self.fresh("keccak", pc);
+                st.stack.push(s);
+            }
+            CallDataLoad => {
+                let loc = pop!();
+                let value = Rc::new(Expr::CalldataWord(Rc::clone(&loc)));
+                self.facts.add_load(LoadFact { pc, loc, value: Rc::clone(&value) });
+                st.stack.push(value);
+            }
+            CallDataSize => st.stack.push(Rc::new(Expr::CalldataSize)),
+            CallDataCopy => {
+                let dst = pop!();
+                let src = pop!();
+                let len = pop!();
+                st.memory.record_copy(
+                    dst.eval().and_then(|v| v.as_u64()),
+                    Rc::clone(&src),
+                    len.eval(),
+                );
+                self.facts.add_copy(CopyFact { pc, dst, src, len });
+            }
+            MLoad => {
+                let addr = pop!();
+                let value = match addr.eval().and_then(|v| v.as_u64()) {
+                    Some(a) => st
+                        .memory
+                        .load_word(a)
+                        .unwrap_or_else(|| self.intern(&format!("mem:{a}"))),
+                    None => self.intern(&format!("mem?:{}", addr.key())),
+                };
+                st.stack.push(value);
+            }
+            MStore => {
+                let addr = pop!();
+                let value = pop!();
+                st.memory.store_word(addr.eval().and_then(|v| v.as_u64()), value);
+            }
+            MStore8 => {
+                pop!();
+                pop!();
+            }
+            SLoad => {
+                let key = pop!();
+                let s = self.intern(&format!("sload:{}", key.key()));
+                st.stack.push(s);
+            }
+            SStore => {
+                pop!();
+                pop!();
+            }
+            Address | Origin | Caller | CallValue | GasPrice | Coinbase | Timestamp | Number
+            | Difficulty | GasLimit | ChainId | SelfBalance | BaseFee | ReturnDataSize => {
+                let s = self.intern(&op.mnemonic());
+                st.stack.push(s);
+            }
+            MSize | Gas | Pc => {
+                let s = self.fresh(&op.mnemonic(), pc);
+                st.stack.push(s);
+            }
+            Balance | ExtCodeSize | ExtCodeHash | BlockHash => {
+                pop!();
+                let s = self.fresh(&op.mnemonic(), pc);
+                st.stack.push(s);
+            }
+            CodeSize => st.stack.push(Expr::c64(0)),
+            CodeCopy | ReturnDataCopy | ExtCodeCopy => {
+                for _ in 0..op.stack_in() {
+                    pop!();
+                }
+            }
+            Log(n) => {
+                for _ in 0..(2 + n as usize) {
+                    pop!();
+                }
+            }
+            Create | Create2 | Call | CallCode | DelegateCall | StaticCall => {
+                for _ in 0..op.stack_in() {
+                    pop!();
+                }
+                let s = self.fresh("call", pc);
+                st.stack.push(s);
+            }
+            Jump => {
+                let target = pop!();
+                return self.take_jump(st, &target);
+            }
+            JumpI => {
+                let target = pop!();
+                let cond = pop!();
+                self.record_guard(pc, &cond);
+                let Some(t) = target.eval().and_then(|v| v.as_usize()) else {
+                    self.facts.hit_symbolic_jump = true;
+                    return Flow::End;
+                };
+                if !self.disasm.is_jumpdest(t) {
+                    // Taking the jump would fault; only fallthrough is viable.
+                    return Flow::Continue(next_pc);
+                }
+                match cond.eval() {
+                    Some(c) if !c.is_zero() => return self.enter_block(st, t),
+                    Some(_) => return Flow::Continue(next_pc),
+                    None => {
+                        let forks = st.visits.entry(pc).or_insert(0);
+                        if *forks < self.config.fork_limit_per_block {
+                            *forks += 1;
+                            // Fork: queue the fallthrough, continue with the jump.
+                            let mut other = st.clone();
+                            other.pc = next_pc;
+                            worklist.push(other);
+                            return self.enter_block(st, t);
+                        }
+                        // Over budget: take the larger-pc branch (loop exit).
+                        let chosen = t.max(next_pc);
+                        return if chosen == next_pc {
+                            Flow::Continue(next_pc)
+                        } else {
+                            self.enter_block(st, chosen)
+                        };
+                    }
+                }
+            }
+        }
+        Flow::Continue(next_pc)
+    }
+
+    fn take_jump(&mut self, st: &mut PathState, target: &Rc<Expr>) -> Flow {
+        match target.eval().and_then(|v| v.as_usize()) {
+            Some(t) if self.disasm.is_jumpdest(t) => self.enter_block(st, t),
+            Some(_) => Flow::End,
+            None => {
+                self.facts.hit_symbolic_jump = true;
+                Flow::End
+            }
+        }
+    }
+
+    fn enter_block(&mut self, st: &mut PathState, target: usize) -> Flow {
+        let v = st.visits.entry(target).or_insert(0);
+        *v += 1;
+        if *v > self.config.block_visit_limit {
+            return Flow::End;
+        }
+        Flow::Continue(target)
+    }
+
+    /// Records a comparison-shaped guard condition (ISZERO wrappers
+    /// stripped), skipping calldatasize well-formedness checks.
+    fn record_guard(&mut self, pc: usize, cond: &Rc<Expr>) {
+        let mut base = cond;
+        while let Expr::Unary(UnOp::IsZero, inner) = &**base {
+            base = inner;
+        }
+        if let Expr::Binary(op, ..) = &**base {
+            if matches!(op, BinOp::Lt | BinOp::Gt | BinOp::SLt | BinOp::SGt)
+                && !base.depends_on_calldatasize()
+            {
+                self.facts.add_guard(GuardFact {
+                    pc,
+                    cond: Rc::clone(base),
+                    loop_exit_pc: self.loop_exits.get(&pc).copied(),
+                });
+            }
+        }
+    }
+
+    fn add_use(&mut self, pc: usize, expr: &Rc<Expr>, usage: Usage) {
+        let keys: Vec<String> = expr.calldata_locs().iter().map(|l| l.key()).collect();
+        if keys.is_empty() {
+            return;
+        }
+        self.facts.add_use(UseFact { pc, keys, usage });
+    }
+
+    fn record_signed_use(&mut self, pc: usize, value: &Rc<Expr>) {
+        if value.depends_on_calldata() {
+            self.add_use(pc, value, Usage::SignedOp);
+        }
+    }
+
+    fn record_binop_uses(&mut self, pc: usize, op: BinOp, a: &Rc<Expr>, b: &Rc<Expr>) {
+        match op {
+            BinOp::And => {
+                if let (Some(m), true) = (a.as_const(), b.depends_on_calldata()) {
+                    self.add_use(pc, b, Usage::MaskAnd(m));
+                }
+                if let (Some(m), true) = (b.as_const(), a.depends_on_calldata()) {
+                    self.add_use(pc, a, Usage::MaskAnd(m));
+                }
+            }
+            BinOp::SDiv | BinOp::SMod => {
+                self.record_signed_use(pc, a);
+                self.record_signed_use(pc, b);
+            }
+            BinOp::SLt | BinOp::SGt => {
+                // Vyper range check shape: value (first operand) compared
+                // against a constant bound.
+                if a.depends_on_calldata() {
+                    match b.as_const() {
+                        Some(c) => self.add_use(pc, a, Usage::RangeSigned(c)),
+                        None => self.record_signed_use(pc, a),
+                    }
+                }
+            }
+            BinOp::Lt | BinOp::Gt => {
+                // Vyper range checks compare the *value* (first operand)
+                // against a constant bound. The bound side of an array
+                // bound check (`i < num`) is calldata-derived too but must
+                // not be misread as a range check, so only the value side
+                // is recorded.
+                if a.depends_on_calldata() && !a.depends_on_calldatasize() {
+                    if let Some(c) = b.as_const() {
+                        self.add_use(pc, a, Usage::RangeUnsigned(c));
+                    }
+                }
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::Exp => {
+                // R16's discriminator: arithmetic on a *masked* value. A raw
+                // calldata word fed to ADD is usually pointer arithmetic
+                // (offset + 4, base + i×32), which carries no type signal.
+                if contains_masked_calldata(a) {
+                    self.add_use(pc, a, Usage::Arithmetic);
+                }
+                if contains_masked_calldata(b) {
+                    self.add_use(pc, b, Usage::Arithmetic);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+enum Flow {
+    Continue(usize),
+    End,
+}
+
+/// True if the expression contains a calldata-derived value that has been
+/// masked (`AND` with a constant) — the shape of a typed basic value, as
+/// opposed to pointer arithmetic on raw offset words.
+fn contains_masked_calldata(e: &Rc<Expr>) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        match n {
+            Expr::Binary(BinOp::And, x, y) => {
+                let masked = (x.as_const().is_some() && y.depends_on_calldata())
+                    || (y.as_const().is_some() && x.depends_on_calldata());
+                if masked {
+                    found = true;
+                }
+            }
+            // Shift-pair masks (the generalised rule shapes).
+            Expr::Binary(BinOp::Shr, v, k) | Expr::Binary(BinOp::Shl, v, k) => {
+                if let (Expr::Binary(BinOp::Shl | BinOp::Shr, x, k2), Some(kc)) =
+                    (&**v, k.as_const())
+                {
+                    if k2.as_const() == Some(kc) && x.depends_on_calldata() {
+                        found = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+    found
+}
+
+fn binop_of(op: Opcode) -> BinOp {
+    match op {
+        Opcode::Add => BinOp::Add,
+        Opcode::Sub => BinOp::Sub,
+        Opcode::Mul => BinOp::Mul,
+        Opcode::Div => BinOp::Div,
+        Opcode::SDiv => BinOp::SDiv,
+        Opcode::Mod => BinOp::Mod,
+        Opcode::SMod => BinOp::SMod,
+        Opcode::Exp => BinOp::Exp,
+        Opcode::And => BinOp::And,
+        Opcode::Or => BinOp::Or,
+        Opcode::Xor => BinOp::Xor,
+        Opcode::Lt => BinOp::Lt,
+        Opcode::Gt => BinOp::Gt,
+        Opcode::SLt => BinOp::SLt,
+        Opcode::SGt => BinOp::SGt,
+        Opcode::Eq => BinOp::Eq,
+        Opcode::Shl => BinOp::Shl,
+        Opcode::Shr => BinOp::Shr,
+        Opcode::Sar => BinOp::Sar,
+        other => unreachable!("binop_of({other})"),
+    }
+}
+
+/// Statically detects loop-head guards: a `JUMPI` whose constant forward
+/// target `e` encloses (strictly between the guard and `e`) a constant
+/// backward jump to at or before the guard.
+fn detect_loop_guards(disasm: &Disassembly) -> HashMap<usize, usize> {
+    let instrs = disasm.instructions();
+    // Collect constant jumps: (jump pc, target).
+    let mut const_jumps = Vec::new();
+    for (i, ins) in instrs.iter().enumerate() {
+        if matches!(ins.opcode, Opcode::Jump | Opcode::JumpI) && i > 0 {
+            if let Some(t) = instrs[i - 1].push_value().and_then(|v| v.as_usize()) {
+                const_jumps.push((ins.pc, t));
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    for &(g, e) in &const_jumps {
+        if e <= g {
+            continue; // not a forward guard
+        }
+        let is_jumpi = matches!(disasm.at(g).map(|i| i.opcode), Some(Opcode::JumpI));
+        if !is_jumpi {
+            continue;
+        }
+        let has_back_edge = const_jumps
+            .iter()
+            .any(|&(j, t)| j > g && j < e && t <= g);
+        if has_back_edge {
+            out.insert(g, e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_evm::{Assembler, Opcode as Op};
+
+    fn explore(code: &[u8], entry: usize) -> FunctionFacts {
+        let d = Disassembly::new(code);
+        Tase::new(&d, TaseConfig::default()).explore(entry)
+    }
+
+    #[test]
+    fn records_basic_load_and_mask() {
+        // CALLDATALOAD(4); AND 0xff; POP; STOP
+        let mut a = Assembler::new();
+        a.push_u64(4).op(Op::CallDataLoad);
+        a.push_u64(0xff).op(Op::And).op(Op::Pop).op(Op::Stop);
+        let f = explore(&a.assemble(), 0);
+        assert_eq!(f.loads.len(), 1);
+        assert_eq!(f.loads[0].loc.eval(), Some(U256::from(4u64)));
+        assert!(f
+            .uses
+            .iter()
+            .any(|u| u.usage == Usage::MaskAnd(U256::from(0xffu64))));
+    }
+
+    #[test]
+    fn forks_on_symbolic_condition() {
+        // cond = CALLDATALOAD(4); JUMPI over a second load.
+        let mut a = Assembler::new();
+        let skip = a.fresh_label();
+        a.push_u64(4).op(Op::CallDataLoad);
+        a.push_label(skip).op(Op::JumpI);
+        a.push_u64(36).op(Op::CallDataLoad).op(Op::Pop);
+        a.jumpdest(skip).op(Op::Stop);
+        let f = explore(&a.assemble(), 0);
+        // Both paths explored: the load at 36 is seen on the fallthrough.
+        assert_eq!(f.loads.len(), 2);
+        assert!(f.paths_explored >= 2);
+    }
+
+    #[test]
+    fn stops_at_symbolic_jump_target() {
+        // JUMP to a calldata-derived target.
+        let mut a = Assembler::new();
+        a.push_u64(0).op(Op::CallDataLoad).op(Op::Jump);
+        let f = explore(&a.assemble(), 0);
+        assert!(f.hit_symbolic_jump);
+    }
+
+    #[test]
+    fn concrete_loop_unrolls_without_fork() {
+        // for (i = 0; i < 3; i++) CALLDATALOAD(4 + i*32);
+        let mut a = Assembler::new();
+        let head = a.fresh_label();
+        let exit = a.fresh_label();
+        a.push_u64(0);
+        a.jumpdest(head);
+        a.op(Op::Dup(1)).push_u64(3).op(Op::Swap(1)).op(Op::Lt);
+        a.op(Op::IsZero).push_label(exit).op(Op::JumpI);
+        a.op(Op::Dup(1)).push_u64(32).op(Op::Mul).push_u64(4).op(Op::Add);
+        a.op(Op::CallDataLoad).op(Op::Pop);
+        a.push_u64(1).op(Op::Add);
+        a.push_label(head).op(Op::Jump);
+        a.jumpdest(exit).op(Op::Pop).op(Op::Stop);
+        let f = explore(&a.assemble(), 0);
+        // One load pc (deduplicated), structure retains the ×32.
+        assert_eq!(f.loads.len(), 1);
+        assert!(f.loads[0].loc.contains_mul_by(32));
+        assert_eq!(f.paths_explored, 1);
+        // The loop guard is recorded and detected as a loop head.
+        assert_eq!(f.guards.len(), 1);
+        assert!(f.guards[0].loop_exit_pc.is_some());
+    }
+
+    #[test]
+    fn symbolic_loop_forks_bounded() {
+        // while (i < CALLDATALOAD(4)) { CALLDATALOAD(36 + i*32); i++ }
+        let mut a = Assembler::new();
+        let head = a.fresh_label();
+        let exit = a.fresh_label();
+        a.push_u64(0);
+        a.jumpdest(head);
+        a.push_u64(4).op(Op::CallDataLoad); // bound
+        a.op(Op::Dup(2)).op(Op::Lt); // i < bound
+        a.op(Op::IsZero).push_label(exit).op(Op::JumpI);
+        a.op(Op::Dup(1)).push_u64(32).op(Op::Mul).push_u64(36).op(Op::Add);
+        a.op(Op::CallDataLoad).op(Op::Pop);
+        a.push_u64(1).op(Op::Add);
+        a.push_label(head).op(Op::Jump);
+        a.jumpdest(exit).op(Op::Pop).op(Op::Stop);
+        let f = explore(&a.assemble(), 0);
+        // Terminates despite the symbolic bound, records the guard with a
+        // loop exit and the item load with the offsetful location.
+        assert!(f.guards.iter().any(|g| g.loop_exit_pc.is_some()));
+        assert!(f.loads.iter().any(|l| l.loc.contains_mul_by(32)));
+        assert!(f.paths_explored <= TaseConfig::default().max_paths);
+    }
+
+    #[test]
+    fn mload_from_copied_region_synthesises_calldata() {
+        // CALLDATACOPY(0x80, 36, 64); MLOAD(0xa0); AND 0xff.
+        let mut a = Assembler::new();
+        a.push_u64(64).push_u64(36).push_u64(0x80).op(Op::CallDataCopy);
+        a.push_u64(0xa0).op(Op::MLoad);
+        a.push_u64(0xff).op(Op::And).op(Op::Pop).op(Op::Stop);
+        let f = explore(&a.assemble(), 0);
+        assert_eq!(f.copies.len(), 1);
+        let mask = f
+            .uses
+            .iter()
+            .find(|u| u.usage == Usage::MaskAnd(U256::from(0xffu64)))
+            .expect("mask use on copied element");
+        // The use keys point at calldata position 36+32 = 68 = 0x44.
+        assert!(mask.keys.iter().any(|k| k.contains("0x44")), "{:?}", mask.keys);
+    }
+
+    #[test]
+    fn double_iszero_detected() {
+        let mut a = Assembler::new();
+        a.push_u64(4).op(Op::CallDataLoad);
+        a.op(Op::IsZero).op(Op::IsZero).op(Op::Pop).op(Op::Stop);
+        let f = explore(&a.assemble(), 0);
+        assert!(f.uses.iter().any(|u| u.usage == Usage::DoubleIsZero));
+    }
+
+    #[test]
+    fn sload_interned_per_slot() {
+        // Two SLOAD(0) must be the same symbol; SLOAD(1) a different one.
+        let mut a = Assembler::new();
+        a.push_u64(0).op(Op::SLoad);
+        a.push_u64(0).op(Op::SLoad);
+        a.op(Op::Eq).op(Op::Pop);
+        a.push_u64(1).op(Op::SLoad).op(Op::Pop).op(Op::Stop);
+        let d = Disassembly::new(&a.assemble());
+        let t = Tase::new(&d, TaseConfig::default());
+        let f = t.explore(0);
+        let _ = f; // interning is observable via guard/use expressions; this
+                   // test mainly asserts clean termination.
+    }
+
+    #[test]
+    fn calldatasize_guard_not_recorded() {
+        let mut a = Assembler::new();
+        let ok = a.fresh_label();
+        a.push_u64(3).op(Op::CallDataSize).op(Op::Gt);
+        a.push_label(ok).op(Op::JumpI);
+        a.push_u64(0).push_u64(0).op(Op::Revert);
+        a.jumpdest(ok).op(Op::Stop);
+        let f = explore(&a.assemble(), 0);
+        assert!(f.guards.is_empty());
+    }
+
+    #[test]
+    fn bound_check_guard_recorded() {
+        // LT(SLOAD(0), 5) guard before a load.
+        let mut a = Assembler::new();
+        let ok = a.fresh_label();
+        a.push_u64(5);
+        a.push_u64(0).op(Op::SLoad);
+        a.op(Op::Lt);
+        a.push_label(ok).op(Op::JumpI);
+        a.push_u64(0).push_u64(0).op(Op::Revert);
+        a.jumpdest(ok);
+        a.push_u64(4).op(Op::CallDataLoad).op(Op::Pop).op(Op::Stop);
+        let f = explore(&a.assemble(), 0);
+        assert_eq!(f.guards.len(), 1);
+        assert!(f.guards[0].loop_exit_pc.is_none(), "revert guard is not a loop");
+        assert!(matches!(&*f.guards[0].cond, Expr::Binary(BinOp::Lt, ..)));
+    }
+}

@@ -1,0 +1,598 @@
+//! Symbolic expressions over the call data.
+//!
+//! TASE (type-aware symbolic execution) treats the call data as symbolic and
+//! maintains, for every stack and memory value, an expression describing how
+//! it was computed (§4.2 of the paper). The rules R1–R31 are *structural*
+//! predicates over these expressions — e.g. R2's "`exp(loc)` contains the
+//! offset field" or "`exp(loc)` contains a multiplication by 32" — so
+//! [`Expr`] deliberately preserves the full operation tree rather than
+//! constant-folding it away. Concrete evaluation is available separately
+//! through [`Expr::eval`].
+
+use sigrec_evm::U256;
+use std::fmt;
+use std::rc::Rc;
+
+/// Binary operators appearing in symbolic expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    SDiv,
+    Mod,
+    SMod,
+    Exp,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    Byte,
+    SignExtend,
+    Lt,
+    Gt,
+    SLt,
+    SGt,
+    Eq,
+}
+
+/// Unary operators appearing in symbolic expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    IsZero,
+    Not,
+}
+
+/// A symbolic 256-bit value.
+///
+/// `Shl`/`Shr`/`Sar`/`Byte`/`SignExtend` are normalised to
+/// `(value, amount)` operand order regardless of EVM stack order.
+///
+/// Expressions form a *DAG*: `DUP`ed stack values share subtrees via `Rc`,
+/// so a 20-level offset chain is linear in memory even though its tree
+/// expansion is exponential. Every recursive operation here (equality,
+/// containment, walking, evaluation) is therefore DAG-aware — shared nodes
+/// are visited once — keeping deep nested-array analysis linear (the
+/// Fig. 18 experiment runs to dimension 20). Equality is by 64-bit
+/// structural hash; see [`Expr::dag_hash`].
+#[derive(Clone)]
+pub enum Expr {
+    /// A compile-time constant.
+    Const(U256),
+    /// `CALLDATALOAD(loc)`: 32 bytes of call data at a (possibly symbolic)
+    /// location.
+    CalldataWord(Rc<Expr>),
+    /// `CALLDATASIZE`.
+    CalldataSize,
+    /// A free symbol: an environment read, storage load, external call
+    /// result, hash, or unresolvable memory read. The id is unique per
+    /// *source* (interned), so two loads of the same storage slot yield the
+    /// same symbol.
+    FreeSym(u32),
+    /// A binary operation.
+    Binary(BinOp, Rc<Expr>, Rc<Expr>),
+    /// A unary operation.
+    Unary(UnOp, Rc<Expr>),
+}
+
+impl Expr {
+    /// Shared constant zero.
+    pub fn zero() -> Rc<Expr> {
+        Rc::new(Expr::Const(U256::ZERO))
+    }
+
+    /// Wraps a `u64` constant.
+    pub fn c64(v: u64) -> Rc<Expr> {
+        Rc::new(Expr::Const(U256::from(v)))
+    }
+
+    /// Wraps a [`U256`] constant.
+    pub fn constant(v: U256) -> Rc<Expr> {
+        Rc::new(Expr::Const(v))
+    }
+
+    /// The constant value, if this node is a constant.
+    pub fn as_const(&self) -> Option<U256> {
+        match self {
+            Expr::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Fully evaluates the expression if every leaf is constant
+    /// (DAG-aware: shared nodes evaluate once).
+    pub fn eval(&self) -> Option<U256> {
+        fn go(e: &Expr, memo: &mut std::collections::HashMap<usize, Option<U256>>) -> Option<U256> {
+            let key = e as *const Expr as usize;
+            if let Some(v) = memo.get(&key) {
+                return *v;
+            }
+            let v = match e {
+                Expr::Const(v) => Some(*v),
+                Expr::CalldataWord(_) | Expr::CalldataSize | Expr::FreeSym(_) => None,
+                Expr::Unary(op, a) => go(a, memo).map(|a| match op {
+                    UnOp::IsZero => {
+                        if a.is_zero() {
+                            U256::ONE
+                        } else {
+                            U256::ZERO
+                        }
+                    }
+                    UnOp::Not => !a,
+                }),
+                Expr::Binary(op, a, b) => match (go(a, memo), go(b, memo)) {
+                    (Some(a), Some(b)) => Some(apply_binop(*op, a, b)),
+                    _ => None,
+                },
+            };
+            memo.insert(key, v);
+            v
+        }
+        go(self, &mut std::collections::HashMap::new())
+    }
+
+    /// A 64-bit structural hash, memoised over the expression DAG. Two
+    /// structurally equal expressions hash equally; collisions between
+    /// distinct expressions are possible in principle (2⁻⁶⁴-ish per pair)
+    /// and accepted — this backs `PartialEq`, `contains`, and `key`.
+    pub fn dag_hash(&self) -> u64 {
+        hash_into(self, &mut std::collections::HashMap::new(), &mut |_, _| {})
+    }
+
+    /// True if any subexpression is a `CALLDATALOAD` (the value depends on
+    /// the call data beyond its size).
+    pub fn depends_on_calldata(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::CalldataWord(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if any subexpression is `CALLDATASIZE`.
+    pub fn depends_on_calldatasize(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::CalldataSize) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Collects the location expressions of every `CALLDATALOAD` node,
+    /// outermost first (an inner load inside another load's location is
+    /// also reported).
+    pub fn calldata_locs(&self) -> Vec<Rc<Expr>> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::CalldataWord(loc) = e {
+                out.push(Rc::clone(loc));
+            }
+        });
+        out
+    }
+
+    /// Collects every free-symbol id in the expression.
+    pub fn free_syms(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::FreeSym(id) = e {
+                out.push(*id);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if the expression contains a multiplication by the constant
+    /// `k` anywhere (rule R2's `exp(loc) ∘ (32×)` check).
+    pub fn contains_mul_by(&self, k: u64) -> bool {
+        let kc = U256::from(k);
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let Expr::Binary(BinOp::Mul, a, b) = e {
+                if a.as_const() == Some(kc) || b.as_const() == Some(kc) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// True if `needle` occurs as a subexpression (structural equality by
+    /// DAG hash — rule notation `exp(p) ∘ q`). Single bottom-up pass:
+    /// hashes are computed once per distinct node.
+    pub fn contains(&self, needle: &Expr) -> bool {
+        let target = needle.dag_hash();
+        let mut memo = std::collections::HashMap::new();
+        let mut found = false;
+        hash_into(self, &mut memo, &mut |h, _| {
+            if h == target {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if some `CalldataWord` node *other than* `needle` has `needle`
+    /// inside its location — i.e. there is an intermediate load between
+    /// this expression and `needle`. The complement of the rules' "one
+    /// level" relation, computed in one bottom-up pass: each node carries
+    /// (hash, contains-needle), and an intermediate load is a calldata word
+    /// whose own hash differs from the needle's while its location contains
+    /// it.
+    pub fn has_load_between(&self, needle: &Expr) -> bool {
+        let target = needle.dag_hash();
+        fn go(
+            e: &Expr,
+            target: u64,
+            memo: &mut std::collections::HashMap<usize, (u64, bool)>,
+            bad: &mut bool,
+        ) -> (u64, bool) {
+            let key = e as *const Expr as usize;
+            if let Some(&r) = memo.get(&key) {
+                return r;
+            }
+            let (h, below) = match e {
+                Expr::CalldataWord(loc) => {
+                    let (lh, lc) = go(loc, target, memo, bad);
+                    let h = crate::expr::mix(2, lh);
+                    if h != target && lc {
+                        *bad = true;
+                    }
+                    (h, lc)
+                }
+                Expr::Const(_) | Expr::CalldataSize | Expr::FreeSym(_) => {
+                    (hash_into(e, &mut std::collections::HashMap::new(), &mut |_, _| {}), false)
+                }
+                Expr::Unary(op, a) => {
+                    let (ah, ac) = go(a, target, memo, bad);
+                    (mix(mix(5, *op as u64), ah), ac)
+                }
+                Expr::Binary(op, a, b) => {
+                    let (ah, ac) = go(a, target, memo, bad);
+                    let (bh, bc) = go(b, target, memo, bad);
+                    (mix(mix(mix(6, *op as u64), ah), bh), ac || bc)
+                }
+            };
+            let contains = below || h == target;
+            memo.insert(key, (h, contains));
+            (h, contains)
+        }
+        let mut bad = false;
+        go(self, target, &mut std::collections::HashMap::new(), &mut bad);
+        bad
+    }
+
+    /// The sum of all constant addends reachable through `Add` nodes from
+    /// the root — e.g. `(CDW(4) + 36) + i*32` yields 36. Used to strip the
+    /// selector/num skip from item locations.
+    pub fn const_addend(&self) -> U256 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Binary(BinOp::Add, a, b) => a.const_addend() + b.const_addend(),
+            _ => U256::ZERO,
+        }
+    }
+
+    /// Visits every *distinct* node of the expression DAG (pre-order;
+    /// shared subtrees are visited once).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        fn go(e: &Expr, seen: &mut std::collections::HashSet<usize>, f: &mut impl FnMut(&Expr)) {
+            if !seen.insert(e as *const Expr as usize) {
+                return;
+            }
+            f(e);
+            match e {
+                Expr::CalldataWord(loc) => go(loc, seen, f),
+                Expr::Unary(_, a) => go(a, seen, f),
+                Expr::Binary(_, a, b) => {
+                    go(a, seen, f);
+                    go(b, seen, f);
+                }
+                _ => {}
+            }
+        }
+        go(self, &mut std::collections::HashSet::new(), f)
+    }
+
+    /// A stable textual key for this expression, used to match `Use` facts
+    /// against `Load` facts: constants render as hex (so positional keys
+    /// stay parseable), everything else keys by structural hash.
+    pub fn key(&self) -> String {
+        match self {
+            Expr::Const(v) => format!("0x{:x}", v),
+            other => format!("e{:016x}", other.dag_hash()),
+        }
+    }
+}
+
+/// Post-order hash of every distinct DAG node, memoised in `memo` (keyed
+/// by node address) and reported to `visit` as `(hash, node)` — once per
+/// distinct node.
+fn mix(mut h: u64, v: u64) -> u64 {
+    h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+fn hash_into(
+    e: &Expr,
+    memo: &mut std::collections::HashMap<usize, u64>,
+    visit: &mut impl FnMut(u64, &Expr),
+) -> u64 {
+    let key = e as *const Expr as usize;
+    if let Some(&h) = memo.get(&key) {
+        return h;
+    }
+    let h = match e {
+        Expr::Const(v) => {
+            let l = v.limbs();
+            mix(mix(mix(mix(1, l[0]), l[1]), l[2]), l[3])
+        }
+        Expr::CalldataWord(loc) => mix(2, hash_into(loc, memo, visit)),
+        Expr::CalldataSize => mix(3, 0),
+        Expr::FreeSym(id) => mix(4, *id as u64),
+        Expr::Unary(op, a) => mix(mix(5, *op as u64), hash_into(a, memo, visit)),
+        Expr::Binary(op, a, b) => mix(
+            mix(mix(6, *op as u64), hash_into(a, memo, visit)),
+            hash_into(b, memo, visit),
+        ),
+    };
+    memo.insert(key, h);
+    visit(h, e);
+    h
+}
+
+/// Applies a binary operator to concrete values with EVM semantics.
+pub fn apply_binop(op: BinOp, a: U256, b: U256) -> U256 {
+    let truth = |t: bool| if t { U256::ONE } else { U256::ZERO };
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::SDiv => a.signed_div(b),
+        BinOp::Mod => a % b,
+        BinOp::SMod => a.signed_rem(b),
+        BinOp::Exp => a.wrapping_pow(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        // Normalised (value, amount) order.
+        BinOp::Shl => a << b,
+        BinOp::Shr => a >> b,
+        BinOp::Sar => a.sar(b),
+        BinOp::Byte => a.byte(b),
+        BinOp::SignExtend => a.sign_extend(b),
+        BinOp::Lt => truth(a < b),
+        BinOp::Gt => truth(a > b),
+        BinOp::SLt => truth(a.signed_cmp(&b).is_lt()),
+        BinOp::SGt => truth(a.signed_cmp(&b).is_gt()),
+        BinOp::Eq => truth(a == b),
+    }
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self, other) || self.dag_hash() == other.dag_hash()
+    }
+}
+
+impl Eq for Expr {}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &Expr, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if depth > 12 {
+                // Deep shared DAGs expand exponentially as trees; summarise.
+                return write!(f, "…e{:08x}", e.dag_hash() as u32);
+            }
+            match e {
+                Expr::Const(v) => write!(f, "0x{:x}", *v),
+                Expr::CalldataWord(loc) => {
+                    write!(f, "cd[")?;
+                    go(loc, depth + 1, f)?;
+                    write!(f, "]")
+                }
+                Expr::CalldataSize => write!(f, "cdsize"),
+                Expr::FreeSym(id) => write!(f, "sym{}", id),
+                Expr::Unary(op, a) => {
+                    write!(f, "{:?}(", op)?;
+                    go(a, depth + 1, f)?;
+                    write!(f, ")")
+                }
+                Expr::Binary(op, a, b) => {
+                    write!(f, "(")?;
+                    go(a, depth + 1, f)?;
+                    write!(f, " {:?} ", op)?;
+                    go(b, depth + 1, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self, 0, f)
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Builds a binary node, folding when both operands are constants and the
+/// operator is *location-irrelevant folding-safe*. Additions of constants
+/// are folded so concrete memory addresses stay computable; `Mul` is left
+/// structural (the ×32 evidence rules R2/R7 key on), except `0 × k` which
+/// cannot carry evidence anyway — it is still kept structural for
+/// first-iteration loop bodies.
+pub fn bin(op: BinOp, a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        // Mul stays structural (the ×32 evidence of R2/R7); comparisons
+        // stay structural so concrete loop guards (`i < 3` with a concrete
+        // counter) remain visible to the rules. Everything else folds so
+        // memory addresses stay computable.
+        let keep = matches!(
+            op,
+            BinOp::Mul | BinOp::Lt | BinOp::Gt | BinOp::SLt | BinOp::SGt
+        );
+        if !keep {
+            return Rc::new(Expr::Const(apply_binop(op, x, y)));
+        }
+        let _ = (x, y);
+    }
+    Rc::new(Expr::Binary(op, a, b))
+}
+
+/// Builds a unary node with constant folding.
+pub fn un(op: UnOp, a: Rc<Expr>) -> Rc<Expr> {
+    if let Some(x) = a.as_const() {
+        let v = match op {
+            UnOp::IsZero => {
+                if x.is_zero() {
+                    U256::ONE
+                } else {
+                    U256::ZERO
+                }
+            }
+            UnOp::Not => !x,
+        };
+        return Rc::new(Expr::Const(v));
+    }
+    Rc::new(Expr::Unary(op, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdw(loc: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::CalldataWord(loc))
+    }
+
+    #[test]
+    fn eval_folds_constants() {
+        let e = bin(BinOp::Add, Expr::c64(4), Expr::c64(38));
+        assert_eq!(e.as_const(), Some(U256::from(42u64)));
+        let m = bin(BinOp::Mul, Expr::c64(6), Expr::c64(7));
+        // Mul stays structural but still evaluates.
+        assert!(m.as_const().is_none());
+        assert_eq!(m.eval(), Some(U256::from(42u64)));
+    }
+
+    #[test]
+    fn eval_none_on_symbols() {
+        let e = bin(BinOp::Add, cdw(Expr::c64(4)), Expr::c64(1));
+        assert_eq!(e.eval(), None);
+        assert!(e.depends_on_calldata());
+    }
+
+    #[test]
+    fn mul_structure_preserved_with_zero_counter() {
+        // First loop iteration: i = 0, loc = 4 + 0*32. The ×32 evidence
+        // must survive.
+        let loc = bin(
+            BinOp::Add,
+            Expr::c64(4),
+            bin(BinOp::Mul, Expr::zero(), Expr::c64(32)),
+        );
+        assert!(loc.contains_mul_by(32));
+        assert_eq!(loc.eval(), Some(U256::from(4u64)));
+    }
+
+    #[test]
+    fn contains_subexpression() {
+        let offset = cdw(Expr::c64(4));
+        let loc = bin(BinOp::Add, Rc::clone(&offset), Expr::c64(36));
+        assert!(loc.contains(&offset));
+        assert!(!loc.contains(&Expr::CalldataSize));
+    }
+
+    #[test]
+    fn calldata_locs_collects_nested() {
+        // cd[cd[4] + 4]: outer load's loc contains an inner load.
+        let inner = cdw(Expr::c64(4));
+        let loc = bin(BinOp::Add, inner, Expr::c64(4));
+        let outer = cdw(loc);
+        let locs = outer.calldata_locs();
+        assert_eq!(locs.len(), 2);
+    }
+
+    #[test]
+    fn free_syms_dedup() {
+        let s = Rc::new(Expr::FreeSym(3));
+        let e = bin(BinOp::Add, Rc::clone(&s), bin(BinOp::Mul, s, Expr::c64(32)));
+        assert_eq!(e.free_syms(), vec![3]);
+    }
+
+    #[test]
+    fn const_addend_sums_through_adds() {
+        let e = bin(
+            BinOp::Add,
+            bin(BinOp::Add, cdw(Expr::c64(4)), Expr::c64(36)),
+            bin(BinOp::Mul, Rc::new(Expr::FreeSym(0)), Expr::c64(32)),
+        );
+        assert_eq!(e.const_addend(), U256::from(36u64));
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinguish() {
+        let e = bin(BinOp::Add, cdw(Expr::c64(4)), Expr::c64(1));
+        assert_eq!(e.key(), e.key());
+        // Structurally equal expressions built separately share a key.
+        let e2 = bin(BinOp::Add, cdw(Expr::c64(4)), Expr::c64(1));
+        assert_eq!(e.key(), e2.key());
+        // Constants keep their parseable hex form.
+        assert_eq!(Expr::c64(0x44).key(), "0x44");
+        // Different expressions get different keys.
+        let other = bin(BinOp::Add, cdw(Expr::c64(36)), Expr::c64(1));
+        assert_ne!(e.key(), other.key());
+    }
+
+    #[test]
+    fn dag_sharing_stays_cheap() {
+        // s_{k+1} = s_k + cd[s_k]: tree size 2^k, DAG size k. All core
+        // operations must finish instantly at depth 64.
+        let mut s = cdw(Expr::c64(4));
+        for _ in 0..64 {
+            let loaded = cdw(Rc::clone(&s));
+            s = bin(BinOp::Add, Rc::clone(&s), loaded);
+        }
+        assert!(s.depends_on_calldata());
+        assert!(!s.depends_on_calldatasize());
+        assert_eq!(s.dag_hash(), s.dag_hash());
+        assert!(s.contains(&Expr::CalldataWord(Expr::c64(4))));
+        let _ = s.key();
+        let _ = format!("{}", s);
+        assert!(s.eval().is_none());
+    }
+
+    #[test]
+    fn apply_binop_signed_cases() {
+        let neg1 = U256::MAX;
+        assert_eq!(apply_binop(BinOp::SLt, neg1, U256::ONE), U256::ONE);
+        assert_eq!(apply_binop(BinOp::SGt, neg1, U256::ONE), U256::ZERO);
+        assert_eq!(apply_binop(BinOp::Lt, neg1, U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn unary_folding() {
+        assert_eq!(un(UnOp::IsZero, Expr::zero()).as_const(), Some(U256::ONE));
+        assert_eq!(
+            un(UnOp::IsZero, un(UnOp::IsZero, Expr::c64(7))).as_const(),
+            Some(U256::ONE)
+        );
+        let sym = Rc::new(Expr::FreeSym(1));
+        assert!(un(UnOp::IsZero, sym).as_const().is_none());
+    }
+}

@@ -1,0 +1,364 @@
+//! Function-id extraction from the dispatcher.
+//!
+//! A compiled contract begins with a dispatcher that loads the first
+//! calldata word, moves the 4-byte selector to the low end (`DIV 2²²⁴` or
+//! `SHR 224`), and compares it against each function id, jumping to the
+//! body on a match. SigRec extracts the `(id, entry)` pairs by symbolically
+//! walking this prologue: at each `JUMPI` whose condition is
+//! `EQ(selector_expr, constant)`, it records the pair and continues down
+//! the not-taken chain.
+
+use crate::expr::{bin, un, BinOp, Expr, UnOp};
+use sigrec_abi::Selector;
+use sigrec_evm::{Disassembly, Opcode, U256};
+use std::rc::Rc;
+
+/// A dispatch table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DispatchEntry {
+    /// The 4-byte function id compared against.
+    pub selector: Selector,
+    /// pc of the function body (a `JUMPDEST`).
+    pub entry: usize,
+}
+
+/// Walks the dispatcher and returns the dispatch table.
+///
+/// Unknown values (environment reads, memory) become opaque symbols. The
+/// walk follows fallthrough at selector `EQ` comparisons and *forks* at
+/// selector range splits (`LT`/`GT` on the selector — solc's binary-search
+/// dispatch for contracts with many functions), stopping each branch at a
+/// terminator or after `max_steps`.
+pub fn extract_dispatch(disasm: &Disassembly) -> Vec<DispatchEntry> {
+    let mut out = Vec::new();
+    let mut worklist: Vec<(usize, Vec<Rc<Expr>>)> = vec![(0, Vec::new())];
+    let mut forked: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut branches = 0;
+    while let Some((start_pc, start_stack)) = worklist.pop() {
+        branches += 1;
+        if branches > 64 {
+            break;
+        }
+        walk_chain(disasm, start_pc, start_stack, &mut out, &mut worklist, &mut forked);
+    }
+    // Deduplicate (a selector reachable via two forks) preserving order.
+    let mut seen = std::collections::HashSet::new();
+    out.retain(|e: &DispatchEntry| seen.insert(e.selector));
+    out
+}
+
+fn walk_chain(
+    disasm: &Disassembly,
+    start_pc: usize,
+    start_stack: Vec<Rc<Expr>>,
+    out: &mut Vec<DispatchEntry>,
+    worklist: &mut Vec<(usize, Vec<Rc<Expr>>)>,
+    forked: &mut std::collections::HashSet<usize>,
+) {
+    let mut stack = start_stack;
+    let mut pc = start_pc;
+    let mut steps = 0;
+    let mut next_sym = 0u32;
+    let max_steps = 100_000;
+    while steps < max_steps {
+        steps += 1;
+        let Some(ins) = disasm.at(pc) else { break };
+        let op = ins.opcode;
+        let next_pc = ins.next_pc();
+        use Opcode::*;
+        match op {
+            Stop | Return | Revert | SelfDestruct | Invalid(_) => break,
+            Push(_) => stack.push(Expr::constant(ins.push_value().unwrap_or(U256::ZERO))),
+            Pop => {
+                if stack.pop().is_none() {
+                    break;
+                }
+            }
+            Dup(n) => {
+                let n = n as usize;
+                if stack.len() < n {
+                    break;
+                }
+                let v = Rc::clone(&stack[stack.len() - n]);
+                stack.push(v);
+            }
+            Swap(n) => {
+                let n = n as usize;
+                if stack.len() < n + 1 {
+                    break;
+                }
+                let top = stack.len() - 1;
+                stack.swap(top, top - n);
+            }
+            JumpDest => {}
+            CallDataLoad => {
+                let Some(loc) = stack.pop() else { break };
+                stack.push(Rc::new(Expr::CalldataWord(loc)));
+            }
+            CallDataSize => stack.push(Rc::new(Expr::CalldataSize)),
+            IsZero => {
+                let Some(a) = stack.pop() else { break };
+                stack.push(un(UnOp::IsZero, a));
+            }
+            Not => {
+                let Some(a) = stack.pop() else { break };
+                stack.push(un(UnOp::Not, a));
+            }
+            Add | Sub | Mul | Div | Mod | And | Or | Xor | Lt | Gt | Eq | SDiv | SMod | Exp
+            | SLt | SGt => {
+                let (Some(a), Some(b)) = (stack.pop(), stack.pop()) else { break };
+                let bop = match op {
+                    Add => BinOp::Add,
+                    Sub => BinOp::Sub,
+                    Mul => BinOp::Mul,
+                    Div => BinOp::Div,
+                    Mod => BinOp::Mod,
+                    And => BinOp::And,
+                    Or => BinOp::Or,
+                    Xor => BinOp::Xor,
+                    Lt => BinOp::Lt,
+                    Gt => BinOp::Gt,
+                    Eq => BinOp::Eq,
+                    SDiv => BinOp::SDiv,
+                    SMod => BinOp::SMod,
+                    Exp => BinOp::Exp,
+                    SLt => BinOp::SLt,
+                    SGt => BinOp::SGt,
+                    _ => unreachable!(),
+                };
+                stack.push(bin(bop, a, b));
+            }
+            Shl | Shr | Sar => {
+                let (Some(amount), Some(value)) = (stack.pop(), stack.pop()) else { break };
+                let bop = match op {
+                    Shl => BinOp::Shl,
+                    Shr => BinOp::Shr,
+                    _ => BinOp::Sar,
+                };
+                stack.push(bin(bop, value, amount));
+            }
+            Jump => {
+                let Some(t) = stack.pop() else { break };
+                match t.eval().and_then(|v| v.as_usize()) {
+                    Some(t) if disasm.is_jumpdest(t) => {
+                        pc = t;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            JumpI => {
+                let (Some(target), Some(cond)) = (stack.pop(), stack.pop()) else { break };
+                if let Some((sel, entry)) = selector_comparison(&cond, &target, disasm) {
+                    out.push(DispatchEntry { selector: sel, entry });
+                    // Continue down the "no match" chain.
+                    pc = next_pc;
+                    continue;
+                }
+                // A selector range split (binary-search dispatch): explore
+                // both halves — queue the jump target, continue inline.
+                if is_selector_range_split(&cond) {
+                    if let Some(t) = target.eval().and_then(|v| v.as_usize()) {
+                        if disasm.is_jumpdest(t) && forked.insert(pc) {
+                            worklist.push((t, stack.clone()));
+                        }
+                    }
+                    pc = next_pc;
+                    continue;
+                }
+                match cond.eval() {
+                    Some(c) if !c.is_zero() => {
+                        match target.eval().and_then(|v| v.as_usize()) {
+                            Some(t) if disasm.is_jumpdest(t) => {
+                                pc = t;
+                                continue;
+                            }
+                            _ => break,
+                        }
+                    }
+                    // Symbolic or false: take the fallthrough (non-selector
+                    // guards in prologues typically jump to aborts).
+                    _ => {
+                        pc = next_pc;
+                        continue;
+                    }
+                }
+            }
+            _ => {
+                // Any other instruction: pop its inputs, push opaque symbols.
+                for _ in 0..op.stack_in() {
+                    if stack.pop().is_none() {
+                        break;
+                    }
+                }
+                for _ in 0..op.stack_out() {
+                    next_sym += 1;
+                    stack.push(Rc::new(Expr::FreeSym(1_000_000 + next_sym)));
+                }
+            }
+        }
+        pc = next_pc;
+    }
+}
+
+/// A comparison of the selector against a constant (possibly `ISZERO`-
+/// negated) — the shape of solc's binary-search dispatcher splits.
+fn is_selector_range_split(cond: &Rc<Expr>) -> bool {
+    let mut base = cond;
+    while let Expr::Unary(UnOp::IsZero, inner) = &**base {
+        base = inner;
+    }
+    match &**base {
+        Expr::Binary(BinOp::Lt | BinOp::Gt, a, b) => {
+            (is_selector_shaped(a) && b.as_const().is_some())
+                || (is_selector_shaped(b) && a.as_const().is_some())
+        }
+        _ => false,
+    }
+}
+
+/// Recognises `EQ(selector_expr, const)` (either operand order) where the
+/// selector expression is the dispatch idiom: `SHR`/`DIV` applied to
+/// `CALLDATALOAD(0)`. Returns the selector and the (constant) jump target.
+fn selector_comparison(
+    cond: &Rc<Expr>,
+    target: &Rc<Expr>,
+    disasm: &Disassembly,
+) -> Option<(Selector, usize)> {
+    let Expr::Binary(BinOp::Eq, a, b) = &**cond else { return None };
+    let (sel_expr, constant) = match (a.as_const(), b.as_const()) {
+        (Some(c), None) => (b, c),
+        (None, Some(c)) => (a, c),
+        _ => return None,
+    };
+    if !is_selector_shaped(sel_expr) {
+        return None;
+    }
+    let id = constant.as_u64()?;
+    let id = u32::try_from(id).ok()?;
+    let t = target.eval()?.as_usize()?;
+    if !disasm.is_jumpdest(t) {
+        return None;
+    }
+    Some((Selector::from_u32(id), t))
+}
+
+/// The selector idiom: `SHR(cd[0], 224)` or `DIV(cd[0], 2²²⁴)`, possibly
+/// wrapped in an `AND` mask.
+fn is_selector_shaped(e: &Rc<Expr>) -> bool {
+    match &**e {
+        Expr::Binary(BinOp::Shr, v, amount) => {
+            loads_word_zero(v) && amount.as_const() == Some(U256::from(224u64))
+        }
+        Expr::Binary(BinOp::Div, v, d) => {
+            loads_word_zero(v) && d.as_const() == Some(U256::ONE << 224u32)
+        }
+        Expr::Binary(BinOp::And, a, b) => is_selector_shaped(a) || is_selector_shaped(b),
+        _ => false,
+    }
+}
+
+fn loads_word_zero(e: &Rc<Expr>) -> bool {
+    matches!(&**e, Expr::CalldataWord(loc) if loc.as_const() == Some(U256::ZERO))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_abi::FunctionSignature;
+    use sigrec_solc::{compile, CompilerConfig, FunctionSpec, SolcVersion, Visibility};
+
+    fn specs(decls: &[&str]) -> Vec<FunctionSpec> {
+        decls
+            .iter()
+            .map(|d| {
+                FunctionSpec::new(FunctionSignature::parse(d).unwrap(), Visibility::External)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extracts_all_selectors_shr() {
+        let fns = specs(&["transfer(address,uint256)", "balanceOf(address)", "totalSupply()"]);
+        let contract = compile(&fns, &CompilerConfig::default());
+        let d = Disassembly::new(&contract.code);
+        let table = extract_dispatch(&d);
+        assert_eq!(table.len(), 3);
+        let sels: Vec<String> = table.iter().map(|e| e.selector.to_string()).collect();
+        assert!(sels.contains(&"0xa9059cbb".to_string()));
+        assert!(sels.contains(&"0x70a08231".to_string()));
+        assert!(sels.contains(&"0x18160ddd".to_string()));
+    }
+
+    #[test]
+    fn extracts_selectors_div_dispatch() {
+        let fns = specs(&["f(uint256)", "g(bool)"]);
+        let cfg = CompilerConfig::new(SolcVersion::V0_4_24, false);
+        let contract = compile(&fns, &cfg);
+        let table = extract_dispatch(&Disassembly::new(&contract.code));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn entries_point_at_jumpdests() {
+        let fns = specs(&["a()", "b()", "c()", "d()"]);
+        let contract = compile(&fns, &CompilerConfig::default());
+        let d = Disassembly::new(&contract.code);
+        for e in extract_dispatch(&d) {
+            assert!(d.is_jumpdest(e.entry));
+        }
+    }
+
+    #[test]
+    fn binary_search_dispatch_fully_extracted() {
+        // >8 functions triggers solc-style LT range splitting.
+        let fns = specs(&[
+            "a0(uint8)", "a1(bool)", "a2(address)", "a3(uint256)", "a4(bytes4)",
+            "a5(uint16)", "a6(int8)", "a7(bytes32)", "a8(uint32)", "a9(uint64)",
+            "aa(int256)", "ab(uint128)",
+        ]);
+        let contract = compile(&fns, &CompilerConfig::default());
+        let table = extract_dispatch(&Disassembly::new(&contract.code));
+        assert_eq!(table.len(), 12, "every half of the split must be walked");
+        for f in &fns {
+            assert!(
+                table.iter().any(|e| e.selector == f.signature.selector),
+                "{} missing",
+                f.signature.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn binary_dispatch_recovers_end_to_end() {
+        use crate::pipeline::SigRec;
+        let fns = specs(&[
+            "b0(uint8)", "b1(bool,address)", "b2(uint256[])", "b3(bytes)", "b4(string)",
+            "b5(uint16,uint16)", "b6(int64)", "b7(bytes8)", "b8(uint32[2])", "b9(address)",
+        ]);
+        let contract = compile(&fns, &CompilerConfig::default());
+        let rec = SigRec::new().recover(&contract.code);
+        assert_eq!(rec.len(), 10);
+        for f in &fns {
+            let hit = rec.iter().find(|r| r.selector == f.signature.selector).unwrap();
+            assert!(
+                f.signature.matches(&hit.signature()),
+                "{} recovered as {}",
+                f.signature.canonical(),
+                hit.signature().canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_code_yields_no_entries() {
+        assert!(extract_dispatch(&Disassembly::new(&[])).is_empty());
+    }
+
+    #[test]
+    fn non_dispatcher_code_yields_no_entries() {
+        // Plain arithmetic program without a dispatcher.
+        let code = [0x60, 0x01, 0x60, 0x02, 0x01, 0x50, 0x00];
+        assert!(extract_dispatch(&Disassembly::new(&code)).is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Facts gathered by type-aware symbolic execution.
+//!
+//! The executor reduces each explored function to a small set of *facts*:
+//! which calldata locations were loaded (`CALLDATALOAD`), which regions were
+//! copied (`CALLDATACOPY`), which comparisons guarded execution, and which
+//! type-revealing operations touched calldata-derived values. The inference
+//! engine (rules R1–R31) consumes only these facts.
+
+use crate::expr::Expr;
+use sigrec_evm::U256;
+use std::rc::Rc;
+
+/// One `CALLDATALOAD` observed during execution.
+#[derive(Clone, Debug)]
+pub struct LoadFact {
+    /// pc of the instruction.
+    pub pc: usize,
+    /// Symbolic location read.
+    pub loc: Rc<Expr>,
+    /// The resulting value node (`CalldataWord(loc)`).
+    pub value: Rc<Expr>,
+}
+
+/// One `CALLDATACOPY` observed during execution.
+#[derive(Clone, Debug)]
+pub struct CopyFact {
+    /// pc of the instruction.
+    pub pc: usize,
+    /// Memory destination.
+    pub dst: Rc<Expr>,
+    /// Calldata source.
+    pub src: Rc<Expr>,
+    /// Byte length.
+    pub len: Rc<Expr>,
+}
+
+/// A comparison-shaped `JUMPI` guard executed on some path.
+///
+/// Captures both explicit bound checks (`i < N` before an array access) and
+/// loop guards (`i < num` at a loop head). `exit_pc` is the forward jump
+/// target when the guard is a detected loop head, enabling pc-range
+/// governance for facts inside the loop body.
+#[derive(Clone, Debug)]
+pub struct GuardFact {
+    /// pc of the `JUMPI`.
+    pub pc: usize,
+    /// The comparison condition (with any `ISZERO` wrappers stripped).
+    pub cond: Rc<Expr>,
+    /// Forward target of the loop-exit branch when this guard heads a
+    /// detected natural loop.
+    pub loop_exit_pc: Option<usize>,
+}
+
+/// A type-revealing operation applied to a calldata-derived value.
+#[derive(Clone, Debug)]
+pub struct UseFact {
+    /// pc of the instruction.
+    pub pc: usize,
+    /// Keys (stable renderings) of the `CALLDATALOAD` locations appearing
+    /// in the used value — links the usage back to specific loads.
+    pub keys: Vec<String>,
+    /// What was done to the value.
+    pub usage: Usage,
+}
+
+/// Classification of a type-revealing usage (the fine-grained hints behind
+/// rules R11–R18 and R26–R31).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Usage {
+    /// `AND` with a constant mask (R11 low masks, R12 high masks, R16
+    /// address mask).
+    MaskAnd(U256),
+    /// `SIGNEXTEND` from byte index `b` (R13).
+    SignExtendFrom(u64),
+    /// Two consecutive `ISZERO`s (R14).
+    DoubleIsZero,
+    /// `BYTE` extraction (R18 / R26 / R31).
+    ByteExtract,
+    /// A signed operation with no recognisable range constant (R15).
+    SignedOp,
+    /// Unsigned comparison against a constant (Vyper range checks: R27
+    /// address, R30 bool).
+    RangeUnsigned(U256),
+    /// Signed comparison against a constant (Vyper range checks: R28
+    /// int128, R29 decimal).
+    RangeSigned(U256),
+    /// Plain arithmetic involvement (`ADD`/`SUB`/`MUL`/`DIV`/…) — the R16
+    /// uint160-vs-address discriminator.
+    Arithmetic,
+}
+
+/// Everything TASE learned about one function.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionFacts {
+    /// Calldata loads, deduplicated by pc (first occurrence kept).
+    pub loads: Vec<LoadFact>,
+    /// Calldata copies, deduplicated by pc.
+    pub copies: Vec<CopyFact>,
+    /// Comparison guards, deduplicated by pc.
+    pub guards: Vec<GuardFact>,
+    /// Type-revealing usages (not deduplicated; the same pc may touch
+    /// different keys across paths).
+    pub uses: Vec<UseFact>,
+    /// True if some path was cut short at an input-dependent jump target
+    /// (the paper notes only 5 deployed contracts do this).
+    pub hit_symbolic_jump: bool,
+    /// Paths fully explored.
+    pub paths_explored: usize,
+}
+
+impl FunctionFacts {
+    /// Records a load unless one at the same pc exists.
+    pub fn add_load(&mut self, fact: LoadFact) {
+        if !self.loads.iter().any(|f| f.pc == fact.pc) {
+            self.loads.push(fact);
+        }
+    }
+
+    /// Records a copy unless one at the same pc exists.
+    pub fn add_copy(&mut self, fact: CopyFact) {
+        if !self.copies.iter().any(|f| f.pc == fact.pc) {
+            self.copies.push(fact);
+        }
+    }
+
+    /// Records a guard unless one at the same pc exists.
+    pub fn add_guard(&mut self, fact: GuardFact) {
+        if !self.guards.iter().any(|f| f.pc == fact.pc) {
+            self.guards.push(fact);
+        }
+    }
+
+    /// Records a usage unless an identical (pc, usage, keys) entry exists.
+    pub fn add_use(&mut self, fact: UseFact) {
+        if !self
+            .uses
+            .iter()
+            .any(|f| f.pc == fact.pc && f.usage == fact.usage && f.keys == fact.keys)
+        {
+            self.uses.push(fact);
+        }
+    }
+
+    /// All usages whose key set mentions `key`.
+    pub fn uses_of<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a UseFact> + 'a {
+        self.uses.iter().filter(move |u| u.keys.iter().any(|k| k == key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn load_dedup_by_pc() {
+        let mut f = FunctionFacts::default();
+        let loc = Expr::c64(4);
+        let val = Rc::new(Expr::CalldataWord(Rc::clone(&loc)));
+        f.add_load(LoadFact { pc: 10, loc: Rc::clone(&loc), value: Rc::clone(&val) });
+        f.add_load(LoadFact { pc: 10, loc, value: val });
+        assert_eq!(f.loads.len(), 1);
+    }
+
+    #[test]
+    fn uses_of_filters_by_key() {
+        let mut f = FunctionFacts::default();
+        f.add_use(UseFact { pc: 1, keys: vec!["0x4".into()], usage: Usage::DoubleIsZero });
+        f.add_use(UseFact { pc: 2, keys: vec!["0x24".into()], usage: Usage::Arithmetic });
+        assert_eq!(f.uses_of("0x4").count(), 1);
+        assert_eq!(f.uses_of("0x24").count(), 1);
+        assert_eq!(f.uses_of("0x44").count(), 0);
+    }
+
+    #[test]
+    fn use_dedup_exact() {
+        let mut f = FunctionFacts::default();
+        let u = UseFact { pc: 1, keys: vec!["k".into()], usage: Usage::ByteExtract };
+        f.add_use(u.clone());
+        f.add_use(u);
+        assert_eq!(f.uses.len(), 1);
+        f.add_use(UseFact { pc: 1, keys: vec!["k2".into()], usage: Usage::ByteExtract });
+        assert_eq!(f.uses.len(), 2);
+    }
+}

@@ -1,0 +1,819 @@
+//! The inference engine: rules R1–R31 over TASE facts.
+//!
+//! Implements the paper's four-step TASE pipeline (§4.2): coarse-grained
+//! classification (dynamic/static/basic, via the CALLDATALOAD and
+//! CALLDATACOPY rules), parameter counting and ordering by calldata
+//! position, parameter-identity propagation (done structurally through the
+//! expressions themselves), and fine-grained refinement (masks, sign
+//! extensions, range checks, byte accesses).
+
+use crate::expr::{BinOp, Expr};
+use crate::facts::{CopyFact, FunctionFacts, LoadFact, Usage};
+use crate::rules::RuleId;
+use sigrec_abi::AbiType;
+use sigrec_evm::U256;
+use std::rc::Rc;
+
+/// The source language TASE believes produced the bytecode (rule R20).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Language {
+    /// Mask-based access patterns.
+    Solidity,
+    /// Comparison-based range checks / fixed-size copies.
+    Vyper,
+}
+
+/// The recovered parameter list of one function.
+#[derive(Clone, Debug)]
+pub struct RecoveredParams {
+    /// Parameter types in calldata order.
+    pub params: Vec<AbiType>,
+    /// Detected source language.
+    pub language: Language,
+    /// Rules applied, in application order (duplicates meaningful: one
+    /// entry per application, for the Fig. 19 statistics).
+    pub rules: Vec<RuleId>,
+}
+
+/// Runs inference over one function's facts.
+pub fn infer(facts: &FunctionFacts) -> RecoveredParams {
+    Inference::new(facts).run()
+}
+
+struct Candidate {
+    /// Absolute calldata position of the parameter's head (≥ 4).
+    start: u64,
+    ty: AbiType,
+}
+
+struct Inference<'a> {
+    facts: &'a FunctionFacts,
+    rules: Vec<RuleId>,
+    vyper: bool,
+}
+
+impl<'a> Inference<'a> {
+    fn new(facts: &'a FunctionFacts) -> Self {
+        Inference { facts, rules: Vec::new(), vyper: false }
+    }
+
+    fn run(mut self) -> RecoveredParams {
+        let mut candidates: Vec<Candidate> = Vec::new();
+
+        // Group loads by location key (the same slot is often read several
+        // times at different pcs).
+        let groups = group_loads(&self.facts.loads);
+
+        // Offset markers: constant-location loads whose value word is used
+        // as a base for further loads or copies.
+        let mut marker_keys: Vec<String> = Vec::new();
+        for g in &groups {
+            let Some(pos) = g.const_pos else { continue };
+            if pos < 4 {
+                continue;
+            }
+            if self.is_offset_marker(&g.value) {
+                marker_keys.push(g.loc.key());
+                let ty = self.classify_offset_param(&g.value);
+                candidates.push(Candidate { start: pos, ty });
+            }
+        }
+
+        // Public static arrays: constant-source copies.
+        let mut static_copy_ranges: Vec<(u64, u64)> = Vec::new();
+        for copy in &self.facts.copies {
+            if copy.src.depends_on_calldata() {
+                continue;
+            }
+            let base = copy.src.const_addend().as_u64().unwrap_or(0);
+            let Some(len) = copy.len.eval().and_then(|v| v.as_u64()) else { continue };
+            if base < 4 || len == 0 || len % 32 != 0 {
+                continue;
+            }
+            let loop_bounds = self.loop_bounds_for(copy);
+            let mut dims: Vec<u64> = Vec::new();
+            let mut dynamic_outer = false;
+            for b in &loop_bounds {
+                match b {
+                    Bound::Const(n) => dims.push(*n),
+                    Bound::Dynamic => dynamic_outer = true,
+                }
+            }
+            dims.push(len / 32);
+            let total: u64 = dims.iter().product::<u64>() * 32;
+            let element = self.refine_region_element(base, base + total.max(len));
+            let mut ty = element;
+            for &d in dims.iter().rev() {
+                ty = AbiType::Array(Box::new(ty), d as usize);
+            }
+            if dynamic_outer {
+                // Should not happen for constant sources, but keep sane.
+                ty = AbiType::DynArray(Box::new(ty));
+            }
+            self.rules.push(if loop_bounds.is_empty() { RuleId::R6 } else { RuleId::R9 });
+            static_copy_ranges.push((base, base + total.max(len)));
+            candidates.push(Candidate { start: base, ty });
+        }
+
+        // External static arrays: symbolic-location loads without any
+        // calldata word inside (R3 / Vyper R24).
+        let mut seen_bases: Vec<u64> = Vec::new();
+        for g in &groups {
+            if g.const_pos.is_some() || g.loc.depends_on_calldata() {
+                continue;
+            }
+            let syms = g.loc.free_syms();
+            if syms.is_empty() {
+                continue;
+            }
+            let base = g.loc.const_addend().as_u64().unwrap_or(0);
+            if base < 4 || seen_bases.contains(&base) {
+                continue;
+            }
+            seen_bases.push(base);
+            let bounds = self.const_guard_bounds(&syms);
+            if bounds.is_empty() {
+                // A symbolic read with no bound checks: no array evidence.
+                let (ty, _) = self.refine_basic_key(&g.loc.key());
+                self.rules.push(RuleId::R4);
+                candidates.push(Candidate { start: base, ty });
+                continue;
+            }
+            let element = self.refine_basic_key_counted(&g.loc.key());
+            let mut ty = element;
+            for &d in bounds.iter().rev() {
+                ty = AbiType::Array(Box::new(ty), d as usize);
+            }
+            self.rules.push(RuleId::R3);
+            candidates.push(Candidate { start: base, ty });
+        }
+
+        // Basic parameters: remaining constant-location loads.
+        for g in &groups {
+            let Some(pos) = g.const_pos else { continue };
+            if pos < 4 || marker_keys.contains(&g.loc.key()) {
+                continue;
+            }
+            // Skip loads that fall inside a recognised static-array copy
+            // region (defensive; genuine compilers do not emit them).
+            if static_copy_ranges.iter().any(|&(s, e)| pos >= s && pos < e) {
+                continue;
+            }
+            let ty = self.refine_basic_key_counted(&g.loc.key());
+            self.rules.push(RuleId::R4);
+            candidates.push(Candidate { start: pos, ty });
+        }
+
+        candidates.sort_by_key(|c| c.start);
+        if self.vyper {
+            self.vyperise_rules();
+        }
+        RecoveredParams {
+            params: candidates.into_iter().map(|c| c.ty).collect(),
+            language: if self.vyper { Language::Vyper } else { Language::Solidity },
+            rules: std::mem::take(&mut self.rules),
+        }
+    }
+
+    /// True if `value` (a `CalldataWord` node) is used as a base for other
+    /// loads or copies — i.e. it is an offset field.
+    fn is_offset_marker(&self, value: &Rc<Expr>) -> bool {
+        self.facts.loads.iter().any(|l| l.loc.contains(value))
+            || self.facts.copies.iter().any(|c| c.src.contains(value) || c.len.contains(value))
+    }
+
+    // ---- offset-rooted (dynamic) parameters ---------------------------
+
+    /// Classifies a parameter whose offset word is `o`.
+    fn classify_offset_param(&mut self, o: &Rc<Expr>) -> AbiType {
+        let copies: Vec<&CopyFact> =
+            self.facts.copies.iter().filter(|c| c.src.contains(o)).collect();
+        if !copies.is_empty() {
+            return self.classify_copied(o, &copies);
+        }
+        self.classify_on_demand(o)
+    }
+
+    /// Public-mode and Vyper copy patterns (R5–R10, R23).
+    fn classify_copied(&mut self, o: &Rc<Expr>, copies: &[&CopyFact]) -> AbiType {
+        let copy = copies[0];
+        let num = self.find_num_value(o);
+        if num.is_some() {
+            self.rules.push(RuleId::R1);
+        }
+        if copies.len() == 1 {
+            self.rules.push(RuleId::R5);
+        }
+        if let Some(len) = copy.len.eval().and_then(|v| v.as_u64()) {
+            // Constant length.
+            if copy.src.const_addend() == U256::from(4u64) && num.is_none() {
+                // Vyper fixed-size byte array / string (R23): the copy
+                // starts at the num field itself and spans 32 + maxLen.
+                self.rules.push(RuleId::R23);
+                self.vyper = true;
+                return if self.has_byte_access(o) {
+                    self.rules.push(RuleId::R26);
+                    AbiType::Bytes
+                } else {
+                    AbiType::String
+                };
+            }
+            // Multi-dimensional dynamic array copied blockwise (R10).
+            let bounds = self.loop_bounds_for(copy);
+            let has_dyn = bounds.iter().any(|b| matches!(b, Bound::Dynamic));
+            let consts: Vec<u64> = bounds
+                .iter()
+                .filter_map(|b| match b {
+                    Bound::Const(n) => Some(*n),
+                    Bound::Dynamic => None,
+                })
+                .collect();
+            let mut dims = consts;
+            dims.push(len / 32);
+            let element = self.refine_dynamic_element(o);
+            let mut ty = element;
+            for &d in dims.iter().rev() {
+                ty = AbiType::Array(Box::new(ty), d as usize);
+            }
+            if has_dyn {
+                self.rules.push(RuleId::R10);
+                return AbiType::DynArray(Box::new(ty));
+            }
+            // Constant-length copy from an offset without loop: fall back
+            // to a one-dimensional dynamic array of that block.
+            return AbiType::DynArray(Box::new(ty));
+        }
+        // Symbolic length.
+        if contains_add_of(&copy.len, 31) {
+            // bytes/string: length rounded up to a word multiple (R8).
+            self.rules.push(RuleId::R8);
+            return if self.has_byte_access(o) {
+                self.rules.push(RuleId::R17);
+                AbiType::Bytes
+            } else {
+                AbiType::String
+            };
+        }
+        if copy.len.contains_mul_by(32) {
+            // num × 32: one-dimensional dynamic array (R7).
+            self.rules.push(RuleId::R7);
+            let element = self.refine_dynamic_element(o);
+            return AbiType::DynArray(Box::new(element));
+        }
+        AbiType::DynArray(Box::new(AbiType::Uint(256)))
+    }
+
+    /// External-mode on-demand reads (R1/R2/R17/R21/R22).
+    fn classify_on_demand(&mut self, o: &Rc<Expr>) -> AbiType {
+        let deep: Vec<&LoadFact> =
+            self.facts.loads.iter().filter(|l| l.loc.contains(o) && !Rc::ptr_eq(&l.value, o)).collect();
+        let num = self.find_num_value(o);
+        if num.is_some() {
+            self.rules.push(RuleId::R1);
+        }
+        let num_guarded = num
+            .as_ref()
+            .map(|n| self.is_guard_bound(n))
+            .unwrap_or(false);
+
+        // One-level item loads with symbolic components.
+        let items: Vec<&&LoadFact> = deep
+            .iter()
+            .filter(|l| is_one_level(&l.loc, o) && !syms_outside(&l.loc, o).is_empty())
+            .collect();
+
+        if num_guarded {
+            // Two-level chain under a num bound → nested array (R22).
+            // Checked first: a nested array's per-item *offset* reads also
+            // look like ×32 item loads.
+            if let Some(inner_marker) = self.find_inner_marker(o, &deep) {
+                self.rules.push(RuleId::R22);
+                let inner = self.classify_offset_param(&inner_marker);
+                return AbiType::DynArray(Box::new(inner));
+            }
+            // Word-granular item with ×32 → dynamic array (R2).
+            if let Some(item) = items.iter().find(|l| mul32_outside(&l.loc, o)) {
+                let syms = syms_outside(&item.loc, o);
+                let inner = self.const_guard_bounds(&syms);
+                let element = self.refine_basic_key_counted(&item.loc.key());
+                let mut ty = element;
+                for &d in inner.iter().rev() {
+                    ty = AbiType::Array(Box::new(ty), d as usize);
+                }
+                self.rules.push(RuleId::R2);
+                return AbiType::DynArray(Box::new(ty));
+            }
+            // Byte-granular item → bytes (R17).
+            if items.iter().any(|l| !mul32_outside(&l.loc, o)) {
+                self.rules.push(RuleId::R17);
+                return AbiType::Bytes;
+            }
+            return AbiType::DynArray(Box::new(AbiType::Uint(256)));
+        }
+
+        // No num bound: static-count nested array or dynamic struct.
+        if let Some(inner_marker) = self.find_inner_marker(o, &deep) {
+            // Distinguish by how the inner offsets are addressed: a
+            // symbolic index (×32) means array items; constant member
+            // slots mean a struct.
+            let marker_load = self
+                .facts
+                .loads
+                .iter()
+                .find(|l| l.value == inner_marker)
+                .expect("marker has a producing load");
+            if !syms_outside(&marker_load.loc, o).is_empty() {
+                // Static-count outer dimension (bound-checked).
+                let syms = syms_outside(&marker_load.loc, o);
+                let bounds = self.const_guard_bounds(&syms);
+                self.rules.push(RuleId::R22);
+                let inner = self.classify_offset_param(&inner_marker);
+                let n = bounds.first().copied().unwrap_or(1) as usize;
+                return AbiType::Array(Box::new(inner), n);
+            }
+            return self.classify_struct(o, &deep);
+        }
+        // Only one-level constant-slot member reads → struct of basics
+        // would be static (flattened); a lone offset with members read is
+        // still best explained as a struct.
+        if deep.iter().any(|l| is_one_level(&l.loc, o) && syms_outside(&l.loc, o).is_empty()) {
+            return self.classify_struct(o, &deep);
+        }
+        AbiType::DynArray(Box::new(AbiType::Uint(256)))
+    }
+
+    /// Dynamic struct (R21): members at constant offsets from the content
+    /// base.
+    fn classify_struct(&mut self, o: &Rc<Expr>, deep: &[&LoadFact]) -> AbiType {
+        self.rules.push(RuleId::R21);
+        // Member slot loads: one-level, constant addend, no symbols.
+        let mut slots: Vec<(u64, &LoadFact)> = deep
+            .iter()
+            .filter(|l| is_one_level(&l.loc, o) && syms_outside(&l.loc, o).is_empty())
+            .map(|l| (l.loc.const_addend().as_u64().unwrap_or(0), *l))
+            .collect();
+        slots.sort_by_key(|(k, _)| *k);
+        slots.dedup_by_key(|(k, _)| *k);
+        let mut members = Vec::new();
+        for (_, slot) in slots {
+            if self.is_offset_marker(&slot.value) {
+                let member = self.classify_offset_param(&slot.value);
+                if member.is_nested_array() {
+                    self.rules.push(RuleId::R19);
+                }
+                members.push(member);
+            } else {
+                let ty = self.refine_basic_key_counted(&slot.loc.key());
+                members.push(ty);
+            }
+        }
+        if members.is_empty() {
+            members.push(AbiType::Uint(256));
+        }
+        AbiType::Tuple(members)
+    }
+
+    /// The per-item inner offset word of a two-level chain rooted at `o`:
+    /// a load value `X` (≠ `o`) produced from a location containing `o`,
+    /// itself used as a base for further loads.
+    fn find_inner_marker(&self, o: &Rc<Expr>, deep: &[&LoadFact]) -> Option<Rc<Expr>> {
+        for l in deep {
+            if !is_one_level(&l.loc, o) {
+                continue;
+            }
+            if self.is_offset_marker(&l.value) {
+                return Some(Rc::clone(&l.value));
+            }
+        }
+        None
+    }
+
+    /// The num-field word of the structure rooted at `o`: a one-level,
+    /// symbol-free, multiplication-free load through `o`.
+    fn find_num_value(&self, o: &Rc<Expr>) -> Option<Rc<Expr>> {
+        let mut candidates: Vec<&LoadFact> = self
+            .facts
+            .loads
+            .iter()
+            .filter(|l| {
+                l.loc.contains(o)
+                    && !Rc::ptr_eq(&l.value, o)
+                    && is_one_level(&l.loc, o)
+                    && syms_outside(&l.loc, o).is_empty()
+                    && !mul32_outside(&l.loc, o)
+            })
+            .collect();
+        // Prefer one that is actually used as a bound or length.
+        candidates.sort_by_key(|l| !self.is_count_like(&l.value));
+        candidates.first().map(|l| Rc::clone(&l.value))
+    }
+
+    fn is_guard_bound(&self, v: &Rc<Expr>) -> bool {
+        self.facts.guards.iter().any(|g|
+
+            matches!(&*g.cond, Expr::Binary(BinOp::Lt, _, rhs) if **rhs == **v))
+    }
+
+    fn is_count_like(&self, v: &Rc<Expr>) -> bool {
+        self.is_guard_bound(v) || self.facts.copies.iter().any(|c| c.len.contains(v))
+    }
+
+    /// Bounds of constant guards whose left side shares a free symbol with
+    /// the item location, ordered by guard pc (outermost first).
+    fn const_guard_bounds(&self, item_syms: &[u32]) -> Vec<u64> {
+        let mut out: Vec<(usize, u64)> = Vec::new();
+        for g in &self.facts.guards {
+            let Expr::Binary(BinOp::Lt, lhs, rhs) = &*g.cond else { continue };
+            if lhs.depends_on_calldata() {
+                continue; // Vyper value range check, not a bound check
+            }
+            let Some(bound) = rhs.eval().and_then(|v| v.as_u64()) else { continue };
+            let lsyms = lhs.free_syms();
+            if lsyms.is_empty() || !lsyms.iter().all(|s| item_syms.contains(s)) {
+                continue;
+            }
+            out.push((g.pc, bound));
+        }
+        out.sort_by_key(|(pc, _)| *pc);
+        out.dedup();
+        out.into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// Loop bounds governing a copy by pc-range containment, outermost
+    /// first.
+    fn loop_bounds_for(&self, copy: &CopyFact) -> Vec<Bound> {
+        let mut out: Vec<(usize, Bound)> = Vec::new();
+        for g in &self.facts.guards {
+            let Some(exit) = g.loop_exit_pc else { continue };
+            if !(g.pc < copy.pc && copy.pc < exit) {
+                continue;
+            }
+            let Expr::Binary(BinOp::Lt, _, rhs) = &*g.cond else { continue };
+            let bound = match rhs.eval().and_then(|v| v.as_u64()) {
+                Some(b) => Bound::Const(b),
+                None => Bound::Dynamic,
+            };
+            out.push((g.pc, bound));
+        }
+        out.sort_by_key(|(pc, _)| *pc);
+        out.into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// True if some byte-granular use mentions the parameter rooted at `o`
+    /// (R17/R26/R31 evidence). The key of `o`'s own location appears in
+    /// every use of region-derived values.
+    fn has_byte_access(&self, o: &Rc<Expr>) -> bool {
+        let Expr::CalldataWord(loc) = &**o else { return false };
+        let key = loc.key();
+        self.facts
+            .uses
+            .iter()
+            .any(|u| u.usage == Usage::ByteExtract && u.keys.iter().any(|k| *k == key))
+    }
+
+    /// Refinement of a dynamic array's element type: mask-like uses whose
+    /// keys mention the parameter's offset slot (copied-region reads and
+    /// on-demand reads both embed it).
+    fn refine_dynamic_element(&mut self, o: &Rc<Expr>) -> AbiType {
+        let Expr::CalldataWord(loc) = &**o else { return AbiType::Uint(256) };
+        self.refine_basic_key_counted(&loc.key())
+    }
+
+    /// Refinement of a copied static region's element: mask-like uses whose
+    /// keys are constants within `[start, end)`.
+    fn refine_region_element(&mut self, start: u64, end: u64) -> AbiType {
+        let uses: Vec<&Usage> = self
+            .facts
+            .uses
+            .iter()
+            .filter(|u| {
+                u.keys.iter().any(|k| match parse_hex_key(k) {
+                    Some(v) => v >= start && v < end,
+                    None => false,
+                })
+            })
+            .map(|u| &u.usage)
+            .collect();
+        let (ty, rules) = refine_from_usages(&uses);
+        self.note_refinement(&rules);
+        ty
+    }
+
+    /// Refinement via uses mentioning an exact location key, with rule
+    /// accounting.
+    fn refine_basic_key_counted(&mut self, key: &str) -> AbiType {
+        let (ty, rules) = self.refine_basic_key(key);
+        self.note_refinement(&rules);
+        ty
+    }
+
+    fn refine_basic_key(&self, key: &str) -> (AbiType, Vec<RuleId>) {
+        let uses: Vec<&Usage> = self.facts.uses_of(key).map(|u| &u.usage).collect();
+        refine_from_usages(&uses)
+    }
+
+    fn note_refinement(&mut self, rules: &[RuleId]) {
+        for &r in rules {
+            if matches!(r, RuleId::R27 | RuleId::R28 | RuleId::R29 | RuleId::R30) {
+                self.vyper = true;
+            }
+            self.rules.push(r);
+        }
+    }
+
+    /// Relabels Solidity-flavoured rule applications with their Vyper
+    /// counterparts once Vyper evidence is established, and records R20.
+    fn vyperise_rules(&mut self) {
+        for r in &mut self.rules {
+            *r = match *r {
+                RuleId::R4 => RuleId::R25,
+                RuleId::R3 => RuleId::R24,
+                RuleId::R18 => RuleId::R31,
+                other => other,
+            };
+        }
+        self.rules.insert(0, RuleId::R20);
+    }
+}
+
+enum Bound {
+    Const(u64),
+    Dynamic,
+}
+
+/// Fine-grained basic-type refinement (rules R11–R18 and R26–R31).
+fn refine_from_usages(uses: &[&Usage]) -> (AbiType, Vec<RuleId>) {
+    let mut mask_low: Option<u32> = None;
+    let mut mask_high: Option<u32> = None;
+    let mut signext: Option<u64> = None;
+    let mut dbl_iszero = false;
+    let mut byte_extract = false;
+    let mut signed_op = false;
+    let mut arithmetic = false;
+    let mut range_uns: Vec<U256> = Vec::new();
+    let mut range_sgn: Vec<U256> = Vec::new();
+    for u in uses {
+        match u {
+            Usage::MaskAnd(m) => {
+                if let Some(k) = low_mask_bytes(*m) {
+                    if k < 32 {
+                        mask_low = Some(mask_low.map_or(k, |p| p.min(k)));
+                    }
+                } else if let Some(k) = high_mask_bytes(*m) {
+                    if k < 32 {
+                        mask_high = Some(mask_high.map_or(k, |p| p.min(k)));
+                    }
+                }
+            }
+            Usage::SignExtendFrom(b) => signext = Some(signext.map_or(*b, |p: u64| p.min(*b))),
+            Usage::DoubleIsZero => dbl_iszero = true,
+            Usage::ByteExtract => byte_extract = true,
+            Usage::SignedOp => signed_op = true,
+            Usage::Arithmetic => arithmetic = true,
+            Usage::RangeUnsigned(c) => range_uns.push(*c),
+            Usage::RangeSigned(c) => range_sgn.push(*c),
+        }
+    }
+    // Decision order mirrors Fig. 13's refinement paths.
+    if let Some(b) = signext {
+        if b < 31 {
+            return (AbiType::Int((8 * (b + 1)) as u16), vec![RuleId::R13]);
+        }
+    }
+    if dbl_iszero {
+        return (AbiType::Bool, vec![RuleId::R14]);
+    }
+    if let Some(k) = mask_high {
+        return (AbiType::FixedBytes(k as u8), vec![RuleId::R12]);
+    }
+    if let Some(k) = mask_low {
+        if k == 20 && !arithmetic {
+            return (AbiType::Address, vec![RuleId::R11, RuleId::R16]);
+        }
+        return (AbiType::Uint((8 * k) as u16), vec![RuleId::R11]);
+    }
+    // Vyper range checks.
+    let int128_bound = U256::ONE << 127u32;
+    let decimal_bound = int128_bound * U256::from(10_000_000_000u64);
+    for c in &range_sgn {
+        if signed_bound_matches(*c, decimal_bound) {
+            return (AbiType::Int(168), vec![RuleId::R29]);
+        }
+    }
+    for c in &range_sgn {
+        if signed_bound_matches(*c, int128_bound) {
+            return (AbiType::Int(128), vec![RuleId::R28]);
+        }
+    }
+    if signed_op || !range_sgn.is_empty() {
+        return (AbiType::Int(256), vec![RuleId::R15]);
+    }
+    for c in &range_uns {
+        if *c == U256::from(2u64) {
+            return (AbiType::Bool, vec![RuleId::R30]);
+        }
+        if *c == U256::ONE << 160u32 {
+            return (AbiType::Address, vec![RuleId::R27]);
+        }
+    }
+    if byte_extract {
+        return (AbiType::FixedBytes(32), vec![RuleId::R18]);
+    }
+    (AbiType::Uint(256), Vec::new())
+}
+
+/// `c == upper` or `c == -upper - 1` (the lower-bound constant of a signed
+/// range check).
+fn signed_bound_matches(c: U256, upper: U256) -> bool {
+    c == upper || c == upper.wrapping_neg() - U256::ONE
+}
+
+/// Matches `2^(8k) - 1` low masks, returning `k`.
+fn low_mask_bytes(m: U256) -> Option<u32> {
+    for k in 1..=32u32 {
+        if m == U256::low_mask(8 * k) {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Matches high masks of `k` bytes of `0xff`.
+fn high_mask_bytes(m: U256) -> Option<u32> {
+    for k in 1..=32u32 {
+        if m == U256::high_mask(8 * k) {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// True when no intermediate `CALLDATALOAD` sits between `loc` and `o`:
+/// every calldata word inside `loc` that contains `o` *is* `o`.
+fn is_one_level(loc: &Rc<Expr>, o: &Rc<Expr>) -> bool {
+    !loc.has_load_between(o)
+}
+
+/// Pre-order walk that does not descend into any `CalldataWord` subtree.
+/// The location of a nested load belongs to *another* value's addressing;
+/// only structure outside every load reflects how this location itself is
+/// indexed.
+fn walk_outside_loads(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    if matches!(e, Expr::CalldataWord(_)) {
+        return;
+    }
+    f(e);
+    match e {
+        Expr::Unary(_, a) => walk_outside_loads(a, f),
+        Expr::Binary(_, a, b) => {
+            walk_outside_loads(a, f);
+            walk_outside_loads(b, f);
+        }
+        _ => {}
+    }
+}
+
+/// Free symbols occurring outside every nested `CalldataWord` — the index
+/// symbols that scale *this* location (ancestor markers carry their own
+/// index symbols inside their load subtrees and must not leak here).
+fn syms_outside(loc: &Rc<Expr>, _o: &Rc<Expr>) -> Vec<u32> {
+    let mut out = Vec::new();
+    walk_outside_loads(loc, &mut |e| {
+        if let Expr::FreeSym(id) = e {
+            out.push(*id);
+        }
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Like [`Expr::contains_mul_by`]`(32)` but only outside nested loads.
+fn mul32_outside(loc: &Rc<Expr>, _o: &Rc<Expr>) -> bool {
+    let mut found = false;
+    walk_outside_loads(loc, &mut |e| {
+        if let Expr::Binary(BinOp::Mul, a, b) = e {
+            let k = U256::from(32u64);
+            if a.as_const() == Some(k) || b.as_const() == Some(k) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// True if the expression contains `x + 31` anywhere (the `bytes` padding
+/// round-up of rule R8).
+fn contains_add_of(e: &Rc<Expr>, k: u64) -> bool {
+    let kc = U256::from(k);
+    let mut found = false;
+    e.walk(&mut |n| {
+        if let Expr::Binary(BinOp::Add, a, b) = n {
+            if a.as_const() == Some(kc) || b.as_const() == Some(kc) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Parses a rendered constant key like `0x44`.
+fn parse_hex_key(k: &str) -> Option<u64> {
+    let s = k.strip_prefix("0x")?;
+    u64::from_str_radix(s, 16).ok()
+}
+
+struct LoadGroup {
+    loc: Rc<Expr>,
+    value: Rc<Expr>,
+    const_pos: Option<u64>,
+}
+
+fn group_loads(loads: &[LoadFact]) -> Vec<LoadGroup> {
+    let mut out: Vec<LoadGroup> = Vec::new();
+    for l in loads {
+        let key = l.loc.key();
+        if out.iter().any(|g| g.loc.key() == key) {
+            continue;
+        }
+        out.push(LoadGroup {
+            loc: Rc::clone(&l.loc),
+            value: Rc::clone(&l.value),
+            const_pos: l.loc.eval().and_then(|v| v.as_u64()),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refine_defaults_to_uint256() {
+        let (ty, rules) = refine_from_usages(&[]);
+        assert_eq!(ty, AbiType::Uint(256));
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    fn refine_masks() {
+        let m = Usage::MaskAnd(U256::low_mask(8));
+        let (ty, _) = refine_from_usages(&[&m]);
+        assert_eq!(ty, AbiType::Uint(8));
+        let m = Usage::MaskAnd(U256::high_mask(32));
+        let (ty, _) = refine_from_usages(&[&m]);
+        assert_eq!(ty, AbiType::FixedBytes(4));
+    }
+
+    #[test]
+    fn refine_address_vs_uint160() {
+        let m = Usage::MaskAnd(U256::low_mask(160));
+        let (ty, rules) = refine_from_usages(&[&m]);
+        assert_eq!(ty, AbiType::Address);
+        assert!(rules.contains(&RuleId::R16));
+        let a = Usage::Arithmetic;
+        let (ty, _) = refine_from_usages(&[&m, &a]);
+        assert_eq!(ty, AbiType::Uint(160));
+    }
+
+    #[test]
+    fn refine_signed() {
+        let s = Usage::SignExtendFrom(0);
+        assert_eq!(refine_from_usages(&[&s]).0, AbiType::Int(8));
+        let s = Usage::SignExtendFrom(15);
+        assert_eq!(refine_from_usages(&[&s]).0, AbiType::Int(128));
+        let s = Usage::SignedOp;
+        assert_eq!(refine_from_usages(&[&s]).0, AbiType::Int(256));
+    }
+
+    #[test]
+    fn refine_vyper_ranges() {
+        let up = Usage::RangeSigned(U256::ONE << 127u32);
+        assert_eq!(refine_from_usages(&[&up]).0, AbiType::Int(128));
+        let dec = Usage::RangeSigned((U256::ONE << 127u32) * U256::from(10_000_000_000u64));
+        assert_eq!(refine_from_usages(&[&dec]).0, AbiType::Int(168));
+        let lower =
+            Usage::RangeSigned((U256::ONE << 127u32).wrapping_neg() - U256::ONE);
+        assert_eq!(refine_from_usages(&[&lower]).0, AbiType::Int(128));
+        let b = Usage::RangeUnsigned(U256::from(2u64));
+        assert_eq!(refine_from_usages(&[&b]).0, AbiType::Bool);
+        let a = Usage::RangeUnsigned(U256::ONE << 160u32);
+        assert_eq!(refine_from_usages(&[&a]).0, AbiType::Address);
+    }
+
+    #[test]
+    fn refine_bool_and_bytes32() {
+        let z = Usage::DoubleIsZero;
+        assert_eq!(refine_from_usages(&[&z]).0, AbiType::Bool);
+        let b = Usage::ByteExtract;
+        assert_eq!(refine_from_usages(&[&b]).0, AbiType::FixedBytes(32));
+    }
+
+    #[test]
+    fn hex_key_parse() {
+        assert_eq!(parse_hex_key("0x44"), Some(0x44));
+        assert_eq!(parse_hex_key("cd[0x4]"), None);
+        assert_eq!(parse_hex_key("0xzz"), None);
+    }
+}

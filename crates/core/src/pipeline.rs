@@ -1,0 +1,306 @@
+//! SigRec's top-level pipeline (Fig. 12 of the paper).
+//!
+//! Bytecode → disassembly → dispatcher extraction → per-function TASE →
+//! rule-based inference → recovered [`FunctionSignature`]s.
+
+use crate::exec::{Tase, TaseConfig};
+use crate::extract::extract_dispatch;
+use crate::infer::{infer, Language};
+use crate::rules::RuleId;
+use sigrec_abi::{AbiType, FunctionSignature, Selector};
+use sigrec_evm::Disassembly;
+use std::time::{Duration, Instant};
+
+/// One recovered function.
+#[derive(Clone, Debug)]
+pub struct RecoveredFunction {
+    /// The function id found in the dispatcher.
+    pub selector: Selector,
+    /// pc of the function body.
+    pub entry: usize,
+    /// Recovered parameter types in order.
+    pub params: Vec<AbiType>,
+    /// Detected source language (rule R20).
+    pub language: Language,
+    /// Rules applied while recovering this function.
+    pub rules: Vec<RuleId>,
+    /// Wall-clock time spent on this function (TASE + inference).
+    pub elapsed: Duration,
+}
+
+impl RecoveredFunction {
+    /// The recovered signature (placeholder name, see
+    /// [`FunctionSignature::recovered`]).
+    pub fn signature(&self) -> FunctionSignature {
+        FunctionSignature::recovered(self.selector, self.params.clone())
+    }
+}
+
+/// The SigRec recovery tool.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_core::SigRec;
+/// use sigrec_abi::FunctionSignature;
+/// use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+///
+/// let sig = FunctionSignature::parse("transfer(address,uint256)").unwrap();
+/// let contract = compile_single(
+///     FunctionSpec::new(sig.clone(), Visibility::External),
+///     &CompilerConfig::default(),
+/// );
+/// let recovered = SigRec::new().recover(&contract.code);
+/// assert_eq!(recovered.len(), 1);
+/// assert_eq!(recovered[0].signature().param_list(), "(address,uint256)");
+/// assert!(sig.matches(&recovered[0].signature()));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SigRec {
+    config: TaseConfig,
+}
+
+impl SigRec {
+    /// A recoverer with default exploration budgets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the TASE budgets.
+    pub fn with_config(config: TaseConfig) -> Self {
+        SigRec { config }
+    }
+
+    /// Recovers the signatures of every public/external function in the
+    /// runtime bytecode.
+    pub fn recover(&self, code: &[u8]) -> Vec<RecoveredFunction> {
+        let disasm = Disassembly::new(code);
+        let table = extract_dispatch(&disasm);
+        table
+            .into_iter()
+            .map(|entry| {
+                let start = Instant::now();
+                let facts = Tase::new(&disasm, self.config).explore(entry.entry);
+                let result = infer(&facts);
+                RecoveredFunction {
+                    selector: entry.selector,
+                    entry: entry.entry,
+                    params: result.params,
+                    language: result.language,
+                    rules: result.rules,
+                    elapsed: start.elapsed(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A diagnostic view of one function's recovery: what TASE saw and which
+/// rules fired. Produced by [`SigRec::explain`].
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The recovered function.
+    pub function: RecoveredFunction,
+    /// Calldata loads observed (pc, location rendering).
+    pub loads: Vec<(usize, String)>,
+    /// Calldata copies observed (pc, source, length).
+    pub copies: Vec<(usize, String, String)>,
+    /// Comparison guards observed (pc, condition, is-loop-head).
+    pub guards: Vec<(usize, String, bool)>,
+    /// Paths explored by TASE.
+    pub paths_explored: usize,
+    /// True if a path was cut at an input-dependent jump.
+    pub hit_symbolic_jump: bool,
+}
+
+impl SigRec {
+    /// Like [`SigRec::recover`] but returning the evidence alongside each
+    /// signature — the `sigrec --explain` view.
+    pub fn explain(&self, code: &[u8]) -> Vec<Explanation> {
+        let disasm = Disassembly::new(code);
+        let table = extract_dispatch(&disasm);
+        table
+            .into_iter()
+            .map(|entry| {
+                let start = Instant::now();
+                let facts = Tase::new(&disasm, self.config).explore(entry.entry);
+                let result = infer(&facts);
+                Explanation {
+                    function: RecoveredFunction {
+                        selector: entry.selector,
+                        entry: entry.entry,
+                        params: result.params,
+                        language: result.language,
+                        rules: result.rules,
+                        elapsed: start.elapsed(),
+                    },
+                    loads: facts.loads.iter().map(|l| (l.pc, l.loc.to_string())).collect(),
+                    copies: facts
+                        .copies
+                        .iter()
+                        .map(|c| (c.pc, c.src.to_string(), c.len.to_string()))
+                        .collect(),
+                    guards: facts
+                        .guards
+                        .iter()
+                        .map(|g| (g.pc, g.cond.to_string(), g.loop_exit_pc.is_some()))
+                        .collect(),
+                    paths_explored: facts.paths_explored,
+                    hit_symbolic_jump: facts.hit_symbolic_jump,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_solc::{compile, CompilerConfig, FunctionSpec, Visibility};
+
+    /// End-to-end: compile a declaration, recover it, compare.
+    fn recover_one(decl: &str, vis: Visibility) -> String {
+        let sig = FunctionSignature::parse(decl).unwrap();
+        let contract =
+            compile(&[FunctionSpec::new(sig, vis)], &CompilerConfig::default());
+        let rec = SigRec::new().recover(&contract.code);
+        assert_eq!(rec.len(), 1, "one function expected for {decl}");
+        rec[0].signature().param_list()
+    }
+
+    #[test]
+    fn recovers_basic_types_external() {
+        assert_eq!(recover_one("f(uint8)", Visibility::External), "(uint8)");
+        assert_eq!(recover_one("f(uint256)", Visibility::External), "(uint256)");
+        assert_eq!(recover_one("f(int16)", Visibility::External), "(int16)");
+        assert_eq!(recover_one("f(int256)", Visibility::External), "(int256)");
+        assert_eq!(recover_one("f(address)", Visibility::External), "(address)");
+        assert_eq!(recover_one("f(uint160)", Visibility::External), "(uint160)");
+        assert_eq!(recover_one("f(bool)", Visibility::External), "(bool)");
+        assert_eq!(recover_one("f(bytes4)", Visibility::External), "(bytes4)");
+        assert_eq!(recover_one("f(bytes32)", Visibility::External), "(bytes32)");
+    }
+
+    #[test]
+    fn recovers_multi_param_order() {
+        assert_eq!(
+            recover_one("f(address,uint256,bool)", Visibility::External),
+            "(address,uint256,bool)"
+        );
+    }
+
+    #[test]
+    fn recovers_static_arrays() {
+        assert_eq!(recover_one("f(uint256[3])", Visibility::External), "(uint256[3])");
+        assert_eq!(
+            recover_one("f(uint256[3][2])", Visibility::External),
+            "(uint256[3][2])"
+        );
+        assert_eq!(recover_one("f(uint8[4])", Visibility::Public), "(uint8[4])");
+        assert_eq!(
+            recover_one("f(uint256[3][2])", Visibility::Public),
+            "(uint256[3][2])"
+        );
+    }
+
+    #[test]
+    fn recovers_dynamic_arrays() {
+        assert_eq!(recover_one("f(uint8[])", Visibility::External), "(uint8[])");
+        assert_eq!(recover_one("f(uint8[])", Visibility::Public), "(uint8[])");
+        assert_eq!(
+            recover_one("f(uint256[2][])", Visibility::External),
+            "(uint256[2][])"
+        );
+        assert_eq!(
+            recover_one("f(uint256[2][])", Visibility::Public),
+            "(uint256[2][])"
+        );
+    }
+
+    #[test]
+    fn recovers_bytes_and_string() {
+        assert_eq!(recover_one("f(bytes)", Visibility::External), "(bytes)");
+        assert_eq!(recover_one("f(bytes)", Visibility::Public), "(bytes)");
+        assert_eq!(recover_one("f(string)", Visibility::External), "(string)");
+        assert_eq!(recover_one("f(string)", Visibility::Public), "(string)");
+    }
+
+    #[test]
+    fn recovers_nested_arrays() {
+        assert_eq!(recover_one("f(uint256[][])", Visibility::External), "(uint256[][])");
+        assert_eq!(recover_one("f(uint8[][2])", Visibility::External), "(uint8[][2])");
+    }
+
+    #[test]
+    fn recovers_dynamic_struct() {
+        assert_eq!(
+            recover_one("f((uint256[],uint256))", Visibility::External),
+            "((uint256[],uint256))"
+        );
+    }
+
+    #[test]
+    fn static_struct_flattens_as_paper_predicts() {
+        // §2.3.1: indistinguishable from flattened members.
+        assert_eq!(
+            recover_one("f((uint256,uint256))", Visibility::External),
+            "(uint256,uint256)"
+        );
+    }
+
+    #[test]
+    fn mixed_params() {
+        assert_eq!(
+            recover_one("f(uint8,bytes,bool)", Visibility::Public),
+            "(uint8,bytes,bool)"
+        );
+        assert_eq!(
+            recover_one("f(uint256[],address)", Visibility::Public),
+            "(uint256[],address)"
+        );
+    }
+
+    #[test]
+    fn multiple_functions_recovered_independently() {
+        let f1 = FunctionSpec::new(
+            FunctionSignature::parse("alpha(uint8)").unwrap(),
+            Visibility::External,
+        );
+        let f2 = FunctionSpec::new(
+            FunctionSignature::parse("beta(bool,address)").unwrap(),
+            Visibility::Public,
+        );
+        let contract = compile(&[f1.clone(), f2.clone()], &CompilerConfig::default());
+        let rec = SigRec::new().recover(&contract.code);
+        assert_eq!(rec.len(), 2);
+        for r in &rec {
+            if r.selector == f1.signature.selector {
+                assert!(f1.signature.matches(&r.signature()));
+            } else {
+                assert!(f2.signature.matches(&r.signature()));
+            }
+        }
+    }
+
+    #[test]
+    fn no_params_function() {
+        assert_eq!(recover_one("f()", Visibility::External), "()");
+    }
+
+    #[test]
+    fn explain_exposes_evidence() {
+        let sig = FunctionSignature::parse("f(uint8[])").unwrap();
+        let contract = compile(
+            &[FunctionSpec::new(sig, Visibility::External)],
+            &CompilerConfig::default(),
+        );
+        let ex = SigRec::new().explain(&contract.code);
+        assert_eq!(ex.len(), 1);
+        let e = &ex[0];
+        assert_eq!(e.function.signature().param_list(), "(uint8[])");
+        assert!(e.loads.len() >= 2, "offset + num + item loads");
+        assert!(!e.guards.is_empty(), "the num bound check");
+        assert!(e.paths_explored >= 1);
+        assert!(!e.hit_symbolic_jump);
+    }
+}

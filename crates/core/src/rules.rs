@@ -1,0 +1,241 @@
+//! The rule registry (R1–R31) and application statistics.
+//!
+//! The paper derives 31 inference rules (§3) organised in the Fig. 13
+//! decision tree. Rules R1–R18 have full conditions in the paper body;
+//! R19–R31 are named there with details in the (unavailable) supplementary
+//! material and are reconstructed here from the §2.3 access-pattern
+//! descriptions — each reconstruction is documented on its variant.
+//! [`RuleStats`] counts applications for the Fig. 19 experiment.
+
+use std::fmt;
+
+/// Identifier of an inference rule.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum RuleId {
+    /// Two consecutive `CALLDATALOAD`s read an offset field and the num
+    /// field it points at → dynamic array / `bytes` / `string`.
+    R1,
+    /// Item read whose location contains the offset and a ×32, inside a
+    /// chain of bound checks → n-dimensional dynamic array (external).
+    R2,
+    /// Item read with no offset in the location, inside a chain of
+    /// constant bound checks → n-dimensional static array (external).
+    R3,
+    /// A 32-byte read with no further hints → `uint256` candidate.
+    R4,
+    /// Exactly one `CALLDATACOPY` after R1 → one-dimensional dynamic
+    /// array / `bytes` / `string` (public).
+    R5,
+    /// Constant-source, constant-length `CALLDATACOPY` → one-dimensional
+    /// static array (public).
+    R6,
+    /// Copy length = num × 32 → one-dimensional dynamic array (public).
+    R7,
+    /// Copy length = ⌈num/32⌉ × 32 → `bytes`/`string` (public).
+    R8,
+    /// Copy loop over constant bounds → (n+1)-dimensional static array
+    /// (public).
+    R9,
+    /// Copy loop bounded by the num field → (n+1)-dimensional dynamic
+    /// array (public).
+    R10,
+    /// `AND` low-mask refines `uint256` → `uint(8k)`.
+    R11,
+    /// `AND` high-mask refines `uint256` → `bytes(k)`.
+    R12,
+    /// `SIGNEXTEND` refines → `int(8(b+1))`.
+    R13,
+    /// Double `ISZERO` refines → `bool`.
+    R14,
+    /// Signed operation refines → `int256`.
+    R15,
+    /// 160-bit mask with no arithmetic → `address` (else `uint160`).
+    R16,
+    /// Byte-granular access of a dynamic payload → `bytes` (else
+    /// `string`).
+    R17,
+    /// `BYTE` on an unmasked word → `bytes32`.
+    R18,
+    /// *Reconstructed:* a struct member classified as a nested array
+    /// (offset chain inside a struct body).
+    R19,
+    /// *Reconstructed:* Vyper bytecode discrimination — comparison-based
+    /// range checks (or the R23 copy idiom) instead of masks.
+    R20,
+    /// *Reconstructed:* dynamic struct — offset field followed by member
+    /// reads at constant offsets, the first content word not used as a
+    /// count.
+    R21,
+    /// *Reconstructed:* nested array — a two-level offset-field chain with
+    /// the outer num used as a bound.
+    R22,
+    /// *Reconstructed:* Vyper fixed-size byte array / string — a constant
+    /// `32 + maxLen` `CALLDATACOPY` from the offset position.
+    R23,
+    /// *Reconstructed:* Vyper fixed-size list — the external static-array
+    /// pattern under Vyper range-check elements.
+    R24,
+    /// *Reconstructed:* Vyper basic type default (`uint256`).
+    R25,
+    /// *Reconstructed:* byte access after R23 → fixed-size byte array
+    /// (else fixed-size string).
+    R26,
+    /// *Reconstructed:* unsigned compare against 2¹⁶⁰ → Vyper `address`.
+    R27,
+    /// *Reconstructed:* signed compare against ±2¹²⁷ → Vyper `int128`.
+    R28,
+    /// *Reconstructed:* signed compare against ±2¹²⁷·10¹⁰ → Vyper
+    /// `decimal`.
+    R29,
+    /// *Reconstructed:* unsigned compare against 2 → Vyper `bool`.
+    R30,
+    /// *Reconstructed:* byte-granular use without range check → Vyper
+    /// `bytes32`.
+    R31,
+}
+
+impl RuleId {
+    /// All rules in order.
+    pub const ALL: [RuleId; 31] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+        RuleId::R7,
+        RuleId::R8,
+        RuleId::R9,
+        RuleId::R10,
+        RuleId::R11,
+        RuleId::R12,
+        RuleId::R13,
+        RuleId::R14,
+        RuleId::R15,
+        RuleId::R16,
+        RuleId::R17,
+        RuleId::R18,
+        RuleId::R19,
+        RuleId::R20,
+        RuleId::R21,
+        RuleId::R22,
+        RuleId::R23,
+        RuleId::R24,
+        RuleId::R25,
+        RuleId::R26,
+        RuleId::R27,
+        RuleId::R28,
+        RuleId::R29,
+        RuleId::R30,
+        RuleId::R31,
+    ];
+
+    /// Zero-based index (R1 → 0).
+    pub fn index(self) -> usize {
+        RuleId::ALL.iter().position(|&r| r == self).expect("rule in ALL")
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+/// Application counters for every rule (the Fig. 19 experiment).
+#[derive(Clone, Debug, Default)]
+pub struct RuleStats {
+    counts: [u64; 31],
+}
+
+impl RuleStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps one rule's counter.
+    pub fn bump(&mut self, rule: RuleId) {
+        self.counts[rule.index()] += 1;
+    }
+
+    /// Counts a whole application list.
+    pub fn absorb(&mut self, rules: &[RuleId]) {
+        for &r in rules {
+            self.bump(r);
+        }
+    }
+
+    /// Merges another stats object into this one.
+    pub fn merge(&mut self, other: &RuleStats) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The counter for one rule.
+    pub fn count(&self, rule: RuleId) -> u64 {
+        self.counts[rule.index()]
+    }
+
+    /// `(rule, count)` pairs in rule order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, u64)> + '_ {
+        RuleId::ALL.iter().map(move |&r| (r, self.count(r)))
+    }
+
+    /// The most frequently applied rule.
+    pub fn most_used(&self) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().max_by_key(|&r| self.count(r)).filter(|&r| self.count(r) > 0)
+    }
+
+    /// The least frequently applied rule (among those used at least once).
+    pub fn least_used(&self) -> Option<RuleId> {
+        RuleId::ALL
+            .iter()
+            .copied()
+            .filter(|&r| self.count(r) > 0)
+            .min_by_key(|&r| self.count(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable() {
+        assert_eq!(RuleId::R1.index(), 0);
+        assert_eq!(RuleId::R31.index(), 30);
+        assert_eq!(RuleId::ALL.len(), 31);
+    }
+
+    #[test]
+    fn stats_bump_and_merge() {
+        let mut a = RuleStats::new();
+        a.bump(RuleId::R4);
+        a.bump(RuleId::R4);
+        a.bump(RuleId::R9);
+        let mut b = RuleStats::new();
+        b.bump(RuleId::R4);
+        a.merge(&b);
+        assert_eq!(a.count(RuleId::R4), 3);
+        assert_eq!(a.count(RuleId::R9), 1);
+        assert_eq!(a.count(RuleId::R1), 0);
+        assert_eq!(a.most_used(), Some(RuleId::R4));
+        assert_eq!(a.least_used(), Some(RuleId::R9));
+    }
+
+    #[test]
+    fn empty_stats_have_no_extremes() {
+        let s = RuleStats::new();
+        assert_eq!(s.most_used(), None);
+        assert_eq!(s.least_used(), None);
+    }
+
+    #[test]
+    fn absorb_counts_all() {
+        let mut s = RuleStats::new();
+        s.absorb(&[RuleId::R1, RuleId::R5, RuleId::R7, RuleId::R11]);
+        assert_eq!(s.iter().map(|(_, c)| c).sum::<u64>(), 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-rule tests: each of the paper's rules exercised in isolation on a
+//! minimal contract, asserting both the recovered type and that the rule
+//! actually fired (via the per-function rule log).
+
+use sigrec_abi::{FunctionSignature, VyperType};
+use sigrec_core::{RuleId, SigRec};
+use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+use sigrec_vyperc::{compile as vyper_compile, VyperFunctionSpec, VyperVersion};
+
+/// Recovers a single-function Solidity contract, returning (param list,
+/// rules fired).
+fn solidity(decl: &str, vis: Visibility) -> (String, Vec<RuleId>) {
+    let sig = FunctionSignature::parse(decl).unwrap();
+    let c = compile_single(FunctionSpec::new(sig, vis), &CompilerConfig::default());
+    let rec = SigRec::new().recover(&c.code);
+    assert_eq!(rec.len(), 1);
+    (rec[0].signature().param_list(), rec[0].rules.clone())
+}
+
+fn vyper(params: Vec<VyperType>) -> (String, Vec<RuleId>) {
+    let f = VyperFunctionSpec::new("f", params);
+    let c = vyper_compile(&[f], VyperVersion::V0_2_8);
+    let rec = SigRec::new().recover(&c.code);
+    assert_eq!(rec.len(), 1);
+    (rec[0].signature().param_list(), rec[0].rules.clone())
+}
+
+fn assert_rule(rules: &[RuleId], rule: RuleId, ctx: &str) {
+    assert!(rules.contains(&rule), "{rule} must fire for {ctx}; fired: {rules:?}");
+}
+
+#[test]
+fn r1_offset_num_chain() {
+    let (ty, rules) = solidity("f(uint256[])", Visibility::External);
+    assert_eq!(ty, "(uint256[])");
+    assert_rule(&rules, RuleId::R1, "dynamic array offset/num reads");
+}
+
+#[test]
+fn r2_external_dynamic_array_dims() {
+    let (ty, rules) = solidity("f(uint16[3][])", Visibility::External);
+    assert_eq!(ty, "(uint16[3][])");
+    assert_rule(&rules, RuleId::R2, "bound-checked external dynamic array");
+}
+
+#[test]
+fn r3_external_static_array_dims() {
+    let (ty, rules) = solidity("f(uint8[4][2])", Visibility::External);
+    assert_eq!(ty, "(uint8[4][2])");
+    assert_rule(&rules, RuleId::R3, "bound-checked external static array");
+}
+
+#[test]
+fn r4_plain_word_is_uint256() {
+    let (ty, rules) = solidity("f(uint256)", Visibility::External);
+    assert_eq!(ty, "(uint256)");
+    assert_rule(&rules, RuleId::R4, "unrefined word");
+}
+
+#[test]
+fn r5_single_copy_public() {
+    let (ty, rules) = solidity("f(uint256[])", Visibility::Public);
+    assert_eq!(ty, "(uint256[])");
+    assert_rule(&rules, RuleId::R5, "one CALLDATACOPY after R1");
+}
+
+#[test]
+fn r6_one_dim_static_public() {
+    let (ty, rules) = solidity("f(uint256[5])", Visibility::Public);
+    assert_eq!(ty, "(uint256[5])");
+    assert_rule(&rules, RuleId::R6, "constant-source constant-length copy");
+}
+
+#[test]
+fn r7_num_times_32_copy() {
+    let (ty, rules) = solidity("f(uint64[])", Visibility::Public);
+    assert_eq!(ty, "(uint64[])");
+    assert_rule(&rules, RuleId::R7, "copy length num*32");
+}
+
+#[test]
+fn r8_rounded_up_copy_is_bytes_or_string() {
+    let (ty, rules) = solidity("f(string)", Visibility::Public);
+    assert_eq!(ty, "(string)");
+    assert_rule(&rules, RuleId::R8, "ceil(num/32)*32 copy");
+    let (ty, rules) = solidity("f(bytes)", Visibility::Public);
+    assert_eq!(ty, "(bytes)");
+    assert_rule(&rules, RuleId::R17, "byte access splits bytes from string");
+}
+
+#[test]
+fn r9_copy_loop_static() {
+    let (ty, rules) = solidity("f(uint256[3][2])", Visibility::Public);
+    assert_eq!(ty, "(uint256[3][2])");
+    assert_rule(&rules, RuleId::R9, "constant-bound copy loop");
+}
+
+#[test]
+fn r10_copy_loop_dynamic() {
+    let (ty, rules) = solidity("f(uint256[4][])", Visibility::Public);
+    assert_eq!(ty, "(uint256[4][])");
+    assert_rule(&rules, RuleId::R10, "num-bound copy loop");
+}
+
+#[test]
+fn r11_low_mask_widths() {
+    for (decl, want) in [("f(uint8)", "(uint8)"), ("f(uint48)", "(uint48)"), ("f(uint128)", "(uint128)")] {
+        let (ty, rules) = solidity(decl, Visibility::External);
+        assert_eq!(ty, want);
+        assert_rule(&rules, RuleId::R11, decl);
+    }
+}
+
+#[test]
+fn r12_high_mask_bytes() {
+    let (ty, rules) = solidity("f(bytes8)", Visibility::External);
+    assert_eq!(ty, "(bytes8)");
+    assert_rule(&rules, RuleId::R12, "high mask");
+}
+
+#[test]
+fn r13_signextend_widths() {
+    for (decl, want) in [("f(int8)", "(int8)"), ("f(int64)", "(int64)"), ("f(int200)", "(int200)")] {
+        let (ty, rules) = solidity(decl, Visibility::External);
+        assert_eq!(ty, want);
+        assert_rule(&rules, RuleId::R13, decl);
+    }
+}
+
+#[test]
+fn r14_double_iszero_bool() {
+    let (ty, rules) = solidity("f(bool)", Visibility::External);
+    assert_eq!(ty, "(bool)");
+    assert_rule(&rules, RuleId::R14, "double ISZERO");
+}
+
+#[test]
+fn r15_signed_op_int256() {
+    let (ty, rules) = solidity("f(int256)", Visibility::External);
+    assert_eq!(ty, "(int256)");
+    assert_rule(&rules, RuleId::R15, "SDIV use");
+}
+
+#[test]
+fn r16_address_vs_uint160() {
+    let (ty, rules) = solidity("f(address)", Visibility::External);
+    assert_eq!(ty, "(address)");
+    assert_rule(&rules, RuleId::R16, "160-bit mask without arithmetic");
+    let (ty, rules) = solidity("f(uint160)", Visibility::External);
+    assert_eq!(ty, "(uint160)");
+    assert!(!rules.contains(&RuleId::R16), "arithmetic defeats the address rule");
+}
+
+#[test]
+fn r17_byte_granular_bytes() {
+    let (ty, rules) = solidity("f(bytes)", Visibility::External);
+    assert_eq!(ty, "(bytes)");
+    assert_rule(&rules, RuleId::R17, "byte-granular external access");
+}
+
+#[test]
+fn r18_byte_on_word_bytes32() {
+    let (ty, rules) = solidity("f(bytes32)", Visibility::External);
+    assert_eq!(ty, "(bytes32)");
+    assert_rule(&rules, RuleId::R18, "BYTE on unmasked word");
+}
+
+#[test]
+fn r19_struct_with_nested_array_member() {
+    let (ty, rules) = solidity("f((uint256[][],bool))", Visibility::External);
+    assert_eq!(ty, "((uint256[][],bool))");
+    assert_rule(&rules, RuleId::R19, "nested array inside a struct");
+    assert_rule(&rules, RuleId::R21, "the struct itself");
+    assert_rule(&rules, RuleId::R22, "the nested member");
+}
+
+#[test]
+fn r21_dynamic_struct() {
+    let (ty, rules) = solidity("f((uint8[],address))", Visibility::External);
+    assert_eq!(ty, "((uint8[],address))");
+    assert_rule(&rules, RuleId::R21, "dynamic struct");
+}
+
+#[test]
+fn r22_nested_array() {
+    let (ty, rules) = solidity("f(uint256[][])", Visibility::External);
+    assert_eq!(ty, "(uint256[][])");
+    assert_rule(&rules, RuleId::R22, "two-level offset chain");
+}
+
+#[test]
+fn r20_r25_vyper_discrimination() {
+    let (ty, rules) = vyper(vec![VyperType::Address, VyperType::Uint256]);
+    assert_eq!(ty, "(address,uint256)");
+    assert_rule(&rules, RuleId::R20, "Vyper detected");
+    assert_rule(&rules, RuleId::R25, "Vyper uint256 default");
+    assert_rule(&rules, RuleId::R27, "address range check");
+}
+
+#[test]
+fn r23_r26_fixed_byte_array() {
+    let (ty, rules) = vyper(vec![VyperType::FixedBytes(50)]);
+    assert_eq!(ty, "(bytes)");
+    assert_rule(&rules, RuleId::R23, "32+maxLen copy");
+    assert_rule(&rules, RuleId::R26, "byte access → byte array");
+    let (ty, rules) = vyper(vec![VyperType::FixedString(20)]);
+    assert_eq!(ty, "(string)");
+    assert_rule(&rules, RuleId::R23, "32+maxLen copy (string)");
+    assert!(!rules.contains(&RuleId::R26), "no byte access on strings");
+}
+
+#[test]
+fn r24_fixed_list() {
+    let (ty, rules) = vyper(vec![VyperType::FixedList(Box::new(VyperType::Int128), 3)]);
+    assert_eq!(ty, "(int128[3])");
+    assert_rule(&rules, RuleId::R24, "fixed-size list");
+    assert_rule(&rules, RuleId::R28, "int128 elements");
+}
+
+#[test]
+fn r28_r29_r30_r31_vyper_basics() {
+    let (ty, rules) = vyper(vec![VyperType::Int128]);
+    assert_eq!(ty, "(int128)");
+    assert_rule(&rules, RuleId::R28, "int128 range");
+    let (ty, rules) = vyper(vec![VyperType::Decimal]);
+    assert_eq!(ty, "(int168)");
+    assert_rule(&rules, RuleId::R29, "decimal range");
+    let (ty, rules) = vyper(vec![VyperType::Bool]);
+    assert_eq!(ty, "(bool)");
+    assert_rule(&rules, RuleId::R30, "bool range");
+    let (ty, rules) = vyper(vec![VyperType::Bool, VyperType::Bytes32]);
+    assert_eq!(ty, "(bool,bytes32)");
+    assert_rule(&rules, RuleId::R31, "byte use under Vyper");
+}

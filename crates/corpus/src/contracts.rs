@@ -1,0 +1,173 @@
+//! Labelled contracts: bytecode plus ground truth.
+
+use sigrec_abi::{AbiType, FunctionSignature};
+use sigrec_solc::{
+    compile as solc_compile, expected_recovery, CompilerConfig, FunctionSpec, Quirk, Visibility,
+};
+use sigrec_vyperc::{compile as vyper_compile, VyperFunctionSpec, VyperQuirk, VyperVersion};
+
+/// Which tool-chain produced a contract, with its configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Toolchain {
+    /// Our Solidity-pattern back-end.
+    Solidity(CompilerConfig),
+    /// Our Vyper-pattern back-end.
+    Vyper(VyperVersion),
+}
+
+/// One function with its ground truth.
+#[derive(Clone, Debug)]
+pub struct LabeledFunction {
+    /// The declared signature (the accuracy oracle, per §5.2: a recovery is
+    /// correct iff id, parameter count, order, and types all match this).
+    pub declared: FunctionSignature,
+    /// What a *sound bytecode-level* analysis would recover — differs from
+    /// `declared` exactly on the paper's error cases (inline assembly,
+    /// type conversion, storage pointers, optimised constant indices,
+    /// unaccessed `bytes`, flattened static structs).
+    pub expected: Vec<AbiType>,
+    /// Visibility the function was generated with (Solidity only;
+    /// Vyper emits identical code for both).
+    pub visibility: Visibility,
+    /// The injected error case, if any.
+    pub quirk: Quirk,
+}
+
+/// A contract with full labels.
+#[derive(Clone, Debug)]
+pub struct LabeledContract {
+    /// Runtime bytecode.
+    pub code: Vec<u8>,
+    /// The functions it hosts, in dispatcher order.
+    pub functions: Vec<LabeledFunction>,
+    /// Producing tool-chain.
+    pub toolchain: Toolchain,
+}
+
+impl LabeledContract {
+    /// Builds a Solidity-pattern contract from specs.
+    pub fn solidity(specs: Vec<FunctionSpec>, config: CompilerConfig) -> Self {
+        let compiled = solc_compile(&specs, &config);
+        let functions = specs
+            .into_iter()
+            .map(|s| LabeledFunction {
+                expected: expected_recovery(&s, &config),
+                declared: s.signature.clone(),
+                visibility: s.visibility,
+                quirk: s.quirk,
+            })
+            .collect();
+        LabeledContract {
+            code: compiled.code,
+            functions,
+            toolchain: Toolchain::Solidity(config),
+        }
+    }
+
+    /// Builds a Vyper-pattern contract.
+    pub fn vyper(specs: Vec<VyperFunctionSpec>, version: VyperVersion) -> Self {
+        let compiled = vyper_compile(&specs, version);
+        let functions = specs
+            .iter()
+            .map(|s| {
+                let declared = s.lowered_signature();
+                // Sound-recovery oracle: the Vyper error case makes a
+                // byte-array parameter indistinguishable from a string.
+                let expected = match s.quirk {
+                    VyperQuirk::BytesNeverByteAccessed => declared
+                        .params
+                        .iter()
+                        .map(|t| {
+                            if *t == AbiType::Bytes {
+                                AbiType::String
+                            } else {
+                                t.clone()
+                            }
+                        })
+                        .collect(),
+                    VyperQuirk::None => declared.params.clone(),
+                };
+                LabeledFunction {
+                    declared,
+                    expected,
+                    visibility: Visibility::External,
+                    quirk: match s.quirk {
+                        VyperQuirk::BytesNeverByteAccessed => Quirk::BytesNeverByteAccessed,
+                        VyperQuirk::None => Quirk::None,
+                    },
+                }
+            })
+            .collect();
+        LabeledContract { code: compiled.code, functions, toolchain: Toolchain::Vyper(version) }
+    }
+
+    /// Total functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+}
+
+/// A full corpus.
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    /// The contracts.
+    pub contracts: Vec<LabeledContract>,
+}
+
+impl Corpus {
+    /// Total functions across the corpus.
+    pub fn function_count(&self) -> usize {
+        self.contracts.iter().map(LabeledContract::function_count).sum()
+    }
+
+    /// Iterates `(contract, function)` pairs.
+    pub fn functions(&self) -> impl Iterator<Item = (&LabeledContract, &LabeledFunction)> {
+        self.contracts.iter().flat_map(|c| c.functions.iter().map(move |f| (c, f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_abi::VyperType;
+
+    #[test]
+    fn solidity_contract_labels_match() {
+        let spec = FunctionSpec::new(
+            FunctionSignature::parse("f(uint8,bytes)").unwrap(),
+            Visibility::Public,
+        );
+        let c = LabeledContract::solidity(vec![spec], CompilerConfig::default());
+        assert_eq!(c.function_count(), 1);
+        assert_eq!(c.functions[0].declared.param_list(), "(uint8,bytes)");
+        assert_eq!(c.functions[0].expected.len(), 2);
+        assert!(!c.code.is_empty());
+    }
+
+    #[test]
+    fn vyper_contract_labels_match() {
+        let spec = VyperFunctionSpec::new("g", vec![VyperType::Decimal]);
+        let c = LabeledContract::vyper(vec![spec], VyperVersion::V0_2_8);
+        assert_eq!(c.functions[0].declared.param_list(), "(int168)");
+    }
+
+    #[test]
+    fn corpus_counts() {
+        let mut corpus = Corpus::default();
+        corpus.contracts.push(LabeledContract::solidity(
+            vec![
+                FunctionSpec::new(
+                    FunctionSignature::parse("a()").unwrap(),
+                    Visibility::External,
+                ),
+                FunctionSpec::new(
+                    FunctionSignature::parse("b(bool)").unwrap(),
+                    Visibility::External,
+                ),
+            ],
+            CompilerConfig::default(),
+        ));
+        assert_eq!(corpus.function_count(), 2);
+        assert_eq!(corpus.functions().count(), 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! The evaluation datasets (§5.1, §5.6 of the paper), synthesised.
+//!
+//! Every dataset is deterministic given its seed. The paper's residual
+//! error cases (§5.2) are injected at their observed rates so the headline
+//! accuracy lands near 98.7 % *for the same structural reasons* as in the
+//! paper; the calibration is documented per experiment in EXPERIMENTS.md.
+
+use crate::contracts::{Corpus, LabeledContract};
+use crate::typegen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sigrec_abi::{AbiType, FunctionSignature, VyperType};
+use sigrec_solc::{CompilerConfig, FunctionSpec, Quirk, SolcVersion, Visibility};
+use sigrec_vyperc::{VyperFunctionSpec, VyperQuirk, VyperVersion};
+
+/// Paper-observed error-case rates (§5.2), as fractions of all functions:
+/// inline assembly (case 1), type conversion (case 2), storage pointers
+/// (case 4), optimised constant indices and unaccessed `bytes` (case 5).
+const QUIRK_RATES: [(Quirk, f64); 5] = [
+    (Quirk::InlineAssemblyReads { count: 2 }, 0.00236),
+    (Quirk::TypeConversion { used: Vec::new() }, 0.00184),
+    (Quirk::StoragePointer, 0.00286),
+    (Quirk::ConstIndexOptimized, 0.0028),
+    (Quirk::BytesNeverByteAccessed, 0.0026),
+];
+
+/// A function-name pool for realistic corpora.
+const NAMES: [&str; 24] = [
+    "transfer", "approve", "mint", "burn", "deposit", "withdraw", "swap", "stake", "unstake",
+    "claim", "vote", "delegate", "register", "resolve", "setOwner", "pause", "unpause",
+    "updateRate", "addLiquidity", "removeLiquidity", "flashLoan", "settle", "redeem", "sweep",
+];
+
+fn fresh_name(rng: &mut StdRng, used: &mut Vec<String>) -> String {
+    loop {
+        let base = NAMES[rng.gen_range(0..NAMES.len())];
+        let name = if rng.gen_bool(0.5) {
+            base.to_string()
+        } else {
+            format!("{}{}", base, rng.gen_range(0..1000))
+        };
+        if !used.contains(&name) {
+            used.push(name.clone());
+            return name;
+        }
+    }
+}
+
+fn pick_quirk(rng: &mut StdRng) -> Quirk {
+    let roll: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (q, rate) in QUIRK_RATES.iter() {
+        acc += rate;
+        if roll < acc {
+            return q.clone();
+        }
+    }
+    Quirk::None
+}
+
+/// One realistic Solidity function, honouring quirk/type compatibility.
+fn realistic_function(rng: &mut StdRng, used: &mut Vec<String>) -> FunctionSpec {
+    let name = fresh_name(rng, used);
+    let vis = if rng.gen_bool(0.5) { Visibility::Public } else { Visibility::External };
+    let quirk = pick_quirk(rng);
+    let params: Vec<AbiType> = match &quirk {
+        Quirk::InlineAssemblyReads { .. } => {
+            // Typically an argumentless modifier-style function.
+            Vec::new()
+        }
+        Quirk::TypeConversion { .. } => {
+            vec![AbiType::Array(Box::new(AbiType::Uint(256)), rng.gen_range(2..=6))]
+        }
+        Quirk::StoragePointer => vec![AbiType::DynArray(Box::new(AbiType::Uint(256)))],
+        Quirk::ConstIndexOptimized => {
+            let mut p = vec![typegen::static_array(rng, 1, 5)];
+            for _ in 0..rng.gen_range(0..=2) {
+                p.push(typegen::basic(rng));
+            }
+            p
+        }
+        Quirk::BytesNeverByteAccessed => {
+            let mut p = vec![AbiType::Bytes];
+            for _ in 0..rng.gen_range(0..=2) {
+                p.push(typegen::basic(rng));
+            }
+            p
+        }
+        Quirk::None => (0..rng.gen_range(0..=4)).map(|_| typegen::realistic(rng)).collect(),
+    };
+    let quirk = match quirk {
+        Quirk::TypeConversion { .. } => {
+            // The body accesses the uint256[N] as uint8[N].
+            let n = match &params[0] {
+                AbiType::Array(_, n) => *n,
+                _ => unreachable!("type-conversion quirk uses a static array"),
+            };
+            Quirk::TypeConversion {
+                used: vec![AbiType::Array(Box::new(AbiType::Uint(8)), n)],
+            }
+        }
+        other => other,
+    };
+    FunctionSpec { signature: FunctionSignature::from_declaration(&name, params), visibility: vis, quirk }
+}
+
+/// Builds a Solidity contract of `n_functions` realistic functions.
+/// About a quarter of contracts are token-like and expose the canonical
+/// `transfer(address,uint256)` (the short-address-attack target of §6.1).
+fn realistic_contract(rng: &mut StdRng, n_functions: usize, config: CompilerConfig) -> LabeledContract {
+    let mut used = Vec::new();
+    let mut specs: Vec<FunctionSpec> = Vec::with_capacity(n_functions);
+    if rng.gen_bool(0.25) {
+        used.push("transfer".to_string());
+        specs.push(FunctionSpec::new(
+            FunctionSignature::parse("transfer(address,uint256)").expect("canonical decl"),
+            Visibility::External,
+        ));
+    }
+    while specs.len() < n_functions {
+        specs.push(realistic_function(rng, &mut used));
+    }
+    LabeledContract::solidity(specs, config)
+}
+
+fn random_config(rng: &mut StdRng) -> CompilerConfig {
+    let sweep = SolcVersion::sweep();
+    CompilerConfig::new(sweep[rng.gen_range(0..sweep.len())], rng.gen_bool(0.4))
+}
+
+/// Dataset 3: the open-source-like corpus with ground truth (drives RQ1,
+/// Table 3, Fig. 17, Fig. 19).
+pub fn dataset3(contracts: usize, seed: u64) -> Corpus {
+    dataset3_with(contracts, seed, false)
+}
+
+/// Dataset 3 with an obfuscation switch: when `obfuscate` is set, every
+/// contract masks with semantically equivalent shift pairs instead of
+/// `AND`/`SIGNEXTEND` (the §7 obfuscation scenario).
+pub fn dataset3_with(contracts: usize, seed: u64, obfuscate: bool) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let contracts = (0..contracts)
+        .map(|_| {
+            let n = rng.gen_range(1..=8);
+            let mut config = random_config(&mut rng);
+            config.obfuscate = obfuscate;
+            realistic_contract(&mut rng, n, config)
+        })
+        .collect();
+    Corpus { contracts }
+}
+
+/// Dataset 1: the closed-source-like corpus — same population, different
+/// draw; its labels exist (we generated it) but evaluation treats them as
+/// unavailable except for agreement measurement.
+pub fn dataset1(contracts: usize, seed: u64) -> Corpus {
+    dataset3(contracts, seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// Dataset 2 (§5.6): 100 contracts × 10 synthesized functions, names of 5
+/// random letters, 1–5 parameters each, arrays ≤ 3 dimensions × ≤ 5 items,
+/// compiled as Solidity 0.5.5 with optimisation probability 0.5.
+pub fn dataset2(seed: u64) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut contracts = Vec::with_capacity(100);
+    for _ in 0..100 {
+        let mut used = Vec::new();
+        let optimize = rng.gen_bool(0.5);
+        let specs: Vec<FunctionSpec> = (0..10)
+            .map(|_| {
+                let name = loop {
+                    let n = typegen::name(&mut rng, 5);
+                    if !used.contains(&n) {
+                        used.push(n.clone());
+                        break n;
+                    }
+                };
+                let params: Vec<AbiType> =
+                    (0..rng.gen_range(1..=5)).map(|_| typegen::synthesized(&mut rng)).collect();
+                let vis =
+                    if rng.gen_bool(0.5) { Visibility::Public } else { Visibility::External };
+                // The paper's 8 dataset-2 failures all stem from case 5;
+                // under optimisation a small share of external static-array
+                // accesses use constant indices and lose their bound
+                // checks.
+                let quirk = if optimize
+                    && vis == Visibility::External
+                    && params.iter().any(AbiType::is_static_array)
+                    && rng.gen_bool(0.05)
+                {
+                    Quirk::ConstIndexOptimized
+                } else {
+                    Quirk::None
+                };
+                FunctionSpec::new(FunctionSignature::from_declaration(&name, params), vis)
+                    .with_quirk(quirk)
+            })
+            .collect();
+        let config = CompilerConfig::new(SolcVersion::V0_5_5, optimize);
+        contracts.push(LabeledContract::solidity(specs, config));
+    }
+    Corpus { contracts }
+}
+
+/// The Vyper corpus (278 contracts / ~1 076 functions like the paper's,
+/// scaled by `contracts`). A small fraction of functions carries the
+/// Vyper error case (`bytes[maxLen]` never byte-accessed).
+pub fn vyper_corpus(contracts: usize, seed: u64) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let versions = VyperVersion::sweep();
+    let contracts = (0..contracts)
+        .map(|_| {
+            let mut used = Vec::new();
+            let n = rng.gen_range(2..=6);
+            let specs: Vec<VyperFunctionSpec> = (0..n)
+                .map(|_| {
+                    let name = fresh_name(&mut rng, &mut used);
+                    let params: Vec<VyperType> =
+                        (0..rng.gen_range(0..=3)).map(|_| typegen::vyper(&mut rng)).collect();
+                    let has_bytes =
+                        params.iter().any(|p| matches!(p, VyperType::FixedBytes(_)));
+                    let quirk = if has_bytes && rng.gen_bool(0.12) {
+                        VyperQuirk::BytesNeverByteAccessed
+                    } else {
+                        VyperQuirk::None
+                    };
+                    VyperFunctionSpec::new(name, params).with_quirk(quirk)
+                })
+                .collect();
+            let version = versions[rng.gen_range(0..versions.len())];
+            LabeledContract::vyper(specs, version)
+        })
+        .collect();
+    Corpus { contracts }
+}
+
+/// Table 4's subset: every function takes at least one struct or nested
+/// array. `static_struct_share` controls the fraction of *static* structs
+/// (which flatten in bytecode and are therefore unrecoverable) — the paper
+/// measures 61.3 % accuracy, i.e. ≈ 38.7 % unrecoverable.
+pub fn struct_nested_corpus(functions: usize, static_struct_share: f64, seed: u64) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut contracts = Vec::new();
+    let mut remaining = functions;
+    while remaining > 0 {
+        let n = rng.gen_range(1..=4).min(remaining);
+        let mut used = Vec::new();
+        let specs: Vec<FunctionSpec> = (0..n)
+            .map(|_| {
+                let name = fresh_name(&mut rng, &mut used);
+                let special = if rng.gen_bool(static_struct_share) {
+                    typegen::static_struct(&mut rng)
+                } else if rng.gen_bool(0.5) {
+                    typegen::dynamic_struct(&mut rng)
+                } else {
+                    typegen::nested_array(&mut rng)
+                };
+                let mut params = vec![special];
+                for _ in 0..rng.gen_range(0..=2) {
+                    params.push(typegen::basic(&mut rng));
+                }
+                let vis =
+                    if rng.gen_bool(0.5) { Visibility::Public } else { Visibility::External };
+                FunctionSpec::new(FunctionSignature::from_declaration(&name, params), vis)
+            })
+            .collect();
+        remaining -= n;
+        contracts.push(LabeledContract::solidity(specs, CompilerConfig::default()));
+    }
+    Corpus { contracts }
+}
+
+/// Fig. 15's sweep: one corpus per (Solidity version, optimisation) pair.
+pub fn solidity_version_sweep(
+    contracts_per_version: usize,
+    seed: u64,
+) -> Vec<(SolcVersion, bool, Corpus)> {
+    let mut out = Vec::new();
+    for (i, version) in SolcVersion::sweep().into_iter().enumerate() {
+        for (j, optimize) in [false, true].into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed + (i * 2 + j) as u64);
+            let config = CompilerConfig::new(version, optimize);
+            let contracts = (0..contracts_per_version)
+                .map(|_| {
+                    let n = rng.gen_range(1..=5);
+                    realistic_contract(&mut rng, n, config)
+                })
+                .collect();
+            out.push((version, optimize, Corpus { contracts }));
+        }
+    }
+    out
+}
+
+/// Fig. 16's sweep: one corpus per Vyper version. A few versions get only
+/// a handful of contracts — the paper attributes their accuracy dips to
+/// small-sample noise, which this reproduces.
+pub fn vyper_version_sweep(contracts_per_version: usize, seed: u64) -> Vec<(VyperVersion, Corpus)> {
+    let versions = VyperVersion::sweep();
+    let mut out = Vec::new();
+    for (i, version) in versions.into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed + i as u64);
+        // Versions 1, 4 and 7 in the ladder are rare in the wild: 1–2
+        // contracts only.
+        let n_contracts = if matches!(i, 1 | 4 | 7) { rng.gen_range(1..=2) } else { contracts_per_version };
+        let contracts = (0..n_contracts)
+            .map(|_| {
+                let mut used = Vec::new();
+                let n = rng.gen_range(1..=4);
+                let specs: Vec<VyperFunctionSpec> = (0..n)
+                    .map(|_| {
+                        let name = fresh_name(&mut rng, &mut used);
+                        let mut params: Vec<VyperType> =
+                            (0..rng.gen_range(0..=3)).map(|_| typegen::vyper(&mut rng)).collect();
+                        // Rare versions carry the error case to reproduce
+                        // the small-sample dips.
+                        let quirk = if matches!(i, 1 | 4 | 7) && rng.gen_bool(0.5) {
+                            params.push(VyperType::FixedBytes(20));
+                            VyperQuirk::BytesNeverByteAccessed
+                        } else {
+                            VyperQuirk::None
+                        };
+                        VyperFunctionSpec::new(name, params).with_quirk(quirk)
+                    })
+                    .collect();
+                LabeledContract::vyper(specs, version)
+            })
+            .collect();
+        out.push((version, Corpus { contracts }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset3_is_deterministic() {
+        let a = dataset3(5, 99);
+        let b = dataset3(5, 99);
+        assert_eq!(a.contracts.len(), 5);
+        for (x, y) in a.contracts.iter().zip(&b.contracts) {
+            assert_eq!(x.code, y.code);
+        }
+    }
+
+    #[test]
+    fn dataset2_shape_matches_paper() {
+        let c = dataset2(7);
+        assert_eq!(c.contracts.len(), 100);
+        assert_eq!(c.function_count(), 1000);
+        for (_, f) in c.functions() {
+            let n = f.declared.params.len();
+            assert!((1..=5).contains(&n), "1–5 params, got {n}");
+            assert!(f.declared.name.as_ref().unwrap().len() == 5);
+        }
+    }
+
+    #[test]
+    fn dataset3_quirk_rate_near_target() {
+        let c = dataset3(400, 3);
+        let total = c.function_count() as f64;
+        let quirked = c.functions().filter(|(_, f)| f.quirk != Quirk::None).count() as f64;
+        let rate = quirked / total;
+        assert!(rate < 0.05, "quirk rate {rate} too high");
+    }
+
+    #[test]
+    fn vyper_corpus_counts() {
+        let c = vyper_corpus(30, 5);
+        assert_eq!(c.contracts.len(), 30);
+        assert!(c.function_count() >= 60);
+    }
+
+    #[test]
+    fn struct_nested_functions_have_special_param() {
+        let c = struct_nested_corpus(40, 0.387, 11);
+        assert_eq!(c.function_count(), 40);
+        for (_, f) in c.functions() {
+            assert!(
+                f.declared.params.iter().any(|p| matches!(p, AbiType::Tuple(_))
+                    || p.is_nested_array()),
+                "function must take a struct or nested array: {}",
+                f.declared.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_cover_all_versions() {
+        let s = solidity_version_sweep(2, 1);
+        assert_eq!(s.len(), SolcVersion::sweep().len() * 2);
+        let v = vyper_version_sweep(3, 1);
+        assert_eq!(v.len(), 17);
+        // The designated rare versions are small.
+        assert!(v[1].1.contracts.len() <= 2);
+    }
+}

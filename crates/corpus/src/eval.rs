@@ -1,0 +1,167 @@
+//! Accuracy evaluation of a recovery tool against a labelled corpus.
+//!
+//! The paper's criterion (§5.2): a recovered signature is correct iff the
+//! function id, the number and order of parameters, and every parameter
+//! type equal the ground truth.
+
+use crate::contracts::{Corpus, LabeledFunction};
+use sigrec_abi::AbiType;
+use sigrec_core::{RuleStats, SigRec};
+use std::time::Duration;
+
+/// Per-function evaluation record.
+#[derive(Clone, Debug)]
+pub struct FunctionOutcome {
+    /// Canonical declared signature.
+    pub declared: String,
+    /// Canonical recovered parameter list (`None` if the tool produced
+    /// nothing for this selector).
+    pub recovered: Option<String>,
+    /// Correct per the strict criterion.
+    pub correct: bool,
+    /// Correct against the *sound-recovery* oracle (what bytecode alone
+    /// can reveal) — separates tool bugs from inherent ambiguity.
+    pub matches_expected: bool,
+    /// Recovery time for the function.
+    pub elapsed: Duration,
+}
+
+/// Aggregated evaluation results.
+#[derive(Clone, Debug, Default)]
+pub struct Evaluation {
+    /// One record per ground-truth function.
+    pub outcomes: Vec<FunctionOutcome>,
+    /// Rule-application counters (Fig. 19).
+    pub rule_stats: RuleStats,
+}
+
+impl Evaluation {
+    /// Functions evaluated.
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Correct recoveries (strict criterion).
+    pub fn correct(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.correct).count()
+    }
+
+    /// Accuracy in [0, 1].
+    pub fn accuracy(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.correct() as f64 / self.total() as f64
+    }
+
+    /// Accuracy against the sound-recovery oracle — how close the tool is
+    /// to the information-theoretic ceiling.
+    pub fn soundness_accuracy(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.outcomes.iter().filter(|o| o.matches_expected).count() as f64 / self.total() as f64
+    }
+
+    /// Mean per-function recovery time.
+    pub fn mean_time(&self) -> Duration {
+        if self.outcomes.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.outcomes.iter().map(|o| o.elapsed).sum();
+        total / self.outcomes.len() as u32
+    }
+
+    /// Fraction of functions recovered within `limit`.
+    pub fn fraction_within(&self, limit: Duration) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.outcomes.iter().filter(|o| o.elapsed <= limit).count() as f64 / self.total() as f64
+    }
+}
+
+/// Runs SigRec over every contract in the corpus and scores it.
+pub fn evaluate(sigrec: &SigRec, corpus: &Corpus) -> Evaluation {
+    let mut eval = Evaluation::default();
+    for contract in &corpus.contracts {
+        let recovered = sigrec.recover(&contract.code);
+        for f in &contract.functions {
+            let hit = recovered.iter().find(|r| r.selector == f.declared.selector);
+            eval.outcomes.push(score(f, hit.map(|r| (&r.params, r.elapsed))));
+            if let Some(r) = hit {
+                eval.rule_stats.absorb(&r.rules);
+            }
+        }
+    }
+    eval
+}
+
+/// Scores one function given the recovered parameter list (if any).
+pub fn score(
+    truth: &LabeledFunction,
+    recovered: Option<(&Vec<AbiType>, Duration)>,
+) -> FunctionOutcome {
+    match recovered {
+        Some((params, elapsed)) => FunctionOutcome {
+            declared: truth.declared.canonical(),
+            recovered: Some(render(params)),
+            correct: *params == truth.declared.params,
+            matches_expected: *params == truth.expected,
+            elapsed,
+        },
+        None => FunctionOutcome {
+            declared: truth.declared.canonical(),
+            recovered: None,
+            correct: false,
+            matches_expected: false,
+            elapsed: Duration::ZERO,
+        },
+    }
+}
+
+fn render(params: &[AbiType]) -> String {
+    let inner: Vec<String> = params.iter().map(AbiType::canonical).collect();
+    format!("({})", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn clean_dataset2_scores_high() {
+        // A small slice of dataset 2 (quirk-free by construction): SigRec
+        // should be near-perfect here.
+        let mut corpus = datasets::dataset2(21);
+        corpus.contracts.truncate(5);
+        let eval = evaluate(&SigRec::new(), &corpus);
+        assert_eq!(eval.total(), 50);
+        assert!(
+            eval.accuracy() > 0.9,
+            "accuracy {} too low; failures: {:?}",
+            eval.accuracy(),
+            eval.outcomes
+                .iter()
+                .filter(|o| !o.correct)
+                .map(|o| format!("{} -> {:?}", o.declared, o.recovered))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn soundness_at_least_strict() {
+        let mut corpus = datasets::dataset3(10, 5);
+        corpus.contracts.truncate(10);
+        let eval = evaluate(&SigRec::new(), &corpus);
+        assert!(eval.soundness_accuracy() >= eval.accuracy());
+    }
+
+    #[test]
+    fn empty_corpus_is_vacuously_perfect() {
+        let eval = evaluate(&SigRec::new(), &Corpus::default());
+        assert_eq!(eval.total(), 0);
+        assert_eq!(eval.accuracy(), 1.0);
+    }
+}

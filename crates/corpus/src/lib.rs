@@ -1,0 +1,25 @@
+//! # sigrec-corpus
+//!
+//! Deterministic synthesis of the paper's evaluation workloads: labelled
+//! contract corpora (datasets 1–3, the Vyper corpus, the Table 4
+//! struct/nested subset, the RQ2 compiler-version sweeps), random
+//! argument values, a transaction-traffic generator for the ParChecker
+//! experiment, and the accuracy-evaluation harness.
+//!
+//! Every generator is seeded and reproducible; the paper's residual
+//! error-case rates (§5.2) are injected explicitly and documented in
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod contracts;
+pub mod datasets;
+pub mod eval;
+pub mod traffic;
+pub mod typegen;
+pub mod valuegen;
+
+pub use contracts::{Corpus, LabeledContract, LabeledFunction, Toolchain};
+pub use eval::{evaluate, Evaluation, FunctionOutcome};
+pub use traffic::{generate_traffic, MalformKind, TrafficLabel, TrafficParams, Transaction};
+pub use valuegen::{random_value, ValueLimits};

@@ -1,0 +1,264 @@
+//! Transaction-traffic synthesis for the ParChecker experiment (§6.1).
+//!
+//! Generates a stream of function invocations against a labelled corpus:
+//! mostly well-formed calldata, a configurable share of malformed payloads
+//! (wrong padding, truncation, bad booleans, wild offsets), and a batch of
+//! *short-address attacks* against `transfer(address,uint256)`-shaped
+//! functions.
+
+use crate::contracts::Corpus;
+use crate::valuegen::{random_value, ValueLimits};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sigrec_abi::{encode, AbiType, AbiValue, FunctionSignature};
+use sigrec_evm::U256;
+
+/// Ground-truth label of a generated transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrafficLabel {
+    /// Spec-conformant encoding.
+    Valid,
+    /// Malformed (non-attack): bad padding, truncation, etc.
+    Malformed(MalformKind),
+    /// A short-address attack: the address's trailing zero bytes omitted
+    /// so the EVM pads the amount with zeros (×256 per byte).
+    ShortAddressAttack,
+}
+
+/// The specific malformation applied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MalformKind {
+    /// Non-zero bits above a `uintM`/`address` value.
+    DirtyLeftPadding,
+    /// Non-zero bits below a `bytesM` or `bytes` payload.
+    DirtyRightPadding,
+    /// Calldata cut short.
+    Truncated,
+    /// A `bool` word that is neither 0 nor 1.
+    BadBool,
+    /// An offset word pointing outside the calldata.
+    WildOffset,
+}
+
+/// One synthetic transaction.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// Full calldata (selector + arguments).
+    pub calldata: Vec<u8>,
+    /// The target function's declared signature.
+    pub target: FunctionSignature,
+    /// Ground truth.
+    pub label: TrafficLabel,
+}
+
+/// Traffic-generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficParams {
+    /// Total non-attack transactions.
+    pub transactions: usize,
+    /// Fraction of non-attack transactions that are malformed (the paper
+    /// finds ~1 % invalid in the wild).
+    pub invalid_rate: f64,
+    /// Number of short-address-attack transactions to inject.
+    pub attacks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficParams {
+    fn default() -> Self {
+        TrafficParams { transactions: 1000, invalid_rate: 0.01, attacks: 5, seed: 1 }
+    }
+}
+
+/// Generates a transaction stream against the corpus's functions.
+///
+/// Functions with parameters are targeted; attacks go to functions whose
+/// parameter list starts `(address, uint256)`. If the corpus has no such
+/// function, a canonical `transfer(address,uint256)` target is fabricated.
+pub fn generate_traffic(corpus: &Corpus, params: &TrafficParams) -> Vec<Transaction> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let limits = ValueLimits::default();
+    let targets: Vec<&FunctionSignature> = corpus
+        .functions()
+        .filter(|(_, f)| !f.declared.params.is_empty())
+        .map(|(_, f)| &f.declared)
+        .collect();
+    let mut out = Vec::with_capacity(params.transactions + params.attacks);
+    if targets.is_empty() {
+        return out;
+    }
+    for _ in 0..params.transactions {
+        let sig = targets[rng.gen_range(0..targets.len())];
+        let values: Vec<AbiValue> =
+            sig.params.iter().map(|t| random_value(&mut rng, t, &limits)).collect();
+        let mut calldata = sig.selector.0.to_vec();
+        calldata.extend(encode(&sig.params, &values).expect("generated values conform"));
+        if rng.gen_bool(params.invalid_rate) {
+            if let Some(kind) = malform(&mut rng, sig, &mut calldata) {
+                out.push(Transaction {
+                    calldata,
+                    target: sig.clone(),
+                    label: TrafficLabel::Malformed(kind),
+                });
+                continue;
+            }
+        }
+        out.push(Transaction { calldata, target: sig.clone(), label: TrafficLabel::Valid });
+    }
+    // Short-address attacks.
+    let transfer_like: Vec<&FunctionSignature> = targets
+        .iter()
+        .copied()
+        .filter(|s| {
+            // The §6.1 attack (and its detection) applies to exactly
+            // transfer-shaped functions.
+            s.params.len() == 2
+                && s.params[0] == AbiType::Address
+                && s.params[1] == AbiType::Uint(256)
+        })
+        .collect();
+    let fallback = FunctionSignature::parse("transfer(address,uint256)").unwrap();
+    for _ in 0..params.attacks {
+        let sig = transfer_like
+            .get(rng.gen_range(0..transfer_like.len().max(1)))
+            .copied()
+            .unwrap_or(&fallback);
+        out.push(short_address_attack(&mut rng, sig));
+    }
+    out
+}
+
+/// Builds one short-address-attack transaction against a
+/// `(address, uint256, …)` function: the address ends in `k` zero bytes
+/// which the attacker omits, shortening the calldata.
+pub fn short_address_attack(rng: &mut StdRng, sig: &FunctionSignature) -> Transaction {
+    let k = rng.gen_range(1..=4usize);
+    // An address whose low k bytes are zero (attacker-chosen vanity).
+    let addr = (U256::from(rng.gen::<u64>()) << (8 * k as u32 + 64))
+        & U256::low_mask(160)
+        & !U256::low_mask(8 * k as u32);
+    let amount = U256::from(rng.gen_range(1_000u64..1_000_000));
+    let mut values = vec![AbiValue::Address(addr), AbiValue::Uint(amount)];
+    for extra in &sig.params[2.min(sig.params.len())..] {
+        values.push(crate::valuegen::random_value(rng, extra, &ValueLimits::default()));
+    }
+    let mut calldata = sig.selector.0.to_vec();
+    calldata.extend(encode(&sig.params, &values).expect("attack values conform"));
+    // Delete the address's trailing k zero bytes (bytes 4+32-k .. 4+32);
+    // everything after shifts up and the calldata is k bytes short.
+    calldata.drain(4 + 32 - k..4 + 32);
+    Transaction { calldata, target: sig.clone(), label: TrafficLabel::ShortAddressAttack }
+}
+
+/// Applies a random malformation suited to the signature. Returns `None`
+/// if no malformation is applicable.
+fn malform(
+    rng: &mut StdRng,
+    sig: &FunctionSignature,
+    calldata: &mut Vec<u8>,
+) -> Option<MalformKind> {
+    // Head offset (within the argument area) of each parameter.
+    let mut heads = Vec::new();
+    let mut h = 4usize;
+    for p in &sig.params {
+        heads.push((h, p.clone()));
+        h += p.head_size();
+    }
+    let mut options: Vec<MalformKind> = vec![MalformKind::Truncated];
+    if heads.iter().any(|(_, p)| matches!(p, AbiType::Uint(m) if *m < 256) || *p == AbiType::Address)
+    {
+        options.push(MalformKind::DirtyLeftPadding);
+    }
+    if heads.iter().any(|(_, p)| matches!(p, AbiType::FixedBytes(m) if *m < 32)) {
+        options.push(MalformKind::DirtyRightPadding);
+    }
+    if heads.iter().any(|(_, p)| *p == AbiType::Bool) {
+        options.push(MalformKind::BadBool);
+    }
+    if heads.iter().any(|(_, p)| p.is_dynamic()) {
+        options.push(MalformKind::WildOffset);
+    }
+    let kind = options[rng.gen_range(0..options.len())];
+    match kind {
+        MalformKind::Truncated => {
+            if calldata.len() <= 5 {
+                return None;
+            }
+            let cut = rng.gen_range(1..=16.min(calldata.len() - 5));
+            calldata.truncate(calldata.len() - cut);
+        }
+        MalformKind::DirtyLeftPadding => {
+            let (h, _) = heads
+                .iter()
+                .find(|(_, p)| matches!(p, AbiType::Uint(m) if *m < 256) || *p == AbiType::Address)?;
+            calldata[*h] = 0xde;
+        }
+        MalformKind::DirtyRightPadding => {
+            let (h, _) =
+                heads.iter().find(|(_, p)| matches!(p, AbiType::FixedBytes(m) if *m < 32))?;
+            calldata[*h + 31] = 0xad;
+        }
+        MalformKind::BadBool => {
+            let (h, _) = heads.iter().find(|(_, p)| *p == AbiType::Bool)?;
+            calldata[*h + 31] = 0x02;
+        }
+        MalformKind::WildOffset => {
+            let (h, _) = heads.iter().find(|(_, p)| p.is_dynamic())?;
+            calldata[*h..*h + 32].copy_from_slice(&U256::MAX.to_be_bytes());
+        }
+    }
+    Some(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use sigrec_abi::decode;
+
+    #[test]
+    fn traffic_labels_are_consistent_with_decoder() {
+        let corpus = datasets::dataset3(20, 77);
+        let txs = generate_traffic(
+            &corpus,
+            &TrafficParams { transactions: 300, invalid_rate: 0.2, attacks: 10, seed: 3 },
+        );
+        assert!(txs.len() >= 300);
+        for tx in &txs {
+            let ok = decode(&tx.target.params, &tx.calldata[4..]).is_ok();
+            match tx.label {
+                TrafficLabel::Valid => assert!(ok, "valid tx must decode: {}", tx.target),
+                TrafficLabel::Malformed(kind) => {
+                    assert!(!ok, "malformed tx ({kind:?}) must be rejected: {}", tx.target)
+                }
+                TrafficLabel::ShortAddressAttack => {
+                    assert!(!ok, "attack tx must be rejected")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attack_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sig = FunctionSignature::parse("transfer(address,uint256)").unwrap();
+        let tx = short_address_attack(&mut rng, &sig);
+        assert!(tx.calldata.len() < 4 + 64);
+        assert_eq!(&tx.calldata[..4], &sig.selector.0);
+    }
+
+    #[test]
+    fn attack_counts() {
+        let corpus = datasets::dataset3(10, 4);
+        let txs = generate_traffic(
+            &corpus,
+            &TrafficParams { transactions: 50, invalid_rate: 0.0, attacks: 7, seed: 5 },
+        );
+        let attacks =
+            txs.iter().filter(|t| t.label == TrafficLabel::ShortAddressAttack).count();
+        assert_eq!(attacks, 7);
+        let valid = txs.iter().filter(|t| t.label == TrafficLabel::Valid).count();
+        assert_eq!(valid, 50);
+    }
+}

@@ -1,0 +1,197 @@
+//! Random parameter-type generation.
+//!
+//! Two distributions: [`realistic`] mirrors the type mix of deployed
+//! contracts (basic types dominate; arrays, `bytes` and `string` are
+//! common; structs and nested arrays are rare — the paper reports they
+//! appear in only ~0.5 % of signatures), and [`synthesized`] mirrors the
+//! paper's dataset-2 construction (uniform over categories, arrays up to
+//! three dimensions with at most five items each).
+
+use rand::Rng;
+use sigrec_abi::{AbiType, VyperType};
+
+/// The widths `uintM`/`intM` may take.
+const WIDTHS: [u16; 11] = [8, 16, 24, 32, 48, 64, 96, 128, 160, 192, 256];
+
+/// A random basic type (paper §2.3.1 category 1).
+pub fn basic(rng: &mut impl Rng) -> AbiType {
+    match rng.gen_range(0..6) {
+        0 => AbiType::Uint(WIDTHS[rng.gen_range(0..WIDTHS.len())]),
+        1 => AbiType::Int(WIDTHS[rng.gen_range(0..WIDTHS.len())]),
+        2 => AbiType::Address,
+        3 => AbiType::Bool,
+        4 => AbiType::FixedBytes(rng.gen_range(1..=32)),
+        _ => AbiType::Uint(256),
+    }
+}
+
+/// A random static array over a basic element, `dims` dimensions of at
+/// most `max_items` items each.
+pub fn static_array(rng: &mut impl Rng, dims: usize, max_items: usize) -> AbiType {
+    let mut t = basic(rng);
+    for _ in 0..dims {
+        t = AbiType::Array(Box::new(t), rng.gen_range(1..=max_items));
+    }
+    t
+}
+
+/// A random dynamic array (outermost dimension dynamic, inner static).
+pub fn dynamic_array(rng: &mut impl Rng, inner_dims: usize, max_items: usize) -> AbiType {
+    let mut t = basic(rng);
+    for _ in 0..inner_dims {
+        t = AbiType::Array(Box::new(t), rng.gen_range(1..=max_items));
+    }
+    AbiType::DynArray(Box::new(t))
+}
+
+/// A random nested array (an inner dimension dynamic).
+pub fn nested_array(rng: &mut impl Rng) -> AbiType {
+    let inner = AbiType::DynArray(Box::new(basic(rng)));
+    if rng.gen_bool(0.5) {
+        AbiType::DynArray(Box::new(inner))
+    } else {
+        AbiType::Array(Box::new(inner), rng.gen_range(1..=4))
+    }
+}
+
+/// A random dynamic struct (at least one dynamic member, so it does not
+/// flatten). Occasionally the dynamic member is itself a nested array —
+/// the paper's rule R19 case.
+pub fn dynamic_struct(rng: &mut impl Rng) -> AbiType {
+    let dyn_member = if rng.gen_bool(0.25) {
+        AbiType::DynArray(Box::new(AbiType::DynArray(Box::new(basic(rng)))))
+    } else {
+        AbiType::DynArray(Box::new(basic(rng)))
+    };
+    let mut members = vec![dyn_member];
+    for _ in 0..rng.gen_range(1..=3) {
+        members.push(basic(rng));
+    }
+    if rng.gen_bool(0.5) {
+        let by = rng.gen_range(0..members.len());
+        members.rotate_right(by);
+    }
+    AbiType::Tuple(members)
+}
+
+/// A random static struct (all members basic; flattens in bytecode).
+pub fn static_struct(rng: &mut impl Rng) -> AbiType {
+    let members = (0..rng.gen_range(2..=4)).map(|_| basic(rng)).collect();
+    AbiType::Tuple(members)
+}
+
+/// The realistic deployed-contract mix.
+pub fn realistic(rng: &mut impl Rng) -> AbiType {
+    let roll = rng.gen_range(0..1000);
+    match roll {
+        0..=699 => basic(rng),                                  // 70 %
+        700..=779 => AbiType::Bytes,                            // 8 %
+        780..=839 => AbiType::String,                           // 6 %
+        840..=919 => dynamic_array(rng, 0, 5),                  // 8 %
+        920..=964 => static_array(rng, 1, 5),                   // 4.5 %
+        965..=984 => static_array(rng, 2, 4),                   // 2 %
+        985..=989 => dynamic_array(rng, 1, 4),                  // 0.5 %
+        990..=994 => nested_array(rng),                         // 0.5 %
+        _ => dynamic_struct(rng),                               // 0.5 %
+    }
+}
+
+/// The dataset-2 distribution: uniform over categories, arrays up to three
+/// dimensions with at most five items per dimension (§5.6).
+pub fn synthesized(rng: &mut impl Rng) -> AbiType {
+    match rng.gen_range(0..8) {
+        0 | 1 | 2 => basic(rng),
+        3 => AbiType::Bytes,
+        4 => AbiType::String,
+        5 => {
+            let dims = rng.gen_range(1..=3);
+            static_array(rng, dims, 5)
+        }
+        6 => {
+            let inner = rng.gen_range(0..=2);
+            dynamic_array(rng, inner, 5)
+        }
+        _ => basic(rng),
+    }
+}
+
+/// A random Vyper parameter type (all ten §2.3.2 types).
+pub fn vyper(rng: &mut impl Rng) -> VyperType {
+    let basic = |rng: &mut dyn rand::RngCore| match rng.gen_range(0..6) {
+        0 => VyperType::Bool,
+        1 => VyperType::Int128,
+        2 => VyperType::Uint256,
+        3 => VyperType::Address,
+        4 => VyperType::Bytes32,
+        _ => VyperType::Decimal,
+    };
+    match rng.gen_range(0..10) {
+        0..=5 => basic(rng),
+        6 => {
+            let mut t = basic(rng);
+            for _ in 0..rng.gen_range(1..=2) {
+                t = VyperType::FixedList(Box::new(t), rng.gen_range(1..=5));
+            }
+            t
+        }
+        7 => VyperType::FixedBytes(rng.gen_range(1..=50)),
+        8 => VyperType::FixedString(rng.gen_range(1..=50)),
+        _ => {
+            let members = (0..rng.gen_range(2..=3)).map(|_| basic(rng)).collect();
+            VyperType::Struct(members)
+        }
+    }
+}
+
+/// A random lowercase function name of `len` letters (dataset 2 uses 5).
+pub fn name(rng: &mut impl Rng, len: usize) -> String {
+    (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_generated_types_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            assert!(realistic(&mut rng).is_well_formed());
+            assert!(synthesized(&mut rng).is_well_formed());
+            assert!(vyper(&mut rng).is_well_formed());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<AbiType> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50).map(|_| realistic(&mut rng)).collect()
+        };
+        let b: Vec<AbiType> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50).map(|_| realistic(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn category_constructors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(static_array(&mut rng, 2, 5).is_static_array());
+        assert!(dynamic_array(&mut rng, 1, 5).is_dynamic_array());
+        assert!(nested_array(&mut rng).is_nested_array());
+        assert!(dynamic_struct(&mut rng).is_dynamic());
+        assert!(!static_struct(&mut rng).is_dynamic());
+    }
+
+    #[test]
+    fn names_are_lowercase_letters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = name(&mut rng, 5);
+        assert_eq!(n.len(), 5);
+        assert!(n.chars().all(|c| c.is_ascii_lowercase()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Random argument-value generation for a given ABI type.
+//!
+//! Used by the ParChecker traffic generator (valid calldata) and by the
+//! type-aware fuzzer (§6.2): values always conform to their type, with
+//! bounded sizes for dynamic payloads.
+
+use rand::Rng;
+use sigrec_abi::{AbiType, AbiValue};
+use sigrec_evm::U256;
+
+/// Caps on generated dynamic sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct ValueLimits {
+    /// Maximum items in a dynamic array dimension.
+    pub max_array_items: usize,
+    /// Maximum bytes in a `bytes`/`string` payload.
+    pub max_byte_len: usize,
+}
+
+impl Default for ValueLimits {
+    fn default() -> Self {
+        ValueLimits { max_array_items: 4, max_byte_len: 48 }
+    }
+}
+
+/// Generates a random value conforming to `ty`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use sigrec_abi::AbiType;
+/// use sigrec_corpus::valuegen::{random_value, ValueLimits};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let ty = AbiType::parse("uint8[]").unwrap();
+/// let v = random_value(&mut rng, &ty, &ValueLimits::default());
+/// assert!(v.conforms_to(&ty));
+/// ```
+pub fn random_value(rng: &mut impl Rng, ty: &AbiType, limits: &ValueLimits) -> AbiValue {
+    match ty {
+        AbiType::Uint(m) => AbiValue::Uint(random_uint(rng, *m)),
+        AbiType::Int(m) => {
+            let mag = random_uint(rng, *m - 1);
+            if rng.gen_bool(0.5) {
+                AbiValue::Int(mag)
+            } else {
+                // Negative value in two's-complement M-bit range, stored
+                // sign-extended to 256 bits.
+                AbiValue::Int((mag + U256::ONE).wrapping_neg())
+            }
+        }
+        AbiType::Address => AbiValue::Address(random_uint(rng, 160)),
+        AbiType::Bool => AbiValue::Bool(rng.gen_bool(0.5)),
+        AbiType::FixedBytes(m) => {
+            AbiValue::FixedBytes((0..*m).map(|_| rng.gen::<u8>()).collect())
+        }
+        AbiType::Bytes => {
+            let len = rng.gen_range(0..=limits.max_byte_len);
+            AbiValue::Bytes((0..len).map(|_| rng.gen::<u8>()).collect())
+        }
+        AbiType::String => {
+            let len = rng.gen_range(0..=limits.max_byte_len);
+            AbiValue::Str((0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect())
+        }
+        AbiType::Array(el, n) => {
+            AbiValue::Array((0..*n).map(|_| random_value(rng, el, limits)).collect())
+        }
+        AbiType::DynArray(el) => {
+            // At least one item so bound-checked access code can run.
+            let n = rng.gen_range(1..=limits.max_array_items);
+            AbiValue::Array((0..n).map(|_| random_value(rng, el, limits)).collect())
+        }
+        AbiType::Tuple(ts) => {
+            AbiValue::Tuple(ts.iter().map(|t| random_value(rng, t, limits)).collect())
+        }
+    }
+}
+
+/// A random unsigned integer of at most `bits` bits, biased toward small
+/// values (realistic calldata is mostly small numbers).
+fn random_uint(rng: &mut impl Rng, bits: u16) -> U256 {
+    let word: u64 = rng.gen();
+    let small = U256::from(word);
+    if bits >= 64 && rng.gen_bool(0.3) {
+        // Occasionally use the full width.
+        let mut limbs = [0u64; 4];
+        for l in limbs.iter_mut().take((bits as usize).div_ceil(64)) {
+            *l = rng.gen();
+        }
+        U256::from_limbs(limbs) & U256::low_mask(bits as u32)
+    } else {
+        small & U256::low_mask(bits.min(64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sigrec_abi::{decode, encode};
+
+    #[test]
+    fn values_conform_for_many_types() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let limits = ValueLimits::default();
+        for s in [
+            "uint8", "uint256", "int8", "int256", "address", "bool", "bytes4", "bytes32",
+            "bytes", "string", "uint256[3]", "uint8[]", "uint256[2][]", "uint256[][]",
+            "(uint256[],bool)", "(uint8,uint8)",
+        ] {
+            let ty = AbiType::parse(s).unwrap();
+            for _ in 0..50 {
+                let v = random_value(&mut rng, &ty, &limits);
+                assert!(v.conforms_to(&ty), "value for {s} must conform");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_on_random_values() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let limits = ValueLimits::default();
+        for s in ["uint16", "int32", "bytes", "uint8[]", "(uint256[],uint256)", "string"] {
+            let ty = AbiType::parse(s).unwrap();
+            for _ in 0..20 {
+                let v = random_value(&mut rng, &ty, &limits);
+                let data = encode(std::slice::from_ref(&ty), std::slice::from_ref(&v)).unwrap();
+                let back = decode(std::slice::from_ref(&ty), &data).unwrap();
+                assert_eq!(back, vec![v.clone()], "round trip for {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_arrays_nonempty() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let ty = AbiType::parse("uint8[]").unwrap();
+        for _ in 0..30 {
+            match random_value(&mut rng, &ty, &ValueLimits::default()) {
+                AbiValue::Array(items) => assert!(!items.is_empty()),
+                other => panic!("expected array, got {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The §5.6 comparison harness (Tables 1–5).
+
+use crate::tools::{RecoveryTool, ToolOutput};
+use sigrec_corpus::Corpus;
+use std::collections::HashMap;
+
+/// Aggregate comparison figures for one tool over one dataset — the rows
+/// of Tables 1–3.
+#[derive(Clone, Debug, Default)]
+pub struct ToolReport {
+    /// Tool name.
+    pub tool: String,
+    /// Ground-truth functions considered.
+    pub total: usize,
+    /// Correct per the strict criterion (types exactly match the
+    /// declaration).
+    pub correct: usize,
+    /// Functions for which the tool produced *no* signature.
+    pub missing: usize,
+    /// Functions where the parameter count was right but at least one type
+    /// wrong (Table 2/3 row "incorrect types").
+    pub wrong_types: usize,
+    /// Functions where even the parameter count was wrong.
+    pub wrong_count: usize,
+    /// Functions lost to tool aborts.
+    pub aborted: usize,
+    /// Functions whose output agrees with a reference tool's (Table 1's
+    /// agreement-with-SigRec measure); populated only when a reference is
+    /// supplied.
+    pub agree_with_reference: usize,
+}
+
+impl ToolReport {
+    /// Accuracy in [0, 1].
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.correct as f64 / self.total as f64
+    }
+
+    /// Agreement ratio with the reference tool.
+    pub fn agreement(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.agree_with_reference as f64 / self.total as f64
+    }
+
+    /// Abort ratio.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.aborted as f64 / self.total as f64
+    }
+}
+
+/// Runs `tool` over the corpus, scoring against ground truth and (when
+/// given) against a reference tool's outputs keyed by `(contract index,
+/// selector)`.
+pub fn run_tool(
+    tool: &dyn RecoveryTool,
+    corpus: &Corpus,
+    reference: Option<&HashMap<(usize, [u8; 4]), Vec<sigrec_abi::AbiType>>>,
+) -> ToolReport {
+    let mut report = ToolReport { tool: tool.name().to_string(), ..Default::default() };
+    for (ci, contract) in corpus.contracts.iter().enumerate() {
+        let out: ToolOutput = tool.recover(&contract.code);
+        for f in &contract.functions {
+            report.total += 1;
+            if out.aborted {
+                report.aborted += 1;
+                report.missing += 1;
+                continue;
+            }
+            let hit = out.functions.iter().find(|t| t.selector == f.declared.selector);
+            let Some(params) = hit.and_then(|t| t.params.as_ref()) else {
+                report.missing += 1;
+                continue;
+            };
+            if *params == f.declared.params {
+                report.correct += 1;
+            } else if params.len() == f.declared.params.len() {
+                report.wrong_types += 1;
+            } else {
+                report.wrong_count += 1;
+            }
+            if let Some(reference) = reference {
+                if reference.get(&(ci, f.declared.selector.0)) == Some(params) {
+                    report.agree_with_reference += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Collects a tool's outputs keyed for use as a comparison reference.
+pub fn reference_outputs(
+    tool: &dyn RecoveryTool,
+    corpus: &Corpus,
+) -> HashMap<(usize, [u8; 4]), Vec<sigrec_abi::AbiType>> {
+    let mut map = HashMap::new();
+    for (ci, contract) in corpus.contracts.iter().enumerate() {
+        let out = tool.recover(&contract.code);
+        for f in out.functions {
+            if let Some(params) = f.params {
+                map.insert((ci, f.selector.0), params);
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Efsd;
+    use crate::tools::{DbTool, SigRecTool};
+    use sigrec_corpus::datasets;
+
+    #[test]
+    fn sigrec_beats_empty_db_tool() {
+        let corpus = datasets::dataset3(40, 17);
+        let sigrec = SigRecTool::new();
+        let db_tool = DbTool::new("OSD", Efsd::new(), 1.0);
+        let a = run_tool(&sigrec, &corpus, None);
+        let b = run_tool(&db_tool, &corpus, None);
+        assert!(a.accuracy() > 0.9);
+        assert_eq!(b.correct, 0, "empty database recovers nothing");
+        assert_eq!(b.missing, b.total);
+    }
+
+    #[test]
+    fn full_db_tool_is_perfect_by_construction() {
+        let corpus = datasets::dataset3(15, 18);
+        let db = Efsd::seeded_from(&corpus, 1.0, 0);
+        let tool = DbTool::new("OSD", db, 1.0);
+        let r = run_tool(&tool, &corpus, None);
+        assert_eq!(r.correct, r.total);
+    }
+
+    #[test]
+    fn agreement_with_reference() {
+        let corpus = datasets::dataset3(10, 19);
+        let sigrec = SigRecTool::new();
+        let reference = reference_outputs(&sigrec, &corpus);
+        let r = run_tool(&sigrec, &corpus, Some(&reference));
+        assert_eq!(r.agree_with_reference, r.total, "self-agreement is total");
+    }
+}

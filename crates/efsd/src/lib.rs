@@ -1,0 +1,17 @@
+//! # sigrec-efsd
+//!
+//! The simulated Ethereum Function Signature Database and the five baseline
+//! tools of the paper's §5.6 comparison (OSD, EBD, JEB as database lookups;
+//! Eveem as database + simple heuristics; Gigahorse as database + a buggy
+//! pattern matcher with its documented error classes), plus the comparison
+//! harness that regenerates Tables 1–5.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod db;
+pub mod tools;
+
+pub use compare::{reference_outputs, run_tool, ToolReport};
+pub use db::Efsd;
+pub use tools::{DbTool, EveemTool, GigahorseTool, RecoveryTool, SigRecTool, ToolFunction, ToolOutput};

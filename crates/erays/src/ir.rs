@@ -1,0 +1,318 @@
+//! A register-based intermediate representation lifted from EVM bytecode.
+//!
+//! Erays (the reverse-engineering tool §6.3 builds on) converts
+//! stack-machine bytecode into three-address statements over virtual
+//! registers, which read far better than raw opcodes. The lifter here is a
+//! per-block symbolic-stack translation: each value-producing instruction
+//! allocates a fresh register and emits one assignment.
+
+use sigrec_evm::{Disassembly, Opcode, U256};
+use std::fmt;
+
+/// An operand of an IR statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A virtual register.
+    Var(u32),
+    /// A constant.
+    Const(U256),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(v) => write!(f, "v{}", v),
+            Operand::Const(c) => write!(f, "0x{:x}", c),
+        }
+    }
+}
+
+/// One three-address statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IrStmt {
+    /// `dst = op(args…)`.
+    Assign {
+        /// Destination register.
+        dst: u32,
+        /// Mnemonic of the producing operation.
+        op: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// An effect without a result (MSTORE, SSTORE, CALLDATACOPY, LOG…).
+    Effect {
+        /// Mnemonic.
+        op: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// An (un)conditional jump.
+    Jump {
+        /// Target operand.
+        target: Operand,
+        /// Condition; `None` for unconditional jumps.
+        condition: Option<Operand>,
+    },
+    /// A terminator (STOP/RETURN/REVERT/INVALID/SELFDESTRUCT).
+    Halt {
+        /// Mnemonic.
+        op: String,
+    },
+    /// A `JUMPDEST` label.
+    Label {
+        /// The pc of the label.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for IrStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrStmt::Assign { dst, op, args } => {
+                write!(f, "v{} = {}(", dst, op)?;
+                write_args(f, args)?;
+                write!(f, ")")
+            }
+            IrStmt::Effect { op, args } => {
+                write!(f, "{}(", op)?;
+                write_args(f, args)?;
+                write!(f, ")")
+            }
+            IrStmt::Jump { target, condition: Some(c) } => {
+                write!(f, "if {} goto {}", c, target)
+            }
+            IrStmt::Jump { target, condition: None } => write!(f, "goto {}", target),
+            IrStmt::Halt { op } => write!(f, "{}", op),
+            IrStmt::Label { pc } => write!(f, "loc_{:x}:", pc),
+        }
+    }
+}
+
+fn write_args(f: &mut fmt::Formatter<'_>, args: &[Operand]) -> fmt::Result {
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}", a)?;
+    }
+    Ok(())
+}
+
+/// One lifted function body.
+#[derive(Clone, Debug)]
+pub struct IrFunction {
+    /// pc of the function's entry `JUMPDEST`.
+    pub entry: usize,
+    /// Statements in address order.
+    pub body: Vec<IrStmt>,
+}
+
+impl IrFunction {
+    /// Number of statements (the §6.3 line metric).
+    pub fn line_count(&self) -> usize {
+        self.body.len()
+    }
+}
+
+/// A lifted program.
+#[derive(Clone, Debug, Default)]
+pub struct IrProgram {
+    /// The dispatcher prologue's statements.
+    pub dispatcher: Vec<IrStmt>,
+    /// Function bodies, in entry order.
+    pub functions: Vec<IrFunction>,
+}
+
+/// Lifts runtime bytecode into the register IR. `entries` are the function
+/// entry pcs (from dispatcher extraction), used to split the program;
+/// everything before the first entry is the dispatcher.
+pub fn lift(code: &[u8], entries: &[usize]) -> IrProgram {
+    let disasm = Disassembly::new(code);
+    let mut sorted: Vec<usize> = entries.to_vec();
+    sorted.sort_unstable();
+    let mut program = IrProgram::default();
+    let first_entry = sorted.first().copied().unwrap_or(usize::MAX);
+    program.dispatcher = lift_range(&disasm, 0, first_entry);
+    for (k, &entry) in sorted.iter().enumerate() {
+        let end = sorted.get(k + 1).copied().unwrap_or(code.len());
+        program.functions.push(IrFunction { entry, body: lift_range(&disasm, entry, end) });
+    }
+    program
+}
+
+/// Lifts the instructions with `start <= pc < end`.
+fn lift_range(disasm: &Disassembly, start: usize, end: usize) -> Vec<IrStmt> {
+    let mut l = Lifter { next_var: 0, stack: Vec::new(), out: Vec::new() };
+    let Some(start_idx) = disasm.index_of(start) else { return l.out };
+    for ins in &disasm.instructions()[start_idx..] {
+        if ins.pc >= end {
+            break;
+        }
+        let op = ins.opcode;
+        match op {
+            Opcode::Push(_) => {
+                l.stack.push(Operand::Const(ins.push_value().unwrap_or(U256::ZERO)));
+            }
+            Opcode::Pop => {
+                let _ = l.pop();
+            }
+            Opcode::Dup(n) => {
+                let n = n as usize;
+                l.ensure_depth(n);
+                let v = l.stack[l.stack.len() - n].clone();
+                l.stack.push(v);
+            }
+            Opcode::Swap(n) => {
+                let n = n as usize;
+                l.ensure_depth(n + 1);
+                let top = l.stack.len() - 1;
+                l.stack.swap(top, top - n);
+            }
+            Opcode::JumpDest => {
+                l.out.push(IrStmt::Label { pc: ins.pc });
+            }
+            Opcode::Jump => {
+                let target = l.pop();
+                l.out.push(IrStmt::Jump { target, condition: None });
+                l.stack.clear();
+            }
+            Opcode::JumpI => {
+                let target = l.pop();
+                let cond = l.pop();
+                l.out.push(IrStmt::Jump { target, condition: Some(cond) });
+            }
+            Opcode::Stop | Opcode::Return | Opcode::Revert | Opcode::SelfDestruct
+            | Opcode::Invalid(_) => {
+                for _ in 0..op.stack_in() {
+                    let _ = l.pop();
+                }
+                l.out.push(IrStmt::Halt { op: op.mnemonic() });
+                l.stack.clear();
+            }
+            other => {
+                let mut args = Vec::with_capacity(other.stack_in());
+                for _ in 0..other.stack_in() {
+                    args.push(l.pop());
+                }
+                if other.stack_out() > 0 {
+                    let dst = l.fresh();
+                    l.out.push(IrStmt::Assign { dst, op: other.mnemonic(), args });
+                } else {
+                    l.out.push(IrStmt::Effect { op: other.mnemonic(), args });
+                }
+            }
+        }
+    }
+    l.out
+}
+
+struct Lifter {
+    next_var: u32,
+    stack: Vec<Operand>,
+    out: Vec<IrStmt>,
+}
+
+impl Lifter {
+    /// Allocates a fresh register and pushes it.
+    fn fresh(&mut self) -> u32 {
+        let v = self.next_var;
+        self.next_var += 1;
+        self.stack.push(Operand::Var(v));
+        v
+    }
+
+    /// Pops an operand, materialising a PHI register for values that flow
+    /// in from the dispatcher or a previous block.
+    fn pop(&mut self) -> Operand {
+        match self.stack.pop() {
+            Some(v) => v,
+            None => {
+                let v = self.next_var;
+                self.next_var += 1;
+                self.out.push(IrStmt::Assign { dst: v, op: "PHI".into(), args: Vec::new() });
+                Operand::Var(v)
+            }
+        }
+    }
+
+    /// Pads the abstract stack with PHI registers up to `depth`.
+    fn ensure_depth(&mut self, depth: usize) {
+        while self.stack.len() < depth {
+            let v = self.next_var;
+            self.next_var += 1;
+            self.out.push(IrStmt::Assign { dst: v, op: "PHI".into(), args: Vec::new() });
+            self.stack.insert(0, Operand::Var(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifts_simple_sequence() {
+        // PUSH1 4 CALLDATALOAD PUSH1 0xff AND POP STOP
+        let code = [0x60, 0x04, 0x35, 0x60, 0xff, 0x16, 0x50, 0x00];
+        let p = lift(&code, &[0]);
+        let body = &p.functions[0].body;
+        let text: Vec<String> = body.iter().map(|s| s.to_string()).collect();
+        assert!(text.iter().any(|l| l.contains("CALLDATALOAD(0x4)")), "{:?}", text);
+        assert!(text.iter().any(|l| l.contains("AND(")), "{:?}", text);
+        assert!(matches!(body.last(), Some(IrStmt::Halt { .. })));
+    }
+
+    #[test]
+    fn registers_are_single_assignment() {
+        let code = [0x60, 0x01, 0x60, 0x02, 0x01, 0x60, 0x03, 0x02, 0x50, 0x00];
+        let p = lift(&code, &[0]);
+        let mut seen = std::collections::HashSet::new();
+        for s in &p.functions[0].body {
+            if let IrStmt::Assign { dst, .. } = s {
+                assert!(seen.insert(*dst), "register v{dst} assigned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn underflow_materialises_phi() {
+        // ADD on an empty abstract stack (values from the dispatcher).
+        let code = [0x01, 0x00];
+        let p = lift(&code, &[0]);
+        let phis = p.functions[0]
+            .body
+            .iter()
+            .filter(|s| matches!(s, IrStmt::Assign { op, .. } if op == "PHI"))
+            .count();
+        assert_eq!(phis, 2);
+    }
+
+    #[test]
+    fn splits_dispatcher_and_functions() {
+        // dispatcher: PUSH1 0 CALLDATALOAD ... then two JUMPDEST bodies.
+        let code = [0x60, 0x00, 0x35, 0x50, 0x00, 0x5b, 0x00, 0x5b, 0x00];
+        let p = lift(&code, &[5, 7]);
+        assert_eq!(p.functions.len(), 2);
+        assert!(!p.dispatcher.is_empty());
+        assert_eq!(p.functions[0].entry, 5);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            IrStmt::Assign {
+                dst: 3,
+                op: "ADD".into(),
+                args: vec![Operand::Var(1), Operand::Const(U256::from(4u64))]
+            }
+            .to_string(),
+            "v3 = ADD(v1, 0x4)"
+        );
+        assert_eq!(IrStmt::Label { pc: 0x2a }.to_string(), "loc_2a:");
+        assert_eq!(
+            IrStmt::Jump { target: Operand::Const(U256::from(8u64)), condition: None }
+                .to_string(),
+            "goto 0x8"
+        );
+    }
+}

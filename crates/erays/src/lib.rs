@@ -1,0 +1,18 @@
+//! # sigrec-erays
+//!
+//! The §6.3 application: reverse engineering EVM bytecode. [`ir::lift`]
+//! produces a register-based three-address IR (our stand-in for Erays);
+//! [`plus::enhance`] is *Erays+*, which uses SigRec's recovered function
+//! signatures to add typed headers, rename parameter and num-field
+//! registers, and collapse compiler-generated parameter-access code —
+//! measured by the paper's readability deltas ([`ReadabilityDelta`]).
+
+#![warn(missing_docs)]
+
+pub mod ir;
+pub mod plus;
+pub mod structure;
+
+pub use ir::{lift, IrFunction, IrProgram, IrStmt, Operand};
+pub use plus::{enhance, enhance_function, EnhancedFunction, ReadabilityDelta};
+pub use structure::{render_structured, LoopNesting};

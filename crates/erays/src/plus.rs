@@ -1,0 +1,255 @@
+//! Erays+ — signature-informed IR enhancement (§6.3).
+//!
+//! Given the recovered signatures, Erays+ improves the Erays output by:
+//!
+//! 1. adding a typed function header
+//!    (`function func_a9059cbb(address arg1, uint256 arg2)`);
+//! 2. renaming registers copied from parameters to `argN`, and registers
+//!    holding a dynamic parameter's num field to `num(argN)`;
+//! 3. collapsing the compiler-generated parameter-access code (loads,
+//!    masks, bound checks, copies) into one `argN = calldata[...]`
+//!    assignment per parameter.
+
+use crate::ir::{IrFunction, IrProgram, IrStmt, Operand};
+use sigrec_core::RecoveredFunction;
+use sigrec_evm::U256;
+use std::collections::HashMap;
+
+/// The enhanced rendering of one function.
+#[derive(Clone, Debug)]
+pub struct EnhancedFunction {
+    /// The typed signature header.
+    pub header: String,
+    /// The rewritten body lines.
+    pub lines: Vec<String>,
+    /// Readability deltas vs the plain Erays rendering.
+    pub delta: ReadabilityDelta,
+}
+
+/// The §6.3 readability metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadabilityDelta {
+    /// Parameter types added (header annotations).
+    pub added_types: usize,
+    /// Registers renamed to `argN`.
+    pub added_param_names: usize,
+    /// Registers renamed to `num(argN)`.
+    pub added_num_names: usize,
+    /// Access-boilerplate lines removed.
+    pub removed_lines: usize,
+}
+
+impl ReadabilityDelta {
+    /// True if anything improved.
+    pub fn improved(&self) -> bool {
+        self.added_types > 0
+            || self.added_param_names > 0
+            || self.added_num_names > 0
+            || self.removed_lines > 0
+    }
+
+    /// Accumulates another function's delta.
+    pub fn absorb(&mut self, other: &ReadabilityDelta) {
+        self.added_types += other.added_types;
+        self.added_param_names += other.added_param_names;
+        self.added_num_names += other.added_num_names;
+        self.removed_lines += other.removed_lines;
+    }
+}
+
+/// Enhances a lifted program with recovered signatures, pairing functions
+/// by entry pc.
+pub fn enhance(program: &IrProgram, recovered: &[RecoveredFunction]) -> Vec<EnhancedFunction> {
+    program
+        .functions
+        .iter()
+        .filter_map(|f| {
+            let rec = recovered.iter().find(|r| r.entry == f.entry)?;
+            Some(enhance_function(f, rec))
+        })
+        .collect()
+}
+
+/// Enhances one function.
+pub fn enhance_function(func: &IrFunction, rec: &RecoveredFunction) -> EnhancedFunction {
+    // Head offsets of each parameter within the calldata.
+    let mut heads: HashMap<u64, usize> = HashMap::new();
+    let mut h = 4u64;
+    for (i, p) in rec.params.iter().enumerate() {
+        heads.insert(h, i);
+        h += p.head_size() as u64;
+    }
+    // Pass 1: name registers. A CALLDATALOAD at a head offset defines
+    // argN; a CALLDATALOAD of `argN + 4` defines num(argN).
+    let mut names: HashMap<u32, String> = HashMap::new();
+    let mut delta = ReadabilityDelta { added_types: rec.params.len(), ..Default::default() };
+    for stmt in &func.body {
+        let IrStmt::Assign { dst, op, args } = stmt else { continue };
+        if op == "CALLDATALOAD" {
+            match args.first() {
+                Some(Operand::Const(c)) => {
+                    if let Some(&idx) = c.as_u64_checked().and_then(|v| heads.get(&v)) {
+                        names.insert(*dst, format!("arg{}", idx + 1));
+                        delta.added_param_names += 1;
+                    }
+                }
+                Some(Operand::Var(v)) => {
+                    if let Some(base) = names.get(v).cloned() {
+                        if base.starts_with("arg") && !base.contains("num") {
+                            names.insert(*dst, format!("num({})", base));
+                            delta.added_num_names += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        } else if op == "ADD" && args.len() == 2 {
+            // Propagate `argN + const` so the num-field load above matches.
+            let named = match (&args[0], &args[1]) {
+                (Operand::Var(v), Operand::Const(c)) | (Operand::Const(c), Operand::Var(v))
+                    if *c == U256::from(4u64) =>
+                {
+                    names.get(v).cloned()
+                }
+                _ => None,
+            };
+            if let Some(n) = named {
+                names.insert(*dst, n);
+            }
+        } else if op == "AND" || op == "SIGNEXTEND" || op == "ISZERO" {
+            // Mask of a named value keeps its name (type info is in the
+            // header now).
+            if let Some(Operand::Var(v)) = args.iter().find(|a| matches!(a, Operand::Var(_))) {
+                if let Some(n) = names.get(v).cloned() {
+                    names.insert(*dst, n);
+                }
+            }
+        }
+    }
+    // Pass 2: emit lines, dropping access boilerplate.
+    let mut lines = Vec::new();
+    for (i, p) in rec.params.iter().enumerate() {
+        lines.push(format!("arg{} = calldata argument {} ({})", i + 1, i + 1, p.canonical()));
+    }
+    for stmt in &func.body {
+        if is_access_boilerplate(stmt, &names) {
+            delta.removed_lines += 1;
+            continue;
+        }
+        lines.push(render(stmt, &names));
+    }
+    let header = format!(
+        "function func_{:08x}({})",
+        rec.selector.as_u32(),
+        rec.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{} arg{}", p.canonical(), i + 1))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    EnhancedFunction { header, lines, delta }
+}
+
+/// Statements that exist only to fetch/validate parameters; Erays+ folds
+/// them into the `argN = …` assignments.
+fn is_access_boilerplate(stmt: &IrStmt, names: &HashMap<u32, String>) -> bool {
+    match stmt {
+        IrStmt::Assign { op, args, dst } => {
+            let arg_related = args.iter().any(|a| match a {
+                Operand::Var(v) => names.contains_key(v),
+                _ => false,
+            }) || names.contains_key(dst);
+            matches!(op.as_str(), "CALLDATALOAD" | "AND" | "SIGNEXTEND" | "ISZERO" | "LT")
+                && arg_related
+        }
+        IrStmt::Effect { op, .. } => op == "CALLDATACOPY",
+        _ => false,
+    }
+}
+
+fn render(stmt: &IrStmt, names: &HashMap<u32, String>) -> String {
+    let subst = |o: &Operand| match o {
+        Operand::Var(v) => names.get(v).cloned().unwrap_or_else(|| format!("v{}", v)),
+        Operand::Const(c) => format!("0x{:x}", c),
+    };
+    match stmt {
+        IrStmt::Assign { dst, op, args } => {
+            let d = names.get(dst).cloned().unwrap_or_else(|| format!("v{}", dst));
+            format!("{} = {}({})", d, op, args.iter().map(subst).collect::<Vec<_>>().join(", "))
+        }
+        IrStmt::Effect { op, args } => {
+            format!("{}({})", op, args.iter().map(subst).collect::<Vec<_>>().join(", "))
+        }
+        IrStmt::Jump { target, condition: Some(c) } => {
+            format!("if {} goto {}", subst(c), subst(target))
+        }
+        IrStmt::Jump { target, condition: None } => format!("goto {}", subst(target)),
+        other => other.to_string(),
+    }
+}
+
+/// Small helper: `U256 → u64` without panicking.
+trait AsU64Checked {
+    fn as_u64_checked(&self) -> Option<u64>;
+}
+
+impl AsU64Checked for U256 {
+    fn as_u64_checked(&self) -> Option<u64> {
+        self.as_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lift;
+    use sigrec_abi::FunctionSignature;
+    use sigrec_core::SigRec;
+    use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+
+    fn enhanced_for(decl: &str, vis: Visibility) -> EnhancedFunction {
+        let sig = FunctionSignature::parse(decl).unwrap();
+        let c = compile_single(FunctionSpec::new(sig, vis), &CompilerConfig::default());
+        let rec = SigRec::new().recover(&c.code);
+        let entries: Vec<usize> = rec.iter().map(|r| r.entry).collect();
+        let program = lift(&c.code, &entries);
+        let out = enhance(&program, &rec);
+        assert_eq!(out.len(), 1);
+        out.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn header_carries_types_and_names() {
+        let e = enhanced_for("f(address,uint256)", Visibility::External);
+        assert!(e.header.contains("address arg1"), "{}", e.header);
+        assert!(e.header.contains("uint256 arg2"), "{}", e.header);
+        assert_eq!(e.delta.added_types, 2);
+    }
+
+    #[test]
+    fn parameters_renamed_and_boilerplate_removed() {
+        let e = enhanced_for("f(uint8,bool)", Visibility::External);
+        assert!(e.delta.added_param_names >= 2);
+        assert!(e.delta.removed_lines >= 2, "masks and loads must fold away");
+        assert!(e.lines.iter().any(|l| l.contains("arg1 = calldata argument 1")));
+    }
+
+    #[test]
+    fn num_field_named_for_dynamic_params() {
+        let e = enhanced_for("f(uint256[])", Visibility::Public);
+        assert!(
+            e.delta.added_num_names >= 1,
+            "dynamic array must yield a num(argN) rename; lines: {:#?}",
+            e.lines
+        );
+    }
+
+    #[test]
+    fn improvement_is_nonempty_for_param_functions() {
+        for decl in ["f(uint8)", "f(bytes)", "f(uint256[3])"] {
+            let e = enhanced_for(decl, Visibility::Public);
+            assert!(e.delta.improved(), "{decl} must improve");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Control-flow structuring of lifted functions.
+//!
+//! Erays renders register IR linearly; readable output also wants the
+//! *shape* of control flow. This module computes loop nesting from the
+//! CFG's natural loops (via the dominator analysis in `sigrec-evm`) and
+//! renders each function with loop bodies indented and annotated — a
+//! lightweight structurer rather than a full decompiler.
+
+use crate::ir::IrFunction;
+use crate::ir::IrStmt;
+use sigrec_evm::{natural_loops, Cfg};
+use std::collections::BTreeMap;
+
+/// Loop-nesting information for one function's pc range.
+#[derive(Clone, Debug, Default)]
+pub struct LoopNesting {
+    /// pc of each loop header in the range.
+    pub headers: Vec<usize>,
+    /// For each block start pc, how many loops contain it.
+    depth_by_block: BTreeMap<usize, usize>,
+}
+
+impl LoopNesting {
+    /// Computes nesting for blocks within `[start, end)` of `code`.
+    pub fn compute(code: &[u8], start: usize, end: usize) -> Self {
+        let cfg = Cfg::new(code);
+        let loops = natural_loops(&cfg);
+        let mut depth_by_block: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut headers = Vec::new();
+        for l in &loops {
+            if l.header < start || l.header >= end {
+                continue;
+            }
+            headers.push(l.header);
+            for &b in &l.body {
+                *depth_by_block.entry(b).or_insert(0) += 1;
+            }
+        }
+        headers.sort_unstable();
+        headers.dedup();
+        LoopNesting { headers, depth_by_block }
+    }
+
+    /// Loop depth of the block starting at `pc` (0 = not in a loop).
+    pub fn depth(&self, pc: usize) -> usize {
+        self.depth_by_block.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// True if `pc` heads a loop.
+    pub fn is_header(&self, pc: usize) -> bool {
+        self.headers.binary_search(&pc).is_ok()
+    }
+}
+
+/// Renders a lifted function with loop-aware indentation: statements inside
+/// a loop body are indented one level per enclosing loop, and loop headers
+/// are annotated.
+pub fn render_structured(code: &[u8], func: &IrFunction) -> String {
+    let end = func
+        .body
+        .iter()
+        .filter_map(|s| match s {
+            IrStmt::Label { pc } => Some(*pc),
+            _ => None,
+        })
+        .max()
+        .map(|last| last + 1)
+        .unwrap_or(code.len())
+        .max(func.entry + 1);
+    let nesting = LoopNesting::compute(code, func.entry, end.max(code.len()));
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for stmt in &func.body {
+        if let IrStmt::Label { pc } = stmt {
+            depth = nesting.depth(*pc);
+            let pad = "  ".repeat(depth.saturating_sub(1));
+            if nesting.is_header(*pc) {
+                out.push_str(&format!("{pad}loc_{pc:x}: // loop header\n"));
+            } else {
+                out.push_str(&format!("{pad}loc_{pc:x}:\n"));
+            }
+            continue;
+        }
+        let pad = "  ".repeat(depth);
+        out.push_str(&format!("{pad}{stmt}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lift;
+    use sigrec_abi::FunctionSignature;
+    use sigrec_core::SigRec;
+    use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+
+    fn lifted(decl: &str, vis: Visibility) -> (Vec<u8>, crate::ir::IrProgram) {
+        let sig = FunctionSignature::parse(decl).unwrap();
+        let c = compile_single(FunctionSpec::new(sig, vis), &CompilerConfig::default());
+        let rec = SigRec::new().recover(&c.code);
+        let entries: Vec<usize> = rec.iter().map(|r| r.entry).collect();
+        let program = lift(&c.code, &entries);
+        (c.code, program)
+    }
+
+    #[test]
+    fn copy_loop_detected_and_indented() {
+        // A 2-dim static array in a public function compiles to a copy loop.
+        let (code, program) = lifted("f(uint256[3][2])", Visibility::Public);
+        let rendered = render_structured(&code, &program.functions[0]);
+        assert!(rendered.contains("// loop header"), "{rendered}");
+        // Something is indented under the loop.
+        assert!(rendered.lines().any(|l| l.starts_with("  ")), "{rendered}");
+    }
+
+    #[test]
+    fn straight_line_function_has_no_loops() {
+        let (code, program) = lifted("f(uint8,bool)", Visibility::External);
+        let rendered = render_structured(&code, &program.functions[0]);
+        assert!(!rendered.contains("loop header"));
+    }
+
+    #[test]
+    fn nesting_depth_query() {
+        let (code, program) = lifted("f(uint256[2][2][2])", Visibility::Public);
+        let func = &program.functions[0];
+        let nesting = LoopNesting::compute(&code, func.entry, code.len());
+        // A 3-dim static array copies through 2 nested loops.
+        assert!(nesting.headers.len() >= 2, "{:?}", nesting.headers);
+        let max_depth = nesting
+            .headers
+            .iter()
+            .map(|&h| nesting.depth(h))
+            .max()
+            .unwrap_or(0);
+        assert!(max_depth >= 2);
+    }
+}

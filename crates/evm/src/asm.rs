@@ -1,0 +1,266 @@
+//! A small EVM assembler with labels.
+//!
+//! The Solidity- and Vyper-pattern code generators build dispatcher and
+//! parameter-access code through this builder: opcodes, auto-sized pushes,
+//! and forward-referencing labels for jump targets. Label fixup sizes all
+//! push-label instructions uniformly (`PUSH2`, like real compilers) so
+//! offsets converge in a single pass.
+
+use crate::opcode::Opcode;
+use crate::u256::U256;
+use std::collections::HashMap;
+
+/// A label referencing a future `JUMPDEST` position.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+#[derive(Clone, Debug)]
+enum Item {
+    Op(Opcode),
+    PushValue(Vec<u8>),
+    PushLabel(Label),
+    Bind(Label),
+}
+
+/// Builds EVM bytecode incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_evm::{Assembler, Opcode, Interpreter, Env, Outcome};
+///
+/// let mut a = Assembler::new();
+/// let done = a.fresh_label();
+/// a.push_u64(1).push_label(done).op(Opcode::JumpI);
+/// a.op(Opcode::Invalid(0xfe)); // skipped
+/// a.bind(done).op(Opcode::JumpDest).op(Opcode::Stop);
+/// let code = a.assemble();
+/// assert_eq!(Interpreter::new(&code).run(&Env::default()).outcome, Outcome::Stop);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    next_label: usize,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Emits a plain opcode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if given `Opcode::Push(_)` — use the `push_*` methods so the
+    /// immediate is attached.
+    pub fn op(&mut self, op: Opcode) -> &mut Self {
+        assert!(
+            !matches!(op, Opcode::Push(_)),
+            "use push_* methods to emit PUSH instructions"
+        );
+        self.items.push(Item::Op(op));
+        self
+    }
+
+    /// Emits the shortest `PUSHn` that holds `value`.
+    pub fn push(&mut self, value: U256) -> &mut Self {
+        let be = value.to_be_bytes();
+        let first = be.iter().position(|&b| b != 0).unwrap_or(31);
+        self.items.push(Item::PushValue(be[first..].to_vec()));
+        self
+    }
+
+    /// Emits the shortest push of a `u64`.
+    pub fn push_u64(&mut self, value: u64) -> &mut Self {
+        self.push(U256::from(value))
+    }
+
+    /// Emits a push with an explicit width (e.g. `PUSH4` selectors,
+    /// `PUSH20` address masks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1–32 or `value` does not fit.
+    pub fn push_sized(&mut self, value: U256, width: usize) -> &mut Self {
+        assert!((1..=32).contains(&width), "push width must be 1-32");
+        let be = value.to_be_bytes();
+        assert!(
+            be[..32 - width].iter().all(|&b| b == 0),
+            "value does not fit in PUSH{}",
+            width
+        );
+        self.items.push(Item::PushValue(be[32 - width..].to_vec()));
+        self
+    }
+
+    /// Emits raw push bytes (already sized).
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        assert!((1..=32).contains(&bytes.len()), "push payload must be 1-32 bytes");
+        self.items.push(Item::PushValue(bytes.to_vec()));
+        self
+    }
+
+    /// Emits a `PUSH2` whose value is resolved to `label`'s position.
+    pub fn push_label(&mut self, label: Label) -> &mut Self {
+        self.items.push(Item::PushLabel(label));
+        self
+    }
+
+    /// Binds `label` to the current position. The caller emits the
+    /// `JUMPDEST` itself (so the binding is visible next to the opcode).
+    ///
+    /// # Panics
+    ///
+    /// [`Self::assemble`] panics if a label is bound twice or pushed but
+    /// never bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        self.items.push(Item::Bind(label));
+        self
+    }
+
+    /// Convenience: bind + `JUMPDEST`.
+    pub fn jumpdest(&mut self, label: Label) -> &mut Self {
+        self.bind(label).op(Opcode::JumpDest)
+    }
+
+    /// Appends every item of another assembler (labels must be disjoint;
+    /// use [`Self::fresh_label`] from a single parent to guarantee that).
+    pub fn append(&mut self, other: Assembler) -> &mut Self {
+        self.items.extend(other.items);
+        self.next_label = self.next_label.max(other.next_label);
+        self
+    }
+
+    /// Resolves labels and produces the final bytecode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound or doubly-bound labels, or if the program exceeds
+    /// 65 535 bytes (`PUSH2` label width).
+    pub fn assemble(&self) -> Vec<u8> {
+        // Pass 1: compute item offsets. PushLabel is always PUSH2 (3 bytes).
+        let mut offsets = HashMap::new();
+        let mut pc = 0usize;
+        for item in &self.items {
+            match item {
+                Item::Op(op) => pc += 1 + op.immediate_len(),
+                Item::PushValue(v) => pc += 1 + v.len(),
+                Item::PushLabel(_) => pc += 3,
+                Item::Bind(l) => {
+                    let prev = offsets.insert(*l, pc);
+                    assert!(prev.is_none(), "label bound twice");
+                }
+            }
+        }
+        assert!(pc <= u16::MAX as usize, "program too large for PUSH2 labels");
+        // Pass 2: emit.
+        let mut out = Vec::with_capacity(pc);
+        for item in &self.items {
+            match item {
+                Item::Op(op) => out.push(op.to_byte()),
+                Item::PushValue(v) => {
+                    out.push(Opcode::Push(v.len() as u8).to_byte());
+                    out.extend_from_slice(v);
+                }
+                Item::PushLabel(l) => {
+                    let target = *offsets.get(l).expect("label pushed but never bound");
+                    out.push(Opcode::Push(2).to_byte());
+                    out.extend_from_slice(&(target as u16).to_be_bytes());
+                }
+                Item::Bind(_) => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::Disassembly;
+    use crate::interp::{Env, Interpreter, Outcome};
+
+    #[test]
+    fn shortest_push_width() {
+        let mut a = Assembler::new();
+        a.push_u64(0x80);
+        assert_eq!(a.assemble(), vec![0x60, 0x80]);
+        let mut a = Assembler::new();
+        a.push_u64(0x1234);
+        assert_eq!(a.assemble(), vec![0x61, 0x12, 0x34]);
+        let mut a = Assembler::new();
+        a.push(U256::ZERO);
+        assert_eq!(a.assemble(), vec![0x60, 0x00]);
+    }
+
+    #[test]
+    fn sized_push() {
+        let mut a = Assembler::new();
+        a.push_sized(U256::from(0xa9059cbbu64), 4);
+        assert_eq!(a.assemble(), vec![0x63, 0xa9, 0x05, 0x9c, 0xbb]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn sized_push_overflow_panics() {
+        let mut a = Assembler::new();
+        a.push_sized(U256::from(0x1_0000u64), 2);
+        a.assemble();
+    }
+
+    #[test]
+    fn forward_label_resolves() {
+        let mut a = Assembler::new();
+        let end = a.fresh_label();
+        a.push_label(end).op(Opcode::Jump);
+        a.op(Opcode::Invalid(0xfe));
+        a.jumpdest(end).op(Opcode::Stop);
+        let code = a.assemble();
+        let exec = Interpreter::new(&code).run(&Env::default());
+        assert_eq!(exec.outcome, Outcome::Stop);
+    }
+
+    #[test]
+    fn backward_label_makes_loop() {
+        // Countdown loop: i = 3; while (i != 0) i -= 1; stop.
+        let mut a = Assembler::new();
+        let head = a.fresh_label();
+        let exit = a.fresh_label();
+        a.push_u64(3);
+        a.jumpdest(head);
+        a.op(Opcode::Dup(1)).op(Opcode::IsZero).push_label(exit).op(Opcode::JumpI);
+        a.push_u64(1).op(Opcode::Swap(1)).op(Opcode::Sub); // i - 1 (SUB pops a=i, b=1 → need i on top)
+        a.push_label(head).op(Opcode::Jump);
+        a.jumpdest(exit).op(Opcode::Stop);
+        let exec = Interpreter::new(&a.assemble()).run(&Env::default());
+        assert_eq!(exec.outcome, Outcome::Stop);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut a = Assembler::new();
+        let l = a.fresh_label();
+        a.push_label(l);
+        a.assemble();
+    }
+
+    #[test]
+    fn disassembles_cleanly() {
+        let mut a = Assembler::new();
+        let l = a.fresh_label();
+        a.push_u64(0).op(Opcode::CallDataLoad).push_label(l).op(Opcode::JumpI);
+        a.jumpdest(l).op(Opcode::Stop);
+        let d = Disassembly::new(&a.assemble());
+        assert_eq!(d.instructions().last().unwrap().opcode, Opcode::Stop);
+    }
+}

@@ -1,0 +1,237 @@
+//! Basic-block recognition and control-flow graph construction.
+//!
+//! SigRec's front end splits the disassembly into basic blocks: a block
+//! starts at code offset 0, at every `JUMPDEST`, and after every terminator
+//! or `JUMPI`. Edges whose jump target is a constant push immediately
+//! preceding the jump are resolved statically; other targets are resolved
+//! during symbolic execution (or left symbolic if input-dependent).
+
+use crate::disasm::{Disassembly, Instruction};
+use crate::opcode::Opcode;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a basic block: the pc of its first instruction.
+pub type BlockId = usize;
+
+/// A maximal straight-line instruction sequence.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// pc of the first instruction (the block id).
+    pub start: BlockId,
+    /// Indices into the parent disassembly's instruction list.
+    pub range: std::ops::Range<usize>,
+    /// Statically-known successors (from constant jump targets and
+    /// fallthrough). Symbolic jump targets contribute no entry here.
+    pub successors: Vec<BlockId>,
+    /// True if the block ends in `JUMP`/`JUMPI` whose target could not be
+    /// resolved to a constant.
+    pub has_symbolic_jump: bool,
+}
+
+/// A control-flow graph over a [`Disassembly`].
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    disasm: Disassembly,
+    blocks: BTreeMap<BlockId, BasicBlock>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `code`.
+    pub fn new(code: &[u8]) -> Self {
+        let disasm = Disassembly::new(code);
+        Self::from_disassembly(disasm)
+    }
+
+    /// Builds the CFG from an existing disassembly.
+    pub fn from_disassembly(disasm: Disassembly) -> Self {
+        let instrs = disasm.instructions();
+        // Pass 1: find leaders.
+        let mut leaders = std::collections::BTreeSet::new();
+        if !instrs.is_empty() {
+            leaders.insert(0usize);
+        }
+        for (i, ins) in instrs.iter().enumerate() {
+            if ins.opcode == Opcode::JumpDest {
+                leaders.insert(ins.pc);
+            }
+            if (ins.opcode.is_terminator() || ins.opcode == Opcode::JumpI)
+                && i + 1 < instrs.len()
+            {
+                leaders.insert(instrs[i + 1].pc);
+            }
+        }
+        // Pass 2: build blocks between consecutive leaders.
+        let leader_list: Vec<usize> = leaders.iter().copied().collect();
+        let mut blocks = BTreeMap::new();
+        for (li, &start) in leader_list.iter().enumerate() {
+            let start_idx = disasm
+                .index_of(start)
+                .expect("leader pc must be an instruction boundary");
+            let end_idx = if li + 1 < leader_list.len() {
+                disasm
+                    .index_of(leader_list[li + 1])
+                    .expect("leader pc must be an instruction boundary")
+            } else {
+                instrs.len()
+            };
+            let mut successors = Vec::new();
+            let mut has_symbolic_jump = false;
+            if end_idx > start_idx {
+                let last = &instrs[end_idx - 1];
+                match last.opcode {
+                    Opcode::Jump => match constant_jump_target(instrs, end_idx - 1) {
+                        Some(t) if disasm.is_jumpdest(t) => successors.push(t),
+                        Some(_) => {}
+                        None => has_symbolic_jump = true,
+                    },
+                    Opcode::JumpI => {
+                        match constant_jump_target(instrs, end_idx - 1) {
+                            Some(t) if disasm.is_jumpdest(t) => successors.push(t),
+                            Some(_) => {}
+                            None => has_symbolic_jump = true,
+                        }
+                        if end_idx < instrs.len() {
+                            successors.push(instrs[end_idx].pc);
+                        }
+                    }
+                    op if op.is_terminator() => {}
+                    _ => {
+                        // Fallthrough into the next leader.
+                        if end_idx < instrs.len() {
+                            successors.push(instrs[end_idx].pc);
+                        }
+                    }
+                }
+            }
+            blocks.insert(
+                start,
+                BasicBlock { start, range: start_idx..end_idx, successors, has_symbolic_jump },
+            );
+        }
+        Cfg { disasm, blocks }
+    }
+
+    /// The underlying disassembly.
+    pub fn disassembly(&self) -> &Disassembly {
+        &self.disasm
+    }
+
+    /// All blocks in address order.
+    pub fn blocks(&self) -> impl Iterator<Item = &BasicBlock> {
+        self.blocks.values()
+    }
+
+    /// The block starting at `id`.
+    pub fn block(&self, id: BlockId) -> Option<&BasicBlock> {
+        self.blocks.get(&id)
+    }
+
+    /// The block *containing* the instruction at `pc`.
+    pub fn block_containing(&self, pc: usize) -> Option<&BasicBlock> {
+        let idx = self.disasm.index_of(pc)?;
+        self.blocks.values().find(|b| b.range.contains(&idx))
+    }
+
+    /// Instructions of a block.
+    pub fn block_instructions(&self, block: &BasicBlock) -> &[Instruction] {
+        &self.disasm.instructions()[block.range.clone()]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the code was empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.blocks.values() {
+            writeln!(f, "block {:#06x} -> {:?}", b.start, b.successors)?;
+            for ins in self.block_instructions(b) {
+                writeln!(f, "  {}", ins)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// If `instrs[jump_idx]` is a JUMP/JUMPI directly preceded by a PUSH, returns
+/// the pushed constant target.
+fn constant_jump_target(instrs: &[Instruction], jump_idx: usize) -> Option<usize> {
+    if jump_idx == 0 {
+        return None;
+    }
+    let prev = &instrs[jump_idx - 1];
+    prev.push_value()?.as_usize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// PUSH1 0x06 JUMP  STOP  JUMPDEST STOP
+    const DIRECT_JUMP: &[u8] = &[0x60, 0x06, 0x56, 0x00, 0x00, 0x00, 0x5b, 0x00];
+
+    #[test]
+    fn splits_on_jumpdest_and_terminator() {
+        // pc0: PUSH1 6; pc2: JUMP; pc3..5: STOPs (one block each, since STOP
+        // terminates a block); pc6: JUMPDEST; pc7: STOP.
+        let cfg = Cfg::new(DIRECT_JUMP);
+        assert_eq!(cfg.len(), 5);
+        let first = cfg.block(0).unwrap();
+        assert_eq!(first.successors, vec![6]);
+        assert!(!first.has_symbolic_jump);
+    }
+
+    #[test]
+    fn jumpi_has_two_successors() {
+        // PUSH1 cond PUSH1 0x07 JUMPI STOP STOP JUMPDEST STOP
+        // (the jump target is pushed last, directly before JUMPI)
+        let code = [0x60, 0x01, 0x60, 0x07, 0x57, 0x00, 0x00, 0x5b, 0x00];
+        let cfg = Cfg::new(&code);
+        let b = cfg.block(0).unwrap();
+        assert!(b.successors.contains(&7), "jump target");
+        assert!(b.successors.contains(&5), "fallthrough");
+    }
+
+    #[test]
+    fn symbolic_jump_flagged() {
+        // CALLDATALOAD JUMP — target unknown statically.
+        let code = [0x60, 0x00, 0x35, 0x56, 0x5b, 0x00];
+        let cfg = Cfg::new(&code);
+        let b = cfg.block(0).unwrap();
+        assert!(b.has_symbolic_jump);
+        assert!(b.successors.is_empty());
+    }
+
+    #[test]
+    fn jump_to_non_jumpdest_yields_no_edge() {
+        // PUSH1 0x04 JUMP STOP STOP (pc4 is STOP, not JUMPDEST)
+        let code = [0x60, 0x04, 0x56, 0x00, 0x00];
+        let cfg = Cfg::new(&code);
+        let b = cfg.block(0).unwrap();
+        assert!(b.successors.is_empty());
+        assert!(!b.has_symbolic_jump);
+    }
+
+    #[test]
+    fn fallthrough_edge_into_jumpdest() {
+        // PUSH1 1 POP JUMPDEST STOP — block 0 falls through into block at 3.
+        let code = [0x60, 0x01, 0x50, 0x5b, 0x00];
+        let cfg = Cfg::new(&code);
+        assert_eq!(cfg.block(0).unwrap().successors, vec![3]);
+    }
+
+    #[test]
+    fn block_containing_lookup() {
+        let cfg = Cfg::new(DIRECT_JUMP);
+        assert_eq!(cfg.block_containing(2).unwrap().start, 0);
+        assert_eq!(cfg.block_containing(7).unwrap().start, 6);
+    }
+}

@@ -1,0 +1,200 @@
+//! Linear-sweep disassembler for EVM runtime bytecode.
+//!
+//! EVM bytecode is a flat byte string; the only variable-length instructions
+//! are `PUSH1`–`PUSH32`, whose immediate follows the opcode byte. The
+//! disassembler performs a linear sweep (the strategy Geth's disassembler
+//! uses, which SigRec builds on), producing one [`Instruction`] per opcode
+//! with its program counter and any push immediate.
+
+use crate::opcode::Opcode;
+use crate::u256::U256;
+use std::fmt;
+
+/// One disassembled instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Instruction {
+    /// Byte offset of the opcode within the bytecode.
+    pub pc: usize,
+    /// The decoded opcode.
+    pub opcode: Opcode,
+    /// Immediate bytes for `PUSH*` (empty otherwise). A `PUSH` whose
+    /// immediate is truncated by the end of the code keeps the bytes that
+    /// were present; the EVM zero-fills the remainder at execution time.
+    pub immediate: Vec<u8>,
+}
+
+impl Instruction {
+    /// The push immediate as a 256-bit word (zero-extended), or `None` for
+    /// non-push instructions.
+    pub fn push_value(&self) -> Option<U256> {
+        match self.opcode {
+            Opcode::Push(_) => Some(U256::from_be_bytes(&self.immediate)),
+            _ => None,
+        }
+    }
+
+    /// Total encoded size in bytes (opcode + immediate).
+    pub fn size(&self) -> usize {
+        1 + self.opcode.immediate_len()
+    }
+
+    /// The pc of the next instruction in linear order.
+    pub fn next_pc(&self) -> usize {
+        self.pc + self.size()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}: {}", self.pc, self.opcode)?;
+        if let Some(v) = self.push_value() {
+            write!(f, " 0x{:x}", v)?;
+        }
+        Ok(())
+    }
+}
+
+/// A disassembled program: instructions in address order with pc lookup.
+#[derive(Clone, Debug, Default)]
+pub struct Disassembly {
+    instructions: Vec<Instruction>,
+}
+
+impl Disassembly {
+    /// Disassembles runtime bytecode with a linear sweep.
+    ///
+    /// Never fails: unassigned bytes become [`Opcode::Invalid`] and a
+    /// truncated trailing `PUSH` keeps whatever immediate bytes exist.
+    pub fn new(code: &[u8]) -> Self {
+        let mut instructions = Vec::new();
+        let mut pc = 0;
+        while pc < code.len() {
+            let opcode = Opcode::from_byte(code[pc]);
+            let imm_len = opcode.immediate_len();
+            let end = (pc + 1 + imm_len).min(code.len());
+            let immediate = code[pc + 1..end].to_vec();
+            instructions.push(Instruction { pc, opcode, immediate });
+            pc += 1 + imm_len;
+        }
+        Disassembly { instructions }
+    }
+
+    /// The instructions in address order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Finds the instruction starting at `pc`, if any.
+    pub fn at(&self, pc: usize) -> Option<&Instruction> {
+        self.instructions
+            .binary_search_by_key(&pc, |i| i.pc)
+            .ok()
+            .map(|idx| &self.instructions[idx])
+    }
+
+    /// Index (in [`Self::instructions`]) of the instruction at `pc`.
+    pub fn index_of(&self, pc: usize) -> Option<usize> {
+        self.instructions.binary_search_by_key(&pc, |i| i.pc).ok()
+    }
+
+    /// True if `pc` holds a `JUMPDEST` — the only legal jump target.
+    pub fn is_jumpdest(&self, pc: usize) -> bool {
+        matches!(self.at(pc), Some(i) if i.opcode == Opcode::JumpDest)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True if the bytecode was empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Re-encodes the disassembly back to bytecode (inverse of [`Self::new`]).
+    pub fn assemble(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for ins in &self.instructions {
+            out.push(ins.opcode.to_byte());
+            out.extend_from_slice(&ins.immediate);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Disassembly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ins in &self.instructions {
+            writeln!(f, "{}", ins)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disassembles_push_and_simple_ops() {
+        // PUSH1 0x80 PUSH1 0x40 MSTORE
+        let code = [0x60, 0x80, 0x60, 0x40, 0x52];
+        let d = Disassembly::new(&code);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.instructions()[0].opcode, Opcode::Push(1));
+        assert_eq!(d.instructions()[0].push_value(), Some(U256::from(0x80u64)));
+        assert_eq!(d.instructions()[1].pc, 2);
+        assert_eq!(d.instructions()[2].opcode, Opcode::MStore);
+    }
+
+    #[test]
+    fn truncated_push_keeps_partial_immediate() {
+        // PUSH4 with only 2 immediate bytes present.
+        let code = [0x63, 0xaa, 0xbb];
+        let d = Disassembly::new(&code);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.instructions()[0].immediate, vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn push_data_not_decoded_as_instructions() {
+        // PUSH2 0x5b5b: the 0x5b bytes are data, not JUMPDESTs.
+        let code = [0x61, 0x5b, 0x5b, 0x00];
+        let d = Disassembly::new(&code);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_jumpdest(1));
+        assert!(!d.is_jumpdest(2));
+    }
+
+    #[test]
+    fn pc_lookup() {
+        let code = [0x60, 0x01, 0x5b, 0x00];
+        let d = Disassembly::new(&code);
+        assert!(d.at(0).is_some());
+        assert!(d.at(1).is_none()); // inside push immediate
+        assert!(d.is_jumpdest(2));
+        assert_eq!(d.index_of(3), Some(2));
+    }
+
+    #[test]
+    fn assemble_round_trip() {
+        let code = [0x60, 0x80, 0x60, 0x40, 0x52, 0x5b, 0x35, 0x00];
+        let d = Disassembly::new(&code);
+        assert_eq!(d.assemble(), code);
+    }
+
+    #[test]
+    fn display_format() {
+        let code = [0x63, 0xa9, 0x05, 0x9c, 0xbb];
+        let d = Disassembly::new(&code);
+        assert_eq!(format!("{}", d.instructions()[0]), "0x0000: PUSH4 0xa9059cbb");
+    }
+
+    #[test]
+    fn empty_code() {
+        let d = Disassembly::new(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.assemble(), Vec::<u8>::new());
+    }
+}

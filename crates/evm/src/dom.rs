@@ -1,0 +1,273 @@
+//! Dominator analysis and natural-loop detection over the CFG.
+//!
+//! The classic Cooper–Harvey–Kennedy iterative dominator algorithm, plus
+//! back-edge and natural-loop extraction. SigRec's executor uses a cheap
+//! pc-range heuristic for compiler-shaped loops; this module provides the
+//! principled equivalent for arbitrary code and for consumers that need a
+//! real loop nest (the reverse-engineering pipeline, future CFG passes).
+
+use crate::cfg::{BlockId, Cfg};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The dominator tree of a [`Cfg`], rooted at block 0.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// Immediate dominator of each reachable block (the root maps to
+    /// itself).
+    idom: BTreeMap<BlockId, BlockId>,
+    /// Reverse-post-order of reachable blocks.
+    rpo: Vec<BlockId>,
+}
+
+impl Dominators {
+    /// Computes dominators for every block reachable from the entry.
+    /// Blocks only reachable through symbolic jumps are treated as
+    /// unreachable (their targets are unknown statically).
+    pub fn new(cfg: &Cfg) -> Self {
+        let rpo = reverse_post_order(cfg);
+        let index: BTreeMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        // Predecessor lists over reachable blocks.
+        let mut preds: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        for &b in &rpo {
+            if let Some(block) = cfg.block(b) {
+                for &s in &block.successors {
+                    if index.contains_key(&s) {
+                        preds.entry(s).or_default().push(b);
+                    }
+                }
+            }
+        }
+        let mut idom: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+        if rpo.is_empty() {
+            return Dominators { idom, rpo };
+        }
+        let entry = rpo[0];
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds.get(&b).into_iter().flatten() {
+                    if !idom.contains_key(&p) {
+                        continue; // not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &index, cur, p),
+                    });
+                }
+                if let Some(n) = new_idom {
+                    if idom.get(&b) != Some(&n) {
+                        idom.insert(b, n);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom.get(&b) {
+            Some(&d) if d != b => Some(d),
+            Some(_) => None, // entry
+            None => None,
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Reachable blocks in reverse post-order.
+    pub fn reverse_post_order(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+fn intersect(
+    idom: &BTreeMap<BlockId, BlockId>,
+    index: &BTreeMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while index[&a] > index[&b] {
+            a = idom[&a];
+        }
+        while index[&b] > index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+fn reverse_post_order(cfg: &Cfg) -> Vec<BlockId> {
+    let mut visited = BTreeSet::new();
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit "exit" marker.
+    let mut stack: Vec<(BlockId, bool)> = vec![(0, false)];
+    while let Some((b, processed)) = stack.pop() {
+        if processed {
+            post.push(b);
+            continue;
+        }
+        if !visited.insert(b) {
+            continue;
+        }
+        if cfg.block(b).is_none() {
+            visited.remove(&b);
+            continue;
+        }
+        stack.push((b, true));
+        if let Some(block) = cfg.block(b) {
+            for &s in block.successors.iter().rev() {
+                if !visited.contains(&s) {
+                    stack.push((s, false));
+                }
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// A natural loop: a back edge `latch → header` where the header dominates
+/// the latch, plus the set of blocks in the loop body.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// The block with the back edge.
+    pub latch: BlockId,
+    /// All blocks in the loop (header included).
+    pub body: BTreeSet<BlockId>,
+}
+
+/// Finds all natural loops of the CFG.
+pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let dom = Dominators::new(cfg);
+    let mut out = Vec::new();
+    for &b in dom.reverse_post_order() {
+        let Some(block) = cfg.block(b) else { continue };
+        for &s in &block.successors {
+            if dom.dominates(s, b) {
+                // Back edge b → s: flood predecessors from the latch.
+                let mut body: BTreeSet<BlockId> = BTreeSet::new();
+                body.insert(s);
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if !body.insert(x) {
+                        continue;
+                    }
+                    // Predecessors of x.
+                    for &p in dom.reverse_post_order() {
+                        if let Some(pb) = cfg.block(p) {
+                            if pb.successors.contains(&x) && !body.contains(&p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+                out.push(NaturalLoop { header: s, latch: b, body });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::opcode::Opcode as Op;
+
+    fn loop_code() -> Vec<u8> {
+        // i = 3; while (i != 0) i -= 1; stop.
+        let mut a = Assembler::new();
+        let head = a.fresh_label();
+        let exit = a.fresh_label();
+        a.push_u64(3);
+        a.jumpdest(head);
+        a.op(Op::Dup(1)).op(Op::IsZero).push_label(exit).op(Op::JumpI);
+        a.push_u64(1).op(Op::Swap(1)).op(Op::Sub);
+        a.push_label(head).op(Op::Jump);
+        a.jumpdest(exit).op(Op::Stop);
+        a.assemble()
+    }
+
+    #[test]
+    fn straight_line_dominators() {
+        // PUSH1 1 POP JUMPDEST STOP: two blocks, 0 dominates 3.
+        let code = [0x60, 0x01, 0x50, 0x5b, 0x00];
+        let cfg = Cfg::new(&code);
+        let dom = Dominators::new(&cfg);
+        assert!(dom.dominates(0, 3));
+        assert!(!dom.dominates(3, 0));
+        assert_eq!(dom.idom(3), Some(0));
+        assert_eq!(dom.idom(0), None);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // entry → (then | else) → join: join's idom is the entry.
+        let mut a = Assembler::new();
+        let then_l = a.fresh_label();
+        let join = a.fresh_label();
+        a.push_u64(1).push_label(then_l).op(Op::JumpI);
+        a.push_u64(0).op(Op::Pop);
+        a.push_label(join).op(Op::Jump);
+        a.jumpdest(then_l);
+        a.push_u64(1).op(Op::Pop);
+        a.push_label(join).op(Op::Jump);
+        a.jumpdest(join).op(Op::Stop);
+        let cfg = Cfg::new(&a.assemble());
+        let dom = Dominators::new(&cfg);
+        // Find the join block (the final STOP's block).
+        let join_pc = cfg.blocks().last().unwrap().start;
+        assert_eq!(dom.idom(join_pc), Some(0));
+    }
+
+    #[test]
+    fn detects_natural_loop() {
+        let cfg = Cfg::new(&loop_code());
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert!(l.body.contains(&l.header));
+        assert!(l.body.contains(&l.latch));
+        assert!(l.body.len() >= 2);
+        // The header is the JUMPDEST at pc 2.
+        assert_eq!(l.header, 2);
+    }
+
+    #[test]
+    fn loop_free_code_has_no_loops() {
+        let code = [0x60, 0x01, 0x50, 0x5b, 0x00];
+        assert!(natural_loops(&Cfg::new(&code)).is_empty());
+    }
+
+    #[test]
+    fn unreachable_blocks_ignored() {
+        // entry STOP, then an unreachable JUMPDEST island.
+        let code = [0x00, 0x5b, 0x60, 0x01, 0x50, 0x00];
+        let cfg = Cfg::new(&code);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.reverse_post_order(), &[0]);
+        assert_eq!(dom.idom(1), None);
+    }
+}

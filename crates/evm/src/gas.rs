@@ -1,0 +1,101 @@
+//! Gas accounting (simplified Istanbul-era schedule).
+//!
+//! The interpreter is gas-free by default (recovery does not need gas),
+//! but the fuzzing and traffic experiments benefit from realistic budgets:
+//! a garbage `num` field that demands a gigantic copy runs out of gas on
+//! the real chain, and here too when a limit is set.
+
+use crate::opcode::Opcode;
+
+/// Static cost of one opcode, excluding dynamic parts (memory expansion,
+/// copy sizes, `EXP` exponent bytes, hashing words).
+pub fn static_cost(op: Opcode) -> u64 {
+    use Opcode::*;
+    match op {
+        Stop | Return | Revert => 0,
+        JumpDest => 1,
+        Address | Origin | Caller | CallValue | CallDataSize | CodeSize | GasPrice
+        | Coinbase | Timestamp | Number | Difficulty | GasLimit | ChainId | ReturnDataSize
+        | Pop | Pc | MSize | Gas | BaseFee => 2,
+        Add | Sub | Not | Lt | Gt | SLt | SGt | Eq | IsZero | And | Or | Xor | Byte | Shl
+        | Shr | Sar | CallDataLoad | MLoad | MStore | MStore8 | Push(_) | Dup(_) | Swap(_) => 3,
+        Mul | Div | SDiv | Mod | SMod | SignExtend | SelfBalance => 5,
+        AddMod | MulMod | Jump => 8,
+        JumpI | Exp => 10,
+        CallDataCopy | CodeCopy | ReturnDataCopy => 3,
+        Keccak256 => 30,
+        BlockHash => 20,
+        Balance | ExtCodeSize | ExtCodeHash => 700,
+        ExtCodeCopy => 700,
+        SLoad => 800,
+        SStore => 5_000,
+        Log(n) => 375 + 375 * n as u64,
+        Create | Create2 => 32_000,
+        Call | CallCode | DelegateCall | StaticCall => 700,
+        SelfDestruct => 5_000,
+        Invalid(_) => 0,
+    }
+}
+
+/// Cost of expanding memory from `old_words` to `new_words` 32-byte words:
+/// `3·Δw + (new² − old²)/512`.
+pub fn memory_expansion_cost(old_words: u64, new_words: u64) -> u64 {
+    if new_words <= old_words {
+        return 0;
+    }
+    let quad = |w: u64| w.saturating_mul(w) / 512;
+    3 * (new_words - old_words) + (quad(new_words) - quad(old_words))
+}
+
+/// Per-word surcharge for copy operations (`CALLDATACOPY` etc.).
+pub fn copy_cost(bytes: u64) -> u64 {
+    3 * bytes.div_ceil(32)
+}
+
+/// Per-word surcharge for `KECCAK256`.
+pub fn keccak_cost(bytes: u64) -> u64 {
+    6 * bytes.div_ceil(32)
+}
+
+/// `EXP`'s per-exponent-byte surcharge.
+pub fn exp_cost(exponent_bytes: u64) -> u64 {
+    50 * exponent_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_sane() {
+        assert_eq!(static_cost(Opcode::Stop), 0);
+        assert_eq!(static_cost(Opcode::Add), 3);
+        assert_eq!(static_cost(Opcode::Mul), 5);
+        assert_eq!(static_cost(Opcode::SLoad), 800);
+        assert_eq!(static_cost(Opcode::Log(2)), 375 * 3);
+        assert_eq!(static_cost(Opcode::Push(32)), 3);
+    }
+
+    #[test]
+    fn memory_expansion_matches_formula() {
+        assert_eq!(memory_expansion_cost(0, 0), 0);
+        assert_eq!(memory_expansion_cost(0, 1), 3);
+        assert_eq!(memory_expansion_cost(1, 1), 0);
+        // 0 → 1024 words (32 KiB): 3·1024 + 1024²/512 = 3072 + 2048.
+        assert_eq!(memory_expansion_cost(0, 1024), 5120);
+        // Expanding from 512 to 1024 costs the difference.
+        assert_eq!(
+            memory_expansion_cost(512, 1024),
+            memory_expansion_cost(0, 1024) - memory_expansion_cost(0, 512)
+        );
+    }
+
+    #[test]
+    fn copy_and_keccak_round_up_to_words() {
+        assert_eq!(copy_cost(1), 3);
+        assert_eq!(copy_cost(32), 3);
+        assert_eq!(copy_cost(33), 6);
+        assert_eq!(keccak_cost(64), 12);
+        assert_eq!(exp_cost(2), 100);
+    }
+}

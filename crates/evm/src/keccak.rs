@@ -1,0 +1,187 @@
+//! Keccak-256 — the hash behind Ethereum function selectors.
+//!
+//! Implemented from scratch: the FIPS-202 Keccak-f[1600] permutation with the
+//! *original* Keccak padding (`0x01 … 0x80`), which is what Ethereum uses
+//! (not the NIST SHA-3 `0x06` domain byte). A function id is the first four
+//! bytes of `keccak256(canonical_signature)`.
+
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x][y]` over the 5×5 lane grid.
+const ROTC: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for &rc in RC.iter() {
+        // θ
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x][y] ^= d;
+            }
+        }
+        // ρ and π
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(ROTC[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ (!b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι
+        state[0][0] ^= rc;
+    }
+}
+
+/// Computes the Keccak-256 digest of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_evm::keccak256;
+///
+/// let digest = keccak256(b"transfer(address,uint256)");
+/// // The famous ERC-20 transfer selector:
+/// assert_eq!(&digest[..4], &[0xa9, 0x05, 0x9c, 0xbb]);
+/// ```
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    const RATE: usize = 136; // 1088-bit rate for 256-bit output
+    let mut state = [[0u64; 5]; 5];
+
+    // Absorb full blocks.
+    let mut offset = 0;
+    while data.len() - offset >= RATE {
+        absorb_block(&mut state, &data[offset..offset + RATE]);
+        keccak_f(&mut state);
+        offset += RATE;
+    }
+
+    // Final padded block: Keccak pad10*1 with domain byte 0x01.
+    let mut block = [0u8; RATE];
+    let tail = &data[offset..];
+    block[..tail.len()].copy_from_slice(tail);
+    block[tail.len()] ^= 0x01;
+    block[RATE - 1] ^= 0x80;
+    absorb_block(&mut state, &block);
+    keccak_f(&mut state);
+
+    // Squeeze 32 bytes (little-endian lanes, x-major order).
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        let lane = state[i % 5][i / 5];
+        out[i * 8..i * 8 + 8].copy_from_slice(&lane.to_le_bytes());
+    }
+    out
+}
+
+fn absorb_block(state: &mut [[u64; 5]; 5], block: &[u8]) {
+    for (i, chunk) in block.chunks_exact(8).enumerate() {
+        let mut lane = [0u8; 8];
+        lane.copy_from_slice(chunk);
+        state[i % 5][i / 5] ^= u64::from_le_bytes(lane);
+    }
+}
+
+/// Computes the 4-byte function selector of a canonical signature string,
+/// e.g. `"transfer(address,uint256)"`.
+pub fn selector(signature: &str) -> [u8; 4] {
+    let d = keccak256(signature.as_bytes());
+    [d[0], d[1], d[2], d[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{:02x}", b)).collect()
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        // Canonical Keccak-256("") test vector.
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn short_ascii_vector() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn exactly_one_rate_block() {
+        // 136 bytes: forces the all-padding final block.
+        let data = vec![0x61u8; 136];
+        let d1 = keccak256(&data);
+        // Compare against splitting the same input differently (sanity:
+        // digest must be deterministic and distinct from 135/137 bytes).
+        assert_eq!(d1, keccak256(&vec![0x61u8; 136]));
+        assert_ne!(d1, keccak256(&vec![0x61u8; 135]));
+        assert_ne!(d1, keccak256(&vec![0x61u8; 137]));
+    }
+
+    #[test]
+    fn known_ethereum_selectors() {
+        assert_eq!(selector("transfer(address,uint256)"), [0xa9, 0x05, 0x9c, 0xbb]);
+        assert_eq!(selector("balanceOf(address)"), [0x70, 0xa0, 0x82, 0x31]);
+        assert_eq!(selector("approve(address,uint256)"), [0x09, 0x5e, 0xa7, 0xb3]);
+        assert_eq!(selector("transferFrom(address,address,uint256)"), [0x23, 0xb8, 0x72, 0xdd]);
+        assert_eq!(selector("totalSupply()"), [0x18, 0x16, 0x0d, 0xdd]);
+    }
+
+    #[test]
+    fn long_input_multi_block() {
+        // Keccak-256 of 1 MiB of zeros must be stable across runs and differ
+        // from nearby lengths.
+        let big = vec![0u8; 1 << 20];
+        assert_eq!(keccak256(&big), keccak256(&vec![0u8; 1 << 20]));
+        assert_ne!(keccak256(&big), keccak256(&vec![0u8; (1 << 20) - 1]));
+    }
+}

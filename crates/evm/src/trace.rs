@@ -1,0 +1,181 @@
+//! Structured execution tracing.
+//!
+//! A [`Tracer`] receives one event per executed instruction — pc, opcode,
+//! gas, and the top of the stack — letting tools observe executions without
+//! re-implementing the interpreter loop: debuggers, coverage analysers, or
+//! differential testers. [`TraceCollector`] is the buffering implementation.
+
+use crate::opcode::Opcode;
+use crate::u256::U256;
+use std::fmt;
+
+/// One executed instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceStep {
+    /// Program counter.
+    pub pc: usize,
+    /// The opcode executed.
+    pub opcode: Opcode,
+    /// Stack depth *before* the instruction.
+    pub stack_depth: usize,
+    /// Up to the four top stack items before the instruction (top first).
+    pub stack_top: Vec<U256>,
+    /// Cumulative gas after charging this instruction's static cost.
+    pub gas_used: u64,
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x} {:<14} depth={}", self.pc, self.opcode.mnemonic(), self.stack_depth)?;
+        if !self.stack_top.is_empty() {
+            write!(f, " top=[")?;
+            for (i, v) in self.stack_top.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "0x{:x}", v)?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Receives execution events.
+pub trait Tracer {
+    /// Called once per executed instruction, before its effects.
+    fn step(&mut self, step: &TraceStep);
+}
+
+/// A tracer that buffers every step.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    steps: Vec<TraceStep>,
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected steps.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Consumes the collector, returning the steps.
+    pub fn into_steps(self) -> Vec<TraceStep> {
+        self.steps
+    }
+
+    /// Renders the whole trace, one step per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            out.push_str(&s.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Tracer for TraceCollector {
+    fn step(&mut self, step: &TraceStep) {
+        self.steps.push(step.clone());
+    }
+}
+
+/// A tracer that only counts instruction frequencies — cheap profiling.
+#[derive(Debug, Default)]
+pub struct OpcodeHistogram {
+    counts: std::collections::BTreeMap<String, u64>,
+}
+
+impl OpcodeHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executions of one mnemonic.
+    pub fn count(&self, mnemonic: &str) -> u64 {
+        self.counts.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// `(mnemonic, count)` pairs, most frequent first.
+    pub fn top(&self) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> =
+            self.counts.iter().map(|(k, &c)| (k.as_str(), c)).collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
+impl Tracer for OpcodeHistogram {
+    fn step(&mut self, step: &TraceStep) {
+        *self.counts.entry(step.opcode.mnemonic()).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Env, Interpreter};
+
+    #[test]
+    fn collector_records_every_step() {
+        // PUSH1 2 PUSH1 3 ADD POP STOP
+        let code = [0x60, 0x02, 0x60, 0x03, 0x01, 0x50, 0x00];
+        let mut tracer = TraceCollector::new();
+        let exec = Interpreter::new(&code).run_traced(&Env::default(), &mut tracer);
+        assert!(exec.succeeded());
+        let steps = tracer.steps();
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0].opcode, crate::opcode::Opcode::Push(1));
+        // The ADD sees two items on the stack, top first.
+        let add = &steps[2];
+        assert_eq!(add.opcode, crate::opcode::Opcode::Add);
+        assert_eq!(add.stack_depth, 2);
+        assert_eq!(add.stack_top[0], U256::from(3u64));
+        assert_eq!(add.stack_top[1], U256::from(2u64));
+        // Gas accumulates monotonically.
+        for w in steps.windows(2) {
+            assert!(w[1].gas_used >= w[0].gas_used);
+        }
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let code = [0x60, 0x01, 0x60, 0x02, 0x01, 0x50, 0x00];
+        let mut h = OpcodeHistogram::new();
+        Interpreter::new(&code).run_traced(&Env::default(), &mut h);
+        assert_eq!(h.count("PUSH1"), 2);
+        assert_eq!(h.count("ADD"), 1);
+        assert_eq!(h.top()[0].1, 2);
+    }
+
+    #[test]
+    fn untraced_run_matches_traced() {
+        let code = [0x60, 0x2a, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3];
+        let plain = Interpreter::new(&code).run(&Env::default());
+        let mut t = TraceCollector::new();
+        let traced = Interpreter::new(&code).run_traced(&Env::default(), &mut t);
+        assert_eq!(plain.outcome, traced.outcome);
+        assert_eq!(plain.steps, traced.steps);
+        assert_eq!(plain.gas_used, traced.gas_used);
+        assert_eq!(plain.steps, t.steps().len());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = TraceStep {
+            pc: 4,
+            opcode: crate::opcode::Opcode::Add,
+            stack_depth: 2,
+            stack_top: vec![U256::from(3u64), U256::from(2u64)],
+            gas_used: 9,
+        };
+        assert_eq!(s.to_string(), "0x0004 ADD            depth=2 top=[0x3, 0x2]");
+    }
+}

@@ -1,0 +1,865 @@
+//! 256-bit unsigned integer arithmetic matching EVM word semantics.
+//!
+//! The EVM operates on 256-bit words with wrapping unsigned arithmetic plus a
+//! handful of signed operations (`SDIV`, `SMOD`, `SLT`, `SGT`, `SAR`,
+//! `SIGNEXTEND`) defined over two's-complement interpretation of the same
+//! words. [`U256`] implements all of them from scratch on four little-endian
+//! `u64` limbs — no external big-integer crate.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub};
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+///
+/// All arithmetic wraps modulo 2²⁵⁶, mirroring EVM semantics. Division and
+/// remainder by zero yield zero (the EVM convention) rather than panicking.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_evm::U256;
+///
+/// let a = U256::from(7u64);
+/// let b = U256::from(3u64);
+/// assert_eq!(a / b, U256::from(2u64));
+/// assert_eq!(a % b, U256::from(1u64));
+/// assert_eq!(U256::MAX + U256::ONE, U256::ZERO); // wrapping
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// The additive identity.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The largest representable value, 2²⁵⁶ − 1.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a value from four little-endian limbs (`limbs[0]` is least
+    /// significant).
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Parses a big-endian byte slice of at most 32 bytes.
+    ///
+    /// Shorter slices are zero-extended on the left, matching how the EVM
+    /// reads words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > 32`.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 32, "U256::from_be_bytes: slice too long");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let start = 32 - (i + 1) * 8;
+            let mut v = [0u8; 8];
+            v.copy_from_slice(&buf[start..start + 8]);
+            *limb = u64::from_be_bytes(v);
+        }
+        U256(limbs)
+    }
+
+    /// Serialises to 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            let start = 32 - (i + 1) * 8;
+            out[start..start + 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string, with or without a `0x` prefix.
+    ///
+    /// Returns `None` on invalid characters or if the value needs more than
+    /// 64 hex digits.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut v = U256::ZERO;
+        for c in s.chars() {
+            let d = c.to_digit(16)? as u64;
+            v = (v << 4) | U256::from(d);
+        }
+        Some(v)
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Returns the number of significant bits (0 for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns the value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns `self` as `u64` if it fits, else `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Returns `self` as `usize` if it fits, else `None`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Truncates to the low 64 bits.
+    pub fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Wrapping addition; also returns the carry-out flag.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Wrapping subtraction; also returns the borrow-out flag.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Wrapping multiplication modulo 2²⁵⁶.
+    pub fn wrapping_mul(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if self.0[i] == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for j in 0..4 - i {
+                let t = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+        }
+        U256(out)
+    }
+
+    /// Checked multiplication: `None` on overflow past 2²⁵⁶.
+    pub fn checked_mul(self, rhs: U256) -> Option<U256> {
+        let mut prod = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let t = prod[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                prod[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            prod[i + 4] = carry as u64;
+        }
+        if prod[4..].iter().any(|&l| l != 0) {
+            None
+        } else {
+            Some(U256([prod[0], prod[1], prod[2], prod[3]]))
+        }
+    }
+
+    /// Simultaneous quotient and remainder. Division by zero yields
+    /// `(0, 0)`, matching the EVM's `DIV`/`MOD` convention.
+    pub fn div_rem(self, rhs: U256) -> (U256, U256) {
+        if rhs.is_zero() {
+            return (U256::ZERO, U256::ZERO);
+        }
+        if self < rhs {
+            return (U256::ZERO, self);
+        }
+        if rhs.0[1] == 0 && rhs.0[2] == 0 && rhs.0[3] == 0 {
+            let (q, r) = self.div_rem_u64(rhs.0[0]);
+            return (q, U256::from(r));
+        }
+        // Bit-by-bit long division for the general case.
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        let n = self.bits();
+        for i in (0..n).rev() {
+            remainder = remainder << 1;
+            if self.bit(i) {
+                remainder.0[0] |= 1;
+            }
+            if remainder >= rhs {
+                remainder = remainder - rhs;
+                quotient.0[(i / 64) as usize] |= 1 << (i % 64);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    fn div_rem_u64(self, rhs: u64) -> (U256, u64) {
+        let mut out = [0u64; 4];
+        let mut rem: u128 = 0;
+        for i in (0..4).rev() {
+            let cur = (rem << 64) | self.0[i] as u128;
+            out[i] = (cur / rhs as u128) as u64;
+            rem = cur % rhs as u128;
+        }
+        (U256(out), rem as u64)
+    }
+
+    /// EVM `EXP`: wrapping exponentiation by squaring.
+    pub fn wrapping_pow(self, mut exp: U256) -> U256 {
+        let mut base = self;
+        let mut acc = U256::ONE;
+        while !exp.is_zero() {
+            if exp.bit(0) {
+                acc = acc.wrapping_mul(base);
+            }
+            base = base.wrapping_mul(base);
+            exp = exp >> 1;
+        }
+        acc
+    }
+
+    /// Interprets `self` as two's complement: is the sign bit set?
+    pub fn is_negative(&self) -> bool {
+        self.bit(255)
+    }
+
+    /// Two's-complement negation.
+    pub fn wrapping_neg(self) -> U256 {
+        (!self).overflowing_add(U256::ONE).0
+    }
+
+    /// Signed comparison over the two's-complement interpretation
+    /// (EVM `SLT`/`SGT`).
+    pub fn signed_cmp(&self, other: &U256) -> Ordering {
+        match (self.is_negative(), other.is_negative()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.cmp(other),
+        }
+    }
+
+    /// EVM `SDIV`: signed division, truncating toward zero.
+    /// `i256::MIN / -1` wraps to `i256::MIN`; division by zero is zero.
+    pub fn signed_div(self, rhs: U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let min = U256::ONE << 255u32;
+        if self == min && rhs == U256::MAX {
+            return min;
+        }
+        let (neg_a, a) = if self.is_negative() { (true, self.wrapping_neg()) } else { (false, self) };
+        let (neg_b, b) = if rhs.is_negative() { (true, rhs.wrapping_neg()) } else { (false, rhs) };
+        let q = a / b;
+        if neg_a ^ neg_b {
+            q.wrapping_neg()
+        } else {
+            q
+        }
+    }
+
+    /// EVM `SMOD`: signed remainder, result takes the dividend's sign.
+    pub fn signed_rem(self, rhs: U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let (neg_a, a) = if self.is_negative() { (true, self.wrapping_neg()) } else { (false, self) };
+        let b = if rhs.is_negative() { rhs.wrapping_neg() } else { rhs };
+        let r = a % b;
+        if neg_a {
+            r.wrapping_neg()
+        } else {
+            r
+        }
+    }
+
+    /// EVM `SAR`: arithmetic right shift preserving the sign bit.
+    pub fn sar(self, shift: U256) -> U256 {
+        let neg = self.is_negative();
+        let s = match shift.as_u64() {
+            Some(s) if s < 256 => s as u32,
+            _ => return if neg { U256::MAX } else { U256::ZERO },
+        };
+        if s == 0 {
+            return self;
+        }
+        let logical = self >> s;
+        if neg {
+            // Fill vacated high bits with ones.
+            logical | (U256::MAX << (256 - s))
+        } else {
+            logical
+        }
+    }
+
+    /// EVM `SIGNEXTEND`: extends the sign of the value in the low
+    /// `byte_index + 1` bytes across the full word. If `byte_index >= 31`
+    /// the value is returned unchanged.
+    pub fn sign_extend(self, byte_index: U256) -> U256 {
+        let b = match byte_index.as_u64() {
+            Some(b) if b < 31 => b as u32,
+            _ => return self,
+        };
+        let sign_bit = 8 * b + 7;
+        if self.bit(sign_bit) {
+            self | (U256::MAX << (sign_bit + 1))
+        } else {
+            self & !(U256::MAX << (sign_bit + 1))
+        }
+    }
+
+    /// EVM `BYTE`: the `i`-th byte of the word counted from the *most*
+    /// significant end (index 0 = most significant byte). Out-of-range
+    /// indices yield zero.
+    pub fn byte(self, index: U256) -> U256 {
+        match index.as_u64() {
+            Some(i) if i < 32 => U256::from(self.to_be_bytes()[i as usize] as u64),
+            _ => U256::ZERO,
+        }
+    }
+
+    /// EVM `ADDMOD`: `(self + rhs) % modulus` computed without intermediate
+    /// overflow; zero modulus yields zero.
+    pub fn add_mod(self, rhs: U256, modulus: U256) -> U256 {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        let a = self % modulus;
+        let b = rhs % modulus;
+        let (sum, carry) = a.overflowing_add(b);
+        if carry || sum >= modulus {
+            // The true sum is sum + 2^256*carry; subtracting the modulus once
+            // is enough since a,b < modulus <= 2^256-1.
+            sum.overflowing_sub(modulus).0
+        } else {
+            sum
+        }
+    }
+
+    /// EVM `MULMOD`: `(self * rhs) % modulus` over the full 512-bit product;
+    /// zero modulus yields zero.
+    pub fn mul_mod(self, rhs: U256, modulus: U256) -> U256 {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        // Schoolbook 512-bit product in 8 limbs, then long division by modulus.
+        let mut prod = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let t = prod[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                prod[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            prod[i + 4] = carry as u64;
+        }
+        // Bitwise modular reduction of the 512-bit product.
+        let mut rem = U256::ZERO;
+        for i in (0..512).rev() {
+            let bit = (prod[i / 64] >> (i % 64)) & 1 == 1;
+            let overflow = rem.bit(255);
+            rem = rem << 1;
+            if bit {
+                rem.0[0] |= 1;
+            }
+            if overflow || rem >= modulus {
+                rem = rem.overflowing_sub(modulus).0;
+            }
+        }
+        rem
+    }
+
+    /// A mask with the low `bits` bits set (`bits >= 256` gives [`U256::MAX`]).
+    pub fn low_mask(bits: u32) -> U256 {
+        if bits >= 256 {
+            U256::MAX
+        } else if bits == 0 {
+            U256::ZERO
+        } else {
+            (U256::ONE << bits).overflowing_sub(U256::ONE).0
+        }
+    }
+
+    /// A mask with the high `bits` bits set.
+    pub fn high_mask(bits: u32) -> U256 {
+        !U256::low_mask(256 - bits.min(256))
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<usize> for U256 {
+    fn from(v: usize) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+}
+
+impl From<i64> for U256 {
+    /// Sign-extends negative values into two's-complement 256-bit form.
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            U256::from(v as u64)
+        } else {
+            U256::from((-v) as u64).wrapping_neg()
+        }
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    fn add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+    fn mul(self, rhs: U256) -> U256 {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    fn div(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    fn rem(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            out[i] = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    fn shr(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 - limb_shift {
+            out[i] = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shl<U256> for U256 {
+    type Output = U256;
+    fn shl(self, shift: U256) -> U256 {
+        match shift.as_u64() {
+            Some(s) if s < 256 => self << (s as u32),
+            _ => U256::ZERO,
+        }
+    }
+}
+
+impl Shr<U256> for U256 {
+    type Output = U256;
+    fn shr(self, shift: U256) -> U256 {
+        match shift.as_u64() {
+            Some(s) if s < 256 => self >> (s as u32),
+            _ => U256::ZERO,
+        }
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{:x})", self)
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (largest power of ten in a u64).
+        let mut digits = Vec::new();
+        let mut v = *self;
+        while !v.is_zero() {
+            let (q, r) = v.div_rem_u64(10_000_000_000_000_000_000);
+            v = q;
+            if v.is_zero() {
+                digits.push(format!("{}", r));
+            } else {
+                digits.push(format!("{:019}", r));
+            }
+        }
+        digits.reverse();
+        write!(f, "{}", digits.concat())
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut started = false;
+        for i in (0..4).rev() {
+            if started {
+                write!(f, "{:016x}", self.0[i])?;
+            } else if self.0[i] != 0 {
+                write!(f, "{:x}", self.0[i])?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = U256([u64::MAX, 0, 0, 0]);
+        assert_eq!(a + U256::ONE, U256([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn add_wraps_at_max() {
+        assert_eq!(U256::MAX + U256::ONE, U256::ZERO);
+        let (_, carry) = U256::MAX.overflowing_add(U256::ONE);
+        assert!(carry);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = U256([0, 1, 0, 0]);
+        assert_eq!(a - U256::ONE, U256([u64::MAX, 0, 0, 0]));
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(U256::ZERO - U256::ONE, U256::MAX);
+    }
+
+    #[test]
+    fn mul_basic_and_cross_limb() {
+        assert_eq!(u(1u64 << 32) * u(1u64 << 32), U256([0, 1, 0, 0]));
+        assert_eq!(u(12345) * u(67890), u(12345 * 67890));
+    }
+
+    #[test]
+    fn mul_wraps() {
+        let big = U256::ONE << 255u32;
+        assert_eq!(big * u(2), U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_small_divisor() {
+        let a = U256::from_hex("123456789abcdef0123456789abcdef0").unwrap();
+        let (q, r) = a.div_rem(u(1000));
+        assert_eq!(q * u(1000) + r, a);
+        assert!(r < u(1000));
+    }
+
+    #[test]
+    fn div_rem_large_divisor() {
+        let a = U256::MAX;
+        let b = U256::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        let (q, r) = a.div_rem(b);
+        assert_eq!(q * b + r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_by_zero_is_zero() {
+        assert_eq!(u(5) / U256::ZERO, U256::ZERO);
+        assert_eq!(u(5) % U256::ZERO, U256::ZERO);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        assert_eq!(u(3).wrapping_pow(u(7)), u(2187));
+        assert_eq!(u(2).wrapping_pow(u(256)), U256::ZERO);
+        assert_eq!(u(2).wrapping_pow(u(255)), U256::ONE << 255u32);
+    }
+
+    #[test]
+    fn shifts() {
+        let one = U256::ONE;
+        assert_eq!((one << 64u32).limbs(), [0, 1, 0, 0]);
+        assert_eq!((one << 255u32) >> 255u32, one);
+        assert_eq!(one << 256u32, U256::ZERO);
+        let v = U256::from_hex("ff00000000000000000000000000000000000000000000000000000000000000").unwrap();
+        assert_eq!(v >> 248u32, u(0xff));
+    }
+
+    #[test]
+    fn signed_division() {
+        let minus_seven = U256::from(-7i64);
+        let two = u(2);
+        assert_eq!(minus_seven.signed_div(two), U256::from(-3i64));
+        assert_eq!(minus_seven.signed_rem(two), U256::from(-1i64));
+        assert_eq!(minus_seven.signed_div(U256::from(-2i64)), u(3));
+        // i256::MIN / -1 wraps.
+        let min = U256::ONE << 255u32;
+        assert_eq!(min.signed_div(U256::MAX), min);
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let neg = U256::from(-1i64);
+        assert_eq!(neg.signed_cmp(&U256::ONE), Ordering::Less);
+        assert_eq!(U256::ONE.signed_cmp(&neg), Ordering::Greater);
+        assert_eq!(neg.signed_cmp(&U256::from(-2i64)), Ordering::Greater);
+    }
+
+    #[test]
+    fn sign_extend_negative_byte() {
+        // 0xff in the lowest byte, extend from byte 0 → -1.
+        assert_eq!(u(0xff).sign_extend(U256::ZERO), U256::MAX);
+        // 0x7f stays positive.
+        assert_eq!(u(0x7f).sign_extend(U256::ZERO), u(0x7f));
+        // Extending from byte 31+ is the identity.
+        assert_eq!(U256::MAX.sign_extend(u(31)), U256::MAX);
+        assert_eq!(u(42).sign_extend(u(100)), u(42));
+    }
+
+    #[test]
+    fn sign_extend_clears_high_garbage() {
+        // Garbage above a positive int16 must be cleared.
+        let v = U256::from_hex("ffff00ff").unwrap();
+        assert_eq!(v.sign_extend(U256::ONE), u(0x00ff));
+    }
+
+    #[test]
+    fn byte_indexing_is_big_endian() {
+        let v = U256::from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20").unwrap();
+        assert_eq!(v.byte(U256::ZERO), u(0x01));
+        assert_eq!(v.byte(u(31)), u(0x20));
+        assert_eq!(v.byte(u(32)), U256::ZERO);
+    }
+
+    #[test]
+    fn sar_preserves_sign() {
+        let neg2 = U256::from(-2i64);
+        assert_eq!(neg2.sar(U256::ONE), U256::from(-1i64));
+        assert_eq!(neg2.sar(u(300)), U256::MAX);
+        assert_eq!(u(8).sar(u(2)), u(2));
+        assert_eq!(u(8).sar(u(300)), U256::ZERO);
+    }
+
+    #[test]
+    fn addmod_mulmod() {
+        // 2^256 ≡ 4 (mod 12), so 2^256−1 ≡ 3 and (MAX + MAX) mod 12 = 6.
+        assert_eq!(U256::MAX.add_mod(U256::MAX, u(12)), u(6));
+        assert_eq!(u(10).add_mod(u(10), u(8)), u(4));
+        assert_eq!(u(10).mul_mod(u(10), u(8)), u(4));
+        // (m−1)² mod (m−2) ≡ 1 where m−1 ≡ 1 (mod m−2) ... with m = 2^256:
+        assert_eq!(U256::MAX.mul_mod(U256::MAX, U256::MAX - U256::ONE), U256::ONE);
+        assert_eq!(u(5).add_mod(u(5), U256::ZERO), U256::ZERO);
+        assert_eq!(u(5).mul_mod(u(5), U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let s = "deadbeefcafebabe0123456789abcdef";
+        let v = U256::from_hex(s).unwrap();
+        assert_eq!(format!("{:x}", v), s);
+        assert_eq!(U256::from_hex("0x10").unwrap(), u(16));
+        assert!(U256::from_hex("xyz").is_none());
+        assert!(U256::from_hex(&"f".repeat(65)).is_none());
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = U256::from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20").unwrap();
+        assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+        // Short slices zero-extend on the left.
+        assert_eq!(U256::from_be_bytes(&[0x12, 0x34]), u(0x1234));
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(U256::ZERO.to_string(), "0");
+        assert_eq!(u(12345).to_string(), "12345");
+        assert_eq!(
+            U256::MAX.to_string(),
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935"
+        );
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(U256::low_mask(8), u(0xff));
+        assert_eq!(U256::low_mask(0), U256::ZERO);
+        assert_eq!(U256::low_mask(256), U256::MAX);
+        assert_eq!(U256::high_mask(8), U256::from_hex("ff00000000000000000000000000000000000000000000000000000000000000").unwrap());
+        assert_eq!(U256::high_mask(256), U256::MAX);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!(U256::MAX.bits(), 256);
+        assert_eq!((U256::ONE << 200u32).bits(), 201);
+        assert!((U256::ONE << 200u32).bit(200));
+        assert!(!(U256::ONE << 200u32).bit(201));
+    }
+
+    #[test]
+    fn from_i64_negative() {
+        assert_eq!(U256::from(-1i64), U256::MAX);
+        assert_eq!(U256::from(-1i64).wrapping_neg(), U256::ONE);
+    }
+}

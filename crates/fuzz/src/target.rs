@@ -1,0 +1,168 @@
+//! Bug-seeded fuzzing targets.
+//!
+//! A target contract has the usual dispatcher and §2.3.1 parameter-access
+//! prologues; buggy functions end in `INVALID` (Solidity's `assert`
+//! opcode) instead of `STOP`, so the bug is reached exactly when an input
+//! survives the full decoding path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sigrec_abi::{AbiType, FunctionSignature};
+use sigrec_corpus::typegen;
+use sigrec_evm::{Assembler, Opcode, U256};
+use sigrec_solc::{CompilerConfig, FnEmitter, Visibility};
+
+/// One function of a fuzzing target.
+#[derive(Clone, Debug)]
+pub struct BugFunction {
+    /// The declared signature (drives code generation; the fuzzer itself
+    /// only sees bytecode).
+    pub signature: FunctionSignature,
+    /// Visibility (access-pattern flavour).
+    pub visibility: Visibility,
+    /// Whether this function hosts a seeded bug.
+    pub buggy: bool,
+}
+
+/// A compiled fuzzing target.
+#[derive(Clone, Debug)]
+pub struct TargetContract {
+    /// Runtime bytecode.
+    pub code: Vec<u8>,
+    /// Its functions.
+    pub functions: Vec<BugFunction>,
+}
+
+/// Compiles a bug-seeded target.
+pub fn build_target(functions: &[BugFunction], config: &CompilerConfig) -> TargetContract {
+    let mut asm = Assembler::new();
+    asm.push_u64(0).op(Opcode::CallDataLoad);
+    asm.push_u64(0xe0).op(Opcode::Shr);
+    let entries: Vec<_> = functions.iter().map(|_| asm.fresh_label()).collect();
+    for (f, &entry) in functions.iter().zip(&entries) {
+        asm.op(Opcode::Dup(1));
+        asm.push_sized(U256::from(f.signature.selector.as_u32() as u64), 4);
+        asm.op(Opcode::Eq);
+        asm.push_label(entry).op(Opcode::JumpI);
+    }
+    asm.op(Opcode::Pop).op(Opcode::Stop);
+    for (f, &entry) in functions.iter().zip(&entries) {
+        asm.jumpdest(entry);
+        let mut em = FnEmitter::new(&mut asm, *config);
+        let mut head = 0u64;
+        for p in &f.signature.params {
+            em.param(p, head, f.visibility);
+            head += p.head_size() as u64;
+        }
+        if f.buggy {
+            asm.op(Opcode::Invalid(0xfe));
+        } else {
+            asm.op(Opcode::Stop);
+        }
+    }
+    TargetContract { code: asm.assemble(), functions: functions.to_vec() }
+}
+
+/// Generates a batch of fuzzing targets: `contracts` contracts of 1–5
+/// functions each, with roughly `buggy_share` of functions seeded.
+///
+/// The parameter mix controls the experiment's headline gap: functions
+/// whose decoding can *reject* an input (external dynamic types) are where
+/// type-aware fuzzing pulls ahead.
+pub fn generate_targets(contracts: usize, buggy_share: f64, seed: u64) -> Vec<TargetContract> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..contracts)
+        .map(|_| {
+            let n = rng.gen_range(1..=5);
+            let mut used: Vec<String> = Vec::new();
+            let functions: Vec<BugFunction> = (0..n)
+                .map(|_| {
+                    let name = loop {
+                        let cand = typegen::name(&mut rng, 6);
+                        if !used.contains(&cand) {
+                            used.push(cand.clone());
+                            break cand;
+                        }
+                    };
+                    // A mix heavier in dynamic types than the deployed-code
+                    // average: fuzzing studies target token/DEX-style
+                    // functions, which move arrays and byte strings around.
+                    let params: Vec<AbiType> = (0..rng.gen_range(1..=3))
+                        .map(|_| {
+                            if rng.gen_bool(0.22) {
+                                match rng.gen_range(0..3) {
+                                    0 => AbiType::Bytes,
+                                    1 => typegen::dynamic_array(&mut rng, 0, 4),
+                                    _ => typegen::nested_array(&mut rng),
+                                }
+                            } else {
+                                typegen::basic(&mut rng)
+                            }
+                        })
+                        .collect();
+                    let visibility = if rng.gen_bool(0.5) {
+                        Visibility::Public
+                    } else {
+                        Visibility::External
+                    };
+                    BugFunction {
+                        signature: FunctionSignature::from_declaration(&name, params),
+                        visibility,
+                        buggy: rng.gen_bool(buggy_share),
+                    }
+                })
+                .collect();
+            build_target(&functions, &CompilerConfig::default())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_abi::{encode_call, AbiValue};
+    use sigrec_evm::{Env, Interpreter};
+
+    #[test]
+    fn buggy_function_trips_invalid_on_valid_input() {
+        let sig = FunctionSignature::parse("f(uint8)").unwrap();
+        let t = build_target(
+            &[BugFunction {
+                signature: sig.clone(),
+                visibility: Visibility::External,
+                buggy: true,
+            }],
+            &CompilerConfig::default(),
+        );
+        let cd = encode_call(&sig, &[AbiValue::Uint(U256::from(3u64))]).unwrap();
+        let exec = Interpreter::new(&t.code).run(&Env::with_calldata(cd));
+        assert!(exec.hit_invalid());
+    }
+
+    #[test]
+    fn clean_function_stops_on_valid_input() {
+        let sig = FunctionSignature::parse("f(uint8)").unwrap();
+        let t = build_target(
+            &[BugFunction {
+                signature: sig.clone(),
+                visibility: Visibility::External,
+                buggy: false,
+            }],
+            &CompilerConfig::default(),
+        );
+        let cd = encode_call(&sig, &[AbiValue::Uint(U256::from(3u64))]).unwrap();
+        let exec = Interpreter::new(&t.code).run(&Env::with_calldata(cd));
+        assert!(!exec.hit_invalid());
+        assert!(exec.succeeded());
+    }
+
+    #[test]
+    fn generate_targets_deterministic() {
+        let a = generate_targets(5, 0.5, 9);
+        let b = generate_targets(5, 0.5, 9);
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.code, y.code);
+        }
+    }
+}

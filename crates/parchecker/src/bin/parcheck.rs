@@ -1,0 +1,85 @@
+//! Command-line invalid-calldata checking.
+//!
+//! ```text
+//! parcheck <signatures-file> <calldata-hex | ->
+//! ```
+//!
+//! The signatures file holds one canonical declaration per line, e.g.
+//! `transfer(address,uint256)` (lines starting with `#` are comments).
+//! The calldata is hex (0x prefix allowed), or `-` to read from stdin.
+//! Prints the verdict, the decoded arguments for valid payloads, and a
+//! short-address-attack warning when the shape matches.
+
+use sigrec_abi::{decode, pretty_args, FunctionSignature};
+use sigrec_parchecker::{CheckResult, ParChecker};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 {
+        eprintln!("usage: parcheck <signatures-file> <calldata-hex | ->");
+        std::process::exit(2);
+    }
+    let sigs = std::fs::read_to_string(&args[0]).unwrap_or_else(|e| {
+        eprintln!("parcheck: cannot read {}: {e}", args[0]);
+        std::process::exit(2);
+    });
+    let mut checker = ParChecker::new();
+    let mut parsed = Vec::new();
+    for line in sigs.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match FunctionSignature::parse(line) {
+            Ok(sig) => {
+                checker.add_signature(sig.selector, sig.params.clone());
+                parsed.push(sig);
+            }
+            Err(e) => {
+                eprintln!("parcheck: skipping {:?}: {e}", line);
+            }
+        }
+    }
+    let raw = if args[1] == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        args[1].clone()
+    };
+    let cleaned: String = raw.chars().filter(|c| !c.is_whitespace()).collect();
+    let cleaned = cleaned.strip_prefix("0x").unwrap_or(&cleaned);
+    let calldata: Vec<u8> = match (0..cleaned.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(cleaned.get(i..i + 2).unwrap_or("zz"), 16).ok())
+        .collect()
+    {
+        Some(v) => v,
+        None => {
+            eprintln!("parcheck: calldata is not hex");
+            std::process::exit(2);
+        }
+    };
+
+    let verdict = checker.check(&calldata);
+    println!("verdict: {}", verdict);
+    match &verdict {
+        CheckResult::Valid => {
+            let sig = parsed
+                .iter()
+                .find(|s| s.selector.0[..] == calldata[..4])
+                .expect("valid implies known");
+            println!("function: {}", sig.canonical());
+            let values = decode(&sig.params, &calldata[4..]).expect("valid implies decodable");
+            print!("{}", pretty_args(&sig.params, &values));
+        }
+        CheckResult::Invalid(_) => {
+            if checker.is_short_address_attack(&calldata) {
+                println!("WARNING: shape matches a SHORT ADDRESS ATTACK");
+            }
+            std::process::exit(1);
+        }
+        _ => std::process::exit(1),
+    }
+}

@@ -1,0 +1,366 @@
+//! # sigrec-parchecker
+//!
+//! ParChecker (§6.1 of the SigRec paper): detection of *invalid actual
+//! arguments* in function invocations, driven by recovered function
+//! signatures. Given the call data of an invocation, ParChecker looks up
+//! the recovered signature by function id and validates the encoding —
+//! padding per type, offset/num structure of dynamic types, payload
+//! lengths — flagging malformed payloads and, specifically, *short address
+//! attacks* (a truncated `address` argument whose missing bytes the EVM
+//! steals from the following `uint256`, multiplying the transferred amount
+//! by 256 per stolen byte).
+
+#![warn(missing_docs)]
+
+use sigrec_abi::{decode, AbiType, DecodeError, Selector};
+use sigrec_core::{RecoveredFunction, SigRec};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Verdict for one invocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckResult {
+    /// The arguments are encoded per the ABI specification.
+    Valid,
+    /// The arguments are malformed; the decoder error explains how.
+    Invalid(DecodeError),
+    /// The calldata is shorter than a function id.
+    NoFunctionId,
+    /// The function id is not among the recovered signatures, so the
+    /// arguments cannot be validated.
+    UnknownFunction(Selector),
+}
+
+impl CheckResult {
+    /// True for [`CheckResult::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CheckResult::Valid)
+    }
+}
+
+impl fmt::Display for CheckResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckResult::Valid => write!(f, "valid"),
+            CheckResult::Invalid(e) => write!(f, "invalid: {e}"),
+            CheckResult::NoFunctionId => write!(f, "calldata shorter than a function id"),
+            CheckResult::UnknownFunction(s) => write!(f, "unknown function {s}"),
+        }
+    }
+}
+
+/// The invalid-argument detector.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_parchecker::ParChecker;
+/// use sigrec_abi::{encode_call, AbiValue, FunctionSignature};
+/// use sigrec_evm::U256;
+///
+/// let sig = FunctionSignature::parse("transfer(address,uint256)").unwrap();
+/// let mut checker = ParChecker::new();
+/// checker.add_signature(sig.selector, sig.params.clone());
+///
+/// // A vanity address ending in two zero bytes — the attack's ingredient.
+/// let good = encode_call(&sig, &[
+///     AbiValue::Address(U256::from(0xabc_0000u64)),
+///     AbiValue::Uint(U256::from(1000u64)),
+/// ]).unwrap();
+/// assert!(checker.check(&good).is_valid());
+///
+/// // The attacker omits the address's trailing zero bytes:
+/// let mut attack = good.clone();
+/// attack.drain(4 + 30..4 + 32);
+/// assert!(!checker.check(&attack).is_valid());
+/// assert!(checker.is_short_address_attack(&attack));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ParChecker {
+    signatures: HashMap<Selector, Vec<AbiType>>,
+}
+
+impl ParChecker {
+    /// An empty checker (no known signatures).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a recovered signature.
+    pub fn add_signature(&mut self, selector: Selector, params: Vec<AbiType>) {
+        self.signatures.insert(selector, params);
+    }
+
+    /// Builds a checker from SigRec's output for one contract.
+    pub fn from_recovered(functions: &[RecoveredFunction]) -> Self {
+        let mut c = ParChecker::new();
+        for f in functions {
+            c.add_signature(f.selector, f.params.clone());
+        }
+        c
+    }
+
+    /// Builds a checker by running SigRec over a set of contracts.
+    pub fn from_bytecode<'a>(codes: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        let sigrec = SigRec::new();
+        let mut c = ParChecker::new();
+        for code in codes {
+            for f in sigrec.recover(code) {
+                c.add_signature(f.selector, f.params);
+            }
+        }
+        c
+    }
+
+    /// Number of known signatures.
+    pub fn signature_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Validates one invocation's calldata.
+    pub fn check(&self, calldata: &[u8]) -> CheckResult {
+        if calldata.len() < 4 {
+            return CheckResult::NoFunctionId;
+        }
+        let selector = Selector([calldata[0], calldata[1], calldata[2], calldata[3]]);
+        let Some(params) = self.signatures.get(&selector) else {
+            return CheckResult::UnknownFunction(selector);
+        };
+        match decode(params, &calldata[4..]) {
+            Ok(_) => CheckResult::Valid,
+            Err(e) => CheckResult::Invalid(e),
+        }
+    }
+
+    /// The §6.1 short-address-attack test: the target takes
+    /// `(address, uint256, …)`, the arguments are shorter than the head
+    /// requires, and the highest missing-byte-count bytes of the last
+    /// 32-byte word are zeros (they would be used to complete the short
+    /// address, shifting the amount).
+    pub fn is_short_address_attack(&self, calldata: &[u8]) -> bool {
+        if calldata.len() < 4 {
+            return false;
+        }
+        let selector = Selector([calldata[0], calldata[1], calldata[2], calldata[3]]);
+        let Some(params) = self.signatures.get(&selector) else { return false };
+        if params.len() < 2 || params[0] != AbiType::Address || params[1] != AbiType::Uint(256) {
+            return false;
+        }
+        let expected: usize = params.iter().map(AbiType::head_size).sum();
+        let args = &calldata[4..];
+        if args.len() >= expected || args.len() < 33 {
+            return false;
+        }
+        let missing = expected - args.len();
+        if missing > 31 {
+            return false;
+        }
+        // Highest `missing` bytes of the last 32 bytes must be zeros.
+        let last = &args[args.len() - 32..];
+        last[..missing].iter().all(|&b| b == 0)
+    }
+}
+
+/// Outcome counters for a traffic sweep (the §6.1 experiment).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Transactions examined.
+    pub total: usize,
+    /// Transactions that validated.
+    pub valid: usize,
+    /// Transactions flagged invalid.
+    pub invalid: usize,
+    /// Transactions with unknown function ids.
+    pub unknown: usize,
+    /// Invalid transactions additionally identified as short-address
+    /// attacks.
+    pub short_address_attacks: usize,
+    /// Invalid transactions by failure class.
+    pub by_kind: InvalidBreakdown,
+}
+
+/// Failure-class counters for flagged transactions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvalidBreakdown {
+    /// Truncated calldata (the short-address shape).
+    pub truncated: usize,
+    /// Non-zero high-order padding (`uintM`/`address`).
+    pub left_padding: usize,
+    /// Non-zero low-order padding (`bytesM`, `bytes`, `string`).
+    pub right_padding: usize,
+    /// Broken sign extension (`intM`).
+    pub sign_extension: usize,
+    /// Non-boolean `bool` words.
+    pub bad_bool: usize,
+    /// Offsets or lengths outside the calldata.
+    pub unrepresentable: usize,
+}
+
+impl InvalidBreakdown {
+    fn record(&mut self, e: &DecodeError) {
+        match e {
+            DecodeError::OutOfBounds { .. } => self.truncated += 1,
+            DecodeError::BadLeftPadding { .. } => self.left_padding += 1,
+            DecodeError::BadRightPadding { .. } => self.right_padding += 1,
+            DecodeError::BadSignExtension { .. } => self.sign_extension += 1,
+            DecodeError::BadBool { .. } => self.bad_bool += 1,
+            DecodeError::Unrepresentable { .. } => self.unrepresentable += 1,
+        }
+    }
+}
+
+impl ParChecker {
+    /// Sweeps a transaction stream, producing the §6.1 counters.
+    pub fn sweep<'a>(&self, calldatas: impl IntoIterator<Item = &'a [u8]>) -> TrafficReport {
+        let mut r = TrafficReport::default();
+        for cd in calldatas {
+            r.total += 1;
+            match self.check(cd) {
+                CheckResult::Valid => r.valid += 1,
+                CheckResult::Invalid(e) => {
+                    r.invalid += 1;
+                    r.by_kind.record(&e);
+                    if self.is_short_address_attack(cd) {
+                        r.short_address_attacks += 1;
+                    }
+                }
+                CheckResult::NoFunctionId => {
+                    r.invalid += 1;
+                }
+                CheckResult::UnknownFunction(_) => r.unknown += 1,
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_abi::{encode_call, AbiValue, FunctionSignature};
+    use sigrec_evm::U256;
+
+    fn checker_for(decl: &str) -> (ParChecker, FunctionSignature) {
+        let sig = FunctionSignature::parse(decl).unwrap();
+        let mut c = ParChecker::new();
+        c.add_signature(sig.selector, sig.params.clone());
+        (c, sig)
+    }
+
+    #[test]
+    fn valid_calldata_passes() {
+        let (c, sig) = checker_for("transfer(address,uint256)");
+        let cd = encode_call(
+            &sig,
+            &[AbiValue::Address(U256::ONE), AbiValue::Uint(U256::from(10u64))],
+        )
+        .unwrap();
+        assert_eq!(c.check(&cd), CheckResult::Valid);
+        assert!(!c.is_short_address_attack(&cd));
+    }
+
+    #[test]
+    fn dirty_padding_rejected() {
+        let (c, sig) = checker_for("f(address)");
+        let mut cd =
+            encode_call(&sig, &[AbiValue::Address(U256::from(5u64))]).unwrap();
+        cd[5] = 0xff; // inside the 12 padding bytes
+        assert!(matches!(c.check(&cd), CheckResult::Invalid(_)));
+    }
+
+    #[test]
+    fn unknown_selector_reported() {
+        let (c, _) = checker_for("f(address)");
+        let cd = vec![0xde, 0xad, 0xbe, 0xef, 0u8];
+        assert!(matches!(c.check(&cd), CheckResult::UnknownFunction(_)));
+        assert_eq!(c.check(&[0x01]), CheckResult::NoFunctionId);
+    }
+
+    #[test]
+    fn short_address_attack_detected() {
+        let (c, sig) = checker_for("transfer(address,uint256)");
+        // Address ending in 2 zero bytes; attacker omits them.
+        let addr = U256::from(0xabcd_0000u64) << 64u32;
+        let cd = encode_call(
+            &sig,
+            &[AbiValue::Address(addr), AbiValue::Uint(U256::from(10_000u64))],
+        )
+        .unwrap();
+        let mut attack = cd.clone();
+        attack.drain(4 + 30..4 + 32); // drop the address's low 2 bytes
+        assert!(!c.check(&attack).is_valid());
+        assert!(c.is_short_address_attack(&attack));
+    }
+
+    #[test]
+    fn attack_test_requires_transfer_shape() {
+        let (c, sig) = checker_for("f(uint256,uint256)");
+        let cd = encode_call(
+            &sig,
+            &[AbiValue::Uint(U256::ONE), AbiValue::Uint(U256::ONE)],
+        )
+        .unwrap();
+        let mut short = cd.clone();
+        short.truncate(short.len() - 2);
+        assert!(!c.is_short_address_attack(&short), "not (address,uint256)");
+    }
+
+    #[test]
+    fn attack_test_requires_zero_high_bytes() {
+        let (c, sig) = checker_for("transfer(address,uint256)");
+        let cd = encode_call(
+            &sig,
+            // An address with non-zero low bytes cannot have been shortened
+            // by omitting trailing zeros.
+            &[
+                AbiValue::Address(U256::from(0x1234_5678_90ab_cdefu64)),
+                AbiValue::Uint(U256::MAX),
+            ],
+        )
+        .unwrap();
+        let mut short = cd.clone();
+        short.truncate(short.len() - 2);
+        assert!(!c.is_short_address_attack(&short));
+    }
+
+    #[test]
+    fn sweep_counts() {
+        let (c, sig) = checker_for("transfer(address,uint256)");
+        let good = encode_call(
+            &sig,
+            // Address ending in a zero byte: its truncation is the attack
+            // shape.
+            &[AbiValue::Address(U256::from(0x100u64)), AbiValue::Uint(U256::from(1u64))],
+        )
+        .unwrap();
+        let mut bad = good.clone();
+        bad.truncate(bad.len() - 1);
+        let unknown = vec![0xde, 0xad, 0xbe, 0xef];
+        let report = c.sweep([good.as_slice(), bad.as_slice(), unknown.as_slice()]);
+        assert_eq!(report.total, 3);
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.invalid, 1);
+        assert_eq!(report.unknown, 1);
+        assert_eq!(report.short_address_attacks, 1);
+        assert_eq!(report.by_kind.truncated, 1);
+        assert_eq!(report.by_kind.bad_bool, 0);
+    }
+
+    #[test]
+    fn breakdown_classifies_kinds() {
+        let (c, sig) = checker_for("g(bool,bytes2)");
+        let good = encode_call(
+            &sig,
+            &[AbiValue::Bool(true), AbiValue::FixedBytes(vec![1, 2])],
+        )
+        .unwrap();
+        let mut bad_bool = good.clone();
+        bad_bool[4 + 31] = 0x05;
+        let mut dirty_right = good.clone();
+        dirty_right[4 + 32 + 31] = 0x09;
+        let report = c.sweep([bad_bool.as_slice(), dirty_right.as_slice()]);
+        assert_eq!(report.by_kind.bad_bool, 1);
+        assert_eq!(report.by_kind.right_padding, 1);
+        assert_eq!(report.invalid, 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Compiler-version and optimisation knobs.
+//!
+//! RQ2 of the paper sweeps 155 Solidity compiler versions with and without
+//! optimisation and finds accuracy stable, because the calldata-access
+//! *patterns* are stable across versions. [`SolcVersion`] models the
+//! version-dependent differences that do exist and that the paper names:
+//!
+//! - selector dispatch via `DIV 2²²⁴` (pre-0.5) vs `SHR 224` (0.5+);
+//! - a `CALLVALUE` non-payable guard emitted by 0.4.22+;
+//! - optimisation eliding runtime bound checks for constant-index static
+//!   array accesses in external functions (the paper's error case 5).
+
+use std::fmt;
+
+/// A Solidity compiler version, by the era of its code-generation idioms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SolcVersion {
+    /// Minor version (the `x` in `0.x.y`), 1..=8.
+    pub minor: u8,
+    /// Patch version.
+    pub patch: u8,
+}
+
+impl SolcVersion {
+    /// A representative modern version (0.8.0).
+    pub const V0_8_0: SolcVersion = SolcVersion { minor: 8, patch: 0 };
+    /// A representative legacy version (0.4.24).
+    pub const V0_4_24: SolcVersion = SolcVersion { minor: 4, patch: 24 };
+    /// The paper's dataset-2 compiler (0.5.5).
+    pub const V0_5_5: SolcVersion = SolcVersion { minor: 5, patch: 5 };
+
+    /// Pre-0.5 compilers move the selector down with `DIV`; later ones use
+    /// `SHR` (introduced with the Constantinople opcodes).
+    pub fn uses_shr_dispatch(&self) -> bool {
+        self.minor >= 5
+    }
+
+    /// 0.4.22+ emit a `CALLVALUE` guard for non-payable functions.
+    pub fn emits_callvalue_guard(&self) -> bool {
+        self.minor > 4 || (self.minor == 4 && self.patch >= 22)
+    }
+
+    /// ABIEncoderV2 (structs and nested arrays as parameters) is available
+    /// from 0.4.19.
+    pub fn supports_abiencoderv2(&self) -> bool {
+        self.minor > 4 || (self.minor == 4 && self.patch >= 19)
+    }
+
+    /// The version sweep used by the Fig. 15 experiment: a ladder of
+    /// representative versions from 0.1.1 to 0.8.0.
+    pub fn sweep() -> Vec<SolcVersion> {
+        let mut out = Vec::new();
+        for minor in 1..=8u8 {
+            let patches: &[u8] = match minor {
+                1 => &[1, 7],
+                2 => &[0, 2],
+                3 => &[6],
+                4 => &[0, 11, 19, 22, 24, 26],
+                5 => &[0, 5, 17],
+                6 => &[0, 12],
+                7 => &[0, 6],
+                8 => &[0],
+                _ => unreachable!(),
+            };
+            for &patch in patches {
+                out.push(SolcVersion { minor, patch });
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for SolcVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0.{}.{}", self.minor, self.patch)
+    }
+}
+
+/// Full code-generation configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CompilerConfig {
+    /// Compiler version.
+    pub version: SolcVersion,
+    /// Whether the optimiser is on (affects constant-index bound checks).
+    pub optimize: bool,
+    /// Emit semantically equivalent but syntactically different masking
+    /// sequences (shift pairs instead of `AND`/`SIGNEXTEND`, `EQ 0` instead
+    /// of `ISZERO`) — the obfuscation scenario of the paper's §7
+    /// discussion.
+    pub obfuscate: bool,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig { version: SolcVersion::V0_8_0, optimize: false, obfuscate: false }
+    }
+}
+
+impl CompilerConfig {
+    /// Convenience constructor.
+    pub fn new(version: SolcVersion, optimize: bool) -> Self {
+        CompilerConfig { version, optimize, obfuscate: false }
+    }
+
+    /// Turns on obfuscated emission (builder style).
+    pub fn obfuscated(mut self) -> Self {
+        self.obfuscate = true;
+        self
+    }
+}
+
+/// Solidity function visibility, as far as calldata handling is concerned.
+///
+/// Public functions copy composite parameters into memory with
+/// `CALLDATACOPY`; external functions read items on demand with
+/// `CALLDATALOAD` (§2.3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Visibility {
+    /// `public`: memory-copy access patterns.
+    Public,
+    /// `external`: on-demand calldata reads.
+    External,
+}
+
+impl fmt::Display for Visibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Visibility::Public => f.write_str("public"),
+            Visibility::External => f.write_str("external"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_era() {
+        assert!(!SolcVersion::V0_4_24.uses_shr_dispatch());
+        assert!(SolcVersion::V0_5_5.uses_shr_dispatch());
+        assert!(SolcVersion::V0_8_0.uses_shr_dispatch());
+    }
+
+    #[test]
+    fn callvalue_guard_era() {
+        assert!(!SolcVersion { minor: 4, patch: 11 }.emits_callvalue_guard());
+        assert!(SolcVersion { minor: 4, patch: 22 }.emits_callvalue_guard());
+        assert!(SolcVersion::V0_8_0.emits_callvalue_guard());
+    }
+
+    #[test]
+    fn sweep_is_ordered_and_nonempty() {
+        let sweep = SolcVersion::sweep();
+        assert!(sweep.len() >= 15);
+        for w in sweep.windows(2) {
+            assert!(
+                (w[0].minor, w[0].patch) < (w[1].minor, w[1].patch),
+                "sweep must ascend"
+            );
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SolcVersion::V0_5_5.to_string(), "0.5.5");
+        assert_eq!(Visibility::Public.to_string(), "public");
+    }
+}

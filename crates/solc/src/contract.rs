@@ -1,0 +1,360 @@
+//! Whole-contract assembly: dispatcher + per-function bodies.
+//!
+//! The generated runtime bytecode mirrors the Solidity layout the paper's
+//! front end expects: an entry dispatcher that loads the first calldata
+//! word, shifts the selector down (`DIV 2²²⁴` pre-0.5, `SHR 224` after),
+//! compares against each function id, and jumps to the function body; each
+//! body accesses its declared parameters with the §2.3.1 patterns and ends
+//! in `STOP`.
+
+use crate::config::{CompilerConfig, Visibility};
+use crate::emit::FnEmitter;
+use crate::spec::{FunctionSpec, Quirk};
+use sigrec_abi::AbiType;
+use sigrec_evm::{Assembler, Opcode, U256};
+
+/// A compiled contract: runtime bytecode plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct CompiledContract {
+    /// The runtime bytecode.
+    pub code: Vec<u8>,
+    /// The functions it dispatches, in dispatcher order.
+    pub functions: Vec<FunctionSpec>,
+    /// The configuration it was generated under.
+    pub config: CompilerConfig,
+}
+
+/// Compiles a contract hosting `functions` under `config`.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_solc::{compile, CompilerConfig, FunctionSpec, Visibility};
+/// use sigrec_abi::FunctionSignature;
+///
+/// let f = FunctionSpec::new(
+///     FunctionSignature::parse("transfer(address,uint256)").unwrap(),
+///     Visibility::External,
+/// );
+/// let contract = compile(&[f], &CompilerConfig::default());
+/// assert!(!contract.code.is_empty());
+/// ```
+pub fn compile(functions: &[FunctionSpec], config: &CompilerConfig) -> CompiledContract {
+    let mut asm = Assembler::new();
+    // --- dispatcher ---
+    asm.push_u64(0).op(Opcode::CallDataLoad);
+    if config.version.uses_shr_dispatch() {
+        asm.push_u64(0xe0).op(Opcode::Shr);
+    } else {
+        asm.push(U256::ONE << 224u32).op(Opcode::Swap(1)).op(Opcode::Div);
+    }
+    let entries: Vec<_> = functions.iter().map(|_| asm.fresh_label()).collect();
+    // Like real solc, contracts with many functions get a binary-search
+    // dispatcher: selectors are sorted and split with LT comparisons before
+    // the linear EQ chains.
+    let use_split = functions.len() > 8 && config.version.uses_shr_dispatch();
+    let mut order: Vec<usize> = (0..functions.len()).collect();
+    if use_split {
+        order.sort_by_key(|&i| functions[i].signature.selector.as_u32());
+        let mid = order.len() / 2;
+        let pivot = functions[order[mid]].signature.selector.as_u32();
+        let hi_half = asm.fresh_label();
+        // if selector >= pivot goto hi_half   (emitted as !(sel < pivot))
+        asm.op(Opcode::Dup(1));
+        asm.push_sized(U256::from(pivot as u64), 4);
+        asm.op(Opcode::Swap(1)).op(Opcode::Lt).op(Opcode::IsZero);
+        asm.push_label(hi_half).op(Opcode::JumpI);
+        for &i in &order[..mid] {
+            asm.op(Opcode::Dup(1));
+            asm.push_sized(U256::from(functions[i].signature.selector.as_u32() as u64), 4);
+            asm.op(Opcode::Eq);
+            asm.push_label(entries[i]).op(Opcode::JumpI);
+        }
+        asm.op(Opcode::Pop).op(Opcode::Stop);
+        asm.jumpdest(hi_half);
+        for &i in &order[mid..] {
+            asm.op(Opcode::Dup(1));
+            asm.push_sized(U256::from(functions[i].signature.selector.as_u32() as u64), 4);
+            asm.op(Opcode::Eq);
+            asm.push_label(entries[i]).op(Opcode::JumpI);
+        }
+    } else {
+        for (f, &entry) in functions.iter().zip(&entries) {
+            asm.op(Opcode::Dup(1));
+            asm.push_sized(U256::from(f.signature.selector.as_u32() as u64), 4);
+            asm.op(Opcode::Eq);
+            asm.push_label(entry).op(Opcode::JumpI);
+        }
+    }
+    // Fallback: no matching selector.
+    asm.op(Opcode::Pop).op(Opcode::Stop);
+    // --- function bodies ---
+    for (f, &entry) in functions.iter().zip(&entries) {
+        asm.jumpdest(entry);
+        if config.version.emits_callvalue_guard() {
+            let ok = asm.fresh_label();
+            asm.op(Opcode::CallValue).op(Opcode::IsZero);
+            asm.push_label(ok).op(Opcode::JumpI);
+            asm.push_u64(0).push_u64(0).op(Opcode::Revert);
+            asm.jumpdest(ok);
+        }
+        emit_body(&mut asm, f, config);
+        asm.op(Opcode::Stop);
+    }
+    CompiledContract { code: asm.assemble(), functions: functions.to_vec(), config: *config }
+}
+
+/// Convenience: compiles a contract with a single function.
+pub fn compile_single(function: FunctionSpec, config: &CompilerConfig) -> CompiledContract {
+    compile(std::slice::from_ref(&function), config)
+}
+
+/// Emits one function body honouring its quirk.
+fn emit_body(asm: &mut Assembler, f: &FunctionSpec, config: &CompilerConfig) {
+    let mut em = FnEmitter::new(asm, *config);
+    match &f.quirk {
+        Quirk::None => emit_params(&mut em, &f.signature.params, f.visibility, false),
+        Quirk::InlineAssemblyReads { count } => {
+            emit_params(&mut em, &f.signature.params, f.visibility, false);
+            let declared_heads: usize =
+                f.signature.params.iter().map(AbiType::head_size).sum();
+            em.inline_assembly_reads(4 + declared_heads as u64, *count);
+        }
+        Quirk::TypeConversion { used } => emit_params(&mut em, used, f.visibility, false),
+        Quirk::StoragePointer => {
+            let mut head = 0u64;
+            for p in &f.signature.params {
+                em.storage_pointer_read(head);
+                // A storage reference occupies one head word regardless of
+                // the declared type.
+                head += 32;
+                let _ = p;
+            }
+        }
+        Quirk::ConstIndexOptimized => {
+            emit_params(&mut em, &f.signature.params, f.visibility, true)
+        }
+        Quirk::BytesNeverByteAccessed => {
+            // Emit bytes params with the string pattern (no byte access).
+            let masked: Vec<AbiType> = f
+                .signature
+                .params
+                .iter()
+                .map(|t| if *t == AbiType::Bytes { AbiType::String } else { t.clone() })
+                .collect();
+            emit_params(&mut em, &masked, f.visibility, false);
+        }
+    }
+}
+
+/// Emits access code for each parameter at its head offset. Static tuples
+/// are emitted member-by-member (their bytecode is identical to flattened
+/// members, which is exactly the paper's point).
+fn emit_params(em: &mut FnEmitter<'_>, params: &[AbiType], vis: Visibility, const_index: bool) {
+    let mut head = 0u64;
+    for p in params {
+        emit_one(em, p, head, vis, const_index);
+        head += p.head_size() as u64;
+    }
+}
+
+fn emit_one(em: &mut FnEmitter<'_>, ty: &AbiType, head: u64, vis: Visibility, const_index: bool) {
+    match ty {
+        AbiType::Tuple(members) if !ty.is_dynamic() => {
+            let mut mhead = head;
+            for m in members {
+                emit_one(em, m, mhead, vis, const_index);
+                mhead += m.head_size() as u64;
+            }
+        }
+        t if const_index && t.is_static_array() => {
+            em.static_array_external_const_index(t, head)
+        }
+        t => em.param(t, head, vis),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_abi::{encode_call, AbiValue, FunctionSignature};
+    use sigrec_evm::{Env, Interpreter, Outcome, U256};
+
+    fn run_with(decl: &str, vis: Visibility, values: &[AbiValue]) -> Outcome {
+        let sig = FunctionSignature::parse(decl).unwrap();
+        let calldata = encode_call(&sig, values).unwrap();
+        let contract =
+            compile_single(FunctionSpec::new(sig, vis), &CompilerConfig::default());
+        Interpreter::new(&contract.code).run(&Env::with_calldata(calldata)).outcome
+    }
+
+    fn u(v: u64) -> AbiValue {
+        AbiValue::Uint(U256::from(v))
+    }
+
+    #[test]
+    fn dispatcher_routes_matching_selector() {
+        let out = run_with("f(uint256)", Visibility::External, &[u(5)]);
+        assert_eq!(out, Outcome::Stop);
+    }
+
+    #[test]
+    fn dispatcher_falls_back_on_unknown_selector() {
+        let sig = FunctionSignature::parse("f(uint256)").unwrap();
+        let contract = compile_single(
+            FunctionSpec::new(sig, Visibility::External),
+            &CompilerConfig::default(),
+        );
+        // Wrong selector: falls through to the fallback STOP without
+        // touching parameter code.
+        let env = Env::with_calldata(vec![0xde, 0xad, 0xbe, 0xef]);
+        let exec = Interpreter::new(&contract.code).run(&env);
+        assert_eq!(exec.outcome, Outcome::Stop);
+        assert!(exec.steps < 20, "fallback must not run a body");
+    }
+
+    #[test]
+    fn legacy_div_dispatch_also_routes() {
+        let sig = FunctionSignature::parse("g(bool)").unwrap();
+        let calldata = encode_call(&sig, &[AbiValue::Bool(true)]).unwrap();
+        let cfg = CompilerConfig::new(crate::config::SolcVersion::V0_4_24, false);
+        let contract =
+            compile_single(FunctionSpec::new(sig, Visibility::External), &cfg);
+        let out = Interpreter::new(&contract.code).run(&Env::with_calldata(calldata));
+        assert_eq!(out.outcome, Outcome::Stop);
+    }
+
+    #[test]
+    fn callvalue_guard_reverts_on_value() {
+        let sig = FunctionSignature::parse("f(uint8)").unwrap();
+        let calldata = encode_call(&sig, &[u(1)]).unwrap();
+        let contract = compile_single(
+            FunctionSpec::new(sig, Visibility::External),
+            &CompilerConfig::default(),
+        );
+        let mut env = Env::with_calldata(calldata);
+        env.callvalue = U256::ONE;
+        let exec = Interpreter::new(&contract.code).run(&env);
+        assert!(matches!(exec.outcome, Outcome::Revert(_)));
+    }
+
+    /// Every §2.3.1 category must execute cleanly on well-formed calldata
+    /// (indices read from storage default to 0, in bounds for the values
+    /// used here). This differential test pins generator ↔ ABI encoder
+    /// consistency.
+    #[test]
+    fn all_categories_execute_on_encoded_args() {
+        let cases: Vec<(&str, Vec<AbiValue>)> = vec![
+            ("f(uint8)", vec![u(200)]),
+            ("f(uint160)", vec![u(77)]),
+            ("f(uint256)", vec![u(1)]),
+            ("f(int16)", vec![AbiValue::Int(U256::from(-3i64))]),
+            ("f(int256)", vec![AbiValue::Int(U256::from(-9i64))]),
+            ("f(address)", vec![AbiValue::Address(U256::from(0xabcu64))]),
+            ("f(bool)", vec![AbiValue::Bool(true)]),
+            ("f(bytes4)", vec![AbiValue::FixedBytes(b"abcd".to_vec())]),
+            ("f(bytes32)", vec![AbiValue::FixedBytes(vec![7u8; 32])]),
+            ("f(bytes)", vec![AbiValue::Bytes(vec![1, 2, 3])]),
+            ("f(string)", vec![AbiValue::Str("hello".into())]),
+            ("f(uint256[3])", vec![AbiValue::Array(vec![u(1), u(2), u(3)])]),
+            (
+                "f(uint256[3][2])",
+                vec![AbiValue::Array(vec![
+                    AbiValue::Array(vec![u(1), u(2), u(3)]),
+                    AbiValue::Array(vec![u(4), u(5), u(6)]),
+                ])],
+            ),
+            ("f(uint8[])", vec![AbiValue::Array(vec![u(9)])]),
+            (
+                "f(uint256[2][])",
+                vec![AbiValue::Array(vec![AbiValue::Array(vec![u(1), u(2)])])],
+            ),
+            (
+                "f(uint256[][])",
+                vec![AbiValue::Array(vec![AbiValue::Array(vec![u(5)])])],
+            ),
+            (
+                "f(uint8[][2])",
+                vec![AbiValue::Array(vec![
+                    AbiValue::Array(vec![u(1)]),
+                    AbiValue::Array(vec![u(2)]),
+                ])],
+            ),
+            (
+                "f((uint256[],uint256))",
+                vec![AbiValue::Tuple(vec![AbiValue::Array(vec![u(1), u(2)]), u(3)])],
+            ),
+            ("f((uint256,uint256))", vec![AbiValue::Tuple(vec![u(10), u(20)])]),
+            (
+                "f(uint8,bytes,bool)",
+                vec![u(7), AbiValue::Bytes(vec![0xaa; 33]), AbiValue::Bool(false)],
+            ),
+        ];
+        for (decl, values) in cases {
+            for vis in [Visibility::Public, Visibility::External] {
+                let out = run_with(decl, vis, &values);
+                assert_eq!(out, Outcome::Stop, "{} ({}) must run cleanly", decl, vis);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_functions_dispatch_independently() {
+        let f1 = FunctionSpec::new(
+            FunctionSignature::parse("alpha(uint8)").unwrap(),
+            Visibility::External,
+        );
+        let f2 = FunctionSpec::new(
+            FunctionSignature::parse("beta(bool,address)").unwrap(),
+            Visibility::Public,
+        );
+        let contract = compile(&[f1.clone(), f2.clone()], &CompilerConfig::default());
+        let cd1 = encode_call(&f1.signature, &[u(3)]).unwrap();
+        let cd2 = encode_call(
+            &f2.signature,
+            &[AbiValue::Bool(true), AbiValue::Address(U256::ONE)],
+        )
+        .unwrap();
+        for cd in [cd1, cd2] {
+            let out = Interpreter::new(&contract.code).run(&Env::with_calldata(cd));
+            assert_eq!(out.outcome, Outcome::Stop);
+        }
+    }
+
+    #[test]
+    fn quirk_bodies_execute() {
+        let cfg = CompilerConfig::default();
+        let cases = vec![
+            (
+                FunctionSpec::new(
+                    FunctionSignature::parse("s()").unwrap(),
+                    Visibility::External,
+                )
+                .with_quirk(Quirk::InlineAssemblyReads { count: 2 }),
+                Vec::new(),
+            ),
+            (
+                FunctionSpec::new(
+                    FunctionSignature::parse("t(uint256[3])").unwrap(),
+                    Visibility::External,
+                )
+                .with_quirk(Quirk::ConstIndexOptimized),
+                vec![AbiValue::Array(vec![u(1), u(2), u(3)])],
+            ),
+            (
+                FunctionSpec::new(
+                    FunctionSignature::parse("b(bytes)").unwrap(),
+                    Visibility::Public,
+                )
+                .with_quirk(Quirk::BytesNeverByteAccessed),
+                vec![AbiValue::Bytes(vec![1, 2, 3])],
+            ),
+        ];
+        for (spec, values) in cases {
+            let cd = encode_call(&spec.signature, &values).unwrap();
+            let contract = compile_single(spec.clone(), &cfg);
+            let out = Interpreter::new(&contract.code).run(&Env::with_calldata(cd));
+            assert_eq!(out.outcome, Outcome::Stop, "quirk {:?}", spec.quirk);
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! Emission of parameter-access code.
+//!
+//! Each public/external function body is a faithful rendition of the
+//! calldata-access idioms catalogued in §2.3.1 of the paper:
+//!
+//! - basic types: `CALLDATALOAD` + mask (`AND` low-mask for `uintM`,
+//!   `SIGNEXTEND` for `intM`, double `ISZERO` for `bool`, `AND` high-mask
+//!   for `bytesM`, `BYTE` for `bytes32`, 20-byte `AND` for `address`);
+//! - external composites: on-demand `CALLDATALOAD` with `LT` bound checks,
+//!   one per dimension, and offset/num-field chains for dynamic types;
+//! - public composites: `CALLDATACOPY` into memory (single copy for one
+//!   dimension, a guarded loop per extra dimension), then `MLOAD` access;
+//! - `bytes`/`string`: length rounded up to a 32-byte multiple; `bytes` is
+//!   additionally byte-accessed (the paper's R17 hint).
+//!
+//! Variable indices are modelled as `SLOAD`s of fresh slots: statically
+//! unknown values, exactly the situation in which real contracts emit the
+//! runtime bound checks SigRec's rules key on.
+
+use crate::config::{CompilerConfig, Visibility};
+use sigrec_abi::AbiType;
+use sigrec_evm::{Assembler, Opcode, U256};
+
+/// Emits the body of one function: access code for each parameter.
+pub struct FnEmitter<'a> {
+    asm: &'a mut Assembler,
+    config: CompilerConfig,
+    /// Bump allocator for memory copies (starts at the conventional 0x80).
+    mem_next: u64,
+    /// Next storage slot used as a symbolic index source.
+    sym_slot: u64,
+}
+
+impl<'a> FnEmitter<'a> {
+    /// Creates an emitter writing into `asm`.
+    pub fn new(asm: &'a mut Assembler, config: CompilerConfig) -> Self {
+        FnEmitter { asm, config, mem_next: 0x80, sym_slot: 0 }
+    }
+
+    /// Allocates `bytes` of scratch memory, rounded up to whole words.
+    fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.mem_next;
+        self.mem_next += bytes.div_ceil(32) * 32;
+        addr
+    }
+
+    /// Pushes a fresh statically-unknown index (an `SLOAD` of a fresh slot).
+    fn push_sym_index(&mut self) {
+        self.asm.push_u64(self.sym_slot).op(Opcode::SLoad);
+        self.sym_slot += 1;
+    }
+
+    /// Consumes a boolean on the stack top: continue if true, revert
+    /// otherwise (the bound-check shape).
+    fn guard(&mut self) {
+        let ok = self.asm.fresh_label();
+        self.asm.push_label(ok).op(Opcode::JumpI);
+        self.asm.push_u64(0).push_u64(0).op(Opcode::Revert);
+        self.asm.jumpdest(ok);
+    }
+
+    /// Emits `index < bound` for a fresh symbolic index against a constant
+    /// bound, guarded. Returns nothing on the stack.
+    fn bound_check_const(&mut self, bound: u64) {
+        self.asm.push_u64(bound);
+        self.push_sym_index();
+        self.asm.op(Opcode::Lt);
+        self.guard();
+    }
+
+    /// Emits the access code for one parameter.
+    ///
+    /// `head` is the byte offset of the parameter's head *within the
+    /// argument area* (i.e. not counting the 4-byte selector).
+    pub fn param(&mut self, ty: &AbiType, head: u64, vis: Visibility) {
+        match ty {
+            AbiType::Uint(_)
+            | AbiType::Int(_)
+            | AbiType::Address
+            | AbiType::Bool
+            | AbiType::FixedBytes(_) => self.basic_param(ty, head),
+            AbiType::Bytes => self.bytes_like_param(head, vis, true),
+            AbiType::String => self.bytes_like_param(head, vis, false),
+            AbiType::Array(..) if ty.is_static_array() => match vis {
+                Visibility::Public => self.static_array_public(ty, head),
+                Visibility::External => self.static_array_external(ty, head),
+            },
+            AbiType::DynArray(_) if ty.is_dynamic_array() => match vis {
+                Visibility::Public => self.dynamic_array_public(ty, head),
+                Visibility::External => self.dynamic_array_external(ty, head),
+            },
+            // Nested arrays and dynamic structs: identical pattern in both
+            // modes (§2.3.1), on-demand reads through offset chains.
+            AbiType::Array(..) | AbiType::DynArray(_) | AbiType::Tuple(_) => {
+                self.offset_chain_param(ty, head)
+            }
+        }
+    }
+
+    // ---- basic types ------------------------------------------------
+
+    /// `CALLDATALOAD` + type-specific mask + consumption.
+    fn basic_param(&mut self, ty: &AbiType, head: u64) {
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+        self.consume_basic(ty);
+    }
+
+    /// Consumes a basic-typed word on the stack top, leaving the stack as
+    /// it was. The consumption is what produces the fine-grained hints
+    /// (R11–R18).
+    fn consume_basic(&mut self, ty: &AbiType) {
+        if self.config.obfuscate {
+            return self.consume_basic_obfuscated(ty);
+        }
+        match ty {
+            AbiType::Uint(256) => {
+                // Plain arithmetic use: stays uint256 (R4, no refinement).
+                self.asm.push_u64(1).op(Opcode::Add).op(Opcode::Pop);
+            }
+            AbiType::Uint(m) => {
+                // AND low-mask (R11), plus arithmetic so a 160-bit uint is
+                // not mistaken for an address (R16).
+                self.asm.push_sized(U256::low_mask(*m as u32), (*m as usize) / 8);
+                self.asm.op(Opcode::And);
+                self.asm.push_u64(1).op(Opcode::Add).op(Opcode::Pop);
+            }
+            AbiType::Int(256) => {
+                // Signed use (R15).
+                self.asm.op(Opcode::Dup(1)).op(Opcode::SDiv).op(Opcode::Pop);
+            }
+            AbiType::Int(m) => {
+                // SIGNEXTEND mask (R13).
+                self.asm.push_u64((*m as u64) / 8 - 1).op(Opcode::SignExtend).op(Opcode::Pop);
+            }
+            AbiType::Address => {
+                // 20-byte AND, and *no* arithmetic (R16).
+                self.asm.push_sized(U256::low_mask(160), 20);
+                self.asm.op(Opcode::And).op(Opcode::Pop);
+            }
+            AbiType::Bool => {
+                // Double ISZERO (R14).
+                self.asm.op(Opcode::IsZero).op(Opcode::IsZero).op(Opcode::Pop);
+            }
+            AbiType::FixedBytes(32) => {
+                // Single-byte access (R18) distinguishes bytes32 from uint256.
+                self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
+            }
+            AbiType::FixedBytes(m) => {
+                // AND high-mask (R12).
+                self.asm.push_sized(U256::high_mask(8 * *m as u32), 32);
+                self.asm.op(Opcode::And).op(Opcode::Pop);
+            }
+            other => unreachable!("consume_basic on non-basic type {other}"),
+        }
+    }
+
+    /// Semantically equivalent consumption with different instruction
+    /// sequences (the §7 obfuscation scenario): masks become shift pairs,
+    /// `bool`'s double `ISZERO` becomes `EQ 0` + `ISZERO`.
+    fn consume_basic_obfuscated(&mut self, ty: &AbiType) {
+        match ty {
+            AbiType::Uint(256) => {
+                self.asm.push_u64(1).op(Opcode::Add).op(Opcode::Pop);
+            }
+            AbiType::Uint(m) => {
+                // x << (256-M) >> (256-M) keeps the low M bits.
+                let k = 256 - *m as u64;
+                self.asm.push_u64(k).op(Opcode::Shl);
+                self.asm.push_u64(k).op(Opcode::Shr);
+                self.asm.push_u64(1).op(Opcode::Add).op(Opcode::Pop);
+            }
+            AbiType::Int(256) => {
+                self.asm.op(Opcode::Dup(1)).op(Opcode::SDiv).op(Opcode::Pop);
+            }
+            AbiType::Int(m) => {
+                // x << (256-M) sar (256-M) sign-extends from bit M-1.
+                let k = 256 - *m as u64;
+                self.asm.push_u64(k).op(Opcode::Shl);
+                self.asm.push_u64(k).op(Opcode::Sar);
+                self.asm.op(Opcode::Pop);
+            }
+            AbiType::Address => {
+                self.asm.push_u64(96).op(Opcode::Shl);
+                self.asm.push_u64(96).op(Opcode::Shr);
+                self.asm.op(Opcode::Pop);
+            }
+            AbiType::Bool => {
+                // EQ(x, 0) is ISZERO in disguise; the second negation stays.
+                self.asm.push_u64(0).op(Opcode::Eq).op(Opcode::IsZero).op(Opcode::Pop);
+            }
+            AbiType::FixedBytes(32) => {
+                self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
+            }
+            AbiType::FixedBytes(m) => {
+                // x >> (256-8M) << (256-8M) keeps the high M bytes.
+                let k = 256 - 8 * *m as u64;
+                self.asm.push_u64(k).op(Opcode::Shr);
+                self.asm.push_u64(k).op(Opcode::Shl);
+                self.asm.op(Opcode::Pop);
+            }
+            other => unreachable!("consume_basic_obfuscated on non-basic type {other}"),
+        }
+    }
+
+    // ---- static arrays ----------------------------------------------
+
+    /// Outer-first dimension list of a static array, and its basic element
+    /// type: `uint8[3][2]` → (`[2, 3]`, `uint8`).
+    fn static_dims(ty: &AbiType) -> (Vec<u64>, &AbiType) {
+        let mut dims = Vec::new();
+        let mut cur = ty;
+        while let AbiType::Array(el, n) = cur {
+            dims.push(*n as u64);
+            cur = el;
+        }
+        (dims, cur)
+    }
+
+    /// External mode (§2.3.1 2(1)(b)): one `LT` bound check per dimension
+    /// (outermost first), then `CALLDATALOAD` at
+    /// `4 + head + flat_index * 32`.
+    fn static_array_external(&mut self, ty: &AbiType, head: u64) {
+        let (dims, el) = Self::static_dims(ty);
+        let first_slot = self.sym_slot;
+        for &d in &dims {
+            self.bound_check_const(d);
+        }
+        // flat = ((i0 * d1 + i1) * d2 + i2) ...
+        self.asm.push_u64(first_slot).op(Opcode::SLoad);
+        for (k, &d) in dims.iter().enumerate().skip(1) {
+            self.asm.push_u64(d).op(Opcode::Mul);
+            self.asm.push_u64(first_slot + k as u64).op(Opcode::SLoad);
+            self.asm.op(Opcode::Add);
+        }
+        self.asm.push_u64(32).op(Opcode::Mul);
+        self.asm.push_u64(4 + head).op(Opcode::Add);
+        self.asm.op(Opcode::CallDataLoad);
+        self.consume_basic(el);
+    }
+
+    /// Optimised constant-index access (the paper's error case 5): no bound
+    /// checks, constant location — indistinguishable from a plain word read.
+    pub fn static_array_external_const_index(&mut self, ty: &AbiType, head: u64) {
+        let _ = Self::static_dims(ty);
+        // A single constant-location word read, used arithmetically: the
+        // compile-time-checked access leaves nothing that distinguishes it
+        // from a plain uint256 (the paper's case-5 degradation).
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+        self.asm.push_u64(1).op(Opcode::Add).op(Opcode::Pop);
+    }
+
+    /// Public mode (§2.3.1 2(1)(a), Listing 1): `CALLDATACOPY` of the
+    /// lowest dimension inside a nested loop, one level per extra
+    /// dimension; then `MLOAD` element access.
+    fn static_array_public(&mut self, ty: &AbiType, head: u64) {
+        let (dims, el) = Self::static_dims(ty);
+        let total: u64 = dims.iter().product::<u64>() * 32;
+        let dst = self.alloc(total);
+        let block = *dims.last().expect("static array has >= 1 dimension") * 32;
+        let loop_dims = &dims[..dims.len() - 1];
+        self.copy_loops(loop_dims, |this, depth_extra| {
+            // flat block offset from the loop counters currently stacked.
+            this.flat_from_counters(loop_dims, depth_extra);
+            this.asm.push_u64(block).op(Opcode::Mul);
+            // [.., off] → CALLDATACOPY(dst + off, 4 + head + off, block)
+            this.asm.op(Opcode::Dup(1));
+            this.asm.push_u64(4 + head).op(Opcode::Add); // src
+            this.asm.push_u64(block); // len
+            this.asm.op(Opcode::Swap(2)); // [len, src, off]
+            this.asm.push_u64(dst).op(Opcode::Add); // dst
+            this.asm.op(Opcode::CallDataCopy);
+        });
+        // Element use: MLOAD the first element and consume it as `el`.
+        self.asm.push_u64(dst).op(Opcode::MLoad);
+        self.consume_basic(el);
+    }
+
+    /// Runs `body` inside `dims.len()` nested counting loops (`i < dim`
+    /// guards, counters kept on the stack). With no dims, runs `body` once.
+    /// `body` receives the number of extra stack slots it has pushed below
+    /// itself (always 0 here) — counters sit at depths 1..=L when it runs.
+    fn copy_loops(&mut self, dims: &[u64], body: impl FnOnce(&mut Self, usize)) {
+        let mut heads = Vec::new();
+        let mut exits = Vec::new();
+        for &d in dims {
+            let head = self.asm.fresh_label();
+            let exit = self.asm.fresh_label();
+            self.asm.push_u64(0); // counter
+            self.asm.jumpdest(head);
+            // while (i < d)
+            self.asm.op(Opcode::Dup(1)).push_u64(d).op(Opcode::Swap(1)).op(Opcode::Lt);
+            self.asm.op(Opcode::IsZero).push_label(exit).op(Opcode::JumpI);
+            heads.push(head);
+            exits.push(exit);
+        }
+        body(self, 0);
+        for (&head, &exit) in heads.iter().zip(&exits).rev() {
+            self.asm.push_u64(1).op(Opcode::Add); // i += 1
+            self.asm.push_label(head).op(Opcode::Jump);
+            self.asm.jumpdest(exit);
+            self.asm.op(Opcode::Pop); // drop counter
+        }
+    }
+
+    /// Computes `((i0 * d1 + i1) * d2 + i2)…` from loop counters stacked at
+    /// depths `extra+1 ..= extra+L` (top counter shallowest), leaving the
+    /// flat index on top.
+    fn flat_from_counters(&mut self, dims: &[u64], extra: usize) {
+        let l = dims.len();
+        if l == 0 {
+            self.asm.push_u64(0);
+            return;
+        }
+        // i0 is deepest: depth = extra + L.
+        self.asm.op(Opcode::Dup((extra + l) as u8));
+        for (j, &d) in dims.iter().enumerate().skip(1) {
+            self.asm.push_u64(d).op(Opcode::Mul);
+            // i_j originally at depth extra + L - j; the accumulator adds 1.
+            self.asm.op(Opcode::Dup((extra + l - j + 1) as u8));
+            self.asm.op(Opcode::Add);
+        }
+    }
+
+    // ---- dynamic arrays ---------------------------------------------
+
+    /// Dimension list of a dynamic array after the dynamic outermost
+    /// dimension, outer-first, plus the basic element type:
+    /// `uint8[3][]` → (`[3]`, `uint8`).
+    fn dyn_inner_dims(ty: &AbiType) -> (Vec<u64>, &AbiType) {
+        match ty {
+            AbiType::DynArray(el) => Self::static_dims(el),
+            _ => unreachable!("dyn_inner_dims on non-dynamic array"),
+        }
+    }
+
+    /// External mode (§2.3.1 2(2)(b)): `CALLDATALOAD`s for the offset and
+    /// num fields (R1), a symbolic bound check against num plus constant
+    /// checks for inner dims (R2's v3), and an item read whose location
+    /// contains the offset and a ×32 (R2's v1, v2).
+    fn dynamic_array_external(&mut self, ty: &AbiType, head: u64) {
+        let (inner, el) = Self::dyn_inner_dims(ty);
+        // num1 = CALLDATALOAD(CALLDATALOAD(4+head) + 4)
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+        self.asm.push_u64(4).op(Opcode::Add).op(Opcode::CallDataLoad);
+        let first_slot = self.sym_slot;
+        self.push_sym_index();
+        self.asm.op(Opcode::Lt); // i0 < num1
+        self.guard();
+        for &d in &inner {
+            self.bound_check_const(d);
+        }
+        // flat index over [i0, inner dims…]
+        self.asm.push_u64(first_slot).op(Opcode::SLoad);
+        for (k, &d) in inner.iter().enumerate() {
+            self.asm.push_u64(d).op(Opcode::Mul);
+            self.asm.push_u64(first_slot + 1 + k as u64).op(Opcode::SLoad);
+            self.asm.op(Opcode::Add);
+        }
+        self.asm.push_u64(32).op(Opcode::Mul);
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad).op(Opcode::Add);
+        self.asm.push_u64(36).op(Opcode::Add); // skip selector-relative base + num
+        self.asm.op(Opcode::CallDataLoad);
+        self.consume_basic(el);
+    }
+
+    /// Public mode (§2.3.1 2(2)(a)): read offset and num (R1), `MSTORE`
+    /// the num, then `CALLDATACOPY` the items — a single copy of
+    /// `num × 32` bytes for one dimension (R7), a num-bounded loop copying
+    /// the inner static block otherwise (R10).
+    fn dynamic_array_public(&mut self, ty: &AbiType, head: u64) {
+        let (inner, el) = Self::dyn_inner_dims(ty);
+        let num_addr = self.alloc(32);
+        let x_addr = self.alloc(32);
+        let data = self.alloc(32 * 64); // generous scratch region
+        // x = CALLDATALOAD(4+head); num = CALLDATALOAD(x+4)
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+        self.asm.op(Opcode::Dup(1)).push_u64(4).op(Opcode::Add).op(Opcode::CallDataLoad);
+        // MSTORE(num_addr, num); MSTORE(x_addr, x)
+        self.asm.push_u64(num_addr).op(Opcode::MStore);
+        self.asm.push_u64(x_addr).op(Opcode::MStore);
+        if inner.is_empty() {
+            // One CALLDATACOPY of num*32 bytes (R7).
+            self.asm.push_u64(num_addr).op(Opcode::MLoad);
+            self.asm.push_u64(32).op(Opcode::Mul); // len = num*32
+            self.asm.push_u64(x_addr).op(Opcode::MLoad);
+            self.asm.push_u64(36).op(Opcode::Add); // src = x + 4 + 32
+            self.asm.push_u64(data); // dst
+            self.asm.op(Opcode::CallDataCopy);
+            self.asm.push_u64(data).op(Opcode::MLoad);
+            self.consume_basic(el);
+        } else {
+            // Loop i < num (plus constant loops for middle dims), copying
+            // the lowest static block each iteration (R10). Element use
+            // happens inside the loop — as in real code, items are only
+            // touched when the bound check passed.
+            let block = *inner.last().unwrap() * 32;
+            let mid = &inner[..inner.len() - 1];
+            let el = el.clone();
+            self.dyn_copy_loop(num_addr, x_addr, data, mid, block, &el);
+        }
+    }
+
+    /// The guarded copy loop of a multi-dimensional dynamic array: the
+    /// outer bound is the in-memory num, inner bounds are constants; each
+    /// iteration copies one block and touches its first element.
+    fn dyn_copy_loop(
+        &mut self,
+        num_addr: u64,
+        x_addr: u64,
+        data: u64,
+        mid: &[u64],
+        block: u64,
+        el: &AbiType,
+    ) {
+        let head = self.asm.fresh_label();
+        let exit = self.asm.fresh_label();
+        self.asm.push_u64(0);
+        self.asm.jumpdest(head);
+        // while (i < MLOAD(num_addr))
+        self.asm.op(Opcode::Dup(1));
+        self.asm.push_u64(num_addr).op(Opcode::MLoad);
+        self.asm.op(Opcode::Swap(1)).op(Opcode::Lt);
+        self.asm.op(Opcode::IsZero).push_label(exit).op(Opcode::JumpI);
+        let mid = mid.to_vec();
+        self.copy_loops(&mid, |this, _| {
+            // Block index = ((i * m1 + j1) * m2 + j2)… over outer counter i
+            // (depth L+1 once the L mid counters are stacked) and mids.
+            let l = mid.len();
+            this.asm.op(Opcode::Dup((l + 1) as u8)); // i
+            for (k, &m) in mid.iter().enumerate() {
+                this.asm.push_u64(m).op(Opcode::Mul);
+                this.asm.op(Opcode::Dup((l - k + 1) as u8));
+                this.asm.op(Opcode::Add);
+            }
+            this.asm.push_u64(block).op(Opcode::Mul); // byte offset
+            this.asm.op(Opcode::Dup(1));
+            // src = x + 36 + off
+            this.asm.push_u64(x_addr).op(Opcode::MLoad).op(Opcode::Add);
+            this.asm.push_u64(36).op(Opcode::Add);
+            this.asm.push_u64(block); // len
+            this.asm.op(Opcode::Swap(2)); // [len, src, off]
+            this.asm.push_u64(data).op(Opcode::Add);
+            this.asm.op(Opcode::CallDataCopy);
+            // Use the first element of the block just copied.
+            this.asm.push_u64(data).op(Opcode::MLoad);
+            this.consume_basic(el);
+        });
+        self.asm.push_u64(1).op(Opcode::Add);
+        self.asm.push_label(head).op(Opcode::Jump);
+        self.asm.jumpdest(exit);
+        self.asm.op(Opcode::Pop);
+    }
+
+    // ---- bytes / string ---------------------------------------------
+
+    /// `bytes`/`string` access (§2.3.1 3–4). Public mode, and external
+    /// `string`: copy the padded payload (length rounded up to a word
+    /// multiple — R8's hint). External `bytes`: byte-granular on-demand
+    /// read (no ×32 in the location — R17's hint). `bytes` additionally
+    /// byte-accesses the copied payload.
+    fn bytes_like_param(&mut self, head: u64, vis: Visibility, is_bytes: bool) {
+        if is_bytes && vis == Visibility::External {
+            // x = CDL(4+head); num = CDL(x+4); i < num; CDL(x + 36 + i).
+            self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+            self.asm.push_u64(4).op(Opcode::Add).op(Opcode::CallDataLoad);
+            let slot = self.sym_slot;
+            self.push_sym_index();
+            self.asm.op(Opcode::Lt);
+            self.guard();
+            self.asm.push_u64(slot).op(Opcode::SLoad);
+            self.asm.push_u64(4 + head).op(Opcode::CallDataLoad).op(Opcode::Add);
+            self.asm.push_u64(36).op(Opcode::Add);
+            self.asm.op(Opcode::CallDataLoad);
+            self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
+            return;
+        }
+        let num_addr = self.alloc(32);
+        let data = self.alloc(32 * 64);
+        // x = CDL(4+head); num = CDL(x+4)
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+        self.asm.op(Opcode::Dup(1)).push_u64(4).op(Opcode::Add).op(Opcode::CallDataLoad);
+        self.asm.op(Opcode::Dup(1)).push_u64(num_addr).op(Opcode::MStore);
+        // padded = (num + 31) / 32 * 32
+        self.asm.push_u64(31).op(Opcode::Add);
+        self.asm.push_u64(32).op(Opcode::Swap(1)).op(Opcode::Div);
+        self.asm.push_u64(32).op(Opcode::Mul);
+        // [x, padded] → CALLDATACOPY(data, x + 36, padded)
+        self.asm.op(Opcode::Swap(1)).push_u64(36).op(Opcode::Add); // src
+        self.asm.push_u64(data); // [len, src, dst]
+        self.asm.op(Opcode::CallDataCopy);
+        if is_bytes {
+            // Byte-granular use of the payload (R17).
+            self.asm.push_u64(data).op(Opcode::MLoad);
+            self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
+        }
+    }
+
+    // ---- nested arrays and dynamic structs ---------------------------
+
+    /// On-demand access through offset chains — the shared pattern of
+    /// nested arrays and dynamic structs, identical in public and external
+    /// mode. Starts from the parameter's offset field and recurses along
+    /// one leaf path per dynamic component, emitting a num read, a bound
+    /// check, and an offset hop per dimension.
+    fn offset_chain_param(&mut self, ty: &AbiType, head: u64) {
+        if ty.is_dynamic() {
+            // base = CDL(4+head) + 4 (absolute position of the content).
+            self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+            self.asm.push_u64(4).op(Opcode::Add);
+            self.descend(ty);
+        } else {
+            // A static composite at an inline position.
+            self.asm.push_u64(4 + head);
+            self.descend(ty);
+        }
+    }
+
+    /// With the absolute base of `ty`'s content on the stack, emits reads
+    /// down to one leaf, consuming the base.
+    fn descend(&mut self, ty: &AbiType) {
+        match ty {
+            AbiType::DynArray(el) => {
+                // [base] ; num = CDL(base); i < num.
+                self.asm.op(Opcode::Dup(1)).op(Opcode::CallDataLoad);
+                let slot = self.sym_slot;
+                self.push_sym_index();
+                self.asm.op(Opcode::Lt);
+                self.guard();
+                if el.is_dynamic() {
+                    // inner = (base+32) + CDL((base+32) + i*32)
+                    self.asm.push_u64(32).op(Opcode::Add); // s = base+32
+                    self.asm.op(Opcode::Dup(1));
+                    self.asm.push_u64(32);
+                    self.asm.push_u64(slot).op(Opcode::SLoad).op(Opcode::Mul);
+                    self.asm.op(Opcode::Add).op(Opcode::CallDataLoad);
+                    self.asm.op(Opcode::Add);
+                    self.descend(el);
+                } else {
+                    // item pos = base + 32 + i*stride
+                    let stride = el.head_size() as u64;
+                    self.asm.push_u64(stride);
+                    self.asm.push_u64(slot).op(Opcode::SLoad).op(Opcode::Mul);
+                    self.asm.op(Opcode::Add).push_u64(32).op(Opcode::Add);
+                    self.descend_static(el);
+                }
+            }
+            AbiType::Array(el, n) => {
+                let slot = self.sym_slot;
+                self.bound_check_const(*n as u64);
+                if el.is_dynamic() {
+                    // inner = base + CDL(base + i*32)
+                    self.asm.op(Opcode::Dup(1));
+                    self.asm.push_u64(32);
+                    self.asm.push_u64(slot).op(Opcode::SLoad).op(Opcode::Mul);
+                    self.asm.op(Opcode::Add).op(Opcode::CallDataLoad);
+                    self.asm.op(Opcode::Add);
+                    self.descend(el);
+                } else {
+                    let stride = el.head_size() as u64;
+                    self.asm.push_u64(stride);
+                    self.asm.push_u64(slot).op(Opcode::SLoad).op(Opcode::Mul);
+                    self.asm.op(Opcode::Add);
+                    self.descend_static(el);
+                }
+            }
+            AbiType::Tuple(members) => {
+                // Dynamic struct: visit every member relative to base.
+                let mut mhead = 0u64;
+                for m in members {
+                    if m.is_dynamic() {
+                        // inner = base + CDL(base + mhead)
+                        self.asm.op(Opcode::Dup(1)).op(Opcode::Dup(1));
+                        self.asm.push_u64(mhead).op(Opcode::Add).op(Opcode::CallDataLoad);
+                        self.asm.op(Opcode::Add);
+                        self.descend(m);
+                    } else if m.is_basic() {
+                        self.asm.op(Opcode::Dup(1));
+                        self.asm.push_u64(mhead).op(Opcode::Add).op(Opcode::CallDataLoad);
+                        self.consume_basic(m);
+                    } else {
+                        // Static composite member: descend at its position.
+                        self.asm.op(Opcode::Dup(1));
+                        self.asm.push_u64(mhead).op(Opcode::Add);
+                        self.descend_static(m);
+                    }
+                    mhead += m.head_size() as u64;
+                }
+                self.asm.op(Opcode::Pop); // drop base
+            }
+            AbiType::Bytes => {
+                // [base] ; num = CDL(base); i < num; byte at base + 32 + i.
+                self.asm.op(Opcode::Dup(1)).op(Opcode::CallDataLoad);
+                let slot = self.sym_slot;
+                self.push_sym_index();
+                self.asm.op(Opcode::Lt);
+                self.guard();
+                self.asm.push_u64(slot).op(Opcode::SLoad).op(Opcode::Add);
+                self.asm.push_u64(32).op(Opcode::Add);
+                self.asm.op(Opcode::CallDataLoad);
+                self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
+            }
+            AbiType::String => {
+                // [base]; num = CDL(base); copy padded payload.
+                let data = self.alloc(32 * 64);
+                self.asm.op(Opcode::Dup(1)).op(Opcode::CallDataLoad);
+                self.asm.push_u64(31).op(Opcode::Add);
+                self.asm.push_u64(32).op(Opcode::Swap(1)).op(Opcode::Div);
+                self.asm.push_u64(32).op(Opcode::Mul);
+                self.asm.op(Opcode::Swap(1)).push_u64(32).op(Opcode::Add); // src = base+32
+                self.asm.push_u64(data);
+                self.asm.op(Opcode::CallDataCopy);
+            }
+            basic => {
+                // [pos]: a basic leaf at an absolute position.
+                self.asm.op(Opcode::CallDataLoad);
+                self.consume_basic(basic);
+            }
+        }
+    }
+
+    /// Descends into a *static* composite whose absolute position is on the
+    /// stack (no offset hops inside).
+    fn descend_static(&mut self, ty: &AbiType) {
+        match ty {
+            AbiType::Array(el, n) => {
+                let slot = self.sym_slot;
+                self.bound_check_const(*n as u64);
+                let stride = el.head_size() as u64;
+                self.asm.push_u64(stride);
+                self.asm.push_u64(slot).op(Opcode::SLoad).op(Opcode::Mul);
+                self.asm.op(Opcode::Add);
+                self.descend_static(el);
+            }
+            AbiType::Tuple(members) => {
+                let mut mhead = 0u64;
+                for m in members {
+                    self.asm.op(Opcode::Dup(1));
+                    self.asm.push_u64(mhead).op(Opcode::Add);
+                    self.descend_static(m);
+                    mhead += m.head_size() as u64;
+                }
+                self.asm.op(Opcode::Pop);
+            }
+            basic => {
+                self.asm.op(Opcode::CallDataLoad);
+                self.consume_basic(basic);
+            }
+        }
+    }
+
+    /// Reads `count` undeclared words straight from the call data — the
+    /// inline-assembly quirk (error case 1).
+    pub fn inline_assembly_reads(&mut self, start: u64, count: u64) {
+        for k in 0..count {
+            self.asm.push_u64(start + 32 * k).op(Opcode::CallDataLoad);
+            self.asm.push_u64(1).op(Opcode::Add).op(Opcode::Pop);
+        }
+    }
+
+    /// Reads the parameter's head word and uses it as a storage key — the
+    /// `storage`-modifier quirk (error case 4).
+    pub fn storage_pointer_read(&mut self, head: u64) {
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+        self.asm.push_u64(1).op(Opcode::Add); // arithmetic use: plain uint256
+        self.asm.op(Opcode::SLoad).op(Opcode::Pop);
+    }
+
+    /// The compiler configuration this emitter honours.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+}

@@ -1,0 +1,24 @@
+//! # sigrec-solc
+//!
+//! A miniature Solidity ABI back-end: given function signatures, emits EVM
+//! runtime bytecode exhibiting the calldata-access patterns real Solidity
+//! compilers produce (§2.3.1 of the SigRec paper) — the substrate on which
+//! the recovery corpus is built.
+//!
+//! The generator models the version-dependent idioms the paper's RQ2 sweeps
+//! ([`SolcVersion`]): `DIV`- vs `SHR`-based selector dispatch, the
+//! `CALLVALUE` guard, and the optimisation that elides bound checks for
+//! constant-index static-array accesses. The paper's residual error cases
+//! (§5.2) are injectable per function via [`Quirk`].
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod contract;
+pub mod emit;
+pub mod spec;
+
+pub use config::{CompilerConfig, SolcVersion, Visibility};
+pub use contract::{compile, compile_single, CompiledContract};
+pub use emit::FnEmitter;
+pub use spec::{expected_recovery, FunctionSpec, Quirk};

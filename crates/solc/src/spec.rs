@@ -1,0 +1,190 @@
+//! Function specifications and the paper's residual-inaccuracy quirks.
+//!
+//! §5.2 of the paper attributes SigRec's residual errors to source-level
+//! facts that are invisible in bytecode. [`Quirk`] reproduces each of them
+//! so the corpus can inject the error classes at their observed rates, and
+//! [`expected_recovery`] computes what a *sound bytecode-level analysis*
+//! would say for a function — the oracle our tests hold SigRec to.
+
+use crate::config::{CompilerConfig, Visibility};
+use sigrec_abi::{AbiType, FunctionSignature};
+
+/// A source-level oddity that makes the declared signature unrecoverable
+/// from bytecode (the paper's error cases).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Quirk {
+    /// No quirk: bytecode faithfully reflects the declaration.
+    #[default]
+    None,
+    /// Case 1: the body reads `count` undeclared words from the call data
+    /// with inline assembly (`calldataload(4)`, `calldataload(36)`, …).
+    InlineAssemblyReads {
+        /// Number of undeclared word reads.
+        count: u64,
+    },
+    /// Case 2: the body forcibly converts parameters before use, so the
+    /// access patterns reflect `used` rather than the declared types.
+    TypeConversion {
+        /// The types the body actually accesses the parameters as.
+        used: Vec<AbiType>,
+    },
+    /// Case 4: parameters carry the `storage` modifier — the call data
+    /// holds a storage reference word, not the value.
+    StoragePointer,
+    /// Case 5 (first variant): compiled with optimisation and accessed at
+    /// constant indices, static arrays lose their runtime bound checks.
+    ConstIndexOptimized,
+    /// Case 5 (second variant): a `bytes` parameter whose individual bytes
+    /// are never accessed is indistinguishable from a `string`.
+    BytesNeverByteAccessed,
+}
+
+/// One public/external function to generate: its declared signature,
+/// visibility, and any error-case quirk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionSpec {
+    /// The declared (ground-truth) signature.
+    pub signature: FunctionSignature,
+    /// `public` or `external`.
+    pub visibility: Visibility,
+    /// Injected error case, if any.
+    pub quirk: Quirk,
+}
+
+impl FunctionSpec {
+    /// A quirk-free function.
+    pub fn new(signature: FunctionSignature, visibility: Visibility) -> Self {
+        FunctionSpec { signature, visibility, quirk: Quirk::None }
+    }
+
+    /// Sets the quirk (builder style).
+    pub fn with_quirk(mut self, quirk: Quirk) -> Self {
+        self.quirk = quirk;
+        self
+    }
+}
+
+/// The parameter-type list a sound bytecode-level analysis recovers for
+/// `spec` under `config` — the declared list transformed by the quirk and
+/// by the inherent bytecode ambiguities (§2.3.1: static structs flatten;
+/// §5.2 case 5).
+pub fn expected_recovery(spec: &FunctionSpec, _config: &CompilerConfig) -> Vec<AbiType> {
+    let declared = &spec.signature.params;
+    match &spec.quirk {
+        Quirk::None => declared.iter().flat_map(visible_form).collect(),
+        Quirk::InlineAssemblyReads { count } => {
+            let mut out: Vec<AbiType> = declared.iter().flat_map(visible_form).collect();
+            out.extend((0..*count).map(|_| AbiType::Uint(256)));
+            out
+        }
+        Quirk::TypeConversion { used } => used.iter().flat_map(visible_form).collect(),
+        Quirk::StoragePointer => declared.iter().map(|_| AbiType::Uint(256)).collect(),
+        Quirk::ConstIndexOptimized => declared
+            .iter()
+            .flat_map(|t| {
+                if t.is_static_array() {
+                    vec![AbiType::Uint(256)]
+                } else {
+                    visible_form(t)
+                }
+            })
+            .collect(),
+        Quirk::BytesNeverByteAccessed => declared
+            .iter()
+            .flat_map(|t| {
+                if *t == AbiType::Bytes {
+                    vec![AbiType::String]
+                } else {
+                    visible_form(t)
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The bytecode-visible form of a declared type: static structs flatten
+/// into their members (recursively) because their layout and access code
+/// are identical to the members standing alone (§2.3.1 category 5).
+fn visible_form(ty: &AbiType) -> Vec<AbiType> {
+    match ty {
+        AbiType::Tuple(members) if !ty.is_dynamic() => {
+            members.iter().flat_map(visible_form).collect()
+        }
+        other => vec![other.clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_abi::FunctionSignature;
+
+    fn spec(decl: &str, quirk: Quirk) -> FunctionSpec {
+        FunctionSpec::new(FunctionSignature::parse(decl).unwrap(), Visibility::External)
+            .with_quirk(quirk)
+    }
+
+    fn types(list: &[&str]) -> Vec<AbiType> {
+        list.iter().map(|s| AbiType::parse(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn clean_function_recovers_declaration() {
+        let s = spec("f(address,uint256)", Quirk::None);
+        assert_eq!(expected_recovery(&s, &CompilerConfig::default()), types(&["address", "uint256"]));
+    }
+
+    #[test]
+    fn static_struct_flattens() {
+        let s = spec("f((uint256,bool))", Quirk::None);
+        assert_eq!(expected_recovery(&s, &CompilerConfig::default()), types(&["uint256", "bool"]));
+        // Dynamic structs do not flatten.
+        let s = spec("f((uint256[],bool))", Quirk::None);
+        assert_eq!(
+            expected_recovery(&s, &CompilerConfig::default()),
+            types(&["(uint256[],bool)"])
+        );
+    }
+
+    #[test]
+    fn inline_assembly_adds_words() {
+        let s = spec("f()", Quirk::InlineAssemblyReads { count: 2 });
+        assert_eq!(
+            expected_recovery(&s, &CompilerConfig::default()),
+            types(&["uint256", "uint256"])
+        );
+    }
+
+    #[test]
+    fn type_conversion_overrides() {
+        let s = spec(
+            "f(uint256[6])",
+            Quirk::TypeConversion { used: types(&["uint8[6]"]) },
+        );
+        assert_eq!(expected_recovery(&s, &CompilerConfig::default()), types(&["uint8[6]"]));
+    }
+
+    #[test]
+    fn storage_pointer_becomes_word() {
+        let s = spec("f(uint256[])", Quirk::StoragePointer);
+        assert_eq!(expected_recovery(&s, &CompilerConfig::default()), types(&["uint256"]));
+    }
+
+    #[test]
+    fn optimized_const_index_degrades_static_arrays() {
+        let s = spec("f(uint256[3],bool)", Quirk::ConstIndexOptimized);
+        assert_eq!(
+            expected_recovery(&s, &CompilerConfig::default()),
+            types(&["uint256", "bool"])
+        );
+    }
+
+    #[test]
+    fn unaccessed_bytes_degrades_to_string() {
+        let s = spec("f(bytes,uint8)", Quirk::BytesNeverByteAccessed);
+        assert_eq!(
+            expected_recovery(&s, &CompilerConfig::default()),
+            types(&["string", "uint8"])
+        );
+    }
+}

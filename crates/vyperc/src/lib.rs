@@ -1,0 +1,428 @@
+//! # sigrec-vyperc
+//!
+//! A miniature Vyper back-end: emits EVM runtime bytecode exhibiting the
+//! calldata-access patterns the Vyper compiler produces (§2.3.2 of the
+//! SigRec paper). The defining difference from Solidity is that Vyper
+//! *range-checks* loaded values with comparison instructions (`LT`, `SLT`,
+//! `SGT`) instead of masking them (`AND`, `SIGNEXTEND`) — the behavioural
+//! hinge of the paper's rule R20 (language discrimination) and R27–R31
+//! (Vyper basic-type refinement). Vyper also generates the same bytecode
+//! for public and external functions, and reads fixed-size byte arrays and
+//! strings with a constant-length `CALLDATACOPY` of `32 + maxLen` bytes
+//! (rule R23).
+
+#![warn(missing_docs)]
+
+pub mod version;
+
+use sigrec_abi::{AbiType, FunctionSignature, Selector, VyperType};
+use sigrec_evm::{Assembler, Opcode, U256};
+pub use version::VyperVersion;
+
+/// A source-level oddity making the declared Vyper signature
+/// unrecoverable from bytecode (the Vyper flavour of the paper's error
+/// case 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VyperQuirk {
+    /// No quirk.
+    #[default]
+    None,
+    /// A `bytes[maxLen]` parameter whose individual bytes are never
+    /// accessed — indistinguishable from `string[maxLen]`.
+    BytesNeverByteAccessed,
+}
+
+/// One Vyper function to generate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VyperFunctionSpec {
+    /// Function name.
+    pub name: String,
+    /// Parameter types, in Vyper's surface grammar.
+    pub params: Vec<VyperType>,
+    /// Injected error case, if any.
+    pub quirk: VyperQuirk,
+}
+
+impl VyperFunctionSpec {
+    /// Creates a quirk-free spec.
+    pub fn new(name: impl Into<String>, params: Vec<VyperType>) -> Self {
+        VyperFunctionSpec { name: name.into(), params, quirk: VyperQuirk::None }
+    }
+
+    /// Sets the quirk (builder style).
+    pub fn with_quirk(mut self, quirk: VyperQuirk) -> Self {
+        self.quirk = quirk;
+        self
+    }
+
+    /// The ground-truth signature in calldata-layout terms: parameters
+    /// lowered onto the ABI grammar (structs flattened, `decimal` as
+    /// `int168`, `bytes[maxLen]`/`string[maxLen]` as `bytes`/`string`).
+    ///
+    /// The selector is computed over the lowered canonical spelling; the
+    /// reproduction only needs selectors to be *consistent* between
+    /// generator and recovery, not to match the real Vyper toolchain's
+    /// `fixed168x10` spelling (documented in DESIGN.md).
+    pub fn lowered_signature(&self) -> FunctionSignature {
+        let params: Vec<AbiType> = self.params.iter().flat_map(|t| t.lower()).collect();
+        FunctionSignature::from_declaration(&self.name, params)
+    }
+}
+
+/// A compiled Vyper contract with its ground truth.
+#[derive(Clone, Debug)]
+pub struct CompiledVyperContract {
+    /// The runtime bytecode.
+    pub code: Vec<u8>,
+    /// The functions it dispatches.
+    pub functions: Vec<VyperFunctionSpec>,
+    /// The version it was generated as.
+    pub version: VyperVersion,
+}
+
+/// The signed bound 2¹²⁷ used by `int128` range checks.
+fn int128_upper() -> U256 {
+    U256::ONE << 127u32
+}
+
+/// The scaled bound 2¹²⁷ · 10¹⁰ used by `decimal` range checks.
+pub fn decimal_upper() -> U256 {
+    (U256::ONE << 127u32) * U256::from(10_000_000_000u64)
+}
+
+/// Compiles a Vyper contract hosting `functions`.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_vyperc::{compile, VyperFunctionSpec, VyperVersion};
+/// use sigrec_abi::VyperType;
+///
+/// let f = VyperFunctionSpec::new("pay", vec![VyperType::Address, VyperType::Uint256]);
+/// let contract = compile(&[f], VyperVersion::V0_2_8);
+/// assert!(!contract.code.is_empty());
+/// ```
+pub fn compile(functions: &[VyperFunctionSpec], version: VyperVersion) -> CompiledVyperContract {
+    let mut asm = Assembler::new();
+    // Dispatcher (Vyper uses the SHR idiom throughout our modelled range).
+    asm.push_u64(0).op(Opcode::CallDataLoad);
+    asm.push_u64(0xe0).op(Opcode::Shr);
+    let entries: Vec<_> = functions.iter().map(|_| asm.fresh_label()).collect();
+    let selectors: Vec<Selector> =
+        functions.iter().map(|f| f.lowered_signature().selector).collect();
+    for (&entry, sel) in entries.iter().zip(&selectors) {
+        asm.op(Opcode::Dup(1));
+        asm.push_sized(U256::from(sel.as_u32() as u64), 4);
+        asm.op(Opcode::Eq);
+        asm.push_label(entry).op(Opcode::JumpI);
+    }
+    asm.op(Opcode::Pop).op(Opcode::Stop);
+    for (f, &entry) in functions.iter().zip(&entries) {
+        asm.jumpdest(entry);
+        if version.emits_calldatasize_guard() {
+            // calldatasize >= 4 — a coarse well-formedness check some
+            // versions emit; rules must tolerate and ignore it.
+            let ok = asm.fresh_label();
+            asm.push_u64(3).op(Opcode::CallDataSize).op(Opcode::Gt);
+            asm.push_label(ok).op(Opcode::JumpI);
+            asm.push_u64(0).push_u64(0).op(Opcode::Revert);
+            asm.jumpdest(ok);
+        }
+        let mut em = VyperEmitter { asm: &mut asm, mem_next: 0x80, sym_slot: 0 };
+        let mut head = 0u64;
+        for p in &f.params {
+            let surface = match (&f.quirk, p) {
+                (VyperQuirk::BytesNeverByteAccessed, VyperType::FixedBytes(m)) => {
+                    VyperType::FixedString(*m)
+                }
+                _ => p.clone(),
+            };
+            for lowered in p.lower() {
+                em.param(&surface, &lowered, head);
+                head += lowered.head_size() as u64;
+            }
+        }
+        asm.op(Opcode::Stop);
+    }
+    CompiledVyperContract { code: asm.assemble(), functions: functions.to_vec(), version }
+}
+
+struct VyperEmitter<'a> {
+    asm: &'a mut Assembler,
+    mem_next: u64,
+    sym_slot: u64,
+}
+
+impl<'a> VyperEmitter<'a> {
+    fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.mem_next;
+        self.mem_next += bytes.div_ceil(32) * 32;
+        addr
+    }
+
+    fn push_sym_index(&mut self) {
+        self.asm.push_u64(self.sym_slot).op(Opcode::SLoad);
+        self.sym_slot += 1;
+    }
+
+    fn guard(&mut self) {
+        let ok = self.asm.fresh_label();
+        self.asm.push_label(ok).op(Opcode::JumpI);
+        self.asm.push_u64(0).push_u64(0).op(Opcode::Revert);
+        self.asm.jumpdest(ok);
+    }
+
+    /// Emits one parameter. `surface` is the Vyper type (drives the
+    /// access/check pattern), `lowered` its layout type at this head slot
+    /// (a struct contributes one call per flattened member, all sharing
+    /// the member's own basic pattern).
+    fn param(&mut self, surface: &VyperType, lowered: &AbiType, head: u64) {
+        match surface {
+            VyperType::Struct(_) => {
+                // Members arrive individually via lower(); recover the
+                // member's surface type from the lowered form.
+                let member = surface_of(lowered);
+                self.basic(&member, head);
+            }
+            VyperType::FixedList(..) => self.fixed_list(surface, head),
+            VyperType::FixedBytes(max) => self.fixed_bytes_like(head, *max as u64, true),
+            VyperType::FixedString(max) => self.fixed_bytes_like(head, *max as u64, false),
+            basic => self.basic(basic, head),
+        }
+    }
+
+    /// `CALLDATALOAD` + comparison range check (Listing 5 of the paper).
+    fn basic(&mut self, ty: &VyperType, head: u64) {
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+        self.range_check(ty);
+    }
+
+    /// Consumes the value on the stack top with the type's range checks.
+    fn range_check(&mut self, ty: &VyperType) {
+        match ty {
+            VyperType::Uint256 => {
+                self.asm.op(Opcode::Pop);
+            }
+            VyperType::Address => {
+                // value < 2^160 (R27).
+                self.asm.push_sized(U256::ONE << 160u32, 21);
+                self.asm.op(Opcode::Dup(2)).op(Opcode::Lt);
+                self.guard();
+                self.asm.op(Opcode::Pop);
+            }
+            VyperType::Bool => {
+                // value < 2 (R30).
+                self.asm.push_u64(2).op(Opcode::Dup(2)).op(Opcode::Lt);
+                self.guard();
+                self.asm.op(Opcode::Pop);
+            }
+            VyperType::Int128 => self.signed_range(int128_upper()),
+            VyperType::Decimal => self.signed_range(decimal_upper()),
+            VyperType::Bytes32 => {
+                // Byte-granular use (R31).
+                self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
+            }
+            other => unreachable!("range_check on non-basic {other}"),
+        }
+    }
+
+    /// `v < upper` (signed) and `v > -upper - 1` (signed), guarded.
+    fn signed_range(&mut self, upper: U256) {
+        self.asm.push(upper);
+        self.asm.op(Opcode::Dup(2)).op(Opcode::SLt);
+        self.guard();
+        self.asm.push(upper.wrapping_neg() - U256::ONE);
+        self.asm.op(Opcode::Dup(2)).op(Opcode::SGt);
+        self.guard();
+        self.asm.op(Opcode::Pop);
+    }
+
+    /// Fixed-size list: the Solidity external static-array pattern with
+    /// comparison bound checks (R24), elements range-checked per R27–R31.
+    fn fixed_list(&mut self, ty: &VyperType, head: u64) {
+        let mut dims = Vec::new();
+        let mut cur = ty;
+        while let VyperType::FixedList(el, n) = cur {
+            dims.push(*n as u64);
+            cur = el;
+        }
+        let first_slot = self.sym_slot;
+        for &d in &dims {
+            self.asm.push_u64(d);
+            self.push_sym_index();
+            self.asm.op(Opcode::Lt);
+            self.guard();
+        }
+        self.asm.push_u64(first_slot).op(Opcode::SLoad);
+        for (k, &d) in dims.iter().enumerate().skip(1) {
+            self.asm.push_u64(d).op(Opcode::Mul);
+            self.asm.push_u64(first_slot + k as u64).op(Opcode::SLoad);
+            self.asm.op(Opcode::Add);
+        }
+        self.asm.push_u64(32).op(Opcode::Mul);
+        self.asm.push_u64(4 + head).op(Opcode::Add);
+        self.asm.op(Opcode::CallDataLoad);
+        self.range_check(cur);
+    }
+
+    /// Fixed-size byte array / string: one `CALLDATACOPY` of a *constant*
+    /// `32 + maxLen` bytes from the offset position (R23). Byte arrays are
+    /// additionally byte-accessed (R26).
+    fn fixed_bytes_like(&mut self, head: u64, max_len: u64, is_bytes: bool) {
+        let dst = self.alloc(32 + max_len);
+        self.asm.push_u64(32 + max_len); // len (constant!)
+        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
+        self.asm.push_u64(4).op(Opcode::Add); // src = offset + 4
+        self.asm.push_u64(dst);
+        self.asm.op(Opcode::CallDataCopy);
+        if is_bytes {
+            self.asm.push_u64(dst + 32).op(Opcode::MLoad);
+            self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
+        }
+    }
+}
+
+/// Maps a lowered basic layout type back to the Vyper surface type — used
+/// for flattened struct members.
+fn surface_of(lowered: &AbiType) -> VyperType {
+    match lowered {
+        AbiType::Bool => VyperType::Bool,
+        AbiType::Int(128) => VyperType::Int128,
+        AbiType::Int(168) => VyperType::Decimal,
+        AbiType::Uint(256) => VyperType::Uint256,
+        AbiType::Address => VyperType::Address,
+        AbiType::FixedBytes(32) => VyperType::Bytes32,
+        other => unreachable!("no Vyper surface type lowers to {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_abi::{encode_call, AbiValue};
+    use sigrec_evm::{Env, Interpreter, Outcome};
+
+    fn run(params: Vec<VyperType>, values: &[AbiValue]) -> Outcome {
+        let f = VyperFunctionSpec::new("f", params);
+        let sig = f.lowered_signature();
+        let calldata = encode_call(&sig, values).unwrap();
+        let c = compile(&[f], VyperVersion::V0_2_8);
+        Interpreter::new(&c.code).run(&Env::with_calldata(calldata)).outcome
+    }
+
+    fn u(v: u64) -> AbiValue {
+        AbiValue::Uint(U256::from(v))
+    }
+
+    #[test]
+    fn basic_types_run_clean_in_range() {
+        assert_eq!(run(vec![VyperType::Uint256], &[u(7)]), Outcome::Stop);
+        assert_eq!(
+            run(vec![VyperType::Address], &[AbiValue::Address(U256::from(0xffu64))]),
+            Outcome::Stop
+        );
+        assert_eq!(run(vec![VyperType::Bool], &[AbiValue::Bool(true)]), Outcome::Stop);
+        assert_eq!(
+            run(vec![VyperType::Int128], &[AbiValue::Int(U256::from(-55i64))]),
+            Outcome::Stop
+        );
+        assert_eq!(
+            run(vec![VyperType::Decimal], &[AbiValue::Int(U256::from(123_456i64))]),
+            Outcome::Stop
+        );
+        assert_eq!(
+            run(vec![VyperType::Bytes32], &[AbiValue::FixedBytes(vec![9u8; 32])]),
+            Outcome::Stop
+        );
+    }
+
+    #[test]
+    fn out_of_range_values_revert() {
+        // int128 out of range: 2^127 itself must fail the SLT check.
+        let f = VyperFunctionSpec::new("f", vec![VyperType::Int128]);
+        let sig = f.lowered_signature();
+        let mut calldata = sig.selector.0.to_vec();
+        calldata.extend((U256::ONE << 127u32).to_be_bytes());
+        let c = compile(&[f], VyperVersion::V0_2_8);
+        let out = Interpreter::new(&c.code).run(&Env::with_calldata(calldata)).outcome;
+        assert!(matches!(out, Outcome::Revert(_)), "got {:?}", out);
+    }
+
+    #[test]
+    fn out_of_range_address_reverts() {
+        let f = VyperFunctionSpec::new("f", vec![VyperType::Address]);
+        let sig = f.lowered_signature();
+        let mut calldata = sig.selector.0.to_vec();
+        calldata.extend((U256::ONE << 160u32).to_be_bytes());
+        let c = compile(&[f], VyperVersion::V0_2_8);
+        let out = Interpreter::new(&c.code).run(&Env::with_calldata(calldata)).outcome;
+        assert!(matches!(out, Outcome::Revert(_)));
+    }
+
+    #[test]
+    fn fixed_list_runs_clean() {
+        let t = VyperType::FixedList(Box::new(VyperType::Uint256), 3);
+        assert_eq!(
+            run(vec![t], &[AbiValue::Array(vec![u(1), u(2), u(3)])]),
+            Outcome::Stop
+        );
+    }
+
+    #[test]
+    fn nested_fixed_list_runs_clean() {
+        let inner = VyperType::FixedList(Box::new(VyperType::Int128), 2);
+        let t = VyperType::FixedList(Box::new(inner), 2);
+        let v = AbiValue::Array(vec![
+            AbiValue::Array(vec![AbiValue::Int(U256::ONE), AbiValue::Int(U256::from(2u64))]),
+            AbiValue::Array(vec![
+                AbiValue::Int(U256::from(3u64)),
+                AbiValue::Int(U256::from(4u64)),
+            ]),
+        ]);
+        assert_eq!(run(vec![t], &[v]), Outcome::Stop);
+    }
+
+    #[test]
+    fn fixed_bytes_and_string_run_clean() {
+        assert_eq!(
+            run(vec![VyperType::FixedBytes(50)], &[AbiValue::Bytes(vec![1, 2, 3])]),
+            Outcome::Stop
+        );
+        assert_eq!(
+            run(vec![VyperType::FixedString(20)], &[AbiValue::Str("vyper".into())]),
+            Outcome::Stop
+        );
+    }
+
+    #[test]
+    fn struct_flattens_and_runs() {
+        let s = VyperType::Struct(vec![VyperType::Uint256, VyperType::Bool]);
+        assert_eq!(run(vec![s], &[u(5), AbiValue::Bool(false)]), Outcome::Stop);
+    }
+
+    #[test]
+    fn decimal_bound_constant() {
+        // 2^127 * 10^10.
+        let d = decimal_upper();
+        assert_eq!(d >> 127u32, U256::from(10_000_000_000u64));
+    }
+
+    #[test]
+    fn lowered_signature_flattens_struct() {
+        let f = VyperFunctionSpec::new(
+            "g",
+            vec![VyperType::Struct(vec![VyperType::Uint256, VyperType::Uint256])],
+        );
+        assert_eq!(f.lowered_signature().param_list(), "(uint256,uint256)");
+    }
+
+    #[test]
+    fn old_versions_emit_calldatasize_guard_and_still_run() {
+        let f = VyperFunctionSpec::new("f", vec![VyperType::Uint256]);
+        let sig = f.lowered_signature();
+        let calldata = encode_call(&sig, &[u(3)]).unwrap();
+        let c = compile(&[f], VyperVersion { minor: 1, patch: 0, beta: 4 });
+        let out = Interpreter::new(&c.code).run(&Env::with_calldata(calldata)).outcome;
+        assert_eq!(out, Outcome::Stop);
+    }
+}

@@ -1,0 +1,78 @@
+//! Vyper compiler versions.
+//!
+//! The paper's Fig. 16 sweeps 17 Vyper versions from 0.1.0b4 to 0.2.8 and
+//! finds that accuracy dips only on versions with very few contracts —
+//! not because of compiler features. We model a small behavioural knob
+//! (a calldatasize well-formedness guard emitted by the 0.1.x beta line)
+//! so the sweep exercises genuinely distinct bytecode.
+
+use std::fmt;
+
+/// A Vyper compiler version.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VyperVersion {
+    /// Minor version (the `x` in `0.x.y`).
+    pub minor: u8,
+    /// Patch version.
+    pub patch: u8,
+    /// Beta number for the 0.1.0 line (0 = not a beta).
+    pub beta: u8,
+}
+
+impl VyperVersion {
+    /// The newest modelled version.
+    pub const V0_2_8: VyperVersion = VyperVersion { minor: 2, patch: 8, beta: 0 };
+
+    /// The 0.1.x beta line emits an explicit calldatasize guard at function
+    /// entry; later versions fold it into the decoder.
+    pub fn emits_calldatasize_guard(&self) -> bool {
+        self.minor < 2
+    }
+
+    /// The Fig. 16 sweep: 17 versions from 0.1.0b4 to 0.2.8.
+    pub fn sweep() -> Vec<VyperVersion> {
+        let mut out = Vec::new();
+        for beta in [4u8, 8, 12, 14, 16, 17] {
+            out.push(VyperVersion { minor: 1, patch: 0, beta });
+        }
+        for patch in [1u8, 2] {
+            out.push(VyperVersion { minor: 1, patch, beta: 0 });
+        }
+        for patch in 0..=8u8 {
+            out.push(VyperVersion { minor: 2, patch, beta: 0 });
+        }
+        out
+    }
+}
+
+impl fmt::Display for VyperVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.beta > 0 {
+            write!(f, "0.{}.{}b{}", self.minor, self.patch, self.beta)
+        } else {
+            write!(f, "0.{}.{}", self.minor, self.patch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_17_versions() {
+        assert_eq!(VyperVersion::sweep().len(), 17);
+    }
+
+    #[test]
+    fn guard_era() {
+        assert!(VyperVersion { minor: 1, patch: 0, beta: 4 }.emits_calldatasize_guard());
+        assert!(!VyperVersion::V0_2_8.emits_calldatasize_guard());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VyperVersion { minor: 1, patch: 0, beta: 4 }.to_string(), "0.1.0b4");
+        assert_eq!(VyperVersion::V0_2_8.to_string(), "0.2.8");
+    }
+}

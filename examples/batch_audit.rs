@@ -1,0 +1,59 @@
+//! Batch recovery: fan a corpus of contracts across worker threads and
+//! aggregate accuracy, timing, and rule-usage statistics — a miniature of
+//! the paper's 47M-function sweep.
+//!
+//! ```sh
+//! cargo run --release --example batch_audit
+//! ```
+
+use sigrec_core::{recover_batch, SigRec};
+use sigrec_corpus::datasets;
+use std::time::Instant;
+
+fn main() {
+    let corpus = datasets::dataset3(500, 99);
+    let codes: Vec<Vec<u8>> = corpus.contracts.iter().map(|c| c.code.clone()).collect();
+    println!(
+        "corpus: {} contracts / {} functions",
+        corpus.contracts.len(),
+        corpus.function_count()
+    );
+
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let start = Instant::now();
+    let batch = recover_batch(&SigRec::new(), &codes, workers);
+    let elapsed = start.elapsed();
+
+    println!(
+        "recovered {} functions on {} workers in {:?} ({:.0} functions/s)\n",
+        batch.function_count(),
+        workers,
+        elapsed,
+        batch.function_count() as f64 / elapsed.as_secs_f64()
+    );
+
+    // Accuracy against ground truth.
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (item, contract) in batch.items.iter().zip(&corpus.contracts) {
+        for truth in &contract.functions {
+            total += 1;
+            if let Some(r) =
+                item.functions.iter().find(|r| r.selector == truth.declared.selector)
+            {
+                if r.params == truth.declared.params {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    println!("accuracy: {}/{} = {:.2}%", correct, total, 100.0 * correct as f64 / total as f64);
+
+    // Rule usage, Fig. 19 style.
+    println!("\nrule usage (top 8):");
+    let mut rules: Vec<_> = batch.rule_stats.iter().collect();
+    rules.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
+    for (rule, count) in rules.into_iter().take(8) {
+        println!("  {:<4} {:>8}", rule.to_string(), count);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: compile a contract with the bundled Solidity-pattern
+//! back-end, then recover its function signatures from bytecode alone.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sigrec_abi::FunctionSignature;
+use sigrec_core::SigRec;
+use sigrec_solc::{compile, CompilerConfig, FunctionSpec, Visibility};
+
+fn main() {
+    // An ERC-20-flavoured contract. In real use the bytecode would come
+    // from the chain; here the bundled code generator stands in for solc.
+    let declarations = [
+        ("transfer(address,uint256)", Visibility::External),
+        ("approve(address,uint256)", Visibility::External),
+        ("transferFrom(address,address,uint256)", Visibility::External),
+        ("batchTransfer(address[],uint256)", Visibility::Public),
+        ("setMetadata(string,bytes32)", Visibility::Public),
+    ];
+    let specs: Vec<FunctionSpec> = declarations
+        .iter()
+        .map(|(decl, vis)| FunctionSpec::new(FunctionSignature::parse(decl).unwrap(), *vis))
+        .collect();
+    let contract = compile(&specs, &CompilerConfig::default());
+    println!("compiled {} bytes of runtime bytecode\n", contract.code.len());
+
+    // --- the actual SigRec usage: bytecode in, signatures out ---
+    let recovered = SigRec::new().recover(&contract.code);
+
+    println!("{:<12} {:<44} {}", "selector", "recovered signature", "time");
+    println!("{}", "-".repeat(70));
+    for f in &recovered {
+        println!(
+            "{:<12} {:<44} {:?}",
+            f.selector.to_string(),
+            f.signature().canonical(),
+            f.elapsed
+        );
+    }
+
+    // Verify against the declarations we started from.
+    let mut correct = 0;
+    for spec in &specs {
+        let hit = recovered.iter().find(|r| r.selector == spec.signature.selector);
+        if let Some(r) = hit {
+            if spec.signature.matches(&r.signature()) {
+                correct += 1;
+                continue;
+            }
+        }
+        println!("MISMATCH for {}", spec.signature.canonical());
+    }
+    println!("\n{}/{} signatures recovered exactly", correct, specs.len());
+    assert_eq!(correct, specs.len());
+}

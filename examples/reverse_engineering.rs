@@ -1,0 +1,61 @@
+//! Reverse engineering (§6.3): lift bytecode to a register IR (Erays) and
+//! enhance it with recovered signatures (Erays+), printing both renderings
+//! side by side.
+//!
+//! ```sh
+//! cargo run --example reverse_engineering
+//! ```
+
+use sigrec_abi::FunctionSignature;
+use sigrec_core::SigRec;
+use sigrec_erays::{enhance, lift, render_structured};
+use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+
+fn main() {
+    let sig = FunctionSignature::parse("payout(address,uint256[])").unwrap();
+    let contract = compile_single(
+        FunctionSpec::new(sig, Visibility::Public),
+        &CompilerConfig::default(),
+    );
+
+    // Recover the signature from bytecode, lift, and enhance.
+    let recovered = SigRec::new().recover(&contract.code);
+    let entries: Vec<usize> = recovered.iter().map(|r| r.entry).collect();
+    let program = lift(&contract.code, &entries);
+    let enhanced = enhance(&program, &recovered);
+
+    let plain = &program.functions[0];
+    let plus = &enhanced[0];
+
+    println!("=== Erays (plain register IR), {} statements ===", plain.line_count());
+    for stmt in plain.body.iter().take(18) {
+        println!("  {}", stmt);
+    }
+    if plain.line_count() > 18 {
+        println!("  … {} more", plain.line_count() - 18);
+    }
+
+    println!("\n=== Erays+ (signature-informed), {} lines ===", plus.lines.len());
+    println!("{} {{", plus.header);
+    for line in plus.lines.iter().take(18) {
+        println!("  {}", line);
+    }
+    if plus.lines.len() > 18 {
+        println!("  … {} more", plus.lines.len() - 18);
+    }
+    println!("}}");
+
+    println!("\n=== structured view (loop nesting from dominator analysis) ===");
+    for line in render_structured(&contract.code, plain).lines().take(14) {
+        println!("  {}", line);
+    }
+
+    println!(
+        "\nreadability delta: +{} types, +{} parameter names, +{} num names, -{} access lines",
+        plus.delta.added_types,
+        plus.delta.added_param_names,
+        plus.delta.added_num_names,
+        plus.delta.removed_lines
+    );
+    assert!(plus.delta.improved());
+}

@@ -1,0 +1,45 @@
+//! # sigrec-repro
+//!
+//! A from-scratch Rust reproduction of **SigRec** — *Automatic Recovery of
+//! Function Signatures in Smart Contracts* (Chen et al.) — as a workspace
+//! of focused crates, re-exported here for convenience:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`evm`] | `sigrec-evm` | U256, opcodes, disassembler, CFG, assembler, interpreter, Keccak-256 |
+//! | [`abi`] | `sigrec-abi` | type grammar, signatures/selectors, ABI encoder and validating decoder |
+//! | [`solc`] | `sigrec-solc` | Solidity-pattern code generator (the corpus substrate) |
+//! | [`vyperc`] | `sigrec-vyperc` | Vyper-pattern code generator |
+//! | [`core`] | `sigrec-core` | **TASE** + rules R1–R31 — the paper's contribution |
+//! | [`efsd`] | `sigrec-efsd` | signature database + the five §5.6 baseline tools |
+//! | [`corpus`] | `sigrec-corpus` | labelled datasets, traffic, evaluation harness |
+//! | [`parchecker`] | `sigrec-parchecker` | §6.1 invalid-argument / short-address-attack detection |
+//! | [`fuzz`] | `sigrec-fuzz` | §6.2 type-aware vs random fuzzing |
+//! | [`erays`] | `sigrec-erays` | §6.3 register-IR lifting and Erays+ enhancement |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sigrec_repro::core::SigRec;
+//! use sigrec_repro::abi::FunctionSignature;
+//! use sigrec_repro::solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+//!
+//! let sig = FunctionSignature::parse("transfer(address,uint256)").unwrap();
+//! let contract = compile_single(
+//!     FunctionSpec::new(sig.clone(), Visibility::External),
+//!     &CompilerConfig::default(),
+//! );
+//! let recovered = SigRec::new().recover(&contract.code);
+//! assert!(sig.matches(&recovered[0].signature()));
+//! ```
+
+pub use sigrec_abi as abi;
+pub use sigrec_core as core;
+pub use sigrec_corpus as corpus;
+pub use sigrec_efsd as efsd;
+pub use sigrec_erays as erays;
+pub use sigrec_evm as evm;
+pub use sigrec_fuzz as fuzz;
+pub use sigrec_parchecker as parchecker;
+pub use sigrec_solc as solc;
+pub use sigrec_vyperc as vyperc;

@@ -1,0 +1,220 @@
+//! Property-based tests over the core substrates and the full pipeline.
+
+use proptest::prelude::*;
+use sigrec_abi::{decode, encode, AbiType, AbiValue, FunctionSignature};
+use sigrec_core::SigRec;
+use sigrec_evm::{keccak256, U256};
+use sigrec_solc::{compile, CompilerConfig, FunctionSpec, Visibility};
+
+fn u256() -> impl Strategy<Value = U256> {
+    proptest::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- U256 ring and division laws -------------------------------
+
+    #[test]
+    fn add_commutes(a in u256(), b in u256()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_commutes(a in u256(), b in u256()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn add_associates(a in u256(), b in u256(), c in u256()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_distributes(a in u256(), b in u256(), c in u256()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_inverts_add(a in u256(), b in u256()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn divmod_reconstructs(a in u256(), b in u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert_eq!(q * b + r, a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn signed_div_magnitude(a in u256(), b in u256()) {
+        prop_assume!(!b.is_zero());
+        // |a sdiv b| == |a| / |b| except the i256::MIN/-1 wrap.
+        let min = U256::ONE << 255u32;
+        prop_assume!(!(a == min && b == U256::MAX));
+        let abs = |x: U256| if x.is_negative() { x.wrapping_neg() } else { x };
+        prop_assert_eq!(abs(a.signed_div(b)), abs(a) / abs(b));
+    }
+
+    #[test]
+    fn shifts_compose(a in u256(), s in 0u32..255) {
+        prop_assert_eq!((a >> s) >> (255 - s).min(255), a >> 255u32);
+        prop_assert_eq!(a << s >> s, a & U256::low_mask(256 - s));
+    }
+
+    #[test]
+    fn be_bytes_round_trip(a in u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a in u256()) {
+        let s = format!("{:x}", a);
+        prop_assert_eq!(U256::from_hex(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn sign_extend_idempotent(a in u256(), b in 0u64..32) {
+        let once = a.sign_extend(U256::from(b));
+        prop_assert_eq!(once.sign_extend(U256::from(b)), once);
+    }
+
+    #[test]
+    fn addmod_matches_wide(a in u256(), b in u256(), m in u256()) {
+        prop_assume!(!m.is_zero());
+        // (a+b) mod m computed via mulmod identity: addmod == (a%m + b%m) adjusted.
+        let expect = {
+            let (s, carry) = a.overflowing_add(b);
+            if carry {
+                // a+b = s + 2^256; reduce via mul_mod(2^128, 2^128) trick.
+                let two128 = U256::ONE << 128u32;
+                let wrap = two128.mul_mod(two128, m);
+                (s % m).add_mod(wrap, m)
+            } else {
+                s % m
+            }
+        };
+        prop_assert_eq!(a.add_mod(b, m), expect);
+    }
+
+    // ---- Keccak ------------------------------------------------------
+
+    #[test]
+    fn keccak_is_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let d1 = keccak256(&data);
+        prop_assert_eq!(d1, keccak256(&data));
+        let mut flipped = data.clone();
+        if !flipped.is_empty() {
+            flipped[0] ^= 1;
+            prop_assert_ne!(d1, keccak256(&flipped));
+        }
+    }
+}
+
+// ---- ABI round trips over random type trees -------------------------
+
+fn abi_type() -> impl Strategy<Value = AbiType> {
+    let basic = prop_oneof![
+        (1u16..=32).prop_map(|k| AbiType::Uint(8 * k)),
+        (1u16..=32).prop_map(|k| AbiType::Int(8 * k)),
+        Just(AbiType::Address),
+        Just(AbiType::Bool),
+        (1u8..=32).prop_map(AbiType::FixedBytes),
+        Just(AbiType::Bytes),
+        Just(AbiType::String),
+    ];
+    basic.prop_recursive(3, 12, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), 1usize..4).prop_map(|(t, n)| AbiType::Array(Box::new(t), n)),
+            inner.clone().prop_map(|t| AbiType::DynArray(Box::new(t))),
+            proptest::collection::vec(inner, 1..3).prop_map(AbiType::Tuple),
+        ]
+    })
+}
+
+fn value_for(ty: &AbiType) -> AbiValue {
+    // Deterministic non-zero witnesses per type.
+    match ty {
+        AbiType::Uint(m) => AbiValue::Uint(U256::low_mask((*m as u32).min(17))),
+        AbiType::Int(m) => AbiValue::Int(U256::low_mask((*m as u32 - 1).min(13))),
+        AbiType::Address => AbiValue::Address(U256::from(0xabcdefu64)),
+        AbiType::Bool => AbiValue::Bool(true),
+        AbiType::FixedBytes(m) => AbiValue::FixedBytes(vec![0x5a; *m as usize]),
+        AbiType::Bytes => AbiValue::Bytes(vec![1, 2, 3, 4, 5]),
+        AbiType::String => AbiValue::Str("prop".into()),
+        AbiType::Array(el, n) => AbiValue::Array((0..*n).map(|_| value_for(el)).collect()),
+        AbiType::DynArray(el) => AbiValue::Array(vec![value_for(el), value_for(el)]),
+        AbiType::Tuple(ts) => AbiValue::Tuple(ts.iter().map(value_for).collect()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn abi_round_trip_random_types(ty in abi_type()) {
+        let v = value_for(&ty);
+        prop_assert!(v.conforms_to(&ty));
+        let types = vec![ty];
+        let values = vec![v];
+        let data = encode(&types, &values).unwrap();
+        prop_assert_eq!(decode(&types, &data).unwrap(), values);
+    }
+
+    #[test]
+    fn type_parse_round_trip(ty in abi_type()) {
+        let s = ty.canonical();
+        prop_assert_eq!(AbiType::parse(&s).unwrap(), ty);
+    }
+}
+
+// ---- full-pipeline property: compile → recover == declared ----------
+
+/// Recovery-supported parameter types (no static tuples, which flatten by
+/// design; element widths that survive refinement).
+fn recoverable_param() -> impl Strategy<Value = AbiType> {
+    let basic = prop_oneof![
+        (1u16..=32).prop_map(|k| AbiType::Uint(8 * k)),
+        (1u16..=32).prop_map(|k| AbiType::Int(8 * k)),
+        Just(AbiType::Address),
+        Just(AbiType::Bool),
+        (1u8..=32).prop_map(AbiType::FixedBytes),
+    ];
+    prop_oneof![
+        basic.clone(),
+        Just(AbiType::Bytes),
+        Just(AbiType::String),
+        (basic.clone(), 1usize..5).prop_map(|(t, n)| AbiType::Array(Box::new(t), n)),
+        basic.clone().prop_map(|t| AbiType::DynArray(Box::new(t))),
+        (basic.clone(), 1usize..4)
+            .prop_map(|(t, n)| AbiType::DynArray(Box::new(AbiType::Array(Box::new(t), n)))),
+        basic.prop_map(|t| AbiType::DynArray(Box::new(AbiType::DynArray(Box::new(t))))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compile_then_recover_is_identity(
+        params in proptest::collection::vec(recoverable_param(), 0..4),
+        public in any::<bool>(),
+    ) {
+        let sig = FunctionSignature::from_declaration("prop", params);
+        let vis = if public { Visibility::Public } else { Visibility::External };
+        let contract = compile(
+            &[FunctionSpec::new(sig.clone(), vis)],
+            &CompilerConfig::default(),
+        );
+        let rec = SigRec::new().recover(&contract.code);
+        prop_assert_eq!(rec.len(), 1);
+        prop_assert!(
+            sig.matches(&rec[0].signature()),
+            "declared {} recovered {}",
+            sig.canonical(),
+            rec[0].signature().canonical()
+        );
+    }
+}
