@@ -119,7 +119,10 @@ pub fn decode_call(
     calldata: &[u8],
 ) -> Result<([u8; 4], Vec<AbiValue>), DecodeError> {
     if calldata.len() < 4 {
-        return Err(DecodeError::OutOfBounds { at: 0, context: "function id" });
+        return Err(DecodeError::OutOfBounds {
+            at: 0,
+            context: "function id",
+        });
     }
     let mut sel = [0u8; 4];
     sel.copy_from_slice(&calldata[..4]);
@@ -170,7 +173,10 @@ impl<'a> Decoder<'a> {
             AbiType::Uint(m) => {
                 let w = self.word(*at, "uint value")?;
                 if *m < 256 && w > U256::low_mask(*m as u32) {
-                    return Err(DecodeError::BadLeftPadding { ty: ty.canonical(), at: *at });
+                    return Err(DecodeError::BadLeftPadding {
+                        ty: ty.canonical(),
+                        at: *at,
+                    });
                 }
                 *at += 32;
                 Ok(AbiValue::Uint(w))
@@ -178,7 +184,10 @@ impl<'a> Decoder<'a> {
             AbiType::Int(m) => {
                 let w = self.word(*at, "int value")?;
                 if *m < 256 && w.sign_extend(U256::from((m / 8 - 1) as u64)) != w {
-                    return Err(DecodeError::BadSignExtension { ty: ty.canonical(), at: *at });
+                    return Err(DecodeError::BadSignExtension {
+                        ty: ty.canonical(),
+                        at: *at,
+                    });
                 }
                 *at += 32;
                 Ok(AbiValue::Int(w))
@@ -186,7 +195,10 @@ impl<'a> Decoder<'a> {
             AbiType::Address => {
                 let w = self.word(*at, "address value")?;
                 if w > U256::low_mask(160) {
-                    return Err(DecodeError::BadLeftPadding { ty: ty.canonical(), at: *at });
+                    return Err(DecodeError::BadLeftPadding {
+                        ty: ty.canonical(),
+                        at: *at,
+                    });
                 }
                 *at += 32;
                 Ok(AbiValue::Address(w))
@@ -202,7 +214,10 @@ impl<'a> Decoder<'a> {
             AbiType::FixedBytes(m) => {
                 let w = self.word(*at, "bytesM value")?;
                 if w & !U256::high_mask(8 * *m as u32) != U256::ZERO {
-                    return Err(DecodeError::BadRightPadding { ty: ty.canonical(), at: *at });
+                    return Err(DecodeError::BadRightPadding {
+                        ty: ty.canonical(),
+                        at: *at,
+                    });
                 }
                 let bytes = w.to_be_bytes()[..*m as usize].to_vec();
                 *at += 32;
@@ -261,11 +276,20 @@ impl<'a> Decoder<'a> {
         let padded = len.div_ceil(32) * 32;
         let start = at + 32;
         if start + padded > self.data.len() {
-            return Err(DecodeError::OutOfBounds { at: start, context: "byte payload" });
+            return Err(DecodeError::OutOfBounds {
+                at: start,
+                context: "byte payload",
+            });
         }
         let payload = self.data[start..start + len].to_vec();
-        if self.data[start + len..start + padded].iter().any(|&b| b != 0) {
-            return Err(DecodeError::BadRightPadding { ty: ty.canonical(), at: start + len });
+        if self.data[start + len..start + padded]
+            .iter()
+            .any(|&b| b != 0)
+        {
+            return Err(DecodeError::BadRightPadding {
+                ty: ty.canonical(),
+                at: start + len,
+            });
         }
         Ok(payload)
     }
@@ -294,7 +318,10 @@ mod tests {
     fn round_trips_all_categories() {
         round_trip(&[ty("uint8")], &[u(200)]);
         round_trip(&[ty("int16")], &[AbiValue::Int(U256::from(-1234i64))]);
-        round_trip(&[ty("address")], &[AbiValue::Address(U256::from(0xabcdefu64))]);
+        round_trip(
+            &[ty("address")],
+            &[AbiValue::Address(U256::from(0xabcdefu64))],
+        );
         round_trip(&[ty("bool")], &[AbiValue::Bool(true)]);
         round_trip(&[ty("bytes4")], &[AbiValue::FixedBytes(b"abcd".to_vec())]);
         round_trip(&[ty("bytes")], &[AbiValue::Bytes(vec![1, 2, 3, 4, 5])]);
@@ -303,10 +330,7 @@ mod tests {
             &[ty("uint256[3]")],
             &[AbiValue::Array(vec![u(1), u(2), u(3)])],
         );
-        round_trip(
-            &[ty("uint8[]")],
-            &[AbiValue::Array(vec![u(9), u(8)])],
-        );
+        round_trip(&[ty("uint8[]")], &[AbiValue::Array(vec![u(9), u(8)])]);
         round_trip(
             &[ty("uint256[][]")],
             &[AbiValue::Array(vec![
@@ -316,7 +340,10 @@ mod tests {
         );
         round_trip(
             &[ty("(uint256[],uint256)")],
-            &[AbiValue::Tuple(vec![AbiValue::Array(vec![u(1), u(2)]), u(3)])],
+            &[AbiValue::Tuple(vec![
+                AbiValue::Array(vec![u(1), u(2)]),
+                u(3),
+            ])],
         );
         round_trip(
             &[ty("uint8"), ty("bytes"), ty("bool")],
@@ -344,8 +371,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_right_padding() {
-        let mut data =
-            encode(&[ty("bytes4")], &[AbiValue::FixedBytes(b"abcd".to_vec())]).unwrap();
+        let mut data = encode(&[ty("bytes4")], &[AbiValue::FixedBytes(b"abcd".to_vec())]).unwrap();
         data[31] = 0x01;
         assert!(matches!(
             decode(&[ty("bytes4")], &data),
@@ -363,7 +389,10 @@ mod tests {
     fn rejects_bad_bool_and_sign() {
         let mut data = encode(&[ty("bool")], &[AbiValue::Bool(true)]).unwrap();
         data[31] = 0x02;
-        assert!(matches!(decode(&[ty("bool")], &data), Err(DecodeError::BadBool { .. })));
+        assert!(matches!(
+            decode(&[ty("bool")], &data),
+            Err(DecodeError::BadBool { .. })
+        ));
         let mut data = encode(&[ty("int8")], &[AbiValue::Int(U256::from(-5i64))]).unwrap();
         data[0] = 0x00; // break the sign extension
         assert!(matches!(

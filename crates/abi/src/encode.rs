@@ -25,7 +25,11 @@ pub struct EncodeError {
 
 impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "value {} does not conform to ABI type {}", self.value, self.ty)
+        write!(
+            f,
+            "value {} does not conform to ABI type {}",
+            self.value, self.ty
+        )
     }
 }
 
@@ -58,7 +62,10 @@ pub fn encode(types: &[AbiType], values: &[AbiValue]) -> Result<Vec<u8>, EncodeE
     }
     for (t, v) in types.iter().zip(values) {
         if !v.conforms_to(t) {
-            return Err(EncodeError { ty: t.canonical(), value: v.to_string() });
+            return Err(EncodeError {
+                ty: t.canonical(),
+                value: v.to_string(),
+            });
         }
     }
     Ok(encode_sequence(types, values))
@@ -66,10 +73,7 @@ pub fn encode(types: &[AbiType], values: &[AbiValue]) -> Result<Vec<u8>, EncodeE
 
 /// Encodes a full call-data payload: 4-byte selector followed by the
 /// encoded arguments.
-pub fn encode_call(
-    sig: &FunctionSignature,
-    values: &[AbiValue],
-) -> Result<Vec<u8>, EncodeError> {
+pub fn encode_call(sig: &FunctionSignature, values: &[AbiValue]) -> Result<Vec<u8>, EncodeError> {
     let mut out = sig.selector.0.to_vec();
     out.extend(encode(&sig.params, values)?);
     Ok(out)
@@ -148,7 +152,7 @@ fn encode_byte_payload(bytes: &[u8]) -> Vec<u8> {
     out.extend_from_slice(bytes);
     let rem = bytes.len() % 32;
     if rem != 0 {
-        out.extend(std::iter::repeat(0u8).take(32 - rem));
+        out.extend(std::iter::repeat_n(0u8, 32 - rem));
     }
     out
 }
@@ -181,11 +185,7 @@ mod tests {
     #[test]
     fn bytes4_right_extended() {
         // Fig. 4 of the paper: bytes4 'abcd'.
-        let data = encode(
-            &[ty("bytes4")],
-            &[AbiValue::FixedBytes(b"abcd".to_vec())],
-        )
-        .unwrap();
+        let data = encode(&[ty("bytes4")], &[AbiValue::FixedBytes(b"abcd".to_vec())]).unwrap();
         let mut expect = vec![0u8; 32];
         expect[..4].copy_from_slice(b"abcd");
         assert_eq!(data, expect);
@@ -196,8 +196,11 @@ mod tests {
         // Fig. 5: uint256[3][2] is six consecutive words.
         let inner1 = AbiValue::Array(vec![u(1), u(2), u(3)]);
         let inner2 = AbiValue::Array(vec![u(4), u(5), u(6)]);
-        let data = encode(&[ty("uint256[3][2]")], &[AbiValue::Array(vec![inner1, inner2])])
-            .unwrap();
+        let data = encode(
+            &[ty("uint256[3][2]")],
+            &[AbiValue::Array(vec![inner1, inner2])],
+        )
+        .unwrap();
         assert_eq!(data.len(), 192);
         for (i, expected) in (1u64..=6).enumerate() {
             assert_eq!(&data[i * 32..(i + 1) * 32], word(expected).as_slice());
@@ -209,8 +212,11 @@ mod tests {
         // Fig. 6: uint256[3][] with actual argument uint256[3][2].
         let inner1 = AbiValue::Array(vec![u(1), u(2), u(3)]);
         let inner2 = AbiValue::Array(vec![u(4), u(5), u(6)]);
-        let data = encode(&[ty("uint256[3][]")], &[AbiValue::Array(vec![inner1, inner2])])
-            .unwrap();
+        let data = encode(
+            &[ty("uint256[3][]")],
+            &[AbiValue::Array(vec![inner1, inner2])],
+        )
+        .unwrap();
         // Head: one offset word pointing at byte 32 (relative to arg start).
         assert_eq!(&data[0..32], word(32).as_slice());
         // num = 2, then six items.
@@ -231,12 +237,18 @@ mod tests {
         // offset1 -> num1.
         assert_eq!(&data[0..32], word(32).as_slice());
         assert_eq!(&data[32..64], word(2).as_slice()); // num1
-        // Two inner offsets, relative to after num1.
+                                                       // Two inner offsets, relative to after num1.
         let off2 = U256::from_be_bytes(&data[64..96]).as_usize().unwrap();
         let off3 = U256::from_be_bytes(&data[96..128]).as_usize().unwrap();
         let base = 64; // item area starts after offset1 + num1
-        assert_eq!(U256::from_be_bytes(&data[base + off2..base + off2 + 32]), U256::from(2u64)); // num2
-        assert_eq!(U256::from_be_bytes(&data[base + off3..base + off3 + 32]), U256::from(1u64)); // num3
+        assert_eq!(
+            U256::from_be_bytes(&data[base + off2..base + off2 + 32]),
+            U256::from(2u64)
+        ); // num2
+        assert_eq!(
+            U256::from_be_bytes(&data[base + off3..base + off3 + 32]),
+            U256::from(1u64)
+        ); // num3
         assert_eq!(
             U256::from_be_bytes(&data[base + off3 + 32..base + off3 + 64]),
             U256::from(3u64)
@@ -298,27 +310,23 @@ mod tests {
     fn multiple_dynamic_args_offsets_in_order() {
         let data = encode(
             &[ty("uint8[]"), ty("bytes")],
-            &[
-                AbiValue::Array(vec![u(9)]),
-                AbiValue::Bytes(vec![0xee; 3]),
-            ],
+            &[AbiValue::Array(vec![u(9)]), AbiValue::Bytes(vec![0xee; 3])],
         )
         .unwrap();
         let off1 = U256::from_be_bytes(&data[0..32]).as_usize().unwrap();
         let off2 = U256::from_be_bytes(&data[32..64]).as_usize().unwrap();
         assert_eq!(off1, 64);
         assert_eq!(off2, 64 + 32 + 32); // after arg1's num + one item
-        assert_eq!(U256::from_be_bytes(&data[off2..off2 + 32]), U256::from(3u64));
+        assert_eq!(
+            U256::from_be_bytes(&data[off2..off2 + 32]),
+            U256::from(3u64)
+        );
     }
 
     #[test]
     fn encode_call_prepends_selector() {
         let sig = FunctionSignature::parse("transfer(address,uint256)").unwrap();
-        let data = encode_call(
-            &sig,
-            &[AbiValue::Address(U256::from(0xbeefu64)), u(1000)],
-        )
-        .unwrap();
+        let data = encode_call(&sig, &[AbiValue::Address(U256::from(0xbeefu64)), u(1000)]).unwrap();
         assert_eq!(&data[..4], &[0xa9, 0x05, 0x9c, 0xbb]);
         assert_eq!(data.len(), 4 + 64);
     }

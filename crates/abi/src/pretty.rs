@@ -39,7 +39,12 @@ fn render(out: &mut String, label: &str, ty: &AbiType, value: &AbiValue, depth: 
     match (ty, value) {
         (AbiType::Array(el, _), AbiValue::Array(items))
         | (AbiType::DynArray(el), AbiValue::Array(items)) => {
-            let _ = writeln!(out, "{pad}{label} {} ({} items)", ty.canonical(), items.len());
+            let _ = writeln!(
+                out,
+                "{pad}{label} {} ({} items)",
+                ty.canonical(),
+                items.len()
+            );
             for (i, item) in items.iter().enumerate() {
                 render(out, &format!("[{}]", i), el, item, depth + 1);
             }
@@ -51,7 +56,12 @@ fn render(out: &mut String, label: &str, ty: &AbiType, value: &AbiValue, depth: 
             }
         }
         (AbiType::Bytes, AbiValue::Bytes(b)) => {
-            let _ = writeln!(out, "{pad}{label} bytes ({} bytes) = {}", b.len(), hex_preview(b));
+            let _ = writeln!(
+                out,
+                "{pad}{label} bytes ({} bytes) = {}",
+                b.len(),
+                hex_preview(b)
+            );
         }
         (AbiType::String, AbiValue::Str(s)) => {
             let shown: String = s.chars().take(48).collect();
@@ -113,7 +123,10 @@ mod tests {
     fn scalar_rendering() {
         let out = pretty_args(
             &[ty("address"), ty("int8")],
-            &[AbiValue::Address(U256::from(0x99u64)), AbiValue::Int(U256::from(-5i64))],
+            &[
+                AbiValue::Address(U256::from(0x99u64)),
+                AbiValue::Int(U256::from(-5i64)),
+            ],
         );
         assert!(out.contains("[0] address = 0x99"));
         assert!(out.contains("[1] int8 ="));

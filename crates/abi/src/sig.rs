@@ -43,7 +43,11 @@ impl Selector {
 
 impl fmt::Display for Selector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "0x{:02x}{:02x}{:02x}{:02x}", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "0x{:02x}{:02x}{:02x}{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -76,7 +80,11 @@ impl FunctionSignature {
 
     /// Builds a recovered signature (no name) from a selector and types.
     pub fn recovered(selector: Selector, params: Vec<AbiType>) -> Self {
-        FunctionSignature { selector, params, name: None }
+        FunctionSignature {
+            selector,
+            params,
+            name: None,
+        }
     }
 
     /// Parses a declaration like `transfer(address,uint256)`.

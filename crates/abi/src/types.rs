@@ -182,7 +182,10 @@ impl AbiType {
     /// (= 256 bits) the way Solidity sources do, but [`Self::canonical`]
     /// always renders the explicit width.
     pub fn parse(s: &str) -> Result<AbiType, TypeParseError> {
-        let mut p = Parser { input: s.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            input: s.as_bytes(),
+            pos: 0,
+        };
         let t = p.parse_type()?;
         if p.pos != s.len() {
             return Err(TypeParseError::new(s, "trailing characters"));
@@ -216,7 +219,10 @@ pub struct TypeParseError {
 
 impl TypeParseError {
     pub(crate) fn new(input: &str, reason: &'static str) -> Self {
-        TypeParseError { input: input.to_string(), reason }
+        TypeParseError {
+            input: input.to_string(),
+            reason,
+        }
     }
 }
 
@@ -290,7 +296,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 t = AbiType::DynArray(Box::new(t));
             } else {
-                let n = self.take_digits().ok_or_else(|| self.err("expected array size"))?;
+                let n = self
+                    .take_digits()
+                    .ok_or_else(|| self.err("expected array size"))?;
                 self.expect(b']')?;
                 t = AbiType::Array(Box::new(t), n as usize);
             }
@@ -306,7 +314,10 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return None;
         }
-        std::str::from_utf8(&self.input[start..self.pos]).unwrap().parse().ok()
+        std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap()
+            .parse()
+            .ok()
     }
 
     fn peek(&self) -> Option<u8> {
@@ -323,7 +334,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, reason: &'static str) -> TypeParseError {
-        TypeParseError::new(std::str::from_utf8(self.input).unwrap_or("<non-utf8>"), reason)
+        TypeParseError::new(
+            std::str::from_utf8(self.input).unwrap_or("<non-utf8>"),
+            reason,
+        )
     }
 }
 

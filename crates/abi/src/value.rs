@@ -32,9 +32,7 @@ impl AbiValue {
     /// match, width fit, element counts, recursive element types.
     pub fn conforms_to(&self, ty: &AbiType) -> bool {
         match (self, ty) {
-            (AbiValue::Uint(v), AbiType::Uint(m)) => {
-                *m == 256 || *v <= U256::low_mask(*m as u32)
-            }
+            (AbiValue::Uint(v), AbiType::Uint(m)) => *m == 256 || *v <= U256::low_mask(*m as u32),
             (AbiValue::Int(v), AbiType::Int(m)) => {
                 if *m == 256 {
                     true
@@ -55,8 +53,7 @@ impl AbiValue {
                 items.iter().all(|i| i.conforms_to(el))
             }
             (AbiValue::Tuple(items), AbiType::Tuple(tys)) => {
-                items.len() == tys.len()
-                    && items.iter().zip(tys).all(|(v, t)| v.conforms_to(t))
+                items.len() == tys.len() && items.iter().zip(tys).all(|(v, t)| v.conforms_to(t))
             }
             _ => false,
         }
@@ -97,7 +94,11 @@ impl fmt::Display for AbiValue {
             }
             AbiValue::Str(s) => write!(f, "{:?}", s),
             AbiValue::Array(items) | AbiValue::Tuple(items) => {
-                let open = if matches!(self, AbiValue::Array(_)) { '[' } else { '(' };
+                let open = if matches!(self, AbiValue::Array(_)) {
+                    '['
+                } else {
+                    '('
+                };
                 let close = if open == '[' { ']' } else { ')' };
                 write!(f, "{}", open)?;
                 for (i, item) in items.iter().enumerate() {
@@ -149,10 +150,25 @@ mod tests {
 
     #[test]
     fn zero_values_conform() {
-        for s in ["uint8", "int256", "address", "bool", "bytes4", "bytes", "string",
-                  "uint256[3]", "uint8[]", "(uint256,string)", "uint8[2][]"] {
+        for s in [
+            "uint8",
+            "int256",
+            "address",
+            "bool",
+            "bytes4",
+            "bytes",
+            "string",
+            "uint256[3]",
+            "uint8[]",
+            "(uint256,string)",
+            "uint8[2][]",
+        ] {
             let t = ty(s);
-            assert!(AbiValue::zero_of(&t).conforms_to(&t), "zero of {} must conform", s);
+            assert!(
+                AbiValue::zero_of(&t).conforms_to(&t),
+                "zero of {} must conform",
+                s
+            );
         }
     }
 

@@ -55,12 +55,12 @@ impl VyperType {
         match self {
             t if t.is_basic() => true,
             VyperType::FixedList(el, n) => {
-                *n >= 1 && (el.is_basic() || matches!(**el, VyperType::FixedList(..))) && el.is_well_formed()
+                *n >= 1
+                    && (el.is_basic() || matches!(**el, VyperType::FixedList(..)))
+                    && el.is_well_formed()
             }
             VyperType::FixedBytes(m) | VyperType::FixedString(m) => *m >= 1,
-            VyperType::Struct(items) => {
-                !items.is_empty() && items.iter().all(VyperType::is_basic)
-            }
+            VyperType::Struct(items) => !items.is_empty() && items.iter().all(VyperType::is_basic),
             _ => unreachable!(),
         }
     }

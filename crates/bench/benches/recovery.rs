@@ -17,12 +17,24 @@ fn contract(decl: &str, vis: Visibility) -> Vec<u8> {
 fn bench_recovery(c: &mut Criterion) {
     let sigrec = SigRec::new();
     let cases = [
-        ("basic", contract("f(address,uint256,bool)", Visibility::External)),
-        ("static_array", contract("f(uint256[3][2])", Visibility::Public)),
+        (
+            "basic",
+            contract("f(address,uint256,bool)", Visibility::External),
+        ),
+        (
+            "static_array",
+            contract("f(uint256[3][2])", Visibility::Public),
+        ),
         ("dynamic_array", contract("f(uint8[])", Visibility::Public)),
         ("bytes", contract("f(bytes)", Visibility::Public)),
-        ("nested_array", contract("f(uint256[][])", Visibility::External)),
-        ("dynamic_struct", contract("f((uint256[],uint256))", Visibility::External)),
+        (
+            "nested_array",
+            contract("f(uint256[][])", Visibility::External),
+        ),
+        (
+            "dynamic_struct",
+            contract("f((uint256[],uint256))", Visibility::External),
+        ),
     ];
     let mut group = c.benchmark_group("recovery_time");
     for (name, code) in &cases {

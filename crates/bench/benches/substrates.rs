@@ -20,17 +20,23 @@ fn bench_keccak(c: &mut Criterion) {
 }
 
 fn bench_u256(c: &mut Criterion) {
-    let a = U256::from_hex("deadbeefcafebabe0123456789abcdef00ff00ff00ff00ff1122334455667788")
-        .unwrap();
+    let a =
+        U256::from_hex("deadbeefcafebabe0123456789abcdef00ff00ff00ff00ff1122334455667788").unwrap();
     let b2 = U256::from_hex("0123456789abcdef").unwrap();
     let mut group = c.benchmark_group("u256");
-    group.bench_function("mul", |b| b.iter(|| std::hint::black_box(a) * std::hint::black_box(b2)));
-    group.bench_function("div", |b| b.iter(|| std::hint::black_box(a) / std::hint::black_box(b2)));
+    group.bench_function("mul", |b| {
+        b.iter(|| std::hint::black_box(a) * std::hint::black_box(b2))
+    });
+    group.bench_function("div", |b| {
+        b.iter(|| std::hint::black_box(a) / std::hint::black_box(b2))
+    });
     group.bench_function("signed_div", |b| {
         b.iter(|| std::hint::black_box(a).signed_div(std::hint::black_box(b2)))
     });
     group.bench_function("mulmod", |b| {
-        b.iter(|| std::hint::black_box(a).mul_mod(std::hint::black_box(a), std::hint::black_box(b2)))
+        b.iter(|| {
+            std::hint::black_box(a).mul_mod(std::hint::black_box(a), std::hint::black_box(b2))
+        })
     });
     group.finish();
 }
@@ -76,10 +82,7 @@ fn bench_batch(c: &mut Criterion) {
         .map(|i| {
             let decl = format!("fn{}(address,uint256[],bool)", i);
             compile_single(
-                FunctionSpec::new(
-                    FunctionSignature::parse(&decl).unwrap(),
-                    Visibility::Public,
-                ),
+                FunctionSpec::new(FunctionSignature::parse(&decl).unwrap(), Visibility::Public),
                 &CompilerConfig::default(),
             )
             .code

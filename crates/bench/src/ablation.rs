@@ -33,8 +33,12 @@ pub enum Ablation {
 
 impl Ablation {
     /// All variants, full system first.
-    pub const ALL: [Ablation; 4] =
-        [Ablation::Full, Ablation::NoUses, Ablation::NoGuards, Ablation::NoCopies];
+    pub const ALL: [Ablation; 4] = [
+        Ablation::Full,
+        Ablation::NoUses,
+        Ablation::NoGuards,
+        Ablation::NoCopies,
+    ];
 
     fn apply(&self, mut facts: FunctionFacts) -> FunctionFacts {
         match self {
@@ -56,8 +60,7 @@ pub fn ablated_accuracy(corpus: &Corpus, ablation: Ablation) -> f64 {
         let table = extract_dispatch(&disasm);
         for f in &contract.functions {
             total += 1;
-            let Some(entry) = table.iter().find(|e| e.selector == f.declared.selector)
-            else {
+            let Some(entry) = table.iter().find(|e| e.selector == f.declared.selector) else {
                 continue;
             };
             let facts = Tase::new(&disasm, TaseConfig::default()).explore(entry.entry);
@@ -145,7 +148,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { contracts: 20, per_version: 1, seed: 123 }
+        Scale {
+            contracts: 20,
+            per_version: 1,
+            seed: 123,
+        }
     }
 
     #[test]
@@ -165,12 +172,7 @@ mod tests {
         // SigRec's obfuscated accuracy (3rd column of its row) stays high.
         let row = out.lines().find(|l| l.starts_with("SigRec")).unwrap();
         let cols: Vec<&str> = row.split_whitespace().collect();
-        let obf_acc: f64 = cols
-            .last()
-            .unwrap()
-            .trim_end_matches('%')
-            .parse()
-            .unwrap();
+        let obf_acc: f64 = cols.last().unwrap().trim_end_matches('%').parse().unwrap();
         assert!(obf_acc > 90.0, "{row}");
     }
 }

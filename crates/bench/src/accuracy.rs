@@ -5,8 +5,8 @@ use crate::report::{pct, TextTable};
 use sigrec_core::SigRec;
 use sigrec_corpus::{datasets, evaluate, Corpus, Toolchain};
 use sigrec_efsd::{
-    reference_outputs, run_tool, DbTool, Efsd, EveemTool, GigahorseTool, RecoveryTool,
-    SigRecTool, ToolReport,
+    reference_outputs, run_tool, DbTool, Efsd, EveemTool, GigahorseTool, RecoveryTool, SigRecTool,
+    ToolReport,
 };
 
 /// Experiment scale: contracts per corpus. The paper runs on millions;
@@ -23,7 +23,11 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { contracts: 600, per_version: 12, seed: 0x516_7EC }
+        Scale {
+            contracts: 600,
+            per_version: 12,
+            seed: 0x516_7EC,
+        }
     }
 }
 
@@ -128,7 +132,11 @@ fn comparison_table(title: &str, corpus: &Corpus, db: &Efsd, with_reference: boo
         "wrong types",
         "wrong count",
         "aborted",
-        if with_reference { "agree w/ SigRec" } else { "" },
+        if with_reference {
+            "agree w/ SigRec"
+        } else {
+            ""
+        },
     ]);
     let mut rows: Vec<ToolReport> = Vec::new();
     for tool in &tools {
@@ -142,7 +150,11 @@ fn comparison_table(title: &str, corpus: &Corpus, db: &Efsd, with_reference: boo
             r.wrong_types.to_string(),
             r.wrong_count.to_string(),
             pct(r.abort_ratio()),
-            if with_reference { pct(r.agreement()) } else { String::new() },
+            if with_reference {
+                pct(r.agreement())
+            } else {
+                String::new()
+            },
         ]);
     }
     format!("{title}\n{}", t.render())
@@ -180,14 +192,18 @@ pub fn table2(scale: &Scale) -> String {
 pub fn table3(scale: &Scale) -> String {
     let corpus = datasets::dataset3(scale.contracts, scale.seed + 7);
     let db = Efsd::seeded_from(&corpus, 0.51, scale.seed + 8);
-    comparison_table("Table 3 — dataset 3 (open-source-like)", &corpus, &db, false)
+    comparison_table(
+        "Table 3 — dataset 3 (open-source-like)",
+        &corpus,
+        &db,
+        false,
+    )
 }
 
 /// Table 4: struct and nested-array parameters (paper: SigRec 61.3 %,
 /// baselines ≤ 11 %).
 pub fn table4(scale: &Scale) -> String {
-    let corpus =
-        datasets::struct_nested_corpus(scale.contracts.min(400), 0.387, scale.seed + 9);
+    let corpus = datasets::struct_nested_corpus(scale.contracts.min(400), 0.387, scale.seed + 9);
     // ~10 % of these signatures happen to be in the database (Table 4's
     // explanation of the baselines' 10.1 %).
     let db = Efsd::seeded_from(&corpus, 0.101, scale.seed + 10);
@@ -217,7 +233,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { contracts: 30, per_version: 2, seed: 7 }
+        Scale {
+            contracts: 30,
+            per_version: 2,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -243,11 +263,7 @@ mod tests {
     #[test]
     fn comparison_orders_sigrec_first() {
         let out = table3(&tiny());
-        let first_row = out
-            .lines()
-            .skip(3) // title, header, separator
-            .next()
-            .unwrap();
+        let first_row = out.lines().nth(3).unwrap();
         assert!(first_row.starts_with("SigRec"), "{first_row}");
     }
 }

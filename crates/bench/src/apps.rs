@@ -39,8 +39,7 @@ pub fn attacks(scale: &Scale) -> String {
     let corpus = datasets::dataset3(scale.contracts, scale.seed + 40);
     // Recover signatures from bytecode — ParChecker runs on recovery
     // output, not ground truth.
-    let checker =
-        ParChecker::from_bytecode(corpus.contracts.iter().map(|c| c.code.as_slice()));
+    let checker = ParChecker::from_bytecode(corpus.contracts.iter().map(|c| c.code.as_slice()));
     let params = TrafficParams {
         transactions: 4000,
         invalid_rate: 0.01,
@@ -54,16 +53,30 @@ pub fn attacks(scale: &Scale) -> String {
         .iter()
         .filter(|t| !matches!(t.label, TrafficLabel::Valid))
         .count();
-    let true_attacks =
-        txs.iter().filter(|t| t.label == TrafficLabel::ShortAddressAttack).count();
+    let true_attacks = txs
+        .iter()
+        .filter(|t| t.label == TrafficLabel::ShortAddressAttack)
+        .count();
     let mut t = TextTable::new(&["measure", "value"]);
     t.row(&["transactions".into(), report.total.to_string()]);
-    t.row(&["recovered signatures".into(), checker.signature_count().to_string()]);
+    t.row(&[
+        "recovered signatures".into(),
+        checker.signature_count().to_string(),
+    ]);
     t.row(&["flagged invalid".into(), report.invalid.to_string()]);
     t.row(&["truly invalid".into(), truly_invalid.to_string()]);
-    t.row(&["invalid rate".into(), pct(report.invalid as f64 / report.total.max(1) as f64)]);
-    t.row(&["short-address attacks found".into(), report.short_address_attacks.to_string()]);
-    t.row(&["short-address attacks injected".into(), true_attacks.to_string()]);
+    t.row(&[
+        "invalid rate".into(),
+        pct(report.invalid as f64 / report.total.max(1) as f64),
+    ]);
+    t.row(&[
+        "short-address attacks found".into(),
+        report.short_address_attacks.to_string(),
+    ]);
+    t.row(&[
+        "short-address attacks injected".into(),
+        true_attacks.to_string(),
+    ]);
     t.row(&["unknown-id transactions".into(), report.unknown.to_string()]);
     t.row(&[
         "  · truncated / left-pad / right-pad".into(),
@@ -74,7 +87,10 @@ pub fn attacks(scale: &Scale) -> String {
     ]);
     t.row(&[
         "  · bad bool / wild offset".into(),
-        format!("{} / {}", report.by_kind.bad_bool, report.by_kind.unrepresentable),
+        format!(
+            "{} / {}",
+            report.by_kind.bad_bool, report.by_kind.unrepresentable
+        ),
     ]);
     format!(
         "§6.1 — ParChecker: invalid actual arguments & short-address attacks\n{}",
@@ -86,7 +102,10 @@ pub fn attacks(scale: &Scale) -> String {
 /// vulnerable contracts with recovered signatures).
 pub fn fuzzing(scale: &Scale) -> String {
     let targets = generate_targets(scale.contracts.min(250), 0.5, scale.seed + 50);
-    let campaign = Campaign { budget_per_function: 48, seed: scale.seed + 51 };
+    let campaign = Campaign {
+        budget_per_function: 48,
+        seed: scale.seed + 51,
+    };
     let typed = run_campaign(&targets, InputStrategy::TypeAware, &campaign);
     let random = run_campaign(&targets, InputStrategy::Random, &campaign);
     let more_bugs = if random.bugs_found > 0 {
@@ -152,7 +171,11 @@ pub fn erays(scale: &Scale) -> String {
     }
     let n = with_functions.max(1) as f64;
     let mut t = TextTable::new(&["per-contract mean", "value", "paper"]);
-    t.row(&["added types".into(), format!("{:.1}", total.added_types as f64 / n), "5.5".into()]);
+    t.row(&[
+        "added types".into(),
+        format!("{:.1}", total.added_types as f64 / n),
+        "5.5".into(),
+    ]);
     t.row(&[
         "added parameter names".into(),
         format!("{:.1}", total.added_param_names as f64 / n),
@@ -179,7 +202,11 @@ pub fn erays(scale: &Scale) -> String {
 
 /// Smoke helper used by tests: runs every experiment at tiny scale.
 pub fn run_all_tiny() -> Vec<String> {
-    let scale = Scale { contracts: 12, per_version: 1, seed: 99 };
+    let scale = Scale {
+        contracts: 12,
+        per_version: 1,
+        seed: 99,
+    };
     vec![
         crate::accuracy::rq1(&scale),
         crate::accuracy::table2(&scale),
@@ -200,7 +227,11 @@ pub fn all_rules_fire(scale: &Scale) -> Vec<RuleId> {
     let mut stats = evaluate(&sigrec, &sol).rule_stats;
     stats.merge(&evaluate(&sigrec, &vy).rule_stats);
     stats.merge(&evaluate(&sigrec, &structs).rule_stats);
-    RuleId::ALL.iter().copied().filter(|&r| stats.count(r) == 0).collect()
+    RuleId::ALL
+        .iter()
+        .copied()
+        .filter(|&r| stats.count(r) == 0)
+        .collect()
 }
 
 #[cfg(test)]
@@ -217,7 +248,11 @@ mod tests {
 
     #[test]
     fn fuzzing_gap_positive() {
-        let out = fuzzing(&Scale { contracts: 40, per_version: 1, seed: 5 });
+        let out = fuzzing(&Scale {
+            contracts: 40,
+            per_version: 1,
+            seed: 5,
+        });
         assert!(out.contains("more bugs"));
     }
 }

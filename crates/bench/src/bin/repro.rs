@@ -4,7 +4,7 @@
 //! repro <experiment> [--contracts N] [--seed S]
 //! experiments: rq1 fig15 fig16 fig17 fig18 fig19
 //!              table1 table2 table3 table4 table5
-//!              attacks fuzzing erays all
+//!              attacks fuzzing erays throughput all
 //! ```
 
 use sigrec_bench::{Scale, *};
@@ -50,12 +50,28 @@ fn main() {
             "erays" => erays(&scale),
             "ablation" => ablation(&scale),
             "obfuscation" => obfuscation(&scale),
+            "throughput" => throughput(&scale),
             _ => return None,
         })
     };
     let all = [
-        "rq1", "fig15", "fig16", "fig17", "fig18", "fig19", "table1", "table2", "table3",
-        "table4", "table5", "attacks", "fuzzing", "erays", "ablation", "obfuscation",
+        "rq1",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "attacks",
+        "fuzzing",
+        "erays",
+        "ablation",
+        "obfuscation",
+        "throughput",
     ];
     if which == "all" {
         for name in all {
@@ -66,7 +82,10 @@ fn main() {
         match run(&which) {
             Some(out) => println!("{}", out),
             None => {
-                eprintln!("unknown experiment {:?}; choose one of {:?} or 'all'", which, all);
+                eprintln!(
+                    "unknown experiment {:?}; choose one of {:?} or 'all'",
+                    which, all
+                );
                 std::process::exit(2);
             }
         }

@@ -1,0 +1,266 @@
+//! Corpus-scale throughput benchmark for the dedup-aware batch layer.
+//!
+//! Deployed bytecode is massively duplicated (factory clones, proxy
+//! templates, copy-pasted tokens), so corpus-scale recovery throughput is
+//! dominated by how well the pipeline exploits that redundancy. This
+//! experiment builds a synthetic corpus with an on-chain-like duplication
+//! profile (~20× mean duplication, skewed so a few templates dominate),
+//! runs it through the naive per-contract scheduler and the dedup-aware
+//! scheduler, verifies both recover identical signatures, and reports
+//! contracts/s, functions/s, cache hit rates and per-function latency
+//! percentiles. The machine-readable summary is written to
+//! `BENCH_throughput.json` in the working directory.
+
+use crate::accuracy::Scale;
+use crate::report::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sigrec_core::{recover_batch, recover_batch_naive, BatchResult, SigRec};
+use sigrec_corpus::datasets;
+use std::time::{Duration, Instant};
+
+/// Expands `distinct` codes into a `total`-element corpus with a skewed
+/// (harmonic) duplication profile: template `i` receives weight
+/// `1 / (i + 1)`, mirroring the head-heavy clone distribution seen on
+/// chain. Every template appears at least once and the result is
+/// deterministically shuffled with `seed`.
+pub fn duplicate_with_skew(distinct: &[Vec<u8>], total: usize, seed: u64) -> Vec<Vec<u8>> {
+    assert!(!distinct.is_empty(), "need at least one distinct code");
+    let total = total.max(distinct.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Cumulative harmonic weights for weighted template sampling.
+    let mut cumulative = Vec::with_capacity(distinct.len());
+    let mut sum = 0.0f64;
+    for i in 0..distinct.len() {
+        sum += 1.0 / (i + 1) as f64;
+        cumulative.push(sum);
+    }
+
+    // One guaranteed copy of every template, then weighted fill.
+    let mut codes: Vec<Vec<u8>> = distinct.to_vec();
+    while codes.len() < total {
+        let u = rng.gen::<f64>() * sum;
+        let i = cumulative
+            .partition_point(|&c| c < u)
+            .min(distinct.len() - 1);
+        codes.push(distinct[i].clone());
+    }
+
+    // Fisher–Yates so duplicates are interleaved, not clustered.
+    for i in (1..codes.len()).rev() {
+        let j = rng.gen_range(0usize..=i);
+        codes.swap(i, j);
+    }
+    codes
+}
+
+/// Asserts that two batch results recover identical signatures for every
+/// input contract, in input order.
+fn assert_equivalent(naive: &BatchResult, dedup: &BatchResult) {
+    assert_eq!(naive.items.len(), dedup.items.len(), "item count differs");
+    for (a, b) in naive.items.iter().zip(&dedup.items) {
+        assert_eq!(a.index, b.index, "item order differs");
+        assert_eq!(
+            a.functions.len(),
+            b.functions.len(),
+            "function count differs at {}",
+            a.index
+        );
+        for (fa, fb) in a.functions.iter().zip(&b.functions) {
+            assert_eq!(fa.selector, fb.selector, "selector differs at {}", a.index);
+            assert_eq!(fa.params, fb.params, "params differ at {}", a.index);
+            assert_eq!(fa.language, fb.language, "language differs at {}", a.index);
+        }
+    }
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[((sorted.len() - 1) as f64 * q) as usize]
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// The throughput experiment: naive vs dedup-aware batch recovery over a
+/// duplicated corpus. Returns the text report and writes
+/// `BENCH_throughput.json`.
+pub fn throughput(scale: &Scale) -> String {
+    // The throughput corpus is ~8× the accuracy corpora (duplication makes
+    // the extra volume nearly free for the dedup path): the default scale
+    // yields 4 800 contracts over 240 distinct templates (20× duplication).
+    let total = scale.contracts.saturating_mul(8).max(40);
+    let distinct_n = (total / 20).max(10);
+    let base = datasets::dataset3(distinct_n, scale.seed + 40);
+    let distinct: Vec<Vec<u8>> = base.contracts.iter().map(|c| c.code.clone()).collect();
+    let codes = duplicate_with_skew(&distinct, total, scale.seed + 41);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let naive_rec = SigRec::new();
+    let t0 = Instant::now();
+    let naive = recover_batch_naive(&naive_rec, &codes, workers);
+    let naive_secs = t0.elapsed().as_secs_f64();
+
+    let dedup_rec = SigRec::new();
+    let t1 = Instant::now();
+    let dedup = recover_batch(&dedup_rec, &codes, workers);
+    let dedup_secs = t1.elapsed().as_secs_f64();
+
+    assert_equivalent(&naive, &dedup);
+
+    let functions = dedup.function_count();
+    let cache = dedup_rec.cache_stats();
+    let speedup = naive_secs / dedup_secs.max(1e-9);
+
+    // True cold per-function recovery latencies, from the naive run (the
+    // dedup run only measures each distinct function once).
+    let mut lat: Vec<Duration> = naive
+        .items
+        .iter()
+        .flat_map(|i| i.functions.iter().map(|f| f.elapsed))
+        .collect();
+    lat.sort_unstable();
+    let mean = if lat.is_empty() {
+        Duration::ZERO
+    } else {
+        lat.iter().sum::<Duration>() / lat.len() as u32
+    };
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"corpus\": {{ \"contracts\": {}, \"distinct_contracts\": {}, ",
+            "\"duplication_factor\": {:.2}, \"functions\": {}, \"workers\": {} }},\n",
+            "  \"naive\": {{ \"seconds\": {:.4}, \"contracts_per_sec\": {:.2}, ",
+            "\"functions_per_sec\": {:.2} }},\n",
+            "  \"dedup\": {{ \"seconds\": {:.4}, \"contracts_per_sec\": {:.2}, ",
+            "\"functions_per_sec\": {:.2}, \"speedup\": {:.2}, \"dedup_rate\": {:.4}, ",
+            "\"contract_cache_hit_rate\": {:.4}, \"function_cache_hit_rate\": {:.4} }},\n",
+            "  \"latency\": {{ \"mean_us\": {:.1}, \"p50_us\": {:.1}, ",
+            "\"p99_us\": {:.1}, \"max_us\": {:.1} }}\n",
+            "}}\n",
+        ),
+        codes.len(),
+        dedup.dedup.distinct_contracts,
+        codes.len() as f64 / dedup.dedup.distinct_contracts.max(1) as f64,
+        functions,
+        workers,
+        naive_secs,
+        codes.len() as f64 / naive_secs.max(1e-9),
+        functions as f64 / naive_secs.max(1e-9),
+        dedup_secs,
+        codes.len() as f64 / dedup_secs.max(1e-9),
+        functions as f64 / dedup_secs.max(1e-9),
+        speedup,
+        dedup.dedup.dedup_rate(),
+        cache.contract_hit_rate(),
+        cache.function_hit_rate(),
+        micros(mean),
+        micros(percentile(&lat, 0.50)),
+        micros(percentile(&lat, 0.99)),
+        micros(*lat.last().unwrap_or(&Duration::ZERO)),
+    );
+    if let Err(e) = std::fs::write("BENCH_throughput.json", &json) {
+        eprintln!("warning: could not write BENCH_throughput.json: {e}");
+    }
+
+    let mut t = TextTable::new(&["metric", "naive", "dedup"]);
+    t.row(&[
+        "contracts".into(),
+        codes.len().to_string(),
+        codes.len().to_string(),
+    ]);
+    t.row(&[
+        "distinct".into(),
+        codes.len().to_string(),
+        dedup.dedup.distinct_contracts.to_string(),
+    ]);
+    t.row(&[
+        "seconds".into(),
+        format!("{naive_secs:.3}"),
+        format!("{dedup_secs:.3}"),
+    ]);
+    t.row(&[
+        "contracts/s".into(),
+        format!("{:.1}", codes.len() as f64 / naive_secs.max(1e-9)),
+        format!("{:.1}", codes.len() as f64 / dedup_secs.max(1e-9)),
+    ]);
+    t.row(&[
+        "functions/s".into(),
+        format!("{:.1}", functions as f64 / naive_secs.max(1e-9)),
+        format!("{:.1}", functions as f64 / dedup_secs.max(1e-9)),
+    ]);
+    t.row(&["speedup".into(), "1.0×".into(), format!("{speedup:.1}×")]);
+    t.row(&[
+        "dedup rate".into(),
+        "—".into(),
+        crate::report::pct(dedup.dedup.dedup_rate()),
+    ]);
+    t.row(&[
+        "fn-cache hit rate".into(),
+        "—".into(),
+        crate::report::pct(cache.function_hit_rate()),
+    ]);
+    t.row(&[
+        "p50 latency".into(),
+        format!("{:?}", percentile(&lat, 0.50)),
+        "—".into(),
+    ]);
+    t.row(&[
+        "p99 latency".into(),
+        format!("{:?}", percentile(&lat, 0.99)),
+        "—".into(),
+    ]);
+    format!(
+        "Throughput — dedup-aware batch vs naive over a {:.0}×-duplicated corpus \
+         (signatures verified identical; BENCH_throughput.json written)\n{}",
+        codes.len() as f64 / dedup.dedup.distinct_contracts.max(1) as f64,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_duplication_covers_every_template_exactly_total() {
+        let distinct: Vec<Vec<u8>> = (0u8..7).map(|i| vec![i; 4]).collect();
+        let codes = duplicate_with_skew(&distinct, 100, 9);
+        assert_eq!(codes.len(), 100);
+        for d in &distinct {
+            assert!(codes.contains(d), "template missing from corpus");
+        }
+        // The head template dominates the tail one (harmonic skew).
+        let count = |d: &Vec<u8>| codes.iter().filter(|c| *c == d).count();
+        assert!(count(&distinct[0]) > count(&distinct[6]));
+    }
+
+    #[test]
+    fn duplication_is_deterministic_in_the_seed() {
+        let distinct: Vec<Vec<u8>> = (0u8..3).map(|i| vec![i; 2]).collect();
+        assert_eq!(
+            duplicate_with_skew(&distinct, 30, 5),
+            duplicate_with_skew(&distinct, 30, 5)
+        );
+        assert_ne!(
+            duplicate_with_skew(&distinct, 30, 5),
+            duplicate_with_skew(&distinct, 30, 6)
+        );
+    }
+
+    #[test]
+    fn percentile_picks_from_sorted() {
+        let lat: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&lat, 0.0), Duration::from_micros(1));
+        assert_eq!(percentile(&lat, 1.0), Duration::from_micros(100));
+        assert!(percentile(&lat, 0.5) <= percentile(&lat, 0.99));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+}

@@ -26,11 +26,15 @@ pub fn fig17(scale: &Scale) -> String {
     t.row(&["p50".into(), format!("{:?}", pick(0.50))]);
     t.row(&["p90".into(), format!("{:?}", pick(0.90))]);
     t.row(&["p99".into(), format!("{:?}", pick(0.99))]);
-    t.row(&["max".into(), format!("{:?}", *times.last().unwrap_or(&Duration::ZERO))]);
-    let within = |d: Duration| {
-        times.iter().filter(|&&x| x <= d).count() as f64 / total as f64
-    };
-    t.row(&["within 10×mean".into(), crate::report::pct(within(mean * 10))]);
+    t.row(&[
+        "max".into(),
+        format!("{:?}", *times.last().unwrap_or(&Duration::ZERO)),
+    ]);
+    let within = |d: Duration| times.iter().filter(|&&x| x <= d).count() as f64 / total as f64;
+    t.row(&[
+        "within 10×mean".into(),
+        crate::report::pct(within(mean * 10)),
+    ]);
     format!(
         "Fig. 17 — per-function recovery time (paper: mean 0.074s, 99.7% ≤ 1s on 47M functions)\n{}",
         t.render()
@@ -68,7 +72,10 @@ pub fn dimension_series(max_dim: usize, repeats: usize) -> Vec<DimensionPoint> {
                 let r = sigrec.recover(&contract.code);
                 assert_eq!(r.len(), 1);
             }
-            DimensionPoint { dimension: d, time: start.elapsed() / repeats.max(1) as u32 }
+            DimensionPoint {
+                dimension: d,
+                time: start.elapsed() / repeats.max(1) as u32,
+            }
         })
         .collect()
 }
@@ -106,7 +113,11 @@ mod tests {
 
     #[test]
     fn fig17_renders() {
-        let out = fig17(&Scale { contracts: 20, per_version: 2, seed: 3 });
+        let out = fig17(&Scale {
+            contracts: 20,
+            per_version: 2,
+            seed: 3,
+        });
         assert!(out.contains("mean"));
         assert!(out.contains("p99"));
     }

@@ -38,8 +38,16 @@ fn main() {
     };
     if explain {
         for e in SigRec::new().explain(&code) {
-            println!("{}  paths={} {}", e.function.signature(), e.paths_explored,
-                if e.hit_symbolic_jump { "(cut at symbolic jump)" } else { "" });
+            println!(
+                "{}  paths={} {}",
+                e.function.signature(),
+                e.paths_explored,
+                if e.hit_symbolic_jump {
+                    "(cut at symbolic jump)"
+                } else {
+                    ""
+                }
+            );
             for (pc, loc) in &e.loads {
                 println!("  load  @{pc:<5} cd[{loc}]");
             }
@@ -47,14 +55,20 @@ fn main() {
                 println!("  copy  @{pc:<5} src={src} len={len}");
             }
             for (pc, cond, is_loop) in &e.guards {
-                println!("  guard @{pc:<5} {cond}{}", if *is_loop { "  [loop]" } else { "" });
+                println!(
+                    "  guard @{pc:<5} {cond}{}",
+                    if *is_loop { "  [loop]" } else { "" }
+                );
             }
         }
         return;
     }
     let recovered = SigRec::new().recover(&code);
     if recovered.is_empty() {
-        println!("no public/external functions found ({} bytes of code)", code.len());
+        println!(
+            "no public/external functions found ({} bytes of code)",
+            code.len()
+        );
         return;
     }
     println!(
@@ -84,7 +98,7 @@ fn main() {
 fn parse_hex(s: &str) -> Option<Vec<u8>> {
     let cleaned: String = s.chars().filter(|c| !c.is_whitespace()).collect();
     let cleaned = cleaned.strip_prefix("0x").unwrap_or(&cleaned);
-    if cleaned.len() % 2 != 0 {
+    if !cleaned.len().is_multiple_of(2) {
         return None;
     }
     (0..cleaned.len())

@@ -1,0 +1,248 @@
+//! Content-addressed recovery cache.
+//!
+//! Deployed EVM bytecode is massively duplicated — factory clones, proxy
+//! templates and copy-pasted token contracts mean the same runtime code
+//! appears thousands of times on chain. The cache makes repeated recovery
+//! free at two granularities:
+//!
+//! - **contract level**, keyed by `keccak256(runtime code)`: a byte-identical
+//!   contract is recovered once and every later [`SigRec::recover`] call
+//!   returns the memoised result;
+//! - **function level**, keyed by `(body-span hash, entry pc)`: two contracts
+//!   that differ only in, say, their dispatcher ordering or unrelated
+//!   functions still share the recovery of any function whose body bytes from
+//!   its entry onwards are identical. The span hash covers `code[entry..]`;
+//!   soundness is enforced dynamically — a function is memoised at this
+//!   level only when TASE never executed an instruction below its entry
+//!   (`FunctionFacts::visited_below_entry`), because only then does its
+//!   behaviour depend solely on the hashed span.
+//!
+//! The cache is shared: cloning a [`SigRec`] clones an `Arc` handle, so all
+//! batch workers populate and profit from one table.
+//!
+//! [`SigRec::recover`]: crate::SigRec::recover
+//! [`SigRec`]: crate::SigRec
+
+use crate::infer::Language;
+use crate::pipeline::RecoveredFunction;
+use crate::rules::RuleId;
+use sigrec_abi::AbiType;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The contract-independent part of one function's recovery. The selector
+/// and entry pc are *not* cached — they come from the dispatcher of
+/// whichever contract is being recovered.
+#[derive(Clone, Debug)]
+pub struct CachedFunction {
+    /// Recovered parameter types in order.
+    pub params: Vec<AbiType>,
+    /// Detected source language.
+    pub language: Language,
+    /// Rules applied during recovery.
+    pub rules: Vec<RuleId>,
+}
+
+/// Hit/miss counters for both cache levels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Contract-level lookups that found a memoised result.
+    pub contract_hits: u64,
+    /// Contract-level lookups that missed.
+    pub contract_misses: u64,
+    /// Function-level lookups that found a memoised result.
+    pub function_hits: u64,
+    /// Function-level lookups that missed.
+    pub function_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of contract lookups served from the cache (0 when idle).
+    pub fn contract_hit_rate(&self) -> f64 {
+        rate(self.contract_hits, self.contract_misses)
+    }
+
+    /// Fraction of function lookups served from the cache (0 when idle).
+    pub fn function_hit_rate(&self) -> f64 {
+        rate(self.function_hits, self.function_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    contracts: Mutex<HashMap<[u8; 32], Arc<Vec<RecoveredFunction>>>>,
+    functions: Mutex<HashMap<(u64, usize), CachedFunction>>,
+    contract_hits: AtomicU64,
+    contract_misses: AtomicU64,
+    function_hits: AtomicU64,
+    function_misses: AtomicU64,
+}
+
+/// A shared, thread-safe, content-addressed memo of recovery results.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryCache {
+    inner: Arc<CacheInner>,
+}
+
+impl RecoveryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a whole contract by its code hash.
+    pub fn lookup_contract(&self, key: &[u8; 32]) -> Option<Arc<Vec<RecoveredFunction>>> {
+        let hit = self
+            .inner
+            .contracts
+            .lock()
+            .expect("cache poisoned")
+            .get(key)
+            .cloned();
+        match &hit {
+            Some(_) => self.inner.contract_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.contract_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Memoises a whole contract's recovery.
+    pub fn store_contract(&self, key: [u8; 32], functions: Vec<RecoveredFunction>) {
+        self.inner
+            .contracts
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, Arc::new(functions));
+    }
+
+    /// Looks up one function by `(body-span hash, entry pc)`.
+    pub fn lookup_function(&self, span_hash: u64, entry: usize) -> Option<CachedFunction> {
+        let hit = self
+            .inner
+            .functions
+            .lock()
+            .expect("cache poisoned")
+            .get(&(span_hash, entry))
+            .cloned();
+        match &hit {
+            Some(_) => self.inner.function_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.function_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Memoises one function's recovery.
+    pub fn store_function(&self, span_hash: u64, entry: usize, cached: CachedFunction) {
+        self.inner
+            .functions
+            .lock()
+            .expect("cache poisoned")
+            .insert((span_hash, entry), cached);
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            contract_hits: self.inner.contract_hits.load(Ordering::Relaxed),
+            contract_misses: self.inner.contract_misses.load(Ordering::Relaxed),
+            function_hits: self.inner.function_hits.load(Ordering::Relaxed),
+            function_misses: self.inner.function_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoised contracts.
+    pub fn contract_count(&self) -> usize {
+        self.inner.contracts.lock().expect("cache poisoned").len()
+    }
+
+    /// Number of memoised functions.
+    pub fn function_count(&self) -> usize {
+        self.inner.functions.lock().expect("cache poisoned").len()
+    }
+}
+
+/// Hashes the function body span `code[entry..]` (FNV-1a, 64-bit).
+///
+/// Cheap enough to run per dispatcher entry; the `(hash, entry)` pair keys
+/// the function-level cache.
+pub fn body_span_hash(code: &[u8], entry: usize) -> u64 {
+    let span = code.get(entry..).unwrap_or(&[]);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in span {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_level_round_trip_and_stats() {
+        let cache = RecoveryCache::new();
+        let key = [7u8; 32];
+        assert!(cache.lookup_contract(&key).is_none());
+        cache.store_contract(key, Vec::new());
+        assert!(cache.lookup_contract(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.contract_hits, 1);
+        assert_eq!(stats.contract_misses, 1);
+        assert!((stats.contract_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn function_level_round_trip() {
+        let cache = RecoveryCache::new();
+        assert!(cache.lookup_function(42, 7).is_none());
+        cache.store_function(
+            42,
+            7,
+            CachedFunction {
+                params: Vec::new(),
+                language: Language::Solidity,
+                rules: Vec::new(),
+            },
+        );
+        assert!(cache.lookup_function(42, 7).is_some());
+        assert!(cache.lookup_function(42, 8).is_none());
+        assert_eq!(cache.function_count(), 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = RecoveryCache::new();
+        let b = a.clone();
+        a.store_contract([1u8; 32], Vec::new());
+        assert!(b.lookup_contract(&[1u8; 32]).is_some());
+    }
+
+    #[test]
+    fn body_span_hash_depends_on_entry_and_bytes() {
+        let code = [0x60, 0x01, 0x60, 0x02, 0x01];
+        assert_eq!(body_span_hash(&code, 1), body_span_hash(&code, 1));
+        assert_ne!(body_span_hash(&code, 0), body_span_hash(&code, 1));
+        let mutated = [0x60, 0x01, 0x60, 0x03, 0x01];
+        assert_ne!(body_span_hash(&code, 1), body_span_hash(&mutated, 1));
+        // Out-of-range entries hash the empty span.
+        assert_eq!(body_span_hash(&code, 99), body_span_hash(&[], 0));
+    }
+
+    #[test]
+    fn idle_rates_are_zero() {
+        let stats = RecoveryCache::new().stats();
+        assert_eq!(stats.contract_hit_rate(), 0.0);
+        assert_eq!(stats.function_hit_rate(), 0.0);
+    }
+}

@@ -14,8 +14,8 @@
 //! lets the inference engine scope loop bounds to the facts inside the loop
 //! body by pc range.
 
-use crate::expr::{bin, un, BinOp, Expr, UnOp};
-use crate::facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, UseFact, Usage};
+use crate::expr::{bin, un, BinOp, Expr, ExprKind, UnOp};
+use crate::facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 use crate::memory::SymMemory;
 use sigrec_evm::{Disassembly, Opcode, U256};
 use std::collections::HashMap;
@@ -67,13 +67,23 @@ pub struct Tase<'a> {
     next_sym: u32,
     facts: FunctionFacts,
     total_steps: usize,
+    min_pc: usize,
 }
 
 impl<'a> Tase<'a> {
     /// Creates an executor over a disassembly.
     pub fn new(disasm: &'a Disassembly, config: TaseConfig) -> Self {
         let loop_exits = detect_loop_guards(disasm);
-        Tase { disasm, config, loop_exits, syms: HashMap::new(), next_sym: 0, facts: FunctionFacts::default(), total_steps: 0 }
+        Tase {
+            disasm,
+            config,
+            loop_exits,
+            syms: HashMap::new(),
+            next_sym: 0,
+            facts: FunctionFacts::default(),
+            total_steps: 0,
+            min_pc: usize::MAX,
+        }
     }
 
     /// Explores the function whose body starts at `entry`, returning the
@@ -91,14 +101,14 @@ impl<'a> Tase<'a> {
         let mut worklist = vec![init];
         let mut paths = 0usize;
         while let Some(state) = worklist.pop() {
-            if paths >= self.config.max_paths || self.total_steps >= self.config.max_total_steps
-            {
+            if paths >= self.config.max_paths || self.total_steps >= self.config.max_total_steps {
                 break;
             }
             paths += 1;
             self.run_path(state, &mut worklist);
         }
         self.facts.paths_explored = paths;
+        self.facts.visited_below_entry = self.min_pc < entry;
         self.facts
     }
 
@@ -112,7 +122,7 @@ impl<'a> Tase<'a> {
                 id
             }
         };
-        Rc::new(Expr::FreeSym(id))
+        Expr::free_sym(id)
     }
 
     fn fresh(&mut self, tag: &str, pc: usize) -> Rc<Expr> {
@@ -129,6 +139,7 @@ impl<'a> Tase<'a> {
             let Some(ins) = self.disasm.at(st.pc) else {
                 return; // ran off the end: implicit STOP
             };
+            self.min_pc = self.min_pc.min(st.pc);
             st.steps += 1;
             self.total_steps += 1;
             let op = ins.opcode;
@@ -161,7 +172,9 @@ impl<'a> Tase<'a> {
         }
         match op {
             Stop | Return | Revert | SelfDestruct | Invalid(_) => return Flow::End,
-            Push(_) => st.stack.push(Expr::constant(push_val.unwrap_or(U256::ZERO))),
+            Push(_) => st
+                .stack
+                .push(Expr::constant(push_val.unwrap_or(U256::ZERO))),
             Pop => {
                 pop!();
             }
@@ -199,7 +212,9 @@ impl<'a> Tase<'a> {
                 //   SHR(SHL(x,k),k)  == AND(x, low_mask(256-k))
                 //   SHL(SHR(x,k),k)  == AND(x, high_mask(256-k))
                 //   SAR(SHL(x,k),k)  == SIGNEXTEND((256-k)/8 - 1, x)
-                if let (Some(k), Expr::Binary(inner_op, x, k2)) = (amount.as_const(), &*value) {
+                if let (Some(k), ExprKind::Binary(inner_op, x, k2)) =
+                    (amount.as_const(), value.kind())
+                {
                     if k2.as_const() == Some(k) && x.depends_on_calldata() {
                         if let Some(kk) = k.as_u64() {
                             if kk > 0 && kk < 256 && kk % 8 == 0 {
@@ -225,7 +240,7 @@ impl<'a> Tase<'a> {
                         }
                     }
                 }
-                if op == Sar && !matches!(&*value, Expr::Binary(BinOp::Shl, ..)) {
+                if op == Sar && !matches!(value.kind(), ExprKind::Binary(BinOp::Shl, ..)) {
                     self.record_signed_use(pc, &value);
                 }
                 st.stack.push(bin(bop, value, amount));
@@ -241,7 +256,10 @@ impl<'a> Tase<'a> {
             SignExtend => {
                 let idx = pop!();
                 let value = pop!();
-                if let (Some(b), true) = (idx.eval().and_then(|v| v.as_u64()), value.depends_on_calldata()) {
+                if let (Some(b), true) = (
+                    idx.eval().and_then(|v| v.as_u64()),
+                    value.depends_on_calldata(),
+                ) {
                     self.add_use(pc, &value, Usage::SignExtendFrom(b));
                 }
                 st.stack.push(bin(BinOp::SignExtend, value, idx));
@@ -250,14 +268,14 @@ impl<'a> Tase<'a> {
                 let a = pop!();
                 // EQ(x, 0) is ISZERO in disguise — the generalised form of
                 // the double-negation bool hint (R14).
-                let negated_calldata = match &*a {
-                    Expr::Unary(UnOp::IsZero, inner) => Some(inner),
-                    Expr::Binary(BinOp::Eq, x, z)
+                let negated_calldata = match a.kind() {
+                    ExprKind::Unary(UnOp::IsZero, inner) => Some(inner),
+                    ExprKind::Binary(BinOp::Eq, x, z)
                         if z.as_const() == Some(U256::ZERO) && x.depends_on_calldata() =>
                     {
                         Some(x)
                     }
-                    Expr::Binary(BinOp::Eq, z, x)
+                    ExprKind::Binary(BinOp::Eq, z, x)
                         if z.as_const() == Some(U256::ZERO) && x.depends_on_calldata() =>
                     {
                         Some(x)
@@ -290,11 +308,15 @@ impl<'a> Tase<'a> {
             }
             CallDataLoad => {
                 let loc = pop!();
-                let value = Rc::new(Expr::CalldataWord(Rc::clone(&loc)));
-                self.facts.add_load(LoadFact { pc, loc, value: Rc::clone(&value) });
+                let value = Expr::calldata_word(Rc::clone(&loc));
+                self.facts.add_load(LoadFact {
+                    pc,
+                    loc,
+                    value: Rc::clone(&value),
+                });
                 st.stack.push(value);
             }
-            CallDataSize => st.stack.push(Rc::new(Expr::CalldataSize)),
+            CallDataSize => st.stack.push(Expr::calldata_size()),
             CallDataCopy => {
                 let dst = pop!();
                 let src = pop!();
@@ -320,7 +342,8 @@ impl<'a> Tase<'a> {
             MStore => {
                 let addr = pop!();
                 let value = pop!();
-                st.memory.store_word(addr.eval().and_then(|v| v.as_u64()), value);
+                st.memory
+                    .store_word(addr.eval().and_then(|v| v.as_u64()), value);
             }
             MStore8 => {
                 pop!();
@@ -434,10 +457,10 @@ impl<'a> Tase<'a> {
     /// stripped), skipping calldatasize well-formedness checks.
     fn record_guard(&mut self, pc: usize, cond: &Rc<Expr>) {
         let mut base = cond;
-        while let Expr::Unary(UnOp::IsZero, inner) = &**base {
+        while let ExprKind::Unary(UnOp::IsZero, inner) = base.kind() {
             base = inner;
         }
-        if let Expr::Binary(op, ..) = &**base {
+        if let ExprKind::Binary(op, ..) = base.kind() {
             if matches!(op, BinOp::Lt | BinOp::Gt | BinOp::SLt | BinOp::SGt)
                 && !base.depends_on_calldatasize()
             {
@@ -478,28 +501,26 @@ impl<'a> Tase<'a> {
                 self.record_signed_use(pc, a);
                 self.record_signed_use(pc, b);
             }
-            BinOp::SLt | BinOp::SGt => {
+            BinOp::SLt | BinOp::SGt
                 // Vyper range check shape: value (first operand) compared
                 // against a constant bound.
-                if a.depends_on_calldata() {
+                if a.depends_on_calldata() => {
                     match b.as_const() {
                         Some(c) => self.add_use(pc, a, Usage::RangeSigned(c)),
                         None => self.record_signed_use(pc, a),
                     }
                 }
-            }
-            BinOp::Lt | BinOp::Gt => {
+            BinOp::Lt | BinOp::Gt
                 // Vyper range checks compare the *value* (first operand)
                 // against a constant bound. The bound side of an array
                 // bound check (`i < num`) is calldata-derived too but must
                 // not be misread as a range check, so only the value side
                 // is recorded.
-                if a.depends_on_calldata() && !a.depends_on_calldatasize() {
+                if a.depends_on_calldata() && !a.depends_on_calldatasize() => {
                     if let Some(c) = b.as_const() {
                         self.add_use(pc, a, Usage::RangeUnsigned(c));
                     }
                 }
-            }
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::Exp => {
                 // R16's discriminator: arithmetic on a *masked* value. A raw
                 // calldata word fed to ADD is usually pointer arithmetic
@@ -527,8 +548,8 @@ enum Flow {
 fn contains_masked_calldata(e: &Rc<Expr>) -> bool {
     let mut found = false;
     e.walk(&mut |n| {
-        match n {
-            Expr::Binary(BinOp::And, x, y) => {
+        match n.kind() {
+            ExprKind::Binary(BinOp::And, x, y) => {
                 let masked = (x.as_const().is_some() && y.depends_on_calldata())
                     || (y.as_const().is_some() && x.depends_on_calldata());
                 if masked {
@@ -536,9 +557,9 @@ fn contains_masked_calldata(e: &Rc<Expr>) -> bool {
                 }
             }
             // Shift-pair masks (the generalised rule shapes).
-            Expr::Binary(BinOp::Shr, v, k) | Expr::Binary(BinOp::Shl, v, k) => {
-                if let (Expr::Binary(BinOp::Shl | BinOp::Shr, x, k2), Some(kc)) =
-                    (&**v, k.as_const())
+            ExprKind::Binary(BinOp::Shr, v, k) | ExprKind::Binary(BinOp::Shl, v, k) => {
+                if let (ExprKind::Binary(BinOp::Shl | BinOp::Shr, x, k2), Some(kc)) =
+                    (v.kind(), k.as_const())
                 {
                     if k2.as_const() == Some(kc) && x.depends_on_calldata() {
                         found = true;
@@ -599,9 +620,7 @@ fn detect_loop_guards(disasm: &Disassembly) -> HashMap<usize, usize> {
         if !is_jumpi {
             continue;
         }
-        let has_back_edge = const_jumps
-            .iter()
-            .any(|&(j, t)| j > g && j < e && t <= g);
+        let has_back_edge = const_jumps.iter().any(|&(j, t)| j > g && j < e && t <= g);
         if has_back_edge {
             out.insert(g, e);
         }
@@ -668,7 +687,11 @@ mod tests {
         a.jumpdest(head);
         a.op(Op::Dup(1)).push_u64(3).op(Op::Swap(1)).op(Op::Lt);
         a.op(Op::IsZero).push_label(exit).op(Op::JumpI);
-        a.op(Op::Dup(1)).push_u64(32).op(Op::Mul).push_u64(4).op(Op::Add);
+        a.op(Op::Dup(1))
+            .push_u64(32)
+            .op(Op::Mul)
+            .push_u64(4)
+            .op(Op::Add);
         a.op(Op::CallDataLoad).op(Op::Pop);
         a.push_u64(1).op(Op::Add);
         a.push_label(head).op(Op::Jump);
@@ -694,7 +717,11 @@ mod tests {
         a.push_u64(4).op(Op::CallDataLoad); // bound
         a.op(Op::Dup(2)).op(Op::Lt); // i < bound
         a.op(Op::IsZero).push_label(exit).op(Op::JumpI);
-        a.op(Op::Dup(1)).push_u64(32).op(Op::Mul).push_u64(36).op(Op::Add);
+        a.op(Op::Dup(1))
+            .push_u64(32)
+            .op(Op::Mul)
+            .push_u64(36)
+            .op(Op::Add);
         a.op(Op::CallDataLoad).op(Op::Pop);
         a.push_u64(1).op(Op::Add);
         a.push_label(head).op(Op::Jump);
@@ -711,7 +738,10 @@ mod tests {
     fn mload_from_copied_region_synthesises_calldata() {
         // CALLDATACOPY(0x80, 36, 64); MLOAD(0xa0); AND 0xff.
         let mut a = Assembler::new();
-        a.push_u64(64).push_u64(36).push_u64(0x80).op(Op::CallDataCopy);
+        a.push_u64(64)
+            .push_u64(36)
+            .push_u64(0x80)
+            .op(Op::CallDataCopy);
         a.push_u64(0xa0).op(Op::MLoad);
         a.push_u64(0xff).op(Op::And).op(Op::Pop).op(Op::Stop);
         let f = explore(&a.assemble(), 0);
@@ -722,7 +752,11 @@ mod tests {
             .find(|u| u.usage == Usage::MaskAnd(U256::from(0xffu64)))
             .expect("mask use on copied element");
         // The use keys point at calldata position 36+32 = 68 = 0x44.
-        assert!(mask.keys.iter().any(|k| k.contains("0x44")), "{:?}", mask.keys);
+        assert!(
+            mask.keys.iter().any(|k| k.contains("0x44")),
+            "{:?}",
+            mask.keys
+        );
     }
 
     #[test]
@@ -775,7 +809,13 @@ mod tests {
         a.push_u64(4).op(Op::CallDataLoad).op(Op::Pop).op(Op::Stop);
         let f = explore(&a.assemble(), 0);
         assert_eq!(f.guards.len(), 1);
-        assert!(f.guards[0].loop_exit_pc.is_none(), "revert guard is not a loop");
-        assert!(matches!(&*f.guards[0].cond, Expr::Binary(BinOp::Lt, ..)));
+        assert!(
+            f.guards[0].loop_exit_pc.is_none(),
+            "revert guard is not a loop"
+        );
+        assert!(matches!(
+            f.guards[0].cond.kind(),
+            ExprKind::Binary(BinOp::Lt, ..)
+        ));
     }
 }

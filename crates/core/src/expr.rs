@@ -8,8 +8,26 @@
 //! [`Expr`] deliberately preserves the full operation tree rather than
 //! constant-folding it away. Concrete evaluation is available separately
 //! through [`Expr::eval`].
+//!
+//! # Hash consing
+//!
+//! Expressions are *hash consed*: every node is built through a thread-local
+//! interner keyed by structural hash, so structurally identical subtrees are
+//! physically shared (`Rc` pointer equality) within a thread. Each node
+//! caches its 64-bit structural hash and two dependency flags at
+//! construction, which turns the hot TASE-path predicates — equality,
+//! [`Expr::dag_hash`], [`Expr::depends_on_calldata`],
+//! [`Expr::depends_on_calldatasize`], [`Expr::key`] — into O(1) reads
+//! instead of full-DAG walks, and lets containment checks compare cached
+//! hashes while walking each distinct node once.
+//!
+//! The interner lives for the thread and is cleared wholesale when it
+//! exceeds [`INTERNER_CAP`] entries; interned nodes remain valid after a
+//! clear (sharing is an optimisation, never a correctness requirement).
 
 use sigrec_evm::U256;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -48,20 +66,12 @@ pub enum UnOp {
     Not,
 }
 
-/// A symbolic 256-bit value.
+/// The shape of a symbolic 256-bit value (the payload of an [`Expr`] node).
 ///
 /// `Shl`/`Shr`/`Sar`/`Byte`/`SignExtend` are normalised to
 /// `(value, amount)` operand order regardless of EVM stack order.
-///
-/// Expressions form a *DAG*: `DUP`ed stack values share subtrees via `Rc`,
-/// so a 20-level offset chain is linear in memory even though its tree
-/// expansion is exponential. Every recursive operation here (equality,
-/// containment, walking, evaluation) is therefore DAG-aware — shared nodes
-/// are visited once — keeping deep nested-array analysis linear (the
-/// Fig. 18 experiment runs to dimension 20). Equality is by 64-bit
-/// structural hash; see [`Expr::dag_hash`].
 #[derive(Clone)]
-pub enum Expr {
+pub enum ExprKind {
     /// A compile-time constant.
     Const(U256),
     /// `CALLDATALOAD(loc)`: 32 bytes of call data at a (possibly symbolic)
@@ -80,26 +90,131 @@ pub enum Expr {
     Unary(UnOp, Rc<Expr>),
 }
 
+/// A hash-consed symbolic 256-bit value.
+///
+/// Expressions form a *DAG*: `DUP`ed stack values share subtrees via `Rc`,
+/// and hash consing shares separately-built but structurally identical
+/// subtrees too — so a 20-level offset chain is linear in memory even
+/// though its tree expansion is exponential. Every recursive operation here
+/// (containment, walking, evaluation) is DAG-aware — shared nodes are
+/// visited once — keeping deep nested-array analysis linear (the Fig. 18
+/// experiment runs to dimension 20). Equality is by the cached 64-bit
+/// structural hash; see [`Expr::dag_hash`].
+pub struct Expr {
+    kind: ExprKind,
+    hash: u64,
+    flags: u8,
+}
+
+/// Flag bit: some subexpression is a `CalldataWord`.
+const DEP_CALLDATA: u8 = 1;
+/// Flag bit: some subexpression is `CalldataSize`.
+const DEP_CDSIZE: u8 = 2;
+
+/// Entry cap of the thread-local interner; when exceeded, the table is
+/// cleared wholesale (already-interned nodes stay valid).
+pub const INTERNER_CAP: usize = 1 << 18;
+
+thread_local! {
+    static INTERNER: RefCell<HashMap<u64, Rc<Expr>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Number of live entries in this thread's expression interner.
+pub fn interner_len() -> usize {
+    INTERNER.with(|t| t.borrow().len())
+}
+
+/// Clears this thread's expression interner. Existing `Rc<Expr>` values
+/// stay valid; only future sharing is reset.
+pub fn interner_clear() {
+    INTERNER.with(|t| t.borrow_mut().clear());
+}
+
+/// Builds (or reuses) the unique interned node for `kind`.
+fn intern(kind: ExprKind) -> Rc<Expr> {
+    let hash = hash_kind(&kind);
+    let flags = flags_of(&kind);
+    INTERNER.with(|t| {
+        let mut table = t.borrow_mut();
+        if let Some(e) = table.get(&hash) {
+            return Rc::clone(e);
+        }
+        if table.len() >= INTERNER_CAP {
+            table.clear();
+        }
+        let e = Rc::new(Expr { kind, hash, flags });
+        table.insert(hash, Rc::clone(&e));
+        e
+    })
+}
+
+/// Structural hash of a node from its children's cached hashes — O(1).
+fn hash_kind(kind: &ExprKind) -> u64 {
+    match kind {
+        ExprKind::Const(v) => {
+            let l = v.limbs();
+            mix(mix(mix(mix(1, l[0]), l[1]), l[2]), l[3])
+        }
+        ExprKind::CalldataWord(loc) => mix(2, loc.hash),
+        ExprKind::CalldataSize => mix(3, 0),
+        ExprKind::FreeSym(id) => mix(4, *id as u64),
+        ExprKind::Unary(op, a) => mix(mix(5, *op as u64), a.hash),
+        ExprKind::Binary(op, a, b) => mix(mix(mix(6, *op as u64), a.hash), b.hash),
+    }
+}
+
+/// Dependency flags of a node from its children's cached flags — O(1).
+fn flags_of(kind: &ExprKind) -> u8 {
+    match kind {
+        ExprKind::Const(_) | ExprKind::FreeSym(_) => 0,
+        ExprKind::CalldataWord(loc) => loc.flags | DEP_CALLDATA,
+        ExprKind::CalldataSize => DEP_CDSIZE,
+        ExprKind::Unary(_, a) => a.flags,
+        ExprKind::Binary(_, a, b) => a.flags | b.flags,
+    }
+}
+
 impl Expr {
+    /// The node's shape, for pattern matching.
+    pub fn kind(&self) -> &ExprKind {
+        &self.kind
+    }
+
     /// Shared constant zero.
     pub fn zero() -> Rc<Expr> {
-        Rc::new(Expr::Const(U256::ZERO))
+        Expr::constant(U256::ZERO)
     }
 
     /// Wraps a `u64` constant.
     pub fn c64(v: u64) -> Rc<Expr> {
-        Rc::new(Expr::Const(U256::from(v)))
+        Expr::constant(U256::from(v))
     }
 
     /// Wraps a [`U256`] constant.
     pub fn constant(v: U256) -> Rc<Expr> {
-        Rc::new(Expr::Const(v))
+        intern(ExprKind::Const(v))
+    }
+
+    /// Builds `CALLDATALOAD(loc)`.
+    pub fn calldata_word(loc: Rc<Expr>) -> Rc<Expr> {
+        intern(ExprKind::CalldataWord(loc))
+    }
+
+    /// Builds `CALLDATASIZE`.
+    pub fn calldata_size() -> Rc<Expr> {
+        intern(ExprKind::CalldataSize)
+    }
+
+    /// Builds the free symbol with the given id.
+    pub fn free_sym(id: u32) -> Rc<Expr> {
+        intern(ExprKind::FreeSym(id))
     }
 
     /// The constant value, if this node is a constant.
     pub fn as_const(&self) -> Option<U256> {
-        match self {
-            Expr::Const(v) => Some(*v),
+        match &self.kind {
+            ExprKind::Const(v) => Some(*v),
             _ => None,
         }
     }
@@ -107,15 +222,15 @@ impl Expr {
     /// Fully evaluates the expression if every leaf is constant
     /// (DAG-aware: shared nodes evaluate once).
     pub fn eval(&self) -> Option<U256> {
-        fn go(e: &Expr, memo: &mut std::collections::HashMap<usize, Option<U256>>) -> Option<U256> {
+        fn go(e: &Expr, memo: &mut HashMap<usize, Option<U256>>) -> Option<U256> {
             let key = e as *const Expr as usize;
             if let Some(v) = memo.get(&key) {
                 return *v;
             }
-            let v = match e {
-                Expr::Const(v) => Some(*v),
-                Expr::CalldataWord(_) | Expr::CalldataSize | Expr::FreeSym(_) => None,
-                Expr::Unary(op, a) => go(a, memo).map(|a| match op {
+            let v = match e.kind() {
+                ExprKind::Const(v) => Some(*v),
+                ExprKind::CalldataWord(_) | ExprKind::CalldataSize | ExprKind::FreeSym(_) => None,
+                ExprKind::Unary(op, a) => go(a, memo).map(|a| match op {
                     UnOp::IsZero => {
                         if a.is_zero() {
                             U256::ONE
@@ -125,7 +240,7 @@ impl Expr {
                     }
                     UnOp::Not => !a,
                 }),
-                Expr::Binary(op, a, b) => match (go(a, memo), go(b, memo)) {
+                ExprKind::Binary(op, a, b) => match (go(a, memo), go(b, memo)) {
                     (Some(a), Some(b)) => Some(apply_binop(*op, a, b)),
                     _ => None,
                 },
@@ -133,38 +248,27 @@ impl Expr {
             memo.insert(key, v);
             v
         }
-        go(self, &mut std::collections::HashMap::new())
+        go(self, &mut HashMap::new())
     }
 
-    /// A 64-bit structural hash, memoised over the expression DAG. Two
-    /// structurally equal expressions hash equally; collisions between
-    /// distinct expressions are possible in principle (2⁻⁶⁴-ish per pair)
-    /// and accepted — this backs `PartialEq`, `contains`, and `key`.
+    /// The 64-bit structural hash, cached at construction. Two structurally
+    /// equal expressions hash equally; collisions between distinct
+    /// expressions are possible in principle (2⁻⁶⁴-ish per pair) and
+    /// accepted — this backs `PartialEq`, `contains`, and `key`.
     pub fn dag_hash(&self) -> u64 {
-        hash_into(self, &mut std::collections::HashMap::new(), &mut |_, _| {})
+        self.hash
     }
 
     /// True if any subexpression is a `CALLDATALOAD` (the value depends on
-    /// the call data beyond its size).
+    /// the call data beyond its size). O(1): cached at construction.
     pub fn depends_on_calldata(&self) -> bool {
-        let mut found = false;
-        self.walk(&mut |e| {
-            if matches!(e, Expr::CalldataWord(_)) {
-                found = true;
-            }
-        });
-        found
+        self.flags & DEP_CALLDATA != 0
     }
 
-    /// True if any subexpression is `CALLDATASIZE`.
+    /// True if any subexpression is `CALLDATASIZE`. O(1): cached at
+    /// construction.
     pub fn depends_on_calldatasize(&self) -> bool {
-        let mut found = false;
-        self.walk(&mut |e| {
-            if matches!(e, Expr::CalldataSize) {
-                found = true;
-            }
-        });
-        found
+        self.flags & DEP_CDSIZE != 0
     }
 
     /// Collects the location expressions of every `CALLDATALOAD` node,
@@ -173,7 +277,7 @@ impl Expr {
     pub fn calldata_locs(&self) -> Vec<Rc<Expr>> {
         let mut out = Vec::new();
         self.walk(&mut |e| {
-            if let Expr::CalldataWord(loc) = e {
+            if let ExprKind::CalldataWord(loc) = e.kind() {
                 out.push(Rc::clone(loc));
             }
         });
@@ -184,7 +288,7 @@ impl Expr {
     pub fn free_syms(&self) -> Vec<u32> {
         let mut out = Vec::new();
         self.walk(&mut |e| {
-            if let Expr::FreeSym(id) = e {
+            if let ExprKind::FreeSym(id) = e.kind() {
                 out.push(*id);
             }
         });
@@ -199,7 +303,7 @@ impl Expr {
         let kc = U256::from(k);
         let mut found = false;
         self.walk(&mut |e| {
-            if let Expr::Binary(BinOp::Mul, a, b) = e {
+            if let ExprKind::Binary(BinOp::Mul, a, b) = e.kind() {
                 if a.as_const() == Some(kc) || b.as_const() == Some(kc) {
                     found = true;
                 }
@@ -209,14 +313,13 @@ impl Expr {
     }
 
     /// True if `needle` occurs as a subexpression (structural equality by
-    /// DAG hash — rule notation `exp(p) ∘ q`). Single bottom-up pass:
-    /// hashes are computed once per distinct node.
+    /// DAG hash — rule notation `exp(p) ∘ q`). Each distinct node compares
+    /// its cached hash once; no re-hashing.
     pub fn contains(&self, needle: &Expr) -> bool {
-        let target = needle.dag_hash();
-        let mut memo = std::collections::HashMap::new();
+        let target = needle.hash;
         let mut found = false;
-        hash_into(self, &mut memo, &mut |h, _| {
-            if h == target {
+        self.walk(&mut |e| {
+            if e.hash == target {
                 found = true;
             }
         });
@@ -226,50 +329,38 @@ impl Expr {
     /// True if some `CalldataWord` node *other than* `needle` has `needle`
     /// inside its location — i.e. there is an intermediate load between
     /// this expression and `needle`. The complement of the rules' "one
-    /// level" relation, computed in one bottom-up pass: each node carries
-    /// (hash, contains-needle), and an intermediate load is a calldata word
-    /// whose own hash differs from the needle's while its location contains
-    /// it.
+    /// level" relation, computed in one bottom-up pass over distinct nodes
+    /// using the cached hashes.
     pub fn has_load_between(&self, needle: &Expr) -> bool {
-        let target = needle.dag_hash();
-        fn go(
-            e: &Expr,
-            target: u64,
-            memo: &mut std::collections::HashMap<usize, (u64, bool)>,
-            bad: &mut bool,
-        ) -> (u64, bool) {
+        let target = needle.hash;
+        // memo: node address → subtree contains the needle.
+        fn go(e: &Expr, target: u64, memo: &mut HashMap<usize, bool>, bad: &mut bool) -> bool {
             let key = e as *const Expr as usize;
-            if let Some(&r) = memo.get(&key) {
-                return r;
+            if let Some(&c) = memo.get(&key) {
+                return c;
             }
-            let (h, below) = match e {
-                Expr::CalldataWord(loc) => {
-                    let (lh, lc) = go(loc, target, memo, bad);
-                    let h = crate::expr::mix(2, lh);
-                    if h != target && lc {
+            let below = match e.kind() {
+                ExprKind::CalldataWord(loc) => {
+                    let lc = go(loc, target, memo, bad);
+                    if e.hash != target && lc {
                         *bad = true;
                     }
-                    (h, lc)
+                    lc
                 }
-                Expr::Const(_) | Expr::CalldataSize | Expr::FreeSym(_) => {
-                    (hash_into(e, &mut std::collections::HashMap::new(), &mut |_, _| {}), false)
-                }
-                Expr::Unary(op, a) => {
-                    let (ah, ac) = go(a, target, memo, bad);
-                    (mix(mix(5, *op as u64), ah), ac)
-                }
-                Expr::Binary(op, a, b) => {
-                    let (ah, ac) = go(a, target, memo, bad);
-                    let (bh, bc) = go(b, target, memo, bad);
-                    (mix(mix(mix(6, *op as u64), ah), bh), ac || bc)
+                ExprKind::Const(_) | ExprKind::CalldataSize | ExprKind::FreeSym(_) => false,
+                ExprKind::Unary(_, a) => go(a, target, memo, bad),
+                ExprKind::Binary(_, a, b) => {
+                    let ac = go(a, target, memo, bad);
+                    let bc = go(b, target, memo, bad);
+                    ac || bc
                 }
             };
-            let contains = below || h == target;
-            memo.insert(key, (h, contains));
-            (h, contains)
+            let contains = below || e.hash == target;
+            memo.insert(key, contains);
+            contains
         }
         let mut bad = false;
-        go(self, target, &mut std::collections::HashMap::new(), &mut bad);
+        go(self, target, &mut HashMap::new(), &mut bad);
         bad
     }
 
@@ -277,9 +368,9 @@ impl Expr {
     /// the root — e.g. `(CDW(4) + 36) + i*32` yields 36. Used to strip the
     /// selector/num skip from item locations.
     pub fn const_addend(&self) -> U256 {
-        match self {
-            Expr::Const(v) => *v,
-            Expr::Binary(BinOp::Add, a, b) => a.const_addend() + b.const_addend(),
+        match &self.kind {
+            ExprKind::Const(v) => *v,
+            ExprKind::Binary(BinOp::Add, a, b) => a.const_addend() + b.const_addend(),
             _ => U256::ZERO,
         }
     }
@@ -292,10 +383,10 @@ impl Expr {
                 return;
             }
             f(e);
-            match e {
-                Expr::CalldataWord(loc) => go(loc, seen, f),
-                Expr::Unary(_, a) => go(a, seen, f),
-                Expr::Binary(_, a, b) => {
+            match e.kind() {
+                ExprKind::CalldataWord(loc) => go(loc, seen, f),
+                ExprKind::Unary(_, a) => go(a, seen, f),
+                ExprKind::Binary(_, a, b) => {
                     go(a, seen, f);
                     go(b, seen, f);
                 }
@@ -309,48 +400,21 @@ impl Expr {
     /// against `Load` facts: constants render as hex (so positional keys
     /// stay parseable), everything else keys by structural hash.
     pub fn key(&self) -> String {
-        match self {
-            Expr::Const(v) => format!("0x{:x}", v),
-            other => format!("e{:016x}", other.dag_hash()),
+        match &self.kind {
+            ExprKind::Const(v) => format!("0x{:x}", v),
+            _ => format!("e{:016x}", self.hash),
         }
     }
 }
 
-/// Post-order hash of every distinct DAG node, memoised in `memo` (keyed
-/// by node address) and reported to `visit` as `(hash, node)` — once per
-/// distinct node.
+/// The 64-bit hash mixer behind [`Expr::dag_hash`].
 fn mix(mut h: u64, v: u64) -> u64 {
-    h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h ^= v
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(h << 6)
+        .wrapping_add(h >> 2);
     h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
     h ^ (h >> 33)
-}
-
-fn hash_into(
-    e: &Expr,
-    memo: &mut std::collections::HashMap<usize, u64>,
-    visit: &mut impl FnMut(u64, &Expr),
-) -> u64 {
-    let key = e as *const Expr as usize;
-    if let Some(&h) = memo.get(&key) {
-        return h;
-    }
-    let h = match e {
-        Expr::Const(v) => {
-            let l = v.limbs();
-            mix(mix(mix(mix(1, l[0]), l[1]), l[2]), l[3])
-        }
-        Expr::CalldataWord(loc) => mix(2, hash_into(loc, memo, visit)),
-        Expr::CalldataSize => mix(3, 0),
-        Expr::FreeSym(id) => mix(4, *id as u64),
-        Expr::Unary(op, a) => mix(mix(5, *op as u64), hash_into(a, memo, visit)),
-        Expr::Binary(op, a, b) => mix(
-            mix(mix(6, *op as u64), hash_into(a, memo, visit)),
-            hash_into(b, memo, visit),
-        ),
-    };
-    memo.insert(key, h);
-    visit(h, e);
-    h
 }
 
 /// Applies a binary operator to concrete values with EVM semantics.
@@ -384,7 +448,7 @@ pub fn apply_binop(op: BinOp, a: U256, b: U256) -> U256 {
 
 impl PartialEq for Expr {
     fn eq(&self, other: &Self) -> bool {
-        std::ptr::eq(self, other) || self.dag_hash() == other.dag_hash()
+        std::ptr::eq(self, other) || self.hash == other.hash
     }
 }
 
@@ -397,21 +461,21 @@ impl fmt::Display for Expr {
                 // Deep shared DAGs expand exponentially as trees; summarise.
                 return write!(f, "…e{:08x}", e.dag_hash() as u32);
             }
-            match e {
-                Expr::Const(v) => write!(f, "0x{:x}", *v),
-                Expr::CalldataWord(loc) => {
+            match e.kind() {
+                ExprKind::Const(v) => write!(f, "0x{:x}", *v),
+                ExprKind::CalldataWord(loc) => {
                     write!(f, "cd[")?;
                     go(loc, depth + 1, f)?;
                     write!(f, "]")
                 }
-                Expr::CalldataSize => write!(f, "cdsize"),
-                Expr::FreeSym(id) => write!(f, "sym{}", id),
-                Expr::Unary(op, a) => {
+                ExprKind::CalldataSize => write!(f, "cdsize"),
+                ExprKind::FreeSym(id) => write!(f, "sym{}", id),
+                ExprKind::Unary(op, a) => {
                     write!(f, "{:?}(", op)?;
                     go(a, depth + 1, f)?;
                     write!(f, ")")
                 }
-                Expr::Binary(op, a, b) => {
+                ExprKind::Binary(op, a, b) => {
                     write!(f, "(")?;
                     go(a, depth + 1, f)?;
                     write!(f, " {:?} ", op)?;
@@ -447,11 +511,11 @@ pub fn bin(op: BinOp, a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
             BinOp::Mul | BinOp::Lt | BinOp::Gt | BinOp::SLt | BinOp::SGt
         );
         if !keep {
-            return Rc::new(Expr::Const(apply_binop(op, x, y)));
+            return Expr::constant(apply_binop(op, x, y));
         }
         let _ = (x, y);
     }
-    Rc::new(Expr::Binary(op, a, b))
+    intern(ExprKind::Binary(op, a, b))
 }
 
 /// Builds a unary node with constant folding.
@@ -467,9 +531,9 @@ pub fn un(op: UnOp, a: Rc<Expr>) -> Rc<Expr> {
             }
             UnOp::Not => !x,
         };
-        return Rc::new(Expr::Const(v));
+        return Expr::constant(v);
     }
-    Rc::new(Expr::Unary(op, a))
+    intern(ExprKind::Unary(op, a))
 }
 
 #[cfg(test)]
@@ -477,7 +541,7 @@ mod tests {
     use super::*;
 
     fn cdw(loc: Rc<Expr>) -> Rc<Expr> {
-        Rc::new(Expr::CalldataWord(loc))
+        Expr::calldata_word(loc)
     }
 
     #[test]
@@ -515,7 +579,7 @@ mod tests {
         let offset = cdw(Expr::c64(4));
         let loc = bin(BinOp::Add, Rc::clone(&offset), Expr::c64(36));
         assert!(loc.contains(&offset));
-        assert!(!loc.contains(&Expr::CalldataSize));
+        assert!(!loc.contains(&Expr::calldata_size()));
     }
 
     #[test]
@@ -530,7 +594,7 @@ mod tests {
 
     #[test]
     fn free_syms_dedup() {
-        let s = Rc::new(Expr::FreeSym(3));
+        let s = Expr::free_sym(3);
         let e = bin(BinOp::Add, Rc::clone(&s), bin(BinOp::Mul, s, Expr::c64(32)));
         assert_eq!(e.free_syms(), vec![3]);
     }
@@ -540,7 +604,7 @@ mod tests {
         let e = bin(
             BinOp::Add,
             bin(BinOp::Add, cdw(Expr::c64(4)), Expr::c64(36)),
-            bin(BinOp::Mul, Rc::new(Expr::FreeSym(0)), Expr::c64(32)),
+            bin(BinOp::Mul, Expr::free_sym(0), Expr::c64(32)),
         );
         assert_eq!(e.const_addend(), U256::from(36u64));
     }
@@ -571,7 +635,7 @@ mod tests {
         assert!(s.depends_on_calldata());
         assert!(!s.depends_on_calldatasize());
         assert_eq!(s.dag_hash(), s.dag_hash());
-        assert!(s.contains(&Expr::CalldataWord(Expr::c64(4))));
+        assert!(s.contains(&Expr::calldata_word(Expr::c64(4))));
         let _ = s.key();
         let _ = format!("{}", s);
         assert!(s.eval().is_none());
@@ -592,7 +656,47 @@ mod tests {
             un(UnOp::IsZero, un(UnOp::IsZero, Expr::c64(7))).as_const(),
             Some(U256::ONE)
         );
-        let sym = Rc::new(Expr::FreeSym(1));
+        let sym = Expr::free_sym(1);
         assert!(un(UnOp::IsZero, sym).as_const().is_none());
+    }
+
+    #[test]
+    fn interning_shares_identical_nodes() {
+        // Two structurally identical expressions built independently are
+        // pointer-identical within a thread.
+        let a = bin(BinOp::Add, cdw(Expr::c64(4)), Expr::c64(36));
+        let b = bin(BinOp::Add, cdw(Expr::c64(4)), Expr::c64(36));
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(a.dag_hash(), b.dag_hash());
+        assert_eq!(a, b);
+        // Different expressions stay distinct.
+        let c = bin(BinOp::Add, cdw(Expr::c64(4)), Expr::c64(68));
+        assert!(!Rc::ptr_eq(&a, &c));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interner_clear_keeps_nodes_valid() {
+        let a = bin(BinOp::Mul, cdw(Expr::c64(4)), Expr::c64(32));
+        let h = a.dag_hash();
+        interner_clear();
+        // The node survives the clear; a rebuilt twin is a new allocation
+        // but still structurally equal.
+        let b = bin(BinOp::Mul, cdw(Expr::c64(4)), Expr::c64(32));
+        assert_eq!(a.dag_hash(), h);
+        assert_eq!(a, b);
+        assert!(a.contains_mul_by(32));
+    }
+
+    #[test]
+    fn flags_propagate_through_operators() {
+        let c = cdw(Expr::c64(4));
+        let s = Expr::calldata_size();
+        let e = bin(BinOp::Sub, s, c);
+        assert!(e.depends_on_calldata());
+        assert!(e.depends_on_calldatasize());
+        let f = un(UnOp::IsZero, Expr::free_sym(9));
+        assert!(!f.depends_on_calldata());
+        assert!(!f.depends_on_calldatasize());
     }
 }

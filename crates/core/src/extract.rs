@@ -8,7 +8,7 @@
 //! `EQ(selector_expr, constant)`, it records the pair and continues down
 //! the not-taken chain.
 
-use crate::expr::{bin, un, BinOp, Expr, UnOp};
+use crate::expr::{bin, un, BinOp, Expr, ExprKind, UnOp};
 use sigrec_abi::Selector;
 use sigrec_evm::{Disassembly, Opcode, U256};
 use std::rc::Rc;
@@ -39,7 +39,14 @@ pub fn extract_dispatch(disasm: &Disassembly) -> Vec<DispatchEntry> {
         if branches > 64 {
             break;
         }
-        walk_chain(disasm, start_pc, start_stack, &mut out, &mut worklist, &mut forked);
+        walk_chain(
+            disasm,
+            start_pc,
+            start_stack,
+            &mut out,
+            &mut worklist,
+            &mut forked,
+        );
     }
     // Deduplicate (a selector reachable via two forks) preserving order.
     let mut seen = std::collections::HashSet::new();
@@ -93,9 +100,9 @@ fn walk_chain(
             JumpDest => {}
             CallDataLoad => {
                 let Some(loc) = stack.pop() else { break };
-                stack.push(Rc::new(Expr::CalldataWord(loc)));
+                stack.push(Expr::calldata_word(loc));
             }
-            CallDataSize => stack.push(Rc::new(Expr::CalldataSize)),
+            CallDataSize => stack.push(Expr::calldata_size()),
             IsZero => {
                 let Some(a) = stack.pop() else { break };
                 stack.push(un(UnOp::IsZero, a));
@@ -106,7 +113,9 @@ fn walk_chain(
             }
             Add | Sub | Mul | Div | Mod | And | Or | Xor | Lt | Gt | Eq | SDiv | SMod | Exp
             | SLt | SGt => {
-                let (Some(a), Some(b)) = (stack.pop(), stack.pop()) else { break };
+                let (Some(a), Some(b)) = (stack.pop(), stack.pop()) else {
+                    break;
+                };
                 let bop = match op {
                     Add => BinOp::Add,
                     Sub => BinOp::Sub,
@@ -129,7 +138,9 @@ fn walk_chain(
                 stack.push(bin(bop, a, b));
             }
             Shl | Shr | Sar => {
-                let (Some(amount), Some(value)) = (stack.pop(), stack.pop()) else { break };
+                let (Some(amount), Some(value)) = (stack.pop(), stack.pop()) else {
+                    break;
+                };
                 let bop = match op {
                     Shl => BinOp::Shl,
                     Shr => BinOp::Shr,
@@ -148,9 +159,14 @@ fn walk_chain(
                 }
             }
             JumpI => {
-                let (Some(target), Some(cond)) = (stack.pop(), stack.pop()) else { break };
+                let (Some(target), Some(cond)) = (stack.pop(), stack.pop()) else {
+                    break;
+                };
                 if let Some((sel, entry)) = selector_comparison(&cond, &target, disasm) {
-                    out.push(DispatchEntry { selector: sel, entry });
+                    out.push(DispatchEntry {
+                        selector: sel,
+                        entry,
+                    });
                     // Continue down the "no match" chain.
                     pc = next_pc;
                     continue;
@@ -167,15 +183,13 @@ fn walk_chain(
                     continue;
                 }
                 match cond.eval() {
-                    Some(c) if !c.is_zero() => {
-                        match target.eval().and_then(|v| v.as_usize()) {
-                            Some(t) if disasm.is_jumpdest(t) => {
-                                pc = t;
-                                continue;
-                            }
-                            _ => break,
+                    Some(c) if !c.is_zero() => match target.eval().and_then(|v| v.as_usize()) {
+                        Some(t) if disasm.is_jumpdest(t) => {
+                            pc = t;
+                            continue;
                         }
-                    }
+                        _ => break,
+                    },
                     // Symbolic or false: take the fallthrough (non-selector
                     // guards in prologues typically jump to aborts).
                     _ => {
@@ -193,7 +207,7 @@ fn walk_chain(
                 }
                 for _ in 0..op.stack_out() {
                     next_sym += 1;
-                    stack.push(Rc::new(Expr::FreeSym(1_000_000 + next_sym)));
+                    stack.push(Expr::free_sym(1_000_000 + next_sym));
                 }
             }
         }
@@ -205,11 +219,11 @@ fn walk_chain(
 /// negated) — the shape of solc's binary-search dispatcher splits.
 fn is_selector_range_split(cond: &Rc<Expr>) -> bool {
     let mut base = cond;
-    while let Expr::Unary(UnOp::IsZero, inner) = &**base {
+    while let ExprKind::Unary(UnOp::IsZero, inner) = base.kind() {
         base = inner;
     }
-    match &**base {
-        Expr::Binary(BinOp::Lt | BinOp::Gt, a, b) => {
+    match base.kind() {
+        ExprKind::Binary(BinOp::Lt | BinOp::Gt, a, b) => {
             (is_selector_shaped(a) && b.as_const().is_some())
                 || (is_selector_shaped(b) && a.as_const().is_some())
         }
@@ -225,7 +239,9 @@ fn selector_comparison(
     target: &Rc<Expr>,
     disasm: &Disassembly,
 ) -> Option<(Selector, usize)> {
-    let Expr::Binary(BinOp::Eq, a, b) = &**cond else { return None };
+    let ExprKind::Binary(BinOp::Eq, a, b) = cond.kind() else {
+        return None;
+    };
     let (sel_expr, constant) = match (a.as_const(), b.as_const()) {
         (Some(c), None) => (b, c),
         (None, Some(c)) => (a, c),
@@ -246,20 +262,20 @@ fn selector_comparison(
 /// The selector idiom: `SHR(cd[0], 224)` or `DIV(cd[0], 2²²⁴)`, possibly
 /// wrapped in an `AND` mask.
 fn is_selector_shaped(e: &Rc<Expr>) -> bool {
-    match &**e {
-        Expr::Binary(BinOp::Shr, v, amount) => {
+    match e.kind() {
+        ExprKind::Binary(BinOp::Shr, v, amount) => {
             loads_word_zero(v) && amount.as_const() == Some(U256::from(224u64))
         }
-        Expr::Binary(BinOp::Div, v, d) => {
+        ExprKind::Binary(BinOp::Div, v, d) => {
             loads_word_zero(v) && d.as_const() == Some(U256::ONE << 224u32)
         }
-        Expr::Binary(BinOp::And, a, b) => is_selector_shaped(a) || is_selector_shaped(b),
+        ExprKind::Binary(BinOp::And, a, b) => is_selector_shaped(a) || is_selector_shaped(b),
         _ => false,
     }
 }
 
 fn loads_word_zero(e: &Rc<Expr>) -> bool {
-    matches!(&**e, Expr::CalldataWord(loc) if loc.as_const() == Some(U256::ZERO))
+    matches!(e.kind(), ExprKind::CalldataWord(loc) if loc.as_const() == Some(U256::ZERO))
 }
 
 #[cfg(test)]
@@ -271,15 +287,17 @@ mod tests {
     fn specs(decls: &[&str]) -> Vec<FunctionSpec> {
         decls
             .iter()
-            .map(|d| {
-                FunctionSpec::new(FunctionSignature::parse(d).unwrap(), Visibility::External)
-            })
+            .map(|d| FunctionSpec::new(FunctionSignature::parse(d).unwrap(), Visibility::External))
             .collect()
     }
 
     #[test]
     fn extracts_all_selectors_shr() {
-        let fns = specs(&["transfer(address,uint256)", "balanceOf(address)", "totalSupply()"]);
+        let fns = specs(&[
+            "transfer(address,uint256)",
+            "balanceOf(address)",
+            "totalSupply()",
+        ]);
         let contract = compile(&fns, &CompilerConfig::default());
         let d = Disassembly::new(&contract.code);
         let table = extract_dispatch(&d);
@@ -313,9 +331,18 @@ mod tests {
     fn binary_search_dispatch_fully_extracted() {
         // >8 functions triggers solc-style LT range splitting.
         let fns = specs(&[
-            "a0(uint8)", "a1(bool)", "a2(address)", "a3(uint256)", "a4(bytes4)",
-            "a5(uint16)", "a6(int8)", "a7(bytes32)", "a8(uint32)", "a9(uint64)",
-            "aa(int256)", "ab(uint128)",
+            "a0(uint8)",
+            "a1(bool)",
+            "a2(address)",
+            "a3(uint256)",
+            "a4(bytes4)",
+            "a5(uint16)",
+            "a6(int8)",
+            "a7(bytes32)",
+            "a8(uint32)",
+            "a9(uint64)",
+            "aa(int256)",
+            "ab(uint128)",
         ]);
         let contract = compile(&fns, &CompilerConfig::default());
         let table = extract_dispatch(&Disassembly::new(&contract.code));
@@ -333,14 +360,25 @@ mod tests {
     fn binary_dispatch_recovers_end_to_end() {
         use crate::pipeline::SigRec;
         let fns = specs(&[
-            "b0(uint8)", "b1(bool,address)", "b2(uint256[])", "b3(bytes)", "b4(string)",
-            "b5(uint16,uint16)", "b6(int64)", "b7(bytes8)", "b8(uint32[2])", "b9(address)",
+            "b0(uint8)",
+            "b1(bool,address)",
+            "b2(uint256[])",
+            "b3(bytes)",
+            "b4(string)",
+            "b5(uint16,uint16)",
+            "b6(int64)",
+            "b7(bytes8)",
+            "b8(uint32[2])",
+            "b9(address)",
         ]);
         let contract = compile(&fns, &CompilerConfig::default());
         let rec = SigRec::new().recover(&contract.code);
         assert_eq!(rec.len(), 10);
         for f in &fns {
-            let hit = rec.iter().find(|r| r.selector == f.signature.selector).unwrap();
+            let hit = rec
+                .iter()
+                .find(|r| r.selector == f.signature.selector)
+                .unwrap();
             assert!(
                 f.signature.matches(&hit.signature()),
                 "{} recovered as {}",

@@ -104,6 +104,11 @@ pub struct FunctionFacts {
     /// True if some path was cut short at an input-dependent jump target
     /// (the paper notes only 5 deployed contracts do this).
     pub hit_symbolic_jump: bool,
+    /// True if some explored path executed an instruction below the entry
+    /// pc (shared helper code emitted before the body). Such functions are
+    /// not memoisable by body-span hash: their behaviour depends on bytes
+    /// outside `code[entry..]`.
+    pub visited_below_entry: bool,
     /// Paths fully explored.
     pub paths_explored: usize,
 }
@@ -143,7 +148,9 @@ impl FunctionFacts {
 
     /// All usages whose key set mentions `key`.
     pub fn uses_of<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a UseFact> + 'a {
-        self.uses.iter().filter(move |u| u.keys.iter().any(|k| k == key))
+        self.uses
+            .iter()
+            .filter(move |u| u.keys.iter().any(|k| k == key))
     }
 }
 
@@ -156,17 +163,33 @@ mod tests {
     fn load_dedup_by_pc() {
         let mut f = FunctionFacts::default();
         let loc = Expr::c64(4);
-        let val = Rc::new(Expr::CalldataWord(Rc::clone(&loc)));
-        f.add_load(LoadFact { pc: 10, loc: Rc::clone(&loc), value: Rc::clone(&val) });
-        f.add_load(LoadFact { pc: 10, loc, value: val });
+        let val = Expr::calldata_word(Rc::clone(&loc));
+        f.add_load(LoadFact {
+            pc: 10,
+            loc: Rc::clone(&loc),
+            value: Rc::clone(&val),
+        });
+        f.add_load(LoadFact {
+            pc: 10,
+            loc,
+            value: val,
+        });
         assert_eq!(f.loads.len(), 1);
     }
 
     #[test]
     fn uses_of_filters_by_key() {
         let mut f = FunctionFacts::default();
-        f.add_use(UseFact { pc: 1, keys: vec!["0x4".into()], usage: Usage::DoubleIsZero });
-        f.add_use(UseFact { pc: 2, keys: vec!["0x24".into()], usage: Usage::Arithmetic });
+        f.add_use(UseFact {
+            pc: 1,
+            keys: vec!["0x4".into()],
+            usage: Usage::DoubleIsZero,
+        });
+        f.add_use(UseFact {
+            pc: 2,
+            keys: vec!["0x24".into()],
+            usage: Usage::Arithmetic,
+        });
         assert_eq!(f.uses_of("0x4").count(), 1);
         assert_eq!(f.uses_of("0x24").count(), 1);
         assert_eq!(f.uses_of("0x44").count(), 0);
@@ -175,11 +198,19 @@ mod tests {
     #[test]
     fn use_dedup_exact() {
         let mut f = FunctionFacts::default();
-        let u = UseFact { pc: 1, keys: vec!["k".into()], usage: Usage::ByteExtract };
+        let u = UseFact {
+            pc: 1,
+            keys: vec!["k".into()],
+            usage: Usage::ByteExtract,
+        };
         f.add_use(u.clone());
         f.add_use(u);
         assert_eq!(f.uses.len(), 1);
-        f.add_use(UseFact { pc: 1, keys: vec!["k2".into()], usage: Usage::ByteExtract });
+        f.add_use(UseFact {
+            pc: 1,
+            keys: vec!["k2".into()],
+            usage: Usage::ByteExtract,
+        });
         assert_eq!(f.uses.len(), 2);
     }
 }

@@ -7,7 +7,7 @@
 //! expressions themselves), and fine-grained refinement (masks, sign
 //! extensions, range checks, byte accesses).
 
-use crate::expr::{BinOp, Expr};
+use crate::expr::{BinOp, Expr, ExprKind};
 use crate::facts::{CopyFact, FunctionFacts, LoadFact, Usage};
 use crate::rules::RuleId;
 use sigrec_abi::AbiType;
@@ -54,7 +54,11 @@ struct Inference<'a> {
 
 impl<'a> Inference<'a> {
     fn new(facts: &'a FunctionFacts) -> Self {
-        Inference { facts, rules: Vec::new(), vyper: false }
+        Inference {
+            facts,
+            rules: Vec::new(),
+            vyper: false,
+        }
     }
 
     fn run(mut self) -> RecoveredParams {
@@ -86,7 +90,9 @@ impl<'a> Inference<'a> {
                 continue;
             }
             let base = copy.src.const_addend().as_u64().unwrap_or(0);
-            let Some(len) = copy.len.eval().and_then(|v| v.as_u64()) else { continue };
+            let Some(len) = copy.len.eval().and_then(|v| v.as_u64()) else {
+                continue;
+            };
             if base < 4 || len == 0 || len % 32 != 0 {
                 continue;
             }
@@ -110,7 +116,11 @@ impl<'a> Inference<'a> {
                 // Should not happen for constant sources, but keep sane.
                 ty = AbiType::DynArray(Box::new(ty));
             }
-            self.rules.push(if loop_bounds.is_empty() { RuleId::R6 } else { RuleId::R9 });
+            self.rules.push(if loop_bounds.is_empty() {
+                RuleId::R6
+            } else {
+                RuleId::R9
+            });
             static_copy_ranges.push((base, base + total.max(len)));
             candidates.push(Candidate { start: base, ty });
         }
@@ -170,7 +180,11 @@ impl<'a> Inference<'a> {
         }
         RecoveredParams {
             params: candidates.into_iter().map(|c| c.ty).collect(),
-            language: if self.vyper { Language::Vyper } else { Language::Solidity },
+            language: if self.vyper {
+                Language::Vyper
+            } else {
+                Language::Solidity
+            },
             rules: std::mem::take(&mut self.rules),
         }
     }
@@ -179,15 +193,23 @@ impl<'a> Inference<'a> {
     /// loads or copies — i.e. it is an offset field.
     fn is_offset_marker(&self, value: &Rc<Expr>) -> bool {
         self.facts.loads.iter().any(|l| l.loc.contains(value))
-            || self.facts.copies.iter().any(|c| c.src.contains(value) || c.len.contains(value))
+            || self
+                .facts
+                .copies
+                .iter()
+                .any(|c| c.src.contains(value) || c.len.contains(value))
     }
 
     // ---- offset-rooted (dynamic) parameters ---------------------------
 
     /// Classifies a parameter whose offset word is `o`.
     fn classify_offset_param(&mut self, o: &Rc<Expr>) -> AbiType {
-        let copies: Vec<&CopyFact> =
-            self.facts.copies.iter().filter(|c| c.src.contains(o)).collect();
+        let copies: Vec<&CopyFact> = self
+            .facts
+            .copies
+            .iter()
+            .filter(|c| c.src.contains(o))
+            .collect();
         if !copies.is_empty() {
             return self.classify_copied(o, &copies);
         }
@@ -265,8 +287,12 @@ impl<'a> Inference<'a> {
 
     /// External-mode on-demand reads (R1/R2/R17/R21/R22).
     fn classify_on_demand(&mut self, o: &Rc<Expr>) -> AbiType {
-        let deep: Vec<&LoadFact> =
-            self.facts.loads.iter().filter(|l| l.loc.contains(o) && !Rc::ptr_eq(&l.value, o)).collect();
+        let deep: Vec<&LoadFact> = self
+            .facts
+            .loads
+            .iter()
+            .filter(|l| l.loc.contains(o) && !Rc::ptr_eq(&l.value, o))
+            .collect();
         let num = self.find_num_value(o);
         if num.is_some() {
             self.rules.push(RuleId::R1);
@@ -336,7 +362,10 @@ impl<'a> Inference<'a> {
         // Only one-level constant-slot member reads → struct of basics
         // would be static (flattened); a lone offset with members read is
         // still best explained as a struct.
-        if deep.iter().any(|l| is_one_level(&l.loc, o) && syms_outside(&l.loc, o).is_empty()) {
+        if deep
+            .iter()
+            .any(|l| is_one_level(&l.loc, o) && syms_outside(&l.loc, o).is_empty())
+        {
             return self.classify_struct(o, &deep);
         }
         AbiType::DynArray(Box::new(AbiType::Uint(256)))
@@ -409,9 +438,10 @@ impl<'a> Inference<'a> {
     }
 
     fn is_guard_bound(&self, v: &Rc<Expr>) -> bool {
-        self.facts.guards.iter().any(|g|
-
-            matches!(&*g.cond, Expr::Binary(BinOp::Lt, _, rhs) if **rhs == **v))
+        self.facts
+            .guards
+            .iter()
+            .any(|g| matches!(g.cond.kind(), ExprKind::Binary(BinOp::Lt, _, rhs) if **rhs == **v))
     }
 
     fn is_count_like(&self, v: &Rc<Expr>) -> bool {
@@ -423,11 +453,15 @@ impl<'a> Inference<'a> {
     fn const_guard_bounds(&self, item_syms: &[u32]) -> Vec<u64> {
         let mut out: Vec<(usize, u64)> = Vec::new();
         for g in &self.facts.guards {
-            let Expr::Binary(BinOp::Lt, lhs, rhs) = &*g.cond else { continue };
+            let ExprKind::Binary(BinOp::Lt, lhs, rhs) = g.cond.kind() else {
+                continue;
+            };
             if lhs.depends_on_calldata() {
                 continue; // Vyper value range check, not a bound check
             }
-            let Some(bound) = rhs.eval().and_then(|v| v.as_u64()) else { continue };
+            let Some(bound) = rhs.eval().and_then(|v| v.as_u64()) else {
+                continue;
+            };
             let lsyms = lhs.free_syms();
             if lsyms.is_empty() || !lsyms.iter().all(|s| item_syms.contains(s)) {
                 continue;
@@ -448,7 +482,9 @@ impl<'a> Inference<'a> {
             if !(g.pc < copy.pc && copy.pc < exit) {
                 continue;
             }
-            let Expr::Binary(BinOp::Lt, _, rhs) = &*g.cond else { continue };
+            let ExprKind::Binary(BinOp::Lt, _, rhs) = g.cond.kind() else {
+                continue;
+            };
             let bound = match rhs.eval().and_then(|v| v.as_u64()) {
                 Some(b) => Bound::Const(b),
                 None => Bound::Dynamic,
@@ -463,19 +499,23 @@ impl<'a> Inference<'a> {
     /// (R17/R26/R31 evidence). The key of `o`'s own location appears in
     /// every use of region-derived values.
     fn has_byte_access(&self, o: &Rc<Expr>) -> bool {
-        let Expr::CalldataWord(loc) = &**o else { return false };
+        let ExprKind::CalldataWord(loc) = o.kind() else {
+            return false;
+        };
         let key = loc.key();
         self.facts
             .uses
             .iter()
-            .any(|u| u.usage == Usage::ByteExtract && u.keys.iter().any(|k| *k == key))
+            .any(|u| u.usage == Usage::ByteExtract && u.keys.contains(&key))
     }
 
     /// Refinement of a dynamic array's element type: mask-like uses whose
     /// keys mention the parameter's offset slot (copied-region reads and
     /// on-demand reads both embed it).
     fn refine_dynamic_element(&mut self, o: &Rc<Expr>) -> AbiType {
-        let Expr::CalldataWord(loc) = &**o else { return AbiType::Uint(256) };
+        let ExprKind::CalldataWord(loc) = o.kind() else {
+            return AbiType::Uint(256);
+        };
         self.refine_basic_key_counted(&loc.key())
     }
 
@@ -630,22 +670,12 @@ fn signed_bound_matches(c: U256, upper: U256) -> bool {
 
 /// Matches `2^(8k) - 1` low masks, returning `k`.
 fn low_mask_bytes(m: U256) -> Option<u32> {
-    for k in 1..=32u32 {
-        if m == U256::low_mask(8 * k) {
-            return Some(k);
-        }
-    }
-    None
+    (1..=32u32).find(|&k| m == U256::low_mask(8 * k))
 }
 
 /// Matches high masks of `k` bytes of `0xff`.
 fn high_mask_bytes(m: U256) -> Option<u32> {
-    for k in 1..=32u32 {
-        if m == U256::high_mask(8 * k) {
-            return Some(k);
-        }
-    }
-    None
+    (1..=32u32).find(|&k| m == U256::high_mask(8 * k))
 }
 
 /// True when no intermediate `CALLDATALOAD` sits between `loc` and `o`:
@@ -659,13 +689,13 @@ fn is_one_level(loc: &Rc<Expr>, o: &Rc<Expr>) -> bool {
 /// only structure outside every load reflects how this location itself is
 /// indexed.
 fn walk_outside_loads(e: &Expr, f: &mut impl FnMut(&Expr)) {
-    if matches!(e, Expr::CalldataWord(_)) {
+    if matches!(e.kind(), ExprKind::CalldataWord(_)) {
         return;
     }
     f(e);
-    match e {
-        Expr::Unary(_, a) => walk_outside_loads(a, f),
-        Expr::Binary(_, a, b) => {
+    match e.kind() {
+        ExprKind::Unary(_, a) => walk_outside_loads(a, f),
+        ExprKind::Binary(_, a, b) => {
             walk_outside_loads(a, f);
             walk_outside_loads(b, f);
         }
@@ -679,7 +709,7 @@ fn walk_outside_loads(e: &Expr, f: &mut impl FnMut(&Expr)) {
 fn syms_outside(loc: &Rc<Expr>, _o: &Rc<Expr>) -> Vec<u32> {
     let mut out = Vec::new();
     walk_outside_loads(loc, &mut |e| {
-        if let Expr::FreeSym(id) = e {
+        if let ExprKind::FreeSym(id) = e.kind() {
             out.push(*id);
         }
     });
@@ -692,7 +722,7 @@ fn syms_outside(loc: &Rc<Expr>, _o: &Rc<Expr>) -> Vec<u32> {
 fn mul32_outside(loc: &Rc<Expr>, _o: &Rc<Expr>) -> bool {
     let mut found = false;
     walk_outside_loads(loc, &mut |e| {
-        if let Expr::Binary(BinOp::Mul, a, b) = e {
+        if let ExprKind::Binary(BinOp::Mul, a, b) = e.kind() {
             let k = U256::from(32u64);
             if a.as_const() == Some(k) || b.as_const() == Some(k) {
                 found = true;
@@ -708,7 +738,7 @@ fn contains_add_of(e: &Rc<Expr>, k: u64) -> bool {
     let kc = U256::from(k);
     let mut found = false;
     e.walk(&mut |n| {
-        if let Expr::Binary(BinOp::Add, a, b) = n {
+        if let ExprKind::Binary(BinOp::Add, a, b) = n.kind() {
             if a.as_const() == Some(kc) || b.as_const() == Some(kc) {
                 found = true;
             }
@@ -793,8 +823,7 @@ mod tests {
         assert_eq!(refine_from_usages(&[&up]).0, AbiType::Int(128));
         let dec = Usage::RangeSigned((U256::ONE << 127u32) * U256::from(10_000_000_000u64));
         assert_eq!(refine_from_usages(&[&dec]).0, AbiType::Int(168));
-        let lower =
-            Usage::RangeSigned((U256::ONE << 127u32).wrapping_neg() - U256::ONE);
+        let lower = Usage::RangeSigned((U256::ONE << 127u32).wrapping_neg() - U256::ONE);
         assert_eq!(refine_from_usages(&[&lower]).0, AbiType::Int(128));
         let b = Usage::RangeUnsigned(U256::from(2u64));
         assert_eq!(refine_from_usages(&[&b]).0, AbiType::Bool);

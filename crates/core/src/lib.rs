@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod exec;
 pub mod expr;
 pub mod extract;
@@ -30,10 +31,13 @@ pub mod memory;
 pub mod pipeline;
 pub mod rules;
 
-pub use batch::{recover_batch, BatchItem, BatchResult};
+pub use batch::{
+    recover_batch, recover_batch_naive, BatchItem, BatchResult, BatchTimings, DedupStats,
+};
+pub use cache::{body_span_hash, CacheStats, CachedFunction, RecoveryCache};
 pub use exec::{Tase, TaseConfig};
 pub use extract::{extract_dispatch, DispatchEntry};
 pub use facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 pub use infer::{infer, Language, RecoveredParams};
-pub use pipeline::{RecoveredFunction, SigRec};
+pub use pipeline::{Explanation, RecoveredFunction, SigRec};
 pub use rules::{RuleId, RuleStats};

@@ -21,7 +21,11 @@ enum Write {
     /// `MSTORE` of a full word at a concrete address.
     Word { addr: u64, value: Rc<Expr> },
     /// `CALLDATACOPY` to a concrete destination.
-    Copy { dst: u64, src: Rc<Expr>, len: Option<u64> },
+    Copy {
+        dst: u64,
+        src: Rc<Expr>,
+        len: Option<u64>,
+    },
 }
 
 /// Symbolic memory: a journal of writes, scanned newest-first on read.
@@ -91,7 +95,7 @@ impl SymMemory {
                         } else {
                             bin(BinOp::Add, Rc::clone(src), Expr::c64(delta))
                         };
-                        return Some(Rc::new(Expr::CalldataWord(loc)));
+                        return Some(Expr::calldata_word(loc));
                     }
                 }
             }
@@ -103,6 +107,7 @@ impl SymMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::ExprKind;
 
     #[test]
     fn word_store_load_round_trip() {
@@ -118,7 +123,10 @@ mod tests {
         let mut m = SymMemory::new();
         m.store_word(Some(0x80), Expr::c64(1));
         m.store_word(Some(0x80), Expr::c64(2));
-        assert_eq!(m.load_word(0x80).unwrap().as_const(), Some(U256::from(2u64)));
+        assert_eq!(
+            m.load_word(0x80).unwrap().as_const(),
+            Some(U256::from(2u64))
+        );
     }
 
     #[test]
@@ -128,9 +136,9 @@ mod tests {
         m.record_copy(Some(0x80), Expr::c64(36), Some(U256::from(96u64)));
         // Element 1 (delta 32) → cd[36 + 32] = cd[0x44] (adds fold).
         let e = m.load_word(0xa0).unwrap();
-        match &*e {
-            Expr::CalldataWord(loc) => assert_eq!(loc.eval(), Some(U256::from(68u64))),
-            other => panic!("expected CalldataWord, got {other}"),
+        match e.kind() {
+            ExprKind::CalldataWord(loc) => assert_eq!(loc.eval(), Some(U256::from(68u64))),
+            _ => panic!("expected CalldataWord, got {e}"),
         }
         // Past the region: unmapped.
         assert_eq!(m.load_word(0x80 + 96), None);
@@ -139,17 +147,15 @@ mod tests {
     #[test]
     fn symbolic_source_copy_preserves_structure() {
         let mut m = SymMemory::new();
-        let src = bin(
-            BinOp::Add,
-            Rc::new(Expr::CalldataWord(Expr::c64(4))),
-            Expr::c64(36),
-        );
+        let src = bin(BinOp::Add, Expr::calldata_word(Expr::c64(4)), Expr::c64(36));
         m.record_copy(Some(0x100), Rc::clone(&src), None);
         let e = m.load_word(0x120).unwrap();
         assert!(e.depends_on_calldata());
-        match &*e {
-            Expr::CalldataWord(loc) => assert!(loc.contains(&Expr::CalldataWord(Expr::c64(4)))),
-            other => panic!("expected CalldataWord, got {other}"),
+        match e.kind() {
+            ExprKind::CalldataWord(loc) => {
+                assert!(loc.contains(&Expr::calldata_word(Expr::c64(4))))
+            }
+            _ => panic!("expected CalldataWord, got {e}"),
         }
     }
 

@@ -2,13 +2,20 @@
 //!
 //! Bytecode → disassembly → dispatcher extraction → per-function TASE →
 //! rule-based inference → recovered [`FunctionSignature`]s.
+//!
+//! Every entry point funnels through one internal body ([`SigRec::run`]),
+//! and results are memoised in a shared content-addressed
+//! [`RecoveryCache`]: whole contracts by `keccak256(code)`, individual
+//! functions by `(body-span hash, entry pc)`.
 
+use crate::cache::{body_span_hash, CacheStats, CachedFunction, RecoveryCache};
 use crate::exec::{Tase, TaseConfig};
-use crate::extract::extract_dispatch;
+use crate::extract::{extract_dispatch, DispatchEntry};
+use crate::facts::FunctionFacts;
 use crate::infer::{infer, Language};
 use crate::rules::RuleId;
 use sigrec_abi::{AbiType, FunctionSignature, Selector};
-use sigrec_evm::Disassembly;
+use sigrec_evm::{keccak256, Disassembly};
 use std::time::{Duration, Instant};
 
 /// One recovered function.
@@ -24,7 +31,8 @@ pub struct RecoveredFunction {
     pub language: Language,
     /// Rules applied while recovering this function.
     pub rules: Vec<RuleId>,
-    /// Wall-clock time spent on this function (TASE + inference).
+    /// Wall-clock time spent on this function (TASE + inference). For a
+    /// cache hit this is the lookup time, not a re-measurement.
     pub elapsed: Duration,
 }
 
@@ -37,6 +45,9 @@ impl RecoveredFunction {
 }
 
 /// The SigRec recovery tool.
+///
+/// Cloning is cheap and shares the recovery cache: batch workers clone one
+/// `SigRec` and every worker profits from results the others memoised.
 ///
 /// # Examples
 ///
@@ -58,40 +69,136 @@ impl RecoveredFunction {
 #[derive(Clone, Debug, Default)]
 pub struct SigRec {
     config: TaseConfig,
+    cache: RecoveryCache,
+}
+
+/// How one [`SigRec::run`] invocation interacts with the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CacheMode {
+    /// Read and write both cache levels.
+    ReadWrite,
+    /// Recompute everything; populate the cache on the way out.
+    WriteOnly,
+    /// Recompute everything; leave the cache untouched.
+    Bypass,
 }
 
 impl SigRec {
-    /// A recoverer with default exploration budgets.
+    /// A recoverer with default exploration budgets and a fresh cache.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Overrides the TASE budgets.
     pub fn with_config(config: TaseConfig) -> Self {
-        SigRec { config }
+        SigRec {
+            config,
+            cache: RecoveryCache::new(),
+        }
+    }
+
+    /// Uses `cache` instead of a fresh one — lets independent `SigRec`
+    /// instances share memoised recoveries.
+    pub fn with_cache(mut self, cache: RecoveryCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// A snapshot of the shared cache's hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Recovers the signatures of every public/external function in the
-    /// runtime bytecode.
+    /// runtime bytecode, memoising the result in the shared cache.
     pub fn recover(&self, code: &[u8]) -> Vec<RecoveredFunction> {
+        let key = keccak256(code);
+        if let Some(hit) = self.cache.lookup_contract(&key) {
+            return hit.as_ref().clone();
+        }
+        let functions: Vec<RecoveredFunction> = self
+            .run(code, CacheMode::ReadWrite)
+            .into_iter()
+            .map(|(f, _)| f)
+            .collect();
+        self.cache.store_contract(key, functions.clone());
+        functions
+    }
+
+    /// Like [`SigRec::recover`] but bypassing the cache entirely — every
+    /// function is re-explored. The reference path for equivalence tests
+    /// and the baseline for throughput measurements.
+    pub fn recover_cold(&self, code: &[u8]) -> Vec<RecoveredFunction> {
+        self.run(code, CacheMode::Bypass)
+            .into_iter()
+            .map(|(f, _)| f)
+            .collect()
+    }
+
+    /// The one shared pipeline body: disassemble once, walk the dispatch
+    /// table, and analyse (or look up) each function. Facts are `None`
+    /// exactly when the function was served from the cache.
+    fn run(&self, code: &[u8], mode: CacheMode) -> Vec<(RecoveredFunction, Option<FunctionFacts>)> {
         let disasm = Disassembly::new(code);
         let table = extract_dispatch(&disasm);
         table
             .into_iter()
-            .map(|entry| {
-                let start = Instant::now();
-                let facts = Tase::new(&disasm, self.config).explore(entry.entry);
-                let result = infer(&facts);
-                RecoveredFunction {
+            .map(|entry| self.run_function(code, &disasm, entry, mode))
+            .collect()
+    }
+
+    /// Recovers one dispatch-table entry, honouring `mode`.
+    fn run_function(
+        &self,
+        code: &[u8],
+        disasm: &Disassembly,
+        entry: DispatchEntry,
+        mode: CacheMode,
+    ) -> (RecoveredFunction, Option<FunctionFacts>) {
+        let start = Instant::now();
+        let span_hash = match mode {
+            CacheMode::Bypass => None,
+            _ => Some(body_span_hash(code, entry.entry)),
+        };
+        if mode == CacheMode::ReadWrite {
+            let hash = span_hash.expect("span hash computed for cached modes");
+            if let Some(hit) = self.cache.lookup_function(hash, entry.entry) {
+                let function = RecoveredFunction {
                     selector: entry.selector,
                     entry: entry.entry,
-                    params: result.params,
-                    language: result.language,
-                    rules: result.rules,
+                    params: hit.params,
+                    language: hit.language,
+                    rules: hit.rules,
                     elapsed: start.elapsed(),
-                }
-            })
-            .collect()
+                };
+                return (function, None);
+            }
+        }
+        let facts = Tase::new(disasm, self.config).explore(entry.entry);
+        let result = infer(&facts);
+        // Memoising by body-span hash is only sound when exploration stayed
+        // inside `code[entry..]`: a body that reaches shared helper code
+        // *before* its entry depends on bytes the span key does not cover.
+        if let Some(hash) = span_hash.filter(|_| !facts.visited_below_entry) {
+            self.cache.store_function(
+                hash,
+                entry.entry,
+                CachedFunction {
+                    params: result.params.clone(),
+                    language: result.language,
+                    rules: result.rules.clone(),
+                },
+            );
+        }
+        let function = RecoveredFunction {
+            selector: entry.selector,
+            entry: entry.entry,
+            params: result.params,
+            language: result.language,
+            rules: result.rules,
+            elapsed: start.elapsed(),
+        };
+        (function, Some(facts))
     }
 }
 
@@ -116,25 +223,26 @@ pub struct Explanation {
 impl SigRec {
     /// Like [`SigRec::recover`] but returning the evidence alongside each
     /// signature — the `sigrec --explain` view.
+    ///
+    /// The evidence requires re-running TASE, so cached signatures are not
+    /// *read*, but the results are written through to the cache: an
+    /// `explain` warms later `recover` calls on the same code.
     pub fn explain(&self, code: &[u8]) -> Vec<Explanation> {
-        let disasm = Disassembly::new(code);
-        let table = extract_dispatch(&disasm);
-        table
+        let key = keccak256(code);
+        let analysed = self.run(code, CacheMode::WriteOnly);
+        let functions: Vec<RecoveredFunction> = analysed.iter().map(|(f, _)| f.clone()).collect();
+        self.cache.store_contract(key, functions);
+        analysed
             .into_iter()
-            .map(|entry| {
-                let start = Instant::now();
-                let facts = Tase::new(&disasm, self.config).explore(entry.entry);
-                let result = infer(&facts);
+            .map(|(function, facts)| {
+                let facts = facts.expect("WriteOnly mode always re-explores");
                 Explanation {
-                    function: RecoveredFunction {
-                        selector: entry.selector,
-                        entry: entry.entry,
-                        params: result.params,
-                        language: result.language,
-                        rules: result.rules,
-                        elapsed: start.elapsed(),
-                    },
-                    loads: facts.loads.iter().map(|l| (l.pc, l.loc.to_string())).collect(),
+                    function,
+                    loads: facts
+                        .loads
+                        .iter()
+                        .map(|l| (l.pc, l.loc.to_string()))
+                        .collect(),
                     copies: facts
                         .copies
                         .iter()
@@ -161,8 +269,7 @@ mod tests {
     /// End-to-end: compile a declaration, recover it, compare.
     fn recover_one(decl: &str, vis: Visibility) -> String {
         let sig = FunctionSignature::parse(decl).unwrap();
-        let contract =
-            compile(&[FunctionSpec::new(sig, vis)], &CompilerConfig::default());
+        let contract = compile(&[FunctionSpec::new(sig, vis)], &CompilerConfig::default());
         let rec = SigRec::new().recover(&contract.code);
         assert_eq!(rec.len(), 1, "one function expected for {decl}");
         rec[0].signature().param_list()
@@ -191,7 +298,10 @@ mod tests {
 
     #[test]
     fn recovers_static_arrays() {
-        assert_eq!(recover_one("f(uint256[3])", Visibility::External), "(uint256[3])");
+        assert_eq!(
+            recover_one("f(uint256[3])", Visibility::External),
+            "(uint256[3])"
+        );
         assert_eq!(
             recover_one("f(uint256[3][2])", Visibility::External),
             "(uint256[3][2])"
@@ -227,8 +337,14 @@ mod tests {
 
     #[test]
     fn recovers_nested_arrays() {
-        assert_eq!(recover_one("f(uint256[][])", Visibility::External), "(uint256[][])");
-        assert_eq!(recover_one("f(uint8[][2])", Visibility::External), "(uint8[][2])");
+        assert_eq!(
+            recover_one("f(uint256[][])", Visibility::External),
+            "(uint256[][])"
+        );
+        assert_eq!(
+            recover_one("f(uint8[][2])", Visibility::External),
+            "(uint8[][2])"
+        );
     }
 
     #[test]
@@ -302,5 +418,80 @@ mod tests {
         assert!(!e.guards.is_empty(), "the num bound check");
         assert!(e.paths_explored >= 1);
         assert!(!e.hit_symbolic_jump);
+    }
+
+    #[test]
+    fn repeated_recover_hits_contract_cache() {
+        let sig = FunctionSignature::parse("f(uint8,bool)").unwrap();
+        let contract = compile(
+            &[FunctionSpec::new(sig, Visibility::External)],
+            &CompilerConfig::default(),
+        );
+        let sigrec = SigRec::new();
+        let first = sigrec.recover(&contract.code);
+        let second = sigrec.recover(&contract.code);
+        assert_eq!(first.len(), second.len());
+        assert_eq!(first[0].params, second[0].params);
+        let stats = sigrec.cache_stats();
+        assert_eq!(stats.contract_hits, 1);
+        assert_eq!(stats.contract_misses, 1);
+    }
+
+    #[test]
+    fn cold_recovery_never_touches_cache() {
+        let sig = FunctionSignature::parse("f(address)").unwrap();
+        let contract = compile(
+            &[FunctionSpec::new(sig, Visibility::External)],
+            &CompilerConfig::default(),
+        );
+        let sigrec = SigRec::new();
+        let a = sigrec.recover_cold(&contract.code);
+        let b = sigrec.recover_cold(&contract.code);
+        assert_eq!(a[0].params, b[0].params);
+        let stats = sigrec.cache_stats();
+        assert_eq!(stats, Default::default());
+    }
+
+    #[test]
+    fn explain_warms_recover() {
+        let sig = FunctionSignature::parse("f(uint16)").unwrap();
+        let contract = compile(
+            &[FunctionSpec::new(sig, Visibility::External)],
+            &CompilerConfig::default(),
+        );
+        let sigrec = SigRec::new();
+        let ex = sigrec.explain(&contract.code);
+        let rec = sigrec.recover(&contract.code);
+        assert_eq!(sigrec.cache_stats().contract_hits, 1);
+        assert_eq!(ex[0].function.params, rec[0].params);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let sig = FunctionSignature::parse("f(bytes4)").unwrap();
+        let contract = compile(
+            &[FunctionSpec::new(sig, Visibility::External)],
+            &CompilerConfig::default(),
+        );
+        let a = SigRec::new();
+        let b = a.clone();
+        a.recover(&contract.code);
+        b.recover(&contract.code);
+        assert_eq!(b.cache_stats().contract_hits, 1);
+    }
+
+    #[test]
+    fn shared_external_cache() {
+        let sig = FunctionSignature::parse("f(uint32)").unwrap();
+        let contract = compile(
+            &[FunctionSpec::new(sig, Visibility::External)],
+            &CompilerConfig::default(),
+        );
+        let cache = crate::cache::RecoveryCache::new();
+        let a = SigRec::new().with_cache(cache.clone());
+        let b = SigRec::new().with_cache(cache);
+        a.recover(&contract.code);
+        b.recover(&contract.code);
+        assert_eq!(b.cache_stats().contract_hits, 1);
     }
 }

@@ -132,7 +132,10 @@ impl RuleId {
 
     /// Zero-based index (R1 → 0).
     pub fn index(self) -> usize {
-        RuleId::ALL.iter().position(|&r| r == self).expect("rule in ALL")
+        RuleId::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("rule in ALL")
     }
 }
 
@@ -143,7 +146,7 @@ impl fmt::Display for RuleId {
 }
 
 /// Application counters for every rule (the Fig. 19 experiment).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RuleStats {
     counts: [u64; 31],
 }
@@ -185,7 +188,11 @@ impl RuleStats {
 
     /// The most frequently applied rule.
     pub fn most_used(&self) -> Option<RuleId> {
-        RuleId::ALL.iter().copied().max_by_key(|&r| self.count(r)).filter(|&r| self.count(r) > 0)
+        RuleId::ALL
+            .iter()
+            .copied()
+            .max_by_key(|&r| self.count(r))
+            .filter(|&r| self.count(r) > 0)
     }
 
     /// The least frequently applied rule (among those used at least once).

@@ -26,7 +26,10 @@ fn vyper(params: Vec<VyperType>) -> (String, Vec<RuleId>) {
 }
 
 fn assert_rule(rules: &[RuleId], rule: RuleId, ctx: &str) {
-    assert!(rules.contains(&rule), "{rule} must fire for {ctx}; fired: {rules:?}");
+    assert!(
+        rules.contains(&rule),
+        "{rule} must fire for {ctx}; fired: {rules:?}"
+    );
 }
 
 #[test]
@@ -104,7 +107,11 @@ fn r10_copy_loop_dynamic() {
 
 #[test]
 fn r11_low_mask_widths() {
-    for (decl, want) in [("f(uint8)", "(uint8)"), ("f(uint48)", "(uint48)"), ("f(uint128)", "(uint128)")] {
+    for (decl, want) in [
+        ("f(uint8)", "(uint8)"),
+        ("f(uint48)", "(uint48)"),
+        ("f(uint128)", "(uint128)"),
+    ] {
         let (ty, rules) = solidity(decl, Visibility::External);
         assert_eq!(ty, want);
         assert_rule(&rules, RuleId::R11, decl);
@@ -120,7 +127,11 @@ fn r12_high_mask_bytes() {
 
 #[test]
 fn r13_signextend_widths() {
-    for (decl, want) in [("f(int8)", "(int8)"), ("f(int64)", "(int64)"), ("f(int200)", "(int200)")] {
+    for (decl, want) in [
+        ("f(int8)", "(int8)"),
+        ("f(int64)", "(int64)"),
+        ("f(int200)", "(int200)"),
+    ] {
         let (ty, rules) = solidity(decl, Visibility::External);
         assert_eq!(ty, want);
         assert_rule(&rules, RuleId::R13, decl);
@@ -148,7 +159,10 @@ fn r16_address_vs_uint160() {
     assert_rule(&rules, RuleId::R16, "160-bit mask without arithmetic");
     let (ty, rules) = solidity("f(uint160)", Visibility::External);
     assert_eq!(ty, "(uint160)");
-    assert!(!rules.contains(&RuleId::R16), "arithmetic defeats the address rule");
+    assert!(
+        !rules.contains(&RuleId::R16),
+        "arithmetic defeats the address rule"
+    );
 }
 
 #[test]

@@ -98,7 +98,11 @@ impl LabeledContract {
                 }
             })
             .collect();
-        LabeledContract { code: compiled.code, functions, toolchain: Toolchain::Vyper(version) }
+        LabeledContract {
+            code: compiled.code,
+            functions,
+            toolchain: Toolchain::Vyper(version),
+        }
     }
 
     /// Total functions.
@@ -117,12 +121,17 @@ pub struct Corpus {
 impl Corpus {
     /// Total functions across the corpus.
     pub fn function_count(&self) -> usize {
-        self.contracts.iter().map(LabeledContract::function_count).sum()
+        self.contracts
+            .iter()
+            .map(LabeledContract::function_count)
+            .sum()
     }
 
     /// Iterates `(contract, function)` pairs.
     pub fn functions(&self) -> impl Iterator<Item = (&LabeledContract, &LabeledFunction)> {
-        self.contracts.iter().flat_map(|c| c.functions.iter().map(move |f| (c, f)))
+        self.contracts
+            .iter()
+            .flat_map(|c| c.functions.iter().map(move |f| (c, f)))
     }
 }
 

@@ -26,9 +26,30 @@ const QUIRK_RATES: [(Quirk, f64); 5] = [
 
 /// A function-name pool for realistic corpora.
 const NAMES: [&str; 24] = [
-    "transfer", "approve", "mint", "burn", "deposit", "withdraw", "swap", "stake", "unstake",
-    "claim", "vote", "delegate", "register", "resolve", "setOwner", "pause", "unpause",
-    "updateRate", "addLiquidity", "removeLiquidity", "flashLoan", "settle", "redeem", "sweep",
+    "transfer",
+    "approve",
+    "mint",
+    "burn",
+    "deposit",
+    "withdraw",
+    "swap",
+    "stake",
+    "unstake",
+    "claim",
+    "vote",
+    "delegate",
+    "register",
+    "resolve",
+    "setOwner",
+    "pause",
+    "unpause",
+    "updateRate",
+    "addLiquidity",
+    "removeLiquidity",
+    "flashLoan",
+    "settle",
+    "redeem",
+    "sweep",
 ];
 
 fn fresh_name(rng: &mut StdRng, used: &mut Vec<String>) -> String {
@@ -61,7 +82,11 @@ fn pick_quirk(rng: &mut StdRng) -> Quirk {
 /// One realistic Solidity function, honouring quirk/type compatibility.
 fn realistic_function(rng: &mut StdRng, used: &mut Vec<String>) -> FunctionSpec {
     let name = fresh_name(rng, used);
-    let vis = if rng.gen_bool(0.5) { Visibility::Public } else { Visibility::External };
+    let vis = if rng.gen_bool(0.5) {
+        Visibility::Public
+    } else {
+        Visibility::External
+    };
     let quirk = pick_quirk(rng);
     let params: Vec<AbiType> = match &quirk {
         Quirk::InlineAssemblyReads { .. } => {
@@ -69,7 +94,10 @@ fn realistic_function(rng: &mut StdRng, used: &mut Vec<String>) -> FunctionSpec 
             Vec::new()
         }
         Quirk::TypeConversion { .. } => {
-            vec![AbiType::Array(Box::new(AbiType::Uint(256)), rng.gen_range(2..=6))]
+            vec![AbiType::Array(
+                Box::new(AbiType::Uint(256)),
+                rng.gen_range(2..=6),
+            )]
         }
         Quirk::StoragePointer => vec![AbiType::DynArray(Box::new(AbiType::Uint(256)))],
         Quirk::ConstIndexOptimized => {
@@ -86,7 +114,9 @@ fn realistic_function(rng: &mut StdRng, used: &mut Vec<String>) -> FunctionSpec 
             }
             p
         }
-        Quirk::None => (0..rng.gen_range(0..=4)).map(|_| typegen::realistic(rng)).collect(),
+        Quirk::None => (0..rng.gen_range(0..=4))
+            .map(|_| typegen::realistic(rng))
+            .collect(),
     };
     let quirk = match quirk {
         Quirk::TypeConversion { .. } => {
@@ -101,13 +131,21 @@ fn realistic_function(rng: &mut StdRng, used: &mut Vec<String>) -> FunctionSpec 
         }
         other => other,
     };
-    FunctionSpec { signature: FunctionSignature::from_declaration(&name, params), visibility: vis, quirk }
+    FunctionSpec {
+        signature: FunctionSignature::from_declaration(&name, params),
+        visibility: vis,
+        quirk,
+    }
 }
 
 /// Builds a Solidity contract of `n_functions` realistic functions.
 /// About a quarter of contracts are token-like and expose the canonical
 /// `transfer(address,uint256)` (the short-address-attack target of §6.1).
-fn realistic_contract(rng: &mut StdRng, n_functions: usize, config: CompilerConfig) -> LabeledContract {
+fn realistic_contract(
+    rng: &mut StdRng,
+    n_functions: usize,
+    config: CompilerConfig,
+) -> LabeledContract {
     let mut used = Vec::new();
     let mut specs: Vec<FunctionSpec> = Vec::with_capacity(n_functions);
     if rng.gen_bool(0.25) {
@@ -175,10 +213,14 @@ pub fn dataset2(seed: u64) -> Corpus {
                         break n;
                     }
                 };
-                let params: Vec<AbiType> =
-                    (0..rng.gen_range(1..=5)).map(|_| typegen::synthesized(&mut rng)).collect();
-                let vis =
-                    if rng.gen_bool(0.5) { Visibility::Public } else { Visibility::External };
+                let params: Vec<AbiType> = (0..rng.gen_range(1..=5))
+                    .map(|_| typegen::synthesized(&mut rng))
+                    .collect();
+                let vis = if rng.gen_bool(0.5) {
+                    Visibility::Public
+                } else {
+                    Visibility::External
+                };
                 // The paper's 8 dataset-2 failures all stem from case 5;
                 // under optimisation a small share of external static-array
                 // accesses use constant indices and lose their bound
@@ -215,10 +257,10 @@ pub fn vyper_corpus(contracts: usize, seed: u64) -> Corpus {
             let specs: Vec<VyperFunctionSpec> = (0..n)
                 .map(|_| {
                     let name = fresh_name(&mut rng, &mut used);
-                    let params: Vec<VyperType> =
-                        (0..rng.gen_range(0..=3)).map(|_| typegen::vyper(&mut rng)).collect();
-                    let has_bytes =
-                        params.iter().any(|p| matches!(p, VyperType::FixedBytes(_)));
+                    let params: Vec<VyperType> = (0..rng.gen_range(0..=3))
+                        .map(|_| typegen::vyper(&mut rng))
+                        .collect();
+                    let has_bytes = params.iter().any(|p| matches!(p, VyperType::FixedBytes(_)));
                     let quirk = if has_bytes && rng.gen_bool(0.12) {
                         VyperQuirk::BytesNeverByteAccessed
                     } else {
@@ -243,7 +285,7 @@ pub fn struct_nested_corpus(functions: usize, static_struct_share: f64, seed: u6
     let mut contracts = Vec::new();
     let mut remaining = functions;
     while remaining > 0 {
-        let n = rng.gen_range(1..=4).min(remaining);
+        let n = rng.gen_range(1usize..=4).min(remaining);
         let mut used = Vec::new();
         let specs: Vec<FunctionSpec> = (0..n)
             .map(|_| {
@@ -259,8 +301,11 @@ pub fn struct_nested_corpus(functions: usize, static_struct_share: f64, seed: u6
                 for _ in 0..rng.gen_range(0..=2) {
                     params.push(typegen::basic(&mut rng));
                 }
-                let vis =
-                    if rng.gen_bool(0.5) { Visibility::Public } else { Visibility::External };
+                let vis = if rng.gen_bool(0.5) {
+                    Visibility::Public
+                } else {
+                    Visibility::External
+                };
                 FunctionSpec::new(FunctionSignature::from_declaration(&name, params), vis)
             })
             .collect();
@@ -302,7 +347,11 @@ pub fn vyper_version_sweep(contracts_per_version: usize, seed: u64) -> Vec<(Vype
         let mut rng = StdRng::seed_from_u64(seed + i as u64);
         // Versions 1, 4 and 7 in the ladder are rare in the wild: 1–2
         // contracts only.
-        let n_contracts = if matches!(i, 1 | 4 | 7) { rng.gen_range(1..=2) } else { contracts_per_version };
+        let n_contracts = if matches!(i, 1 | 4 | 7) {
+            rng.gen_range(1..=2)
+        } else {
+            contracts_per_version
+        };
         let contracts = (0..n_contracts)
             .map(|_| {
                 let mut used = Vec::new();
@@ -310,8 +359,9 @@ pub fn vyper_version_sweep(contracts_per_version: usize, seed: u64) -> Vec<(Vype
                 let specs: Vec<VyperFunctionSpec> = (0..n)
                     .map(|_| {
                         let name = fresh_name(&mut rng, &mut used);
-                        let mut params: Vec<VyperType> =
-                            (0..rng.gen_range(0..=3)).map(|_| typegen::vyper(&mut rng)).collect();
+                        let mut params: Vec<VyperType> = (0..rng.gen_range(0..=3))
+                            .map(|_| typegen::vyper(&mut rng))
+                            .collect();
                         // Rare versions carry the error case to reproduce
                         // the small-sample dips.
                         let quirk = if matches!(i, 1 | 4 | 7) && rng.gen_bool(0.5) {
@@ -361,7 +411,10 @@ mod tests {
     fn dataset3_quirk_rate_near_target() {
         let c = dataset3(400, 3);
         let total = c.function_count() as f64;
-        let quirked = c.functions().filter(|(_, f)| f.quirk != Quirk::None).count() as f64;
+        let quirked = c
+            .functions()
+            .filter(|(_, f)| f.quirk != Quirk::None)
+            .count() as f64;
         let rate = quirked / total;
         assert!(rate < 0.05, "quirk rate {rate} too high");
     }
@@ -379,8 +432,10 @@ mod tests {
         assert_eq!(c.function_count(), 40);
         for (_, f) in c.functions() {
             assert!(
-                f.declared.params.iter().any(|p| matches!(p, AbiType::Tuple(_))
-                    || p.is_nested_array()),
+                f.declared
+                    .params
+                    .iter()
+                    .any(|p| matches!(p, AbiType::Tuple(_)) || p.is_nested_array()),
                 "function must take a struct or nested array: {}",
                 f.declared.canonical()
             );

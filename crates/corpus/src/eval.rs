@@ -88,7 +88,8 @@ pub fn evaluate(sigrec: &SigRec, corpus: &Corpus) -> Evaluation {
         let recovered = sigrec.recover(&contract.code);
         for f in &contract.functions {
             let hit = recovered.iter().find(|r| r.selector == f.declared.selector);
-            eval.outcomes.push(score(f, hit.map(|r| (&r.params, r.elapsed))));
+            eval.outcomes
+                .push(score(f, hit.map(|r| (&r.params, r.elapsed))));
             if let Some(r) = hit {
                 eval.rule_stats.absorb(&r.rules);
             }

@@ -67,7 +67,12 @@ pub struct TrafficParams {
 
 impl Default for TrafficParams {
     fn default() -> Self {
-        TrafficParams { transactions: 1000, invalid_rate: 0.01, attacks: 5, seed: 1 }
+        TrafficParams {
+            transactions: 1000,
+            invalid_rate: 0.01,
+            attacks: 5,
+            seed: 1,
+        }
     }
 }
 
@@ -90,8 +95,11 @@ pub fn generate_traffic(corpus: &Corpus, params: &TrafficParams) -> Vec<Transact
     }
     for _ in 0..params.transactions {
         let sig = targets[rng.gen_range(0..targets.len())];
-        let values: Vec<AbiValue> =
-            sig.params.iter().map(|t| random_value(&mut rng, t, &limits)).collect();
+        let values: Vec<AbiValue> = sig
+            .params
+            .iter()
+            .map(|t| random_value(&mut rng, t, &limits))
+            .collect();
         let mut calldata = sig.selector.0.to_vec();
         calldata.extend(encode(&sig.params, &values).expect("generated values conform"));
         if rng.gen_bool(params.invalid_rate) {
@@ -104,7 +112,11 @@ pub fn generate_traffic(corpus: &Corpus, params: &TrafficParams) -> Vec<Transact
                 continue;
             }
         }
-        out.push(Transaction { calldata, target: sig.clone(), label: TrafficLabel::Valid });
+        out.push(Transaction {
+            calldata,
+            target: sig.clone(),
+            label: TrafficLabel::Valid,
+        });
     }
     // Short-address attacks.
     let transfer_like: Vec<&FunctionSignature> = targets
@@ -141,14 +153,22 @@ pub fn short_address_attack(rng: &mut StdRng, sig: &FunctionSignature) -> Transa
     let amount = U256::from(rng.gen_range(1_000u64..1_000_000));
     let mut values = vec![AbiValue::Address(addr), AbiValue::Uint(amount)];
     for extra in &sig.params[2.min(sig.params.len())..] {
-        values.push(crate::valuegen::random_value(rng, extra, &ValueLimits::default()));
+        values.push(crate::valuegen::random_value(
+            rng,
+            extra,
+            &ValueLimits::default(),
+        ));
     }
     let mut calldata = sig.selector.0.to_vec();
     calldata.extend(encode(&sig.params, &values).expect("attack values conform"));
     // Delete the address's trailing k zero bytes (bytes 4+32-k .. 4+32);
     // everything after shifts up and the calldata is k bytes short.
     calldata.drain(4 + 32 - k..4 + 32);
-    Transaction { calldata, target: sig.clone(), label: TrafficLabel::ShortAddressAttack }
+    Transaction {
+        calldata,
+        target: sig.clone(),
+        label: TrafficLabel::ShortAddressAttack,
+    }
 }
 
 /// Applies a random malformation suited to the signature. Returns `None`
@@ -166,11 +186,16 @@ fn malform(
         h += p.head_size();
     }
     let mut options: Vec<MalformKind> = vec![MalformKind::Truncated];
-    if heads.iter().any(|(_, p)| matches!(p, AbiType::Uint(m) if *m < 256) || *p == AbiType::Address)
+    if heads
+        .iter()
+        .any(|(_, p)| matches!(p, AbiType::Uint(m) if *m < 256) || *p == AbiType::Address)
     {
         options.push(MalformKind::DirtyLeftPadding);
     }
-    if heads.iter().any(|(_, p)| matches!(p, AbiType::FixedBytes(m) if *m < 32)) {
+    if heads
+        .iter()
+        .any(|(_, p)| matches!(p, AbiType::FixedBytes(m) if *m < 32))
+    {
         options.push(MalformKind::DirtyRightPadding);
     }
     if heads.iter().any(|(_, p)| *p == AbiType::Bool) {
@@ -189,14 +214,15 @@ fn malform(
             calldata.truncate(calldata.len() - cut);
         }
         MalformKind::DirtyLeftPadding => {
-            let (h, _) = heads
-                .iter()
-                .find(|(_, p)| matches!(p, AbiType::Uint(m) if *m < 256) || *p == AbiType::Address)?;
+            let (h, _) = heads.iter().find(|(_, p)| {
+                matches!(p, AbiType::Uint(m) if *m < 256) || *p == AbiType::Address
+            })?;
             calldata[*h] = 0xde;
         }
         MalformKind::DirtyRightPadding => {
-            let (h, _) =
-                heads.iter().find(|(_, p)| matches!(p, AbiType::FixedBytes(m) if *m < 32))?;
+            let (h, _) = heads
+                .iter()
+                .find(|(_, p)| matches!(p, AbiType::FixedBytes(m) if *m < 32))?;
             calldata[*h + 31] = 0xad;
         }
         MalformKind::BadBool => {
@@ -222,7 +248,12 @@ mod tests {
         let corpus = datasets::dataset3(20, 77);
         let txs = generate_traffic(
             &corpus,
-            &TrafficParams { transactions: 300, invalid_rate: 0.2, attacks: 10, seed: 3 },
+            &TrafficParams {
+                transactions: 300,
+                invalid_rate: 0.2,
+                attacks: 10,
+                seed: 3,
+            },
         );
         assert!(txs.len() >= 300);
         for tx in &txs {
@@ -230,7 +261,11 @@ mod tests {
             match tx.label {
                 TrafficLabel::Valid => assert!(ok, "valid tx must decode: {}", tx.target),
                 TrafficLabel::Malformed(kind) => {
-                    assert!(!ok, "malformed tx ({kind:?}) must be rejected: {}", tx.target)
+                    assert!(
+                        !ok,
+                        "malformed tx ({kind:?}) must be rejected: {}",
+                        tx.target
+                    )
                 }
                 TrafficLabel::ShortAddressAttack => {
                     assert!(!ok, "attack tx must be rejected")
@@ -253,12 +288,22 @@ mod tests {
         let corpus = datasets::dataset3(10, 4);
         let txs = generate_traffic(
             &corpus,
-            &TrafficParams { transactions: 50, invalid_rate: 0.0, attacks: 7, seed: 5 },
+            &TrafficParams {
+                transactions: 50,
+                invalid_rate: 0.0,
+                attacks: 7,
+                seed: 5,
+            },
         );
-        let attacks =
-            txs.iter().filter(|t| t.label == TrafficLabel::ShortAddressAttack).count();
+        let attacks = txs
+            .iter()
+            .filter(|t| t.label == TrafficLabel::ShortAddressAttack)
+            .count();
         assert_eq!(attacks, 7);
-        let valid = txs.iter().filter(|t| t.label == TrafficLabel::Valid).count();
+        let valid = txs
+            .iter()
+            .filter(|t| t.label == TrafficLabel::Valid)
+            .count();
         assert_eq!(valid, 50);
     }
 }

@@ -84,15 +84,15 @@ pub fn static_struct(rng: &mut impl Rng) -> AbiType {
 pub fn realistic(rng: &mut impl Rng) -> AbiType {
     let roll = rng.gen_range(0..1000);
     match roll {
-        0..=699 => basic(rng),                                  // 70 %
-        700..=779 => AbiType::Bytes,                            // 8 %
-        780..=839 => AbiType::String,                           // 6 %
-        840..=919 => dynamic_array(rng, 0, 5),                  // 8 %
-        920..=964 => static_array(rng, 1, 5),                   // 4.5 %
-        965..=984 => static_array(rng, 2, 4),                   // 2 %
-        985..=989 => dynamic_array(rng, 1, 4),                  // 0.5 %
-        990..=994 => nested_array(rng),                         // 0.5 %
-        _ => dynamic_struct(rng),                               // 0.5 %
+        0..=699 => basic(rng),                 // 70 %
+        700..=779 => AbiType::Bytes,           // 8 %
+        780..=839 => AbiType::String,          // 6 %
+        840..=919 => dynamic_array(rng, 0, 5), // 8 %
+        920..=964 => static_array(rng, 1, 5),  // 4.5 %
+        965..=984 => static_array(rng, 2, 4),  // 2 %
+        985..=989 => dynamic_array(rng, 1, 4), // 0.5 %
+        990..=994 => nested_array(rng),        // 0.5 %
+        _ => dynamic_struct(rng),              // 0.5 %
     }
 }
 
@@ -100,7 +100,7 @@ pub fn realistic(rng: &mut impl Rng) -> AbiType {
 /// dimensions with at most five items per dimension (§5.6).
 pub fn synthesized(rng: &mut impl Rng) -> AbiType {
     match rng.gen_range(0..8) {
-        0 | 1 | 2 => basic(rng),
+        0..=2 => basic(rng),
         3 => AbiType::Bytes,
         4 => AbiType::String,
         5 => {
@@ -145,7 +145,9 @@ pub fn vyper(rng: &mut impl Rng) -> VyperType {
 
 /// A random lowercase function name of `len` letters (dataset 2 uses 5).
 pub fn name(rng: &mut impl Rng, len: usize) -> String {
-    (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
 }
 
 #[cfg(test)]

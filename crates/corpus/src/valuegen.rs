@@ -19,7 +19,10 @@ pub struct ValueLimits {
 
 impl Default for ValueLimits {
     fn default() -> Self {
-        ValueLimits { max_array_items: 4, max_byte_len: 48 }
+        ValueLimits {
+            max_array_items: 4,
+            max_byte_len: 48,
+        }
     }
 }
 
@@ -53,16 +56,18 @@ pub fn random_value(rng: &mut impl Rng, ty: &AbiType, limits: &ValueLimits) -> A
         }
         AbiType::Address => AbiValue::Address(random_uint(rng, 160)),
         AbiType::Bool => AbiValue::Bool(rng.gen_bool(0.5)),
-        AbiType::FixedBytes(m) => {
-            AbiValue::FixedBytes((0..*m).map(|_| rng.gen::<u8>()).collect())
-        }
+        AbiType::FixedBytes(m) => AbiValue::FixedBytes((0..*m).map(|_| rng.gen::<u8>()).collect()),
         AbiType::Bytes => {
             let len = rng.gen_range(0..=limits.max_byte_len);
             AbiValue::Bytes((0..len).map(|_| rng.gen::<u8>()).collect())
         }
         AbiType::String => {
             let len = rng.gen_range(0..=limits.max_byte_len);
-            AbiValue::Str((0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect())
+            AbiValue::Str(
+                (0..len)
+                    .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                    .collect(),
+            )
         }
         AbiType::Array(el, n) => {
             AbiValue::Array((0..*n).map(|_| random_value(rng, el, limits)).collect())
@@ -107,9 +112,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let limits = ValueLimits::default();
         for s in [
-            "uint8", "uint256", "int8", "int256", "address", "bool", "bytes4", "bytes32",
-            "bytes", "string", "uint256[3]", "uint8[]", "uint256[2][]", "uint256[][]",
-            "(uint256[],bool)", "(uint8,uint8)",
+            "uint8",
+            "uint256",
+            "int8",
+            "int256",
+            "address",
+            "bool",
+            "bytes4",
+            "bytes32",
+            "bytes",
+            "string",
+            "uint256[3]",
+            "uint8[]",
+            "uint256[2][]",
+            "uint256[][]",
+            "(uint256[],bool)",
+            "(uint8,uint8)",
         ] {
             let ty = AbiType::parse(s).unwrap();
             for _ in 0..50 {
@@ -123,7 +141,14 @@ mod tests {
     fn encode_decode_round_trip_on_random_values() {
         let mut rng = StdRng::seed_from_u64(12);
         let limits = ValueLimits::default();
-        for s in ["uint16", "int32", "bytes", "uint8[]", "(uint256[],uint256)", "string"] {
+        for s in [
+            "uint16",
+            "int32",
+            "bytes",
+            "uint8[]",
+            "(uint256[],uint256)",
+            "string",
+        ] {
             let ty = AbiType::parse(s).unwrap();
             for _ in 0..20 {
                 let v = random_value(&mut rng, &ty, &limits);

@@ -56,15 +56,21 @@ impl ToolReport {
     }
 }
 
+/// A reference tool's outputs keyed by `(contract index, selector)`.
+pub type ReferenceOutputs = HashMap<(usize, [u8; 4]), Vec<sigrec_abi::AbiType>>;
+
 /// Runs `tool` over the corpus, scoring against ground truth and (when
 /// given) against a reference tool's outputs keyed by `(contract index,
 /// selector)`.
 pub fn run_tool(
     tool: &dyn RecoveryTool,
     corpus: &Corpus,
-    reference: Option<&HashMap<(usize, [u8; 4]), Vec<sigrec_abi::AbiType>>>,
+    reference: Option<&ReferenceOutputs>,
 ) -> ToolReport {
-    let mut report = ToolReport { tool: tool.name().to_string(), ..Default::default() };
+    let mut report = ToolReport {
+        tool: tool.name().to_string(),
+        ..Default::default()
+    };
     for (ci, contract) in corpus.contracts.iter().enumerate() {
         let out: ToolOutput = tool.recover(&contract.code);
         for f in &contract.functions {
@@ -74,7 +80,10 @@ pub fn run_tool(
                 report.missing += 1;
                 continue;
             }
-            let hit = out.functions.iter().find(|t| t.selector == f.declared.selector);
+            let hit = out
+                .functions
+                .iter()
+                .find(|t| t.selector == f.declared.selector);
             let Some(params) = hit.and_then(|t| t.params.as_ref()) else {
                 report.missing += 1;
                 continue;

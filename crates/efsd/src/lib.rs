@@ -14,4 +14,6 @@ pub mod tools;
 
 pub use compare::{reference_outputs, run_tool, ToolReport};
 pub use db::Efsd;
-pub use tools::{DbTool, EveemTool, GigahorseTool, RecoveryTool, SigRecTool, ToolFunction, ToolOutput};
+pub use tools::{
+    DbTool, EveemTool, GigahorseTool, RecoveryTool, SigRecTool, ToolFunction, ToolOutput,
+};

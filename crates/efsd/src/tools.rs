@@ -54,7 +54,9 @@ pub struct SigRecTool {
 impl SigRecTool {
     /// Wraps a default-config SigRec.
     pub fn new() -> Self {
-        SigRecTool { inner: SigRec::new() }
+        SigRecTool {
+            inner: SigRec::new(),
+        }
     }
 }
 
@@ -74,9 +76,15 @@ impl RecoveryTool for SigRecTool {
             .inner
             .recover(code)
             .into_iter()
-            .map(|f| ToolFunction { selector: f.selector, params: Some(f.params) })
+            .map(|f| ToolFunction {
+                selector: f.selector,
+                params: Some(f.params),
+            })
             .collect();
-        ToolOutput { functions, aborted: false }
+        ToolOutput {
+            functions,
+            aborted: false,
+        }
     }
 }
 
@@ -94,7 +102,11 @@ impl DbTool {
     /// Creates a database-lookup tool holding `keep` of `db` (keyed
     /// deterministically per selector and tool name).
     pub fn new(name: &str, db: Efsd, keep: f64) -> Self {
-        DbTool { name: name.to_string(), db, keep }
+        DbTool {
+            name: name.to_string(),
+            db,
+            keep,
+        }
     }
 
     fn has(&self, selector: Selector) -> bool {
@@ -125,7 +137,10 @@ impl RecoveryTool for DbTool {
                 },
             })
             .collect();
-        ToolOutput { functions, aborted: false }
+        ToolOutput {
+            functions,
+            aborted: false,
+        }
     }
 }
 
@@ -148,7 +163,9 @@ impl EveemTool {
     /// simplest shapes.
     fn heuristic(&self, disasm: &Disassembly, entry: usize, end: usize) -> Vec<AbiType> {
         let instrs = disasm.instructions();
-        let Some(start_idx) = disasm.index_of(entry) else { return Vec::new() };
+        let Some(start_idx) = disasm.index_of(entry) else {
+            return Vec::new();
+        };
         let mut slots: Vec<(u64, AbiType)> = Vec::new();
         let mut dynamic_heads: Vec<u64> = Vec::new();
         let mut i = start_idx;
@@ -161,16 +178,13 @@ impl EveemTool {
                         let ty = self.peek_mask(instrs, i + 1);
                         // Heuristic dynamic-type detection: the loaded word
                         // is immediately used as a base (ADD 4 then load).
-                        let is_offsetish = matches!(
-                            instrs.get(i + 1).map(|x| x.opcode),
-                            Some(Opcode::Push(_))
-                        ) && matches!(
-                            instrs.get(i + 2).map(|x| x.opcode),
-                            Some(Opcode::Add)
-                        ) && matches!(
-                            instrs.get(i + 3).map(|x| x.opcode),
-                            Some(Opcode::CallDataLoad)
-                        );
+                        let is_offsetish =
+                            matches!(instrs.get(i + 1).map(|x| x.opcode), Some(Opcode::Push(_)))
+                                && matches!(instrs.get(i + 2).map(|x| x.opcode), Some(Opcode::Add))
+                                && matches!(
+                                    instrs.get(i + 3).map(|x| x.opcode),
+                                    Some(Opcode::CallDataLoad)
+                                );
                         if is_offsetish {
                             if !dynamic_heads.contains(&off) {
                                 dynamic_heads.push(off);
@@ -253,15 +267,24 @@ impl RecoveryTool for EveemTool {
         let mut functions = Vec::with_capacity(table.len());
         for (k, e) in table.iter().enumerate() {
             if let Some(known) = self.db.lookup(e.selector) {
-                functions.push(ToolFunction { selector: e.selector, params: Some(known.clone()) });
+                functions.push(ToolFunction {
+                    selector: e.selector,
+                    params: Some(known.clone()),
+                });
                 continue;
             }
             // Body spans to the next entry (entries are laid out in order).
             let end = table.get(k + 1).map(|n| n.entry).unwrap_or(code_end);
             let params = self.heuristic(&disasm, e.entry, end);
-            functions.push(ToolFunction { selector: e.selector, params: Some(params) });
+            functions.push(ToolFunction {
+                selector: e.selector,
+                params: Some(params),
+            });
         }
-        ToolOutput { functions, aborted: false }
+        ToolOutput {
+            functions,
+            aborted: false,
+        }
     }
 }
 
@@ -275,7 +298,10 @@ pub struct GigahorseTool {
 impl GigahorseTool {
     /// Creates Gigahorse with its database snapshot.
     pub fn new(db: Efsd) -> Self {
-        GigahorseTool { db: db.clone(), eveem_like: EveemTool::new(db) }
+        GigahorseTool {
+            db: db.clone(),
+            eveem_like: EveemTool::new(db),
+        }
     }
 
     fn mangle(&self, selector: Selector, params: Vec<AbiType>) -> Vec<AbiType> {
@@ -322,22 +348,34 @@ impl RecoveryTool for GigahorseTool {
         // Aborts on ~3.4 % of contracts, deterministically by code hash.
         let digest = keccak256(code);
         if digest[0] < 9 {
-            return ToolOutput { functions: Vec::new(), aborted: true };
+            return ToolOutput {
+                functions: Vec::new(),
+                aborted: true,
+            };
         }
         let disasm = Disassembly::new(code);
         let table = extract_dispatch(&disasm);
         let mut functions = Vec::with_capacity(table.len());
         for (k, e) in table.iter().enumerate() {
             if let Some(known) = self.db.lookup(e.selector) {
-                functions.push(ToolFunction { selector: e.selector, params: Some(known.clone()) });
+                functions.push(ToolFunction {
+                    selector: e.selector,
+                    params: Some(known.clone()),
+                });
                 continue;
             }
             let end = table.get(k + 1).map(|n| n.entry).unwrap_or(code.len());
             let raw = self.eveem_like.heuristic(&disasm, e.entry, end);
             let params = self.mangle(e.selector, raw);
-            functions.push(ToolFunction { selector: e.selector, params: Some(params) });
+            functions.push(ToolFunction {
+                selector: e.selector,
+                params: Some(params),
+            });
         }
-        ToolOutput { functions, aborted: false }
+        ToolOutput {
+            functions,
+            aborted: false,
+        }
     }
 }
 
@@ -364,7 +402,10 @@ mod tests {
         let tool = DbTool::new("OSD", db, 1.0);
         let out = tool.recover(&code);
         assert_eq!(out.functions.len(), 1);
-        assert_eq!(out.functions[0].params.as_deref(), Some(sig.params.as_slice()));
+        assert_eq!(
+            out.functions[0].params.as_deref(),
+            Some(sig.params.as_slice())
+        );
 
         let empty_tool = DbTool::new("OSD", Efsd::new(), 1.0);
         let out = empty_tool.recover(&code);
@@ -387,7 +428,11 @@ mod tests {
         let tool = EveemTool::new(Efsd::new());
         let out = tool.recover(&code);
         let params = out.functions[0].params.as_ref().unwrap();
-        assert_ne!(params.as_slice(), sig.params.as_slice(), "no struct support");
+        assert_ne!(
+            params.as_slice(),
+            sig.params.as_slice(),
+            "no struct support"
+        );
     }
 
     #[test]
@@ -395,7 +440,12 @@ mod tests {
         // Collect errors over several functions: at least one must be
         // distorted.
         let mut mangled = 0;
-        for decl in ["a(uint8)", "b(uint16,uint32)", "c(uint64)", "d(uint128,bool)"] {
+        for decl in [
+            "a(uint8)",
+            "b(uint16,uint32)",
+            "c(uint64)",
+            "d(uint128,bool)",
+        ] {
             let (sig, code) = contract(decl);
             let tool = GigahorseTool::new(Efsd::new());
             let out = tool.recover(&code);
@@ -415,7 +465,10 @@ mod tests {
     fn sigrec_tool_wraps_pipeline() {
         let (sig, code) = contract("f(bool,bytes4)");
         let out = SigRecTool::new().recover(&code);
-        assert_eq!(out.functions[0].params.as_deref(), Some(sig.params.as_slice()));
+        assert_eq!(
+            out.functions[0].params.as_deref(),
+            Some(sig.params.as_slice())
+        );
         assert_eq!(SigRecTool::new().name(), "SigRec");
     }
 }

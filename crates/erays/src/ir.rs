@@ -78,10 +78,16 @@ impl fmt::Display for IrStmt {
                 write_args(f, args)?;
                 write!(f, ")")
             }
-            IrStmt::Jump { target, condition: Some(c) } => {
+            IrStmt::Jump {
+                target,
+                condition: Some(c),
+            } => {
                 write!(f, "if {} goto {}", c, target)
             }
-            IrStmt::Jump { target, condition: None } => write!(f, "goto {}", target),
+            IrStmt::Jump {
+                target,
+                condition: None,
+            } => write!(f, "goto {}", target),
             IrStmt::Halt { op } => write!(f, "{}", op),
             IrStmt::Label { pc } => write!(f, "loc_{:x}:", pc),
         }
@@ -135,15 +141,24 @@ pub fn lift(code: &[u8], entries: &[usize]) -> IrProgram {
     program.dispatcher = lift_range(&disasm, 0, first_entry);
     for (k, &entry) in sorted.iter().enumerate() {
         let end = sorted.get(k + 1).copied().unwrap_or(code.len());
-        program.functions.push(IrFunction { entry, body: lift_range(&disasm, entry, end) });
+        program.functions.push(IrFunction {
+            entry,
+            body: lift_range(&disasm, entry, end),
+        });
     }
     program
 }
 
 /// Lifts the instructions with `start <= pc < end`.
 fn lift_range(disasm: &Disassembly, start: usize, end: usize) -> Vec<IrStmt> {
-    let mut l = Lifter { next_var: 0, stack: Vec::new(), out: Vec::new() };
-    let Some(start_idx) = disasm.index_of(start) else { return l.out };
+    let mut l = Lifter {
+        next_var: 0,
+        stack: Vec::new(),
+        out: Vec::new(),
+    };
+    let Some(start_idx) = disasm.index_of(start) else {
+        return l.out;
+    };
     for ins in &disasm.instructions()[start_idx..] {
         if ins.pc >= end {
             break;
@@ -151,7 +166,8 @@ fn lift_range(disasm: &Disassembly, start: usize, end: usize) -> Vec<IrStmt> {
         let op = ins.opcode;
         match op {
             Opcode::Push(_) => {
-                l.stack.push(Operand::Const(ins.push_value().unwrap_or(U256::ZERO)));
+                l.stack
+                    .push(Operand::Const(ins.push_value().unwrap_or(U256::ZERO)));
             }
             Opcode::Pop => {
                 let _ = l.pop();
@@ -173,15 +189,24 @@ fn lift_range(disasm: &Disassembly, start: usize, end: usize) -> Vec<IrStmt> {
             }
             Opcode::Jump => {
                 let target = l.pop();
-                l.out.push(IrStmt::Jump { target, condition: None });
+                l.out.push(IrStmt::Jump {
+                    target,
+                    condition: None,
+                });
                 l.stack.clear();
             }
             Opcode::JumpI => {
                 let target = l.pop();
                 let cond = l.pop();
-                l.out.push(IrStmt::Jump { target, condition: Some(cond) });
+                l.out.push(IrStmt::Jump {
+                    target,
+                    condition: Some(cond),
+                });
             }
-            Opcode::Stop | Opcode::Return | Opcode::Revert | Opcode::SelfDestruct
+            Opcode::Stop
+            | Opcode::Return
+            | Opcode::Revert
+            | Opcode::SelfDestruct
             | Opcode::Invalid(_) => {
                 for _ in 0..op.stack_in() {
                     let _ = l.pop();
@@ -196,9 +221,16 @@ fn lift_range(disasm: &Disassembly, start: usize, end: usize) -> Vec<IrStmt> {
                 }
                 if other.stack_out() > 0 {
                     let dst = l.fresh();
-                    l.out.push(IrStmt::Assign { dst, op: other.mnemonic(), args });
+                    l.out.push(IrStmt::Assign {
+                        dst,
+                        op: other.mnemonic(),
+                        args,
+                    });
                 } else {
-                    l.out.push(IrStmt::Effect { op: other.mnemonic(), args });
+                    l.out.push(IrStmt::Effect {
+                        op: other.mnemonic(),
+                        args,
+                    });
                 }
             }
         }
@@ -229,7 +261,11 @@ impl Lifter {
             None => {
                 let v = self.next_var;
                 self.next_var += 1;
-                self.out.push(IrStmt::Assign { dst: v, op: "PHI".into(), args: Vec::new() });
+                self.out.push(IrStmt::Assign {
+                    dst: v,
+                    op: "PHI".into(),
+                    args: Vec::new(),
+                });
                 Operand::Var(v)
             }
         }
@@ -240,7 +276,11 @@ impl Lifter {
         while self.stack.len() < depth {
             let v = self.next_var;
             self.next_var += 1;
-            self.out.push(IrStmt::Assign { dst: v, op: "PHI".into(), args: Vec::new() });
+            self.out.push(IrStmt::Assign {
+                dst: v,
+                op: "PHI".into(),
+                args: Vec::new(),
+            });
             self.stack.insert(0, Operand::Var(v));
         }
     }
@@ -257,7 +297,11 @@ mod tests {
         let p = lift(&code, &[0]);
         let body = &p.functions[0].body;
         let text: Vec<String> = body.iter().map(|s| s.to_string()).collect();
-        assert!(text.iter().any(|l| l.contains("CALLDATALOAD(0x4)")), "{:?}", text);
+        assert!(
+            text.iter().any(|l| l.contains("CALLDATALOAD(0x4)")),
+            "{:?}",
+            text
+        );
         assert!(text.iter().any(|l| l.contains("AND(")), "{:?}", text);
         assert!(matches!(body.last(), Some(IrStmt::Halt { .. })));
     }
@@ -310,8 +354,11 @@ mod tests {
         );
         assert_eq!(IrStmt::Label { pc: 0x2a }.to_string(), "loc_2a:");
         assert_eq!(
-            IrStmt::Jump { target: Operand::Const(U256::from(8u64)), condition: None }
-                .to_string(),
+            IrStmt::Jump {
+                target: Operand::Const(U256::from(8u64)),
+                condition: None
+            }
+            .to_string(),
             "goto 0x8"
         );
     }

@@ -82,9 +82,14 @@ pub fn enhance_function(func: &IrFunction, rec: &RecoveredFunction) -> EnhancedF
     // Pass 1: name registers. A CALLDATALOAD at a head offset defines
     // argN; a CALLDATALOAD of `argN + 4` defines num(argN).
     let mut names: HashMap<u32, String> = HashMap::new();
-    let mut delta = ReadabilityDelta { added_types: rec.params.len(), ..Default::default() };
+    let mut delta = ReadabilityDelta {
+        added_types: rec.params.len(),
+        ..Default::default()
+    };
     for stmt in &func.body {
-        let IrStmt::Assign { dst, op, args } = stmt else { continue };
+        let IrStmt::Assign { dst, op, args } = stmt else {
+            continue;
+        };
         if op == "CALLDATALOAD" {
             match args.first() {
                 Some(Operand::Const(c)) => {
@@ -129,7 +134,12 @@ pub fn enhance_function(func: &IrFunction, rec: &RecoveredFunction) -> EnhancedF
     // Pass 2: emit lines, dropping access boilerplate.
     let mut lines = Vec::new();
     for (i, p) in rec.params.iter().enumerate() {
-        lines.push(format!("arg{} = calldata argument {} ({})", i + 1, i + 1, p.canonical()));
+        lines.push(format!(
+            "arg{} = calldata argument {} ({})",
+            i + 1,
+            i + 1,
+            p.canonical()
+        ));
     }
     for stmt in &func.body {
         if is_access_boilerplate(stmt, &names) {
@@ -148,7 +158,11 @@ pub fn enhance_function(func: &IrFunction, rec: &RecoveredFunction) -> EnhancedF
             .collect::<Vec<_>>()
             .join(", ")
     );
-    EnhancedFunction { header, lines, delta }
+    EnhancedFunction {
+        header,
+        lines,
+        delta,
+    }
 }
 
 /// Statements that exist only to fetch/validate parameters; Erays+ folds
@@ -160,8 +174,10 @@ fn is_access_boilerplate(stmt: &IrStmt, names: &HashMap<u32, String>) -> bool {
                 Operand::Var(v) => names.contains_key(v),
                 _ => false,
             }) || names.contains_key(dst);
-            matches!(op.as_str(), "CALLDATALOAD" | "AND" | "SIGNEXTEND" | "ISZERO" | "LT")
-                && arg_related
+            matches!(
+                op.as_str(),
+                "CALLDATALOAD" | "AND" | "SIGNEXTEND" | "ISZERO" | "LT"
+            ) && arg_related
         }
         IrStmt::Effect { op, .. } => op == "CALLDATACOPY",
         _ => false,
@@ -175,16 +191,34 @@ fn render(stmt: &IrStmt, names: &HashMap<u32, String>) -> String {
     };
     match stmt {
         IrStmt::Assign { dst, op, args } => {
-            let d = names.get(dst).cloned().unwrap_or_else(|| format!("v{}", dst));
-            format!("{} = {}({})", d, op, args.iter().map(subst).collect::<Vec<_>>().join(", "))
+            let d = names
+                .get(dst)
+                .cloned()
+                .unwrap_or_else(|| format!("v{}", dst));
+            format!(
+                "{} = {}({})",
+                d,
+                op,
+                args.iter().map(subst).collect::<Vec<_>>().join(", ")
+            )
         }
         IrStmt::Effect { op, args } => {
-            format!("{}({})", op, args.iter().map(subst).collect::<Vec<_>>().join(", "))
+            format!(
+                "{}({})",
+                op,
+                args.iter().map(subst).collect::<Vec<_>>().join(", ")
+            )
         }
-        IrStmt::Jump { target, condition: Some(c) } => {
+        IrStmt::Jump {
+            target,
+            condition: Some(c),
+        } => {
             format!("if {} goto {}", subst(c), subst(target))
         }
-        IrStmt::Jump { target, condition: None } => format!("goto {}", subst(target)),
+        IrStmt::Jump {
+            target,
+            condition: None,
+        } => format!("goto {}", subst(target)),
         other => other.to_string(),
     }
 }
@@ -232,7 +266,10 @@ mod tests {
         let e = enhanced_for("f(uint8,bool)", Visibility::External);
         assert!(e.delta.added_param_names >= 2);
         assert!(e.delta.removed_lines >= 2, "masks and loads must fold away");
-        assert!(e.lines.iter().any(|l| l.contains("arg1 = calldata argument 1")));
+        assert!(e
+            .lines
+            .iter()
+            .any(|l| l.contains("arg1 = calldata argument 1")));
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl LoopNesting {
         }
         headers.sort_unstable();
         headers.dedup();
-        LoopNesting { headers, depth_by_block }
+        LoopNesting {
+            headers,
+            depth_by_block,
+        }
     }
 
     /// Loop depth of the block starting at `pc` (0 = not in a loop).

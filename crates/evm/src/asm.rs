@@ -104,7 +104,10 @@ impl Assembler {
 
     /// Emits raw push bytes (already sized).
     pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
-        assert!((1..=32).contains(&bytes.len()), "push payload must be 1-32 bytes");
+        assert!(
+            (1..=32).contains(&bytes.len()),
+            "push payload must be 1-32 bytes"
+        );
         self.items.push(Item::PushValue(bytes.to_vec()));
         self
     }
@@ -161,7 +164,10 @@ impl Assembler {
                 }
             }
         }
-        assert!(pc <= u16::MAX as usize, "program too large for PUSH2 labels");
+        assert!(
+            pc <= u16::MAX as usize,
+            "program too large for PUSH2 labels"
+        );
         // Pass 2: emit.
         let mut out = Vec::with_capacity(pc);
         for item in &self.items {
@@ -237,7 +243,10 @@ mod tests {
         let exit = a.fresh_label();
         a.push_u64(3);
         a.jumpdest(head);
-        a.op(Opcode::Dup(1)).op(Opcode::IsZero).push_label(exit).op(Opcode::JumpI);
+        a.op(Opcode::Dup(1))
+            .op(Opcode::IsZero)
+            .push_label(exit)
+            .op(Opcode::JumpI);
         a.push_u64(1).op(Opcode::Swap(1)).op(Opcode::Sub); // i - 1 (SUB pops a=i, b=1 → need i on top)
         a.push_label(head).op(Opcode::Jump);
         a.jumpdest(exit).op(Opcode::Stop);
@@ -258,7 +267,10 @@ mod tests {
     fn disassembles_cleanly() {
         let mut a = Assembler::new();
         let l = a.fresh_label();
-        a.push_u64(0).op(Opcode::CallDataLoad).push_label(l).op(Opcode::JumpI);
+        a.push_u64(0)
+            .op(Opcode::CallDataLoad)
+            .push_label(l)
+            .op(Opcode::JumpI);
         a.jumpdest(l).op(Opcode::Stop);
         let d = Disassembly::new(&a.assemble());
         assert_eq!(d.instructions().last().unwrap().opcode, Opcode::Stop);

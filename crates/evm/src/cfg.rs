@@ -55,9 +55,7 @@ impl Cfg {
             if ins.opcode == Opcode::JumpDest {
                 leaders.insert(ins.pc);
             }
-            if (ins.opcode.is_terminator() || ins.opcode == Opcode::JumpI)
-                && i + 1 < instrs.len()
-            {
+            if (ins.opcode.is_terminator() || ins.opcode == Opcode::JumpI) && i + 1 < instrs.len() {
                 leaders.insert(instrs[i + 1].pc);
             }
         }
@@ -106,7 +104,12 @@ impl Cfg {
             }
             blocks.insert(
                 start,
-                BasicBlock { start, range: start_idx..end_idx, successors, has_symbolic_jump },
+                BasicBlock {
+                    start,
+                    range: start_idx..end_idx,
+                    successors,
+                    has_symbolic_jump,
+                },
             );
         }
         Cfg { disasm, blocks }

@@ -73,7 +73,11 @@ impl Disassembly {
             let imm_len = opcode.immediate_len();
             let end = (pc + 1 + imm_len).min(code.len());
             let immediate = code[pc + 1..end].to_vec();
-            instructions.push(Instruction { pc, opcode, immediate });
+            instructions.push(Instruction {
+                pc,
+                opcode,
+                immediate,
+            });
             pc += 1 + imm_len;
         }
         Disassembly { instructions }
@@ -188,7 +192,10 @@ mod tests {
     fn display_format() {
         let code = [0x63, 0xa9, 0x05, 0x9c, 0xbb];
         let d = Disassembly::new(&code);
-        assert_eq!(format!("{}", d.instructions()[0]), "0x0000: PUSH4 0xa9059cbb");
+        assert_eq!(
+            format!("{}", d.instructions()[0]),
+            "0x0000: PUSH4 0xa9059cbb"
+        );
     }
 
     #[test]

@@ -183,7 +183,11 @@ pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
                         }
                     }
                 }
-                out.push(NaturalLoop { header: s, latch: b, body });
+                out.push(NaturalLoop {
+                    header: s,
+                    latch: b,
+                    body,
+                });
             }
         }
     }
@@ -203,7 +207,10 @@ mod tests {
         let exit = a.fresh_label();
         a.push_u64(3);
         a.jumpdest(head);
-        a.op(Op::Dup(1)).op(Op::IsZero).push_label(exit).op(Op::JumpI);
+        a.op(Op::Dup(1))
+            .op(Op::IsZero)
+            .push_label(exit)
+            .op(Op::JumpI);
         a.push_u64(1).op(Op::Swap(1)).op(Op::Sub);
         a.push_label(head).op(Op::Jump);
         a.jumpdest(exit).op(Op::Stop);

@@ -14,11 +14,11 @@ pub fn static_cost(op: Opcode) -> u64 {
     match op {
         Stop | Return | Revert => 0,
         JumpDest => 1,
-        Address | Origin | Caller | CallValue | CallDataSize | CodeSize | GasPrice
-        | Coinbase | Timestamp | Number | Difficulty | GasLimit | ChainId | ReturnDataSize
-        | Pop | Pc | MSize | Gas | BaseFee => 2,
-        Add | Sub | Not | Lt | Gt | SLt | SGt | Eq | IsZero | And | Or | Xor | Byte | Shl
-        | Shr | Sar | CallDataLoad | MLoad | MStore | MStore8 | Push(_) | Dup(_) | Swap(_) => 3,
+        Address | Origin | Caller | CallValue | CallDataSize | CodeSize | GasPrice | Coinbase
+        | Timestamp | Number | Difficulty | GasLimit | ChainId | ReturnDataSize | Pop | Pc
+        | MSize | Gas | BaseFee => 2,
+        Add | Sub | Not | Lt | Gt | SLt | SGt | Eq | IsZero | And | Or | Xor | Byte | Shl | Shr
+        | Sar | CallDataLoad | MLoad | MStore | MStore8 | Push(_) | Dup(_) | Swap(_) => 3,
         Mul | Div | SDiv | Mod | SMod | SignExtend | SelfBalance => 5,
         AddMod | MulMod | Jump => 8,
         JumpI | Exp => 10,

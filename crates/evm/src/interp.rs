@@ -9,8 +9,8 @@
 use crate::disasm::Disassembly;
 use crate::gas;
 use crate::keccak::keccak256;
-use crate::trace::{TraceStep, Tracer};
 use crate::opcode::Opcode;
+use crate::trace::{TraceStep, Tracer};
 use crate::u256::U256;
 use std::collections::BTreeMap;
 
@@ -54,7 +54,10 @@ impl Default for Env {
 impl Env {
     /// An environment with the given calldata and defaults elsewhere.
     pub fn with_calldata(calldata: Vec<u8>) -> Self {
-        Env { calldata, ..Env::default() }
+        Env {
+            calldata,
+            ..Env::default()
+        }
     }
 }
 
@@ -113,7 +116,10 @@ impl Execution {
     /// True if the run ended in an exceptional halt caused by `INVALID` —
     /// the fuzzing oracle for seeded bugs.
     pub fn hit_invalid(&self) -> bool {
-        matches!(self.outcome, Outcome::InvalidHalt(HaltReason::InvalidOpcode))
+        matches!(
+            self.outcome,
+            Outcome::InvalidHalt(HaltReason::InvalidOpcode)
+        )
     }
 
     /// True if the run completed without exceptional halt or revert.
@@ -147,7 +153,11 @@ impl Interpreter {
     /// Creates an interpreter with the default step limit (1 M instructions)
     /// and no gas limit.
     pub fn new(code: &[u8]) -> Self {
-        Interpreter { disasm: Disassembly::new(code), step_limit: 1_000_000, gas_limit: None }
+        Interpreter {
+            disasm: Disassembly::new(code),
+            step_limit: 1_000_000,
+            gas_limit: None,
+        }
     }
 
     /// Overrides the instruction budget.
@@ -364,8 +374,16 @@ impl<'a> Machine<'a> {
             SignExtend => binop!(|a, b| b.sign_extend(a)),
             Lt => binop!(|a, b| if a < b { U256::ONE } else { U256::ZERO }),
             Gt => binop!(|a, b| if a > b { U256::ONE } else { U256::ZERO }),
-            SLt => binop!(|a, b| if a.signed_cmp(&b).is_lt() { U256::ONE } else { U256::ZERO }),
-            SGt => binop!(|a, b| if a.signed_cmp(&b).is_gt() { U256::ONE } else { U256::ZERO }),
+            SLt => binop!(|a, b| if a.signed_cmp(&b).is_lt() {
+                U256::ONE
+            } else {
+                U256::ZERO
+            }),
+            SGt => binop!(|a, b| if a.signed_cmp(&b).is_gt() {
+                U256::ONE
+            } else {
+                U256::ZERO
+            }),
             Eq => binop!(|a, b| if a == b { U256::ONE } else { U256::ZERO }),
             IsZero => {
                 let a = try_halt!(self.pop());
@@ -571,7 +589,9 @@ mod tests {
     #[test]
     fn arithmetic_and_return() {
         // PUSH1 2 PUSH1 3 MUL PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN
-        let code = [0x60, 0x02, 0x60, 0x03, 0x02, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3];
+        let code = [
+            0x60, 0x02, 0x60, 0x03, 0x02, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3,
+        ];
         let e = run(&code, &[]);
         match e.outcome {
             Outcome::Return(d) => assert_eq!(U256::from_be_bytes(&d), U256::from(6u64)),
@@ -582,7 +602,9 @@ mod tests {
     #[test]
     fn calldataload_reads_words() {
         // PUSH1 0 CALLDATALOAD PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN
-        let code = [0x60, 0x00, 0x35, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3];
+        let code = [
+            0x60, 0x00, 0x35, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3,
+        ];
         let mut cd = vec![0u8; 32];
         cd[0] = 0xa9;
         cd[31] = 0x01;
@@ -595,7 +617,9 @@ mod tests {
 
     #[test]
     fn calldataload_past_end_zero_fills() {
-        let code = [0x60, 0x10, 0x35, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3];
+        let code = [
+            0x60, 0x10, 0x35, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3,
+        ];
         let e = run(&code, &[0xff; 16]);
         match e.outcome {
             Outcome::Return(d) => assert_eq!(d, vec![0u8; 32]),
@@ -614,7 +638,7 @@ mod tests {
             0x60, 0x20, 0x60, 0x00, 0xf3,
         ];
         let mut cd = vec![0xaa; 4];
-        cd.extend(std::iter::repeat(0x42).take(32));
+        cd.extend(std::iter::repeat_n(0x42, 32));
         let e = run(&code, &cd);
         match e.outcome {
             Outcome::Return(d) => assert_eq!(d, vec![0x42; 32]),
@@ -634,7 +658,10 @@ mod tests {
     fn bad_jump_halts() {
         let code = [0x60, 0x01, 0x56]; // JUMP to pc1 (not a JUMPDEST)
         let e = run(&code, &[]);
-        assert_eq!(e.outcome, Outcome::InvalidHalt(HaltReason::BadJumpDestination));
+        assert_eq!(
+            e.outcome,
+            Outcome::InvalidHalt(HaltReason::BadJumpDestination)
+        );
     }
 
     #[test]
@@ -659,7 +686,9 @@ mod tests {
     fn loop_hits_step_limit() {
         // JUMPDEST PUSH1 0 JUMP — infinite loop.
         let code = [0x5b, 0x60, 0x00, 0x56];
-        let e = Interpreter::new(&code).with_step_limit(100).run(&Env::default());
+        let e = Interpreter::new(&code)
+            .with_step_limit(100)
+            .run(&Env::default());
         assert_eq!(e.outcome, Outcome::OutOfSteps);
     }
 
@@ -732,7 +761,9 @@ mod tests {
     fn gas_limit_halts_loop() {
         // Infinite loop: JUMPDEST PUSH1 0 JUMP.
         let code = [0x5b, 0x60, 0x00, 0x56];
-        let e = Interpreter::new(&code).with_gas_limit(10_000).run(&Env::default());
+        let e = Interpreter::new(&code)
+            .with_gas_limit(10_000)
+            .run(&Env::default());
         assert_eq!(e.outcome, Outcome::OutOfGas);
         assert!(e.gas_used >= 10_000);
     }
@@ -753,7 +784,9 @@ mod tests {
             0x62, 0x10, 0x00, 0x00, // len = 1 MiB
             0x60, 0x00, 0x60, 0x00, 0x37, 0x00,
         ];
-        let e = Interpreter::new(&code).with_gas_limit(50_000).run(&Env::default());
+        let e = Interpreter::new(&code)
+            .with_gas_limit(50_000)
+            .run(&Env::default());
         assert_eq!(e.outcome, Outcome::OutOfGas);
     }
 

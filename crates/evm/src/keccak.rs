@@ -52,8 +52,8 @@ fn keccak_f(state: &mut [[u64; 5]; 5]) {
         }
         for x in 0..5 {
             let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
-            for y in 0..5 {
-                state[x][y] ^= d;
+            for lane in &mut state[x] {
+                *lane ^= d;
             }
         }
         // ρ and π
@@ -162,17 +162,26 @@ mod tests {
         let d1 = keccak256(&data);
         // Compare against splitting the same input differently (sanity:
         // digest must be deterministic and distinct from 135/137 bytes).
-        assert_eq!(d1, keccak256(&vec![0x61u8; 136]));
-        assert_ne!(d1, keccak256(&vec![0x61u8; 135]));
-        assert_ne!(d1, keccak256(&vec![0x61u8; 137]));
+        assert_eq!(d1, keccak256(&[0x61u8; 136]));
+        assert_ne!(d1, keccak256(&[0x61u8; 135]));
+        assert_ne!(d1, keccak256(&[0x61u8; 137]));
     }
 
     #[test]
     fn known_ethereum_selectors() {
-        assert_eq!(selector("transfer(address,uint256)"), [0xa9, 0x05, 0x9c, 0xbb]);
+        assert_eq!(
+            selector("transfer(address,uint256)"),
+            [0xa9, 0x05, 0x9c, 0xbb]
+        );
         assert_eq!(selector("balanceOf(address)"), [0x70, 0xa0, 0x82, 0x31]);
-        assert_eq!(selector("approve(address,uint256)"), [0x09, 0x5e, 0xa7, 0xb3]);
-        assert_eq!(selector("transferFrom(address,address,uint256)"), [0x23, 0xb8, 0x72, 0xdd]);
+        assert_eq!(
+            selector("approve(address,uint256)"),
+            [0x09, 0x5e, 0xa7, 0xb3]
+        );
+        assert_eq!(
+            selector("transferFrom(address,address,uint256)"),
+            [0x23, 0xb8, 0x72, 0xdd]
+        );
         assert_eq!(selector("totalSupply()"), [0x18, 0x16, 0x0d, 0xdd]);
     }
 

@@ -377,7 +377,10 @@ impl Opcode {
     /// True for signed arithmetic/comparison instructions — the hint behind
     /// rules R13/R15 (a value fed to these is a signed integer).
     pub fn is_signed_op(self) -> bool {
-        matches!(self, Opcode::SDiv | Opcode::SMod | Opcode::SLt | Opcode::SGt | Opcode::Sar)
+        matches!(
+            self,
+            Opcode::SDiv | Opcode::SMod | Opcode::SLt | Opcode::SGt | Opcode::Sar
+        )
     }
 
     /// The canonical mnemonic, e.g. `PUSH4`, `CALLDATALOAD`.

@@ -26,7 +26,13 @@ pub struct TraceStep {
 
 impl fmt::Display for TraceStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:#06x} {:<14} depth={}", self.pc, self.opcode.mnemonic(), self.stack_depth)?;
+        write!(
+            f,
+            "{:#06x} {:<14} depth={}",
+            self.pc,
+            self.opcode.mnemonic(),
+            self.stack_depth
+        )?;
         if !self.stack_top.is_empty() {
             write!(f, " top=[")?;
             for (i, v) in self.stack_top.iter().enumerate() {
@@ -105,8 +111,7 @@ impl OpcodeHistogram {
 
     /// `(mnemonic, count)` pairs, most frequent first.
     pub fn top(&self) -> Vec<(&str, u64)> {
-        let mut v: Vec<(&str, u64)> =
-            self.counts.iter().map(|(k, &c)| (k.as_str(), c)).collect();
+        let mut v: Vec<(&str, u64)> = self.counts.iter().map(|(k, &c)| (k.as_str(), c)).collect();
         v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
@@ -176,6 +181,9 @@ mod tests {
             stack_top: vec![U256::from(3u64), U256::from(2u64)],
             gas_used: 9,
         };
-        assert_eq!(s.to_string(), "0x0004 ADD            depth=2 top=[0x3, 0x2]");
+        assert_eq!(
+            s.to_string(),
+            "0x0004 ADD            depth=2 top=[0x3, 0x2]"
+        );
     }
 }

@@ -143,10 +143,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *limb = s2;
             carry = c1 | c2;
         }
         (U256(out), carry)
@@ -156,10 +156,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *limb = d2;
             borrow = b1 | b2;
         }
         (U256(out), borrow)
@@ -286,8 +286,16 @@ impl U256 {
         if self == min && rhs == U256::MAX {
             return min;
         }
-        let (neg_a, a) = if self.is_negative() { (true, self.wrapping_neg()) } else { (false, self) };
-        let (neg_b, b) = if rhs.is_negative() { (true, rhs.wrapping_neg()) } else { (false, rhs) };
+        let (neg_a, a) = if self.is_negative() {
+            (true, self.wrapping_neg())
+        } else {
+            (false, self)
+        };
+        let (neg_b, b) = if rhs.is_negative() {
+            (true, rhs.wrapping_neg())
+        } else {
+            (false, rhs)
+        };
         let q = a / b;
         if neg_a ^ neg_b {
             q.wrapping_neg()
@@ -301,8 +309,16 @@ impl U256 {
         if rhs.is_zero() {
             return U256::ZERO;
         }
-        let (neg_a, a) = if self.is_negative() { (true, self.wrapping_neg()) } else { (false, self) };
-        let b = if rhs.is_negative() { rhs.wrapping_neg() } else { rhs };
+        let (neg_a, a) = if self.is_negative() {
+            (true, self.wrapping_neg())
+        } else {
+            (false, self)
+        };
+        let b = if rhs.is_negative() {
+            rhs.wrapping_neg()
+        } else {
+            rhs
+        };
         let r = a % b;
         if neg_a {
             r.wrapping_neg()
@@ -583,10 +599,10 @@ impl Shr<u32> for U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 - limb_shift {
-            out[i] = self.0[i + limb_shift] >> bit_shift;
+        for (i, limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
+            *limb = self.0[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
-                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                *limb |= self.0[i + limb_shift + 1] << (64 - bit_shift);
             }
         }
         U256(out)
@@ -739,7 +755,8 @@ mod tests {
         assert_eq!((one << 64u32).limbs(), [0, 1, 0, 0]);
         assert_eq!((one << 255u32) >> 255u32, one);
         assert_eq!(one << 256u32, U256::ZERO);
-        let v = U256::from_hex("ff00000000000000000000000000000000000000000000000000000000000000").unwrap();
+        let v = U256::from_hex("ff00000000000000000000000000000000000000000000000000000000000000")
+            .unwrap();
         assert_eq!(v >> 248u32, u(0xff));
     }
 
@@ -783,7 +800,8 @@ mod tests {
 
     #[test]
     fn byte_indexing_is_big_endian() {
-        let v = U256::from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20").unwrap();
+        let v = U256::from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
+            .unwrap();
         assert_eq!(v.byte(U256::ZERO), u(0x01));
         assert_eq!(v.byte(u(31)), u(0x20));
         assert_eq!(v.byte(u(32)), U256::ZERO);
@@ -805,7 +823,10 @@ mod tests {
         assert_eq!(u(10).add_mod(u(10), u(8)), u(4));
         assert_eq!(u(10).mul_mod(u(10), u(8)), u(4));
         // (m−1)² mod (m−2) ≡ 1 where m−1 ≡ 1 (mod m−2) ... with m = 2^256:
-        assert_eq!(U256::MAX.mul_mod(U256::MAX, U256::MAX - U256::ONE), U256::ONE);
+        assert_eq!(
+            U256::MAX.mul_mod(U256::MAX, U256::MAX - U256::ONE),
+            U256::ONE
+        );
         assert_eq!(u(5).add_mod(u(5), U256::ZERO), U256::ZERO);
         assert_eq!(u(5).mul_mod(u(5), U256::ZERO), U256::ZERO);
     }
@@ -822,7 +843,8 @@ mod tests {
 
     #[test]
     fn be_bytes_round_trip() {
-        let v = U256::from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20").unwrap();
+        let v = U256::from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
+            .unwrap();
         assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
         // Short slices zero-extend on the left.
         assert_eq!(U256::from_be_bytes(&[0x12, 0x34]), u(0x1234));
@@ -843,7 +865,11 @@ mod tests {
         assert_eq!(U256::low_mask(8), u(0xff));
         assert_eq!(U256::low_mask(0), U256::ZERO);
         assert_eq!(U256::low_mask(256), U256::MAX);
-        assert_eq!(U256::high_mask(8), U256::from_hex("ff00000000000000000000000000000000000000000000000000000000000000").unwrap());
+        assert_eq!(
+            U256::high_mask(8),
+            U256::from_hex("ff00000000000000000000000000000000000000000000000000000000000000")
+                .unwrap()
+        );
         assert_eq!(U256::high_mask(256), U256::MAX);
     }
 

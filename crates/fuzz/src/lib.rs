@@ -52,7 +52,10 @@ pub struct Campaign {
 
 impl Default for Campaign {
     fn default() -> Self {
-        Campaign { budget_per_function: 64, seed: 1 }
+        Campaign {
+            budget_per_function: 64,
+            seed: 1,
+        }
     }
 }
 
@@ -117,8 +120,9 @@ pub fn run_campaign(
                         cd
                     }
                     InputStrategy::TypeAware => {
-                        let Some(rec) =
-                            recovered.iter().find(|r| r.selector == f.signature.selector)
+                        let Some(rec) = recovered
+                            .iter()
+                            .find(|r| r.selector == f.signature.selector)
                         else {
                             continue;
                         };
@@ -162,7 +166,11 @@ mod tests {
     fn target(decl: &str, vis: Visibility) -> TargetContract {
         let sig = FunctionSignature::parse(decl).unwrap();
         build_target(
-            &[BugFunction { signature: sig, visibility: vis, buggy: true }],
+            &[BugFunction {
+                signature: sig,
+                visibility: vis,
+                buggy: true,
+            }],
             &CompilerConfig::default(),
         )
     }
@@ -172,18 +180,32 @@ mod tests {
         // External dynamic array: random bytes essentially never pass the
         // num bound check.
         let t = target("f(uint256[])", Visibility::External);
-        let campaign = Campaign { budget_per_function: 64, seed: 3 };
-        let typed = run_campaign(std::slice::from_ref(&t), InputStrategy::TypeAware, &campaign);
+        let campaign = Campaign {
+            budget_per_function: 64,
+            seed: 3,
+        };
+        let typed = run_campaign(
+            std::slice::from_ref(&t),
+            InputStrategy::TypeAware,
+            &campaign,
+        );
         let random = run_campaign(std::slice::from_ref(&t), InputStrategy::Random, &campaign);
         assert_eq!(typed.bugs_found, 1, "typed fuzzing must reach the bug");
-        assert_eq!(random.bugs_found, 0, "random bytes must not pass the decoder");
+        assert_eq!(
+            random.bugs_found, 0,
+            "random bytes must not pass the decoder"
+        );
     }
 
     #[test]
     fn both_strategies_find_basic_only_bugs() {
         let t = target("f(uint256,bool)", Visibility::External);
         let campaign = Campaign::default();
-        let typed = run_campaign(std::slice::from_ref(&t), InputStrategy::TypeAware, &campaign);
+        let typed = run_campaign(
+            std::slice::from_ref(&t),
+            InputStrategy::TypeAware,
+            &campaign,
+        );
         let random = run_campaign(std::slice::from_ref(&t), InputStrategy::Random, &campaign);
         assert_eq!(typed.bugs_found, 1);
         assert_eq!(random.bugs_found, 1, "basic params need no structure");
@@ -193,7 +215,11 @@ mod tests {
     fn non_buggy_functions_not_counted() {
         let sig = FunctionSignature::parse("f(uint8)").unwrap();
         let t = build_target(
-            &[BugFunction { signature: sig, visibility: Visibility::External, buggy: false }],
+            &[BugFunction {
+                signature: sig,
+                visibility: Visibility::External,
+                buggy: false,
+            }],
             &CompilerConfig::default(),
         );
         let r = run_campaign(
@@ -208,7 +234,11 @@ mod tests {
 
     #[test]
     fn discovery_rate_bounds() {
-        let r = CampaignReport { bugs_seeded: 4, bugs_found: 3, ..Default::default() };
+        let r = CampaignReport {
+            bugs_seeded: 4,
+            bugs_found: 3,
+            ..Default::default()
+        };
         assert!((r.discovery_rate() - 0.75).abs() < 1e-9);
         assert_eq!(CampaignReport::default().discovery_rate(), 1.0);
     }

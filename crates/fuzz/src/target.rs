@@ -60,7 +60,10 @@ pub fn build_target(functions: &[BugFunction], config: &CompilerConfig) -> Targe
             asm.op(Opcode::Stop);
         }
     }
-    TargetContract { code: asm.assemble(), functions: functions.to_vec() }
+    TargetContract {
+        code: asm.assemble(),
+        functions: functions.to_vec(),
+    }
 }
 
 /// Generates a batch of fuzzing targets: `contracts` contracts of 1–5

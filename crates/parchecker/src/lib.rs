@@ -142,7 +142,9 @@ impl ParChecker {
             return false;
         }
         let selector = Selector([calldata[0], calldata[1], calldata[2], calldata[3]]);
-        let Some(params) = self.signatures.get(&selector) else { return false };
+        let Some(params) = self.signatures.get(&selector) else {
+            return false;
+        };
         if params.len() < 2 || params[0] != AbiType::Address || params[1] != AbiType::Uint(256) {
             return false;
         }
@@ -252,7 +254,10 @@ mod tests {
         let (c, sig) = checker_for("transfer(address,uint256)");
         let cd = encode_call(
             &sig,
-            &[AbiValue::Address(U256::ONE), AbiValue::Uint(U256::from(10u64))],
+            &[
+                AbiValue::Address(U256::ONE),
+                AbiValue::Uint(U256::from(10u64)),
+            ],
         )
         .unwrap();
         assert_eq!(c.check(&cd), CheckResult::Valid);
@@ -262,8 +267,7 @@ mod tests {
     #[test]
     fn dirty_padding_rejected() {
         let (c, sig) = checker_for("f(address)");
-        let mut cd =
-            encode_call(&sig, &[AbiValue::Address(U256::from(5u64))]).unwrap();
+        let mut cd = encode_call(&sig, &[AbiValue::Address(U256::from(5u64))]).unwrap();
         cd[5] = 0xff; // inside the 12 padding bytes
         assert!(matches!(c.check(&cd), CheckResult::Invalid(_)));
     }
@@ -283,7 +287,10 @@ mod tests {
         let addr = U256::from(0xabcd_0000u64) << 64u32;
         let cd = encode_call(
             &sig,
-            &[AbiValue::Address(addr), AbiValue::Uint(U256::from(10_000u64))],
+            &[
+                AbiValue::Address(addr),
+                AbiValue::Uint(U256::from(10_000u64)),
+            ],
         )
         .unwrap();
         let mut attack = cd.clone();
@@ -330,7 +337,10 @@ mod tests {
             &sig,
             // Address ending in a zero byte: its truncation is the attack
             // shape.
-            &[AbiValue::Address(U256::from(0x100u64)), AbiValue::Uint(U256::from(1u64))],
+            &[
+                AbiValue::Address(U256::from(0x100u64)),
+                AbiValue::Uint(U256::from(1u64)),
+            ],
         )
         .unwrap();
         let mut bad = good.clone();

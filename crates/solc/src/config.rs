@@ -25,7 +25,10 @@ impl SolcVersion {
     /// A representative modern version (0.8.0).
     pub const V0_8_0: SolcVersion = SolcVersion { minor: 8, patch: 0 };
     /// A representative legacy version (0.4.24).
-    pub const V0_4_24: SolcVersion = SolcVersion { minor: 4, patch: 24 };
+    pub const V0_4_24: SolcVersion = SolcVersion {
+        minor: 4,
+        patch: 24,
+    };
     /// The paper's dataset-2 compiler (0.5.5).
     pub const V0_5_5: SolcVersion = SolcVersion { minor: 5, patch: 5 };
 
@@ -92,14 +95,22 @@ pub struct CompilerConfig {
 
 impl Default for CompilerConfig {
     fn default() -> Self {
-        CompilerConfig { version: SolcVersion::V0_8_0, optimize: false, obfuscate: false }
+        CompilerConfig {
+            version: SolcVersion::V0_8_0,
+            optimize: false,
+            obfuscate: false,
+        }
     }
 }
 
 impl CompilerConfig {
     /// Convenience constructor.
     pub fn new(version: SolcVersion, optimize: bool) -> Self {
-        CompilerConfig { version, optimize, obfuscate: false }
+        CompilerConfig {
+            version,
+            optimize,
+            obfuscate: false,
+        }
     }
 
     /// Turns on obfuscated emission (builder style).
@@ -144,8 +155,16 @@ mod tests {
 
     #[test]
     fn callvalue_guard_era() {
-        assert!(!SolcVersion { minor: 4, patch: 11 }.emits_callvalue_guard());
-        assert!(SolcVersion { minor: 4, patch: 22 }.emits_callvalue_guard());
+        assert!(!SolcVersion {
+            minor: 4,
+            patch: 11
+        }
+        .emits_callvalue_guard());
+        assert!(SolcVersion {
+            minor: 4,
+            patch: 22
+        }
+        .emits_callvalue_guard());
         assert!(SolcVersion::V0_8_0.emits_callvalue_guard());
     }
 

@@ -46,7 +46,9 @@ pub fn compile(functions: &[FunctionSpec], config: &CompilerConfig) -> CompiledC
     if config.version.uses_shr_dispatch() {
         asm.push_u64(0xe0).op(Opcode::Shr);
     } else {
-        asm.push(U256::ONE << 224u32).op(Opcode::Swap(1)).op(Opcode::Div);
+        asm.push(U256::ONE << 224u32)
+            .op(Opcode::Swap(1))
+            .op(Opcode::Div);
     }
     let entries: Vec<_> = functions.iter().map(|_| asm.fresh_label()).collect();
     // Like real solc, contracts with many functions get a binary-search
@@ -66,7 +68,10 @@ pub fn compile(functions: &[FunctionSpec], config: &CompilerConfig) -> CompiledC
         asm.push_label(hi_half).op(Opcode::JumpI);
         for &i in &order[..mid] {
             asm.op(Opcode::Dup(1));
-            asm.push_sized(U256::from(functions[i].signature.selector.as_u32() as u64), 4);
+            asm.push_sized(
+                U256::from(functions[i].signature.selector.as_u32() as u64),
+                4,
+            );
             asm.op(Opcode::Eq);
             asm.push_label(entries[i]).op(Opcode::JumpI);
         }
@@ -74,7 +79,10 @@ pub fn compile(functions: &[FunctionSpec], config: &CompilerConfig) -> CompiledC
         asm.jumpdest(hi_half);
         for &i in &order[mid..] {
             asm.op(Opcode::Dup(1));
-            asm.push_sized(U256::from(functions[i].signature.selector.as_u32() as u64), 4);
+            asm.push_sized(
+                U256::from(functions[i].signature.selector.as_u32() as u64),
+                4,
+            );
             asm.op(Opcode::Eq);
             asm.push_label(entries[i]).op(Opcode::JumpI);
         }
@@ -101,7 +109,11 @@ pub fn compile(functions: &[FunctionSpec], config: &CompilerConfig) -> CompiledC
         emit_body(&mut asm, f, config);
         asm.op(Opcode::Stop);
     }
-    CompiledContract { code: asm.assemble(), functions: functions.to_vec(), config: *config }
+    CompiledContract {
+        code: asm.assemble(),
+        functions: functions.to_vec(),
+        config: *config,
+    }
 }
 
 /// Convenience: compiles a contract with a single function.
@@ -116,8 +128,7 @@ fn emit_body(asm: &mut Assembler, f: &FunctionSpec, config: &CompilerConfig) {
         Quirk::None => emit_params(&mut em, &f.signature.params, f.visibility, false),
         Quirk::InlineAssemblyReads { count } => {
             emit_params(&mut em, &f.signature.params, f.visibility, false);
-            let declared_heads: usize =
-                f.signature.params.iter().map(AbiType::head_size).sum();
+            let declared_heads: usize = f.signature.params.iter().map(AbiType::head_size).sum();
             em.inline_assembly_reads(4 + declared_heads as u64, *count);
         }
         Quirk::TypeConversion { used } => emit_params(&mut em, used, f.visibility, false),
@@ -131,16 +142,20 @@ fn emit_body(asm: &mut Assembler, f: &FunctionSpec, config: &CompilerConfig) {
                 let _ = p;
             }
         }
-        Quirk::ConstIndexOptimized => {
-            emit_params(&mut em, &f.signature.params, f.visibility, true)
-        }
+        Quirk::ConstIndexOptimized => emit_params(&mut em, &f.signature.params, f.visibility, true),
         Quirk::BytesNeverByteAccessed => {
             // Emit bytes params with the string pattern (no byte access).
             let masked: Vec<AbiType> = f
                 .signature
                 .params
                 .iter()
-                .map(|t| if *t == AbiType::Bytes { AbiType::String } else { t.clone() })
+                .map(|t| {
+                    if *t == AbiType::Bytes {
+                        AbiType::String
+                    } else {
+                        t.clone()
+                    }
+                })
                 .collect();
             emit_params(&mut em, &masked, f.visibility, false);
         }
@@ -167,9 +182,7 @@ fn emit_one(em: &mut FnEmitter<'_>, ty: &AbiType, head: u64, vis: Visibility, co
                 mhead += m.head_size() as u64;
             }
         }
-        t if const_index && t.is_static_array() => {
-            em.static_array_external_const_index(t, head)
-        }
+        t if const_index && t.is_static_array() => em.static_array_external_const_index(t, head),
         t => em.param(t, head, vis),
     }
 }
@@ -183,9 +196,10 @@ mod tests {
     fn run_with(decl: &str, vis: Visibility, values: &[AbiValue]) -> Outcome {
         let sig = FunctionSignature::parse(decl).unwrap();
         let calldata = encode_call(&sig, values).unwrap();
-        let contract =
-            compile_single(FunctionSpec::new(sig, vis), &CompilerConfig::default());
-        Interpreter::new(&contract.code).run(&Env::with_calldata(calldata)).outcome
+        let contract = compile_single(FunctionSpec::new(sig, vis), &CompilerConfig::default());
+        Interpreter::new(&contract.code)
+            .run(&Env::with_calldata(calldata))
+            .outcome
     }
 
     fn u(v: u64) -> AbiValue {
@@ -218,8 +232,7 @@ mod tests {
         let sig = FunctionSignature::parse("g(bool)").unwrap();
         let calldata = encode_call(&sig, &[AbiValue::Bool(true)]).unwrap();
         let cfg = CompilerConfig::new(crate::config::SolcVersion::V0_4_24, false);
-        let contract =
-            compile_single(FunctionSpec::new(sig, Visibility::External), &cfg);
+        let contract = compile_single(FunctionSpec::new(sig, Visibility::External), &cfg);
         let out = Interpreter::new(&contract.code).run(&Env::with_calldata(calldata));
         assert_eq!(out.outcome, Outcome::Stop);
     }
@@ -256,7 +269,10 @@ mod tests {
             ("f(bytes32)", vec![AbiValue::FixedBytes(vec![7u8; 32])]),
             ("f(bytes)", vec![AbiValue::Bytes(vec![1, 2, 3])]),
             ("f(string)", vec![AbiValue::Str("hello".into())]),
-            ("f(uint256[3])", vec![AbiValue::Array(vec![u(1), u(2), u(3)])]),
+            (
+                "f(uint256[3])",
+                vec![AbiValue::Array(vec![u(1), u(2), u(3)])],
+            ),
             (
                 "f(uint256[3][2])",
                 vec![AbiValue::Array(vec![
@@ -282,9 +298,15 @@ mod tests {
             ),
             (
                 "f((uint256[],uint256))",
-                vec![AbiValue::Tuple(vec![AbiValue::Array(vec![u(1), u(2)]), u(3)])],
+                vec![AbiValue::Tuple(vec![
+                    AbiValue::Array(vec![u(1), u(2)]),
+                    u(3),
+                ])],
             ),
-            ("f((uint256,uint256))", vec![AbiValue::Tuple(vec![u(10), u(20)])]),
+            (
+                "f((uint256,uint256))",
+                vec![AbiValue::Tuple(vec![u(10), u(20)])],
+            ),
             (
                 "f(uint8,bytes,bool)",
                 vec![u(7), AbiValue::Bytes(vec![0xaa; 33]), AbiValue::Bool(false)],

@@ -34,7 +34,12 @@ pub struct FnEmitter<'a> {
 impl<'a> FnEmitter<'a> {
     /// Creates an emitter writing into `asm`.
     pub fn new(asm: &'a mut Assembler, config: CompilerConfig) -> Self {
-        FnEmitter { asm, config, mem_next: 0x80, sym_slot: 0 }
+        FnEmitter {
+            asm,
+            config,
+            mem_next: 0x80,
+            sym_slot: 0,
+        }
     }
 
     /// Allocates `bytes` of scratch memory, rounded up to whole words.
@@ -120,7 +125,8 @@ impl<'a> FnEmitter<'a> {
             AbiType::Uint(m) => {
                 // AND low-mask (R11), plus arithmetic so a 160-bit uint is
                 // not mistaken for an address (R16).
-                self.asm.push_sized(U256::low_mask(*m as u32), (*m as usize) / 8);
+                self.asm
+                    .push_sized(U256::low_mask(*m as u32), (*m as usize) / 8);
                 self.asm.op(Opcode::And);
                 self.asm.push_u64(1).op(Opcode::Add).op(Opcode::Pop);
             }
@@ -130,7 +136,10 @@ impl<'a> FnEmitter<'a> {
             }
             AbiType::Int(m) => {
                 // SIGNEXTEND mask (R13).
-                self.asm.push_u64((*m as u64) / 8 - 1).op(Opcode::SignExtend).op(Opcode::Pop);
+                self.asm
+                    .push_u64((*m as u64) / 8 - 1)
+                    .op(Opcode::SignExtend)
+                    .op(Opcode::Pop);
             }
             AbiType::Address => {
                 // 20-byte AND, and *no* arithmetic (R16).
@@ -139,7 +148,10 @@ impl<'a> FnEmitter<'a> {
             }
             AbiType::Bool => {
                 // Double ISZERO (R14).
-                self.asm.op(Opcode::IsZero).op(Opcode::IsZero).op(Opcode::Pop);
+                self.asm
+                    .op(Opcode::IsZero)
+                    .op(Opcode::IsZero)
+                    .op(Opcode::Pop);
             }
             AbiType::FixedBytes(32) => {
                 // Single-byte access (R18) distinguishes bytes32 from uint256.
@@ -186,7 +198,11 @@ impl<'a> FnEmitter<'a> {
             }
             AbiType::Bool => {
                 // EQ(x, 0) is ISZERO in disguise; the second negation stays.
-                self.asm.push_u64(0).op(Opcode::Eq).op(Opcode::IsZero).op(Opcode::Pop);
+                self.asm
+                    .push_u64(0)
+                    .op(Opcode::Eq)
+                    .op(Opcode::IsZero)
+                    .op(Opcode::Pop);
             }
             AbiType::FixedBytes(32) => {
                 self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
@@ -288,8 +304,15 @@ impl<'a> FnEmitter<'a> {
             self.asm.push_u64(0); // counter
             self.asm.jumpdest(head);
             // while (i < d)
-            self.asm.op(Opcode::Dup(1)).push_u64(d).op(Opcode::Swap(1)).op(Opcode::Lt);
-            self.asm.op(Opcode::IsZero).push_label(exit).op(Opcode::JumpI);
+            self.asm
+                .op(Opcode::Dup(1))
+                .push_u64(d)
+                .op(Opcode::Swap(1))
+                .op(Opcode::Lt);
+            self.asm
+                .op(Opcode::IsZero)
+                .push_label(exit)
+                .op(Opcode::JumpI);
             heads.push(head);
             exits.push(exit);
         }
@@ -341,7 +364,10 @@ impl<'a> FnEmitter<'a> {
         let (inner, el) = Self::dyn_inner_dims(ty);
         // num1 = CALLDATALOAD(CALLDATALOAD(4+head) + 4)
         self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
-        self.asm.push_u64(4).op(Opcode::Add).op(Opcode::CallDataLoad);
+        self.asm
+            .push_u64(4)
+            .op(Opcode::Add)
+            .op(Opcode::CallDataLoad);
         let first_slot = self.sym_slot;
         self.push_sym_index();
         self.asm.op(Opcode::Lt); // i0 < num1
@@ -353,11 +379,16 @@ impl<'a> FnEmitter<'a> {
         self.asm.push_u64(first_slot).op(Opcode::SLoad);
         for (k, &d) in inner.iter().enumerate() {
             self.asm.push_u64(d).op(Opcode::Mul);
-            self.asm.push_u64(first_slot + 1 + k as u64).op(Opcode::SLoad);
+            self.asm
+                .push_u64(first_slot + 1 + k as u64)
+                .op(Opcode::SLoad);
             self.asm.op(Opcode::Add);
         }
         self.asm.push_u64(32).op(Opcode::Mul);
-        self.asm.push_u64(4 + head).op(Opcode::CallDataLoad).op(Opcode::Add);
+        self.asm
+            .push_u64(4 + head)
+            .op(Opcode::CallDataLoad)
+            .op(Opcode::Add);
         self.asm.push_u64(36).op(Opcode::Add); // skip selector-relative base + num
         self.asm.op(Opcode::CallDataLoad);
         self.consume_basic(el);
@@ -372,9 +403,13 @@ impl<'a> FnEmitter<'a> {
         let num_addr = self.alloc(32);
         let x_addr = self.alloc(32);
         let data = self.alloc(32 * 64); // generous scratch region
-        // x = CALLDATALOAD(4+head); num = CALLDATALOAD(x+4)
+                                        // x = CALLDATALOAD(4+head); num = CALLDATALOAD(x+4)
         self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
-        self.asm.op(Opcode::Dup(1)).push_u64(4).op(Opcode::Add).op(Opcode::CallDataLoad);
+        self.asm
+            .op(Opcode::Dup(1))
+            .push_u64(4)
+            .op(Opcode::Add)
+            .op(Opcode::CallDataLoad);
         // MSTORE(num_addr, num); MSTORE(x_addr, x)
         self.asm.push_u64(num_addr).op(Opcode::MStore);
         self.asm.push_u64(x_addr).op(Opcode::MStore);
@@ -420,7 +455,10 @@ impl<'a> FnEmitter<'a> {
         self.asm.op(Opcode::Dup(1));
         self.asm.push_u64(num_addr).op(Opcode::MLoad);
         self.asm.op(Opcode::Swap(1)).op(Opcode::Lt);
-        self.asm.op(Opcode::IsZero).push_label(exit).op(Opcode::JumpI);
+        self.asm
+            .op(Opcode::IsZero)
+            .push_label(exit)
+            .op(Opcode::JumpI);
         let mid = mid.to_vec();
         self.copy_loops(&mid, |this, _| {
             // Block index = ((i * m1 + j1) * m2 + j2)… over outer counter i
@@ -462,13 +500,19 @@ impl<'a> FnEmitter<'a> {
         if is_bytes && vis == Visibility::External {
             // x = CDL(4+head); num = CDL(x+4); i < num; CDL(x + 36 + i).
             self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
-            self.asm.push_u64(4).op(Opcode::Add).op(Opcode::CallDataLoad);
+            self.asm
+                .push_u64(4)
+                .op(Opcode::Add)
+                .op(Opcode::CallDataLoad);
             let slot = self.sym_slot;
             self.push_sym_index();
             self.asm.op(Opcode::Lt);
             self.guard();
             self.asm.push_u64(slot).op(Opcode::SLoad);
-            self.asm.push_u64(4 + head).op(Opcode::CallDataLoad).op(Opcode::Add);
+            self.asm
+                .push_u64(4 + head)
+                .op(Opcode::CallDataLoad)
+                .op(Opcode::Add);
             self.asm.push_u64(36).op(Opcode::Add);
             self.asm.op(Opcode::CallDataLoad);
             self.asm.push_u64(0).op(Opcode::Byte).op(Opcode::Pop);
@@ -478,8 +522,15 @@ impl<'a> FnEmitter<'a> {
         let data = self.alloc(32 * 64);
         // x = CDL(4+head); num = CDL(x+4)
         self.asm.push_u64(4 + head).op(Opcode::CallDataLoad);
-        self.asm.op(Opcode::Dup(1)).push_u64(4).op(Opcode::Add).op(Opcode::CallDataLoad);
-        self.asm.op(Opcode::Dup(1)).push_u64(num_addr).op(Opcode::MStore);
+        self.asm
+            .op(Opcode::Dup(1))
+            .push_u64(4)
+            .op(Opcode::Add)
+            .op(Opcode::CallDataLoad);
+        self.asm
+            .op(Opcode::Dup(1))
+            .push_u64(num_addr)
+            .op(Opcode::MStore);
         // padded = (num + 31) / 32 * 32
         self.asm.push_u64(31).op(Opcode::Add);
         self.asm.push_u64(32).op(Opcode::Swap(1)).op(Opcode::Div);
@@ -570,12 +621,18 @@ impl<'a> FnEmitter<'a> {
                     if m.is_dynamic() {
                         // inner = base + CDL(base + mhead)
                         self.asm.op(Opcode::Dup(1)).op(Opcode::Dup(1));
-                        self.asm.push_u64(mhead).op(Opcode::Add).op(Opcode::CallDataLoad);
+                        self.asm
+                            .push_u64(mhead)
+                            .op(Opcode::Add)
+                            .op(Opcode::CallDataLoad);
                         self.asm.op(Opcode::Add);
                         self.descend(m);
                     } else if m.is_basic() {
                         self.asm.op(Opcode::Dup(1));
-                        self.asm.push_u64(mhead).op(Opcode::Add).op(Opcode::CallDataLoad);
+                        self.asm
+                            .push_u64(mhead)
+                            .op(Opcode::Add)
+                            .op(Opcode::CallDataLoad);
                         self.consume_basic(m);
                     } else {
                         // Static composite member: descend at its position.

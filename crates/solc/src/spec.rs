@@ -54,7 +54,11 @@ pub struct FunctionSpec {
 impl FunctionSpec {
     /// A quirk-free function.
     pub fn new(signature: FunctionSignature, visibility: Visibility) -> Self {
-        FunctionSpec { signature, visibility, quirk: Quirk::None }
+        FunctionSpec {
+            signature,
+            visibility,
+            quirk: Quirk::None,
+        }
     }
 
     /// Sets the quirk (builder style).
@@ -120,8 +124,11 @@ mod tests {
     use sigrec_abi::FunctionSignature;
 
     fn spec(decl: &str, quirk: Quirk) -> FunctionSpec {
-        FunctionSpec::new(FunctionSignature::parse(decl).unwrap(), Visibility::External)
-            .with_quirk(quirk)
+        FunctionSpec::new(
+            FunctionSignature::parse(decl).unwrap(),
+            Visibility::External,
+        )
+        .with_quirk(quirk)
     }
 
     fn types(list: &[&str]) -> Vec<AbiType> {
@@ -131,13 +138,19 @@ mod tests {
     #[test]
     fn clean_function_recovers_declaration() {
         let s = spec("f(address,uint256)", Quirk::None);
-        assert_eq!(expected_recovery(&s, &CompilerConfig::default()), types(&["address", "uint256"]));
+        assert_eq!(
+            expected_recovery(&s, &CompilerConfig::default()),
+            types(&["address", "uint256"])
+        );
     }
 
     #[test]
     fn static_struct_flattens() {
         let s = spec("f((uint256,bool))", Quirk::None);
-        assert_eq!(expected_recovery(&s, &CompilerConfig::default()), types(&["uint256", "bool"]));
+        assert_eq!(
+            expected_recovery(&s, &CompilerConfig::default()),
+            types(&["uint256", "bool"])
+        );
         // Dynamic structs do not flatten.
         let s = spec("f((uint256[],bool))", Quirk::None);
         assert_eq!(
@@ -159,15 +172,23 @@ mod tests {
     fn type_conversion_overrides() {
         let s = spec(
             "f(uint256[6])",
-            Quirk::TypeConversion { used: types(&["uint8[6]"]) },
+            Quirk::TypeConversion {
+                used: types(&["uint8[6]"]),
+            },
         );
-        assert_eq!(expected_recovery(&s, &CompilerConfig::default()), types(&["uint8[6]"]));
+        assert_eq!(
+            expected_recovery(&s, &CompilerConfig::default()),
+            types(&["uint8[6]"])
+        );
     }
 
     #[test]
     fn storage_pointer_becomes_word() {
         let s = spec("f(uint256[])", Quirk::StoragePointer);
-        assert_eq!(expected_recovery(&s, &CompilerConfig::default()), types(&["uint256"]));
+        assert_eq!(
+            expected_recovery(&s, &CompilerConfig::default()),
+            types(&["uint256"])
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub struct VyperFunctionSpec {
 impl VyperFunctionSpec {
     /// Creates a quirk-free spec.
     pub fn new(name: impl Into<String>, params: Vec<VyperType>) -> Self {
-        VyperFunctionSpec { name: name.into(), params, quirk: VyperQuirk::None }
+        VyperFunctionSpec {
+            name: name.into(),
+            params,
+            quirk: VyperQuirk::None,
+        }
     }
 
     /// Sets the quirk (builder style).
@@ -108,8 +112,10 @@ pub fn compile(functions: &[VyperFunctionSpec], version: VyperVersion) -> Compil
     asm.push_u64(0).op(Opcode::CallDataLoad);
     asm.push_u64(0xe0).op(Opcode::Shr);
     let entries: Vec<_> = functions.iter().map(|_| asm.fresh_label()).collect();
-    let selectors: Vec<Selector> =
-        functions.iter().map(|f| f.lowered_signature().selector).collect();
+    let selectors: Vec<Selector> = functions
+        .iter()
+        .map(|f| f.lowered_signature().selector)
+        .collect();
     for (&entry, sel) in entries.iter().zip(&selectors) {
         asm.op(Opcode::Dup(1));
         asm.push_sized(U256::from(sel.as_u32() as u64), 4);
@@ -128,7 +134,11 @@ pub fn compile(functions: &[VyperFunctionSpec], version: VyperVersion) -> Compil
             asm.push_u64(0).push_u64(0).op(Opcode::Revert);
             asm.jumpdest(ok);
         }
-        let mut em = VyperEmitter { asm: &mut asm, mem_next: 0x80, sym_slot: 0 };
+        let mut em = VyperEmitter {
+            asm: &mut asm,
+            mem_next: 0x80,
+            sym_slot: 0,
+        };
         let mut head = 0u64;
         for p in &f.params {
             let surface = match (&f.quirk, p) {
@@ -144,7 +154,11 @@ pub fn compile(functions: &[VyperFunctionSpec], version: VyperVersion) -> Compil
         }
         asm.op(Opcode::Stop);
     }
-    CompiledVyperContract { code: asm.assemble(), functions: functions.to_vec(), version }
+    CompiledVyperContract {
+        code: asm.assemble(),
+        functions: functions.to_vec(),
+        version,
+    }
 }
 
 struct VyperEmitter<'a> {
@@ -307,7 +321,9 @@ mod tests {
         let sig = f.lowered_signature();
         let calldata = encode_call(&sig, values).unwrap();
         let c = compile(&[f], VyperVersion::V0_2_8);
-        Interpreter::new(&c.code).run(&Env::with_calldata(calldata)).outcome
+        Interpreter::new(&c.code)
+            .run(&Env::with_calldata(calldata))
+            .outcome
     }
 
     fn u(v: u64) -> AbiValue {
@@ -318,20 +334,35 @@ mod tests {
     fn basic_types_run_clean_in_range() {
         assert_eq!(run(vec![VyperType::Uint256], &[u(7)]), Outcome::Stop);
         assert_eq!(
-            run(vec![VyperType::Address], &[AbiValue::Address(U256::from(0xffu64))]),
-            Outcome::Stop
-        );
-        assert_eq!(run(vec![VyperType::Bool], &[AbiValue::Bool(true)]), Outcome::Stop);
-        assert_eq!(
-            run(vec![VyperType::Int128], &[AbiValue::Int(U256::from(-55i64))]),
-            Outcome::Stop
-        );
-        assert_eq!(
-            run(vec![VyperType::Decimal], &[AbiValue::Int(U256::from(123_456i64))]),
+            run(
+                vec![VyperType::Address],
+                &[AbiValue::Address(U256::from(0xffu64))]
+            ),
             Outcome::Stop
         );
         assert_eq!(
-            run(vec![VyperType::Bytes32], &[AbiValue::FixedBytes(vec![9u8; 32])]),
+            run(vec![VyperType::Bool], &[AbiValue::Bool(true)]),
+            Outcome::Stop
+        );
+        assert_eq!(
+            run(
+                vec![VyperType::Int128],
+                &[AbiValue::Int(U256::from(-55i64))]
+            ),
+            Outcome::Stop
+        );
+        assert_eq!(
+            run(
+                vec![VyperType::Decimal],
+                &[AbiValue::Int(U256::from(123_456i64))]
+            ),
+            Outcome::Stop
+        );
+        assert_eq!(
+            run(
+                vec![VyperType::Bytes32],
+                &[AbiValue::FixedBytes(vec![9u8; 32])]
+            ),
             Outcome::Stop
         );
     }
@@ -344,7 +375,9 @@ mod tests {
         let mut calldata = sig.selector.0.to_vec();
         calldata.extend((U256::ONE << 127u32).to_be_bytes());
         let c = compile(&[f], VyperVersion::V0_2_8);
-        let out = Interpreter::new(&c.code).run(&Env::with_calldata(calldata)).outcome;
+        let out = Interpreter::new(&c.code)
+            .run(&Env::with_calldata(calldata))
+            .outcome;
         assert!(matches!(out, Outcome::Revert(_)), "got {:?}", out);
     }
 
@@ -355,7 +388,9 @@ mod tests {
         let mut calldata = sig.selector.0.to_vec();
         calldata.extend((U256::ONE << 160u32).to_be_bytes());
         let c = compile(&[f], VyperVersion::V0_2_8);
-        let out = Interpreter::new(&c.code).run(&Env::with_calldata(calldata)).outcome;
+        let out = Interpreter::new(&c.code)
+            .run(&Env::with_calldata(calldata))
+            .outcome;
         assert!(matches!(out, Outcome::Revert(_)));
     }
 
@@ -373,7 +408,10 @@ mod tests {
         let inner = VyperType::FixedList(Box::new(VyperType::Int128), 2);
         let t = VyperType::FixedList(Box::new(inner), 2);
         let v = AbiValue::Array(vec![
-            AbiValue::Array(vec![AbiValue::Int(U256::ONE), AbiValue::Int(U256::from(2u64))]),
+            AbiValue::Array(vec![
+                AbiValue::Int(U256::ONE),
+                AbiValue::Int(U256::from(2u64)),
+            ]),
             AbiValue::Array(vec![
                 AbiValue::Int(U256::from(3u64)),
                 AbiValue::Int(U256::from(4u64)),
@@ -385,11 +423,17 @@ mod tests {
     #[test]
     fn fixed_bytes_and_string_run_clean() {
         assert_eq!(
-            run(vec![VyperType::FixedBytes(50)], &[AbiValue::Bytes(vec![1, 2, 3])]),
+            run(
+                vec![VyperType::FixedBytes(50)],
+                &[AbiValue::Bytes(vec![1, 2, 3])]
+            ),
             Outcome::Stop
         );
         assert_eq!(
-            run(vec![VyperType::FixedString(20)], &[AbiValue::Str("vyper".into())]),
+            run(
+                vec![VyperType::FixedString(20)],
+                &[AbiValue::Str("vyper".into())]
+            ),
             Outcome::Stop
         );
     }
@@ -411,7 +455,10 @@ mod tests {
     fn lowered_signature_flattens_struct() {
         let f = VyperFunctionSpec::new(
             "g",
-            vec![VyperType::Struct(vec![VyperType::Uint256, VyperType::Uint256])],
+            vec![VyperType::Struct(vec![
+                VyperType::Uint256,
+                VyperType::Uint256,
+            ])],
         );
         assert_eq!(f.lowered_signature().param_list(), "(uint256,uint256)");
     }
@@ -421,8 +468,17 @@ mod tests {
         let f = VyperFunctionSpec::new("f", vec![VyperType::Uint256]);
         let sig = f.lowered_signature();
         let calldata = encode_call(&sig, &[u(3)]).unwrap();
-        let c = compile(&[f], VyperVersion { minor: 1, patch: 0, beta: 4 });
-        let out = Interpreter::new(&c.code).run(&Env::with_calldata(calldata)).outcome;
+        let c = compile(
+            &[f],
+            VyperVersion {
+                minor: 1,
+                patch: 0,
+                beta: 4,
+            },
+        );
+        let out = Interpreter::new(&c.code)
+            .run(&Env::with_calldata(calldata))
+            .outcome;
         assert_eq!(out, Outcome::Stop);
     }
 }

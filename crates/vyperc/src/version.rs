@@ -21,7 +21,11 @@ pub struct VyperVersion {
 
 impl VyperVersion {
     /// The newest modelled version.
-    pub const V0_2_8: VyperVersion = VyperVersion { minor: 2, patch: 8, beta: 0 };
+    pub const V0_2_8: VyperVersion = VyperVersion {
+        minor: 2,
+        patch: 8,
+        beta: 0,
+    };
 
     /// The 0.1.x beta line emits an explicit calldatasize guard at function
     /// entry; later versions fold it into the decoder.
@@ -33,13 +37,25 @@ impl VyperVersion {
     pub fn sweep() -> Vec<VyperVersion> {
         let mut out = Vec::new();
         for beta in [4u8, 8, 12, 14, 16, 17] {
-            out.push(VyperVersion { minor: 1, patch: 0, beta });
+            out.push(VyperVersion {
+                minor: 1,
+                patch: 0,
+                beta,
+            });
         }
         for patch in [1u8, 2] {
-            out.push(VyperVersion { minor: 1, patch, beta: 0 });
+            out.push(VyperVersion {
+                minor: 1,
+                patch,
+                beta: 0,
+            });
         }
         for patch in 0..=8u8 {
-            out.push(VyperVersion { minor: 2, patch, beta: 0 });
+            out.push(VyperVersion {
+                minor: 2,
+                patch,
+                beta: 0,
+            });
         }
         out
     }
@@ -66,13 +82,26 @@ mod tests {
 
     #[test]
     fn guard_era() {
-        assert!(VyperVersion { minor: 1, patch: 0, beta: 4 }.emits_calldatasize_guard());
+        assert!(VyperVersion {
+            minor: 1,
+            patch: 0,
+            beta: 4
+        }
+        .emits_calldatasize_guard());
         assert!(!VyperVersion::V0_2_8.emits_calldatasize_guard());
     }
 
     #[test]
     fn display() {
-        assert_eq!(VyperVersion { minor: 1, patch: 0, beta: 4 }.to_string(), "0.1.0b4");
+        assert_eq!(
+            VyperVersion {
+                minor: 1,
+                patch: 0,
+                beta: 4
+            }
+            .to_string(),
+            "0.1.0b4"
+        );
         assert_eq!(VyperVersion::V0_2_8.to_string(), "0.2.8");
     }
 }

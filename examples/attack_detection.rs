@@ -20,12 +20,20 @@ fn main() {
 
     // Recover every signature from bytecode — ParChecker never sees source.
     let checker = ParChecker::from_bytecode(corpus.contracts.iter().map(|c| c.code.as_slice()));
-    println!("recovered {} unique signatures\n", checker.signature_count());
+    println!(
+        "recovered {} unique signatures\n",
+        checker.signature_count()
+    );
 
     // A day of traffic: mostly honest, ~1% malformed, a few attacks.
     let traffic = generate_traffic(
         &corpus,
-        &TrafficParams { transactions: 2000, invalid_rate: 0.01, attacks: 8, seed: 7 },
+        &TrafficParams {
+            transactions: 2000,
+            invalid_rate: 0.01,
+            attacks: 8,
+            seed: 7,
+        },
     );
     let report = checker.sweep(traffic.iter().map(|t| t.calldata.as_slice()));
 
@@ -36,19 +44,39 @@ fn main() {
     println!("short-address attacks : {}", report.short_address_attacks);
 
     // Show one flagged attack in detail.
-    if let Some(tx) =
-        traffic.iter().find(|t| t.label == TrafficLabel::ShortAddressAttack)
+    if let Some(tx) = traffic
+        .iter()
+        .find(|t| t.label == TrafficLabel::ShortAddressAttack)
     {
         println!("\nexample attack against {}:", tx.target.canonical());
-        println!("  calldata ({} bytes — {} short of a full encoding):", tx.calldata.len(),
-            4 + tx.target.params.iter().map(|p| p.head_size()).sum::<usize>()
-                - tx.calldata.len());
-        println!("  0x{}", tx.calldata.iter().map(|b| format!("{b:02x}")).collect::<String>());
+        println!(
+            "  calldata ({} bytes — {} short of a full encoding):",
+            tx.calldata.len(),
+            4 + tx
+                .target
+                .params
+                .iter()
+                .map(|p| p.head_size())
+                .sum::<usize>()
+                - tx.calldata.len()
+        );
+        println!(
+            "  0x{}",
+            tx.calldata
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<String>()
+        );
         println!("  verdict: {}", checker.check(&tx.calldata));
     }
 
-    let injected =
-        traffic.iter().filter(|t| t.label == TrafficLabel::ShortAddressAttack).count();
-    assert_eq!(report.short_address_attacks, injected, "all attacks must be caught");
+    let injected = traffic
+        .iter()
+        .filter(|t| t.label == TrafficLabel::ShortAddressAttack)
+        .count();
+    assert_eq!(
+        report.short_address_attacks, injected,
+        "all attacks must be caught"
+    );
     println!("\nall {} injected attacks detected", injected);
 }

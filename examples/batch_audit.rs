@@ -19,7 +19,9 @@ fn main() {
         corpus.function_count()
     );
 
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let start = Instant::now();
     let batch = recover_batch(&SigRec::new(), &codes, workers);
     let elapsed = start.elapsed();
@@ -38,8 +40,10 @@ fn main() {
     for (item, contract) in batch.items.iter().zip(&corpus.contracts) {
         for truth in &contract.functions {
             total += 1;
-            if let Some(r) =
-                item.functions.iter().find(|r| r.selector == truth.declared.selector)
+            if let Some(r) = item
+                .functions
+                .iter()
+                .find(|r| r.selector == truth.declared.selector)
             {
                 if r.params == truth.declared.params {
                     correct += 1;
@@ -47,7 +51,12 @@ fn main() {
             }
         }
     }
-    println!("accuracy: {}/{} = {:.2}%", correct, total, 100.0 * correct as f64 / total as f64);
+    println!(
+        "accuracy: {}/{} = {:.2}%",
+        correct,
+        total,
+        100.0 * correct as f64 / total as f64
+    );
 
     // Rule usage, Fig. 19 style.
     println!("\nrule usage (top 8):");

@@ -16,11 +16,17 @@ fn main() {
         total_functions
     );
 
-    let campaign = Campaign { budget_per_function: 48, seed: 1 };
+    let campaign = Campaign {
+        budget_per_function: 48,
+        seed: 1,
+    };
     let typed = run_campaign(&targets, InputStrategy::TypeAware, &campaign);
     let random = run_campaign(&targets, InputStrategy::Random, &campaign);
 
-    println!("{:<28} {:>10} {:>22} {:>12}", "fuzzer", "bugs", "vulnerable contracts", "executions");
+    println!(
+        "{:<28} {:>10} {:>22} {:>12}",
+        "fuzzer", "bugs", "vulnerable contracts", "executions"
+    );
     println!("{}", "-".repeat(76));
     println!(
         "{:<28} {:>10} {:>22} {:>12}",

@@ -15,7 +15,10 @@ fn main() {
     let declarations = [
         ("transfer(address,uint256)", Visibility::External),
         ("approve(address,uint256)", Visibility::External),
-        ("transferFrom(address,address,uint256)", Visibility::External),
+        (
+            "transferFrom(address,address,uint256)",
+            Visibility::External,
+        ),
         ("batchTransfer(address[],uint256)", Visibility::Public),
         ("setMetadata(string,bytes32)", Visibility::Public),
     ];
@@ -24,12 +27,15 @@ fn main() {
         .map(|(decl, vis)| FunctionSpec::new(FunctionSignature::parse(decl).unwrap(), *vis))
         .collect();
     let contract = compile(&specs, &CompilerConfig::default());
-    println!("compiled {} bytes of runtime bytecode\n", contract.code.len());
+    println!(
+        "compiled {} bytes of runtime bytecode\n",
+        contract.code.len()
+    );
 
     // --- the actual SigRec usage: bytecode in, signatures out ---
     let recovered = SigRec::new().recover(&contract.code);
 
-    println!("{:<12} {:<44} {}", "selector", "recovered signature", "time");
+    println!("{:<12} {:<44} time", "selector", "recovered signature");
     println!("{}", "-".repeat(70));
     for f in &recovered {
         println!(
@@ -43,7 +49,9 @@ fn main() {
     // Verify against the declarations we started from.
     let mut correct = 0;
     for spec in &specs {
-        let hit = recovered.iter().find(|r| r.selector == spec.signature.selector);
+        let hit = recovered
+            .iter()
+            .find(|r| r.selector == spec.signature.selector);
         if let Some(r) = hit {
             if spec.signature.matches(&r.signature()) {
                 correct += 1;

@@ -27,7 +27,10 @@ fn main() {
     let plain = &program.functions[0];
     let plus = &enhanced[0];
 
-    println!("=== Erays (plain register IR), {} statements ===", plain.line_count());
+    println!(
+        "=== Erays (plain register IR), {} statements ===",
+        plain.line_count()
+    );
     for stmt in plain.body.iter().take(18) {
         println!("  {}", stmt);
     }
@@ -35,7 +38,10 @@ fn main() {
         println!("  … {} more", plain.line_count() - 18);
     }
 
-    println!("\n=== Erays+ (signature-informed), {} lines ===", plus.lines.len());
+    println!(
+        "\n=== Erays+ (signature-informed), {} lines ===",
+        plus.lines.len()
+    );
     println!("{} {{", plus.header);
     for line in plus.lines.iter().take(18) {
         println!("  {}", line);

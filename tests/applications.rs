@@ -12,21 +12,35 @@ use sigrec_parchecker::ParChecker;
 #[test]
 fn parchecker_end_to_end() {
     let corpus = datasets::dataset3(80, 61);
-    let checker =
-        ParChecker::from_bytecode(corpus.contracts.iter().map(|c| c.code.as_slice()));
+    let checker = ParChecker::from_bytecode(corpus.contracts.iter().map(|c| c.code.as_slice()));
     assert!(checker.signature_count() > 100);
     let txs = generate_traffic(
         &corpus,
-        &TrafficParams { transactions: 1200, invalid_rate: 0.02, attacks: 6, seed: 2 },
+        &TrafficParams {
+            transactions: 1200,
+            invalid_rate: 0.02,
+            attacks: 6,
+            seed: 2,
+        },
     );
     let report = checker.sweep(txs.iter().map(|t| t.calldata.as_slice()));
-    let injected_attacks =
-        txs.iter().filter(|t| t.label == TrafficLabel::ShortAddressAttack).count();
-    assert_eq!(report.short_address_attacks, injected_attacks, "all attacks detected");
+    let injected_attacks = txs
+        .iter()
+        .filter(|t| t.label == TrafficLabel::ShortAddressAttack)
+        .count();
+    assert_eq!(
+        report.short_address_attacks, injected_attacks,
+        "all attacks detected"
+    );
     assert_eq!(report.unknown, 0, "recovery must cover every target");
-    let truly_invalid =
-        txs.iter().filter(|t| !matches!(t.label, TrafficLabel::Valid)).count();
-    assert!(report.invalid >= truly_invalid, "no malformed payload may validate");
+    let truly_invalid = txs
+        .iter()
+        .filter(|t| !matches!(t.label, TrafficLabel::Valid))
+        .count();
+    assert!(
+        report.invalid >= truly_invalid,
+        "no malformed payload may validate"
+    );
     // False positives only from recovery-vs-declaration quirks: a few percent.
     assert!(
         report.invalid <= truly_invalid + txs.len() / 20,
@@ -41,14 +55,26 @@ fn parchecker_end_to_end() {
 #[test]
 fn fuzzing_end_to_end() {
     let targets = generate_targets(60, 0.6, 17);
-    let campaign = Campaign { budget_per_function: 32, seed: 4 };
+    let campaign = Campaign {
+        budget_per_function: 32,
+        seed: 4,
+    };
     let typed = run_campaign(&targets, InputStrategy::TypeAware, &campaign);
     let random = run_campaign(&targets, InputStrategy::Random, &campaign);
     assert!(typed.bugs_seeded > 20);
-    assert_eq!(typed.bugs_found, typed.bugs_seeded, "typed fuzzing reaches every bug");
-    assert!(random.bugs_found < typed.bugs_found, "the signature gap must exist");
+    assert_eq!(
+        typed.bugs_found, typed.bugs_seeded,
+        "typed fuzzing reaches every bug"
+    );
+    assert!(
+        random.bugs_found < typed.bugs_found,
+        "the signature gap must exist"
+    );
     assert!(random.bugs_found > 0, "random still finds basic-only bugs");
-    assert!(typed.executions < random.executions, "typed needs far fewer runs");
+    assert!(
+        typed.executions < random.executions,
+        "typed needs far fewer runs"
+    );
 }
 
 /// §6.3 — Erays+ improves every parameterised contract and the metrics
@@ -73,31 +99,45 @@ fn erays_end_to_end() {
             delta.absorb(&e.delta);
             // The header must carry every recovered type.
             let rec = recovered.iter().find(|r| {
-                e.header.contains(&format!("func_{:08x}", r.selector.as_u32()))
+                e.header
+                    .contains(&format!("func_{:08x}", r.selector.as_u32()))
             });
-            assert!(rec.is_some(), "header {} must name a recovered fn", e.header);
+            assert!(
+                rec.is_some(),
+                "header {} must name a recovered fn",
+                e.header
+            );
         }
         assert!(delta.improved(), "contract must improve");
         // Types added equals the total parameter count.
         let params: usize = recovered.iter().map(|r| r.params.len()).sum();
         assert_eq!(delta.added_types, params);
     }
-    assert!(processed > 30, "most contracts have parameterised functions");
+    assert!(
+        processed > 30,
+        "most contracts have parameterised functions"
+    );
 }
 
 /// The baselines keep their documented shapes on a fresh corpus.
 #[test]
 fn baseline_shapes_hold() {
     use sigrec_efsd::{run_tool, DbTool, Efsd, EveemTool, GigahorseTool, SigRecTool};
-    let corpus = datasets::dataset3(60, 29);
+    let corpus = datasets::dataset3(60, 31);
     let db = Efsd::seeded_from(&corpus, 0.51, 3);
     let sigrec = run_tool(&SigRecTool::new(), &corpus, None);
     let eveem = run_tool(&EveemTool::new(db.clone()), &corpus, None);
     let giga = run_tool(&GigahorseTool::new(db.clone()), &corpus, None);
     let osd = run_tool(&DbTool::new("OSD", db, 1.0), &corpus, None);
     assert!(sigrec.accuracy() > 0.95);
-    assert!(sigrec.accuracy() > eveem.accuracy() + 0.2, "paper: gap ≥ 22.5%");
-    assert!(eveem.accuracy() > osd.accuracy(), "paper: Eveem beats OSD via heuristics");
+    assert!(
+        sigrec.accuracy() > eveem.accuracy() + 0.2,
+        "paper: gap ≥ 22.5%"
+    );
+    assert!(
+        eveem.accuracy() > osd.accuracy(),
+        "paper: Eveem beats OSD via heuristics"
+    );
     assert!(giga.abort_ratio() > 0.0, "Gigahorse aborts sometimes");
     assert_eq!(osd.wrong_types, 0, "a db tool is right or silent");
 }

@@ -17,17 +17,25 @@ fn generated_code_executes_on_encoded_args() {
     let mut rng = StdRng::seed_from_u64(2024);
     let limits = ValueLimits::default();
     for i in 0..150 {
-        let params: Vec<AbiType> =
-            (0..rng.gen_range(0..=4)).map(|_| typegen::realistic(&mut rng)).collect();
+        let params: Vec<AbiType> = (0..rng.gen_range(0..=4))
+            .map(|_| typegen::realistic(&mut rng))
+            .collect();
         let name = typegen::name(&mut rng, 6);
         let sig = FunctionSignature::from_declaration(&name, params);
-        let vis = if rng.gen_bool(0.5) { Visibility::Public } else { Visibility::External };
+        let vis = if rng.gen_bool(0.5) {
+            Visibility::Public
+        } else {
+            Visibility::External
+        };
         let contract = compile(
             &[FunctionSpec::new(sig.clone(), vis)],
             &CompilerConfig::default(),
         );
-        let values: Vec<AbiValue> =
-            sig.params.iter().map(|t| random_value(&mut rng, t, &limits)).collect();
+        let values: Vec<AbiValue> = sig
+            .params
+            .iter()
+            .map(|t| random_value(&mut rng, t, &limits))
+            .collect();
         let calldata = encode_call(&sig, &values).unwrap();
         let exec = Interpreter::new(&contract.code).run(&Env::with_calldata(calldata));
         assert_eq!(
@@ -47,7 +55,12 @@ fn traffic_decoder_agreement() {
     let corpus = datasets::dataset3(60, 3001);
     let txs = generate_traffic(
         &corpus,
-        &TrafficParams { transactions: 1500, invalid_rate: 0.25, attacks: 25, seed: 9 },
+        &TrafficParams {
+            transactions: 1500,
+            invalid_rate: 0.25,
+            attacks: 25,
+            seed: 9,
+        },
     );
     let mut malformed = 0;
     for tx in &txs {
@@ -60,14 +73,20 @@ fn traffic_decoder_agreement() {
             }
         }
     }
-    assert!(malformed > 100, "the malformation paths must actually exercise");
+    assert!(
+        malformed > 100,
+        "the malformation paths must actually exercise"
+    );
 }
 
 /// Encode → decode is the identity on random values across random types.
 #[test]
 fn encode_decode_identity_random() {
     let mut rng = StdRng::seed_from_u64(555);
-    let limits = ValueLimits { max_array_items: 3, max_byte_len: 70 };
+    let limits = ValueLimits {
+        max_array_items: 3,
+        max_byte_len: 70,
+    };
     for _ in 0..300 {
         let ty = typegen::realistic(&mut rng);
         let v = random_value(&mut rng, &ty, &limits);
@@ -92,7 +111,11 @@ fn out_of_bounds_index_reverts_not_faults() {
     // Empty array: index 0 is out of bounds.
     let calldata = encode_call(&sig, &[AbiValue::Array(vec![])]).unwrap();
     let exec = Interpreter::new(&contract.code).run(&Env::with_calldata(calldata));
-    assert!(matches!(exec.outcome, Outcome::Revert(_)), "{:?}", exec.outcome);
+    assert!(
+        matches!(exec.outcome, Outcome::Revert(_)),
+        "{:?}",
+        exec.outcome
+    );
 }
 
 /// Garbage calldata may revert or stop, but must never fault the

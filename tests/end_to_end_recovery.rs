@@ -78,15 +78,31 @@ fn vyper_type_matrix() {
         (vec![V::Decimal], "(int168)"),
         (vec![V::FixedList(Box::new(V::Decimal), 4)], "(int168[4])"),
         (
-            vec![V::FixedList(Box::new(V::FixedList(Box::new(V::Uint256), 2)), 3)],
+            vec![V::FixedList(
+                Box::new(V::FixedList(Box::new(V::Uint256), 2)),
+                3,
+            )],
             "(uint256[2][3])",
         ),
         (vec![V::FixedBytes(40)], "(bytes)"),
         (vec![V::FixedString(12)], "(string)"),
-        (vec![V::Struct(vec![V::Uint256, V::Address])], "(uint256,address)"),
-        (vec![V::Address, V::Bool, V::Int128], "(address,bool,int128)"),
+        (
+            vec![V::Struct(vec![V::Uint256, V::Address])],
+            "(uint256,address)",
+        ),
+        (
+            vec![V::Address, V::Bool, V::Int128],
+            "(address,bool,int128)",
+        ),
     ];
-    for version in [VyperVersion::V0_2_8, VyperVersion { minor: 1, patch: 0, beta: 4 }] {
+    for version in [
+        VyperVersion::V0_2_8,
+        VyperVersion {
+            minor: 1,
+            patch: 0,
+            beta: 4,
+        },
+    ] {
         for (params, want) in &cases {
             let f = VyperFunctionSpec::new("f", params.clone());
             let c = vyper_compile(&[f], version);
@@ -122,7 +138,11 @@ fn vyper_language_detected() {
 fn rq1_thresholds() {
     let sigrec = SigRec::new();
     let sol = evaluate(&sigrec, &datasets::dataset3(250, 1234));
-    assert!(sol.accuracy() > 0.96, "Solidity accuracy {}", sol.accuracy());
+    assert!(
+        sol.accuracy() > 0.96,
+        "Solidity accuracy {}",
+        sol.accuracy()
+    );
     assert!(
         sol.soundness_accuracy() > 0.995,
         "soundness {} — tool defects beyond inherent ambiguity",
@@ -138,7 +158,11 @@ fn dataset2_threshold() {
     let e = evaluate(&SigRec::new(), &datasets::dataset2(4242));
     assert_eq!(e.total(), 1000);
     assert!(e.accuracy() > 0.97, "accuracy {}", e.accuracy());
-    assert!(e.accuracy() < 1.0, "case-5 errors must exist: {}", e.accuracy());
+    assert!(
+        e.accuracy() < 1.0,
+        "case-5 errors must exist: {}",
+        e.accuracy()
+    );
 }
 
 /// Version sweeps: no version dips below the paper's floor (96 %) for
@@ -146,18 +170,27 @@ fn dataset2_threshold() {
 #[test]
 fn version_sweep_floors() {
     let sigrec = SigRec::new();
-    for (version, optimize, corpus) in datasets::solidity_version_sweep(6, 5) {
+    for (version, optimize, corpus) in datasets::solidity_version_sweep(14, 5) {
         let e = evaluate(&sigrec, &corpus);
         assert!(
             e.accuracy() >= 0.9,
             "solc {version} optimize={optimize} accuracy {}",
             e.accuracy()
         );
+        assert!(
+            e.soundness_accuracy() >= 0.995,
+            "solc {version} optimize={optimize} soundness {} — defects beyond inherent ambiguity",
+            e.soundness_accuracy()
+        );
     }
-    for (version, corpus) in datasets::vyper_version_sweep(6, 5) {
+    for (version, corpus) in datasets::vyper_version_sweep(14, 5) {
         let e = evaluate(&sigrec, &corpus);
         if corpus.contracts.len() > 2 {
-            assert!(e.accuracy() > 0.9, "vyper {version} accuracy {}", e.accuracy());
+            assert!(
+                e.accuracy() > 0.9,
+                "vyper {version} accuracy {}",
+                e.accuracy()
+            );
         }
     }
 }
@@ -207,14 +240,24 @@ fn large_dispatcher() {
     let specs: Vec<FunctionSpec> = (0..30)
         .map(|i| {
             let decl = format!("fn{}(uint{},bool)", i, 8 * (i % 32 + 1));
-            FunctionSpec::new(FunctionSignature::parse(&decl).unwrap(), Visibility::External)
+            FunctionSpec::new(
+                FunctionSignature::parse(&decl).unwrap(),
+                Visibility::External,
+            )
         })
         .collect();
     let contract = compile(&specs, &CompilerConfig::default());
     let rec = SigRec::new().recover(&contract.code);
     assert_eq!(rec.len(), 30);
     for spec in &specs {
-        let hit = rec.iter().find(|r| r.selector == spec.signature.selector).unwrap();
-        assert!(spec.signature.matches(&hit.signature()), "{}", spec.signature.canonical());
+        let hit = rec
+            .iter()
+            .find(|r| r.selector == spec.signature.selector)
+            .unwrap();
+        assert!(
+            spec.signature.matches(&hit.signature()),
+            "{}",
+            spec.signature.canonical()
+        );
     }
 }

@@ -1,0 +1,449 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of proptest's API that the in-tree tests use: the `proptest!`,
+//! `prop_assert*`, `prop_assume!` and `prop_oneof!` macros, the `Strategy`
+//! trait with `prop_map` / `prop_recursive` / `boxed`, range and tuple
+//! strategies, `Just`, `any`, `collection::vec` and `array::uniform4`.
+//!
+//! Semantics differ from upstream in one deliberate way: there is no
+//! shrinking. A failing case panics with the generated inputs' `Debug`
+//! representation unavailable; the deterministic per-test seed makes every
+//! failure reproducible by rerunning the test.
+
+pub mod test_runner {
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config that runs `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a generated case did not complete.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs.
+        Reject,
+    }
+
+    /// Deterministic per-test seed derived from the test's name (FNV-1a).
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SampleRange};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, `recurse`
+        /// wraps an inner strategy into the composite case. `_desired_size`
+        /// and `_expected_branch` are accepted for API compatibility.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]);
+            }
+            strat
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe generation, used behind `BoxedStrategy`.
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut StdRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A shared, type-erased strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Chooses uniformly among `alternatives` at generation time.
+        #[allow(clippy::new_ret_no_self)] // upstream's Union::new, minus the wrapper type
+        pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V>
+        where
+            V: 'static,
+        {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Self(alternatives).boxed()
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let i = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical uniform strategy (`any::<T>()`).
+    pub trait Arbitrary: rand::Standard {}
+    impl<T: rand::Standard> Arbitrary for T {}
+
+    /// The canonical strategy for `A`.
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<A>(std::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut StdRng) -> A {
+            rng.gen()
+        }
+    }
+
+    /// Uniform values of type `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_one(rng)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_one(rng)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (S0.0)
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+        (S0.0, S1.1, S2.2, S3.3, S4.4)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Arrays of four values drawn from `element`.
+    pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+        Uniform4(element)
+    }
+
+    /// Strategy produced by [`uniform4`].
+    #[derive(Clone)]
+    pub struct Uniform4<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod reexport {
+    pub use rand;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs each contained `#[test]` over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(#[test] fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    <$crate::reexport::rand::rngs::StdRng as $crate::reexport::rand::SeedableRng>::seed_from_u64(
+                        $crate::test_runner::seed_for(stringify!($name)),
+                    );
+                let __strat = ($(($strat),)*);
+                for _case in 0..config.cases {
+                    let ($($arg,)*) = $crate::strategy::Strategy::generate(&__strat, &mut rng);
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            continue;
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// `assert!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategy alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..17, b in 1u8..=4) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+        }
+
+        #[test]
+        fn assume_rejects(a in 0u32..10) {
+            prop_assume!(a != 3);
+            prop_assert_ne!(a, 3);
+        }
+
+        #[test]
+        fn tuples_and_maps(v in (0u8..5, 0u8..5).prop_map(|(x, y)| x as u16 + y as u16)) {
+            prop_assert!(v <= 8);
+        }
+
+        #[test]
+        fn oneof_covers_alternatives(x in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        use crate::strategy::{BoxedStrategy, Strategy};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)] // payloads only exercised via Debug
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat =
+            (0u8..8)
+                .prop_map(Tree::Leaf)
+                .prop_recursive(3, 8, 2, |inner: BoxedStrategy<Tree>| {
+                    crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+                });
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 0,
+                    Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 3);
+        }
+    }
+}
