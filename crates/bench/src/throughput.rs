@@ -6,18 +6,27 @@
 //! experiment builds a synthetic corpus with an on-chain-like duplication
 //! profile (~20× mean duplication, skewed so a few templates dominate),
 //! runs it through the naive per-contract scheduler and the dedup-aware
-//! scheduler, verifies both recover identical signatures, and reports
-//! contracts/s, functions/s, cache hit rates and per-function latency
-//! percentiles. The machine-readable summary is written to
+//! function-grained scheduler at several worker counts, verifies every
+//! run recovers identical signatures, and reports contracts/s,
+//! worker-scaling figures, executor fork-cost stats (CoW vs eager-clone
+//! forking), cache hit rates and latency percentiles at both function and
+//! contract granularity. The machine-readable summary is written to
 //! `BENCH_throughput.json` in the working directory.
 
 use crate::accuracy::Scale;
 use crate::report::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sigrec_core::{recover_batch, recover_batch_naive, BatchResult, SigRec};
+use sigrec_core::exec::ForkMode;
+use sigrec_core::{recover_batch, recover_batch_naive, BatchResult, SigRec, TaseConfig};
 use sigrec_corpus::datasets;
 use std::time::{Duration, Instant};
+
+/// Worker counts swept by the scaling table.
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The worker count whose run is reported as "the" dedup figure.
+const REFERENCE_WORKERS: usize = 4;
 
 /// Expands `distinct` codes into a `total`-element corpus with a skewed
 /// (harmonic) duplication profile: template `i` receives weight
@@ -67,7 +76,7 @@ fn assert_equivalent(naive: &BatchResult, dedup: &BatchResult) {
             "function count differs at {}",
             a.index
         );
-        for (fa, fb) in a.functions.iter().zip(&b.functions) {
+        for (fa, fb) in a.functions.iter().zip(b.functions.iter()) {
             assert_eq!(fa.selector, fb.selector, "selector differs at {}", a.index);
             assert_eq!(fa.params, fb.params, "params differ at {}", a.index);
             assert_eq!(fa.language, fb.language, "language differs at {}", a.index);
@@ -86,9 +95,39 @@ fn micros(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
 
+/// max/p99 of a sorted latency vector (1.0 when degenerate).
+fn tail_ratio(sorted: &[Duration]) -> f64 {
+    let p99 = percentile(sorted, 0.99).as_secs_f64();
+    let max = sorted
+        .last()
+        .copied()
+        .unwrap_or(Duration::ZERO)
+        .as_secs_f64();
+    if p99 <= 0.0 {
+        1.0
+    } else {
+        max / p99
+    }
+}
+
+/// Re-explores every distinct template cold under `mode` with profiling
+/// on, returning (forks, units copied by those forks).
+fn fork_cost_probe(distinct: &[Vec<u8>], mode: ForkMode) -> (u64, u64) {
+    let config = TaseConfig {
+        fork_mode: mode,
+        ..TaseConfig::default()
+    };
+    let rec = SigRec::with_config(config).with_exec_stats();
+    for code in distinct {
+        let _ = rec.recover_cold(code);
+    }
+    let stats = rec.exec_stats().expect("profiling enabled");
+    (stats.exec.forks, stats.exec.fork_units_copied)
+}
+
 /// The throughput experiment: naive vs dedup-aware batch recovery over a
-/// duplicated corpus. Returns the text report and writes
-/// `BENCH_throughput.json`.
+/// duplicated corpus, swept over worker counts. Returns the text report
+/// and writes `BENCH_throughput.json`.
 pub fn throughput(scale: &Scale) -> String {
     // The throughput corpus is ~8× the accuracy corpora (duplication makes
     // the extra volume nearly free for the dedup path): the default scale
@@ -98,25 +137,50 @@ pub fn throughput(scale: &Scale) -> String {
     let base = datasets::dataset3(distinct_n, scale.seed + 40);
     let distinct: Vec<Vec<u8>> = base.contracts.iter().map(|c| c.code.clone()).collect();
     let codes = duplicate_with_skew(&distinct, total, scale.seed + 41);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
 
+    // Warm-up: touch every distinct template once so the timed runs don't
+    // charge first-run page faults and allocator growth to one worker count.
+    let _ = recover_batch(&SigRec::new(), &distinct, REFERENCE_WORKERS);
+
+    // The naive baseline runs at the machine's real parallelism: per-function
+    // latencies are wall-clock, and oversubscribing a small box would charge
+    // scheduler preemption to individual functions.
+    let machine_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(REFERENCE_WORKERS);
     let naive_rec = SigRec::new();
     let t0 = Instant::now();
-    let naive = recover_batch_naive(&naive_rec, &codes, workers);
+    let naive = recover_batch_naive(&naive_rec, &codes, machine_workers);
     let naive_secs = t0.elapsed().as_secs_f64();
 
-    let dedup_rec = SigRec::new();
-    let t1 = Instant::now();
-    let dedup = recover_batch(&dedup_rec, &codes, workers);
-    let dedup_secs = t1.elapsed().as_secs_f64();
-
-    assert_equivalent(&naive, &dedup);
+    // Worker-scaling sweep: a fresh profiled SigRec per worker count, each
+    // run checked against the naive baseline signatures.
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<(BatchResult, SigRec, f64)> = None;
+    for &workers in &WORKER_SWEEP {
+        let rec = SigRec::new().with_exec_stats();
+        let t = Instant::now();
+        let result = recover_batch(&rec, &codes, workers);
+        let secs = t.elapsed().as_secs_f64();
+        assert_equivalent(&naive, &result);
+        sweep.push((workers, secs));
+        if workers == REFERENCE_WORKERS {
+            reference = Some((result, rec, secs));
+        }
+    }
+    let (dedup, dedup_rec, dedup_secs) = reference.expect("REFERENCE_WORKERS is in the sweep");
 
     let functions = dedup.function_count();
     let cache = dedup_rec.cache_stats();
+    let profile = dedup_rec.exec_stats().expect("profiling enabled");
     let speedup = naive_secs / dedup_secs.max(1e-9);
+
+    // Fork-cost contrast: same distinct templates, CoW vs eager cloning.
+    let (cow_forks, cow_units) = fork_cost_probe(&distinct, ForkMode::CopyOnWrite);
+    let (eager_forks, eager_units) = fork_cost_probe(&distinct, ForkMode::EagerClone);
+    let cow_per_fork = cow_units as f64 / (cow_forks.max(1)) as f64;
+    let eager_per_fork = eager_units as f64 / (eager_forks.max(1)) as f64;
 
     // True cold per-function recovery latencies, from the naive run (the
     // dedup run only measures each distinct function once).
@@ -132,28 +196,40 @@ pub fn throughput(scale: &Scale) -> String {
         lat.iter().sum::<Duration>() / lat.len() as u32
     };
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"corpus\": {{ \"contracts\": {}, \"distinct_contracts\": {}, ",
-            "\"duplication_factor\": {:.2}, \"functions\": {}, \"workers\": {} }},\n",
-            "  \"naive\": {{ \"seconds\": {:.4}, \"contracts_per_sec\": {:.2}, ",
-            "\"functions_per_sec\": {:.2} }},\n",
-            "  \"dedup\": {{ \"seconds\": {:.4}, \"contracts_per_sec\": {:.2}, ",
-            "\"functions_per_sec\": {:.2}, \"speedup\": {:.2}, \"dedup_rate\": {:.4}, ",
-            "\"contract_cache_hit_rate\": {:.4}, \"function_cache_hit_rate\": {:.4} }},\n",
-            "  \"latency\": {{ \"mean_us\": {:.1}, \"p50_us\": {:.1}, ",
-            "\"p99_us\": {:.1}, \"max_us\": {:.1} }}\n",
-            "}}\n",
-        ),
+    // Whole-contract wall-clock latency, plan → last function done.
+    // Naive gives per-input-contract figures; the dedup reference run
+    // gives per-distinct figures under function-grained scheduling.
+    let mut naive_clat = naive.contract_latencies.clone();
+    naive_clat.sort_unstable();
+    let mut dedup_clat = dedup.contract_latencies.clone();
+    dedup_clat.sort_unstable();
+
+    // Per-rule attributed inference time, heaviest first.
+    let mut rule_time = profile.rule_time.clone();
+    rule_time.sort_by_key(|r| std::cmp::Reverse(r.1));
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"corpus\": {{ \"contracts\": {}, \"distinct_contracts\": {}, \
+         \"duplication_factor\": {:.2}, \"functions\": {}, \"workers\": {} }},\n",
         codes.len(),
         dedup.dedup.distinct_contracts,
         codes.len() as f64 / dedup.dedup.distinct_contracts.max(1) as f64,
         functions,
-        workers,
+        REFERENCE_WORKERS,
+    ));
+    json.push_str(&format!(
+        "  \"naive\": {{ \"seconds\": {:.4}, \"contracts_per_sec\": {:.2}, \
+         \"functions_per_sec\": {:.2} }},\n",
         naive_secs,
         codes.len() as f64 / naive_secs.max(1e-9),
         functions as f64 / naive_secs.max(1e-9),
+    ));
+    json.push_str(&format!(
+        "  \"dedup\": {{ \"seconds\": {:.4}, \"contracts_per_sec\": {:.2}, \
+         \"functions_per_sec\": {:.2}, \"speedup\": {:.2}, \"dedup_rate\": {:.4}, \
+         \"contract_cache_hit_rate\": {:.4}, \"function_cache_hit_rate\": {:.4} }},\n",
         dedup_secs,
         codes.len() as f64 / dedup_secs.max(1e-9),
         functions as f64 / dedup_secs.max(1e-9),
@@ -161,11 +237,71 @@ pub fn throughput(scale: &Scale) -> String {
         dedup.dedup.dedup_rate(),
         cache.contract_hit_rate(),
         cache.function_hit_rate(),
+    ));
+    json.push_str("  \"scaling\": [\n");
+    for (i, (workers, secs)) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"workers\": {}, \"seconds\": {:.4}, \"contracts_per_sec\": {:.2}, \
+             \"speedup_vs_naive\": {:.2} }}{}\n",
+            workers,
+            secs,
+            codes.len() as f64 / secs.max(1e-9),
+            naive_secs / secs.max(1e-9),
+            if i + 1 < sweep.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"exec\": {{ \"steps\": {}, \"paths\": {}, \"forks\": {}, \
+         \"fork_units_copied\": {}, \"worklist_peak\": {}, \
+         \"functions_explored\": {}, \"tase_ms\": {:.2}, \"infer_ms\": {:.2} }},\n",
+        profile.exec.steps,
+        profile.exec.paths,
+        profile.exec.forks,
+        profile.exec.fork_units_copied,
+        profile.exec.worklist_peak,
+        profile.functions_explored,
+        profile.tase_time.as_secs_f64() * 1e3,
+        profile.infer_time.as_secs_f64() * 1e3,
+    ));
+    json.push_str(&format!(
+        "  \"fork_cost\": {{ \"cow_units_per_fork\": {:.2}, \
+         \"eager_units_per_fork\": {:.2}, \"reduction\": {:.2} }},\n",
+        cow_per_fork,
+        eager_per_fork,
+        eager_per_fork / cow_per_fork.max(1e-9),
+    ));
+    json.push_str("  \"rule_time_top_ms\": [ ");
+    for (i, (rule, time)) in rule_time.iter().take(5).enumerate() {
+        json.push_str(&format!(
+            "{}{{ \"rule\": \"{}\", \"attributed_ms\": {:.2} }}",
+            if i > 0 { ", " } else { "" },
+            rule,
+            time.as_secs_f64() * 1e3,
+        ));
+    }
+    json.push_str(" ],\n");
+    json.push_str(&format!(
+        "  \"latency\": {{ \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+         \"max_us\": {:.1}, \"max_over_p99\": {:.2} }},\n",
         micros(mean),
         micros(percentile(&lat, 0.50)),
         micros(percentile(&lat, 0.99)),
         micros(*lat.last().unwrap_or(&Duration::ZERO)),
-    );
+        tail_ratio(&lat),
+    ));
+    json.push_str(&format!(
+        "  \"contract_latency\": {{ \"naive_p99_us\": {:.1}, \"naive_max_us\": {:.1}, \
+         \"naive_max_over_p99\": {:.2}, \"dedup_p99_us\": {:.1}, \"dedup_max_us\": {:.1}, \
+         \"dedup_max_over_p99\": {:.2} }}\n",
+        micros(percentile(&naive_clat, 0.99)),
+        micros(*naive_clat.last().unwrap_or(&Duration::ZERO)),
+        tail_ratio(&naive_clat),
+        micros(percentile(&dedup_clat, 0.99)),
+        micros(*dedup_clat.last().unwrap_or(&Duration::ZERO)),
+        tail_ratio(&dedup_clat),
+    ));
+    json.push_str("}\n");
     if let Err(e) = std::fs::write("BENCH_throughput.json", &json) {
         eprintln!("warning: could not write BENCH_throughput.json: {e}");
     }
@@ -197,6 +333,13 @@ pub fn throughput(scale: &Scale) -> String {
         format!("{:.1}", functions as f64 / dedup_secs.max(1e-9)),
     ]);
     t.row(&["speedup".into(), "1.0×".into(), format!("{speedup:.1}×")]);
+    for (workers, secs) in &sweep {
+        t.row(&[
+            format!("contracts/s @{workers}w"),
+            "—".into(),
+            format!("{:.1}", codes.len() as f64 / secs.max(1e-9)),
+        ]);
+    }
     t.row(&[
         "dedup rate".into(),
         "—".into(),
@@ -208,18 +351,29 @@ pub fn throughput(scale: &Scale) -> String {
         crate::report::pct(cache.function_hit_rate()),
     ]);
     t.row(&[
-        "p50 latency".into(),
-        format!("{:?}", percentile(&lat, 0.50)),
-        "—".into(),
+        "fork units/fork".into(),
+        format!("{eager_per_fork:.1} (eager)"),
+        format!("{cow_per_fork:.1} (CoW)"),
     ]);
     t.row(&[
-        "p99 latency".into(),
+        "p99 fn latency".into(),
         format!("{:?}", percentile(&lat, 0.99)),
         "—".into(),
     ]);
+    t.row(&[
+        "max/p99 fn".into(),
+        format!("{:.1}×", tail_ratio(&lat)),
+        "—".into(),
+    ]);
+    t.row(&[
+        "max/p99 contract".into(),
+        format!("{:.1}×", tail_ratio(&naive_clat)),
+        format!("{:.1}×", tail_ratio(&dedup_clat)),
+    ]);
     format!(
-        "Throughput — dedup-aware batch vs naive over a {:.0}×-duplicated corpus \
-         (signatures verified identical; BENCH_throughput.json written)\n{}",
+        "Throughput — dedup-aware function-grained batch vs naive over a \
+         {:.0}×-duplicated corpus (signatures verified identical at every \
+         worker count; BENCH_throughput.json written)\n{}",
         codes.len() as f64 / dedup.dedup.distinct_contracts.max(1) as f64,
         t.render()
     )
@@ -262,5 +416,12 @@ mod tests {
         assert_eq!(percentile(&lat, 1.0), Duration::from_micros(100));
         assert!(percentile(&lat, 0.5) <= percentile(&lat, 0.99));
         assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn tail_ratio_degenerate_is_one() {
+        assert_eq!(tail_ratio(&[]), 1.0);
+        let lat = vec![Duration::ZERO, Duration::ZERO];
+        assert_eq!(tail_ratio(&lat), 1.0);
     }
 }

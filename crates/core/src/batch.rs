@@ -1,34 +1,38 @@
-//! Parallel batch recovery with dedup-first scheduling.
+//! Parallel batch recovery with dedup-first, function-grained scheduling.
 //!
 //! The paper's efficiency experiments run SigRec over 47 M functions, and
 //! deployed bytecode is massively duplicated (factory clones, token
 //! templates). The scheduler therefore groups byte-identical contracts
-//! **before** dispatching work: each distinct code is
-//! recovered exactly once on a pool of `std::thread::scope` workers, and
-//! the result is fanned out to every duplicate index. Workers share one
-//! [`RecoveryCache`], so function bodies repeated *across* distinct
-//! contracts are also recovered once.
+//! **before** dispatching work, and parallelises *inside* contracts: each
+//! distinct code is planned once ([`SigRec::plan`]: disassembly + dispatch
+//! extraction), then every (contract, dispatch-entry) pair becomes its own
+//! work unit pulled by whichever worker is free. Wide contracts no longer
+//! serialise on one worker, which is what collapses the latency tail. The
+//! finished contract is assembled in dispatcher order, memoised, and the
+//! `Arc`-shared result is fanned out to every duplicate index without
+//! cloning function vectors.
 //!
-//! [`recover_batch_naive`] keeps the original one-job-per-contract,
-//! cache-bypassing scheduler as the equivalence/throughput baseline.
+//! [`recover_batch_naive`] runs the same scheduler with singleton groups
+//! and the cache bypassed, as the equivalence/throughput baseline.
 //!
+//! [`SigRec::plan`]: crate::pipeline::SigRec
 //! [`RecoveryCache`]: crate::cache::RecoveryCache
 
-use crate::pipeline::{RecoveredFunction, SigRec};
+use crate::pipeline::{CacheMode, ContractPlan, RecoveredFunction, SigRec};
 use crate::rules::RuleStats;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// The result of recovering one contract within a batch.
 #[derive(Clone, Debug)]
 pub struct BatchItem {
     /// Index of the contract in the input order.
     pub index: usize,
-    /// Recovered functions.
-    pub functions: Vec<RecoveredFunction>,
+    /// Recovered functions — shared, not cloned, across duplicate
+    /// contracts served by fan-out.
+    pub functions: Arc<Vec<RecoveredFunction>>,
 }
 
 /// How much work deduplication saved.
@@ -95,6 +99,10 @@ pub struct BatchResult {
     pub dedup: DedupStats,
     /// Per-function timing aggregation over the recoveries performed.
     pub timings: BatchTimings,
+    /// Wall-clock latency of each *distinct* contract, plan to last
+    /// function completed (function-grained scheduling shows up here:
+    /// a wide contract's entries run on several workers at once).
+    pub contract_latencies: Vec<Duration>,
 }
 
 impl BatchResult {
@@ -105,7 +113,9 @@ impl BatchResult {
 }
 
 /// Recovers every contract in `codes` using `workers` threads, recovering
-/// each byte-distinct code once and fanning the result out to duplicates.
+/// each byte-distinct code once and fanning the `Arc`-shared result out
+/// to duplicates. Work is scheduled per (contract, dispatch-entry) unit,
+/// so one contract's functions can run on several workers concurrently.
 ///
 /// # Examples
 ///
@@ -124,110 +134,264 @@ impl BatchResult {
 /// ```
 pub fn recover_batch(sigrec: &SigRec, codes: &[Vec<u8>], workers: usize) -> BatchResult {
     // Dedup-first: one group per distinct code, keeping every duplicate's
-    // input index for fan-out. Grouping only needs byte-equality, so the
-    // map hashes raw code bytes (far cheaper per contract than the
-    // keccak256 the contract-level cache keys on).
+    // input index for fan-out. Grouping only needs byte-equality, and
+    // hashing every full code body dominated batch time on big corpora —
+    // so codes are bucketed by a cheap fingerprint (length + FNV of the
+    // first and last 64 bytes) and confirmed with a byte compare inside
+    // the bucket. Duplicates cost one memcmp; colliding distinct codes
+    // just share a (short) bucket scan.
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-    let mut by_code: HashMap<&[u8], usize> = HashMap::new();
+    let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
     for (i, code) in codes.iter().enumerate() {
-        match by_code.entry(code.as_slice()) {
-            Entry::Occupied(slot) => groups[*slot.get()].1.push(i),
-            Entry::Vacant(slot) => {
-                slot.insert(groups.len());
+        let bucket = buckets
+            .entry((code.len(), code_fingerprint(code)))
+            .or_default();
+        match bucket.iter().find(|&&g| codes[groups[g].0] == *code) {
+            Some(&g) => groups[g].1.push(i),
+            None => {
+                bucket.push(groups.len());
                 groups.push((i, vec![i]));
             }
         }
     }
+    run_scheduler(sigrec, codes, groups, workers, CacheMode::ReadWrite)
+}
+
+/// FNV-1a over the first and last 64 bytes — a grouping prefilter, not an
+/// identity: equality is always confirmed byte-for-byte.
+fn code_fingerprint(code: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let head = &code[..code.len().min(64)];
+    let tail = &code[code.len().saturating_sub(64)..];
+    for &b in head.iter().chain(tail) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The baseline scheduler: every contract is its own group (duplicates
+/// are *not* coalesced) and the cache is bypassed, so each function is
+/// re-explored exactly as [`SigRec::recover_cold`] would. Runs on the
+/// same function-grained scheduler as [`recover_batch`].
+pub fn recover_batch_naive(sigrec: &SigRec, codes: &[Vec<u8>], workers: usize) -> BatchResult {
+    let groups = (0..codes.len()).map(|i| (i, vec![i])).collect();
+    run_scheduler(sigrec, codes, groups, workers, CacheMode::Bypass)
+}
+
+/// One unit of scheduler work.
+enum Job {
+    /// Plan group `g`: disassemble, extract the dispatch table, enqueue
+    /// one [`Job::Func`] per entry.
+    Plan(usize),
+    /// Recover dispatch entry `idx` of group `group`'s plan.
+    Func { group: usize, idx: usize },
+}
+
+/// Shared scheduler queue: a deque of jobs plus the count of jobs
+/// currently being executed. Workers exit when both reach zero.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    running: usize,
+}
+
+impl Queue {
+    fn new(jobs: VecDeque<Job>) -> Self {
+        Queue {
+            inner: Mutex::new(QueueInner { jobs, running: 0 }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Takes the next job, blocking while the queue is empty but other
+    /// workers still run (they may enqueue follow-up jobs). Returns
+    /// `None` when the batch is drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                inner.running += 1;
+                return Some(job);
+            }
+            if inner.running == 0 {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("scheduler poisoned");
+        }
+    }
+
+    /// Enqueues follow-up jobs at the *front* of the queue. Function jobs
+    /// jump ahead of not-yet-planned contracts, so an in-flight contract
+    /// drains before new ones open — depth-first scheduling keeps the
+    /// number of half-done contracts (and their slot buffers) bounded by
+    /// the worker count and makes per-contract latency measure work, not
+    /// queue position.
+    fn push_front_many(&self, jobs: impl IntoIterator<Item = Job>) {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        for (at, job) in jobs.into_iter().enumerate() {
+            inner.jobs.insert(at, job);
+        }
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Marks one popped job as finished.
+    fn finish(&self) {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        inner.running -= 1;
+        let drained = inner.running == 0 && inner.jobs.is_empty();
+        drop(inner);
+        if drained {
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Per-group scheduler state: the plan, the per-entry result slots, and
+/// the finished `Arc`-shared function list.
+struct GroupState {
+    /// Input index of the representative contract.
+    rep: usize,
+    /// All duplicate input indices (includes `rep`).
+    members: Vec<usize>,
+    plan: OnceLock<Arc<ContractPlan>>,
+    slots: Mutex<Vec<Option<RecoveredFunction>>>,
+    remaining: AtomicUsize,
+    started: OnceLock<Instant>,
+    done: OnceLock<(Arc<Vec<RecoveredFunction>>, Duration)>,
+}
+
+impl GroupState {
+    fn finish(&self, functions: Arc<Vec<RecoveredFunction>>) {
+        let elapsed = self.started.get().map(|t| t.elapsed()).unwrap_or_default();
+        self.done
+            .set((functions, elapsed))
+            .expect("group finished once");
+    }
+}
+
+/// The one scheduler both batch entry points share. `groups` maps each
+/// distinct work unit to (representative index, duplicate indices);
+/// `mode` decides cache participation. Workers pull (contract,
+/// dispatch-entry) jobs from a shared queue: planning a contract fans its
+/// entries back into the queue, and the last entry to finish assembles,
+/// seals, and timestamps the contract.
+fn run_scheduler(
+    sigrec: &SigRec,
+    codes: &[Vec<u8>],
+    groups: Vec<(usize, Vec<usize>)>,
+    workers: usize,
+    mode: CacheMode,
+) -> BatchResult {
     let dedup = DedupStats {
         total_contracts: codes.len(),
         distinct_contracts: groups.len(),
     };
-    let items = run_pool(workers, groups.len(), |g| {
-        sigrec.recover(&codes[groups[g].0])
-    });
     let mut result = BatchResult {
         dedup,
         ..Default::default()
     };
-    for (g, functions) in items {
-        for f in &functions {
+    if groups.is_empty() {
+        return result;
+    }
+    let states: Vec<GroupState> = groups
+        .into_iter()
+        .map(|(rep, members)| GroupState {
+            rep,
+            members,
+            plan: OnceLock::new(),
+            slots: Mutex::new(Vec::new()),
+            remaining: AtomicUsize::new(0),
+            started: OnceLock::new(),
+            done: OnceLock::new(),
+        })
+        .collect();
+    let queue = Queue::new((0..states.len()).map(Job::Plan).collect());
+    let workers = workers.max(1).min(states.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let states = &states;
+            scope.spawn(move || {
+                while let Some(job) = queue.pop() {
+                    match job {
+                        Job::Plan(g) => {
+                            let gs = &states[g];
+                            let _ = gs.started.set(Instant::now());
+                            let plan = Arc::new(sigrec.plan(&codes[gs.rep], mode));
+                            if let Some(hit) = &plan.cached {
+                                gs.finish(Arc::clone(hit));
+                            } else if plan.table.is_empty() {
+                                let functions = Arc::new(Vec::new());
+                                sigrec.seal(&plan, &functions);
+                                gs.finish(functions);
+                            } else {
+                                let n = plan.table.len();
+                                *gs.slots.lock().expect("slots poisoned") =
+                                    (0..n).map(|_| None).collect();
+                                gs.remaining.store(n, Ordering::Release);
+                                gs.plan.set(plan).expect("plan set once");
+                                queue
+                                    .push_front_many((0..n).map(|idx| Job::Func { group: g, idx }));
+                            }
+                        }
+                        Job::Func { group, idx } => {
+                            let gs = &states[group];
+                            let plan = gs.plan.get().expect("plan precedes entries");
+                            let (f, _) = sigrec.run_entry(&codes[gs.rep], plan, idx, mode);
+                            gs.slots.lock().expect("slots poisoned")[idx] = Some(f);
+                            if gs.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                // Last entry of the contract: assemble in
+                                // dispatcher order, memoise, timestamp.
+                                let functions: Vec<RecoveredFunction> = gs
+                                    .slots
+                                    .lock()
+                                    .expect("slots poisoned")
+                                    .iter_mut()
+                                    .map(|s| s.take().expect("all entries recovered"))
+                                    .collect();
+                                sigrec.seal(plan, &functions);
+                                gs.finish(Arc::new(functions));
+                            }
+                        }
+                    }
+                    queue.finish();
+                }
+            });
+        }
+    });
+    for gs in &states {
+        let (functions, elapsed) = gs.done.get().expect("every group finished");
+        for f in functions.iter() {
             result.timings.record(f.elapsed);
         }
+        result.contract_latencies.push(*elapsed);
         let mut stats = RuleStats::new();
-        for f in &functions {
+        for f in functions.iter() {
             stats.absorb(&f.rules);
         }
-        for &index in &groups[g].1 {
+        for &index in &gs.members {
             result.rule_stats.merge(&stats);
             result.items.push(BatchItem {
                 index,
-                functions: functions.clone(),
+                functions: Arc::clone(functions),
             });
         }
     }
     result.items.sort_by_key(|i| i.index);
     result
-}
-
-/// The pre-dedup scheduler: one job per contract, no cache (every job runs
-/// [`SigRec::recover_cold`]). Kept as the baseline that [`recover_batch`]
-/// is measured against and tested for equivalence with.
-pub fn recover_batch_naive(sigrec: &SigRec, codes: &[Vec<u8>], workers: usize) -> BatchResult {
-    let items = run_pool(workers, codes.len(), |i| sigrec.recover_cold(&codes[i]));
-    let mut result = BatchResult {
-        dedup: DedupStats {
-            total_contracts: codes.len(),
-            distinct_contracts: codes.len(),
-        },
-        ..Default::default()
-    };
-    for (index, functions) in items {
-        for f in &functions {
-            result.timings.record(f.elapsed);
-        }
-        let mut stats = RuleStats::new();
-        for f in &functions {
-            stats.absorb(&f.rules);
-        }
-        result.rule_stats.merge(&stats);
-        result.items.push(BatchItem { index, functions });
-    }
-    result.items.sort_by_key(|i| i.index);
-    result
-}
-
-/// Fans `jobs` indices across `workers` scoped threads pulling from a
-/// shared atomic queue; returns every job's `(index, output)`.
-fn run_pool<F>(workers: usize, jobs: usize, job: F) -> Vec<(usize, Vec<RecoveredFunction>)>
-where
-    F: Fn(usize) -> Vec<RecoveredFunction> + Sync,
-{
-    let workers = workers.max(1).min(jobs.max(1));
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<RecoveredFunction>)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            let job = &job;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                let _ = tx.send((i, job(i)));
-            });
-        }
-        drop(tx);
-        rx.into_iter().collect()
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sigrec_abi::FunctionSignature;
-    use sigrec_solc::{compile_single, CompilerConfig, FunctionSpec, Visibility};
+    use sigrec_solc::{compile, compile_single, CompilerConfig, FunctionSpec, Visibility};
 
     fn contract(decl: &str) -> Vec<u8> {
         compile_single(
@@ -256,6 +420,7 @@ mod tests {
         }
         assert_eq!(result.function_count(), 4);
         assert_eq!(result.dedup.distinct_contracts, 4);
+        assert_eq!(result.contract_latencies.len(), 4);
     }
 
     #[test]
@@ -272,6 +437,7 @@ mod tests {
         assert_eq!(result.items.len(), 0);
         assert_eq!(result.function_count(), 0);
         assert_eq!(result.dedup.dedup_rate(), 0.0);
+        assert!(result.contract_latencies.is_empty());
     }
 
     #[test]
@@ -295,15 +461,15 @@ mod tests {
         assert_eq!(result.dedup.total_contracts, 4);
         assert_eq!(result.dedup.distinct_contracts, 2);
         assert!((result.dedup.dedup_rate() - 0.5).abs() < 1e-12);
-        // Every duplicate carries the same recovery.
-        assert_eq!(
-            result.items[0].functions[0].params,
-            result.items[2].functions[0].params
-        );
-        assert_eq!(
-            result.items[0].functions[0].params,
-            result.items[3].functions[0].params
-        );
+        // Every duplicate shares one Arc — fan-out clones no functions.
+        assert!(Arc::ptr_eq(
+            &result.items[0].functions,
+            &result.items[2].functions
+        ));
+        assert!(Arc::ptr_eq(
+            &result.items[0].functions,
+            &result.items[3].functions
+        ));
         // Only two contracts were actually analysed.
         assert_eq!(sigrec.cache_stats().contract_misses, 2);
         assert_eq!(sigrec.cache_stats().contract_hits, 0);
@@ -328,7 +494,63 @@ mod tests {
         // One distinct contract with one function → one measurement.
         assert_eq!(result.timings.count, 1);
         assert!(result.timings.max >= result.timings.mean());
+        assert_eq!(result.contract_latencies.len(), 1);
         let naive = recover_batch_naive(&SigRec::new(), &codes, 2);
         assert_eq!(naive.timings.count, 3);
+        assert_eq!(naive.contract_latencies.len(), 3);
+    }
+
+    #[test]
+    fn wide_contract_entries_schedule_independently() {
+        // One contract with many functions: the scheduler splits it into
+        // per-entry jobs, and reassembly must restore dispatcher order.
+        let decls = [
+            "a(uint8)",
+            "b(bool)",
+            "c(address)",
+            "d(uint16)",
+            "e(bytes4)",
+            "g(uint256)",
+        ];
+        let specs: Vec<FunctionSpec> = decls
+            .iter()
+            .map(|d| FunctionSpec::new(FunctionSignature::parse(d).unwrap(), Visibility::External))
+            .collect();
+        let compiled = compile(&specs, &CompilerConfig::default());
+        let reference = SigRec::new().recover_cold(&compiled.code);
+        for workers in [1, 4] {
+            let batch = recover_batch(
+                &SigRec::new(),
+                std::slice::from_ref(&compiled.code),
+                workers,
+            );
+            assert_eq!(batch.items.len(), 1);
+            let got = &batch.items[0].functions;
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.selector, r.selector, "dispatcher order preserved");
+                assert_eq!(g.entry, r.entry);
+                assert_eq!(g.params, r.params);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_dedup_agree_on_signatures() {
+        let codes = vec![
+            contract("a(uint8,bytes)"),
+            contract("b(uint256[])"),
+            contract("a(uint8,bytes)"),
+        ];
+        let dedup = recover_batch(&SigRec::new(), &codes, 3);
+        let naive = recover_batch_naive(&SigRec::new(), &codes, 3);
+        for (d, n) in dedup.items.iter().zip(&naive.items) {
+            assert_eq!(d.index, n.index);
+            assert_eq!(d.functions.len(), n.functions.len());
+            for (df, nf) in d.functions.iter().zip(n.functions.iter()) {
+                assert_eq!(df.selector, nf.selector);
+                assert_eq!(df.params, nf.params);
+            }
+        }
     }
 }

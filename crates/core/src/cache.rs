@@ -8,14 +8,16 @@
 //! - **contract level**, keyed by `keccak256(runtime code)`: a byte-identical
 //!   contract is recovered once and every later [`SigRec::recover`] call
 //!   returns the memoised result;
-//! - **function level**, keyed by `(body-span hash, entry pc)`: two contracts
-//!   that differ only in, say, their dispatcher ordering or unrelated
-//!   functions still share the recovery of any function whose body bytes from
-//!   its entry onwards are identical. The span hash covers `code[entry..]`;
-//!   soundness is enforced dynamically — a function is memoised at this
-//!   level only when TASE never executed an instruction below its entry
-//!   (`FunctionFacts::visited_below_entry`), because only then does its
-//!   behaviour depend solely on the hashed span.
+//! - **function level**, keyed by `(body-extent hash, entry pc)`: two
+//!   contracts that differ anywhere *outside* one function's body still
+//!   share that function's recovery. The extent hash covers
+//!   `code[entry..end)` where `end` is the next dispatch entry (or the end
+//!   of code) — so a shared leading function hits even when the trailing
+//!   functions differ. Soundness is enforced dynamically: a function is
+//!   memoised at this level only when TASE stayed inside the hashed extent
+//!   on every path (`FunctionFacts::visited_below_entry` is false and
+//!   `FunctionFacts::max_pc_end` does not pass `end`), because only then
+//!   does its behaviour depend solely on the hashed bytes.
 //!
 //! The cache is shared: cloning a [`SigRec`] clones an `Arc` handle, so all
 //! batch workers populate and profit from one table.
@@ -171,12 +173,16 @@ impl RecoveryCache {
     }
 }
 
-/// Hashes the function body span `code[entry..]` (FNV-1a, 64-bit).
+/// Hashes the function body extent `code[entry..end)` (FNV-1a, 64-bit).
 ///
-/// Cheap enough to run per dispatcher entry; the `(hash, entry)` pair keys
-/// the function-level cache.
-pub fn body_span_hash(code: &[u8], entry: usize) -> u64 {
-    let span = code.get(entry..).unwrap_or(&[]);
+/// `end` is clamped to the code length; callers pass the next dispatch
+/// entry pc (or `code.len()` for the last body), so the hash covers
+/// exactly one function's bytes instead of the whole tail of the
+/// contract. Cheap enough to run per dispatcher entry; the
+/// `(hash, entry)` pair keys the function-level cache.
+pub fn body_span_hash(code: &[u8], entry: usize, end: usize) -> u64 {
+    let end = end.min(code.len());
+    let span = code.get(entry..end).unwrap_or(&[]);
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in span {
         h ^= b as u64;
@@ -229,14 +235,19 @@ mod tests {
     }
 
     #[test]
-    fn body_span_hash_depends_on_entry_and_bytes() {
+    fn body_span_hash_depends_on_extent_and_bytes() {
         let code = [0x60, 0x01, 0x60, 0x02, 0x01];
-        assert_eq!(body_span_hash(&code, 1), body_span_hash(&code, 1));
-        assert_ne!(body_span_hash(&code, 0), body_span_hash(&code, 1));
+        let n = code.len();
+        assert_eq!(body_span_hash(&code, 1, n), body_span_hash(&code, 1, n));
+        assert_ne!(body_span_hash(&code, 0, n), body_span_hash(&code, 1, n));
+        assert_ne!(body_span_hash(&code, 1, 3), body_span_hash(&code, 1, n));
         let mutated = [0x60, 0x01, 0x60, 0x03, 0x01];
-        assert_ne!(body_span_hash(&code, 1), body_span_hash(&mutated, 1));
-        // Out-of-range entries hash the empty span.
-        assert_eq!(body_span_hash(&code, 99), body_span_hash(&[], 0));
+        assert_ne!(body_span_hash(&code, 1, n), body_span_hash(&mutated, 1, n));
+        // Bytes past the extent don't matter — the point of extent keying.
+        assert_eq!(body_span_hash(&code, 1, 3), body_span_hash(&mutated, 1, 3));
+        // Out-of-range entries hash the empty span; ends clamp to the code.
+        assert_eq!(body_span_hash(&code, 99, 120), body_span_hash(&[], 0, 0));
+        assert_eq!(body_span_hash(&code, 1, 99), body_span_hash(&code, 1, n));
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Copy-on-write containers backing fork-cheap path state.
+//!
+//! A symbolic branch forks the whole [`PathState`]: before this module the
+//! fork deep-cloned the operand stack and the memory write journal, making
+//! every fork O(stack + writes) — the dominant cost on fork-heavy paths
+//! (deep call chains, unrolled loops). Both structures are stack-shaped in
+//! time: old entries are effectively frozen, only the top/tail mutates. The
+//! containers here exploit that:
+//!
+//! - [`CowStack`] — an operand stack split into a chain of *frozen
+//!   segments* (shared between forks via `Rc`) and a small *mutable tail*.
+//!   A fork freezes the tail into a new segment and clones only the
+//!   segment list, so fork cost is O(tail + segments), independent of
+//!   total depth. Mutation below the tail (`SWAP` reaching into frozen
+//!   territory) migrates just the needed elements back into the tail.
+//! - [`CowJournal`] — an append-only write log with the same
+//!   frozen-segments + tail split and newest-first iteration.
+//!
+//! Both offer `fork()` (the cheap copy-on-write split), `deep_clone()`
+//! (the old flat deep copy, kept as the reference fork mode for
+//! equivalence testing), and `fork_cost()` (the number of units a fork
+//! copies, feeding [`ExecStats`]).
+//!
+//! [`PathState`]: crate::exec::Tase
+//! [`ExecStats`]: crate::exec::ExecStats
+
+use std::rc::Rc;
+
+/// Segment-count threshold beyond which a fork first flattens the chain.
+/// Keeps indexed access and fork cost bounded on pathological fork chains;
+/// flattening is O(len) but amortised over the forks that built the chain.
+const COMPACT_SEGMENTS: usize = 64;
+
+/// A stack whose fork cost is proportional to its mutable tail, not its
+/// total depth.
+///
+/// Logical layout, bottom to top: the live prefixes of every frozen
+/// segment (oldest first), then the mutable tail. Popping into a frozen
+/// segment only decrements that segment's live count (elements are cloned
+/// out on read); pushing always goes to the tail.
+#[derive(Debug)]
+pub struct CowStack<T> {
+    /// Frozen segments (oldest first), shared between forks. Each entry
+    /// is `(segment, live)`: only the first `live` elements are logically
+    /// on the stack.
+    segments: Vec<(Rc<[T]>, usize)>,
+    /// Total live elements across frozen segments.
+    frozen_len: usize,
+    /// Mutable tail above the frozen region.
+    tail: Vec<T>,
+}
+
+impl<T> Default for CowStack<T> {
+    fn default() -> Self {
+        CowStack {
+            segments: Vec::new(),
+            frozen_len: 0,
+            tail: Vec::new(),
+        }
+    }
+}
+
+impl<T: Clone> CowStack<T> {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a stack from bottom-to-top elements (all in the tail).
+    pub fn from_vec(tail: Vec<T>) -> Self {
+        CowStack {
+            segments: Vec::new(),
+            frozen_len: 0,
+            tail,
+        }
+    }
+
+    /// Number of elements on the stack.
+    pub fn len(&self) -> usize {
+        self.frozen_len + self.tail.len()
+    }
+
+    /// True if the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes a value on top.
+    pub fn push(&mut self, value: T) {
+        self.tail.push(value);
+    }
+
+    /// Pops the top value.
+    pub fn pop(&mut self) -> Option<T> {
+        match self.tail.pop() {
+            Some(v) => Some(v),
+            None => self.pop_frozen(),
+        }
+    }
+
+    /// Clones the top live element out of the frozen region and retires it.
+    fn pop_frozen(&mut self) -> Option<T> {
+        let (seg, live) = self.segments.last_mut()?;
+        debug_assert!(*live > 0, "empty segment left on the chain");
+        let v = seg[*live - 1].clone();
+        *live -= 1;
+        self.frozen_len -= 1;
+        if *live == 0 {
+            self.segments.pop();
+        }
+        Some(v)
+    }
+
+    /// The element `depth` positions from the top (`depth = 1` is the
+    /// top), or `None` if the stack is shallower.
+    pub fn peek(&self, depth: usize) -> Option<&T> {
+        if depth == 0 || depth > self.len() {
+            return None;
+        }
+        if depth <= self.tail.len() {
+            return Some(&self.tail[self.tail.len() - depth]);
+        }
+        let mut rem = depth - self.tail.len();
+        for (seg, live) in self.segments.iter().rev() {
+            if rem <= *live {
+                return Some(&seg[*live - rem]);
+            }
+            rem -= *live;
+        }
+        None
+    }
+
+    /// Swaps the top with the element `n` positions below it (EVM
+    /// `SWAP(n)` semantics). Returns `false` if the stack is shallower
+    /// than `n + 1`.
+    pub fn swap_top(&mut self, n: usize) -> bool {
+        if self.len() < n + 1 {
+            return false;
+        }
+        self.materialize_top(n + 1);
+        let top = self.tail.len() - 1;
+        self.tail.swap(top, top - n);
+        true
+    }
+
+    /// Ensures the top `depth` elements live in the mutable tail, cloning
+    /// at most `depth` elements out of the frozen region.
+    fn materialize_top(&mut self, depth: usize) {
+        if self.tail.len() >= depth {
+            return;
+        }
+        let take = (depth - self.tail.len()).min(self.frozen_len);
+        let mut moved = Vec::with_capacity(take + self.tail.len());
+        for _ in 0..take {
+            let v = self.pop_frozen().expect("frozen_len said more elements");
+            moved.push(v);
+        }
+        moved.reverse();
+        moved.append(&mut self.tail);
+        self.tail = moved;
+    }
+
+    /// Units a [`CowStack::fork`] call would copy right now: the tail
+    /// elements frozen plus the segment handles cloned.
+    pub fn fork_cost(&self) -> usize {
+        self.tail.len() + self.segments.len()
+    }
+
+    /// Splits off an independent copy in O(tail + segments): the tail is
+    /// frozen into a new shared segment, and both sides continue with the
+    /// same frozen chain and empty tails. Mutations on either side never
+    /// affect the other.
+    pub fn fork(&mut self) -> Self {
+        if self.segments.len() >= COMPACT_SEGMENTS {
+            self.compact();
+        }
+        if !self.tail.is_empty() {
+            let live = self.tail.len();
+            let seg: Rc<[T]> = std::mem::take(&mut self.tail).into();
+            self.segments.push((seg, live));
+            self.frozen_len += live;
+        }
+        CowStack {
+            segments: self.segments.clone(),
+            frozen_len: self.frozen_len,
+            tail: Vec::new(),
+        }
+    }
+
+    /// The reference fork: a flat deep copy of every element, exactly the
+    /// pre-CoW `Vec` clone. O(len).
+    pub fn deep_clone(&self) -> Self {
+        CowStack::from_vec(self.iter_bottom_up().cloned().collect())
+    }
+
+    /// Flattens the frozen chain + tail into a single fresh tail.
+    fn compact(&mut self) {
+        let flat: Vec<T> = self.iter_bottom_up().cloned().collect();
+        self.segments.clear();
+        self.frozen_len = 0;
+        self.tail = flat;
+    }
+
+    /// Iterates the live elements bottom-to-top.
+    pub fn iter_bottom_up(&self) -> impl Iterator<Item = &T> {
+        self.segments
+            .iter()
+            .flat_map(|(seg, live)| seg[..*live].iter())
+            .chain(self.tail.iter())
+    }
+}
+
+/// An append-only journal whose fork cost is proportional to its mutable
+/// tail: frozen segments are shared between forks, and reads iterate
+/// newest-first across the tail then the frozen chain.
+#[derive(Debug)]
+pub struct CowJournal<T> {
+    /// Frozen segments (oldest first), shared between forks.
+    segments: Vec<Rc<Vec<T>>>,
+    /// Entries appended since the last fork.
+    tail: Vec<T>,
+}
+
+impl<T> Default for CowJournal<T> {
+    fn default() -> Self {
+        CowJournal {
+            segments: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+}
+
+impl<T: Clone> CowJournal<T> {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum::<usize>() + self.tail.len()
+    }
+
+    /// True if no entry was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty() && self.tail.is_empty()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, value: T) {
+        self.tail.push(value);
+    }
+
+    /// Iterates entries newest-first.
+    pub fn iter_rev(&self) -> impl Iterator<Item = &T> {
+        self.tail
+            .iter()
+            .rev()
+            .chain(self.segments.iter().rev().flat_map(|s| s.iter().rev()))
+    }
+
+    /// Units a [`CowJournal::fork`] call would copy right now.
+    pub fn fork_cost(&self) -> usize {
+        self.tail.len() + self.segments.len()
+    }
+
+    /// Splits off an independent copy in O(tail + segments).
+    pub fn fork(&mut self) -> Self {
+        if self.segments.len() >= COMPACT_SEGMENTS {
+            let flat: Vec<T> = self
+                .segments
+                .iter()
+                .flat_map(|s| s.iter())
+                .chain(self.tail.iter())
+                .cloned()
+                .collect();
+            self.segments.clear();
+            self.tail = flat;
+        }
+        if !self.tail.is_empty() {
+            self.segments.push(Rc::new(std::mem::take(&mut self.tail)));
+        }
+        CowJournal {
+            segments: self.segments.clone(),
+            tail: Vec::new(),
+        }
+    }
+
+    /// The reference fork: a flat deep copy of every entry. O(len).
+    pub fn deep_clone(&self) -> Self {
+        CowJournal {
+            segments: Vec::new(),
+            tail: self
+                .segments
+                .iter()
+                .flat_map(|s| s.iter())
+                .chain(self.tail.iter())
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_push_pop_across_fork_boundary() {
+        let mut s: CowStack<u32> = CowStack::new();
+        for i in 0..10 {
+            s.push(i);
+        }
+        let mut child = s.fork();
+        assert_eq!(s.len(), 10);
+        assert_eq!(child.len(), 10);
+        // Both sides diverge independently.
+        child.push(99);
+        assert_eq!(s.pop(), Some(9));
+        assert_eq!(child.pop(), Some(99));
+        assert_eq!(child.pop(), Some(9));
+        assert_eq!(s.len(), 9);
+        assert_eq!(child.len(), 9);
+        // Pop all the way through the frozen region.
+        for i in (0..9).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
+        assert_eq!(child.len(), 9);
+    }
+
+    #[test]
+    fn stack_peek_spans_segments() {
+        let mut s: CowStack<u32> = CowStack::new();
+        for i in 0..5 {
+            s.push(i);
+        }
+        let _ = s.fork();
+        for i in 5..8 {
+            s.push(i);
+        }
+        let _ = s.fork();
+        s.push(8);
+        assert_eq!(s.len(), 9);
+        for depth in 1..=9 {
+            assert_eq!(s.peek(depth), Some(&(9 - depth as u32)));
+        }
+        assert_eq!(s.peek(10), None);
+        assert_eq!(s.peek(0), None);
+    }
+
+    #[test]
+    fn stack_swap_reaches_into_frozen_region() {
+        let mut s: CowStack<u32> = CowStack::new();
+        for i in 0..6 {
+            s.push(i);
+        }
+        let child = s.fork();
+        assert!(s.swap_top(4)); // swap 5 (top) with 1
+        assert_eq!(s.peek(1), Some(&1));
+        assert_eq!(s.peek(5), Some(&5));
+        // The fork is unaffected by the parent's swap.
+        assert_eq!(child.peek(1), Some(&5));
+        assert_eq!(child.peek(5), Some(&1));
+        assert!(!s.swap_top(6), "deeper than the stack");
+    }
+
+    #[test]
+    fn stack_fork_cost_independent_of_depth() {
+        let mut s: CowStack<u32> = CowStack::new();
+        for i in 0..10_000 {
+            s.push(i);
+        }
+        let _ = s.fork(); // freezes the deep prefix
+        s.push(1);
+        s.push(2);
+        // The next fork copies only the 2-element tail + 1 segment handle.
+        assert!(s.fork_cost() <= 4, "fork_cost = {}", s.fork_cost());
+        let child = s.fork();
+        assert_eq!(child.len(), 10_002);
+    }
+
+    #[test]
+    fn stack_deep_clone_matches_cow_content() {
+        let mut s: CowStack<u32> = CowStack::new();
+        for i in 0..20 {
+            s.push(i);
+            if i % 7 == 0 {
+                let _ = s.fork();
+            }
+        }
+        let flat = s.deep_clone();
+        let a: Vec<u32> = s.iter_bottom_up().copied().collect();
+        let b: Vec<u32> = flat.iter_bottom_up().copied().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stack_compacts_long_chains() {
+        let mut s: CowStack<u32> = CowStack::new();
+        for i in 0..(COMPACT_SEGMENTS as u32 + 10) {
+            s.push(i);
+            let _ = s.fork();
+        }
+        assert!(s.segments.len() <= COMPACT_SEGMENTS + 1);
+        let n = s.len();
+        let elems: Vec<u32> = s.iter_bottom_up().copied().collect();
+        assert_eq!(elems.len(), n);
+        assert_eq!(elems[0], 0);
+        assert_eq!(*elems.last().unwrap(), COMPACT_SEGMENTS as u32 + 9);
+    }
+
+    #[test]
+    fn journal_iter_rev_across_forks() {
+        let mut j: CowJournal<u32> = CowJournal::new();
+        j.push(1);
+        j.push(2);
+        let mut child = j.fork();
+        j.push(3);
+        child.push(30);
+        assert_eq!(j.iter_rev().copied().collect::<Vec<_>>(), vec![3, 2, 1]);
+        assert_eq!(
+            child.iter_rev().copied().collect::<Vec<_>>(),
+            vec![30, 2, 1]
+        );
+        assert_eq!(j.len(), 3);
+        assert_eq!(
+            j.deep_clone().iter_rev().copied().collect::<Vec<_>>(),
+            vec![3, 2, 1]
+        );
+    }
+
+    #[test]
+    fn journal_fork_cost_is_tail_plus_segments() {
+        let mut j: CowJournal<u32> = CowJournal::new();
+        for i in 0..1000 {
+            j.push(i);
+        }
+        let _ = j.fork();
+        j.push(1);
+        assert!(j.fork_cost() <= 2);
+    }
+}

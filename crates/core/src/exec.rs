@@ -14,12 +14,26 @@
 //! lets the inference engine scope loop bounds to the facts inside the loop
 //! body by pc range.
 
+use crate::cow::CowStack;
 use crate::expr::{bin, un, BinOp, Expr, ExprKind, UnOp};
 use crate::facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 use crate::memory::SymMemory;
 use sigrec_evm::{Disassembly, Opcode, U256};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// How a symbolic branch duplicates the path state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForkMode {
+    /// Freeze the mutable tails and share the frozen prefix: O(tail)
+    /// per fork, independent of total stack depth / journal length.
+    #[default]
+    CopyOnWrite,
+    /// Flat deep copy of stack and journal (the pre-CoW behaviour),
+    /// O(stack + writes) per fork. Kept as the reference implementation
+    /// the equivalence tests compare against.
+    EagerClone,
+}
 
 /// Exploration budgets.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +48,11 @@ pub struct TaseConfig {
     pub fork_limit_per_block: u32,
     /// How many times one block may be entered per path (concrete loops).
     pub block_visit_limit: u32,
+    /// How forks duplicate path state.
+    pub fork_mode: ForkMode,
+    /// Collect per-fork [`ExecStats`] counters (off by default: the
+    /// fork-cost probes are skipped entirely when disabled).
+    pub collect_stats: bool,
 }
 
 impl Default for TaseConfig {
@@ -44,17 +63,68 @@ impl Default for TaseConfig {
             max_total_steps: 400_000,
             fork_limit_per_block: 3,
             block_visit_limit: 600,
+            fork_mode: ForkMode::CopyOnWrite,
+            collect_stats: false,
         }
     }
 }
 
-#[derive(Clone)]
+/// Executor counters for one `explore` call.
+///
+/// `steps` and `paths` fall out of the budget accounting and are always
+/// exact; the fork-cost fields are only collected when
+/// [`TaseConfig::collect_stats`] is set (they cost a probe per fork).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed across all paths.
+    pub steps: u64,
+    /// Paths explored.
+    pub paths: u64,
+    /// Symbolic-branch forks taken.
+    pub forks: u64,
+    /// Units (stack elements, journal entries, segment handles) actually
+    /// copied by forks — under CoW this stays near `forks × tail`, under
+    /// eager cloning it grows with total path-state size.
+    pub fork_units_copied: u64,
+    /// High-water mark of the pending-path worklist.
+    pub worklist_peak: u64,
+}
+
+impl ExecStats {
+    /// Accumulates another run's counters (peaks take the max).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.steps += other.steps;
+        self.paths += other.paths;
+        self.forks += other.forks;
+        self.fork_units_copied += other.fork_units_copied;
+        self.worklist_peak = self.worklist_peak.max(other.worklist_peak);
+    }
+}
+
 struct PathState {
     pc: usize,
-    stack: Vec<Rc<Expr>>,
+    stack: CowStack<Rc<Expr>>,
     memory: SymMemory,
     visits: HashMap<usize, u32>,
     steps: usize,
+}
+
+impl PathState {
+    /// Duplicates the state for the not-taken branch. CoW shares the
+    /// frozen prefix with `self`; eager cloning flattens both structures.
+    fn fork(&mut self, mode: ForkMode) -> PathState {
+        let (stack, memory) = match mode {
+            ForkMode::CopyOnWrite => (self.stack.fork(), self.memory.fork()),
+            ForkMode::EagerClone => (self.stack.deep_clone(), self.memory.deep_clone()),
+        };
+        PathState {
+            pc: self.pc,
+            stack,
+            memory,
+            visits: self.visits.clone(),
+            steps: self.steps,
+        }
+    }
 }
 
 /// The executor for one contract.
@@ -68,6 +138,8 @@ pub struct Tase<'a> {
     facts: FunctionFacts,
     total_steps: usize,
     min_pc: usize,
+    max_pc_end: usize,
+    stats: ExecStats,
 }
 
 impl<'a> Tase<'a> {
@@ -83,17 +155,25 @@ impl<'a> Tase<'a> {
             facts: FunctionFacts::default(),
             total_steps: 0,
             min_pc: usize::MAX,
+            max_pc_end: 0,
+            stats: ExecStats::default(),
         }
     }
 
     /// Explores the function whose body starts at `entry`, returning the
     /// gathered facts. The initial stack holds one free symbol (the
     /// selector word the dispatcher leaves behind).
-    pub fn explore(mut self, entry: usize) -> FunctionFacts {
+    pub fn explore(self, entry: usize) -> FunctionFacts {
+        self.explore_stats(entry).0
+    }
+
+    /// Like [`Tase::explore`], also returning the executor counters
+    /// (fork-cost fields require [`TaseConfig::collect_stats`]).
+    pub fn explore_stats(mut self, entry: usize) -> (FunctionFacts, ExecStats) {
         let residue = self.intern("dispatch-residue");
         let init = PathState {
             pc: entry,
-            stack: vec![residue],
+            stack: CowStack::from_vec(vec![residue]),
             memory: SymMemory::new(),
             visits: HashMap::new(),
             steps: 0,
@@ -106,10 +186,16 @@ impl<'a> Tase<'a> {
             }
             paths += 1;
             self.run_path(state, &mut worklist);
+            if self.config.collect_stats {
+                self.stats.worklist_peak = self.stats.worklist_peak.max(worklist.len() as u64);
+            }
         }
         self.facts.paths_explored = paths;
         self.facts.visited_below_entry = self.min_pc < entry;
-        self.facts
+        self.facts.max_pc_end = self.max_pc_end;
+        self.stats.steps = self.total_steps as u64;
+        self.stats.paths = paths as u64;
+        (self.facts, self.stats)
     }
 
     fn intern(&mut self, key: &str) -> Rc<Expr> {
@@ -140,6 +226,7 @@ impl<'a> Tase<'a> {
                 return; // ran off the end: implicit STOP
             };
             self.min_pc = self.min_pc.min(st.pc);
+            self.max_pc_end = self.max_pc_end.max(ins.next_pc());
             st.steps += 1;
             self.total_steps += 1;
             let op = ins.opcode;
@@ -179,20 +266,15 @@ impl<'a> Tase<'a> {
                 pop!();
             }
             Dup(n) => {
-                let n = n as usize;
-                if st.stack.len() < n {
+                let Some(v) = st.stack.peek(n as usize).cloned() else {
                     return Flow::End;
-                }
-                let v = Rc::clone(&st.stack[st.stack.len() - n]);
+                };
                 st.stack.push(v);
             }
             Swap(n) => {
-                let n = n as usize;
-                if st.stack.len() < n + 1 {
+                if !st.stack.swap_top(n as usize) {
                     return Flow::End;
                 }
-                let top = st.stack.len() - 1;
-                st.stack.swap(top, top - n);
             }
             JumpDest => {}
             Add | Sub | Mul | Div | SDiv | Mod | SMod | Exp | And | Or | Xor | Lt | Gt | SLt
@@ -413,8 +495,22 @@ impl<'a> Tase<'a> {
                         let forks = st.visits.entry(pc).or_insert(0);
                         if *forks < self.config.fork_limit_per_block {
                             *forks += 1;
+                            if self.config.collect_stats {
+                                self.stats.forks += 1;
+                                let units = match self.config.fork_mode {
+                                    ForkMode::CopyOnWrite => {
+                                        st.stack.fork_cost() + st.memory.fork_cost()
+                                    }
+                                    ForkMode::EagerClone => {
+                                        st.stack.len() + st.memory.write_count()
+                                    }
+                                };
+                                self.stats.fork_units_copied += units as u64;
+                                self.stats.worklist_peak =
+                                    self.stats.worklist_peak.max(worklist.len() as u64 + 2);
+                            }
                             // Fork: queue the fallthrough, continue with the jump.
-                            let mut other = st.clone();
+                            let mut other = st.fork(self.config.fork_mode);
                             other.pc = next_pc;
                             worklist.push(other);
                             return self.enter_block(st, t);

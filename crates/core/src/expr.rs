@@ -118,11 +118,43 @@ pub const INTERNER_CAP: usize = 1 << 18;
 thread_local! {
     static INTERNER: RefCell<HashMap<u64, Rc<Expr>>> =
         RefCell::new(HashMap::new());
+    static INTERNER_STATS: RefCell<InternerStats> =
+        RefCell::new(InternerStats::default());
+}
+
+/// Lifetime counters of this thread's expression interner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Lookups that found an existing node (shared allocation).
+    pub hits: u64,
+    /// Lookups that allocated a fresh node.
+    pub misses: u64,
+    /// Highest entry count the table ever reached.
+    pub high_water: u64,
+    /// Wholesale clears triggered by [`INTERNER_CAP`].
+    pub cap_clears: u64,
+}
+
+impl InternerStats {
+    /// Fraction of lookups served by an existing node.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Number of live entries in this thread's expression interner.
 pub fn interner_len() -> usize {
     INTERNER.with(|t| t.borrow().len())
+}
+
+/// This thread's interner counters since thread start (clears included).
+pub fn interner_stats() -> InternerStats {
+    INTERNER_STATS.with(|s| *s.borrow())
 }
 
 /// Clears this thread's expression interner. Existing `Rc<Expr>` values
@@ -138,13 +170,25 @@ fn intern(kind: ExprKind) -> Rc<Expr> {
     INTERNER.with(|t| {
         let mut table = t.borrow_mut();
         if let Some(e) = table.get(&hash) {
+            INTERNER_STATS.with(|s| s.borrow_mut().hits += 1);
             return Rc::clone(e);
         }
+        let mut cleared = false;
         if table.len() >= INTERNER_CAP {
             table.clear();
+            cleared = true;
         }
         let e = Rc::new(Expr { kind, hash, flags });
         table.insert(hash, Rc::clone(&e));
+        let len = table.len() as u64;
+        INTERNER_STATS.with(|s| {
+            let mut s = s.borrow_mut();
+            s.misses += 1;
+            s.high_water = s.high_water.max(len);
+            if cleared {
+                s.cap_clears += 1;
+            }
+        });
         e
     })
 }

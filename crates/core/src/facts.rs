@@ -109,6 +109,11 @@ pub struct FunctionFacts {
     /// not memoisable by body-span hash: their behaviour depends on bytes
     /// outside `code[entry..]`.
     pub visited_below_entry: bool,
+    /// One past the highest byte offset executed (`max` over executed
+    /// instructions of `pc + size`). Together with `visited_below_entry`
+    /// this brackets the code the function actually depends on, which is
+    /// what makes the extent-keyed function cache sound.
+    pub max_pc_end: usize,
     /// Paths fully explored.
     pub paths_explored: usize,
 }

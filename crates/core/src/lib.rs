@@ -22,6 +22,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod cow;
 pub mod exec;
 pub mod expr;
 pub mod extract;
@@ -35,7 +36,8 @@ pub use batch::{
     recover_batch, recover_batch_naive, BatchItem, BatchResult, BatchTimings, DedupStats,
 };
 pub use cache::{body_span_hash, CacheStats, CachedFunction, RecoveryCache};
-pub use exec::{Tase, TaseConfig};
+pub use cow::{CowJournal, CowStack};
+pub use exec::{ExecStats, ForkMode, Tase, TaseConfig};
 pub use extract::{extract_dispatch, DispatchEntry};
 pub use facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 pub use infer::{infer, Language, RecoveredParams};

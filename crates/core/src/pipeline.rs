@@ -3,19 +3,27 @@
 //! Bytecode → disassembly → dispatcher extraction → per-function TASE →
 //! rule-based inference → recovered [`FunctionSignature`]s.
 //!
-//! Every entry point funnels through one internal body ([`SigRec::run`]),
-//! and results are memoised in a shared content-addressed
-//! [`RecoveryCache`]: whole contracts by `keccak256(code)`, individual
-//! functions by `(body-span hash, entry pc)`.
+//! Every entry point funnels through one internal body: [`SigRec::plan`]
+//! turns bytecode into a [`ContractPlan`] (disassembly + dispatch table +
+//! per-function body extents), [`SigRec::run_entry`] recovers one
+//! dispatch-table entry, and [`SigRec::seal`] memoises the assembled
+//! contract. `recover`/`recover_cold`/`explain` are thin drivers over
+//! those three steps, and the batch scheduler calls them directly so it
+//! can interleave *functions* of different contracts across workers.
+//! Results are memoised in a shared content-addressed [`RecoveryCache`]:
+//! whole contracts by `keccak256(code)`, individual functions by
+//! `(body-extent hash, entry pc)`.
 
 use crate::cache::{body_span_hash, CacheStats, CachedFunction, RecoveryCache};
-use crate::exec::{Tase, TaseConfig};
+use crate::exec::{ExecStats, Tase, TaseConfig};
 use crate::extract::{extract_dispatch, DispatchEntry};
 use crate::facts::FunctionFacts;
 use crate::infer::{infer, Language};
 use crate::rules::RuleId;
 use sigrec_abi::{AbiType, FunctionSignature, Selector};
 use sigrec_evm::{keccak256, Disassembly};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One recovered function.
@@ -70,17 +78,54 @@ impl RecoveredFunction {
 pub struct SigRec {
     config: TaseConfig,
     cache: RecoveryCache,
+    stats: Option<Arc<StatsAccum>>,
 }
 
-/// How one [`SigRec::run`] invocation interacts with the cache.
+/// How one pipeline invocation interacts with the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum CacheMode {
+pub(crate) enum CacheMode {
     /// Read and write both cache levels.
     ReadWrite,
     /// Recompute everything; populate the cache on the way out.
     WriteOnly,
     /// Recompute everything; leave the cache untouched.
     Bypass,
+}
+
+/// Everything needed to recover one contract's functions independently:
+/// the disassembly, the dispatch table, and each body's extent (the byte
+/// range its extent-keyed cache entry covers). Built once per contract by
+/// [`SigRec::plan`]; [`SigRec::run_entry`] then recovers entries in any
+/// order — including concurrently from different scheduler workers.
+#[derive(Debug)]
+pub(crate) struct ContractPlan {
+    /// `keccak256(code)` when the contract level participates in caching.
+    key: Option<[u8; 32]>,
+    /// The memoised result, when the contract-level cache already has one
+    /// (the table and extents are empty in that case).
+    pub(crate) cached: Option<Arc<Vec<RecoveredFunction>>>,
+    disasm: Disassembly,
+    /// Dispatch table, in dispatcher order.
+    pub(crate) table: Vec<DispatchEntry>,
+    /// Per-entry exclusive end of the function body: the next-larger
+    /// dispatch entry pc, or the code length for the last body.
+    extents: Vec<usize>,
+}
+
+/// For each table entry, one past the last byte of its body: the smallest
+/// dispatch entry pc above it, or the code length.
+fn body_extents(code_len: usize, table: &[DispatchEntry]) -> Vec<usize> {
+    table
+        .iter()
+        .map(|e| {
+            table
+                .iter()
+                .map(|o| o.entry)
+                .filter(|&o| o > e.entry)
+                .min()
+                .unwrap_or(code_len)
+        })
+        .collect()
 }
 
 impl SigRec {
@@ -94,6 +139,7 @@ impl SigRec {
         SigRec {
             config,
             cache: RecoveryCache::new(),
+            stats: None,
         }
     }
 
@@ -104,6 +150,23 @@ impl SigRec {
         self
     }
 
+    /// Enables executor profiling: every recovery performed through this
+    /// instance (and its clones — batch workers share the accumulator the
+    /// way they share the cache) feeds the [`PipelineStats`] returned by
+    /// [`SigRec::exec_stats`]. Off by default; when off, neither the
+    /// fork-cost probes nor the timing reads run.
+    pub fn with_exec_stats(mut self) -> Self {
+        self.config.collect_stats = true;
+        self.stats = Some(Arc::new(StatsAccum::default()));
+        self
+    }
+
+    /// A snapshot of the accumulated executor profile, if
+    /// [`SigRec::with_exec_stats`] enabled collection.
+    pub fn exec_stats(&self) -> Option<PipelineStats> {
+        self.stats.as_ref().map(|acc| acc.snapshot())
+    }
+
     /// A snapshot of the shared cache's hit/miss counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -112,16 +175,14 @@ impl SigRec {
     /// Recovers the signatures of every public/external function in the
     /// runtime bytecode, memoising the result in the shared cache.
     pub fn recover(&self, code: &[u8]) -> Vec<RecoveredFunction> {
-        let key = keccak256(code);
-        if let Some(hit) = self.cache.lookup_contract(&key) {
+        let plan = self.plan(code, CacheMode::ReadWrite);
+        if let Some(hit) = &plan.cached {
             return hit.as_ref().clone();
         }
-        let functions: Vec<RecoveredFunction> = self
-            .run(code, CacheMode::ReadWrite)
-            .into_iter()
-            .map(|(f, _)| f)
+        let functions: Vec<RecoveredFunction> = (0..plan.table.len())
+            .map(|i| self.run_entry(code, &plan, i, CacheMode::ReadWrite).0)
             .collect();
-        self.cache.store_contract(key, functions.clone());
+        self.seal(&plan, &functions);
         functions
     }
 
@@ -129,36 +190,81 @@ impl SigRec {
     /// function is re-explored. The reference path for equivalence tests
     /// and the baseline for throughput measurements.
     pub fn recover_cold(&self, code: &[u8]) -> Vec<RecoveredFunction> {
-        self.run(code, CacheMode::Bypass)
-            .into_iter()
-            .map(|(f, _)| f)
+        let plan = self.plan(code, CacheMode::Bypass);
+        (0..plan.table.len())
+            .map(|i| self.run_entry(code, &plan, i, CacheMode::Bypass).0)
             .collect()
     }
 
-    /// The one shared pipeline body: disassemble once, walk the dispatch
-    /// table, and analyse (or look up) each function. Facts are `None`
-    /// exactly when the function was served from the cache.
-    fn run(&self, code: &[u8], mode: CacheMode) -> Vec<(RecoveredFunction, Option<FunctionFacts>)> {
+    /// Stage 1 of the pipeline: contract-level cache probe (ReadWrite
+    /// only), disassembly, dispatch extraction, body extents. On a
+    /// contract-level hit the plan carries the memoised result and an
+    /// empty table.
+    pub(crate) fn plan(&self, code: &[u8], mode: CacheMode) -> ContractPlan {
+        let key = match mode {
+            CacheMode::Bypass => None,
+            _ => Some(keccak256(code)),
+        };
+        if mode == CacheMode::ReadWrite {
+            let key = key.as_ref().expect("ReadWrite computes the contract key");
+            if let Some(hit) = self.cache.lookup_contract(key) {
+                return ContractPlan {
+                    key: Some(*key),
+                    cached: Some(hit),
+                    disasm: Disassembly::new(&[]),
+                    table: Vec::new(),
+                    extents: Vec::new(),
+                };
+            }
+        }
         let disasm = Disassembly::new(code);
         let table = extract_dispatch(&disasm);
-        table
-            .into_iter()
-            .map(|entry| self.run_function(code, &disasm, entry, mode))
-            .collect()
+        let extents = body_extents(code.len(), &table);
+        ContractPlan {
+            key,
+            cached: None,
+            disasm,
+            table,
+            extents,
+        }
     }
 
-    /// Recovers one dispatch-table entry, honouring `mode`.
+    /// Stage 2: recovers the `idx`-th dispatch-table entry of a plan.
+    /// Safe to call for different entries concurrently. Facts are `None`
+    /// exactly when the function was served from the cache.
+    pub(crate) fn run_entry(
+        &self,
+        code: &[u8],
+        plan: &ContractPlan,
+        idx: usize,
+        mode: CacheMode,
+    ) -> (RecoveredFunction, Option<FunctionFacts>) {
+        self.run_function(code, &plan.disasm, plan.table[idx], plan.extents[idx], mode)
+    }
+
+    /// Stage 3: memoises the assembled contract once every entry is done.
+    /// A no-op in [`CacheMode::Bypass`] plans (no contract key).
+    pub(crate) fn seal(&self, plan: &ContractPlan, functions: &[RecoveredFunction]) {
+        if let Some(key) = plan.key {
+            self.cache.store_contract(key, functions.to_vec());
+        }
+    }
+
+    /// Recovers one dispatch-table entry, honouring `mode`. `extent` is
+    /// the exclusive end of the body's byte range (next dispatch entry or
+    /// code length) — the span the function-level cache key hashes.
     fn run_function(
         &self,
         code: &[u8],
         disasm: &Disassembly,
         entry: DispatchEntry,
+        extent: usize,
         mode: CacheMode,
     ) -> (RecoveredFunction, Option<FunctionFacts>) {
         let start = Instant::now();
         let span_hash = match mode {
             CacheMode::Bypass => None,
-            _ => Some(body_span_hash(code, entry.entry)),
+            _ => Some(body_span_hash(code, entry.entry, extent)),
         };
         if mode == CacheMode::ReadWrite {
             let hash = span_hash.expect("span hash computed for cached modes");
@@ -174,12 +280,19 @@ impl SigRec {
                 return (function, None);
             }
         }
-        let facts = Tase::new(disasm, self.config).explore(entry.entry);
+        let (facts, exec) = Tase::new(disasm, self.config).explore_stats(entry.entry);
+        let tase_done = self.stats.as_ref().map(|_| Instant::now());
         let result = infer(&facts);
-        // Memoising by body-span hash is only sound when exploration stayed
-        // inside `code[entry..]`: a body that reaches shared helper code
-        // *before* its entry depends on bytes the span key does not cover.
-        if let Some(hash) = span_hash.filter(|_| !facts.visited_below_entry) {
+        if let (Some(acc), Some(tase_done)) = (&self.stats, tase_done) {
+            acc.record(&exec, tase_done - start, tase_done.elapsed(), &result.rules);
+        }
+        // Memoising by body-extent hash is only sound when exploration
+        // stayed inside `code[entry..extent)`: a body that reaches shared
+        // helper code before its entry, or falls through past the next
+        // entry, depends on bytes the extent key does not cover.
+        if let Some(hash) =
+            span_hash.filter(|_| !facts.visited_below_entry && facts.max_pc_end <= extent)
+        {
             self.cache.store_function(
                 hash,
                 entry.entry,
@@ -200,6 +313,108 @@ impl SigRec {
         };
         (function, Some(facts))
     }
+}
+
+/// Thread-safe accumulator behind [`SigRec::with_exec_stats`]; shared by
+/// clones the way the cache is.
+#[derive(Debug)]
+struct StatsAccum {
+    steps: AtomicU64,
+    paths: AtomicU64,
+    forks: AtomicU64,
+    fork_units: AtomicU64,
+    worklist_peak: AtomicU64,
+    functions: AtomicU64,
+    tase_nanos: AtomicU64,
+    infer_nanos: AtomicU64,
+    rule_nanos: [AtomicU64; RuleId::ALL.len()],
+}
+
+impl Default for StatsAccum {
+    fn default() -> Self {
+        StatsAccum {
+            steps: AtomicU64::new(0),
+            paths: AtomicU64::new(0),
+            forks: AtomicU64::new(0),
+            fork_units: AtomicU64::new(0),
+            worklist_peak: AtomicU64::new(0),
+            functions: AtomicU64::new(0),
+            tase_nanos: AtomicU64::new(0),
+            infer_nanos: AtomicU64::new(0),
+            rule_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl StatsAccum {
+    fn record(&self, exec: &ExecStats, tase: Duration, infer: Duration, rules: &[RuleId]) {
+        let r = Ordering::Relaxed;
+        self.steps.fetch_add(exec.steps, r);
+        self.paths.fetch_add(exec.paths, r);
+        self.forks.fetch_add(exec.forks, r);
+        self.fork_units.fetch_add(exec.fork_units_copied, r);
+        self.worklist_peak.fetch_max(exec.worklist_peak, r);
+        self.functions.fetch_add(1, r);
+        self.tase_nanos.fetch_add(tase.as_nanos() as u64, r);
+        let infer_nanos = infer.as_nanos() as u64;
+        self.infer_nanos.fetch_add(infer_nanos, r);
+        // Attribute the whole inference call to each distinct rule that
+        // fired in it (rules are not timed individually — attribution
+        // shows where inference time concentrates, not exclusive cost).
+        let mut mask = 0u32;
+        for rule in rules {
+            mask |= 1 << rule.index();
+        }
+        for (i, slot) in self.rule_nanos.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                slot.fetch_add(infer_nanos, r);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> PipelineStats {
+        let r = Ordering::Relaxed;
+        PipelineStats {
+            exec: ExecStats {
+                steps: self.steps.load(r),
+                paths: self.paths.load(r),
+                forks: self.forks.load(r),
+                fork_units_copied: self.fork_units.load(r),
+                worklist_peak: self.worklist_peak.load(r),
+            },
+            functions_explored: self.functions.load(r),
+            tase_time: Duration::from_nanos(self.tase_nanos.load(r)),
+            infer_time: Duration::from_nanos(self.infer_nanos.load(r)),
+            rule_time: RuleId::ALL
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &rule)| {
+                    let nanos = self.rule_nanos[i].load(r);
+                    (nanos > 0).then(|| (rule, Duration::from_nanos(nanos)))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The executor profile accumulated by a [`SigRec::with_exec_stats`]
+/// instance: summed [`ExecStats`] over every function explored (cache
+/// hits don't run the executor and contribute nothing), wall-clock split
+/// between TASE and inference, and per-rule attributed inference time.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Summed executor counters (`worklist_peak` takes the max).
+    pub exec: ExecStats,
+    /// Functions actually explored (= function-cache misses that ran).
+    pub functions_explored: u64,
+    /// Wall-clock spent inside TASE exploration.
+    pub tase_time: Duration,
+    /// Wall-clock spent inside rule inference.
+    pub infer_time: Duration,
+    /// Per-rule attributed inference time: each inference call's full
+    /// duration is charged to every distinct rule that fired in it, so
+    /// entries overlap and do not sum to `infer_time`.
+    pub rule_time: Vec<(RuleId, Duration)>,
 }
 
 /// A diagnostic view of one function's recovery: what TASE saw and which
@@ -228,10 +443,12 @@ impl SigRec {
     /// *read*, but the results are written through to the cache: an
     /// `explain` warms later `recover` calls on the same code.
     pub fn explain(&self, code: &[u8]) -> Vec<Explanation> {
-        let key = keccak256(code);
-        let analysed = self.run(code, CacheMode::WriteOnly);
+        let plan = self.plan(code, CacheMode::WriteOnly);
+        let analysed: Vec<(RecoveredFunction, Option<FunctionFacts>)> = (0..plan.table.len())
+            .map(|i| self.run_entry(code, &plan, i, CacheMode::WriteOnly))
+            .collect();
         let functions: Vec<RecoveredFunction> = analysed.iter().map(|(f, _)| f.clone()).collect();
-        self.cache.store_contract(key, functions);
+        self.seal(&plan, &functions);
         analysed
             .into_iter()
             .map(|(function, facts)| {

@@ -1,0 +1,144 @@
+//! The function-level cache memoises per-function recovery keyed by
+//! `(body-extent hash, entry pc)`, so contracts that share a leading
+//! function but differ later still share that function's recovery. This
+//! models real corpora: ~a quarter of deployed token contracts start with
+//! `transfer(address,uint256)` at the same dispatcher slot. These tests
+//! build such shared-prefix corpora and check the cache actually hits —
+//! and that hits never change results.
+
+use sigrec_abi::FunctionSignature;
+use sigrec_core::{RecoveredFunction, SigRec};
+use sigrec_solc::{compile, CompilerConfig, FunctionSpec, Visibility};
+
+fn spec(decl: &str) -> FunctionSpec {
+    FunctionSpec::new(
+        FunctionSignature::parse(decl).unwrap(),
+        Visibility::External,
+    )
+}
+
+fn assert_same(a: &[RecoveredFunction], b: &[RecoveredFunction]) {
+    assert_eq!(a.len(), b.len(), "function count differs");
+    for (fa, fb) in a.iter().zip(b) {
+        assert_eq!(fa.selector, fb.selector);
+        assert_eq!(fa.params, fb.params, "params differ for {:?}", fa.selector);
+        assert_eq!(fa.language, fb.language);
+        assert_eq!(fa.rules, fb.rules);
+    }
+}
+
+/// A family of token-like contracts: every member leads with
+/// `transfer(address,uint256)` in dispatcher slot 0 and differs only in
+/// its second function. Same function count + fixed-width dispatcher
+/// emission → the shared body sits at the same entry pc with identical
+/// extent bytes in every member.
+fn shared_prefix_family(config: &CompilerConfig) -> Vec<Vec<u8>> {
+    [
+        "balanceOf(address)",
+        "approve(address,uint256)",
+        "mint(address,uint128)",
+        "burn(uint256)",
+    ]
+    .iter()
+    .map(|second| compile(&[spec("transfer(address,uint256)"), spec(second)], config).code)
+    .collect()
+}
+
+#[test]
+fn shared_leading_function_hits_across_distinct_contracts() {
+    let family = shared_prefix_family(&CompilerConfig::default());
+    let sigrec = SigRec::new();
+    for code in &family {
+        let _ = sigrec.recover(code);
+    }
+    let stats = sigrec.cache_stats();
+    // Every contract after the first should serve its leading function
+    // from the function-level cache (contract-level keys all differ).
+    assert_eq!(stats.contract_hits, 0, "contracts are all distinct");
+    assert!(
+        stats.function_hits >= (family.len() - 1) as u64,
+        "expected ≥{} function-level hits on the shared prefix, got {} \
+         (probes: {})",
+        family.len() - 1,
+        stats.function_hits,
+        stats.function_hits + stats.function_misses,
+    );
+}
+
+#[test]
+fn function_cache_hits_preserve_results() {
+    let family = shared_prefix_family(&CompilerConfig::default());
+    let warm = SigRec::new();
+    for code in &family {
+        let _ = warm.recover(code);
+    }
+    // Second pass over the family in reverse: function- and
+    // contract-level hits everywhere, results must match cold recovery.
+    for code in family.iter().rev() {
+        assert_same(&warm.recover(code), &SigRec::new().recover_cold(code));
+    }
+}
+
+#[test]
+fn optimized_family_still_shares_the_prefix() {
+    let optimized = CompilerConfig {
+        optimize: true,
+        ..CompilerConfig::default()
+    };
+    let family = shared_prefix_family(&optimized);
+    let sigrec = SigRec::new();
+    for code in &family {
+        let _ = sigrec.recover(code);
+    }
+    assert!(
+        sigrec.cache_stats().function_hits >= (family.len() - 1) as u64,
+        "optimised emission broke extent sharing: {:?}",
+        sigrec.cache_stats(),
+    );
+}
+
+#[test]
+fn corpus_level_hit_rate_is_meaningful() {
+    // A 40-contract corpus in which every contract leads with the same
+    // token function: the function-level hit rate must clear 20%, i.e.
+    // the cache is a real throughput lever, not a rounding error. (The
+    // pre-extent whole-tail keying measured 0.66% on corpora like this.)
+    let seconds = [
+        "balanceOf(address)",
+        "approve(address,uint256)",
+        "mint(address,uint128)",
+        "burn(uint256)",
+        "allowance(address,address)",
+        "pause(bool)",
+        "setOwner(address)",
+        "withdraw(uint256)",
+        "deposit(uint64)",
+        "sweep(address,bytes4)",
+    ];
+    let config = CompilerConfig::default();
+    let codes: Vec<Vec<u8>> = (0..40)
+        .map(|i| {
+            compile(
+                &[
+                    spec("transfer(address,uint256)"),
+                    spec(seconds[i % seconds.len()]),
+                    spec(seconds[(i / seconds.len() + 3) % seconds.len()]),
+                ],
+                &config,
+            )
+            .code
+        })
+        .collect();
+    let sigrec = SigRec::new();
+    for code in &codes {
+        let _ = sigrec.recover(code);
+    }
+    let stats = sigrec.cache_stats();
+    let rate = stats.function_hit_rate();
+    assert!(
+        rate > 0.20,
+        "function cache hit rate {:.2}% is below the 20% floor ({:?})",
+        rate * 100.0,
+        stats,
+    );
+}
