@@ -10,6 +10,7 @@
 pub mod ablation;
 pub mod accuracy;
 pub mod apps;
+pub mod conformance;
 pub mod report;
 pub mod throughput;
 pub mod timing;
@@ -17,5 +18,6 @@ pub mod timing;
 pub use ablation::{ablated_accuracy, ablation, obfuscation, Ablation};
 pub use accuracy::{fig15, fig16, rq1, table1, table2, table3, table4, table5, Scale};
 pub use apps::{attacks, erays, fig19, fuzzing};
+pub use conformance::conformance;
 pub use throughput::{duplicate_with_skew, throughput};
 pub use timing::{dimension_series, fig17, fig18};

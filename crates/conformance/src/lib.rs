@@ -1,0 +1,515 @@
+//! # sigrec-conformance
+//!
+//! Metamorphic differential conformance harness for the SigRec pipeline.
+//!
+//! Two oracles, neither of which needs ground truth at check time:
+//!
+//! 1. **Differential**: for one bytecode, every execution path through the
+//!    pipeline — [`SigRec::recover`] cold and warm, `recover_cold`,
+//!    [`recover_batch`] and [`recover_batch_naive`], under both
+//!    [`ForkMode`]s, plus a cache shared across variants and a
+//!    whole-corpus batch — must recover a structurally identical result.
+//! 2. **Metamorphic**: a [`Transform`] re-emits the same source under a
+//!    behaviour-preserving knob (dispatcher shape, comparison order,
+//!    declaration order, junk padding, tool-chain era); the recovered
+//!    *signature set* must be invariant across all variants of one
+//!    source.
+//!
+//! Any violation is shrunk with `sigrec_core::shrink::minimize` over the
+//! source's function list — candidates are *recompiled*, so the reported
+//! reproducer is always well-formed bytecode. Alongside the oracles the
+//! harness counts which of the paper's rules R1–R31 fired
+//! ([`ConformanceReport::rule_hits`]) and asserts full coverage; the
+//! `sigrec-conformance` binary writes the machine-readable report to
+//! `CONFORMANCE_coverage.json` and exits non-zero on any mismatch or
+//! uncovered rule.
+
+#![warn(missing_docs)]
+
+use sigrec_core::exec::ForkMode;
+use sigrec_core::{
+    recover_batch, recover_batch_naive, RecoveredFunction, RuleId, RuleStats, SigRec, TaseConfig,
+};
+use sigrec_corpus::metamorph::{standard_transforms, SourceContract, Transform};
+
+/// One observed conformance violation.
+#[derive(Clone, Debug)]
+pub struct Mismatch {
+    /// The source family ([`SourceContract::describe`]).
+    pub source: String,
+    /// The transform under which the violation appeared.
+    pub transform: String,
+    /// The execution path (or cross-variant relation) that disagreed.
+    pub path: String,
+    /// First differing digest entry, `expected != got`.
+    pub detail: String,
+    /// The ddmin-shrunk reproducer, when shrinking was possible.
+    pub minimized: Option<Minimized>,
+}
+
+/// A minimal reproducer for a [`Mismatch`].
+#[derive(Clone, Debug)]
+pub struct Minimized {
+    /// Description of the shrunk source.
+    pub source: String,
+    /// Functions left after shrinking.
+    pub functions: usize,
+    /// The transformed bytecode that still reproduces, hex-encoded.
+    pub bytecode_hex: String,
+}
+
+/// The outcome of checking one `(source, transform)` case.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Reference recovery of the transformed bytecode (cold, CoW).
+    pub functions: Vec<RecoveredFunction>,
+    /// Execution paths compared.
+    pub paths: usize,
+    /// The violation, if any (already shrunk).
+    pub mismatch: Option<Mismatch>,
+}
+
+/// Harness options.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Seed for the per-source transform battery.
+    pub seed: u64,
+    /// Worker count for the whole-corpus batch check.
+    pub batch_workers: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 0x0051_e7ec,
+            batch_workers: 4,
+        }
+    }
+}
+
+/// Aggregated result of a conformance run.
+#[derive(Clone, Debug, Default)]
+pub struct ConformanceReport {
+    /// Source contracts checked.
+    pub contracts: usize,
+    /// `(source, transform)` cases checked.
+    pub cases: usize,
+    /// Individual execution-path comparisons performed.
+    pub paths_checked: usize,
+    /// How often each rule R1–R31 fired across every reference recovery.
+    pub rule_hits: RuleStats,
+    /// All violations found.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl ConformanceReport {
+    /// Rules that never fired.
+    pub fn uncovered(&self) -> Vec<RuleId> {
+        RuleId::ALL
+            .iter()
+            .copied()
+            .filter(|&r| self.rule_hits.count(r) == 0)
+            .collect()
+    }
+
+    /// True when every rule fired and no path disagreed.
+    pub fn is_green(&self) -> bool {
+        self.mismatches.is_empty() && self.uncovered().is_empty()
+    }
+
+    /// A human-readable summary block.
+    pub fn summary(&self) -> String {
+        let covered = RuleId::ALL.len() - self.uncovered().len();
+        let mut out = format!(
+            "conformance: {} contracts, {} cases, {} paths compared\n\
+             rule coverage: {}/{} ({})\n\
+             mismatches: {}\n",
+            self.contracts,
+            self.cases,
+            self.paths_checked,
+            covered,
+            RuleId::ALL.len(),
+            if self.uncovered().is_empty() {
+                "full".to_string()
+            } else {
+                let missing: Vec<String> = self.uncovered().iter().map(|r| r.to_string()).collect();
+                format!("missing {}", missing.join(", "))
+            },
+            self.mismatches.len(),
+        );
+        for m in &self.mismatches {
+            out.push_str(&format!(
+                "  [{}] {} under {}: {}\n",
+                m.path, m.source, m.transform, m.detail
+            ));
+            if let Some(min) = &m.minimized {
+                out.push_str(&format!(
+                    "    minimized to {} function(s): {} ({} bytes)\n",
+                    min.functions,
+                    min.source,
+                    min.bytecode_hex.len() / 2
+                ));
+            }
+        }
+        out
+    }
+
+    /// The machine-readable report (hand-rolled JSON, no serde).
+    pub fn to_json(&self) -> String {
+        let uncovered: Vec<String> = self.uncovered().iter().map(|r| r.to_string()).collect();
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"contracts\": {},\n", self.contracts));
+        json.push_str(&format!("  \"cases\": {},\n", self.cases));
+        json.push_str(&format!("  \"paths_checked\": {},\n", self.paths_checked));
+        json.push_str(&format!(
+            "  \"rules_covered\": {},\n  \"rules_total\": {},\n",
+            RuleId::ALL.len() - uncovered.len(),
+            RuleId::ALL.len()
+        ));
+        json.push_str(&format!(
+            "  \"uncovered\": [{}],\n",
+            uncovered
+                .iter()
+                .map(|r| format!("\"{r}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        json.push_str("  \"rule_hits\": {\n");
+        let hits: Vec<String> = self
+            .rule_hits
+            .iter()
+            .map(|(r, n)| format!("    \"{r}\": {n}"))
+            .collect();
+        json.push_str(&hits.join(",\n"));
+        json.push_str("\n  },\n");
+        json.push_str("  \"mismatches\": [\n");
+        let items: Vec<String> = self
+            .mismatches
+            .iter()
+            .map(|m| {
+                let minimized = match &m.minimized {
+                    Some(min) => format!(
+                        "{{ \"source\": \"{}\", \"functions\": {}, \"bytecode\": \"{}\" }}",
+                        escape(&min.source),
+                        min.functions,
+                        min.bytecode_hex
+                    ),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "    {{ \"source\": \"{}\", \"transform\": \"{}\", \"path\": \"{}\", \
+                     \"detail\": \"{}\", \"minimized\": {} }}",
+                    escape(&m.source),
+                    escape(&m.transform),
+                    escape(&m.path),
+                    escape(&m.detail),
+                    minimized
+                )
+            })
+            .collect();
+        json.push_str(&items.join(",\n"));
+        if !items.is_empty() {
+            json.push('\n');
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!("  \"green\": {}\n", self.is_green()));
+        json.push_str("}\n");
+        json
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn config_with(mode: ForkMode) -> TaseConfig {
+    TaseConfig {
+        fork_mode: mode,
+        ..TaseConfig::default()
+    }
+}
+
+/// The structural digest of one recovery, sorted: every execution path on
+/// the *same* bytecode must produce exactly this (entries and fired rules
+/// included — a cache hit must preserve them, not just the types).
+pub fn path_digest(functions: &[RecoveredFunction]) -> Vec<String> {
+    let mut out: Vec<String> = functions
+        .iter()
+        .map(|f| {
+            let rules: Vec<String> = f.rules.iter().map(|r| r.to_string()).collect();
+            format!(
+                "{}@{} {} {:?} [{}]",
+                f.selector,
+                f.entry,
+                f.signature().param_list(),
+                f.language,
+                rules.join(",")
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The signature-set digest, sorted: all *variants* of one source must
+/// produce exactly this. Entries, rule lists and recovery order may all
+/// legitimately differ across variants; selector, types and language may
+/// not.
+pub fn set_digest(functions: &[RecoveredFunction]) -> Vec<String> {
+    let mut out: Vec<String> = functions
+        .iter()
+        .map(|f| {
+            format!(
+                "{} {} {:?}",
+                f.selector,
+                f.signature().param_list(),
+                f.language
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The reference recovery all paths are diffed against: a cold run with
+/// the default (copy-on-write) configuration and no cache.
+pub fn recover_reference(code: &[u8]) -> Vec<RecoveredFunction> {
+    SigRec::new().recover_cold(code)
+}
+
+fn diff(expected: &[String], got: &[String]) -> Option<String> {
+    if expected == got {
+        return None;
+    }
+    let first = expected
+        .iter()
+        .zip(got.iter())
+        .find(|(a, b)| a != b)
+        .map(|(a, b)| format!("expected `{a}`, got `{b}`"));
+    Some(
+        first.unwrap_or_else(|| {
+            format!("expected {} function(s), got {}", expected.len(), got.len())
+        }),
+    )
+}
+
+/// Every per-bytecode execution path, as `(name, recovery)` pairs.
+fn run_paths(code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
+    let mut out = Vec::new();
+    for (mode, tag) in [
+        (ForkMode::CopyOnWrite, "cow"),
+        (ForkMode::EagerClone, "eager"),
+    ] {
+        let cfg = config_with(mode);
+        out.push((
+            format!("recover-cold[{tag}]"),
+            SigRec::with_config(cfg).recover_cold(code),
+        ));
+        let warm = SigRec::with_config(cfg);
+        out.push((format!("recover-first[{tag}]"), warm.recover(code)));
+        out.push((format!("recover-warm[{tag}]"), warm.recover(code)));
+        let batch = recover_batch(&SigRec::with_config(cfg), &[code.to_vec()], 2);
+        out.push((
+            format!("batch-dedup[{tag}]"),
+            batch.items[0].functions.as_ref().clone(),
+        ));
+        let naive = recover_batch_naive(&SigRec::with_config(cfg), &[code.to_vec()], 2);
+        out.push((
+            format!("batch-naive[{tag}]"),
+            naive.items[0].functions.as_ref().clone(),
+        ));
+    }
+    out
+}
+
+/// Number of comparisons [`find_mismatch`] performs per case: five paths
+/// under two fork modes, plus the cross-variant metamorphic relation.
+pub const PATHS_PER_CASE: usize = 11;
+
+/// Checks one `(source, transform)` case without shrinking; returns the
+/// violated `(path, detail)` if any.
+pub fn find_mismatch(source: &SourceContract, transform: &Transform) -> Option<(String, String)> {
+    let code = source.compile_variant(transform);
+    let reference = recover_reference(&code);
+    let reference_digest = path_digest(&reference);
+    for (name, recovered) in run_paths(&code) {
+        if let Some(detail) = diff(&reference_digest, &path_digest(&recovered)) {
+            return Some((name, detail));
+        }
+    }
+    // Metamorphic relation: the signature set matches the identity
+    // variant's.
+    let identity = recover_reference(&source.compile_variant(&Transform::Identity));
+    diff(&set_digest(&identity), &set_digest(&reference))
+        .map(|detail| ("metamorphic-set".to_string(), detail))
+}
+
+/// Checks one case and, on violation, shrinks the source's function list
+/// to a minimal reproducer (recompiling every ddmin candidate, so the
+/// reproducer is always well-formed bytecode).
+pub fn check_case(source: &SourceContract, transform: &Transform) -> CaseOutcome {
+    let code = source.compile_variant(transform);
+    let functions = recover_reference(&code);
+    let mismatch = find_mismatch(source, transform).map(|(path, detail)| {
+        let indices: Vec<usize> = (0..source.function_count()).collect();
+        let minimal = sigrec_core::shrink::minimize(&indices, |keep| {
+            let sub = source.with_function_subset(keep);
+            find_mismatch(&sub, transform).is_some()
+        });
+        let minimized = (minimal.len() < indices.len()).then(|| {
+            let sub = source.with_function_subset(&minimal);
+            Minimized {
+                source: sub.describe(),
+                functions: minimal.len(),
+                bytecode_hex: hex(&sub.compile_variant(transform)),
+            }
+        });
+        Mismatch {
+            source: source.describe(),
+            transform: transform.name().to_string(),
+            path,
+            detail,
+            minimized,
+        }
+    });
+    CaseOutcome {
+        functions,
+        paths: PATHS_PER_CASE,
+        mismatch,
+    }
+}
+
+/// Runs the full harness over `sources`: every applicable transform per
+/// source, every execution path per variant, a recovery cache shared
+/// across each source's variants (exercising the function-cache soundness
+/// gate on perturbed extents), and one whole-corpus batch over all
+/// variant bytecodes.
+pub fn run(sources: &[SourceContract], opts: &RunOptions) -> ConformanceReport {
+    let mut report = ConformanceReport {
+        contracts: sources.len(),
+        ..ConformanceReport::default()
+    };
+    let mut corpus_codes: Vec<Vec<u8>> = Vec::new();
+    let mut corpus_refs: Vec<Vec<String>> = Vec::new();
+    for source in sources {
+        // One recoverer whose cache lives across all variants of this
+        // source: junk padding and reordering perturb extents and entry
+        // pcs while leaving body spans byte-identical, so this drives the
+        // function-cache hit path under exactly the conditions its
+        // soundness gate exists for.
+        let shared = SigRec::new();
+        for transform in standard_transforms(source, opts.seed) {
+            let outcome = check_case(source, &transform);
+            report.cases += 1;
+            report.paths_checked += outcome.paths;
+            for f in &outcome.functions {
+                report.rule_hits.absorb(&f.rules);
+            }
+            let reference_digest = path_digest(&outcome.functions);
+            if let Some(m) = outcome.mismatch {
+                report.mismatches.push(m);
+            }
+            let code = source.compile_variant(&transform);
+            let via_shared = path_digest(&shared.recover(&code));
+            report.paths_checked += 1;
+            if let Some(detail) = diff(&reference_digest, &via_shared) {
+                report.mismatches.push(Mismatch {
+                    source: source.describe(),
+                    transform: transform.name().to_string(),
+                    path: "shared-cache".to_string(),
+                    detail,
+                    minimized: None,
+                });
+            }
+            corpus_codes.push(code);
+            corpus_refs.push(reference_digest);
+        }
+    }
+    // The whole corpus through the dedup scheduler in one call: item
+    // order, cross-contract dedup and cache sharing must not change any
+    // individual result.
+    let batch = recover_batch(&SigRec::new(), &corpus_codes, opts.batch_workers);
+    for item in &batch.items {
+        report.paths_checked += 1;
+        if let Some(detail) = diff(&corpus_refs[item.index], &path_digest(&item.functions)) {
+            report.mismatches.push(Mismatch {
+                source: format!("corpus case #{}", item.index),
+                transform: "corpus-batch".to_string(),
+                path: format!("batch-dedup[corpus,{} workers]", opts.batch_workers),
+                detail,
+                minimized: None,
+            });
+        }
+    }
+    report
+}
+
+/// Writes `report.to_json()` to `path`.
+pub fn write_coverage_json(report: &ConformanceReport, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_corpus::metamorph::conformance_corpus;
+
+    #[test]
+    fn identity_case_is_clean_on_first_corpus_source() {
+        let source = &conformance_corpus()[0];
+        let outcome = check_case(source, &Transform::Identity);
+        assert!(outcome.mismatch.is_none(), "{:?}", outcome.mismatch);
+        assert_eq!(outcome.functions.len(), source.function_count());
+    }
+
+    #[test]
+    fn digests_are_order_insensitive() {
+        let source = &conformance_corpus()[0];
+        let mut fns = recover_reference(&source.compile_variant(&Transform::Identity));
+        let a = path_digest(&fns);
+        fns.reverse();
+        assert_eq!(a, path_digest(&fns));
+        assert_eq!(set_digest(&fns).len(), fns.len());
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["x".to_string(), "z".to_string()];
+        assert!(diff(&a, &a).is_none());
+        let d = diff(&a, &b).unwrap();
+        assert!(d.contains('y') && d.contains('z'), "{d}");
+        let shorter = vec!["x".to_string()];
+        assert!(diff(&a, &shorter).unwrap().contains("function(s)"));
+    }
+
+    #[test]
+    fn targeted_corpus_is_green_and_covers_every_rule() {
+        // The full harness over the deterministic corpus (no random
+        // extras — those are the binary's and the fuzzer's job).
+        let report = run(&conformance_corpus(), &RunOptions::default());
+        assert!(report.mismatches.is_empty(), "{}", report.summary());
+        assert_eq!(report.uncovered(), vec![], "{}", report.summary());
+        assert!(report.is_green());
+        let json = report.to_json();
+        assert!(json.contains("\"green\": true"));
+        assert!(json.contains("\"uncovered\": []"));
+    }
+
+    #[test]
+    fn report_json_is_structurally_sound() {
+        let report = ConformanceReport::default();
+        let json = report.to_json();
+        assert!(json.contains("\"rules_total\": 31"));
+        assert!(json.contains("\"green\": false")); // nothing covered yet
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+}

@@ -31,6 +31,7 @@ pub mod infer;
 pub mod memory;
 pub mod pipeline;
 pub mod rules;
+pub mod shrink;
 
 pub use batch::{
     recover_batch, recover_batch_naive, BatchItem, BatchResult, BatchTimings, DedupStats,
@@ -43,3 +44,4 @@ pub use facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 pub use infer::{infer, Language, RecoveredParams};
 pub use pipeline::{Explanation, RecoveredFunction, SigRec};
 pub use rules::{RuleId, RuleStats};
+pub use shrink::minimize;

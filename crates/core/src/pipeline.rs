@@ -317,6 +317,26 @@ impl SigRec {
 
 /// Thread-safe accumulator behind [`SigRec::with_exec_stats`]; shared by
 /// clones the way the cache is.
+///
+/// All counters use `Ordering::Relaxed`, which is sound here because the
+/// accumulator is write-mostly telemetry, not synchronisation:
+///
+/// - every counter is an independent monotonic sum (or `fetch_max`), so
+///   there is no cross-counter invariant a reordering could break — a
+///   concurrent snapshot may observe counter A's bump before counter B's
+///   from the same `record` call, and nothing consumes them together as
+///   an atomic unit;
+/// - each individual `fetch_add`/`fetch_max` is still a single atomic
+///   read-modify-write, so no increment is ever lost, regardless of how
+///   many scheduler workers record concurrently;
+/// - quiescent snapshots — the ones tests and reports assert exact
+///   totals on — are taken after the batch's worker threads have been
+///   joined (`std::thread::scope` exit), and the join itself establishes
+///   the happens-before edge that makes every recorded value visible.
+///
+/// Snapshots taken *while* workers run are advisory progress numbers and
+/// may be mid-record; that is acceptable for telemetry and the price of
+/// keeping `record` off the hot path's contention profile.
 #[derive(Debug)]
 struct StatsAccum {
     steps: AtomicU64,
@@ -328,6 +348,7 @@ struct StatsAccum {
     tase_nanos: AtomicU64,
     infer_nanos: AtomicU64,
     rule_nanos: [AtomicU64; RuleId::ALL.len()],
+    rule_hits: [AtomicU64; RuleId::ALL.len()],
 }
 
 impl Default for StatsAccum {
@@ -342,6 +363,7 @@ impl Default for StatsAccum {
             tase_nanos: AtomicU64::new(0),
             infer_nanos: AtomicU64::new(0),
             rule_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            rule_hits: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -368,6 +390,7 @@ impl StatsAccum {
         for (i, slot) in self.rule_nanos.iter().enumerate() {
             if mask & (1 << i) != 0 {
                 slot.fetch_add(infer_nanos, r);
+                self.rule_hits[i].fetch_add(1, r);
             }
         }
     }
@@ -393,6 +416,14 @@ impl StatsAccum {
                     (nanos > 0).then(|| (rule, Duration::from_nanos(nanos)))
                 })
                 .collect(),
+            rule_hits: RuleId::ALL
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &rule)| {
+                    let hits = self.rule_hits[i].load(r);
+                    (hits > 0).then_some((rule, hits))
+                })
+                .collect(),
         }
     }
 }
@@ -415,6 +446,11 @@ pub struct PipelineStats {
     /// duration is charged to every distinct rule that fired in it, so
     /// entries overlap and do not sum to `infer_time`.
     pub rule_time: Vec<(RuleId, Duration)>,
+    /// Per-rule fire counts: each inference call bumps every *distinct*
+    /// rule it fired once, so a rule firing twice inside one function
+    /// still counts a single hit for that function. Rules that never
+    /// fired are omitted.
+    pub rule_hits: Vec<(RuleId, u64)>,
 }
 
 /// A diagnostic view of one function's recovery: what TASE saw and which

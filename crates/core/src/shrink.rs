@@ -1,0 +1,136 @@
+//! Delta-debugging minimisation for differential-testing counterexamples.
+//!
+//! When the conformance harness finds a contract on which two execution
+//! paths (or a metamorphic variant pair) disagree, the raw witness is a
+//! multi-function contract — far more than the disagreement needs. The
+//! classic ddmin algorithm (Zeller & Hildebrandt, "Simplifying and
+//! isolating failure-inducing input") shrinks the witness to a
+//! 1-minimal sub-list: removing any single remaining chunk makes the
+//! failure disappear. The items are opaque here — the conformance crate
+//! minimises *function-spec lists* and recompiles each candidate, so the
+//! reported reproducer is always well-formed bytecode, never a random
+//! byte-level truncation.
+
+/// Minimises `items` to a 1-minimal subsequence on which `failing` still
+/// returns `true`.
+///
+/// `failing` must hold on the full input; if it does not, the input is
+/// returned unchanged (there is nothing to shrink towards). The result
+/// preserves the relative order of the surviving items. The predicate is
+/// invoked O(n²) times in the worst case, each time on a candidate
+/// subsequence.
+///
+/// # Examples
+///
+/// ```
+/// use sigrec_core::shrink::minimize;
+///
+/// // Failure: the list contains both 3 and 7.
+/// let input = vec![1, 3, 9, 2, 7, 4];
+/// let min = minimize(&input, |s| s.contains(&3) && s.contains(&7));
+/// assert_eq!(min, vec![3, 7]);
+/// ```
+pub fn minimize<T: Clone>(items: &[T], mut failing: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if !failing(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while !current.is_empty() {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // The complement of chunk [start, end): if the failure
+            // survives without the chunk, the chunk was irrelevant.
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if failing(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk == 1 {
+                break; // 1-minimal: no single item can be removed.
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_culprit_is_isolated() {
+        let input: Vec<u32> = (0..50).collect();
+        let min = minimize(&input, |s| s.contains(&37));
+        assert_eq!(min, vec![37]);
+    }
+
+    #[test]
+    fn pair_of_culprits_survives() {
+        let input: Vec<u32> = (0..40).collect();
+        let min = minimize(&input, |s| s.contains(&3) && s.contains(&33));
+        assert_eq!(min, vec![3, 33]);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let input = vec![9, 5, 1, 7, 2];
+        let min = minimize(&input, |s| {
+            let a = s.iter().position(|&x| x == 5);
+            let b = s.iter().position(|&x| x == 2);
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(min, vec![5, 2]);
+    }
+
+    #[test]
+    fn non_failing_input_returned_unchanged() {
+        let input = vec![1, 2, 3];
+        let min = minimize(&input, |_| false);
+        assert_eq!(min, input);
+    }
+
+    #[test]
+    fn always_failing_shrinks_to_empty() {
+        let input = vec![1, 2, 3, 4];
+        let min = minimize(&input, |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure: sum of remaining items >= 10. Many minimal subsets
+        // exist; whatever ddmin lands on must be 1-minimal.
+        let input = vec![4, 1, 6, 2, 8];
+        let pred = |s: &[u32]| s.iter().sum::<u32>() >= 10;
+        let min = minimize(&input, pred);
+        assert!(pred(&min));
+        for skip in 0..min.len() {
+            let without: Vec<u32> = min
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &x)| x)
+                .collect();
+            assert!(!pred(&without), "{min:?} not 1-minimal at {skip}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(minimize(&Vec::<u8>::new(), |_| true).is_empty());
+    }
+}

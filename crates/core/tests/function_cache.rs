@@ -6,8 +6,9 @@
 //! build such shared-prefix corpora and check the cache actually hits —
 //! and that hits never change results.
 
-use sigrec_abi::FunctionSignature;
+use sigrec_abi::{AbiType, FunctionSignature};
 use sigrec_core::{RecoveredFunction, SigRec};
+use sigrec_evm::{Assembler, Opcode, U256};
 use sigrec_solc::{compile, CompilerConfig, FunctionSpec, Visibility};
 
 fn spec(decl: &str) -> FunctionSpec {
@@ -141,4 +142,159 @@ fn corpus_level_hit_rate_is_meaningful() {
         rate * 100.0,
         stats,
     );
+}
+
+// --- soundness-gate edges -------------------------------------------------
+//
+// The function store is gated on `!visited_below_entry && max_pc_end <=
+// extent`: a body that executes code outside its own span could recover
+// differently in a contract whose outside bytes differ, so such results
+// must never be memoised. The hand-assembled contracts below pin both
+// sides of that gate.
+
+/// A one-function contract whose body calls a shared helper *below* its
+/// entry; the helper masks `calldataload(4)` with `mask`. Two contracts
+/// built with different masks have byte-identical body spans at the same
+/// entry pc — only the (out-of-span) helper differs.
+fn helper_below_entry_contract(mask: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    let entry = asm.fresh_label();
+    let helper = asm.fresh_label();
+    let ret = asm.fresh_label();
+    asm.push_u64(0).op(Opcode::CallDataLoad);
+    asm.push_u64(0xe0).op(Opcode::Shr);
+    asm.op(Opcode::Dup(1));
+    asm.push_sized(U256::from(0x1122_3344u64), 4);
+    asm.op(Opcode::Eq);
+    asm.push_label(entry).op(Opcode::JumpI);
+    asm.op(Opcode::Pop).op(Opcode::Stop);
+    // The helper prologue, below the entry.
+    asm.jumpdest(helper);
+    asm.push_u64(4).op(Opcode::CallDataLoad);
+    asm.push_sized(U256::from(mask), 2);
+    asm.op(Opcode::And).op(Opcode::Pop);
+    asm.op(Opcode::Jump); // return address left on the stack by the body
+                          // The body: jump down into the helper, come back, stop.
+    asm.jumpdest(entry);
+    asm.push_label(ret).push_label(helper);
+    asm.op(Opcode::Jump);
+    asm.jumpdest(ret);
+    asm.op(Opcode::Stop);
+    asm.assemble()
+}
+
+#[test]
+fn helper_below_entry_is_never_served_from_the_cache() {
+    let a = helper_below_entry_contract(0xff);
+    let b = helper_below_entry_contract(0xffff);
+    assert_eq!(a.len(), b.len(), "layouts must line up for the trap to arm");
+    let sigrec = SigRec::new();
+    let ra = sigrec.recover(&a);
+    assert_eq!(
+        a[ra[0].entry..],
+        b[ra[0].entry..],
+        "body spans must be byte-identical or the cache is never tempted"
+    );
+    // Without the `visited_below_entry` gate this would hit the span
+    // memoised for `a` and wrongly report uint8.
+    let rb = sigrec.recover(&b);
+    assert_eq!(ra[0].params, vec![AbiType::Uint(8)]);
+    assert_eq!(rb[0].params, vec![AbiType::Uint(16)]);
+    assert_same(&rb, &SigRec::new().recover_cold(&b));
+    assert_eq!(
+        sigrec.cache_stats().function_hits,
+        0,
+        "out-of-span bodies must not be memoised: {:?}",
+        sigrec.cache_stats(),
+    );
+}
+
+/// A two-function contract where function A's `STOP` is the byte
+/// immediately before function B's `JUMPDEST`: A's `max_pc_end` equals
+/// its extent exactly, the boundary case the store gate must accept.
+fn adjacent_bodies_contract(second_mask: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    let entry_a = asm.fresh_label();
+    let entry_b = asm.fresh_label();
+    asm.push_u64(0).op(Opcode::CallDataLoad);
+    asm.push_u64(0xe0).op(Opcode::Shr);
+    for (sel, entry) in [(0xaaaa_0001u64, entry_a), (0xbbbb_0002, entry_b)] {
+        asm.op(Opcode::Dup(1));
+        asm.push_sized(U256::from(sel), 4);
+        asm.op(Opcode::Eq);
+        asm.push_label(entry).op(Opcode::JumpI);
+    }
+    asm.op(Opcode::Pop).op(Opcode::Stop);
+    asm.jumpdest(entry_a);
+    asm.push_u64(4).op(Opcode::CallDataLoad);
+    asm.push_sized(U256::from(0xffu64), 2);
+    asm.op(Opcode::And).op(Opcode::Pop);
+    asm.op(Opcode::Stop); // extent of A ends here, flush against B
+    asm.jumpdest(entry_b);
+    asm.push_u64(4).op(Opcode::CallDataLoad);
+    asm.push_sized(U256::from(second_mask), 2);
+    asm.op(Opcode::And).op(Opcode::Pop);
+    asm.op(Opcode::Stop);
+    asm.assemble()
+}
+
+#[test]
+fn body_ending_exactly_at_next_entry_is_cached() {
+    let a = adjacent_bodies_contract(0xff);
+    let b = adjacent_bodies_contract(0xffff);
+    let sigrec = SigRec::new();
+    let _ = sigrec.recover(&a);
+    let rb = sigrec.recover(&b);
+    // A's bytes and entry are identical in both contracts; the
+    // max_pc_end == extent boundary must not block the hit.
+    assert!(
+        sigrec.cache_stats().function_hits >= 1,
+        "flush-boundary body missed the cache: {:?}",
+        sigrec.cache_stats(),
+    );
+    assert_same(&rb, &SigRec::new().recover_cold(&b));
+}
+
+#[test]
+fn aliased_entries_and_empty_bodies_stay_consistent() {
+    // Two selectors dispatching to one shared nullary body, plus a body
+    // that is nothing but `JUMPDEST STOP` — the degenerate spans the
+    // extent computation has to survive.
+    let mut asm = Assembler::new();
+    let shared = asm.fresh_label();
+    let empty = asm.fresh_label();
+    asm.push_u64(0).op(Opcode::CallDataLoad);
+    asm.push_u64(0xe0).op(Opcode::Shr);
+    for (sel, entry) in [
+        (0x1111_0001u64, shared),
+        (0x2222_0002, shared),
+        (0x3333_0003, empty),
+    ] {
+        asm.op(Opcode::Dup(1));
+        asm.push_sized(U256::from(sel), 4);
+        asm.op(Opcode::Eq);
+        asm.push_label(entry).op(Opcode::JumpI);
+    }
+    asm.op(Opcode::Pop).op(Opcode::Stop);
+    asm.jumpdest(shared);
+    asm.push_u64(4).op(Opcode::CallDataLoad);
+    asm.op(Opcode::Pop).op(Opcode::Stop);
+    asm.jumpdest(empty);
+    asm.op(Opcode::Stop);
+    let code = asm.assemble();
+
+    let warm = SigRec::new();
+    let first = warm.recover(&code);
+    assert_eq!(first.len(), 3, "all three selectors must be recovered");
+    let shared_fns: Vec<_> = first.iter().filter(|f| !f.params.is_empty()).collect();
+    assert_eq!(shared_fns.len(), 2, "aliased entries share the body");
+    assert_eq!(shared_fns[0].entry, shared_fns[1].entry);
+    assert_eq!(shared_fns[0].params, shared_fns[1].params);
+    let nullary = first.iter().find(|f| f.params.is_empty()).unwrap();
+    assert!(
+        nullary.params.is_empty(),
+        "JUMPDEST STOP body has no params"
+    );
+    // Warm pass and cold reference agree.
+    assert_same(&warm.recover(&code), &SigRec::new().recover_cold(&code));
 }

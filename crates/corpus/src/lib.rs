@@ -15,11 +15,15 @@
 pub mod contracts;
 pub mod datasets;
 pub mod eval;
+pub mod metamorph;
 pub mod traffic;
 pub mod typegen;
 pub mod valuegen;
 
 pub use contracts::{Corpus, LabeledContract, LabeledFunction, Toolchain};
 pub use eval::{evaluate, Evaluation, FunctionOutcome};
+pub use metamorph::{
+    conformance_corpus, random_sources, standard_transforms, SourceContract, Transform,
+};
 pub use traffic::{generate_traffic, MalformKind, TrafficLabel, TrafficParams, Transaction};
 pub use valuegen::{random_value, ValueLimits};

@@ -1,0 +1,557 @@
+//! Metamorphic source contracts and behaviour-preserving transforms.
+//!
+//! The conformance harness tests SigRec with *metamorphic relations*: a
+//! [`SourceContract`] is a compiler-input description (function specs plus
+//! a tool-chain configuration) that can be re-emitted under any
+//! [`Transform`] — a knob that changes the bytecode without changing what
+//! any reachable function does. The recovered signature set must therefore
+//! be identical across all variants of one source; a difference is a
+//! recovery bug, not a corpus artefact.
+//!
+//! Transforms work at the spec level (the variant is *recompiled*, never
+//! byte-patched), so every variant is well-formed bytecode by
+//! construction — the same property the ddmin shrinker in
+//! `sigrec_core::shrink` relies on.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sigrec_abi::{FunctionSignature, Selector, VyperType};
+use sigrec_solc::{
+    compile_with_variant, CompilerConfig, DispatcherShape, EmitVariant, FunctionSpec, SolcVersion,
+    Visibility,
+};
+use sigrec_vyperc::{
+    compile_with_variant as vyper_compile_with_variant, VyperEmitVariant, VyperFunctionSpec,
+    VyperVersion,
+};
+
+use crate::typegen;
+
+/// The compiler input a metamorphic family is generated from.
+#[derive(Clone, Debug)]
+pub enum SourceContract {
+    /// A Solidity-pattern contract.
+    Solidity {
+        /// The functions, in declaration order.
+        specs: Vec<FunctionSpec>,
+        /// Base compiler configuration.
+        config: CompilerConfig,
+    },
+    /// A Vyper-pattern contract.
+    Vyper {
+        /// The functions, in declaration order.
+        specs: Vec<VyperFunctionSpec>,
+        /// Base compiler version.
+        version: VyperVersion,
+    },
+}
+
+impl SourceContract {
+    /// Number of dispatched functions.
+    pub fn function_count(&self) -> usize {
+        match self {
+            SourceContract::Solidity { specs, .. } => specs.len(),
+            SourceContract::Vyper { specs, .. } => specs.len(),
+        }
+    }
+
+    /// The declared ground-truth signatures, in declaration order.
+    pub fn declared(&self) -> Vec<FunctionSignature> {
+        match self {
+            SourceContract::Solidity { specs, .. } => {
+                specs.iter().map(|s| s.signature.clone()).collect()
+            }
+            SourceContract::Vyper { specs, .. } => {
+                specs.iter().map(|s| s.lowered_signature()).collect()
+            }
+        }
+    }
+
+    /// A human-readable label for mismatch reports.
+    pub fn describe(&self) -> String {
+        match self {
+            SourceContract::Solidity { specs, config } => {
+                let sigs: Vec<String> = specs.iter().map(|s| s.signature.canonical()).collect();
+                format!(
+                    "solidity-0.{}.{}{}[{}]",
+                    config.version.minor,
+                    config.version.patch,
+                    if config.optimize { "+opt" } else { "" },
+                    sigs.join("; ")
+                )
+            }
+            SourceContract::Vyper { specs, version } => {
+                let sigs: Vec<String> = specs
+                    .iter()
+                    .map(|s| s.lowered_signature().canonical())
+                    .collect();
+                format!("vyper-{version}[{}]", sigs.join("; "))
+            }
+        }
+    }
+
+    /// Replaces the function list, keeping the tool-chain configuration —
+    /// the operation ddmin shrinking needs to recompile candidates.
+    pub fn with_function_subset(&self, keep: &[usize]) -> SourceContract {
+        match self {
+            SourceContract::Solidity { specs, config } => SourceContract::Solidity {
+                specs: keep.iter().map(|&i| specs[i].clone()).collect(),
+                config: *config,
+            },
+            SourceContract::Vyper { specs, version } => SourceContract::Vyper {
+                specs: keep.iter().map(|&i| specs[i].clone()).collect(),
+                version: *version,
+            },
+        }
+    }
+
+    /// Compiles the source under `transform`.
+    pub fn compile_variant(&self, transform: &Transform) -> Vec<u8> {
+        match self {
+            SourceContract::Solidity { specs, config } => {
+                let mut specs = specs.clone();
+                let mut config = *config;
+                let mut variant = EmitVariant::default();
+                match transform {
+                    Transform::Identity => {}
+                    Transform::OptimizeToggle => config.optimize = !config.optimize,
+                    Transform::ReorderFunctions(rot) => {
+                        let len = specs.len();
+                        if len > 0 {
+                            specs.rotate_left(rot % len);
+                        }
+                    }
+                    Transform::PermuteDispatch(seed) => {
+                        variant.dispatch_order = Some(permutation(specs.len(), *seed));
+                    }
+                    Transform::JunkPadding {
+                        blocks,
+                        seed,
+                        between_bodies,
+                    } => {
+                        variant.junk_blocks = *blocks;
+                        variant.junk_seed = *seed;
+                        variant.junk_between_bodies = *between_bodies;
+                    }
+                    Transform::ForceLinearDispatch => {
+                        variant.dispatcher = DispatcherShape::Linear;
+                    }
+                    Transform::ForceBinaryDispatch => {
+                        variant.dispatcher = DispatcherShape::BinarySearch;
+                    }
+                    Transform::LegacyDispatch => config.version = SolcVersion::V0_4_24,
+                }
+                compile_with_variant(&specs, &config, &variant).code
+            }
+            SourceContract::Vyper { specs, version } => {
+                let mut specs = specs.clone();
+                let mut version = *version;
+                let mut variant = VyperEmitVariant::default();
+                match transform {
+                    Transform::Identity
+                    | Transform::OptimizeToggle
+                    | Transform::ForceLinearDispatch
+                    | Transform::ForceBinaryDispatch => {}
+                    Transform::ReorderFunctions(rot) => {
+                        let len = specs.len();
+                        if len > 0 {
+                            specs.rotate_left(rot % len);
+                        }
+                    }
+                    Transform::PermuteDispatch(seed) => {
+                        variant.dispatch_order = Some(permutation(specs.len(), *seed));
+                    }
+                    Transform::JunkPadding { blocks, seed, .. } => {
+                        variant.junk_blocks = *blocks;
+                        variant.junk_seed = *seed;
+                    }
+                    Transform::LegacyDispatch => {
+                        version = VyperVersion {
+                            minor: 1,
+                            patch: 0,
+                            beta: 4,
+                        };
+                    }
+                }
+                vyper_compile_with_variant(&specs, version, &variant).code
+            }
+        }
+    }
+}
+
+/// A behaviour-preserving emission change. Applying any transform to a
+/// [`SourceContract`] must leave the recovered signature set invariant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Transform {
+    /// The baseline emission — the reference all variants are diffed
+    /// against.
+    Identity,
+    /// Flips the optimiser flag (Solidity only; without injected quirks
+    /// the flag changes no calldata-access pattern).
+    OptimizeToggle,
+    /// Rotates the declaration order by the given amount: selectors,
+    /// bodies and extents all move, the signature *set* does not.
+    ReorderFunctions(usize),
+    /// Shuffles the order of dispatcher selector comparisons (seeded).
+    PermuteDispatch(u64),
+    /// Pads the code with unreachable junk helper blocks.
+    JunkPadding {
+        /// Blocks after the dispatcher fallback.
+        blocks: usize,
+        /// Junk content seed.
+        seed: u64,
+        /// Also pad after each non-final body (Solidity only).
+        between_bodies: bool,
+    },
+    /// Forces a linear `EQ`-chain dispatcher (Solidity only).
+    ForceLinearDispatch,
+    /// Forces a binary-search dispatcher (Solidity, SHR era only).
+    ForceBinaryDispatch,
+    /// Re-emits with the legacy tool-chain: solc 0.4.24 (`DIV` dispatch,
+    /// no `CALLVALUE` guard) or Vyper 0.1.0b4 (calldatasize guard).
+    LegacyDispatch,
+}
+
+impl Transform {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transform::Identity => "identity",
+            Transform::OptimizeToggle => "optimize-toggle",
+            Transform::ReorderFunctions(_) => "reorder-functions",
+            Transform::PermuteDispatch(_) => "permute-dispatch",
+            Transform::JunkPadding { .. } => "junk-padding",
+            Transform::ForceLinearDispatch => "force-linear-dispatch",
+            Transform::ForceBinaryDispatch => "force-binary-dispatch",
+            Transform::LegacyDispatch => "legacy-dispatch",
+        }
+    }
+
+    /// Whether the transform does anything meaningful for `source`
+    /// (inapplicable transforms compile identically to `Identity`, so
+    /// running them would only duplicate cases).
+    pub fn applies_to(&self, source: &SourceContract) -> bool {
+        let n = source.function_count();
+        match (self, source) {
+            (Transform::Identity, _) => true,
+            (Transform::JunkPadding { .. }, _) => true,
+            (Transform::ReorderFunctions(_), _) | (Transform::PermuteDispatch(_), _) => n >= 2,
+            (Transform::OptimizeToggle, SourceContract::Solidity { .. }) => true,
+            (Transform::ForceLinearDispatch, SourceContract::Solidity { specs, .. }) => {
+                // Meaningful only where Auto would have split.
+                specs.len() > 8
+            }
+            (Transform::ForceBinaryDispatch, SourceContract::Solidity { config, .. }) => {
+                config.version.uses_shr_dispatch() && n >= 2
+            }
+            (Transform::LegacyDispatch, SourceContract::Solidity { config, .. }) => {
+                config.version.uses_shr_dispatch()
+            }
+            (Transform::LegacyDispatch, SourceContract::Vyper { version, .. }) => {
+                !version.emits_calldatasize_guard()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A seeded Fisher–Yates permutation of `0..n`.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    // xorshift64*, same family as the junk-block generator: deterministic
+    // and independent of the vendored rand's stream layout.
+    let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// The transform battery for one source: every applicable transform,
+/// seeded off `seed` where a transform takes one.
+pub fn standard_transforms(source: &SourceContract, seed: u64) -> Vec<Transform> {
+    let all = vec![
+        Transform::Identity,
+        Transform::OptimizeToggle,
+        Transform::ReorderFunctions(1 + (seed as usize) % source.function_count().max(1)),
+        Transform::PermuteDispatch(seed ^ 0x5bd1_e995),
+        Transform::JunkPadding {
+            blocks: 2 + (seed % 3) as usize,
+            seed: seed.wrapping_add(17),
+            between_bodies: true,
+        },
+        Transform::ForceLinearDispatch,
+        Transform::ForceBinaryDispatch,
+        Transform::LegacyDispatch,
+    ];
+    all.into_iter().filter(|t| t.applies_to(source)).collect()
+}
+
+/// A Solidity source from textual declarations.
+fn sol(decls: &[&str], visibility: Visibility, config: CompilerConfig) -> SourceContract {
+    let specs = decls
+        .iter()
+        .map(|d| FunctionSpec::new(FunctionSignature::parse(d).unwrap(), visibility))
+        .collect();
+    SourceContract::Solidity { specs, config }
+}
+
+/// A Vyper source from `(name, params)` pairs.
+fn vy(funcs: Vec<(&str, Vec<VyperType>)>, version: VyperVersion) -> SourceContract {
+    let specs = funcs
+        .into_iter()
+        .map(|(name, params)| VyperFunctionSpec::new(name, params))
+        .collect();
+    SourceContract::Vyper { specs, version }
+}
+
+/// The deterministic conformance corpus: a targeted set of quirk-free
+/// sources whose recovery is known to exercise every rule R1–R31 (the
+/// conformance binary asserts 31/31 coverage over exactly this set plus
+/// its transforms).
+pub fn conformance_corpus() -> Vec<SourceContract> {
+    let modern = CompilerConfig::default();
+    let legacy = CompilerConfig::new(SolcVersion::V0_4_24, false);
+    vec![
+        // Basic-word refinement: R4, R11, R12, R13, R14, R15, R16, R18.
+        sol(
+            &[
+                "setU8(uint8)",
+                "setI16(int16)",
+                "setFlag(bool)",
+                "setOwner(address)",
+                "setTag(bytes4)",
+                "setHash(bytes32)",
+                "setDelta(int256)",
+                "setTotal(uint256)",
+            ],
+            Visibility::External,
+            modern,
+        ),
+        // External arrays and dynamic payloads: R1, R2, R3, R17, R22.
+        sol(
+            &[
+                "pushAll(uint256[])",
+                "setTriple(uint8[3])",
+                "setMatrix(uint256[][])",
+                "setPairRows(uint8[][2])",
+                "setBlob(bytes)",
+                "setNote(string)",
+            ],
+            Visibility::External,
+            modern,
+        ),
+        // Public copy idioms: R5, R6, R7, R8, R9, R10.
+        sol(
+            &[
+                "storeBlob(bytes)",
+                "storeNote(string)",
+                "storeAll(uint256[])",
+                "storeTriple(uint256[3])",
+                "storeGrid(uint256[3][2])",
+                "storeRows(uint256[4][])",
+                "storeMatrix(uint256[][])",
+            ],
+            Visibility::Public,
+            modern,
+        ),
+        // Dynamic structs and struct-nested arrays: R19, R21.
+        sol(
+            &["submit((uint256[],uint256))", "batch((uint256[][],bool))"],
+            Visibility::External,
+            modern,
+        ),
+        // Legacy DIV-dispatch era (extraction coverage; same rules).
+        sol(
+            &["ping(uint256)", "mark(uint8)"],
+            Visibility::External,
+            legacy,
+        ),
+        // Vyper basic refinement: R20, R25, R27, R28, R29, R30, R31.
+        vy(
+            vec![
+                ("set_total", vec![VyperType::Uint256]),
+                ("set_owner", vec![VyperType::Address]),
+                ("set_flag", vec![VyperType::Bool]),
+                ("set_delta", vec![VyperType::Int128]),
+                ("set_rate", vec![VyperType::Decimal]),
+                // bytes32 alone carries no range check, so the function
+                // would not read as Vyper and R18 would fire instead of
+                // R31; the int128 companion provides the R20 evidence.
+                ("set_hash", vec![VyperType::Int128, VyperType::Bytes32]),
+            ],
+            VyperVersion::V0_2_8,
+        ),
+        // Vyper fixed-size payloads and lists: R23, R24, R26.
+        vy(
+            vec![
+                ("put_blob", vec![VyperType::FixedBytes(32)]),
+                ("put_note", vec![VyperType::FixedString(64)]),
+                // int128 elements are range-checked, marking the function
+                // as Vyper so the static-list rule fires as R24, not R3.
+                (
+                    "put_list",
+                    vec![VyperType::FixedList(Box::new(VyperType::Int128), 3)],
+                ),
+            ],
+            VyperVersion::V0_2_8,
+        ),
+    ]
+}
+
+/// `n` additional random quirk-free sources (roughly 2:1
+/// Solidity-to-Vyper, matching the deployed-contract mix).
+pub fn random_sources(rng: &mut StdRng, n: usize) -> Vec<SourceContract> {
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(2.0 / 3.0) {
+                random_solidity(rng)
+            } else {
+                random_vyper(rng)
+            }
+        })
+        .collect()
+}
+
+fn random_solidity(rng: &mut StdRng) -> SourceContract {
+    let version = match rng.gen_range(0..3) {
+        0 => SolcVersion::V0_4_24,
+        1 => SolcVersion::V0_5_5,
+        _ => SolcVersion::V0_8_0,
+    };
+    let config = CompilerConfig::new(version, rng.gen_bool(0.5));
+    let count = rng.gen_range(1..=4);
+    let mut specs: Vec<FunctionSpec> = Vec::new();
+    let mut selectors: Vec<Selector> = Vec::new();
+    while specs.len() < count {
+        let params: Vec<_> = (0..rng.gen_range(0..=3))
+            .map(|_| typegen::realistic(rng))
+            .collect();
+        let name_len = rng.gen_range(3..=8);
+        let name = typegen::name(rng, name_len);
+        let sig = FunctionSignature::from_declaration(&name, params);
+        if selectors.contains(&sig.selector) {
+            continue; // same name or a freak selector collision — redraw
+        }
+        selectors.push(sig.selector);
+        let vis = if rng.gen_bool(0.5) {
+            Visibility::Public
+        } else {
+            Visibility::External
+        };
+        specs.push(FunctionSpec::new(sig, vis));
+    }
+    SourceContract::Solidity { specs, config }
+}
+
+fn random_vyper(rng: &mut StdRng) -> SourceContract {
+    let count = rng.gen_range(1..=4);
+    let mut specs: Vec<VyperFunctionSpec> = Vec::new();
+    let mut selectors: Vec<Selector> = Vec::new();
+    while specs.len() < count {
+        let params: Vec<_> = (0..rng.gen_range(0..=3))
+            .map(|_| typegen::vyper(rng))
+            .collect();
+        let name_len = rng.gen_range(3..=8);
+        let name = typegen::name(rng, name_len);
+        let spec = VyperFunctionSpec::new(name, params);
+        let selector = spec.lowered_signature().selector;
+        if selectors.contains(&selector) {
+            continue;
+        }
+        selectors.push(selector);
+        specs.push(spec);
+    }
+    SourceContract::Vyper {
+        specs,
+        version: VyperVersion::V0_2_8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corpus_sources_compile_under_every_transform() {
+        for source in conformance_corpus() {
+            let reference = source.compile_variant(&Transform::Identity);
+            assert!(!reference.is_empty(), "{}", source.describe());
+            for t in standard_transforms(&source, 7) {
+                let code = source.compile_variant(&t);
+                assert!(!code.is_empty(), "{} under {}", source.describe(), t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_actually_change_bytes() {
+        // Every non-identity transform in the battery should produce
+        // different bytes — otherwise it tests nothing.
+        let source = &conformance_corpus()[0];
+        let reference = source.compile_variant(&Transform::Identity);
+        for t in standard_transforms(source, 3) {
+            // OptimizeToggle is byte-identical on quirk-free sources (the
+            // flag gates no emission path) — its invariance is trivial.
+            if matches!(t, Transform::Identity | Transform::OptimizeToggle) {
+                continue;
+            }
+            assert_ne!(
+                source.compile_variant(&t),
+                reference,
+                "{} left the bytecode unchanged",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        for seed in 0..20 {
+            let p = permutation(9, seed);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+        }
+        assert!(
+            (0..20)
+                .map(|s| permutation(9, s))
+                .any(|p| p != permutation(9, 0)),
+            "permutations never vary with the seed"
+        );
+    }
+
+    #[test]
+    fn random_sources_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let xs = random_sources(&mut a, 6);
+        let ys = random_sources(&mut b, 6);
+        assert_eq!(xs.len(), ys.len());
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(
+                x.compile_variant(&Transform::Identity),
+                y.compile_variant(&Transform::Identity)
+            );
+        }
+    }
+
+    #[test]
+    fn function_subset_keeps_selected_specs() {
+        let source = &conformance_corpus()[0];
+        let sub = source.with_function_subset(&[0, 2]);
+        assert_eq!(sub.function_count(), 2);
+        let declared = sub.declared();
+        let full = source.declared();
+        assert_eq!(declared[0], full[0]);
+        assert_eq!(declared[1], full[2]);
+    }
+}

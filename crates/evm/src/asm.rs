@@ -189,6 +189,40 @@ impl Assembler {
     }
 }
 
+/// Emits one unreachable "junk helper" block: a `JUMPDEST` no jump ever
+/// targets, a handful of seed-derived arithmetic instructions, and a
+/// terminator. Used by the metamorphic code generators to pad contracts
+/// with dead code: everything goes through the assembler, so linear
+/// disassembly stays aligned, and the block contains no selector
+/// comparison, so dispatcher extraction cannot pick up phantom entries.
+pub fn emit_junk_block(asm: &mut Assembler, seed: u64) {
+    // xorshift64*: cheap, deterministic, and dependency-free.
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    asm.op(Opcode::JumpDest);
+    let ops = 2 + next() % 5;
+    for _ in 0..ops {
+        asm.push_u64(next() % 0xffff).push_u64(next() % 0xffff);
+        match next() % 4 {
+            0 => asm.op(Opcode::Add),
+            1 => asm.op(Opcode::Mul),
+            2 => asm.op(Opcode::Xor),
+            _ => asm.op(Opcode::And),
+        };
+        asm.op(Opcode::Pop);
+    }
+    if next() % 2 == 0 {
+        asm.op(Opcode::Stop);
+    } else {
+        asm.push_u64(0).push_u64(0).op(Opcode::Revert);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +295,34 @@ mod tests {
         let l = a.fresh_label();
         a.push_label(l);
         a.assemble();
+    }
+
+    #[test]
+    fn junk_blocks_are_well_formed_and_inert() {
+        // A real program followed by junk: the junk is never reached, the
+        // program still runs, and linear disassembly stays aligned.
+        let mut a = Assembler::new();
+        a.op(Opcode::Stop);
+        for seed in 0..8 {
+            emit_junk_block(&mut a, seed);
+        }
+        let code = a.assemble();
+        assert_eq!(
+            Interpreter::new(&code).run(&Env::default()).outcome,
+            Outcome::Stop
+        );
+        let d = Disassembly::new(&code);
+        assert!(d
+            .instructions()
+            .iter()
+            .all(|i| !matches!(i.opcode, Opcode::Invalid(_))));
+        // Deterministic per seed.
+        let mut b = Assembler::new();
+        b.op(Opcode::Stop);
+        for seed in 0..8 {
+            emit_junk_block(&mut b, seed);
+        }
+        assert_eq!(code, b.assemble());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod opcode;
 pub mod trace;
 pub mod u256;
 
-pub use asm::{Assembler, Label};
+pub use asm::{emit_junk_block, Assembler, Label};
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use disasm::{Disassembly, Instruction};
 pub use dom::{natural_loops, Dominators, NaturalLoop};

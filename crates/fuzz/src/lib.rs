@@ -21,8 +21,10 @@
 
 #![warn(missing_docs)]
 
+pub mod differential;
 pub mod target;
 
+pub use differential::{run_differential, DifferentialCampaign, DifferentialReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sigrec_abi::{encode, AbiValue};

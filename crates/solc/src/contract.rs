@@ -11,7 +11,45 @@ use crate::config::{CompilerConfig, Visibility};
 use crate::emit::FnEmitter;
 use crate::spec::{FunctionSpec, Quirk};
 use sigrec_abi::AbiType;
-use sigrec_evm::{Assembler, Opcode, U256};
+use sigrec_evm::{emit_junk_block, Assembler, Opcode, U256};
+
+/// Which dispatcher layout [`compile_with_variant`] emits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DispatcherShape {
+    /// The size heuristic real solc uses: binary search above eight
+    /// functions (SHR era), linear `EQ` chain otherwise.
+    #[default]
+    Auto,
+    /// Always a single linear `EQ` chain.
+    Linear,
+    /// A selector-sorted binary-search split whenever there are at least
+    /// two functions and the version dispatches with `SHR` (legacy `DIV`
+    /// contracts never split, like real pre-0.5 solc).
+    BinarySearch,
+}
+
+/// Behaviour-preserving emission options for metamorphic testing: every
+/// combination must leave the recovered signature set unchanged, because
+/// none of them alters what any reachable function body does.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EmitVariant {
+    /// Dispatcher layout override.
+    pub dispatcher: DispatcherShape,
+    /// Order in which the dispatcher compares selectors, as a permutation
+    /// of function indices; `None` keeps declaration order. Under a
+    /// binary-search dispatcher the permutation reorders comparisons
+    /// *within* each half (the pivot split itself is fixed by selector
+    /// order).
+    pub dispatch_order: Option<Vec<usize>>,
+    /// Unreachable junk helper blocks emitted between the dispatcher
+    /// fallback and the first function body.
+    pub junk_blocks: usize,
+    /// Also pad one junk block after each non-final function body — this
+    /// perturbs every body's extent bytes without touching its behaviour.
+    pub junk_between_bodies: bool,
+    /// Seed for the junk block contents.
+    pub junk_seed: u64,
+}
 
 /// A compiled contract: runtime bytecode plus its ground truth.
 #[derive(Clone, Debug)]
@@ -40,6 +78,35 @@ pub struct CompiledContract {
 /// assert!(!contract.code.is_empty());
 /// ```
 pub fn compile(functions: &[FunctionSpec], config: &CompilerConfig) -> CompiledContract {
+    compile_with_variant(functions, config, &EmitVariant::default())
+}
+
+/// Like [`compile`], with explicit [`EmitVariant`] emission options.
+///
+/// # Panics
+///
+/// Panics if `variant.dispatch_order` is present but not a permutation of
+/// `0..functions.len()`.
+pub fn compile_with_variant(
+    functions: &[FunctionSpec],
+    config: &CompilerConfig,
+    variant: &EmitVariant,
+) -> CompiledContract {
+    let order: Vec<usize> = match &variant.dispatch_order {
+        Some(order) => {
+            let mut seen = vec![false; functions.len()];
+            assert_eq!(order.len(), functions.len(), "dispatch_order length");
+            for &i in order {
+                assert!(
+                    i < functions.len() && !std::mem::replace(&mut seen[i], true),
+                    "dispatch_order must be a permutation of 0..{}",
+                    functions.len()
+                );
+            }
+            order.clone()
+        }
+        None => (0..functions.len()).collect(),
+    };
     let mut asm = Assembler::new();
     // --- dispatcher ---
     asm.push_u64(0).op(Opcode::CallDataLoad);
@@ -53,51 +120,59 @@ pub fn compile(functions: &[FunctionSpec], config: &CompilerConfig) -> CompiledC
     let entries: Vec<_> = functions.iter().map(|_| asm.fresh_label()).collect();
     // Like real solc, contracts with many functions get a binary-search
     // dispatcher: selectors are sorted and split with LT comparisons before
-    // the linear EQ chains.
-    let use_split = functions.len() > 8 && config.version.uses_shr_dispatch();
-    let mut order: Vec<usize> = (0..functions.len()).collect();
+    // the linear EQ chains. Legacy DIV-era contracts always stay linear.
+    let use_split = config.version.uses_shr_dispatch()
+        && match variant.dispatcher {
+            DispatcherShape::Auto => functions.len() > 8,
+            DispatcherShape::Linear => false,
+            DispatcherShape::BinarySearch => functions.len() >= 2,
+        };
+    let emit_eq_chain = |asm: &mut Assembler, chain: &[usize]| {
+        for &i in chain {
+            asm.op(Opcode::Dup(1));
+            asm.push_sized(
+                U256::from(functions[i].signature.selector.as_u32() as u64),
+                4,
+            );
+            asm.op(Opcode::Eq);
+            asm.push_label(entries[i]).op(Opcode::JumpI);
+        }
+    };
     if use_split {
-        order.sort_by_key(|&i| functions[i].signature.selector.as_u32());
-        let mid = order.len() / 2;
-        let pivot = functions[order[mid]].signature.selector.as_u32();
+        // The pivot is the median selector; the permutation only reorders
+        // comparisons within each half, since the LT split fixes which
+        // half a selector must be tested in.
+        let mut sorted = order.clone();
+        sorted.sort_by_key(|&i| functions[i].signature.selector.as_u32());
+        let pivot = functions[sorted[sorted.len() / 2]]
+            .signature
+            .selector
+            .as_u32();
+        let in_lo = |i: usize| functions[i].signature.selector.as_u32() < pivot;
+        let lo: Vec<usize> = order.iter().copied().filter(|&i| in_lo(i)).collect();
+        let hi: Vec<usize> = order.iter().copied().filter(|&i| !in_lo(i)).collect();
         let hi_half = asm.fresh_label();
         // if selector >= pivot goto hi_half   (emitted as !(sel < pivot))
         asm.op(Opcode::Dup(1));
         asm.push_sized(U256::from(pivot as u64), 4);
         asm.op(Opcode::Swap(1)).op(Opcode::Lt).op(Opcode::IsZero);
         asm.push_label(hi_half).op(Opcode::JumpI);
-        for &i in &order[..mid] {
-            asm.op(Opcode::Dup(1));
-            asm.push_sized(
-                U256::from(functions[i].signature.selector.as_u32() as u64),
-                4,
-            );
-            asm.op(Opcode::Eq);
-            asm.push_label(entries[i]).op(Opcode::JumpI);
-        }
+        emit_eq_chain(&mut asm, &lo);
         asm.op(Opcode::Pop).op(Opcode::Stop);
         asm.jumpdest(hi_half);
-        for &i in &order[mid..] {
-            asm.op(Opcode::Dup(1));
-            asm.push_sized(
-                U256::from(functions[i].signature.selector.as_u32() as u64),
-                4,
-            );
-            asm.op(Opcode::Eq);
-            asm.push_label(entries[i]).op(Opcode::JumpI);
-        }
+        emit_eq_chain(&mut asm, &hi);
     } else {
-        for (f, &entry) in functions.iter().zip(&entries) {
-            asm.op(Opcode::Dup(1));
-            asm.push_sized(U256::from(f.signature.selector.as_u32() as u64), 4);
-            asm.op(Opcode::Eq);
-            asm.push_label(entry).op(Opcode::JumpI);
-        }
+        emit_eq_chain(&mut asm, &order);
     }
     // Fallback: no matching selector.
     asm.op(Opcode::Pop).op(Opcode::Stop);
+    // Dead padding between the fallback and the first body: unreachable,
+    // so invisible to both execution and dispatcher extraction.
+    for k in 0..variant.junk_blocks {
+        emit_junk_block(&mut asm, variant.junk_seed.wrapping_add(k as u64));
+    }
     // --- function bodies ---
-    for (f, &entry) in functions.iter().zip(&entries) {
+    for (k, (f, &entry)) in functions.iter().zip(&entries).enumerate() {
         asm.jumpdest(entry);
         if config.version.emits_callvalue_guard() {
             let ok = asm.fresh_label();
@@ -108,6 +183,12 @@ pub fn compile(functions: &[FunctionSpec], config: &CompilerConfig) -> CompiledC
         }
         emit_body(&mut asm, f, config);
         asm.op(Opcode::Stop);
+        if variant.junk_between_bodies && k + 1 < functions.len() {
+            emit_junk_block(
+                &mut asm,
+                variant.junk_seed ^ (k as u64).wrapping_mul(0x51ab),
+            );
+        }
     }
     CompiledContract {
         code: asm.assemble(),
@@ -341,6 +422,89 @@ mod tests {
             let out = Interpreter::new(&contract.code).run(&Env::with_calldata(cd));
             assert_eq!(out.outcome, Outcome::Stop);
         }
+    }
+
+    /// Every emission variant must leave concrete behaviour unchanged:
+    /// matching calldata runs the body to `STOP`, unknown selectors fall
+    /// through to the fallback.
+    #[test]
+    fn variants_preserve_concrete_behaviour() {
+        let decls = ["a(uint8)", "b(bool)", "c(uint256[])", "d(address)"];
+        let fns: Vec<FunctionSpec> = decls
+            .iter()
+            .map(|d| FunctionSpec::new(FunctionSignature::parse(d).unwrap(), Visibility::External))
+            .collect();
+        let cfg = CompilerConfig::default();
+        let variants = [
+            EmitVariant::default(),
+            EmitVariant {
+                dispatcher: DispatcherShape::BinarySearch,
+                ..Default::default()
+            },
+            EmitVariant {
+                dispatch_order: Some(vec![2, 0, 3, 1]),
+                ..Default::default()
+            },
+            EmitVariant {
+                junk_blocks: 3,
+                junk_between_bodies: true,
+                junk_seed: 99,
+                ..Default::default()
+            },
+            EmitVariant {
+                dispatcher: DispatcherShape::BinarySearch,
+                dispatch_order: Some(vec![3, 1, 2, 0]),
+                junk_blocks: 2,
+                junk_seed: 7,
+                ..Default::default()
+            },
+        ];
+        let sig = FunctionSignature::parse("b(bool)").unwrap();
+        let cd = encode_call(&sig, &[AbiValue::Bool(true)]).unwrap();
+        for v in &variants {
+            let contract = compile_with_variant(&fns, &cfg, v);
+            let out = Interpreter::new(&contract.code).run(&Env::with_calldata(cd.clone()));
+            assert_eq!(out.outcome, Outcome::Stop, "variant {:?}", v);
+            let miss = Interpreter::new(&contract.code)
+                .run(&Env::with_calldata(vec![0xde, 0xad, 0xbe, 0xef]));
+            assert_eq!(miss.outcome, Outcome::Stop, "fallback under {:?}", v);
+        }
+    }
+
+    #[test]
+    fn default_variant_matches_plain_compile() {
+        let fns = vec![FunctionSpec::new(
+            FunctionSignature::parse("f(uint256)").unwrap(),
+            Visibility::External,
+        )];
+        let cfg = CompilerConfig::default();
+        assert_eq!(
+            compile(&fns, &cfg).code,
+            compile_with_variant(&fns, &cfg, &EmitVariant::default()).code
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_dispatch_order_panics() {
+        let fns = vec![
+            FunctionSpec::new(
+                FunctionSignature::parse("f(uint8)").unwrap(),
+                Visibility::External,
+            ),
+            FunctionSpec::new(
+                FunctionSignature::parse("g(uint8)").unwrap(),
+                Visibility::External,
+            ),
+        ];
+        compile_with_variant(
+            &fns,
+            &CompilerConfig::default(),
+            &EmitVariant {
+                dispatch_order: Some(vec![0, 0]),
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub mod emit;
 pub mod spec;
 
 pub use config::{CompilerConfig, SolcVersion, Visibility};
-pub use contract::{compile, compile_single, CompiledContract};
+pub use contract::{
+    compile, compile_single, compile_with_variant, CompiledContract, DispatcherShape, EmitVariant,
+};
 pub use emit::FnEmitter;
 pub use spec::{expected_recovery, FunctionSpec, Quirk};

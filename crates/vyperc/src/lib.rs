@@ -16,8 +16,23 @@
 pub mod version;
 
 use sigrec_abi::{AbiType, FunctionSignature, Selector, VyperType};
-use sigrec_evm::{Assembler, Opcode, U256};
+use sigrec_evm::{emit_junk_block, Assembler, Opcode, U256};
 pub use version::VyperVersion;
+
+/// Behaviour-preserving emission options for metamorphic testing,
+/// mirroring `sigrec_solc::EmitVariant` (Vyper's dispatcher is always a
+/// linear `EQ` chain, so there is no shape knob).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VyperEmitVariant {
+    /// Order in which the dispatcher compares selectors, as a permutation
+    /// of function indices; `None` keeps declaration order.
+    pub dispatch_order: Option<Vec<usize>>,
+    /// Unreachable junk helper blocks emitted between the dispatcher
+    /// fallback and the first function body.
+    pub junk_blocks: usize,
+    /// Seed for the junk block contents.
+    pub junk_seed: u64,
+}
 
 /// A source-level oddity making the declared Vyper signature
 /// unrecoverable from bytecode (the Vyper flavour of the paper's error
@@ -107,6 +122,35 @@ pub fn decimal_upper() -> U256 {
 /// assert!(!contract.code.is_empty());
 /// ```
 pub fn compile(functions: &[VyperFunctionSpec], version: VyperVersion) -> CompiledVyperContract {
+    compile_with_variant(functions, version, &VyperEmitVariant::default())
+}
+
+/// Like [`compile`], with explicit [`VyperEmitVariant`] emission options.
+///
+/// # Panics
+///
+/// Panics if `variant.dispatch_order` is present but not a permutation of
+/// `0..functions.len()`.
+pub fn compile_with_variant(
+    functions: &[VyperFunctionSpec],
+    version: VyperVersion,
+    variant: &VyperEmitVariant,
+) -> CompiledVyperContract {
+    let order: Vec<usize> = match &variant.dispatch_order {
+        Some(order) => {
+            let mut seen = vec![false; functions.len()];
+            assert_eq!(order.len(), functions.len(), "dispatch_order length");
+            for &i in order {
+                assert!(
+                    i < functions.len() && !std::mem::replace(&mut seen[i], true),
+                    "dispatch_order must be a permutation of 0..{}",
+                    functions.len()
+                );
+            }
+            order.clone()
+        }
+        None => (0..functions.len()).collect(),
+    };
     let mut asm = Assembler::new();
     // Dispatcher (Vyper uses the SHR idiom throughout our modelled range).
     asm.push_u64(0).op(Opcode::CallDataLoad);
@@ -116,13 +160,16 @@ pub fn compile(functions: &[VyperFunctionSpec], version: VyperVersion) -> Compil
         .iter()
         .map(|f| f.lowered_signature().selector)
         .collect();
-    for (&entry, sel) in entries.iter().zip(&selectors) {
+    for &i in &order {
         asm.op(Opcode::Dup(1));
-        asm.push_sized(U256::from(sel.as_u32() as u64), 4);
+        asm.push_sized(U256::from(selectors[i].as_u32() as u64), 4);
         asm.op(Opcode::Eq);
-        asm.push_label(entry).op(Opcode::JumpI);
+        asm.push_label(entries[i]).op(Opcode::JumpI);
     }
     asm.op(Opcode::Pop).op(Opcode::Stop);
+    for k in 0..variant.junk_blocks {
+        emit_junk_block(&mut asm, variant.junk_seed.wrapping_add(k as u64));
+    }
     for (f, &entry) in functions.iter().zip(&entries) {
         asm.jumpdest(entry);
         if version.emits_calldatasize_guard() {
@@ -461,6 +508,44 @@ mod tests {
             ])],
         );
         assert_eq!(f.lowered_signature().param_list(), "(uint256,uint256)");
+    }
+
+    #[test]
+    fn emit_variants_preserve_concrete_behaviour() {
+        let fns = vec![
+            VyperFunctionSpec::new("f", vec![VyperType::Uint256]),
+            VyperFunctionSpec::new("g", vec![VyperType::Bool]),
+            VyperFunctionSpec::new("h", vec![VyperType::Address]),
+        ];
+        let sig = fns[1].lowered_signature();
+        let cd = encode_call(&sig, &[AbiValue::Bool(true)]).unwrap();
+        let variants = [
+            VyperEmitVariant::default(),
+            VyperEmitVariant {
+                dispatch_order: Some(vec![2, 0, 1]),
+                ..Default::default()
+            },
+            VyperEmitVariant {
+                junk_blocks: 4,
+                junk_seed: 17,
+                ..Default::default()
+            },
+        ];
+        for v in &variants {
+            let c = compile_with_variant(&fns, VyperVersion::V0_2_8, v);
+            let out = Interpreter::new(&c.code)
+                .run(&Env::with_calldata(cd.clone()))
+                .outcome;
+            assert_eq!(out, Outcome::Stop, "variant {:?}", v);
+            let miss = Interpreter::new(&c.code)
+                .run(&Env::with_calldata(vec![1, 2, 3, 4]))
+                .outcome;
+            assert_eq!(miss, Outcome::Stop, "fallback under {:?}", v);
+        }
+        assert_eq!(
+            compile(&fns, VyperVersion::V0_2_8).code,
+            compile_with_variant(&fns, VyperVersion::V0_2_8, &VyperEmitVariant::default()).code
+        );
     }
 
     #[test]
