@@ -226,13 +226,6 @@ fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
-fn config_with(mode: ForkMode) -> TaseConfig {
-    TaseConfig {
-        fork_mode: mode,
-        ..TaseConfig::default()
-    }
-}
-
 /// The structural digest of one recovery, sorted: every execution path on
 /// the *same* bytecode must produce exactly this (entries and fired rules
 /// included — a cache hit must preserve them, not just the types).
@@ -297,14 +290,21 @@ fn diff(expected: &[String], got: &[String]) -> Option<String> {
     )
 }
 
-/// Every per-bytecode execution path, as `(name, recovery)` pairs.
-fn run_paths(code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
+/// Every per-bytecode execution path, as `(name, recovery)` pairs: the
+/// five pipeline paths (cold, first/warm recover, dedup and naive batch)
+/// under both fork modes, ten in total, with every budget knob other than
+/// `fork_mode` taken from `base`. Public so the adversarial fuzz campaign
+/// can re-run the exact same paths under tightened budgets.
+pub fn execution_paths(base: &TaseConfig, code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
     let mut out = Vec::new();
     for (mode, tag) in [
         (ForkMode::CopyOnWrite, "cow"),
         (ForkMode::EagerClone, "eager"),
     ] {
-        let cfg = config_with(mode);
+        let cfg = TaseConfig {
+            fork_mode: mode,
+            ..*base
+        };
         out.push((
             format!("recover-cold[{tag}]"),
             SigRec::with_config(cfg).recover_cold(code),
@@ -324,6 +324,11 @@ fn run_paths(code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
         ));
     }
     out
+}
+
+/// Every per-bytecode execution path under the default configuration.
+fn run_paths(code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
+    execution_paths(&TaseConfig::default(), code)
 }
 
 /// Number of comparisons [`find_mismatch`] performs per case: five paths

@@ -18,9 +18,12 @@
 //! [`SigRec::plan`]: crate::pipeline::SigRec
 //! [`RecoveryCache`]: crate::cache::RecoveryCache
 
+use crate::outcome::{assemble_diagnostics, Diagnostic};
 use crate::pipeline::{CacheMode, ContractPlan, RecoveredFunction, SigRec};
 use crate::rules::RuleStats;
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -33,6 +36,11 @@ pub struct BatchItem {
     /// Recovered functions — shared, not cloned, across duplicate
     /// contracts served by fan-out.
     pub functions: Arc<Vec<RecoveredFunction>>,
+    /// Diagnostics for this contract's recovery: extraction-level issues,
+    /// per-function budget exhaustion, and [`Diagnostic::InternalError`]
+    /// for any worker panic isolated while recovering it. Shared across
+    /// duplicates like `functions`.
+    pub diagnostics: Arc<Vec<Diagnostic>>,
 }
 
 /// How much work deduplication saved.
@@ -252,6 +260,10 @@ impl Queue {
     }
 }
 
+/// A finished group: its `Arc`-shared function list, assembled
+/// diagnostics, and plan-to-last-function latency.
+type GroupDone = (Arc<Vec<RecoveredFunction>>, Arc<Vec<Diagnostic>>, Duration);
+
 /// Per-group scheduler state: the plan, the per-entry result slots, and
 /// the finished `Arc`-shared function list.
 struct GroupState {
@@ -262,16 +274,34 @@ struct GroupState {
     plan: OnceLock<Arc<ContractPlan>>,
     slots: Mutex<Vec<Option<RecoveredFunction>>>,
     remaining: AtomicUsize,
+    /// [`Diagnostic::InternalError`]s from isolated worker panics. A
+    /// non-empty list marks the group poisoned: its partial result is
+    /// still delivered, but never memoised.
+    panics: Mutex<Vec<Diagnostic>>,
     started: OnceLock<Instant>,
-    done: OnceLock<(Arc<Vec<RecoveredFunction>>, Duration)>,
+    done: OnceLock<GroupDone>,
 }
 
 impl GroupState {
-    fn finish(&self, functions: Arc<Vec<RecoveredFunction>>) {
+    fn finish(&self, functions: Arc<Vec<RecoveredFunction>>, diagnostics: Arc<Vec<Diagnostic>>) {
         let elapsed = self.started.get().map(|t| t.elapsed()).unwrap_or_default();
         self.done
-            .set((functions, elapsed))
+            .set((functions, diagnostics, elapsed))
             .expect("group finished once");
+    }
+}
+
+/// Renders a caught panic payload as an [`Diagnostic::InternalError`].
+/// `&str` and `String` payloads (everything `panic!` produces) keep their
+/// message; anything else is labelled opaquely.
+fn panic_diagnostic(context: &str, payload: &(dyn Any + Send)) -> Diagnostic {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    Diagnostic::InternalError {
+        context: format!("{context}: {msg}"),
     }
 }
 
@@ -307,6 +337,7 @@ fn run_scheduler(
             plan: OnceLock::new(),
             slots: Mutex::new(Vec::new()),
             remaining: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
             started: OnceLock::new(),
             done: OnceLock::new(),
         })
@@ -323,13 +354,36 @@ fn run_scheduler(
                         Job::Plan(g) => {
                             let gs = &states[g];
                             let _ = gs.started.set(Instant::now());
-                            let plan = Arc::new(sigrec.plan(&codes[gs.rep], mode));
+                            // Panic isolation: a worker that dies planning
+                            // (or, below, recovering) one contract must not
+                            // unwind through the scope and poison the whole
+                            // batch — the contract gets an `InternalError`
+                            // diagnostic and every other contract completes.
+                            let planned = catch_unwind(AssertUnwindSafe(|| {
+                                Arc::new(sigrec.plan(&codes[gs.rep], mode))
+                            }));
+                            let plan = match planned {
+                                Ok(plan) => plan,
+                                Err(payload) => {
+                                    gs.finish(
+                                        Arc::new(Vec::new()),
+                                        Arc::new(vec![panic_diagnostic(
+                                            "planning panicked",
+                                            &*payload,
+                                        )]),
+                                    );
+                                    queue.finish();
+                                    continue;
+                                }
+                            };
                             if let Some(hit) = &plan.cached {
-                                gs.finish(Arc::clone(hit));
+                                let diags =
+                                    assemble_diagnostics(&hit.extraction_diags, &hit.functions);
+                                gs.finish(Arc::clone(&hit.functions), Arc::new(diags));
                             } else if plan.table.is_empty() {
                                 let functions = Arc::new(Vec::new());
                                 sigrec.seal(&plan, &functions);
-                                gs.finish(functions);
+                                gs.finish(functions, Arc::new(plan.extraction_diags.clone()));
                             } else {
                                 let n = plan.table.len();
                                 *gs.slots.lock().expect("slots poisoned") =
@@ -343,20 +397,42 @@ fn run_scheduler(
                         Job::Func { group, idx } => {
                             let gs = &states[group];
                             let plan = gs.plan.get().expect("plan precedes entries");
-                            let (f, _) = sigrec.run_entry(&codes[gs.rep], plan, idx, mode);
-                            gs.slots.lock().expect("slots poisoned")[idx] = Some(f);
+                            let recovered = catch_unwind(AssertUnwindSafe(|| {
+                                sigrec.run_entry(&codes[gs.rep], plan, idx, mode).0
+                            }));
+                            match recovered {
+                                Ok(f) => gs.slots.lock().expect("slots poisoned")[idx] = Some(f),
+                                Err(payload) => {
+                                    let entry = plan.table[idx];
+                                    gs.panics.lock().expect("panics poisoned").push(
+                                        panic_diagnostic(
+                                            &format!("recovery of {} panicked", entry.selector),
+                                            &*payload,
+                                        ),
+                                    );
+                                }
+                            }
                             if gs.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                                 // Last entry of the contract: assemble in
-                                // dispatcher order, memoise, timestamp.
+                                // dispatcher order (panicked entries leave
+                                // gaps), memoise unless poisoned, timestamp.
                                 let functions: Vec<RecoveredFunction> = gs
                                     .slots
                                     .lock()
                                     .expect("slots poisoned")
                                     .iter_mut()
-                                    .map(|s| s.take().expect("all entries recovered"))
+                                    .filter_map(Option::take)
                                     .collect();
-                                sigrec.seal(plan, &functions);
-                                gs.finish(Arc::new(functions));
+                                let panics = std::mem::take(
+                                    &mut *gs.panics.lock().expect("panics poisoned"),
+                                );
+                                if panics.is_empty() {
+                                    sigrec.seal(plan, &functions);
+                                }
+                                let mut diags =
+                                    assemble_diagnostics(&plan.extraction_diags, &functions);
+                                diags.extend(panics);
+                                gs.finish(Arc::new(functions), Arc::new(diags));
                             }
                         }
                     }
@@ -366,7 +442,7 @@ fn run_scheduler(
         }
     });
     for gs in &states {
-        let (functions, elapsed) = gs.done.get().expect("every group finished");
+        let (functions, diagnostics, elapsed) = gs.done.get().expect("every group finished");
         for f in functions.iter() {
             result.timings.record(f.elapsed);
         }
@@ -380,6 +456,7 @@ fn run_scheduler(
             result.items.push(BatchItem {
                 index,
                 functions: Arc::clone(functions),
+                diagnostics: Arc::clone(diagnostics),
             });
         }
     }
@@ -390,15 +467,11 @@ fn run_scheduler(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sigrec_abi::FunctionSignature;
     use sigrec_solc::{compile, compile_single, CompilerConfig, FunctionSpec, Visibility};
 
     fn contract(decl: &str) -> Vec<u8> {
         compile_single(
-            FunctionSpec::new(
-                FunctionSignature::parse(decl).unwrap(),
-                Visibility::External,
-            ),
+            FunctionSpec::parse(decl, Visibility::External).expect("valid test declaration"),
             &CompilerConfig::default(),
         )
         .code
@@ -514,7 +587,7 @@ mod tests {
         ];
         let specs: Vec<FunctionSpec> = decls
             .iter()
-            .map(|d| FunctionSpec::new(FunctionSignature::parse(d).unwrap(), Visibility::External))
+            .map(|d| FunctionSpec::parse(d, Visibility::External).expect("valid test declaration"))
             .collect();
         let compiled = compile(&specs, &CompilerConfig::default());
         let reference = SigRec::new().recover_cold(&compiled.code);

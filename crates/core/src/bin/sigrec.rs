@@ -63,12 +63,16 @@ fn main() {
         }
         return;
     }
-    let recovered = SigRec::new().recover(&code);
+    let outcome = SigRec::new().recover_with_outcome(&code);
+    let recovered = &outcome.functions;
     if recovered.is_empty() {
         println!(
             "no public/external functions found ({} bytes of code)",
             code.len()
         );
+        for d in &outcome.diagnostics {
+            println!("  note: {d}");
+        }
         return;
     }
     println!(
@@ -76,7 +80,7 @@ fn main() {
         recovered.len(),
         code.len()
     );
-    for f in &recovered {
+    for f in recovered {
         let rules: Vec<String> = {
             let mut seen = std::collections::BTreeSet::new();
             f.rules.iter().for_each(|r| {
@@ -92,6 +96,9 @@ fn main() {
             rules.join(","),
             f.elapsed
         );
+    }
+    for d in outcome.losses() {
+        println!("  warning: {d}");
     }
 }
 

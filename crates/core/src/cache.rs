@@ -26,6 +26,7 @@
 //! [`SigRec`]: crate::SigRec
 
 use crate::infer::Language;
+use crate::outcome::{BudgetKind, Diagnostic};
 use crate::pipeline::RecoveredFunction;
 use crate::rules::RuleId;
 use sigrec_abi::AbiType;
@@ -44,6 +45,25 @@ pub struct CachedFunction {
     pub language: Language,
     /// Rules applied during recovery.
     pub rules: Vec<RuleId>,
+    /// Budgets the original exploration ran into. Deterministic budgets
+    /// are memoised with the result; deadline-truncated recoveries are
+    /// never stored (the caller gates that), so `Deadline` never appears
+    /// here.
+    pub budgets: Vec<BudgetKind>,
+}
+
+/// A memoised whole-contract recovery: the functions plus the
+/// extraction-level diagnostics (dispatcher truncation, malformed code).
+/// Per-function budget diagnostics are reconstructed from the functions'
+/// own `budgets`, so they are not duplicated here.
+#[derive(Debug, Default)]
+pub struct CachedContract {
+    /// Recovered functions, dispatcher order — `Arc`-shared so batch
+    /// fan-out and warm lookups never clone function vectors.
+    pub functions: Arc<Vec<RecoveredFunction>>,
+    /// Extraction-level diagnostics observed when the contract was
+    /// planned.
+    pub extraction_diags: Vec<Diagnostic>,
 }
 
 /// Hit/miss counters for both cache levels.
@@ -82,7 +102,7 @@ fn rate(hits: u64, misses: u64) -> f64 {
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    contracts: Mutex<HashMap<[u8; 32], Arc<Vec<RecoveredFunction>>>>,
+    contracts: Mutex<HashMap<[u8; 32], Arc<CachedContract>>>,
     functions: Mutex<HashMap<(u64, usize), CachedFunction>>,
     contract_hits: AtomicU64,
     contract_misses: AtomicU64,
@@ -103,7 +123,7 @@ impl RecoveryCache {
     }
 
     /// Looks up a whole contract by its code hash.
-    pub fn lookup_contract(&self, key: &[u8; 32]) -> Option<Arc<Vec<RecoveredFunction>>> {
+    pub fn lookup_contract(&self, key: &[u8; 32]) -> Option<Arc<CachedContract>> {
         let hit = self
             .inner
             .contracts
@@ -118,13 +138,23 @@ impl RecoveryCache {
         hit
     }
 
-    /// Memoises a whole contract's recovery.
-    pub fn store_contract(&self, key: [u8; 32], functions: Vec<RecoveredFunction>) {
-        self.inner
-            .contracts
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, Arc::new(functions));
+    /// Memoises a whole contract's recovery with its extraction-level
+    /// diagnostics. Callers must not store deadline-truncated results
+    /// (they are nondeterministic — a warm lookup would replay one run's
+    /// arbitrary cut).
+    pub fn store_contract(
+        &self,
+        key: [u8; 32],
+        functions: Vec<RecoveredFunction>,
+        extraction_diags: Vec<Diagnostic>,
+    ) {
+        self.inner.contracts.lock().expect("cache poisoned").insert(
+            key,
+            Arc::new(CachedContract {
+                functions: Arc::new(functions),
+                extraction_diags,
+            }),
+        );
     }
 
     /// Looks up one function by `(body-span hash, entry pc)`.
@@ -200,7 +230,7 @@ mod tests {
         let cache = RecoveryCache::new();
         let key = [7u8; 32];
         assert!(cache.lookup_contract(&key).is_none());
-        cache.store_contract(key, Vec::new());
+        cache.store_contract(key, Vec::new(), Vec::new());
         assert!(cache.lookup_contract(&key).is_some());
         let stats = cache.stats();
         assert_eq!(stats.contract_hits, 1);
@@ -219,6 +249,7 @@ mod tests {
                 params: Vec::new(),
                 language: Language::Solidity,
                 rules: Vec::new(),
+                budgets: Vec::new(),
             },
         );
         assert!(cache.lookup_function(42, 7).is_some());
@@ -230,8 +261,18 @@ mod tests {
     fn clones_share_storage() {
         let a = RecoveryCache::new();
         let b = a.clone();
-        a.store_contract([1u8; 32], Vec::new());
+        a.store_contract([1u8; 32], Vec::new(), Vec::new());
         assert!(b.lookup_contract(&[1u8; 32]).is_some());
+    }
+
+    #[test]
+    fn contract_entries_carry_extraction_diags() {
+        use crate::outcome::{Diagnostic, TruncationKind};
+        let cache = RecoveryCache::new();
+        let diag = Diagnostic::DispatcherTruncated(TruncationKind::Steps);
+        cache.store_contract([2u8; 32], Vec::new(), vec![diag.clone()]);
+        let hit = cache.lookup_contract(&[2u8; 32]).unwrap();
+        assert_eq!(hit.extraction_diags, vec![diag]);
     }
 
     #[test]

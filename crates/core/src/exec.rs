@@ -18,9 +18,11 @@ use crate::cow::CowStack;
 use crate::expr::{bin, un, BinOp, Expr, ExprKind, UnOp};
 use crate::facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 use crate::memory::SymMemory;
+use crate::outcome::BudgetKind;
 use sigrec_evm::{Disassembly, Opcode, U256};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// How a symbolic branch duplicates the path state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,7 +55,25 @@ pub struct TaseConfig {
     /// Collect per-fork [`ExecStats`] counters (off by default: the
     /// fork-cost probes are skipped entirely when disabled).
     pub collect_stats: bool,
+    /// Per-contract wall-clock budget. The pipeline stamps a deadline
+    /// when it plans a contract and every function exploration checks it
+    /// cooperatively (every [`DEADLINE_CHECK_MASK`]+1 steps), recording
+    /// [`BudgetKind::Deadline`] and stopping. `None` (the default) never
+    /// cuts on time. Deadline-truncated results are nondeterministic and
+    /// are therefore never memoised.
+    pub max_wall_time: Option<Duration>,
+    /// Test-only fault injection: the pipeline panics when it is about to
+    /// explore the function whose selector (big-endian `u32`) matches.
+    /// Exercises the batch scheduler's panic isolation without planting a
+    /// real bug; `None` (the default) injects nothing.
+    #[doc(hidden)]
+    pub panic_on_selector: Option<u32>,
 }
+
+/// The deadline is polled when `total_steps & DEADLINE_CHECK_MASK == 0`:
+/// cheap enough to keep in the hot loop, frequent enough (every 1024
+/// steps, plus once on entry) that overshoot stays in the microseconds.
+pub(crate) const DEADLINE_CHECK_MASK: usize = 0x3ff;
 
 impl Default for TaseConfig {
     fn default() -> Self {
@@ -65,6 +85,8 @@ impl Default for TaseConfig {
             block_visit_limit: 600,
             fork_mode: ForkMode::CopyOnWrite,
             collect_stats: false,
+            max_wall_time: None,
+            panic_on_selector: None,
         }
     }
 }
@@ -140,12 +162,14 @@ pub struct Tase<'a> {
     min_pc: usize,
     max_pc_end: usize,
     stats: ExecStats,
+    deadline: Option<Instant>,
 }
 
 impl<'a> Tase<'a> {
     /// Creates an executor over a disassembly.
     pub fn new(disasm: &'a Disassembly, config: TaseConfig) -> Self {
         let loop_exits = detect_loop_guards(disasm);
+        let deadline = config.max_wall_time.map(|d| Instant::now() + d);
         Tase {
             disasm,
             config,
@@ -157,7 +181,20 @@ impl<'a> Tase<'a> {
             min_pc: usize::MAX,
             max_pc_end: 0,
             stats: ExecStats::default(),
+            deadline,
         }
+    }
+
+    /// Overrides the deadline (builder style). The pipeline uses this to
+    /// share one *per-contract* deadline across every function of a plan,
+    /// instead of restarting the clock per function.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Explores the function whose body starts at `entry`, returning the
@@ -181,7 +218,18 @@ impl<'a> Tase<'a> {
         let mut worklist = vec![init];
         let mut paths = 0usize;
         while let Some(state) = worklist.pop() {
-            if paths >= self.config.max_paths || self.total_steps >= self.config.max_total_steps {
+            // A state was pending, so stopping here genuinely drops work —
+            // record which budget cut it.
+            if paths >= self.config.max_paths {
+                self.facts.add_budget(BudgetKind::Paths);
+                break;
+            }
+            if self.total_steps >= self.config.max_total_steps {
+                self.facts.add_budget(BudgetKind::TotalSteps);
+                break;
+            }
+            if self.past_deadline() {
+                self.facts.add_budget(BudgetKind::Deadline);
                 break;
             }
             paths += 1;
@@ -217,9 +265,16 @@ impl<'a> Tase<'a> {
 
     fn run_path(&mut self, mut st: PathState, worklist: &mut Vec<PathState>) {
         loop {
-            if st.steps >= self.config.max_steps_per_path
-                || self.total_steps >= self.config.max_total_steps
-            {
+            if st.steps >= self.config.max_steps_per_path {
+                self.facts.add_budget(BudgetKind::PathSteps);
+                return;
+            }
+            if self.total_steps >= self.config.max_total_steps {
+                self.facts.add_budget(BudgetKind::TotalSteps);
+                return;
+            }
+            if self.total_steps & DEADLINE_CHECK_MASK == 0 && self.past_deadline() {
+                self.facts.add_budget(BudgetKind::Deadline);
                 return;
             }
             let Some(ins) = self.disasm.at(st.pc) else {
@@ -516,6 +571,7 @@ impl<'a> Tase<'a> {
                             return self.enter_block(st, t);
                         }
                         // Over budget: take the larger-pc branch (loop exit).
+                        self.facts.add_budget(BudgetKind::ForkCap);
                         let chosen = t.max(next_pc);
                         return if chosen == next_pc {
                             Flow::Continue(next_pc)
@@ -544,6 +600,7 @@ impl<'a> Tase<'a> {
         let v = st.visits.entry(target).or_insert(0);
         *v += 1;
         if *v > self.config.block_visit_limit {
+            self.facts.add_budget(BudgetKind::VisitCap);
             return Flow::End;
         }
         Flow::Continue(target)
@@ -707,6 +764,14 @@ fn detect_loop_guards(disasm: &Disassembly) -> HashMap<usize, usize> {
             }
         }
     }
+    // Only backward jumps can close a loop, and real code has few of
+    // them — scanning just those keeps this linear-ish on adversarial
+    // dispatchers with thousands of forward guards.
+    let back_jumps: Vec<(usize, usize)> = const_jumps
+        .iter()
+        .copied()
+        .filter(|&(j, t)| t <= j)
+        .collect();
     let mut out = HashMap::new();
     for &(g, e) in &const_jumps {
         if e <= g {
@@ -716,7 +781,7 @@ fn detect_loop_guards(disasm: &Disassembly) -> HashMap<usize, usize> {
         if !is_jumpi {
             continue;
         }
-        let has_back_edge = const_jumps.iter().any(|&(j, t)| j > g && j < e && t <= g);
+        let has_back_edge = back_jumps.iter().any(|&(j, t)| j > g && j < e && t <= g);
         if has_back_edge {
             out.insert(g, e);
         }

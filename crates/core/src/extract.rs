@@ -9,6 +9,7 @@
 //! the not-taken chain.
 
 use crate::expr::{bin, un, BinOp, Expr, ExprKind, UnOp};
+use crate::outcome::{Diagnostic, MalformedKind, TruncationKind};
 use sigrec_abi::Selector;
 use sigrec_evm::{Disassembly, Opcode, U256};
 use std::rc::Rc;
@@ -22,21 +23,56 @@ pub struct DispatchEntry {
     pub entry: usize,
 }
 
-/// Walks the dispatcher and returns the dispatch table.
+/// The dispatch table plus everything that limited its extraction.
+#[derive(Clone, Debug, Default)]
+pub struct DispatchExtraction {
+    /// The extracted entries, dispatcher order, selector-deduplicated.
+    pub table: Vec<DispatchEntry>,
+    /// Truncation and malformed-code diagnostics. When non-empty the
+    /// table may be missing entries; it never contains fabricated ones.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Walks the dispatcher and returns the dispatch table, dropping the
+/// diagnostics — see [`extract_dispatch_diag`] for the full result.
+pub fn extract_dispatch(disasm: &Disassembly) -> Vec<DispatchEntry> {
+    extract_dispatch_diag(disasm).table
+}
+
+/// Walks the dispatcher and returns the dispatch table with diagnostics.
 ///
 /// Unknown values (environment reads, memory) become opaque symbols. The
 /// walk follows fallthrough at selector `EQ` comparisons and *forks* at
 /// selector range splits (`LT`/`GT` on the selector — solc's binary-search
 /// dispatch for contracts with many functions), stopping each branch at a
-/// terminator or after `max_steps`.
-pub fn extract_dispatch(disasm: &Disassembly) -> Vec<DispatchEntry> {
+/// terminator or after a step cap. Every cut that can drop entries is
+/// surfaced as a [`Diagnostic`]: the per-chain step cap, the fork budget,
+/// and malformed code (shorter than a selector, or a truncated `PUSH`
+/// executed by the walk — the EVM zero-fills those, so a selector compare
+/// built from one is untrustworthy and is never emitted as an entry).
+pub fn extract_dispatch_diag(disasm: &Disassembly) -> DispatchExtraction {
+    let mut diagnostics = Vec::new();
+    let code_len = disasm.code_len();
+    if code_len > 0 && code_len < 4 {
+        // Shorter than one selector: no dispatcher can compare anything.
+        diagnostics.push(Diagnostic::MalformedCode(MalformedKind::CodeTooShort {
+            len: code_len,
+        }));
+        return DispatchExtraction {
+            table: Vec::new(),
+            diagnostics,
+        };
+    }
     let mut out = Vec::new();
     let mut worklist: Vec<(usize, Vec<Rc<Expr>>)> = vec![(0, Vec::new())];
     let mut forked: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut walk = WalkDiag::default();
     let mut branches = 0;
     while let Some((start_pc, start_stack)) = worklist.pop() {
         branches += 1;
         if branches > 64 {
+            // A chain was pending: some range-split subtree stays unwalked.
+            diagnostics.push(Diagnostic::DispatcherTruncated(TruncationKind::Branches));
             break;
         }
         walk_chain(
@@ -46,14 +82,37 @@ pub fn extract_dispatch(disasm: &Disassembly) -> Vec<DispatchEntry> {
             &mut out,
             &mut worklist,
             &mut forked,
+            &mut walk,
         );
+    }
+    if walk.step_capped {
+        diagnostics.push(Diagnostic::DispatcherTruncated(TruncationKind::Steps));
+    }
+    if let Some(pc) = walk.truncated_push_pc {
+        diagnostics.push(Diagnostic::MalformedCode(MalformedKind::TruncatedPush {
+            pc,
+        }));
     }
     // Deduplicate (a selector reachable via two forks) preserving order.
     let mut seen = std::collections::HashSet::new();
     out.retain(|e: &DispatchEntry| seen.insert(e.selector));
-    out
+    DispatchExtraction {
+        table: out,
+        diagnostics,
+    }
 }
 
+/// What the chain walks ran into, aggregated across every chain of one
+/// extraction.
+#[derive(Default)]
+struct WalkDiag {
+    /// Some chain hit the step cap mid-walk.
+    step_capped: bool,
+    /// First truncated `PUSH` the walk executed, if any.
+    truncated_push_pc: Option<usize>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn walk_chain(
     disasm: &Disassembly,
     start_pc: usize,
@@ -61,15 +120,25 @@ fn walk_chain(
     out: &mut Vec<DispatchEntry>,
     worklist: &mut Vec<(usize, Vec<Rc<Expr>>)>,
     forked: &mut std::collections::HashSet<usize>,
+    diag: &mut WalkDiag,
 ) {
     let mut stack = start_stack;
     let mut pc = start_pc;
     let mut steps = 0;
     let mut next_sym = 0u32;
     let max_steps = 100_000;
-    while steps < max_steps {
+    loop {
+        if steps >= max_steps {
+            // The chain was still making progress: entries past this
+            // point are silently missing without the diagnostic.
+            diag.step_capped = true;
+            break;
+        }
         steps += 1;
         let Some(ins) = disasm.at(pc) else { break };
+        if ins.is_truncated_push() && diag.truncated_push_pc.is_none() {
+            diag.truncated_push_pc = Some(ins.pc);
+        }
         let op = ins.opcode;
         let next_pc = ins.next_pc();
         use Opcode::*;
@@ -391,6 +460,9 @@ mod tests {
     #[test]
     fn empty_code_yields_no_entries() {
         assert!(extract_dispatch(&Disassembly::new(&[])).is_empty());
+        // Empty code is vacuous, not malformed.
+        let ex = extract_dispatch_diag(&Disassembly::new(&[]));
+        assert!(ex.diagnostics.is_empty());
     }
 
     #[test]
@@ -398,5 +470,91 @@ mod tests {
         // Plain arithmetic program without a dispatcher.
         let code = [0x60, 0x01, 0x60, 0x02, 0x01, 0x50, 0x00];
         assert!(extract_dispatch(&Disassembly::new(&code)).is_empty());
+    }
+
+    #[test]
+    fn clean_extraction_has_no_diagnostics() {
+        let fns = specs(&["a(uint8)", "b(bool)"]);
+        let contract = compile(&fns, &CompilerConfig::default());
+        let ex = extract_dispatch_diag(&Disassembly::new(&contract.code));
+        assert_eq!(ex.table.len(), 2);
+        assert!(ex.diagnostics.is_empty(), "{:?}", ex.diagnostics);
+    }
+
+    /// A hand-built dispatcher: selector prologue, `sled` JUMPDESTs of
+    /// padding, then one selector compare jumping over a revert to a
+    /// JUMPDEST+STOP body. Returns the raw bytecode.
+    fn sled_dispatcher(sled: usize) -> Vec<u8> {
+        let mut code = vec![
+            0x60, 0x00, 0x35, // PUSH1 0; CALLDATALOAD
+            0x60, 0xe0, 0x1c, // PUSH1 224; SHR
+        ];
+        code.extend(vec![0x5bu8; sled]); // JUMPDEST sled
+                                         // DUP1; PUSH4 selector; EQ; PUSH3 target; JUMPI; STOP; target: JUMPDEST STOP
+        let target = code.len() + 1 + 5 + 1 + 4 + 1 + 1;
+        code.push(0x80); // DUP1
+        code.extend([0x63, 0xaa, 0xbb, 0xcc, 0xdd]); // PUSH4
+        code.push(0x14); // EQ
+        code.push(0x62); // PUSH3
+        code.extend((target as u32).to_be_bytes()[1..].iter()); // 3 target bytes
+        code.push(0x57); // JUMPI
+        code.push(0x00); // STOP
+        code.push(0x5b); // JUMPDEST (= target)
+        code.push(0x00); // STOP
+        assert_eq!(code[target], 0x5b);
+        code
+    }
+
+    #[test]
+    fn walk_step_cap_is_surfaced_not_silent() {
+        use crate::outcome::{Diagnostic, TruncationKind};
+        // Below the 100k-step cap: the entry is found, no diagnostics.
+        let ex = extract_dispatch_diag(&Disassembly::new(&sled_dispatcher(1_000)));
+        assert_eq!(ex.table.len(), 1);
+        assert_eq!(ex.table[0].selector.to_string(), "0xaabbccdd");
+        assert!(ex.diagnostics.is_empty(), "{:?}", ex.diagnostics);
+        // Past the cap: the entry is silently unreachable — the
+        // regression is that this *must* come with a diagnostic now.
+        let ex = extract_dispatch_diag(&Disassembly::new(&sled_dispatcher(120_000)));
+        assert!(ex.table.is_empty());
+        assert!(
+            ex.diagnostics
+                .contains(&Diagnostic::DispatcherTruncated(TruncationKind::Steps)),
+            "{:?}",
+            ex.diagnostics
+        );
+    }
+
+    #[test]
+    fn code_shorter_than_a_selector_is_malformed() {
+        use crate::outcome::{Diagnostic, MalformedKind};
+        for code in [&[0x00u8][..], &[0x60, 0x01], &[0x35, 0x35, 0x35]] {
+            let ex = extract_dispatch_diag(&Disassembly::new(code));
+            assert!(ex.table.is_empty(), "{code:?}");
+            assert_eq!(
+                ex.diagnostics,
+                vec![Diagnostic::MalformedCode(MalformedKind::CodeTooShort {
+                    len: code.len()
+                })],
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_trailing_push_never_fabricates_a_selector() {
+        use crate::outcome::{Diagnostic, MalformedKind};
+        // The dispatcher compare's own PUSH4 is cut by the end of code:
+        // PUSH1 0; CALLDATALOAD; PUSH1 224; SHR; DUP1; PUSH4 aa bb <eof>.
+        let code = [0x60, 0x00, 0x35, 0x60, 0xe0, 0x1c, 0x80, 0x63, 0xaa, 0xbb];
+        let ex = extract_dispatch_diag(&Disassembly::new(&code));
+        assert!(ex.table.is_empty(), "{:?}", ex.table);
+        assert!(
+            ex.diagnostics
+                .contains(&Diagnostic::MalformedCode(MalformedKind::TruncatedPush {
+                    pc: 7
+                })),
+            "{:?}",
+            ex.diagnostics
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! engine (rules R1–R31) consumes only these facts.
 
 use crate::expr::Expr;
+use crate::outcome::BudgetKind;
 use sigrec_evm::U256;
 use std::rc::Rc;
 
@@ -116,6 +117,10 @@ pub struct FunctionFacts {
     pub max_pc_end: usize,
     /// Paths fully explored.
     pub paths_explored: usize,
+    /// Budgets the exploration ran into, deduplicated, in first-hit
+    /// order. Lossy kinds mean the facts (and thus the inference) may be
+    /// partial; see [`BudgetKind::is_lossy`].
+    pub budgets: Vec<BudgetKind>,
 }
 
 impl FunctionFacts {
@@ -148,6 +153,13 @@ impl FunctionFacts {
             .any(|f| f.pc == fact.pc && f.usage == fact.usage && f.keys == fact.keys)
         {
             self.uses.push(fact);
+        }
+    }
+
+    /// Records a budget hit unless the same kind was already recorded.
+    pub fn add_budget(&mut self, kind: BudgetKind) {
+        if !self.budgets.contains(&kind) {
+            self.budgets.push(kind);
         }
     }
 

@@ -29,6 +29,7 @@ pub mod extract;
 pub mod facts;
 pub mod infer;
 pub mod memory;
+pub mod outcome;
 pub mod pipeline;
 pub mod rules;
 pub mod shrink;
@@ -36,12 +37,13 @@ pub mod shrink;
 pub use batch::{
     recover_batch, recover_batch_naive, BatchItem, BatchResult, BatchTimings, DedupStats,
 };
-pub use cache::{body_span_hash, CacheStats, CachedFunction, RecoveryCache};
+pub use cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, RecoveryCache};
 pub use cow::{CowJournal, CowStack};
 pub use exec::{ExecStats, ForkMode, Tase, TaseConfig};
-pub use extract::{extract_dispatch, DispatchEntry};
+pub use extract::{extract_dispatch, extract_dispatch_diag, DispatchEntry, DispatchExtraction};
 pub use facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 pub use infer::{infer, Language, RecoveredParams};
+pub use outcome::{BudgetKind, Diagnostic, MalformedKind, RecoveryOutcome, TruncationKind};
 pub use pipeline::{Explanation, RecoveredFunction, SigRec};
 pub use rules::{RuleId, RuleStats};
 pub use shrink::minimize;

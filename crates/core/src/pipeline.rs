@@ -14,11 +14,12 @@
 //! whole contracts by `keccak256(code)`, individual functions by
 //! `(body-extent hash, entry pc)`.
 
-use crate::cache::{body_span_hash, CacheStats, CachedFunction, RecoveryCache};
+use crate::cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, RecoveryCache};
 use crate::exec::{ExecStats, Tase, TaseConfig};
-use crate::extract::{extract_dispatch, DispatchEntry};
+use crate::extract::{extract_dispatch_diag, DispatchEntry};
 use crate::facts::FunctionFacts;
 use crate::infer::{infer, Language};
+use crate::outcome::{assemble_diagnostics, BudgetKind, Diagnostic, RecoveryOutcome};
 use crate::rules::RuleId;
 use sigrec_abi::{AbiType, FunctionSignature, Selector};
 use sigrec_evm::{keccak256, Disassembly};
@@ -39,6 +40,10 @@ pub struct RecoveredFunction {
     pub language: Language,
     /// Rules applied while recovering this function.
     pub rules: Vec<RuleId>,
+    /// Budgets the exploration ran into (empty for a fully explored
+    /// function; [`BudgetKind::ForkCap`]/[`BudgetKind::VisitCap`] are the
+    /// expected loop abstraction, the rest mean the recovery is partial).
+    pub budgets: Vec<BudgetKind>,
     /// Wall-clock time spent on this function (TASE + inference). For a
     /// cache hit this is the lookup time, not a re-measurement.
     pub elapsed: Duration,
@@ -103,13 +108,21 @@ pub(crate) struct ContractPlan {
     key: Option<[u8; 32]>,
     /// The memoised result, when the contract-level cache already has one
     /// (the table and extents are empty in that case).
-    pub(crate) cached: Option<Arc<Vec<RecoveredFunction>>>,
+    pub(crate) cached: Option<Arc<CachedContract>>,
     disasm: Disassembly,
     /// Dispatch table, in dispatcher order.
     pub(crate) table: Vec<DispatchEntry>,
     /// Per-entry exclusive end of the function body: the next-larger
     /// dispatch entry pc, or the code length for the last body.
     extents: Vec<usize>,
+    /// Extraction-level diagnostics (dispatcher truncation, malformed
+    /// code) observed while planning.
+    pub(crate) extraction_diags: Vec<Diagnostic>,
+    /// The contract's wall-clock deadline, stamped at plan time from
+    /// [`TaseConfig::max_wall_time`] and shared by every entry of the
+    /// plan — one pathological function cannot grant the others a fresh
+    /// clock.
+    pub(crate) deadline: Option<Instant>,
 }
 
 /// For each table entry, one past the last byte of its body: the smallest
@@ -174,26 +187,51 @@ impl SigRec {
 
     /// Recovers the signatures of every public/external function in the
     /// runtime bytecode, memoising the result in the shared cache.
+    ///
+    /// A thin wrapper over [`SigRec::recover_with_outcome`] that drops
+    /// the diagnostics.
     pub fn recover(&self, code: &[u8]) -> Vec<RecoveredFunction> {
+        self.recover_with_outcome(code).functions
+    }
+
+    /// Like [`SigRec::recover`], also reporting *why* the result may be
+    /// partial: budget exhaustion per function, dispatcher-walk
+    /// truncation, and malformed-code findings.
+    pub fn recover_with_outcome(&self, code: &[u8]) -> RecoveryOutcome {
         let plan = self.plan(code, CacheMode::ReadWrite);
         if let Some(hit) = &plan.cached {
-            return hit.as_ref().clone();
+            return RecoveryOutcome {
+                diagnostics: assemble_diagnostics(&hit.extraction_diags, &hit.functions),
+                functions: hit.functions.as_ref().clone(),
+            };
         }
         let functions: Vec<RecoveredFunction> = (0..plan.table.len())
             .map(|i| self.run_entry(code, &plan, i, CacheMode::ReadWrite).0)
             .collect();
         self.seal(&plan, &functions);
-        functions
+        RecoveryOutcome {
+            diagnostics: assemble_diagnostics(&plan.extraction_diags, &functions),
+            functions,
+        }
     }
 
     /// Like [`SigRec::recover`] but bypassing the cache entirely — every
     /// function is re-explored. The reference path for equivalence tests
     /// and the baseline for throughput measurements.
     pub fn recover_cold(&self, code: &[u8]) -> Vec<RecoveredFunction> {
+        self.recover_cold_with_outcome(code).functions
+    }
+
+    /// Cache-bypassing variant of [`SigRec::recover_with_outcome`].
+    pub fn recover_cold_with_outcome(&self, code: &[u8]) -> RecoveryOutcome {
         let plan = self.plan(code, CacheMode::Bypass);
-        (0..plan.table.len())
+        let functions: Vec<RecoveredFunction> = (0..plan.table.len())
             .map(|i| self.run_entry(code, &plan, i, CacheMode::Bypass).0)
-            .collect()
+            .collect();
+        RecoveryOutcome {
+            diagnostics: assemble_diagnostics(&plan.extraction_diags, &functions),
+            functions,
+        }
     }
 
     /// Stage 1 of the pipeline: contract-level cache probe (ReadWrite
@@ -201,6 +239,7 @@ impl SigRec {
     /// contract-level hit the plan carries the memoised result and an
     /// empty table.
     pub(crate) fn plan(&self, code: &[u8], mode: CacheMode) -> ContractPlan {
+        let deadline = self.config.max_wall_time.map(|d| Instant::now() + d);
         let key = match mode {
             CacheMode::Bypass => None,
             _ => Some(keccak256(code)),
@@ -214,18 +253,22 @@ impl SigRec {
                     disasm: Disassembly::new(&[]),
                     table: Vec::new(),
                     extents: Vec::new(),
+                    extraction_diags: Vec::new(),
+                    deadline,
                 };
             }
         }
         let disasm = Disassembly::new(code);
-        let table = extract_dispatch(&disasm);
-        let extents = body_extents(code.len(), &table);
+        let extraction = extract_dispatch_diag(&disasm);
+        let extents = body_extents(code.len(), &extraction.table);
         ContractPlan {
             key,
             cached: None,
             disasm,
-            table,
+            table: extraction.table,
             extents,
+            extraction_diags: extraction.diagnostics,
+            deadline,
         }
     }
 
@@ -239,14 +282,30 @@ impl SigRec {
         idx: usize,
         mode: CacheMode,
     ) -> (RecoveredFunction, Option<FunctionFacts>) {
-        self.run_function(code, &plan.disasm, plan.table[idx], plan.extents[idx], mode)
+        self.run_function(
+            code,
+            &plan.disasm,
+            plan.table[idx],
+            plan.extents[idx],
+            plan.deadline,
+            mode,
+        )
     }
 
     /// Stage 3: memoises the assembled contract once every entry is done.
-    /// A no-op in [`CacheMode::Bypass`] plans (no contract key).
+    /// A no-op in [`CacheMode::Bypass`] plans (no contract key), and for
+    /// deadline-truncated results — those are nondeterministic, and a
+    /// memoised one would replay an arbitrary cut on every warm lookup.
     pub(crate) fn seal(&self, plan: &ContractPlan, functions: &[RecoveredFunction]) {
+        let deadline_hit = functions
+            .iter()
+            .any(|f| f.budgets.contains(&BudgetKind::Deadline));
+        if deadline_hit {
+            return;
+        }
         if let Some(key) = plan.key {
-            self.cache.store_contract(key, functions.to_vec());
+            self.cache
+                .store_contract(key, functions.to_vec(), plan.extraction_diags.clone());
         }
     }
 
@@ -259,6 +318,7 @@ impl SigRec {
         disasm: &Disassembly,
         entry: DispatchEntry,
         extent: usize,
+        deadline: Option<Instant>,
         mode: CacheMode,
     ) -> (RecoveredFunction, Option<FunctionFacts>) {
         let start = Instant::now();
@@ -275,12 +335,37 @@ impl SigRec {
                     params: hit.params,
                     language: hit.language,
                     rules: hit.rules,
+                    budgets: hit.budgets,
                     elapsed: start.elapsed(),
                 };
                 return (function, None);
             }
         }
-        let (facts, exec) = Tase::new(disasm, self.config).explore_stats(entry.entry);
+        if self.config.panic_on_selector == Some(entry.selector.as_u32()) {
+            panic!("injected panic on selector {}", entry.selector);
+        }
+        // A contract already past its deadline: skip the per-function
+        // analysis setup entirely — each remaining entry returns in
+        // microseconds with empty facts and the `Deadline` budget, so a
+        // wide dispatcher cannot stretch the overrun.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            let mut facts = FunctionFacts::default();
+            facts.add_budget(BudgetKind::Deadline);
+            let result = infer(&facts);
+            let function = RecoveredFunction {
+                selector: entry.selector,
+                entry: entry.entry,
+                params: result.params,
+                language: result.language,
+                rules: result.rules,
+                budgets: facts.budgets.clone(),
+                elapsed: start.elapsed(),
+            };
+            return (function, Some(facts));
+        }
+        let (facts, exec) = Tase::new(disasm, self.config)
+            .with_deadline(deadline)
+            .explore_stats(entry.entry);
         let tase_done = self.stats.as_ref().map(|_| Instant::now());
         let result = infer(&facts);
         if let (Some(acc), Some(tase_done)) = (&self.stats, tase_done) {
@@ -289,9 +374,12 @@ impl SigRec {
         // Memoising by body-extent hash is only sound when exploration
         // stayed inside `code[entry..extent)`: a body that reaches shared
         // helper code before its entry, or falls through past the next
-        // entry, depends on bytes the extent key does not cover.
-        if let Some(hash) =
-            span_hash.filter(|_| !facts.visited_below_entry && facts.max_pc_end <= extent)
+        // entry, depends on bytes the extent key does not cover. A
+        // deadline cut is additionally nondeterministic, so those results
+        // are never memoised at either level.
+        let deadline_hit = facts.budgets.contains(&BudgetKind::Deadline);
+        if let Some(hash) = span_hash
+            .filter(|_| !deadline_hit && !facts.visited_below_entry && facts.max_pc_end <= extent)
         {
             self.cache.store_function(
                 hash,
@@ -300,6 +388,7 @@ impl SigRec {
                     params: result.params.clone(),
                     language: result.language,
                     rules: result.rules.clone(),
+                    budgets: facts.budgets.clone(),
                 },
             );
         }
@@ -309,6 +398,7 @@ impl SigRec {
             params: result.params,
             language: result.language,
             rules: result.rules,
+            budgets: facts.budgets.clone(),
             elapsed: start.elapsed(),
         };
         (function, Some(facts))

@@ -1,0 +1,306 @@
+//! Adversarial bytecode generators.
+//!
+//! Deployed chains contain bytecode that no compiler emitted: truncated
+//! deployments, hand-written dispatchers, metamorphic contracts, and plain
+//! garbage stored at a code address. Recovery must *degrade*, never die,
+//! on such input — return what it can, attach a diagnostic for what it
+//! could not, and stay inside its budgets. Each [`AdversarialKind`] below
+//! is a seeded generator for one hostile shape; [`adversarial_cases`]
+//! round-robins them into a deterministic campaign corpus for
+//! `sigrec_fuzz::run_adversarial`.
+//!
+//! Everything here is raw bytecode, deliberately outside the compiler
+//! model in `sigrec_solc` — these inputs are *supposed* to violate the
+//! invariants the compiled corpus guarantees.
+
+use sigrec_evm::{Assembler, Opcode, U256};
+
+/// One family of hostile bytecode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AdversarialKind {
+    /// A plausible dispatcher whose final `PUSH4` immediate is cut off by
+    /// the end of code — the selector compare itself is the truncated
+    /// instruction. Extraction must not fabricate a selector from the
+    /// partial immediate.
+    TruncatedPushTail,
+    /// A concrete backward jump whose target is not a `JUMPDEST`. A naive
+    /// walker that follows the edge anyway re-executes the prologue
+    /// forever.
+    JumpdestlessBackEdge,
+    /// Dispatcher-shaped code that pops more than it pushes, underflowing
+    /// the stack mid-walk.
+    StackUnderflowDispatcher,
+    /// A dispatch table comparing the same selector twice with different
+    /// targets; the duplicate must not yield two recovered functions.
+    SelectorCollisionTable,
+    /// A linear `EQ`-chain dispatcher with 1 000 entries — large enough
+    /// to stress the dispatcher walk without tripping its step cap.
+    GiantDispatcher,
+    /// Uniform random bytes: no structure at all.
+    ByteSoup,
+    /// One dispatched function whose body fans out over symbolic forks
+    /// into a long concrete spin loop, engineered to exhaust step budgets
+    /// (`max_steps_per_path`, then `max_total_steps`).
+    DeepLoop,
+}
+
+impl AdversarialKind {
+    /// Every kind, in campaign round-robin order.
+    pub fn all() -> [AdversarialKind; 7] {
+        [
+            AdversarialKind::TruncatedPushTail,
+            AdversarialKind::JumpdestlessBackEdge,
+            AdversarialKind::StackUnderflowDispatcher,
+            AdversarialKind::SelectorCollisionTable,
+            AdversarialKind::GiantDispatcher,
+            AdversarialKind::ByteSoup,
+            AdversarialKind::DeepLoop,
+        ]
+    }
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversarialKind::TruncatedPushTail => "truncated-push-tail",
+            AdversarialKind::JumpdestlessBackEdge => "jumpdestless-back-edge",
+            AdversarialKind::StackUnderflowDispatcher => "stack-underflow-dispatcher",
+            AdversarialKind::SelectorCollisionTable => "selector-collision-table",
+            AdversarialKind::GiantDispatcher => "giant-dispatcher",
+            AdversarialKind::ByteSoup => "byte-soup",
+            AdversarialKind::DeepLoop => "deep-loop",
+        }
+    }
+}
+
+/// One generated campaign input.
+#[derive(Clone, Debug)]
+pub struct AdversarialCase {
+    /// The hostile family.
+    pub kind: AdversarialKind,
+    /// The per-case seed `generate` was called with.
+    pub seed: u64,
+    /// The bytecode.
+    pub code: Vec<u8>,
+}
+
+/// Generates `n` cases, round-robining the kinds and deriving one
+/// sub-seed per case — same `(seed, n)`, same corpus, always.
+pub fn adversarial_cases(seed: u64, n: usize) -> Vec<AdversarialCase> {
+    let kinds = AdversarialKind::all();
+    (0..n)
+        .map(|i| {
+            let kind = kinds[i % kinds.len()];
+            let case_seed = splitmix(seed.wrapping_add(i as u64));
+            AdversarialCase {
+                kind,
+                seed: case_seed,
+                code: generate(kind, case_seed),
+            }
+        })
+        .collect()
+}
+
+/// Generates one bytecode of the given kind (deterministic in `seed`).
+pub fn generate(kind: AdversarialKind, seed: u64) -> Vec<u8> {
+    match kind {
+        AdversarialKind::TruncatedPushTail => truncated_push_tail(seed),
+        AdversarialKind::JumpdestlessBackEdge => jumpdestless_back_edge(seed),
+        AdversarialKind::StackUnderflowDispatcher => stack_underflow_dispatcher(seed),
+        AdversarialKind::SelectorCollisionTable => selector_collision_table(seed),
+        AdversarialKind::GiantDispatcher => giant_dispatcher(seed),
+        AdversarialKind::ByteSoup => byte_soup(seed),
+        AdversarialKind::DeepLoop => deep_loop(seed),
+    }
+}
+
+/// splitmix64 — the sub-seed derivation used throughout the generators.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// `PUSH1 0; CALLDATALOAD; PUSH1 224; SHR` — the modern selector prologue
+/// every generator below opens with.
+fn shr_prologue() -> Vec<u8> {
+    vec![0x60, 0x00, 0x35, 0x60, 0xe0, 0x1c]
+}
+
+fn truncated_push_tail(seed: u64) -> Vec<u8> {
+    let mut code = shr_prologue();
+    let sel = (splitmix(seed) as u32).to_be_bytes();
+    // DUP1, then PUSH4 with only 1–3 immediate bytes before end of code.
+    code.push(0x80);
+    code.push(0x63);
+    let keep = 1 + (seed % 3) as usize;
+    code.extend(&sel[..keep]);
+    code
+}
+
+fn jumpdestless_back_edge(seed: u64) -> Vec<u8> {
+    let mut code = shr_prologue();
+    let sel = (splitmix(seed) as u32).to_be_bytes();
+    // DUP1 PUSH4 sel EQ PUSH1 body JUMPI; STOP
+    let body = (code.len() + 12) as u8;
+    code.extend([
+        0x80, 0x63, sel[0], sel[1], sel[2], sel[3], 0x14, 0x60, body, 0x57, 0x00,
+    ]);
+    // body: JUMPDEST; PUSH1 back JUMP — `back` lands mid-prologue on a
+    // byte that is not a JUMPDEST (pc 2, the CALLDATALOAD).
+    code.extend([0x5b, 0x60, 0x02, 0x56]);
+    code
+}
+
+fn stack_underflow_dispatcher(seed: u64) -> Vec<u8> {
+    let mut code = shr_prologue();
+    let sel = (splitmix(seed) as u32).to_be_bytes();
+    // Pop the selector, then keep consuming an empty stack: the walk must
+    // stop at the underflow, not panic.
+    code.push(0x50); // POP — stack now empty
+    code.extend([0x01, 0x50]); // ADD (underflow), POP
+    code.extend([
+        0x80, 0x63, sel[0], sel[1], sel[2], sel[3], 0x14, 0x60, 0x00, 0x57, 0x00,
+    ]);
+    code
+}
+
+fn selector_collision_table(seed: u64) -> Vec<u8> {
+    let mut code = shr_prologue();
+    let sel = (splitmix(seed) as u32).to_be_bytes();
+    // Two entries comparing the SAME selector, different targets.
+    let entry = |code: &mut Vec<u8>, target: u8| {
+        code.extend([
+            0x80, 0x63, sel[0], sel[1], sel[2], sel[3], 0x14, 0x60, target, 0x57,
+        ]);
+    };
+    // Layout: prologue(6) + entry(10) + entry(10) + STOP + body1(2) + body2(2).
+    let body1 = (6 + 10 + 10 + 1) as u8;
+    let body2 = body1 + 2;
+    entry(&mut code, body1);
+    entry(&mut code, body2);
+    code.push(0x00); // fallback STOP
+    code.extend([0x5b, 0x00]); // body1: JUMPDEST STOP
+    code.extend([0x5b, 0x00]); // body2: JUMPDEST STOP
+    code
+}
+
+fn giant_dispatcher(seed: u64) -> Vec<u8> {
+    const ENTRIES: usize = 1_000;
+    const PROLOGUE: usize = 6;
+    const ENTRY_SIZE: usize = 12; // DUP1 PUSH4(5) EQ PUSH3(4) JUMPI
+    let bodies_start = PROLOGUE + ENTRIES * ENTRY_SIZE + 1; // + fallback STOP
+    let mut code = shr_prologue();
+    for i in 0..ENTRIES {
+        // Distinct selectors: a seeded base plus the index.
+        let sel = ((splitmix(seed) as u32) ^ (i as u32)).to_be_bytes();
+        let target = (bodies_start + 2 * i) as u32;
+        let t = target.to_be_bytes();
+        code.extend([0x80, 0x63, sel[0], sel[1], sel[2], sel[3], 0x14]);
+        code.extend([0x62, t[1], t[2], t[3], 0x57]);
+    }
+    code.push(0x00); // fallback STOP
+    for _ in 0..ENTRIES {
+        code.extend([0x5b, 0x00]); // JUMPDEST STOP
+    }
+    code
+}
+
+fn byte_soup(seed: u64) -> Vec<u8> {
+    let len = 200 + (splitmix(seed) % 800) as usize;
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+fn deep_loop(seed: u64) -> Vec<u8> {
+    let sel = splitmix(seed) as u32;
+    let mut asm = Assembler::new();
+    let body = asm.fresh_label();
+    // Dispatcher: one real entry.
+    asm.push_u64(0)
+        .op(Opcode::CallDataLoad)
+        .push_u64(224)
+        .op(Opcode::Shr)
+        .op(Opcode::Dup(1))
+        .push_sized(U256::from(sel as u64), 4)
+        .op(Opcode::Eq)
+        .push_label(body)
+        .op(Opcode::JumpI)
+        .op(Opcode::Stop);
+    asm.jumpdest(body);
+    // Fork fan-out: 8 symbolic conditions, each JUMPI targeting the very
+    // next instruction — both arms re-converge, but the executor still
+    // forks, multiplying path count up to 2^8.
+    for i in 0..8u64 {
+        let join = asm.fresh_label();
+        asm.push_u64(4 + 32 * i)
+            .op(Opcode::CallDataLoad)
+            .push_label(join)
+            .op(Opcode::JumpI)
+            .jumpdest(join);
+    }
+    // Concrete spin loop: ~120 instructions per visit. Under default
+    // budgets each path burns its 60 000-step allowance here, and the
+    // accumulated paths exhaust `max_total_steps`.
+    let spin = asm.fresh_label();
+    asm.jumpdest(spin);
+    for _ in 0..58 {
+        asm.push_u64(0).op(Opcode::Pop);
+    }
+    asm.push_label(spin).op(Opcode::Jump);
+    asm.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in AdversarialKind::all() {
+            assert_eq!(generate(kind, 42), generate(kind, 42), "{}", kind.name());
+            assert!(!generate(kind, 42).is_empty());
+        }
+        let a = adversarial_cases(7, 21);
+        let b = adversarial_cases(7, 21);
+        assert_eq!(a.len(), 21);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.code, y.code);
+        }
+    }
+
+    #[test]
+    fn cases_round_robin_all_kinds() {
+        let cases = adversarial_cases(3, 14);
+        for (i, kind) in AdversarialKind::all().iter().enumerate() {
+            assert_eq!(cases[i].kind, *kind);
+            assert_eq!(cases[i + 7].kind, *kind);
+        }
+    }
+
+    #[test]
+    fn truncated_tail_really_ends_inside_a_push() {
+        for seed in 0..10 {
+            let code = truncated_push_tail(seed);
+            let keep = 1 + (seed % 3) as usize;
+            // PUSH4 opcode is 5th from the end at keep=3 … 3rd at keep=1.
+            assert_eq!(code[code.len() - keep - 1], 0x63);
+        }
+    }
+
+    #[test]
+    fn giant_dispatcher_has_expected_layout() {
+        let code = giant_dispatcher(1);
+        assert_eq!(code.len(), 6 + 1_000 * 12 + 1 + 2 * 1_000);
+        // First body target is a JUMPDEST.
+        assert_eq!(code[6 + 1_000 * 12 + 1], 0x5b);
+    }
+}

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod contracts;
 pub mod datasets;
 pub mod eval;
@@ -20,6 +21,7 @@ pub mod traffic;
 pub mod typegen;
 pub mod valuegen;
 
+pub use adversarial::{adversarial_cases, AdversarialCase, AdversarialKind};
 pub use contracts::{Corpus, LabeledContract, LabeledFunction, Toolchain};
 pub use eval::{evaluate, Evaluation, FunctionOutcome};
 pub use metamorph::{

@@ -15,7 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use sigrec_abi::{FunctionSignature, Selector, VyperType};
+use sigrec_abi::{FunctionSignature, Selector, TypeParseError, VyperType};
 use sigrec_solc::{
     compile_with_variant, CompilerConfig, DispatcherShape, EmitVariant, FunctionSpec, SolcVersion,
     Visibility,
@@ -294,13 +294,18 @@ pub fn standard_transforms(source: &SourceContract, seed: u64) -> Vec<Transform>
     all.into_iter().filter(|t| t.applies_to(source)).collect()
 }
 
-/// A Solidity source from textual declarations.
-fn sol(decls: &[&str], visibility: Visibility, config: CompilerConfig) -> SourceContract {
+/// A Solidity source from textual declarations, propagating the parse
+/// error of any malformed declaration instead of panicking.
+fn sol(
+    decls: &[&str],
+    visibility: Visibility,
+    config: CompilerConfig,
+) -> Result<SourceContract, TypeParseError> {
     let specs = decls
         .iter()
-        .map(|d| FunctionSpec::new(FunctionSignature::parse(d).unwrap(), visibility))
-        .collect();
-    SourceContract::Solidity { specs, config }
+        .map(|d| FunctionSpec::parse(d, visibility))
+        .collect::<Result<_, _>>()?;
+    Ok(SourceContract::Solidity { specs, config })
 }
 
 /// A Vyper source from `(name, params)` pairs.
@@ -315,11 +320,19 @@ fn vy(funcs: Vec<(&str, Vec<VyperType>)>, version: VyperVersion) -> SourceContra
 /// The deterministic conformance corpus: a targeted set of quirk-free
 /// sources whose recovery is known to exercise every rule R1–R31 (the
 /// conformance binary asserts 31/31 coverage over exactly this set plus
-/// its transforms).
+/// its transforms). The declarations are compile-time constants, so this
+/// infallible form simply expects [`try_conformance_corpus`].
 pub fn conformance_corpus() -> Vec<SourceContract> {
+    try_conformance_corpus().expect("conformance corpus declarations are valid")
+}
+
+/// Fallible form of [`conformance_corpus`]: surfaces a declaration parse
+/// error instead of panicking, for callers assembling corpora from
+/// non-constant declarations.
+pub fn try_conformance_corpus() -> Result<Vec<SourceContract>, TypeParseError> {
     let modern = CompilerConfig::default();
     let legacy = CompilerConfig::new(SolcVersion::V0_4_24, false);
-    vec![
+    Ok(vec![
         // Basic-word refinement: R4, R11, R12, R13, R14, R15, R16, R18.
         sol(
             &[
@@ -334,7 +347,7 @@ pub fn conformance_corpus() -> Vec<SourceContract> {
             ],
             Visibility::External,
             modern,
-        ),
+        )?,
         // External arrays and dynamic payloads: R1, R2, R3, R17, R22.
         sol(
             &[
@@ -347,7 +360,7 @@ pub fn conformance_corpus() -> Vec<SourceContract> {
             ],
             Visibility::External,
             modern,
-        ),
+        )?,
         // Public copy idioms: R5, R6, R7, R8, R9, R10.
         sol(
             &[
@@ -361,19 +374,19 @@ pub fn conformance_corpus() -> Vec<SourceContract> {
             ],
             Visibility::Public,
             modern,
-        ),
+        )?,
         // Dynamic structs and struct-nested arrays: R19, R21.
         sol(
             &["submit((uint256[],uint256))", "batch((uint256[][],bool))"],
             Visibility::External,
             modern,
-        ),
+        )?,
         // Legacy DIV-dispatch era (extraction coverage; same rules).
         sol(
             &["ping(uint256)", "mark(uint8)"],
             Visibility::External,
             legacy,
-        ),
+        )?,
         // Vyper basic refinement: R20, R25, R27, R28, R29, R30, R31.
         vy(
             vec![
@@ -403,7 +416,7 @@ pub fn conformance_corpus() -> Vec<SourceContract> {
             ],
             VyperVersion::V0_2_8,
         ),
-    ]
+    ])
 }
 
 /// `n` additional random quirk-free sources (roughly 2:1

@@ -24,13 +24,26 @@ pub struct Instruction {
 }
 
 impl Instruction {
-    /// The push immediate as a 256-bit word (zero-extended), or `None` for
-    /// non-push instructions.
+    /// The push immediate as a 256-bit word, or `None` for non-push
+    /// instructions. A truncated trailing `PUSH` follows EVM semantics:
+    /// code bytes past the end read as zero, so the *missing low* bytes
+    /// are zero-filled (`PUSH4 aa bb <eof>` pushes `0xaabb0000`, not
+    /// `0x0000aabb`).
     pub fn push_value(&self) -> Option<U256> {
         match self.opcode {
-            Opcode::Push(_) => Some(U256::from_be_bytes(&self.immediate)),
+            Opcode::Push(n) => {
+                let value = U256::from_be_bytes(&self.immediate);
+                let missing = (n as usize).saturating_sub(self.immediate.len());
+                Some(value << (8 * missing as u32))
+            }
             _ => None,
         }
+    }
+
+    /// True if this is a `PUSH` whose immediate was cut short by the end
+    /// of the code (the only instruction a linear sweep can truncate).
+    pub fn is_truncated_push(&self) -> bool {
+        matches!(self.opcode, Opcode::Push(n) if self.immediate.len() < n as usize)
     }
 
     /// Total encoded size in bytes (opcode + immediate).
@@ -106,6 +119,16 @@ impl Disassembly {
         matches!(self.at(pc), Some(i) if i.opcode == Opcode::JumpDest)
     }
 
+    /// The byte length of the code that was disassembled (the sweep keeps
+    /// truncated immediates, so this is the real input length, not the
+    /// sum of nominal instruction sizes).
+    pub fn code_len(&self) -> usize {
+        self.instructions
+            .last()
+            .map(|i| i.pc + 1 + i.immediate.len())
+            .unwrap_or(0)
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.instructions.len()
@@ -159,6 +182,29 @@ mod tests {
         let d = Disassembly::new(&code);
         assert_eq!(d.len(), 1);
         assert_eq!(d.instructions()[0].immediate, vec![0xaa, 0xbb]);
+        assert!(d.instructions()[0].is_truncated_push());
+        assert_eq!(d.code_len(), 3);
+    }
+
+    #[test]
+    fn truncated_push_value_zero_fills_low_bytes() {
+        // The EVM reads code bytes past the end as zero, so the missing
+        // bytes sit at the *low* end of the word.
+        let d = Disassembly::new(&[0x63, 0xaa, 0xbb]);
+        assert_eq!(
+            d.instructions()[0].push_value(),
+            Some(U256::from(0xaabb_0000u64))
+        );
+        // PUSH32 with one byte present: value is byte << 248.
+        let d = Disassembly::new(&[0x7f, 0x01]);
+        assert_eq!(d.instructions()[0].push_value(), Some(U256::ONE << 248u32));
+        // A complete push is unaffected.
+        let d = Disassembly::new(&[0x63, 0xaa, 0xbb, 0xcc, 0xdd]);
+        assert_eq!(
+            d.instructions()[0].push_value(),
+            Some(U256::from(0xaabb_ccddu64))
+        );
+        assert!(!d.instructions()[0].is_truncated_push());
     }
 
     #[test]

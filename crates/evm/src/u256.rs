@@ -816,6 +816,121 @@ mod tests {
         assert_eq!(u(8).sar(u(300)), U256::ZERO);
     }
 
+    /// Bit-level reference models for the three shifts, for exhaustive
+    /// boundary pinning — deliberately naive so a limb-arithmetic bug in
+    /// the real implementations cannot also hide here.
+    fn from_bits(bits: &[bool; 256]) -> U256 {
+        let mut out = [0u64; 4];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                out[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        U256(out)
+    }
+
+    fn ref_shl(v: U256, s: u32) -> U256 {
+        let mut bits = [false; 256];
+        for (i, b) in bits.iter_mut().enumerate() {
+            *b = (i as u32) >= s && v.bit(i as u32 - s);
+        }
+        from_bits(&bits)
+    }
+
+    fn ref_shr(v: U256, s: u32) -> U256 {
+        let mut bits = [false; 256];
+        for (i, b) in bits.iter_mut().enumerate() {
+            *b = (i as u32).checked_add(s).map(|j| v.bit(j)).unwrap_or(false);
+        }
+        from_bits(&bits)
+    }
+
+    fn ref_sar(v: U256, s: u32) -> U256 {
+        let sign = v.bit(255);
+        let mut bits = [false; 256];
+        for (i, b) in bits.iter_mut().enumerate() {
+            let j = (i as u32).saturating_add(s);
+            *b = if j < 256 { v.bit(j) } else { sign };
+        }
+        from_bits(&bits)
+    }
+
+    #[test]
+    fn shift_boundaries_match_reference_model() {
+        // EVM semantics at every interesting boundary: shift 0, limb
+        // edges (63/64/65, 127/128, 191/192), 254/255, and the ≥256
+        // overflow region where SHL/SHR yield zero and SAR yields the
+        // sign fill.
+        let values = [
+            U256::ZERO,
+            U256::ONE,
+            U256::MAX,
+            U256::ONE << 255u32,               // sign bit only
+            (U256::ONE << 255u32) | U256::ONE, // sign bit + low bit
+            U256::MAX >> 1u32,                 // max positive
+            U256::from(0xdead_beef_cafe_babeu64),
+            U256([
+                0x0123_4567_89ab_cdef,
+                0xfedc_ba98_7654_3210,
+                0x0f0f_0f0f_0f0f_0f0f,
+                0x8421_8421_8421_8421,
+            ]),
+        ];
+        let shifts = [
+            0u32, 1, 7, 8, 31, 32, 63, 64, 65, 127, 128, 129, 191, 192, 193, 224, 254, 255,
+        ];
+        for &v in &values {
+            for &s in &shifts {
+                assert_eq!(v << s, ref_shl(v, s), "shl {v:?} by {s}");
+                assert_eq!(v >> s, ref_shr(v, s), "shr {v:?} by {s}");
+                assert_eq!(v.sar(u(s as u64)), ref_sar(v, s), "sar {v:?} by {s}");
+                // U256-amount operators agree with the u32 ones in range.
+                assert_eq!(v << u(s as u64), v << s);
+                assert_eq!(v >> u(s as u64), v >> s);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_at_and_past_256_saturates() {
+        let overflow_amounts = [
+            u(256),
+            u(257),
+            u(1000),
+            U256::ONE << 64u32,  // amount not representable as u64
+            U256::ONE << 255u32, // "negative" amount is still huge unsigned
+            U256::MAX,
+        ];
+        let values = [U256::ONE, U256::MAX, U256::ONE << 255u32, u(42)];
+        for &v in &values {
+            for &s in &overflow_amounts {
+                assert_eq!(v << s, U256::ZERO, "shl {v:?} by {s:?}");
+                assert_eq!(v >> s, U256::ZERO, "shr {v:?} by {s:?}");
+                let expected = if v.is_negative() {
+                    U256::MAX
+                } else {
+                    U256::ZERO
+                };
+                assert_eq!(v.sar(s), expected, "sar {v:?} by {s:?}");
+            }
+            assert_eq!(v << 256u32, U256::ZERO);
+            assert_eq!(v >> 256u32, U256::ZERO);
+            assert_eq!(v << u32::MAX, U256::ZERO);
+            assert_eq!(v >> u32::MAX, U256::ZERO);
+        }
+    }
+
+    #[test]
+    fn sar_at_255_collapses_to_sign() {
+        // Shifting by 255 leaves exactly the sign bit replicated: −1 for
+        // any negative value, 0 or 1 for non-negative ones.
+        assert_eq!((U256::ONE << 255u32).sar(u(255)), U256::MAX);
+        assert_eq!(U256::MAX.sar(u(255)), U256::MAX);
+        assert_eq!((U256::MAX >> 1u32).sar(u(255)), U256::ZERO);
+        assert_eq!(((U256::ONE << 254u32) | U256::ONE).sar(u(255)), U256::ZERO);
+        assert_eq!(U256::ONE.sar(u(255)), U256::ZERO);
+    }
+
     #[test]
     fn addmod_mulmod() {
         // 2^256 ≡ 4 (mod 12), so 2^256−1 ≡ 3 and (MAX + MAX) mod 12 = 6.

@@ -1,0 +1,306 @@
+//! Adversarial robustness campaign.
+//!
+//! [`run_adversarial`] drives the [`sigrec_corpus::adversarial`] corpus
+//! through every conformance execution path and asserts the hardening
+//! guarantees the pipeline makes about hostile bytecode:
+//!
+//! 1. **No panic** — every path on every case completes or is caught as a
+//!    violation, never unwinds.
+//! 2. **Path agreement** — under purely deterministic budgets all ten
+//!    pipeline paths (cold/warm/batch × fork modes) produce the same
+//!    structural digest, truncated or not, plus an eleventh check that a
+//!    warm [`SigRec::recover_with_outcome`] replays the cold outcome's
+//!    diagnostics exactly.
+//! 3. **Diagnostics populated** — cases engineered to truncate
+//!    (`TruncatedPushTail`, `DeepLoop`) must surface a diagnostic, never
+//!    degrade silently.
+//! 4. **Deadline respected** — with a wall-clock budget set, recovery
+//!    returns within the deadline plus a scheduling slack.
+//!
+//! [`SigRec::recover_with_outcome`]: sigrec_core::SigRec
+
+use sigrec_conformance::{execution_paths, path_digest};
+use sigrec_core::{BudgetKind, Diagnostic, MalformedKind, SigRec, TaseConfig};
+use sigrec_corpus::adversarial::{adversarial_cases, AdversarialCase, AdversarialKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarialCampaign {
+    /// Corpus seed.
+    pub seed: u64,
+    /// Number of generated cases (round-robined over every
+    /// [`AdversarialKind`]).
+    pub cases: usize,
+    /// Wall-clock budget for the deadline check.
+    pub deadline: Duration,
+    /// Grace on top of `deadline` before an overrun counts as a
+    /// violation (covers the cooperative check granularity plus CI
+    /// scheduling noise).
+    pub deadline_slack: Duration,
+}
+
+impl Default for AdversarialCampaign {
+    fn default() -> Self {
+        AdversarialCampaign {
+            seed: 0xad5e_c0de,
+            cases: 210,
+            deadline: Duration::from_millis(100),
+            deadline_slack: Duration::from_millis(900),
+        }
+    }
+}
+
+/// One broken guarantee.
+#[derive(Clone, Debug)]
+pub struct AdversarialViolation {
+    /// Generator family of the offending case.
+    pub kind: &'static str,
+    /// The case's seed (enough to regenerate the bytecode).
+    pub seed: u64,
+    /// Which guarantee broke.
+    pub check: String,
+    /// What was observed.
+    pub detail: String,
+}
+
+/// Aggregated campaign result.
+#[derive(Clone, Debug, Default)]
+pub struct AdversarialReport {
+    /// Cases run.
+    pub cases: usize,
+    /// Execution-path comparisons performed.
+    pub paths_checked: usize,
+    /// Cases that carried at least one lossy diagnostic.
+    pub truncated_cases: usize,
+    /// All broken guarantees.
+    pub violations: Vec<AdversarialViolation>,
+}
+
+impl AdversarialReport {
+    /// True when every guarantee held on every case.
+    pub fn is_green(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A human-readable summary block.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "adversarial: {} cases, {} paths compared, {} truncated, {} violation(s)\n",
+            self.cases,
+            self.paths_checked,
+            self.truncated_cases,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            out.push_str(&format!(
+                "  [{}] {} seed={:#x}: {}\n",
+                v.check, v.kind, v.seed, v.detail
+            ));
+        }
+        out
+    }
+}
+
+/// The deterministic budget profile the agreement checks run under:
+/// small enough that `DeepLoop` cases truncate in milliseconds, with no
+/// wall-clock deadline so every path sees identical (reproducible) cuts.
+fn tight_config() -> TaseConfig {
+    TaseConfig {
+        max_paths: 64,
+        max_steps_per_path: 5_000,
+        max_total_steps: 20_000,
+        ..TaseConfig::default()
+    }
+}
+
+/// Runs the campaign. Deterministic in `campaign.seed`; a green report
+/// means every case upheld every guarantee.
+pub fn run_adversarial(campaign: &AdversarialCampaign) -> AdversarialReport {
+    let mut report = AdversarialReport::default();
+    for case in adversarial_cases(campaign.seed, campaign.cases) {
+        report.cases += 1;
+        check_case(campaign, &case, &mut report);
+    }
+    report
+}
+
+fn check_case(
+    campaign: &AdversarialCampaign,
+    case: &AdversarialCase,
+    report: &mut AdversarialReport,
+) {
+    let violation = |check: &str, detail: String| AdversarialViolation {
+        kind: case.kind.name(),
+        seed: case.seed,
+        check: check.to_string(),
+        detail,
+    };
+    let tight = tight_config();
+    let code = case.code.clone();
+
+    // Guarantees 1–3: no panic, ten-path agreement, outcome replay, and
+    // populated diagnostics — all under deterministic budgets.
+    let checked = catch_unwind(AssertUnwindSafe(|| {
+        let reference = SigRec::with_config(tight).recover_cold_with_outcome(&code);
+        let reference_digest = path_digest(&reference.functions);
+        let mut mismatches: Vec<(String, String)> = Vec::new();
+        let mut paths = 0usize;
+        for (name, recovered) in execution_paths(&tight, &code) {
+            paths += 1;
+            let digest = path_digest(&recovered);
+            if digest != reference_digest {
+                mismatches.push((
+                    name,
+                    format!("expected {reference_digest:?}, got {digest:?}"),
+                ));
+            }
+        }
+        // Eleventh path: a warm repeat must replay the first call's full
+        // outcome — functions and diagnostics.
+        let warm = SigRec::with_config(tight);
+        let first = warm.recover_with_outcome(&code);
+        let second = warm.recover_with_outcome(&code);
+        paths += 1;
+        if path_digest(&second.functions) != path_digest(&first.functions)
+            || second.diagnostics != first.diagnostics
+        {
+            mismatches.push((
+                "recover-warm-outcome".to_string(),
+                format!(
+                    "cold diagnostics {:?}, warm replay {:?}",
+                    first.diagnostics, second.diagnostics
+                ),
+            ));
+        }
+        (reference, mismatches, paths)
+    }));
+    let reference = match checked {
+        Ok((reference, mismatches, paths)) => {
+            report.paths_checked += paths;
+            for (path, detail) in mismatches {
+                report
+                    .violations
+                    .push(violation(&format!("path-agreement[{path}]"), detail));
+            }
+            reference
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            report.violations.push(violation("no-panic", msg));
+            return;
+        }
+    };
+    if !reference.is_complete() {
+        report.truncated_cases += 1;
+    }
+
+    // Guarantee 3: engineered truncations must be diagnosed, not silent.
+    match case.kind {
+        AdversarialKind::TruncatedPushTail => {
+            let has_malformed = reference.diagnostics.iter().any(|d| {
+                matches!(
+                    d,
+                    Diagnostic::MalformedCode(MalformedKind::TruncatedPush { .. })
+                )
+            });
+            if !has_malformed {
+                report.violations.push(violation(
+                    "diagnostics-populated",
+                    format!(
+                        "truncated PUSH tail yielded no malformed-code diagnostic: {:?}",
+                        reference.diagnostics
+                    ),
+                ));
+            }
+        }
+        AdversarialKind::DeepLoop if reference.is_complete() => {
+            report.violations.push(violation(
+                "diagnostics-populated",
+                format!(
+                    "budget-exhausting loop reported a complete outcome: {:?}",
+                    reference.diagnostics
+                ),
+            ));
+        }
+        _ => {}
+    }
+
+    // Guarantee 4: the wall-clock deadline is honoured (default budgets,
+    // so only the deadline can be what cuts a DeepLoop short).
+    let with_deadline = TaseConfig {
+        max_wall_time: Some(campaign.deadline),
+        ..TaseConfig::default()
+    };
+    let started = Instant::now();
+    let timed = catch_unwind(AssertUnwindSafe(|| {
+        SigRec::with_config(with_deadline).recover_cold_with_outcome(&code)
+    }));
+    let elapsed = started.elapsed();
+    match timed {
+        Ok(outcome) => {
+            let limit = campaign.deadline + campaign.deadline_slack;
+            if elapsed > limit {
+                report.violations.push(violation(
+                    "deadline-respected",
+                    format!("recovery took {elapsed:?}, limit {limit:?}"),
+                ));
+            }
+            let cut_on_time = outcome
+                .diagnostics
+                .iter()
+                .any(|d| matches!(d, Diagnostic::BudgetExhausted { kind, .. } if *kind == BudgetKind::Deadline));
+            if cut_on_time && outcome.is_complete() {
+                report.violations.push(violation(
+                    "deadline-respected",
+                    "deadline cut recorded but outcome claims completeness".to_string(),
+                ));
+            }
+        }
+        Err(_) => {
+            report.violations.push(violation(
+                "no-panic",
+                "panicked under deadline run".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_green() {
+        let report = run_adversarial(&AdversarialCampaign {
+            cases: 14,
+            ..AdversarialCampaign::default()
+        });
+        assert_eq!(report.cases, 14);
+        assert!(report.is_green(), "{}", report.summary());
+        // 11 paths per case.
+        assert_eq!(report.paths_checked, 14 * 11);
+        // The corpus contains engineered truncations; at least the two
+        // DeepLoop cases must have been cut by budgets.
+        assert!(report.truncated_cases >= 2, "{}", report.summary());
+    }
+
+    #[test]
+    fn report_summary_mentions_violations() {
+        let mut report = AdversarialReport::default();
+        report.violations.push(AdversarialViolation {
+            kind: "byte-soup",
+            seed: 7,
+            check: "no-panic".to_string(),
+            detail: "boom".to_string(),
+        });
+        assert!(!report.is_green());
+        assert!(report.summary().contains("no-panic"));
+        assert!(report.summary().contains("byte-soup"));
+    }
+}

@@ -21,9 +21,11 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod differential;
 pub mod target;
 
+pub use adversarial::{run_adversarial, AdversarialCampaign, AdversarialReport};
 pub use differential::{run_differential, DifferentialCampaign, DifferentialReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -7,7 +7,7 @@
 //! would say for a function — the oracle our tests hold SigRec to.
 
 use crate::config::{CompilerConfig, Visibility};
-use sigrec_abi::{AbiType, FunctionSignature};
+use sigrec_abi::{AbiType, FunctionSignature, TypeParseError};
 
 /// A source-level oddity that makes the declared signature unrecoverable
 /// from bytecode (the paper's error cases).
@@ -66,6 +66,26 @@ impl FunctionSpec {
         self.quirk = quirk;
         self
     }
+
+    /// Parses a declaration like `transfer(address,uint256)` into a
+    /// quirk-free spec, propagating the parse error instead of panicking
+    /// on malformed declarations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sigrec_solc::{FunctionSpec, Visibility};
+    ///
+    /// let spec = FunctionSpec::parse("transfer(address,uint256)", Visibility::External).unwrap();
+    /// assert_eq!(spec.signature.params.len(), 2);
+    /// assert!(FunctionSpec::parse("broken(uint257)", Visibility::External).is_err());
+    /// ```
+    pub fn parse(decl: &str, visibility: Visibility) -> Result<Self, TypeParseError> {
+        Ok(FunctionSpec::new(
+            FunctionSignature::parse(decl)?,
+            visibility,
+        ))
+    }
 }
 
 /// The parameter-type list a sound bytecode-level analysis recovers for
@@ -121,14 +141,22 @@ fn visible_form(ty: &AbiType) -> Vec<AbiType> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sigrec_abi::FunctionSignature;
 
     fn spec(decl: &str, quirk: Quirk) -> FunctionSpec {
-        FunctionSpec::new(
-            FunctionSignature::parse(decl).unwrap(),
-            Visibility::External,
-        )
-        .with_quirk(quirk)
+        FunctionSpec::parse(decl, Visibility::External)
+            .expect("valid test declaration")
+            .with_quirk(quirk)
+    }
+
+    #[test]
+    fn parse_rejects_malformed_declarations() {
+        assert!(FunctionSpec::parse("f(uint8)", Visibility::Public).is_ok());
+        for bad in ["nameonly", "f(uint257)", "f(uint8", "f(notatype)"] {
+            assert!(
+                FunctionSpec::parse(bad, Visibility::External).is_err(),
+                "{bad:?} should not parse"
+            );
+        }
     }
 
     fn types(list: &[&str]) -> Vec<AbiType> {
