@@ -7,8 +7,9 @@
 //! 1. **Differential**: for one bytecode, every execution path through the
 //!    pipeline — [`SigRec::recover`] cold and warm, `recover_cold`,
 //!    [`recover_batch`] and [`recover_batch_naive`], under both
-//!    [`ForkMode`]s, plus a cache shared across variants and a
-//!    whole-corpus batch — must recover a structurally identical result.
+//!    execution engines and both [`ForkMode`]s, plus a cache shared
+//!    across variants and a whole-corpus batch — must recover a
+//!    structurally identical result.
 //! 2. **Metamorphic**: a [`Transform`] re-emits the same source under a
 //!    behaviour-preserving knob (dispatcher shape, comparison order,
 //!    declaration order, junk padding, tool-chain era); the recovered
@@ -26,7 +27,7 @@
 
 #![warn(missing_docs)]
 
-use sigrec_core::exec::ForkMode;
+use sigrec_core::exec::{ExecEngine, ForkMode};
 use sigrec_core::{
     recover_batch, recover_batch_naive, RecoveredFunction, RuleId, RuleStats, SigRec, TaseConfig,
 };
@@ -292,36 +293,40 @@ fn diff(expected: &[String], got: &[String]) -> Option<String> {
 
 /// Every per-bytecode execution path, as `(name, recovery)` pairs: the
 /// five pipeline paths (cold, first/warm recover, dedup and naive batch)
-/// under both fork modes, ten in total, with every budget knob other than
-/// `fork_mode` taken from `base`. Public so the adversarial fuzz campaign
-/// can re-run the exact same paths under tightened budgets.
+/// under both execution engines crossed with both fork modes, twenty in
+/// total, with every budget knob other than `exec_engine` and `fork_mode`
+/// taken from `base`. Public so the adversarial fuzz campaign can re-run
+/// the exact same paths under tightened budgets.
 pub fn execution_paths(base: &TaseConfig, code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
     let mut out = Vec::new();
-    for (mode, tag) in [
-        (ForkMode::CopyOnWrite, "cow"),
-        (ForkMode::EagerClone, "eager"),
-    ] {
-        let cfg = TaseConfig {
-            fork_mode: mode,
-            ..*base
-        };
-        out.push((
-            format!("recover-cold[{tag}]"),
-            SigRec::with_config(cfg).recover_cold(code),
-        ));
-        let warm = SigRec::with_config(cfg);
-        out.push((format!("recover-first[{tag}]"), warm.recover(code)));
-        out.push((format!("recover-warm[{tag}]"), warm.recover(code)));
-        let batch = recover_batch(&SigRec::with_config(cfg), &[code.to_vec()], 2);
-        out.push((
-            format!("batch-dedup[{tag}]"),
-            batch.items[0].functions.as_ref().clone(),
-        ));
-        let naive = recover_batch_naive(&SigRec::with_config(cfg), &[code.to_vec()], 2);
-        out.push((
-            format!("batch-naive[{tag}]"),
-            naive.items[0].functions.as_ref().clone(),
-        ));
+    for (engine, etag) in [(ExecEngine::Block, "block"), (ExecEngine::Instr, "instr")] {
+        for (mode, tag) in [
+            (ForkMode::CopyOnWrite, "cow"),
+            (ForkMode::EagerClone, "eager"),
+        ] {
+            let cfg = TaseConfig {
+                exec_engine: engine,
+                fork_mode: mode,
+                ..*base
+            };
+            out.push((
+                format!("recover-cold[{etag},{tag}]"),
+                SigRec::with_config(cfg).recover_cold(code),
+            ));
+            let warm = SigRec::with_config(cfg);
+            out.push((format!("recover-first[{etag},{tag}]"), warm.recover(code)));
+            out.push((format!("recover-warm[{etag},{tag}]"), warm.recover(code)));
+            let batch = recover_batch(&SigRec::with_config(cfg), &[code.to_vec()], 2);
+            out.push((
+                format!("batch-dedup[{etag},{tag}]"),
+                batch.items[0].functions.as_ref().clone(),
+            ));
+            let naive = recover_batch_naive(&SigRec::with_config(cfg), &[code.to_vec()], 2);
+            out.push((
+                format!("batch-naive[{etag},{tag}]"),
+                naive.items[0].functions.as_ref().clone(),
+            ));
+        }
     }
     out
 }
@@ -332,8 +337,9 @@ fn run_paths(code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
 }
 
 /// Number of comparisons [`find_mismatch`] performs per case: five paths
-/// under two fork modes, plus the cross-variant metamorphic relation.
-pub const PATHS_PER_CASE: usize = 11;
+/// under two execution engines crossed with two fork modes, plus the
+/// cross-variant metamorphic relation.
+pub const PATHS_PER_CASE: usize = 21;
 
 /// Checks one `(source, transform)` case without shrinking; returns the
 /// violated `(path, detail)` if any.
@@ -503,6 +509,55 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"green\": true"));
         assert!(json.contains("\"uncovered\": []"));
+    }
+
+    /// The block-compiled engine must be observationally identical to the
+    /// per-instruction reference — signatures *and* diagnostics — on the
+    /// targeted conformance corpus and on adversarial bytecode, under
+    /// both fork modes and tight deterministic budgets.
+    #[test]
+    fn engines_agree_on_conformance_and_adversarial_corpora() {
+        use sigrec_corpus::adversarial::adversarial_cases;
+        let tight = TaseConfig {
+            max_paths: 64,
+            max_steps_per_path: 5_000,
+            max_total_steps: 20_000,
+            ..TaseConfig::default()
+        };
+        let mut codes: Vec<Vec<u8>> = conformance_corpus()
+            .iter()
+            .map(|s| s.compile_variant(&Transform::Identity))
+            .collect();
+        codes.extend(
+            adversarial_cases(0xad5e_c0de, 14)
+                .into_iter()
+                .map(|c| c.code),
+        );
+        for code in &codes {
+            for mode in [ForkMode::CopyOnWrite, ForkMode::EagerClone] {
+                let block = SigRec::with_config(TaseConfig {
+                    exec_engine: ExecEngine::Block,
+                    fork_mode: mode,
+                    ..tight
+                })
+                .recover_cold_with_outcome(code);
+                let instr = SigRec::with_config(TaseConfig {
+                    exec_engine: ExecEngine::Instr,
+                    fork_mode: mode,
+                    ..tight
+                })
+                .recover_cold_with_outcome(code);
+                assert_eq!(
+                    path_digest(&block.functions),
+                    path_digest(&instr.functions),
+                    "signatures diverge under {mode:?}"
+                );
+                assert_eq!(
+                    block.diagnostics, instr.diagnostics,
+                    "diagnostics diverge under {mode:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::rules::RuleStats;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -196,11 +196,20 @@ enum Job {
     Func { group: usize, idx: usize },
 }
 
+/// Jobs a worker claims per lock acquisition. Batching amortises the
+/// mutex and condvar traffic that throttled scaling past 4 workers;
+/// kept small so depth-first ordering and work distribution survive.
+const POP_BATCH: usize = 4;
+
 /// Shared scheduler queue: a deque of jobs plus the count of jobs
 /// currently being executed. Workers exit when both reach zero.
 struct Queue {
     inner: Mutex<QueueInner>,
     ready: Condvar,
+    /// Pop attempts that found the queue empty and had to wait (one per
+    /// condvar wait) — the contention signal behind the worker-scaling
+    /// plateau, reported to the stats accumulator after the batch.
+    contention: AtomicU64,
 }
 
 struct QueueInner {
@@ -213,22 +222,26 @@ impl Queue {
         Queue {
             inner: Mutex::new(QueueInner { jobs, running: 0 }),
             ready: Condvar::new(),
+            contention: AtomicU64::new(0),
         }
     }
 
-    /// Takes the next job, blocking while the queue is empty but other
-    /// workers still run (they may enqueue follow-up jobs). Returns
-    /// `None` when the batch is drained.
-    fn pop(&self) -> Option<Job> {
+    /// Claims up to `max` jobs under one lock acquisition, blocking while
+    /// the queue is empty but other workers still run (they may enqueue
+    /// follow-up jobs). Returns `false` when the batch is drained.
+    fn pop_batch(&self, out: &mut VecDeque<Job>, max: usize) -> bool {
         let mut inner = self.inner.lock().expect("scheduler poisoned");
         loop {
-            if let Some(job) = inner.jobs.pop_front() {
-                inner.running += 1;
-                return Some(job);
+            if !inner.jobs.is_empty() {
+                let n = inner.jobs.len().min(max);
+                out.extend(inner.jobs.drain(..n));
+                inner.running += n;
+                return true;
             }
             if inner.running == 0 {
-                return None;
+                return false;
             }
+            self.contention.fetch_add(1, Ordering::Relaxed);
             inner = self.ready.wait(inner).expect("scheduler poisoned");
         }
     }
@@ -349,98 +362,106 @@ fn run_scheduler(
             let queue = &queue;
             let states = &states;
             scope.spawn(move || {
-                while let Some(job) = queue.pop() {
-                    match job {
-                        Job::Plan(g) => {
-                            let gs = &states[g];
-                            let _ = gs.started.set(Instant::now());
-                            // Panic isolation: a worker that dies planning
-                            // (or, below, recovering) one contract must not
-                            // unwind through the scope and poison the whole
-                            // batch — the contract gets an `InternalError`
-                            // diagnostic and every other contract completes.
-                            let planned = catch_unwind(AssertUnwindSafe(|| {
-                                Arc::new(sigrec.plan(&codes[gs.rep], mode))
-                            }));
-                            let plan = match planned {
-                                Ok(plan) => plan,
-                                Err(payload) => {
-                                    gs.finish(
-                                        Arc::new(Vec::new()),
-                                        Arc::new(vec![panic_diagnostic(
-                                            "planning panicked",
-                                            &*payload,
-                                        )]),
-                                    );
-                                    queue.finish();
-                                    continue;
-                                }
-                            };
-                            if let Some(hit) = &plan.cached {
-                                let diags =
-                                    assemble_diagnostics(&hit.extraction_diags, &hit.functions);
-                                gs.finish(Arc::clone(&hit.functions), Arc::new(diags));
-                            } else if plan.table.is_empty() {
-                                let functions = Arc::new(Vec::new());
-                                sigrec.seal(&plan, &functions);
-                                gs.finish(functions, Arc::new(plan.extraction_diags.clone()));
-                            } else {
-                                let n = plan.table.len();
-                                *gs.slots.lock().expect("slots poisoned") =
-                                    (0..n).map(|_| None).collect();
-                                gs.remaining.store(n, Ordering::Release);
-                                gs.plan.set(plan).expect("plan set once");
-                                queue
-                                    .push_front_many((0..n).map(|idx| Job::Func { group: g, idx }));
-                            }
-                        }
-                        Job::Func { group, idx } => {
-                            let gs = &states[group];
-                            let plan = gs.plan.get().expect("plan precedes entries");
-                            let recovered = catch_unwind(AssertUnwindSafe(|| {
-                                sigrec.run_entry(&codes[gs.rep], plan, idx, mode).0
-                            }));
-                            match recovered {
-                                Ok(f) => gs.slots.lock().expect("slots poisoned")[idx] = Some(f),
-                                Err(payload) => {
-                                    let entry = plan.table[idx];
-                                    gs.panics.lock().expect("panics poisoned").push(
-                                        panic_diagnostic(
-                                            &format!("recovery of {} panicked", entry.selector),
-                                            &*payload,
-                                        ),
+                let mut local = VecDeque::new();
+                while queue.pop_batch(&mut local, POP_BATCH) {
+                    while let Some(job) = local.pop_front() {
+                        match job {
+                            Job::Plan(g) => {
+                                let gs = &states[g];
+                                let _ = gs.started.set(Instant::now());
+                                // Panic isolation: a worker that dies planning
+                                // (or, below, recovering) one contract must not
+                                // unwind through the scope and poison the whole
+                                // batch — the contract gets an `InternalError`
+                                // diagnostic and every other contract completes.
+                                let planned = catch_unwind(AssertUnwindSafe(|| {
+                                    Arc::new(sigrec.plan(&codes[gs.rep], mode))
+                                }));
+                                let plan = match planned {
+                                    Ok(plan) => plan,
+                                    Err(payload) => {
+                                        gs.finish(
+                                            Arc::new(Vec::new()),
+                                            Arc::new(vec![panic_diagnostic(
+                                                "planning panicked",
+                                                &*payload,
+                                            )]),
+                                        );
+                                        queue.finish();
+                                        continue;
+                                    }
+                                };
+                                if let Some(hit) = &plan.cached {
+                                    let diags =
+                                        assemble_diagnostics(&hit.extraction_diags, &hit.functions);
+                                    gs.finish(Arc::clone(&hit.functions), Arc::new(diags));
+                                } else if plan.table.is_empty() {
+                                    let functions = Arc::new(Vec::new());
+                                    sigrec.seal(&plan, &functions);
+                                    gs.finish(functions, Arc::new(plan.extraction_diags.clone()));
+                                } else {
+                                    let n = plan.table.len();
+                                    *gs.slots.lock().expect("slots poisoned") =
+                                        (0..n).map(|_| None).collect();
+                                    gs.remaining.store(n, Ordering::Release);
+                                    gs.plan.set(plan).expect("plan set once");
+                                    queue.push_front_many(
+                                        (0..n).map(|idx| Job::Func { group: g, idx }),
                                     );
                                 }
                             }
-                            if gs.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                // Last entry of the contract: assemble in
-                                // dispatcher order (panicked entries leave
-                                // gaps), memoise unless poisoned, timestamp.
-                                let functions: Vec<RecoveredFunction> = gs
-                                    .slots
-                                    .lock()
-                                    .expect("slots poisoned")
-                                    .iter_mut()
-                                    .filter_map(Option::take)
-                                    .collect();
-                                let panics = std::mem::take(
-                                    &mut *gs.panics.lock().expect("panics poisoned"),
-                                );
-                                if panics.is_empty() {
-                                    sigrec.seal(plan, &functions);
+                            Job::Func { group, idx } => {
+                                let gs = &states[group];
+                                let plan = gs.plan.get().expect("plan precedes entries");
+                                let recovered = catch_unwind(AssertUnwindSafe(|| {
+                                    sigrec.run_entry(&codes[gs.rep], plan, idx, mode).0
+                                }));
+                                match recovered {
+                                    Ok(f) => {
+                                        gs.slots.lock().expect("slots poisoned")[idx] = Some(f)
+                                    }
+                                    Err(payload) => {
+                                        let entry = plan.table[idx];
+                                        gs.panics.lock().expect("panics poisoned").push(
+                                            panic_diagnostic(
+                                                &format!("recovery of {} panicked", entry.selector),
+                                                &*payload,
+                                            ),
+                                        );
+                                    }
                                 }
-                                let mut diags =
-                                    assemble_diagnostics(&plan.extraction_diags, &functions);
-                                diags.extend(panics);
-                                gs.finish(Arc::new(functions), Arc::new(diags));
+                                if gs.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    // Last entry of the contract: assemble in
+                                    // dispatcher order (panicked entries leave
+                                    // gaps), memoise unless poisoned, timestamp.
+                                    let functions: Vec<RecoveredFunction> = gs
+                                        .slots
+                                        .lock()
+                                        .expect("slots poisoned")
+                                        .iter_mut()
+                                        .filter_map(Option::take)
+                                        .collect();
+                                    let panics = std::mem::take(
+                                        &mut *gs.panics.lock().expect("panics poisoned"),
+                                    );
+                                    if panics.is_empty() {
+                                        sigrec.seal(plan, &functions);
+                                    }
+                                    let mut diags =
+                                        assemble_diagnostics(&plan.extraction_diags, &functions);
+                                    diags.extend(panics);
+                                    gs.finish(Arc::new(functions), Arc::new(diags));
+                                }
                             }
                         }
+                        queue.finish();
                     }
-                    queue.finish();
                 }
             });
         }
     });
+    // Workers are joined; the queue's counter is quiescent.
+    sigrec.note_contention(queue.contention.load(Ordering::Relaxed));
     for gs in &states {
         let (functions, diagnostics, elapsed) = gs.done.get().expect("every group finished");
         for f in functions.iter() {

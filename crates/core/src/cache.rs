@@ -30,6 +30,7 @@ use crate::outcome::{BudgetKind, Diagnostic};
 use crate::pipeline::RecoveredFunction;
 use crate::rules::RuleId;
 use sigrec_abi::AbiType;
+use sigrec_evm::{Disassembly, Program};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -77,6 +78,10 @@ pub struct CacheStats {
     pub function_hits: u64,
     /// Function-level lookups that missed.
     pub function_misses: u64,
+    /// Compiled-program lookups that found a shared [`Program`].
+    pub program_hits: u64,
+    /// Compiled-program lookups that compiled fresh.
+    pub program_misses: u64,
 }
 
 impl CacheStats {
@@ -88,6 +93,11 @@ impl CacheStats {
     /// Fraction of function lookups served from the cache (0 when idle).
     pub fn function_hit_rate(&self) -> f64 {
         rate(self.function_hits, self.function_misses)
+    }
+
+    /// Fraction of program lookups served from the cache (0 when idle).
+    pub fn program_hit_rate(&self) -> f64 {
+        rate(self.program_hits, self.program_misses)
     }
 }
 
@@ -104,10 +114,16 @@ fn rate(hits: u64, misses: u64) -> f64 {
 struct CacheInner {
     contracts: Mutex<HashMap<[u8; 32], Arc<CachedContract>>>,
     functions: Mutex<HashMap<(u64, usize), CachedFunction>>,
+    /// Block-compiled programs, keyed like contracts: a pure function of
+    /// the bytes, so entries never invalidate and duplicates across a
+    /// batch share one compile.
+    programs: Mutex<HashMap<[u8; 32], Arc<Program>>>,
     contract_hits: AtomicU64,
     contract_misses: AtomicU64,
     function_hits: AtomicU64,
     function_misses: AtomicU64,
+    program_hits: AtomicU64,
+    program_misses: AtomicU64,
 }
 
 /// A shared, thread-safe, content-addressed memo of recovery results.
@@ -182,6 +198,34 @@ impl RecoveryCache {
             .insert((span_hash, entry), cached);
     }
 
+    /// Returns the block-compiled [`Program`] for the contract hashing to
+    /// `key`, compiling (outside the lock) and memoising it on first use.
+    /// Compilation is a pure function of the bytes, so when two workers
+    /// race on the same key the loser's compile is simply dropped in
+    /// favour of the first inserted `Arc`.
+    pub fn program_for(&self, key: &[u8; 32], disasm: &Disassembly) -> Arc<Program> {
+        if let Some(hit) = self
+            .inner
+            .programs
+            .lock()
+            .expect("cache poisoned")
+            .get(key)
+            .cloned()
+        {
+            self.inner.program_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.inner.program_misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(Program::compile(disasm));
+        self.inner
+            .programs
+            .lock()
+            .expect("cache poisoned")
+            .entry(*key)
+            .or_insert(compiled)
+            .clone()
+    }
+
     /// A snapshot of the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -189,6 +233,8 @@ impl RecoveryCache {
             contract_misses: self.inner.contract_misses.load(Ordering::Relaxed),
             function_hits: self.inner.function_hits.load(Ordering::Relaxed),
             function_misses: self.inner.function_misses.load(Ordering::Relaxed),
+            program_hits: self.inner.program_hits.load(Ordering::Relaxed),
+            program_misses: self.inner.program_misses.load(Ordering::Relaxed),
         }
     }
 

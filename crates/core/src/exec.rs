@@ -19,10 +19,33 @@ use crate::expr::{bin, un, BinOp, Expr, ExprKind, UnOp};
 use crate::facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 use crate::memory::SymMemory;
 use crate::outcome::BudgetKind;
+use sigrec_evm::program::{JumpTarget, Program, Step, StepKind, SHUFFLE_SWAP};
 use sigrec_evm::{Disassembly, Opcode, U256};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Multiply-shift hasher for `usize` pc keys. The visit counters are
+/// probed on every jump and cloned on every fork; a Fibonacci multiply
+/// spreads the small, dense pcs well without paying SipHash per probe.
+#[derive(Default)]
+struct PcHasher(u64);
+
+impl std::hash::Hasher for PcHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("pc keys hash through write_usize")
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// A pc-keyed hash map with the cheap [`PcHasher`].
+type PcMap<V> = HashMap<usize, V, std::hash::BuildHasherDefault<PcHasher>>;
 
 /// How a symbolic branch duplicates the path state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,6 +58,24 @@ pub enum ForkMode {
     /// O(stack + writes) per fork. Kept as the reference implementation
     /// the equivalence tests compare against.
     EagerClone,
+}
+
+/// Which interpreter the executor steps paths with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// The per-instruction reference interpreter over the raw
+    /// [`Disassembly`]: a binary-search `at(pc)` lookup and a PUSH
+    /// immediate re-decode on every step. Kept as the baseline the
+    /// equivalence tests and the conformance path matrix compare against.
+    Instr,
+    /// The block-compiled engine over an [`Arc<Program>`]: O(1) pc→step
+    /// lookup, immediates pre-parsed at compile time, calldata idioms
+    /// fused into superinstructions. Compiled once per distinct contract
+    /// and shared across dispatch entries, workers, and batch duplicates;
+    /// observationally identical to [`ExecEngine::Instr`] (same facts,
+    /// same budgets, same fork order).
+    #[default]
+    Block,
 }
 
 /// Exploration budgets.
@@ -52,6 +93,8 @@ pub struct TaseConfig {
     pub block_visit_limit: u32,
     /// How forks duplicate path state.
     pub fork_mode: ForkMode,
+    /// Which interpreter steps the paths.
+    pub exec_engine: ExecEngine,
     /// Collect per-fork [`ExecStats`] counters (off by default: the
     /// fork-cost probes are skipped entirely when disabled).
     pub collect_stats: bool,
@@ -84,6 +127,7 @@ impl Default for TaseConfig {
             fork_limit_per_block: 3,
             block_visit_limit: 600,
             fork_mode: ForkMode::CopyOnWrite,
+            exec_engine: ExecEngine::Block,
             collect_stats: false,
             max_wall_time: None,
             panic_on_selector: None,
@@ -110,6 +154,11 @@ pub struct ExecStats {
     pub fork_units_copied: u64,
     /// High-water mark of the pending-path worklist.
     pub worklist_peak: u64,
+    /// Failed job-queue pop attempts (one per condvar wait) observed by
+    /// the batch scheduler's workers — the contention signal behind the
+    /// 4→8 worker scaling plateau. Always 0 for a single `explore` call;
+    /// the pipeline's stats accumulator fills it in for batch runs.
+    pub worklist_contention: u64,
 }
 
 impl ExecStats {
@@ -120,6 +169,7 @@ impl ExecStats {
         self.forks += other.forks;
         self.fork_units_copied += other.fork_units_copied;
         self.worklist_peak = self.worklist_peak.max(other.worklist_peak);
+        self.worklist_contention += other.worklist_contention;
     }
 }
 
@@ -127,7 +177,7 @@ struct PathState {
     pc: usize,
     stack: CowStack<Rc<Expr>>,
     memory: SymMemory,
-    visits: HashMap<usize, u32>,
+    visits: PcMap<u32>,
     steps: usize,
 }
 
@@ -154,7 +204,7 @@ pub struct Tase<'a> {
     disasm: &'a Disassembly,
     config: TaseConfig,
     /// jumpi pc → forward exit pc, for statically detected loop heads.
-    loop_exits: HashMap<usize, usize>,
+    loop_exits: PcMap<usize>,
     syms: HashMap<String, u32>,
     next_sym: u32,
     facts: FunctionFacts,
@@ -163,17 +213,23 @@ pub struct Tase<'a> {
     max_pc_end: usize,
     stats: ExecStats,
     deadline: Option<Instant>,
+    /// Pre-compiled block IR; `None` under [`ExecEngine::Instr`], or until
+    /// the on-demand compile when no shared program was supplied.
+    program: Option<Arc<Program>>,
 }
 
 impl<'a> Tase<'a> {
     /// Creates an executor over a disassembly.
+    ///
+    /// Loop-guard detection is deferred to explore time: the block engine
+    /// reads the guards pre-computed by [`Program::compile`] (once per
+    /// contract, shared), the reference engine re-detects per explore.
     pub fn new(disasm: &'a Disassembly, config: TaseConfig) -> Self {
-        let loop_exits = detect_loop_guards(disasm);
         let deadline = config.max_wall_time.map(|d| Instant::now() + d);
         Tase {
             disasm,
             config,
-            loop_exits,
+            loop_exits: PcMap::default(),
             syms: HashMap::new(),
             next_sym: 0,
             facts: FunctionFacts::default(),
@@ -182,6 +238,7 @@ impl<'a> Tase<'a> {
             max_pc_end: 0,
             stats: ExecStats::default(),
             deadline,
+            program: None,
         }
     }
 
@@ -190,6 +247,16 @@ impl<'a> Tase<'a> {
     /// instead of restarting the clock per function.
     pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Supplies a pre-compiled [`Program`] (builder style). The pipeline
+    /// compiles once per distinct contract and shares the `Arc` across all
+    /// dispatch entries and batch workers; without this, the executor
+    /// compiles on demand when [`ExecEngine::Block`] is selected. The
+    /// program must be compiled from the same bytes as the disassembly.
+    pub fn with_program(mut self, program: Arc<Program>) -> Self {
+        self.program = Some(program);
         self
     }
 
@@ -207,12 +274,27 @@ impl<'a> Tase<'a> {
     /// Like [`Tase::explore`], also returning the executor counters
     /// (fork-cost fields require [`TaseConfig::collect_stats`]).
     pub fn explore_stats(mut self, entry: usize) -> (FunctionFacts, ExecStats) {
+        let program = match self.config.exec_engine {
+            ExecEngine::Block => {
+                if self.program.is_none() {
+                    self.program = Some(Arc::new(Program::compile(self.disasm)));
+                }
+                self.program.clone()
+            }
+            ExecEngine::Instr => None,
+        };
+        self.loop_exits = match &program {
+            Some(p) => p.loop_exits().iter().copied().collect(),
+            None => sigrec_evm::program::detect_loop_exits(self.disasm)
+                .into_iter()
+                .collect(),
+        };
         let residue = self.intern("dispatch-residue");
         let init = PathState {
             pc: entry,
             stack: CowStack::from_vec(vec![residue]),
             memory: SymMemory::new(),
-            visits: HashMap::new(),
+            visits: PcMap::default(),
             steps: 0,
         };
         let mut worklist = vec![init];
@@ -233,7 +315,10 @@ impl<'a> Tase<'a> {
                 break;
             }
             paths += 1;
-            self.run_path(state, &mut worklist);
+            match &program {
+                Some(p) => self.run_path_block(state, &mut worklist, p),
+                None => self.run_path(state, &mut worklist),
+            }
             if self.config.collect_stats {
                 self.stats.worklist_peak = self.stats.worklist_peak.max(worklist.len() as u64);
             }
@@ -263,35 +348,260 @@ impl<'a> Tase<'a> {
         self.intern(&format!("{tag}:{pc}"))
     }
 
+    /// The three per-instruction budget checks (path steps, total steps,
+    /// masked deadline poll), in the order `run_path` has always made
+    /// them. Shared by both engines, including at the boundaries *inside*
+    /// a fused step, so a budget always cuts between the same two
+    /// instructions regardless of fusion. Records the budget and returns
+    /// `false` when the path must stop.
+    fn budget_ok(&mut self, st: &PathState) -> bool {
+        if st.steps >= self.config.max_steps_per_path {
+            self.facts.add_budget(BudgetKind::PathSteps);
+            return false;
+        }
+        if self.total_steps >= self.config.max_total_steps {
+            self.facts.add_budget(BudgetKind::TotalSteps);
+            return false;
+        }
+        if self.total_steps & DEADLINE_CHECK_MASK == 0 && self.past_deadline() {
+            self.facts.add_budget(BudgetKind::Deadline);
+            return false;
+        }
+        true
+    }
+
+    /// Per-instruction bookkeeping: function-extent tracking plus the
+    /// step counters. Fused steps call this once per covered instruction
+    /// so extents and budgets match the reference engine exactly.
+    #[inline]
+    fn bookkeep(&mut self, st: &mut PathState, pc: usize, next_pc: usize) {
+        self.min_pc = self.min_pc.min(pc);
+        self.max_pc_end = self.max_pc_end.max(next_pc);
+        st.steps += 1;
+        self.total_steps += 1;
+    }
+
+    /// True if `pc` holds a `JUMPDEST`: O(1) via the compiled program when
+    /// one exists, binary search on the disassembly otherwise.
+    fn is_jumpdest(&self, pc: usize) -> bool {
+        match &self.program {
+            Some(p) => p.is_jumpdest(pc),
+            None => self.disasm.is_jumpdest(pc),
+        }
+    }
+
     fn run_path(&mut self, mut st: PathState, worklist: &mut Vec<PathState>) {
         loop {
-            if st.steps >= self.config.max_steps_per_path {
-                self.facts.add_budget(BudgetKind::PathSteps);
-                return;
-            }
-            if self.total_steps >= self.config.max_total_steps {
-                self.facts.add_budget(BudgetKind::TotalSteps);
-                return;
-            }
-            if self.total_steps & DEADLINE_CHECK_MASK == 0 && self.past_deadline() {
-                self.facts.add_budget(BudgetKind::Deadline);
+            if !self.budget_ok(&st) {
                 return;
             }
             let Some(ins) = self.disasm.at(st.pc) else {
                 return; // ran off the end: implicit STOP
             };
-            self.min_pc = self.min_pc.min(st.pc);
-            self.max_pc_end = self.max_pc_end.max(ins.next_pc());
-            st.steps += 1;
-            self.total_steps += 1;
-            let op = ins.opcode;
             let next_pc = ins.next_pc();
+            let pc = st.pc;
+            self.bookkeep(&mut st, pc, next_pc);
+            let op = ins.opcode;
             let push_val = ins.push_value();
             match self.step(&mut st, op, push_val, next_pc, worklist) {
                 Flow::Continue(pc) => st.pc = pc,
                 Flow::End => return,
             }
         }
+    }
+
+    /// The block-compiled twin of [`Tase::run_path`]: steps over the
+    /// pre-decoded [`Program`] instead of the raw disassembly. Plain steps
+    /// delegate to the same [`Tase::step`] dispatch; fused steps inline
+    /// their constituents with per-constituent bookkeeping and budget
+    /// checks, so every observable (facts, budgets, extents, fork order)
+    /// is bit-identical to the reference engine.
+    fn run_path_block(&mut self, mut st: PathState, worklist: &mut Vec<PathState>, p: &Program) {
+        loop {
+            if !self.budget_ok(&st) {
+                return;
+            }
+            // Data bytes and pcs past the end have no step — same implicit
+            // STOP as `disasm.at(pc) == None` on the reference engine.
+            let Some(idx) = p.step_index(st.pc) else {
+                return;
+            };
+            match self.block_step(&mut st, &p.steps()[idx], worklist) {
+                Flow::Continue(pc) => st.pc = pc,
+                Flow::End => return,
+            }
+        }
+    }
+
+    fn block_step(
+        &mut self,
+        st: &mut PathState,
+        step: &Step,
+        worklist: &mut Vec<PathState>,
+    ) -> Flow {
+        match step.kind {
+            StepKind::Op(op) => {
+                self.bookkeep(st, step.pc, step.next_pc);
+                self.step(st, op, None, step.next_pc, worklist)
+            }
+            StepKind::Push(v) => {
+                self.bookkeep(st, step.pc, step.next_pc);
+                st.stack.push(Expr::constant(v));
+                Flow::Continue(step.next_pc)
+            }
+            StepKind::FusedPushOp { value, op } => {
+                // Fused second ops are all single-byte.
+                let op_pc = step.next_pc - 1;
+                self.bookkeep(st, step.pc, op_pc);
+                if !self.budget_ok(st) {
+                    return Flow::End;
+                }
+                self.bookkeep(st, op_pc, step.next_pc);
+                self.fused_op(st, value, op, op_pc, step.next_pc)
+            }
+            StepKind::FusedJump(target) => {
+                let op_pc = step.next_pc - 1;
+                self.bookkeep(st, step.pc, op_pc);
+                if !self.budget_ok(st) {
+                    return Flow::End;
+                }
+                self.bookkeep(st, op_pc, step.next_pc);
+                match target {
+                    JumpTarget::Valid { pc, .. } => self.enter_block(st, pc),
+                    JumpTarget::Invalid => Flow::End,
+                    JumpTarget::Huge => {
+                        // The reference engine classifies a target that
+                        // does not fit `usize` as unresolvable.
+                        self.facts.hit_symbolic_jump = true;
+                        Flow::End
+                    }
+                }
+            }
+            StepKind::FusedJumpI(target) => {
+                let op_pc = step.next_pc - 1;
+                self.bookkeep(st, step.pc, op_pc);
+                if !self.budget_ok(st) {
+                    return Flow::End;
+                }
+                self.bookkeep(st, op_pc, step.next_pc);
+                let Some(cond) = st.stack.pop() else {
+                    return Flow::End;
+                };
+                self.record_guard(op_pc, &cond);
+                match target {
+                    JumpTarget::Huge => {
+                        self.facts.hit_symbolic_jump = true;
+                        Flow::End
+                    }
+                    // Taking the jump would fault; only fallthrough is viable.
+                    JumpTarget::Invalid => Flow::Continue(step.next_pc),
+                    JumpTarget::Valid { pc: t, .. } => {
+                        self.branch(st, op_pc, t, step.next_pc, &cond, worklist)
+                    }
+                }
+            }
+            StepKind::Shuffle { ops, len } => {
+                for (i, &enc) in ops[..len as usize].iter().enumerate() {
+                    if i > 0 && !self.budget_ok(st) {
+                        return Flow::End;
+                    }
+                    // Each DUP/SWAP constituent is one byte wide.
+                    let pc = step.pc + i;
+                    self.bookkeep(st, pc, pc + 1);
+                    if enc & SHUFFLE_SWAP != 0 {
+                        if !st.stack.swap_top((enc & !SHUFFLE_SWAP) as usize) {
+                            return Flow::End;
+                        }
+                    } else {
+                        let Some(v) = st.stack.peek(enc as usize).cloned() else {
+                            return Flow::End;
+                        };
+                        st.stack.push(v);
+                    }
+                }
+                Flow::Continue(step.next_pc)
+            }
+        }
+    }
+
+    /// Executes the consumer half of a `PUSH imm; op` superinstruction.
+    /// Each arm is the corresponding [`Tase::step`] arm with the top
+    /// operand specialised to the pushed constant — the constant is only
+    /// materialised as an interned [`Expr`] where the reference engine
+    /// would observe it (binop operands), never for jump targets or
+    /// calldata offsets consumed in place.
+    fn fused_op(
+        &mut self,
+        st: &mut PathState,
+        imm: U256,
+        op: Opcode,
+        pc: usize,
+        next_pc: usize,
+    ) -> Flow {
+        use Opcode::*;
+        match op {
+            CallDataLoad => {
+                let loc = Expr::constant(imm);
+                let value = Expr::calldata_word(Rc::clone(&loc));
+                self.facts.add_load(LoadFact {
+                    pc,
+                    loc,
+                    value: Rc::clone(&value),
+                });
+                st.stack.push(value);
+            }
+            Shl | Shr | Sar => {
+                let Some(value) = st.stack.pop() else {
+                    return Flow::End;
+                };
+                let bop = binop_of(op);
+                // Shift-pair mask detection, with the shift amount known
+                // constant `imm` (see the reference arm for the shapes).
+                if let ExprKind::Binary(inner_op, x, k2) = value.kind() {
+                    if k2.as_const() == Some(imm) && x.depends_on_calldata() {
+                        if let Some(kk) = imm.as_u64() {
+                            if kk > 0 && kk < 256 && kk % 8 == 0 {
+                                match (op, inner_op) {
+                                    (Shr, BinOp::Shl) => self.add_use(
+                                        pc,
+                                        x,
+                                        Usage::MaskAnd(U256::low_mask(256 - kk as u32)),
+                                    ),
+                                    (Shl, BinOp::Shr) => self.add_use(
+                                        pc,
+                                        x,
+                                        Usage::MaskAnd(U256::high_mask(256 - kk as u32)),
+                                    ),
+                                    (Sar, BinOp::Shl) => self.add_use(
+                                        pc,
+                                        x,
+                                        Usage::SignExtendFrom((256 - kk) / 8 - 1),
+                                    ),
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                if op == Sar && !matches!(value.kind(), ExprKind::Binary(BinOp::Shl, ..)) {
+                    self.record_signed_use(pc, &value);
+                }
+                st.stack.push(bin(bop, value, Expr::constant(imm)));
+            }
+            _ => {
+                // The generic binop arm: the pushed constant is the first
+                // (top-of-stack) operand, exactly as the reference engine
+                // pops it.
+                let a = Expr::constant(imm);
+                let Some(b) = st.stack.pop() else {
+                    return Flow::End;
+                };
+                let bop = binop_of(op);
+                self.record_binop_uses(pc, bop, &a, &b);
+                st.stack.push(bin(bop, a, b));
+            }
+        }
+        Flow::Continue(next_pc)
     }
 
     fn step(
@@ -539,55 +849,68 @@ impl<'a> Tase<'a> {
                     self.facts.hit_symbolic_jump = true;
                     return Flow::End;
                 };
-                if !self.disasm.is_jumpdest(t) {
+                if !self.is_jumpdest(t) {
                     // Taking the jump would fault; only fallthrough is viable.
                     return Flow::Continue(next_pc);
                 }
-                match cond.eval() {
-                    Some(c) if !c.is_zero() => return self.enter_block(st, t),
-                    Some(_) => return Flow::Continue(next_pc),
-                    None => {
-                        let forks = st.visits.entry(pc).or_insert(0);
-                        if *forks < self.config.fork_limit_per_block {
-                            *forks += 1;
-                            if self.config.collect_stats {
-                                self.stats.forks += 1;
-                                let units = match self.config.fork_mode {
-                                    ForkMode::CopyOnWrite => {
-                                        st.stack.fork_cost() + st.memory.fork_cost()
-                                    }
-                                    ForkMode::EagerClone => {
-                                        st.stack.len() + st.memory.write_count()
-                                    }
-                                };
-                                self.stats.fork_units_copied += units as u64;
-                                self.stats.worklist_peak =
-                                    self.stats.worklist_peak.max(worklist.len() as u64 + 2);
-                            }
-                            // Fork: queue the fallthrough, continue with the jump.
-                            let mut other = st.fork(self.config.fork_mode);
-                            other.pc = next_pc;
-                            worklist.push(other);
-                            return self.enter_block(st, t);
-                        }
-                        // Over budget: take the larger-pc branch (loop exit).
-                        self.facts.add_budget(BudgetKind::ForkCap);
-                        let chosen = t.max(next_pc);
-                        return if chosen == next_pc {
-                            Flow::Continue(next_pc)
-                        } else {
-                            self.enter_block(st, chosen)
-                        };
-                    }
-                }
+                return self.branch(st, pc, t, next_pc, &cond, worklist);
             }
         }
         Flow::Continue(next_pc)
     }
 
+    /// Resolves a conditional branch with a valid constant target `t`:
+    /// concrete conditions follow one side, symbolic conditions fork
+    /// (bounded per block, keyed by the `JUMPI`'s `pc`). Shared by both
+    /// engines so fork order — and therefore the worklist schedule — is
+    /// identical under fusion.
+    fn branch(
+        &mut self,
+        st: &mut PathState,
+        pc: usize,
+        t: usize,
+        next_pc: usize,
+        cond: &Rc<Expr>,
+        worklist: &mut Vec<PathState>,
+    ) -> Flow {
+        match cond.eval() {
+            Some(c) if !c.is_zero() => self.enter_block(st, t),
+            Some(_) => Flow::Continue(next_pc),
+            None => {
+                let forks = st.visits.entry(pc).or_insert(0);
+                if *forks < self.config.fork_limit_per_block {
+                    *forks += 1;
+                    if self.config.collect_stats {
+                        self.stats.forks += 1;
+                        let units = match self.config.fork_mode {
+                            ForkMode::CopyOnWrite => st.stack.fork_cost() + st.memory.fork_cost(),
+                            ForkMode::EagerClone => st.stack.len() + st.memory.write_count(),
+                        };
+                        self.stats.fork_units_copied += units as u64;
+                        self.stats.worklist_peak =
+                            self.stats.worklist_peak.max(worklist.len() as u64 + 2);
+                    }
+                    // Fork: queue the fallthrough, continue with the jump.
+                    let mut other = st.fork(self.config.fork_mode);
+                    other.pc = next_pc;
+                    worklist.push(other);
+                    return self.enter_block(st, t);
+                }
+                // Over budget: take the larger-pc branch (loop exit).
+                self.facts.add_budget(BudgetKind::ForkCap);
+                let chosen = t.max(next_pc);
+                if chosen == next_pc {
+                    Flow::Continue(next_pc)
+                } else {
+                    self.enter_block(st, chosen)
+                }
+            }
+        }
+    }
+
     fn take_jump(&mut self, st: &mut PathState, target: &Rc<Expr>) -> Flow {
         match target.eval().and_then(|v| v.as_usize()) {
-            Some(t) if self.disasm.is_jumpdest(t) => self.enter_block(st, t),
+            Some(t) if self.is_jumpdest(t) => self.enter_block(st, t),
             Some(_) => Flow::End,
             None => {
                 self.facts.hit_symbolic_jump = true;
@@ -699,30 +1022,10 @@ enum Flow {
 /// masked (`AND` with a constant) — the shape of a typed basic value, as
 /// opposed to pointer arithmetic on raw offset words.
 fn contains_masked_calldata(e: &Rc<Expr>) -> bool {
-    let mut found = false;
-    e.walk(&mut |n| {
-        match n.kind() {
-            ExprKind::Binary(BinOp::And, x, y) => {
-                let masked = (x.as_const().is_some() && y.depends_on_calldata())
-                    || (y.as_const().is_some() && x.depends_on_calldata());
-                if masked {
-                    found = true;
-                }
-            }
-            // Shift-pair masks (the generalised rule shapes).
-            ExprKind::Binary(BinOp::Shr, v, k) | ExprKind::Binary(BinOp::Shl, v, k) => {
-                if let (ExprKind::Binary(BinOp::Shl | BinOp::Shr, x, k2), Some(kc)) =
-                    (v.kind(), k.as_const())
-                {
-                    if k2.as_const() == Some(kc) && x.depends_on_calldata() {
-                        found = true;
-                    }
-                }
-            }
-            _ => {}
-        }
-    });
-    found
+    // The mask shapes (constant `AND`, equal-amount shift pairs) are
+    // detected bottom-up at node construction; the walk this used to do
+    // is now a cached-flags read.
+    e.contains_masked_calldata()
 }
 
 fn binop_of(op: Opcode) -> BinOp {
@@ -748,45 +1051,6 @@ fn binop_of(op: Opcode) -> BinOp {
         Opcode::Sar => BinOp::Sar,
         other => unreachable!("binop_of({other})"),
     }
-}
-
-/// Statically detects loop-head guards: a `JUMPI` whose constant forward
-/// target `e` encloses (strictly between the guard and `e`) a constant
-/// backward jump to at or before the guard.
-fn detect_loop_guards(disasm: &Disassembly) -> HashMap<usize, usize> {
-    let instrs = disasm.instructions();
-    // Collect constant jumps: (jump pc, target).
-    let mut const_jumps = Vec::new();
-    for (i, ins) in instrs.iter().enumerate() {
-        if matches!(ins.opcode, Opcode::Jump | Opcode::JumpI) && i > 0 {
-            if let Some(t) = instrs[i - 1].push_value().and_then(|v| v.as_usize()) {
-                const_jumps.push((ins.pc, t));
-            }
-        }
-    }
-    // Only backward jumps can close a loop, and real code has few of
-    // them — scanning just those keeps this linear-ish on adversarial
-    // dispatchers with thousands of forward guards.
-    let back_jumps: Vec<(usize, usize)> = const_jumps
-        .iter()
-        .copied()
-        .filter(|&(j, t)| t <= j)
-        .collect();
-    let mut out = HashMap::new();
-    for &(g, e) in &const_jumps {
-        if e <= g {
-            continue; // not a forward guard
-        }
-        let is_jumpi = matches!(disasm.at(g).map(|i| i.opcode), Some(Opcode::JumpI));
-        if !is_jumpi {
-            continue;
-        }
-        let has_back_edge = back_jumps.iter().any(|&(j, t)| j > g && j < e && t <= g);
-        if has_back_edge {
-            out.insert(g, e);
-        }
-    }
-    out
 }
 
 #[cfg(test)]

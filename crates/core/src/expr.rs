@@ -110,16 +110,51 @@ pub struct Expr {
 const DEP_CALLDATA: u8 = 1;
 /// Flag bit: some subexpression is `CalldataSize`.
 const DEP_CDSIZE: u8 = 2;
+/// Flag bit: some subexpression is a free symbol.
+const DEP_FREESYM: u8 = 4;
+/// Any symbolic leaf at all — a tree with none of these bits is all-const.
+const DEP_SYMBOLIC: u8 = DEP_CALLDATA | DEP_CDSIZE | DEP_FREESYM;
+/// Flag bit: some subexpression masks a calldata-derived value — an
+/// `AND` with a constant operand, or a shift pair `(x << k) >> k` /
+/// `(x >> k) << k`. R16's discriminator, computed bottom-up at
+/// construction so the per-arithmetic-op check is O(1) instead of a
+/// DAG walk.
+const DEP_MASKED: u8 = 8;
 
 /// Entry cap of the thread-local interner; when exceeded, the table is
 /// cleared wholesale (already-interned nodes stay valid).
 pub const INTERNER_CAP: usize = 1 << 18;
 
+/// Interner keys are already well-mixed 64-bit structural hashes, so the
+/// table uses them verbatim instead of paying SipHash on every probe of
+/// the hottest map in the executor.
+#[derive(Default)]
+struct HashIsKey(u64);
+
+impl std::hash::Hasher for HashIsKey {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("interner keys hash through write_u64")
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type InternTable = HashMap<u64, Rc<Expr>, std::hash::BuildHasherDefault<HashIsKey>>;
+
+/// The thread's interner: the node table plus its lifetime counters, in
+/// one cell so the hot path pays a single thread-local access.
+#[derive(Default)]
+struct Interner {
+    table: InternTable,
+    stats: InternerStats,
+}
+
 thread_local! {
-    static INTERNER: RefCell<HashMap<u64, Rc<Expr>>> =
-        RefCell::new(HashMap::new());
-    static INTERNER_STATS: RefCell<InternerStats> =
-        RefCell::new(InternerStats::default());
+    static INTERNER: RefCell<Interner> = RefCell::new(Interner::default());
 }
 
 /// Lifetime counters of this thread's expression interner.
@@ -149,18 +184,18 @@ impl InternerStats {
 
 /// Number of live entries in this thread's expression interner.
 pub fn interner_len() -> usize {
-    INTERNER.with(|t| t.borrow().len())
+    INTERNER.with(|t| t.borrow().table.len())
 }
 
 /// This thread's interner counters since thread start (clears included).
 pub fn interner_stats() -> InternerStats {
-    INTERNER_STATS.with(|s| *s.borrow())
+    INTERNER.with(|t| t.borrow().stats)
 }
 
 /// Clears this thread's expression interner. Existing `Rc<Expr>` values
 /// stay valid; only future sharing is reset.
 pub fn interner_clear() {
-    INTERNER.with(|t| t.borrow_mut().clear());
+    INTERNER.with(|t| t.borrow_mut().table.clear());
 }
 
 /// Builds (or reuses) the unique interned node for `kind`.
@@ -168,27 +203,20 @@ fn intern(kind: ExprKind) -> Rc<Expr> {
     let hash = hash_kind(&kind);
     let flags = flags_of(&kind);
     INTERNER.with(|t| {
-        let mut table = t.borrow_mut();
-        if let Some(e) = table.get(&hash) {
-            INTERNER_STATS.with(|s| s.borrow_mut().hits += 1);
+        let mut cell = t.borrow_mut();
+        let t = &mut *cell;
+        if let Some(e) = t.table.get(&hash) {
+            t.stats.hits += 1;
             return Rc::clone(e);
         }
-        let mut cleared = false;
-        if table.len() >= INTERNER_CAP {
-            table.clear();
-            cleared = true;
+        if t.table.len() >= INTERNER_CAP {
+            t.table.clear();
+            t.stats.cap_clears += 1;
         }
         let e = Rc::new(Expr { kind, hash, flags });
-        table.insert(hash, Rc::clone(&e));
-        let len = table.len() as u64;
-        INTERNER_STATS.with(|s| {
-            let mut s = s.borrow_mut();
-            s.misses += 1;
-            s.high_water = s.high_water.max(len);
-            if cleared {
-                s.cap_clears += 1;
-            }
-        });
+        t.table.insert(hash, Rc::clone(&e));
+        t.stats.misses += 1;
+        t.stats.high_water = t.stats.high_water.max(t.table.len() as u64);
         e
     })
 }
@@ -211,11 +239,36 @@ fn hash_kind(kind: &ExprKind) -> u64 {
 /// Dependency flags of a node from its children's cached flags — O(1).
 fn flags_of(kind: &ExprKind) -> u8 {
     match kind {
-        ExprKind::Const(_) | ExprKind::FreeSym(_) => 0,
+        ExprKind::Const(_) => 0,
+        ExprKind::FreeSym(_) => DEP_FREESYM,
         ExprKind::CalldataWord(loc) => loc.flags | DEP_CALLDATA,
         ExprKind::CalldataSize => DEP_CDSIZE,
         ExprKind::Unary(_, a) => a.flags,
-        ExprKind::Binary(_, a, b) => a.flags | b.flags,
+        ExprKind::Binary(op, a, b) => {
+            let mut f = a.flags | b.flags;
+            match op {
+                BinOp::And
+                    if (a.as_const().is_some() && b.flags & DEP_CALLDATA != 0)
+                        || (b.as_const().is_some() && a.flags & DEP_CALLDATA != 0) =>
+                {
+                    f |= DEP_MASKED;
+                }
+                // Shift-pair masks: `(x shl k) shr k` and friends, with the
+                // shift amounts equal constants (operands are normalised to
+                // `(value, amount)` order).
+                BinOp::Shr | BinOp::Shl => {
+                    if let (ExprKind::Binary(BinOp::Shl | BinOp::Shr, x, k2), Some(kc)) =
+                        (a.kind(), b.as_const())
+                    {
+                        if k2.as_const() == Some(kc) && x.flags & DEP_CALLDATA != 0 {
+                            f |= DEP_MASKED;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            f
+        }
     }
 }
 
@@ -265,7 +318,19 @@ impl Expr {
 
     /// Fully evaluates the expression if every leaf is constant
     /// (DAG-aware: shared nodes evaluate once).
+    ///
+    /// The common cases never touch the memo table: a symbolic leaf
+    /// anywhere in the tree is an O(1) cached-flags check, and a bare
+    /// constant reads its value directly. Only the rare all-const
+    /// *composite* trees (structural `Mul` and comparisons, kept by
+    /// [`bin`] for the rules) take the memoised walk.
     pub fn eval(&self) -> Option<U256> {
+        if self.flags & DEP_SYMBOLIC != 0 {
+            return None;
+        }
+        if let ExprKind::Const(v) = &self.kind {
+            return Some(*v);
+        }
         fn go(e: &Expr, memo: &mut HashMap<usize, Option<U256>>) -> Option<U256> {
             let key = e as *const Expr as usize;
             if let Some(v) = memo.get(&key) {
@@ -313,6 +378,13 @@ impl Expr {
     /// construction.
     pub fn depends_on_calldatasize(&self) -> bool {
         self.flags & DEP_CDSIZE != 0
+    }
+
+    /// True if any subexpression masks a calldata-derived value — an
+    /// `AND` with a constant operand or an equal-amount shift pair
+    /// (R16's discriminator). O(1): cached at construction.
+    pub fn contains_masked_calldata(&self) -> bool {
+        self.flags & DEP_MASKED != 0
     }
 
     /// Collects the location expressions of every `CALLDATALOAD` node,

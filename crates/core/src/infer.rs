@@ -12,6 +12,7 @@ use crate::facts::{CopyFact, FunctionFacts, LoadFact, Usage};
 use crate::rules::RuleId;
 use sigrec_abi::AbiType;
 use sigrec_evm::U256;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 /// The source language TASE believes produced the bytecode (rule R20).
@@ -46,8 +47,69 @@ struct Candidate {
     ty: AbiType,
 }
 
+/// Side tables over one function's facts, built once per inference run.
+///
+/// `FunctionFacts` stores flat vectors, and the R1/R4/R11 matchers probe
+/// them repeatedly — once per candidate parameter, and again per
+/// refinement key. The index pays one linear pass up front for map
+/// lookups afterwards. Every table stores indices into the fact vectors
+/// in their original order, so downstream consumers (the stable sort in
+/// `find_num_value`, the member walk in `classify_struct`) see facts in
+/// exactly the order a linear scan would produce.
+struct FactsIndex {
+    /// Use indices by exact location key (the `refine_basic_key` probe
+    /// behind R4/R11 refinement).
+    uses_by_key: BTreeMap<String, Vec<u32>>,
+    /// Use indices by parsed constant calldata offset, enabling range
+    /// queries over copied static regions.
+    uses_by_offset: BTreeMap<u64, Vec<u32>>,
+    /// Load indices by the dag hash of every node inside the load's
+    /// location — the containment probe behind R1 num-field discovery
+    /// and offset-marker detection.
+    loads_by_node: HashMap<u64, Vec<u32>>,
+}
+
+impl FactsIndex {
+    fn build(facts: &FunctionFacts) -> Self {
+        let mut uses_by_key: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        let mut uses_by_offset: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (i, u) in facts.uses.iter().enumerate() {
+            for k in &u.keys {
+                uses_by_key.entry(k.clone()).or_default().push(i as u32);
+                if let Some(off) = parse_hex_key(k) {
+                    uses_by_offset.entry(off).or_default().push(i as u32);
+                }
+            }
+        }
+        // A use listing the same key twice must still count once; pushes
+        // for one use are consecutive, so adjacent dedup suffices.
+        for v in uses_by_key.values_mut() {
+            v.dedup();
+        }
+        for v in uses_by_offset.values_mut() {
+            v.dedup();
+        }
+        let mut loads_by_node: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, l) in facts.loads.iter().enumerate() {
+            let mut hashes: Vec<u64> = Vec::new();
+            l.loc.walk(&mut |e| hashes.push(e.dag_hash()));
+            hashes.sort_unstable();
+            hashes.dedup();
+            for h in hashes {
+                loads_by_node.entry(h).or_default().push(i as u32);
+            }
+        }
+        FactsIndex {
+            uses_by_key,
+            uses_by_offset,
+            loads_by_node,
+        }
+    }
+}
+
 struct Inference<'a> {
     facts: &'a FunctionFacts,
+    index: FactsIndex,
     rules: Vec<RuleId>,
     vyper: bool,
 }
@@ -56,9 +118,25 @@ impl<'a> Inference<'a> {
     fn new(facts: &'a FunctionFacts) -> Self {
         Inference {
             facts,
+            index: FactsIndex::build(facts),
             rules: Vec::new(),
             vyper: false,
         }
+    }
+
+    /// Loads whose location contains `e`, in original load order.
+    /// Equivalent to filtering `facts.loads` on `l.loc.contains(e)`:
+    /// `contains` matches subexpressions by dag hash, which is exactly
+    /// what `loads_by_node` is keyed on.
+    fn loads_containing(&self, e: &Expr) -> Vec<&'a LoadFact> {
+        let facts = self.facts;
+        self.index
+            .loads_by_node
+            .get(&e.dag_hash())
+            .into_iter()
+            .flatten()
+            .map(|&i| &facts.loads[i as usize])
+            .collect()
     }
 
     fn run(mut self) -> RecoveredParams {
@@ -192,7 +270,10 @@ impl<'a> Inference<'a> {
     /// True if `value` (a `CalldataWord` node) is used as a base for other
     /// loads or copies — i.e. it is an offset field.
     fn is_offset_marker(&self, value: &Rc<Expr>) -> bool {
-        self.facts.loads.iter().any(|l| l.loc.contains(value))
+        // A load's own location never contains the value it produces (the
+        // value strictly wraps it), so a non-empty bucket means some
+        // *other* load addresses through `value`.
+        self.index.loads_by_node.contains_key(&value.dag_hash())
             || self
                 .facts
                 .copies
@@ -288,10 +369,9 @@ impl<'a> Inference<'a> {
     /// External-mode on-demand reads (R1/R2/R17/R21/R22).
     fn classify_on_demand(&mut self, o: &Rc<Expr>) -> AbiType {
         let deep: Vec<&LoadFact> = self
-            .facts
-            .loads
-            .iter()
-            .filter(|l| l.loc.contains(o) && !Rc::ptr_eq(&l.value, o))
+            .loads_containing(o)
+            .into_iter()
+            .filter(|l| !Rc::ptr_eq(&l.value, o))
             .collect();
         let num = self.find_num_value(o);
         if num.is_some() {
@@ -421,12 +501,10 @@ impl<'a> Inference<'a> {
     /// symbol-free, multiplication-free load through `o`.
     fn find_num_value(&self, o: &Rc<Expr>) -> Option<Rc<Expr>> {
         let mut candidates: Vec<&LoadFact> = self
-            .facts
-            .loads
-            .iter()
+            .loads_containing(o)
+            .into_iter()
             .filter(|l| {
-                l.loc.contains(o)
-                    && !Rc::ptr_eq(&l.value, o)
+                !Rc::ptr_eq(&l.value, o)
                     && is_one_level(&l.loc, o)
                     && syms_outside(&l.loc, o).is_empty()
                     && !mul32_outside(&l.loc, o)
@@ -503,10 +581,12 @@ impl<'a> Inference<'a> {
             return false;
         };
         let key = loc.key();
-        self.facts
-            .uses
-            .iter()
-            .any(|u| u.usage == Usage::ByteExtract && u.keys.contains(&key))
+        self.index
+            .uses_by_key
+            .get(&key)
+            .into_iter()
+            .flatten()
+            .any(|&i| self.facts.uses[i as usize].usage == Usage::ByteExtract)
     }
 
     /// Refinement of a dynamic array's element type: mask-like uses whose
@@ -522,17 +602,20 @@ impl<'a> Inference<'a> {
     /// Refinement of a copied static region's element: mask-like uses whose
     /// keys are constants within `[start, end)`.
     fn refine_region_element(&mut self, start: u64, end: u64) -> AbiType {
-        let uses: Vec<&Usage> = self
-            .facts
-            .uses
+        // A use indexed under several in-range offsets appears once per
+        // offset; sort + dedup restores the once-per-use semantics of the
+        // linear scan (and its original use order).
+        let mut idx: Vec<u32> = self
+            .index
+            .uses_by_offset
+            .range(start..end)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let uses: Vec<&Usage> = idx
             .iter()
-            .filter(|u| {
-                u.keys.iter().any(|k| match parse_hex_key(k) {
-                    Some(v) => v >= start && v < end,
-                    None => false,
-                })
-            })
-            .map(|u| &u.usage)
+            .map(|&i| &self.facts.uses[i as usize].usage)
             .collect();
         let (ty, rules) = refine_from_usages(&uses);
         self.note_refinement(&rules);
@@ -548,7 +631,14 @@ impl<'a> Inference<'a> {
     }
 
     fn refine_basic_key(&self, key: &str) -> (AbiType, Vec<RuleId>) {
-        let uses: Vec<&Usage> = self.facts.uses_of(key).map(|u| &u.usage).collect();
+        let uses: Vec<&Usage> = self
+            .index
+            .uses_by_key
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.facts.uses[i as usize].usage)
+            .collect();
         refine_from_usages(&uses)
     }
 
@@ -844,5 +934,58 @@ mod tests {
         assert_eq!(parse_hex_key("0x44"), Some(0x44));
         assert_eq!(parse_hex_key("cd[0x4]"), None);
         assert_eq!(parse_hex_key("0xzz"), None);
+    }
+
+    #[test]
+    fn facts_index_matches_linear_scans() {
+        use crate::expr::bin;
+        use crate::facts::{LoadFact, UseFact};
+
+        let mut f = FunctionFacts::default();
+        let base = Expr::c64(4);
+        let o = Expr::calldata_word(Rc::clone(&base));
+        f.add_load(LoadFact {
+            pc: 1,
+            loc: Rc::clone(&base),
+            value: Rc::clone(&o),
+        });
+        let inner_loc = bin(BinOp::Add, Rc::clone(&o), Expr::c64(32));
+        let inner = Expr::calldata_word(Rc::clone(&inner_loc));
+        f.add_load(LoadFact {
+            pc: 2,
+            loc: Rc::clone(&inner_loc),
+            value: Rc::clone(&inner),
+        });
+        // Duplicate key within one use must still count that use once.
+        f.add_use(UseFact {
+            pc: 3,
+            keys: vec!["0x4".into(), "0x4".into()],
+            usage: Usage::Arithmetic,
+        });
+        f.add_use(UseFact {
+            pc: 4,
+            keys: vec!["0x24".into()],
+            usage: Usage::ByteExtract,
+        });
+
+        let idx = FactsIndex::build(&f);
+
+        // Containment agrees with the linear `loc.contains` scan: the
+        // second load addresses through `o`, the first does not.
+        let by_o = idx.loads_by_node.get(&o.dag_hash()).unwrap();
+        assert_eq!(by_o, &vec![1u32]);
+        assert!(!idx.loads_by_node.contains_key(&inner.dag_hash()));
+
+        // Key table: one entry per use, original order, no duplicates.
+        assert_eq!(idx.uses_by_key.get("0x4"), Some(&vec![0u32]));
+        assert_eq!(idx.uses_by_key.get("0x24"), Some(&vec![1u32]));
+
+        // Offset table supports range queries over parsed constants.
+        let in_range: Vec<u32> = idx
+            .uses_by_offset
+            .range(0u64..0x24)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        assert_eq!(in_range, vec![0]);
     }
 }

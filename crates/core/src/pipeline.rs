@@ -15,14 +15,14 @@
 //! `(body-extent hash, entry pc)`.
 
 use crate::cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, RecoveryCache};
-use crate::exec::{ExecStats, Tase, TaseConfig};
+use crate::exec::{ExecEngine, ExecStats, Tase, TaseConfig};
 use crate::extract::{extract_dispatch_diag, DispatchEntry};
 use crate::facts::FunctionFacts;
 use crate::infer::{infer, Language};
 use crate::outcome::{assemble_diagnostics, BudgetKind, Diagnostic, RecoveryOutcome};
 use crate::rules::RuleId;
 use sigrec_abi::{AbiType, FunctionSignature, Selector};
-use sigrec_evm::{keccak256, Disassembly};
+use sigrec_evm::{keccak256, Disassembly, Program};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -110,6 +110,11 @@ pub(crate) struct ContractPlan {
     /// (the table and extents are empty in that case).
     pub(crate) cached: Option<Arc<CachedContract>>,
     disasm: Disassembly,
+    /// The block-compiled program every entry of the plan shares —
+    /// compiled once per distinct contract (and memoised in the cache for
+    /// keyed modes) when [`ExecEngine::Block`] is selected; `None` under
+    /// [`ExecEngine::Instr`] and for contract-level cache hits.
+    program: Option<Arc<Program>>,
     /// Dispatch table, in dispatcher order.
     pub(crate) table: Vec<DispatchEntry>,
     /// Per-entry exclusive end of the function body: the next-larger
@@ -185,6 +190,14 @@ impl SigRec {
         self.cache.stats()
     }
 
+    /// Records scheduler-queue contention (failed pop attempts) observed
+    /// by the batch driver. A no-op without [`SigRec::with_exec_stats`].
+    pub(crate) fn note_contention(&self, failed_pops: u64) {
+        if let Some(acc) = &self.stats {
+            acc.contention.fetch_add(failed_pops, Ordering::Relaxed);
+        }
+    }
+
     /// Recovers the signatures of every public/external function in the
     /// runtime bytecode, memoising the result in the shared cache.
     ///
@@ -251,6 +264,7 @@ impl SigRec {
                     key: Some(*key),
                     cached: Some(hit),
                     disasm: Disassembly::new(&[]),
+                    program: None,
                     table: Vec::new(),
                     extents: Vec::new(),
                     extraction_diags: Vec::new(),
@@ -261,10 +275,28 @@ impl SigRec {
         let disasm = Disassembly::new(code);
         let extraction = extract_dispatch_diag(&disasm);
         let extents = body_extents(code.len(), &extraction.table);
+        let program = match self.config.exec_engine {
+            ExecEngine::Block => {
+                let compile_start = self.stats.as_ref().map(|_| Instant::now());
+                let program = match &key {
+                    // Keyed modes share one compile per distinct contract
+                    // across plans, workers, and batch duplicates.
+                    Some(k) => self.cache.program_for(k, &disasm),
+                    None => Arc::new(Program::compile(&disasm)),
+                };
+                if let (Some(acc), Some(t0)) = (&self.stats, compile_start) {
+                    acc.compile_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+                Some(program)
+            }
+            ExecEngine::Instr => None,
+        };
         ContractPlan {
             key,
             cached: None,
             disasm,
+            program,
             table: extraction.table,
             extents,
             extraction_diags: extraction.diagnostics,
@@ -285,6 +317,7 @@ impl SigRec {
         self.run_function(
             code,
             &plan.disasm,
+            plan.program.as_ref(),
             plan.table[idx],
             plan.extents[idx],
             plan.deadline,
@@ -312,10 +345,12 @@ impl SigRec {
     /// Recovers one dispatch-table entry, honouring `mode`. `extent` is
     /// the exclusive end of the body's byte range (next dispatch entry or
     /// code length) — the span the function-level cache key hashes.
+    #[allow(clippy::too_many_arguments)]
     fn run_function(
         &self,
         code: &[u8],
         disasm: &Disassembly,
+        program: Option<&Arc<Program>>,
         entry: DispatchEntry,
         extent: usize,
         deadline: Option<Instant>,
@@ -363,9 +398,11 @@ impl SigRec {
             };
             return (function, Some(facts));
         }
-        let (facts, exec) = Tase::new(disasm, self.config)
-            .with_deadline(deadline)
-            .explore_stats(entry.entry);
+        let mut tase = Tase::new(disasm, self.config).with_deadline(deadline);
+        if let Some(p) = program {
+            tase = tase.with_program(Arc::clone(p));
+        }
+        let (facts, exec) = tase.explore_stats(entry.entry);
         let tase_done = self.stats.as_ref().map(|_| Instant::now());
         let result = infer(&facts);
         if let (Some(acc), Some(tase_done)) = (&self.stats, tase_done) {
@@ -437,6 +474,11 @@ struct StatsAccum {
     functions: AtomicU64,
     tase_nanos: AtomicU64,
     infer_nanos: AtomicU64,
+    /// Wall-clock spent block-compiling programs (plan stage).
+    compile_nanos: AtomicU64,
+    /// Failed scheduler-queue pops, reported by the batch driver after
+    /// its workers join.
+    contention: AtomicU64,
     rule_nanos: [AtomicU64; RuleId::ALL.len()],
     rule_hits: [AtomicU64; RuleId::ALL.len()],
 }
@@ -452,6 +494,8 @@ impl Default for StatsAccum {
             functions: AtomicU64::new(0),
             tase_nanos: AtomicU64::new(0),
             infer_nanos: AtomicU64::new(0),
+            compile_nanos: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
             rule_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
             rule_hits: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -494,10 +538,12 @@ impl StatsAccum {
                 forks: self.forks.load(r),
                 fork_units_copied: self.fork_units.load(r),
                 worklist_peak: self.worklist_peak.load(r),
+                worklist_contention: self.contention.load(r),
             },
             functions_explored: self.functions.load(r),
             tase_time: Duration::from_nanos(self.tase_nanos.load(r)),
             infer_time: Duration::from_nanos(self.infer_nanos.load(r)),
+            compile_time: Duration::from_nanos(self.compile_nanos.load(r)),
             rule_time: RuleId::ALL
                 .iter()
                 .enumerate()
@@ -532,6 +578,9 @@ pub struct PipelineStats {
     pub tase_time: Duration,
     /// Wall-clock spent inside rule inference.
     pub infer_time: Duration,
+    /// Wall-clock spent block-compiling programs at plan time (zero under
+    /// [`ExecEngine::Instr`]; shared compiles are counted once).
+    pub compile_time: Duration,
     /// Per-rule attributed inference time: each inference call's full
     /// duration is charged to every distinct rule that fired in it, so
     /// entries overlap and do not sum to `infer_time`.

@@ -26,6 +26,7 @@ pub mod gas;
 pub mod interp;
 pub mod keccak;
 pub mod opcode;
+pub mod program;
 pub mod trace;
 pub mod u256;
 
@@ -36,5 +37,6 @@ pub use dom::{natural_loops, Dominators, NaturalLoop};
 pub use interp::{Env, Execution, HaltReason, Interpreter, Outcome, STACK_LIMIT};
 pub use keccak::{keccak256, selector};
 pub use opcode::Opcode;
+pub use program::{BlockInfo, JumpTarget, Program, Step, StepKind};
 pub use trace::{OpcodeHistogram, TraceCollector, TraceStep, Tracer};
 pub use u256::U256;

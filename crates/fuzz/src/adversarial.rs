@@ -6,11 +6,11 @@
 //!
 //! 1. **No panic** — every path on every case completes or is caught as a
 //!    violation, never unwinds.
-//! 2. **Path agreement** — under purely deterministic budgets all ten
-//!    pipeline paths (cold/warm/batch × fork modes) produce the same
-//!    structural digest, truncated or not, plus an eleventh check that a
-//!    warm [`SigRec::recover_with_outcome`] replays the cold outcome's
-//!    diagnostics exactly.
+//! 2. **Path agreement** — under purely deterministic budgets all twenty
+//!    pipeline paths (cold/warm/batch × execution engines × fork modes)
+//!    produce the same structural digest, truncated or not, plus a
+//!    twenty-first check that a warm [`SigRec::recover_with_outcome`]
+//!    replays the cold outcome's diagnostics exactly.
 //! 3. **Diagnostics populated** — cases engineered to truncate
 //!    (`TruncatedPushTail`, `DeepLoop`) must surface a diagnostic, never
 //!    degrade silently.
@@ -140,8 +140,8 @@ fn check_case(
     let tight = tight_config();
     let code = case.code.clone();
 
-    // Guarantees 1–3: no panic, ten-path agreement, outcome replay, and
-    // populated diagnostics — all under deterministic budgets.
+    // Guarantees 1–3: no panic, twenty-path agreement, outcome replay,
+    // and populated diagnostics — all under deterministic budgets.
     let checked = catch_unwind(AssertUnwindSafe(|| {
         let reference = SigRec::with_config(tight).recover_cold_with_outcome(&code);
         let reference_digest = path_digest(&reference.functions);
@@ -157,8 +157,8 @@ fn check_case(
                 ));
             }
         }
-        // Eleventh path: a warm repeat must replay the first call's full
-        // outcome — functions and diagnostics.
+        // Twenty-first path: a warm repeat must replay the first call's
+        // full outcome — functions and diagnostics.
         let warm = SigRec::with_config(tight);
         let first = warm.recover_with_outcome(&code);
         let second = warm.recover_with_outcome(&code);
@@ -283,8 +283,9 @@ mod tests {
         });
         assert_eq!(report.cases, 14);
         assert!(report.is_green(), "{}", report.summary());
-        // 11 paths per case.
-        assert_eq!(report.paths_checked, 14 * 11);
+        // 21 paths per case (engines × fork modes × pipeline paths, plus
+        // the warm-outcome replay).
+        assert_eq!(report.paths_checked, 14 * 21);
         // The corpus contains engineered truncations; at least the two
         // DeepLoop cases must have been cut by budgets.
         assert!(report.truncated_cases >= 2, "{}", report.summary());
