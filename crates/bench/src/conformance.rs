@@ -30,6 +30,7 @@ pub fn conformance(scale: &Scale) -> String {
         &RunOptions {
             seed: scale.seed,
             batch_workers: 4,
+            ..RunOptions::default()
         },
     );
 

@@ -9,19 +9,26 @@
 //! function-grained scheduler at several worker counts, verifies every
 //! run recovers identical signatures, and reports contracts/s,
 //! worker-scaling figures, executor fork-cost stats (CoW vs eager-clone
-//! forking), a compile/explore/infer phase breakdown, the worklist
-//! contention counter, a single-worker block-vs-instruction engine probe
-//! (which doubles as a CI gate: the engines must recover identical
-//! signatures), cache hit rates and latency percentiles at both function
-//! and contract granularity. The machine-readable summary is written to
-//! `BENCH_throughput.json` in the working directory.
+//! forking), a compile/explore/infer phase breakdown (with the inference
+//! phase further split into index/match/refine sub-phases and the
+//! per-rule attribution reported *exclusively* — shared index/dispatch
+//! time in its own bucket, so the per-rule figures sum to at most the
+//! phase total), the worklist contention counter, a single-worker
+//! block-vs-instruction engine probe and a single-worker
+//! tree-vs-per-rule inference probe (both double as CI gates: each
+//! engine pair must recover identical signatures), cache hit rates and
+//! latency percentiles at both function and contract granularity. The
+//! machine-readable summary is written to `BENCH_throughput.json` in the
+//! working directory.
 
 use crate::accuracy::Scale;
 use crate::report::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sigrec_core::exec::{ExecEngine, ForkMode};
-use sigrec_core::{recover_batch, recover_batch_naive, BatchResult, SigRec, TaseConfig};
+use sigrec_core::{
+    recover_batch, recover_batch_naive, BatchResult, InferEngine, SigRec, TaseConfig,
+};
 use sigrec_corpus::datasets;
 use std::time::{Duration, Instant};
 
@@ -188,6 +195,83 @@ fn engine_probe(codes: &[Vec<u8>]) -> EngineProbe {
     probe
 }
 
+/// The single-worker inference-engine contrast: wall, TASE+infer, and
+/// infer-phase seconds for the same corpus under the compiled tree
+/// matcher and the per-rule reference.
+struct InferProbe {
+    tree_secs: f64,
+    perrule_secs: f64,
+    tree_taseinfer: f64,
+    perrule_taseinfer: f64,
+    tree_infer: f64,
+    perrule_infer: f64,
+}
+
+impl InferProbe {
+    /// Single-worker TASE+infer throughput ratio — the ISSUE gate for the
+    /// compiled tree matcher (per-rule time over tree time).
+    fn taseinfer_speedup(&self) -> f64 {
+        self.perrule_taseinfer / self.tree_taseinfer.max(1e-9)
+    }
+
+    /// Inference-phase-only throughput ratio.
+    fn infer_speedup(&self) -> f64 {
+        self.perrule_infer / self.tree_infer.max(1e-9)
+    }
+}
+
+/// Runs the dedup corpus through both inference engines at one worker and
+/// asserts they recover identical signatures — like [`engine_probe`], the
+/// bench doubles as a CI gate on inference-engine agreement.
+fn infer_probe(codes: &[Vec<u8>]) -> InferProbe {
+    // Interleaved best-of-REPS cold runs, same rationale as
+    // `engine_probe`: the inference phase is milliseconds, well below
+    // scheduler jitter, so the minimum of paired runs is the honest
+    // figure.
+    const REPS: usize = 5;
+    let run = |engine: InferEngine| {
+        let cfg = TaseConfig {
+            infer_engine: engine,
+            ..TaseConfig::default()
+        };
+        let rec = SigRec::with_config(cfg).with_exec_stats();
+        let t = Instant::now();
+        let result = recover_batch(&rec, codes, 1);
+        let secs = t.elapsed().as_secs_f64();
+        let profile = rec.exec_stats().expect("profiling enabled");
+        (result, secs, profile)
+    };
+    let mut probe = InferProbe {
+        tree_secs: f64::INFINITY,
+        perrule_secs: f64::INFINITY,
+        tree_taseinfer: f64::INFINITY,
+        perrule_taseinfer: f64::INFINITY,
+        tree_infer: f64::INFINITY,
+        perrule_infer: f64::INFINITY,
+    };
+    let mut last_pair = None;
+    for _ in 0..REPS {
+        let (tree, tree_secs, tree_prof) = run(InferEngine::Tree);
+        let (per, per_secs, per_prof) = run(InferEngine::PerRule);
+        let tree_infer = tree_prof.infer_time.as_secs_f64();
+        let per_infer = per_prof.infer_time.as_secs_f64();
+        probe.tree_secs = probe.tree_secs.min(tree_secs);
+        probe.perrule_secs = probe.perrule_secs.min(per_secs);
+        probe.tree_taseinfer = probe
+            .tree_taseinfer
+            .min(tree_prof.tase_time.as_secs_f64() + tree_infer);
+        probe.perrule_taseinfer = probe
+            .perrule_taseinfer
+            .min(per_prof.tase_time.as_secs_f64() + per_infer);
+        probe.tree_infer = probe.tree_infer.min(tree_infer);
+        probe.perrule_infer = probe.perrule_infer.min(per_infer);
+        last_pair = Some((per, tree));
+    }
+    let (per, tree) = last_pair.expect("REPS > 0");
+    assert_equivalent(&per, &tree);
+    probe
+}
+
 /// Re-explores every distinct template cold under `mode` with profiling
 /// on, returning (forks, units copied by those forks).
 fn fork_cost_probe(distinct: &[Vec<u8>], mode: ForkMode) -> (u64, u64) {
@@ -258,6 +342,10 @@ pub fn throughput(scale: &Scale) -> String {
     // per-instruction execution (also the engine-agreement CI gate).
     let probe = engine_probe(&codes);
 
+    // Inference contrast: the same corpus, single worker, compiled tree
+    // matcher vs per-rule reference (also an engine-agreement CI gate).
+    let inf_probe = infer_probe(&codes);
+
     // Fork-cost contrast: same distinct templates, CoW vs eager cloning.
     let (cow_forks, cow_units) = fork_cost_probe(&distinct, ForkMode::CopyOnWrite);
     let (eager_forks, eager_units) = fork_cost_probe(&distinct, ForkMode::EagerClone);
@@ -286,7 +374,9 @@ pub fn throughput(scale: &Scale) -> String {
     let mut dedup_clat = dedup.contract_latencies.clone();
     dedup_clat.sort_unstable();
 
-    // Per-rule attributed inference time, heaviest first.
+    // Per-rule *exclusive* inference time, heaviest first; the shared
+    // index/dispatch bucket is reported separately so the figures sum to
+    // the inference phase.
     let mut rule_time = profile.rule_time.clone();
     rule_time.sort_by_key(|r| std::cmp::Reverse(r.1));
 
@@ -350,10 +440,14 @@ pub fn throughput(scale: &Scale) -> String {
     ));
     json.push_str(&format!(
         "  \"phases\": {{ \"compile_ms\": {:.2}, \"explore_ms\": {:.2}, \
-         \"infer_ms\": {:.2} }},\n",
+         \"infer_ms\": {:.2}, \"infer_index_ms\": {:.2}, \
+         \"infer_match_ms\": {:.2}, \"infer_refine_ms\": {:.2} }},\n",
         profile.compile_time.as_secs_f64() * 1e3,
         profile.tase_time.as_secs_f64() * 1e3,
         profile.infer_time.as_secs_f64() * 1e3,
+        profile.infer_index_time.as_secs_f64() * 1e3,
+        profile.infer_match_time.as_secs_f64() * 1e3,
+        profile.infer_refine_time.as_secs_f64() * 1e3,
     ));
     json.push_str(&format!(
         "  \"block_vs_instr\": {{ \"block_seconds\": {:.4}, \"instr_seconds\": {:.4}, \
@@ -374,16 +468,35 @@ pub fn throughput(scale: &Scale) -> String {
         eager_per_fork,
         eager_per_fork / cow_per_fork.max(1e-9),
     ));
+    json.push_str(&format!(
+        "  \"tree_vs_perrule\": {{ \"tree_seconds\": {:.4}, \
+         \"perrule_seconds\": {:.4}, \"tree_taseinfer_ms\": {:.2}, \
+         \"perrule_taseinfer_ms\": {:.2}, \"taseinfer_speedup\": {:.2}, \
+         \"tree_infer_ms\": {:.2}, \"perrule_infer_ms\": {:.2}, \
+         \"infer_speedup\": {:.2} }},\n",
+        inf_probe.tree_secs,
+        inf_probe.perrule_secs,
+        inf_probe.tree_taseinfer * 1e3,
+        inf_probe.perrule_taseinfer * 1e3,
+        inf_probe.taseinfer_speedup(),
+        inf_probe.tree_infer * 1e3,
+        inf_probe.perrule_infer * 1e3,
+        inf_probe.infer_speedup(),
+    ));
     json.push_str("  \"rule_time_top_ms\": [ ");
     for (i, (rule, time)) in rule_time.iter().take(5).enumerate() {
         json.push_str(&format!(
-            "{}{{ \"rule\": \"{}\", \"attributed_ms\": {:.2} }}",
+            "{}{{ \"rule\": \"{}\", \"exclusive_ms\": {:.2} }}",
             if i > 0 { ", " } else { "" },
             rule,
             time.as_secs_f64() * 1e3,
         ));
     }
     json.push_str(" ],\n");
+    json.push_str(&format!(
+        "  \"rule_time_shared_ms\": {:.2},\n",
+        profile.infer_shared_time.as_secs_f64() * 1e3,
+    ));
     json.push_str(&format!(
         "  \"latency\": {{ \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
          \"max_us\": {:.1}, \"max_over_p99\": {:.2} }},\n",
@@ -462,6 +575,16 @@ pub fn throughput(scale: &Scale) -> String {
         "engine TASE speedup".into(),
         "1.0× (instr)".into(),
         format!("{:.1}× (block)", probe.tase_speedup()),
+    ]);
+    t.row(&[
+        "infer TASE+infer speedup".into(),
+        "1.0× (per-rule)".into(),
+        format!("{:.1}× (tree)", inf_probe.taseinfer_speedup()),
+    ]);
+    t.row(&[
+        "infer phase speedup".into(),
+        "1.0× (per-rule)".into(),
+        format!("{:.1}× (tree)", inf_probe.infer_speedup()),
     ]);
     t.row(&[
         "worklist contention".into(),

@@ -7,9 +7,10 @@
 //! 1. **Differential**: for one bytecode, every execution path through the
 //!    pipeline — [`SigRec::recover`] cold and warm, `recover_cold`,
 //!    [`recover_batch`] and [`recover_batch_naive`], under both
-//!    execution engines and both [`ForkMode`]s, plus a cache shared
-//!    across variants and a whole-corpus batch — must recover a
-//!    structurally identical result.
+//!    execution engines and both [`ForkMode`]s, plus a cold recovery
+//!    under the *other* [`InferEngine`] (tree vs per-rule matcher), plus
+//!    a cache shared across variants and a whole-corpus batch — must
+//!    recover a structurally identical result.
 //! 2. **Metamorphic**: a [`Transform`] re-emits the same source under a
 //!    behaviour-preserving knob (dispatcher shape, comparison order,
 //!    declaration order, junk padding, tool-chain era); the recovered
@@ -29,7 +30,8 @@
 
 use sigrec_core::exec::{ExecEngine, ForkMode};
 use sigrec_core::{
-    recover_batch, recover_batch_naive, RecoveredFunction, RuleId, RuleStats, SigRec, TaseConfig,
+    recover_batch, recover_batch_naive, InferEngine, RecoveredFunction, RuleId, RuleStats, SigRec,
+    TaseConfig,
 };
 use sigrec_corpus::metamorph::{standard_transforms, SourceContract, Transform};
 
@@ -77,6 +79,11 @@ pub struct RunOptions {
     pub seed: u64,
     /// Worker count for the whole-corpus batch check.
     pub batch_workers: usize,
+    /// Which inference engine the checked paths run under. Every case
+    /// additionally runs one cold recovery under the *other* engine and
+    /// diffs the structural digest, so a full run under either engine
+    /// also proves cross-engine equivalence on the whole corpus.
+    pub infer_engine: InferEngine,
 }
 
 impl Default for RunOptions {
@@ -84,6 +91,7 @@ impl Default for RunOptions {
         RunOptions {
             seed: 0x0051_e7ec,
             batch_workers: 4,
+            infer_engine: InferEngine::default(),
         }
     }
 }
@@ -272,7 +280,16 @@ pub fn set_digest(functions: &[RecoveredFunction]) -> Vec<String> {
 /// The reference recovery all paths are diffed against: a cold run with
 /// the default (copy-on-write) configuration and no cache.
 pub fn recover_reference(code: &[u8]) -> Vec<RecoveredFunction> {
-    SigRec::new().recover_cold(code)
+    recover_reference_with(code, InferEngine::default())
+}
+
+/// Like [`recover_reference`] under an explicit inference engine.
+pub fn recover_reference_with(code: &[u8], engine: InferEngine) -> Vec<RecoveredFunction> {
+    let cfg = TaseConfig {
+        infer_engine: engine,
+        ..TaseConfig::default()
+    };
+    SigRec::with_config(cfg).recover_cold(code)
 }
 
 fn diff(expected: &[String], got: &[String]) -> Option<String> {
@@ -331,45 +348,69 @@ pub fn execution_paths(base: &TaseConfig, code: &[u8]) -> Vec<(String, Vec<Recov
     out
 }
 
-/// Every per-bytecode execution path under the default configuration.
-fn run_paths(code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
-    execution_paths(&TaseConfig::default(), code)
+/// Number of comparisons [`find_mismatch`] performs per case: five paths
+/// under two execution engines crossed with two fork modes, plus one cold
+/// recovery under the *other* inference engine, plus the cross-variant
+/// metamorphic relation.
+pub const PATHS_PER_CASE: usize = 22;
+
+/// The other inference engine — the one a case's cross-engine path runs.
+fn other_engine(engine: InferEngine) -> InferEngine {
+    match engine {
+        InferEngine::Tree => InferEngine::PerRule,
+        InferEngine::PerRule => InferEngine::Tree,
+    }
 }
 
-/// Number of comparisons [`find_mismatch`] performs per case: five paths
-/// under two execution engines crossed with two fork modes, plus the
-/// cross-variant metamorphic relation.
-pub const PATHS_PER_CASE: usize = 21;
-
-/// Checks one `(source, transform)` case without shrinking; returns the
-/// violated `(path, detail)` if any.
-pub fn find_mismatch(source: &SourceContract, transform: &Transform) -> Option<(String, String)> {
+/// Checks one `(source, transform)` case under `engine` without
+/// shrinking; returns the violated `(path, detail)` if any.
+pub fn find_mismatch(
+    source: &SourceContract,
+    transform: &Transform,
+    engine: InferEngine,
+) -> Option<(String, String)> {
     let code = source.compile_variant(transform);
-    let reference = recover_reference(&code);
+    let base = TaseConfig {
+        infer_engine: engine,
+        ..TaseConfig::default()
+    };
+    let reference = recover_reference_with(&code, engine);
     let reference_digest = path_digest(&reference);
-    for (name, recovered) in run_paths(&code) {
+    for (name, recovered) in execution_paths(&base, &code) {
         if let Some(detail) = diff(&reference_digest, &path_digest(&recovered)) {
             return Some((name, detail));
         }
     }
+    // Cross-engine relation: the other rule matcher must recover the
+    // byte-identical structural digest — parameters, language, and the
+    // fired-rule list in application order.
+    let other = other_engine(engine);
+    let cross = recover_reference_with(&code, other);
+    if let Some(detail) = diff(&reference_digest, &path_digest(&cross)) {
+        return Some((format!("infer-cross[{other:?}]"), detail));
+    }
     // Metamorphic relation: the signature set matches the identity
     // variant's.
-    let identity = recover_reference(&source.compile_variant(&Transform::Identity));
+    let identity = recover_reference_with(&source.compile_variant(&Transform::Identity), engine);
     diff(&set_digest(&identity), &set_digest(&reference))
         .map(|detail| ("metamorphic-set".to_string(), detail))
 }
 
-/// Checks one case and, on violation, shrinks the source's function list
-/// to a minimal reproducer (recompiling every ddmin candidate, so the
-/// reproducer is always well-formed bytecode).
-pub fn check_case(source: &SourceContract, transform: &Transform) -> CaseOutcome {
+/// Checks one case under `engine` and, on violation, shrinks the source's
+/// function list to a minimal reproducer (recompiling every ddmin
+/// candidate, so the reproducer is always well-formed bytecode).
+pub fn check_case(
+    source: &SourceContract,
+    transform: &Transform,
+    engine: InferEngine,
+) -> CaseOutcome {
     let code = source.compile_variant(transform);
-    let functions = recover_reference(&code);
-    let mismatch = find_mismatch(source, transform).map(|(path, detail)| {
+    let functions = recover_reference_with(&code, engine);
+    let mismatch = find_mismatch(source, transform, engine).map(|(path, detail)| {
         let indices: Vec<usize> = (0..source.function_count()).collect();
         let minimal = sigrec_core::shrink::minimize(&indices, |keep| {
             let sub = source.with_function_subset(keep);
-            find_mismatch(&sub, transform).is_some()
+            find_mismatch(&sub, transform, engine).is_some()
         });
         let minimized = (minimal.len() < indices.len()).then(|| {
             let sub = source.with_function_subset(&minimal);
@@ -404,6 +445,10 @@ pub fn run(sources: &[SourceContract], opts: &RunOptions) -> ConformanceReport {
         contracts: sources.len(),
         ..ConformanceReport::default()
     };
+    let base = TaseConfig {
+        infer_engine: opts.infer_engine,
+        ..TaseConfig::default()
+    };
     let mut corpus_codes: Vec<Vec<u8>> = Vec::new();
     let mut corpus_refs: Vec<Vec<String>> = Vec::new();
     for source in sources {
@@ -412,9 +457,9 @@ pub fn run(sources: &[SourceContract], opts: &RunOptions) -> ConformanceReport {
         // pcs while leaving body spans byte-identical, so this drives the
         // function-cache hit path under exactly the conditions its
         // soundness gate exists for.
-        let shared = SigRec::new();
+        let shared = SigRec::with_config(base);
         for transform in standard_transforms(source, opts.seed) {
-            let outcome = check_case(source, &transform);
+            let outcome = check_case(source, &transform, opts.infer_engine);
             report.cases += 1;
             report.paths_checked += outcome.paths;
             for f in &outcome.functions {
@@ -443,7 +488,11 @@ pub fn run(sources: &[SourceContract], opts: &RunOptions) -> ConformanceReport {
     // The whole corpus through the dedup scheduler in one call: item
     // order, cross-contract dedup and cache sharing must not change any
     // individual result.
-    let batch = recover_batch(&SigRec::new(), &corpus_codes, opts.batch_workers);
+    let batch = recover_batch(
+        &SigRec::with_config(base),
+        &corpus_codes,
+        opts.batch_workers,
+    );
     for item in &batch.items {
         report.paths_checked += 1;
         if let Some(detail) = diff(&corpus_refs[item.index], &path_digest(&item.functions)) {
@@ -471,10 +520,19 @@ mod tests {
 
     #[test]
     fn identity_case_is_clean_on_first_corpus_source() {
+        // Under both inference engines: each run also contains the
+        // cross-engine path, so this pins Tree↔PerRule digest equality
+        // from either side.
         let source = &conformance_corpus()[0];
-        let outcome = check_case(source, &Transform::Identity);
-        assert!(outcome.mismatch.is_none(), "{:?}", outcome.mismatch);
-        assert_eq!(outcome.functions.len(), source.function_count());
+        for engine in [InferEngine::Tree, InferEngine::PerRule] {
+            let outcome = check_case(source, &Transform::Identity, engine);
+            assert!(
+                outcome.mismatch.is_none(),
+                "{engine:?}: {:?}",
+                outcome.mismatch
+            );
+            assert_eq!(outcome.functions.len(), source.function_count());
+        }
     }
 
     #[test]
@@ -557,6 +615,28 @@ mod tests {
                     "diagnostics diverge under {mode:?}"
                 );
             }
+            // Same bar for the inference engines: under tight budgets the
+            // facts are truncated, and the tree matcher must still emit
+            // the identical digest (rule lists included) and diagnostics.
+            let tree = SigRec::with_config(TaseConfig {
+                infer_engine: InferEngine::Tree,
+                ..tight
+            })
+            .recover_cold_with_outcome(code);
+            let per_rule = SigRec::with_config(TaseConfig {
+                infer_engine: InferEngine::PerRule,
+                ..tight
+            })
+            .recover_cold_with_outcome(code);
+            assert_eq!(
+                path_digest(&tree.functions),
+                path_digest(&per_rule.functions),
+                "inference engines diverge"
+            );
+            assert_eq!(
+                tree.diagnostics, per_rule.diagnostics,
+                "inference engines diverge on diagnostics"
+            );
         }
     }
 

@@ -6,6 +6,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sigrec_conformance::{run, write_coverage_json, RunOptions};
+use sigrec_core::InferEngine;
 use sigrec_corpus::metamorph::{conformance_corpus, random_sources};
 
 fn main() {
@@ -13,6 +14,7 @@ fn main() {
     let mut seed = 0x0051_e7ec_u64;
     let mut out = String::from("CONFORMANCE_coverage.json");
     let mut workers = 4usize;
+    let mut infer_engine = InferEngine::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -42,13 +44,26 @@ fn main() {
                 workers = value(i).parse().expect("--workers takes a number");
                 i += 2;
             }
+            "--infer-engine" => {
+                infer_engine = match value(i).as_str() {
+                    "tree" => InferEngine::Tree,
+                    "perrule" | "per-rule" => InferEngine::PerRule,
+                    other => {
+                        eprintln!("--infer-engine takes `tree` or `perrule`, got `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: sigrec-conformance [--contracts N] [--seed S] [--workers W] [--out FILE]\n\
+                    "usage: sigrec-conformance [--contracts N] [--seed S] [--workers W]\n\
+                     \x20                         [--infer-engine tree|perrule] [--out FILE]\n\
                      \n\
                      Runs the targeted R1-R31 coverage corpus plus N random extra\n\
                      sources (default 12) through every transform and execution\n\
-                     path; writes FILE (default CONFORMANCE_coverage.json)."
+                     path (each case also cross-checks the other inference\n\
+                     engine); writes FILE (default CONFORMANCE_coverage.json)."
                 );
                 return;
             }
@@ -68,6 +83,7 @@ fn main() {
         &RunOptions {
             seed,
             batch_workers: workers,
+            infer_engine,
         },
     );
     print!("{}", report.summary());

@@ -546,6 +546,42 @@ mod tests {
     }
 
     #[test]
+    fn infer_engines_agree_through_the_scheduler() {
+        // The engine choice threads from TaseConfig through the batch
+        // workers: a multi-worker run under each inference engine must
+        // produce identical params, languages and rule applications.
+        use crate::exec::TaseConfig;
+        use crate::infer::InferEngine;
+        let codes = vec![
+            contract("a(uint8,address)"),
+            contract("b(uint256[])"),
+            contract("c(bytes)"),
+            contract("d(int128,bool)"),
+        ];
+        let config = |engine| TaseConfig {
+            infer_engine: engine,
+            ..TaseConfig::default()
+        };
+        let tree = recover_batch(&SigRec::with_config(config(InferEngine::Tree)), &codes, 3);
+        let per = recover_batch(
+            &SigRec::with_config(config(InferEngine::PerRule)),
+            &codes,
+            3,
+        );
+        assert_eq!(tree.function_count(), per.function_count());
+        assert_eq!(tree.rule_stats, per.rule_stats);
+        for (a, b) in tree.items.iter().zip(&per.items) {
+            assert_eq!(a.index, b.index);
+            for (fa, fb) in a.functions.iter().zip(b.functions.iter()) {
+                assert_eq!(fa.selector, fb.selector);
+                assert_eq!(fa.params, fb.params);
+                assert_eq!(fa.language, fb.language);
+                assert_eq!(fa.rules, fb.rules, "rule sequences diverge");
+            }
+        }
+    }
+
+    #[test]
     fn duplicates_recovered_once_and_fanned_out() {
         let code = contract("dup(uint8,bool)");
         let codes = vec![code.clone(), contract("other(address)"), code.clone(), code];

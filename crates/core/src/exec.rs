@@ -17,6 +17,7 @@
 use crate::cow::CowStack;
 use crate::expr::{bin, un, BinOp, Expr, ExprKind, UnOp};
 use crate::facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
+use crate::infer::InferEngine;
 use crate::memory::SymMemory;
 use crate::outcome::BudgetKind;
 use sigrec_evm::program::{JumpTarget, Program, Step, StepKind, SHUFFLE_SWAP};
@@ -95,6 +96,8 @@ pub struct TaseConfig {
     pub fork_mode: ForkMode,
     /// Which interpreter steps the paths.
     pub exec_engine: ExecEngine,
+    /// Which matcher runs the R1–R31 rules over the gathered facts.
+    pub infer_engine: InferEngine,
     /// Collect per-fork [`ExecStats`] counters (off by default: the
     /// fork-cost probes are skipped entirely when disabled).
     pub collect_stats: bool,
@@ -128,6 +131,7 @@ impl Default for TaseConfig {
             block_visit_limit: 600,
             fork_mode: ForkMode::CopyOnWrite,
             exec_engine: ExecEngine::Block,
+            infer_engine: InferEngine::Tree,
             collect_stats: false,
             max_wall_time: None,
             panic_on_selector: None,

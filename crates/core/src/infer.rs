@@ -6,14 +6,28 @@
 //! position, parameter-identity propagation (done structurally through the
 //! expressions themselves), and fine-grained refinement (masks, sign
 //! extensions, range checks, byte accesses).
+//!
+//! Two matchers implement the rules (see [`InferEngine`]): the per-rule
+//! reference in this module, where each rule family re-probes the facts
+//! per candidate parameter, and the staged decision-tree matcher in
+//! [`tree`], which compiles the facts into per-offset feature bitsets
+//! once and dispatches rules by feature signature — the paper's Fig. 13
+//! reading of R1–R31 as a decision tree rather than 31 independent
+//! matchers. Both produce byte-identical [`RecoveredParams`] (parameters,
+//! language, and rule applications in order); the conformance matrix and
+//! the fuzz campaigns gate on that equivalence.
+
+mod tree;
 
 use crate::expr::{BinOp, Expr, ExprKind};
 use crate::facts::{CopyFact, FunctionFacts, LoadFact, Usage};
 use crate::rules::RuleId;
 use sigrec_abi::AbiType;
 use sigrec_evm::U256;
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+use std::time::Instant;
 
 /// The source language TASE believes produced the bytecode (rule R20).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,9 +50,80 @@ pub struct RecoveredParams {
     pub rules: Vec<RuleId>,
 }
 
-/// Runs inference over one function's facts.
+/// Which matcher runs the R1–R31 rules over a function's facts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InferEngine {
+    /// The per-rule reference matcher: every rule family re-probes
+    /// [`FunctionFacts`] (through [`FactsIndex`]) per candidate
+    /// parameter. Kept as the differential baseline the conformance
+    /// matrix and the fuzz campaigns compare against — the
+    /// `ExecEngine::Instr` of inference.
+    PerRule,
+    /// The staged decision-tree matcher ([`tree`]): per-offset feature
+    /// bitsets and per-key refinement summaries are built in one pass,
+    /// shared prefix tests run exactly once, and refinement dispatches on
+    /// the summary's feature signature. Observationally identical to
+    /// [`InferEngine::PerRule`] — same parameters, same language, same
+    /// rule applications in the same order.
+    #[default]
+    Tree,
+}
+
+/// Wall-clock split of one inference call, populated by [`infer_timed`]
+/// for the pipeline's stats accumulator. `match_nanos` is the residual:
+/// total call time minus index build minus refinement dispatch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InferTiming {
+    /// Building the side tables (both engines) / feature bitsets (tree).
+    pub index_nanos: u64,
+    /// Coarse classification and rule matching over the candidates.
+    pub match_nanos: u64,
+    /// Fine-grained refinement (masks, ranges, sign extensions).
+    pub refine_nanos: u64,
+}
+
+/// Runs inference over one function's facts with the default engine.
 pub fn infer(facts: &FunctionFacts) -> RecoveredParams {
-    Inference::new(facts).run()
+    infer_with(facts, InferEngine::default())
+}
+
+/// Runs inference over one function's facts with an explicit engine.
+pub fn infer_with(facts: &FunctionFacts, engine: InferEngine) -> RecoveredParams {
+    match engine {
+        InferEngine::PerRule => Inference::new(facts).run(),
+        InferEngine::Tree => tree::TreeInference::new(facts).run(),
+    }
+}
+
+/// Like [`infer_with`], but also reports the index/match/refine phase
+/// split. Slightly slower than the untimed path (two extra clock reads
+/// per refinement), so the pipeline only uses it under
+/// `TaseConfig::collect_stats`.
+pub fn infer_timed(facts: &FunctionFacts, engine: InferEngine) -> (RecoveredParams, InferTiming) {
+    let t0 = Instant::now();
+    let (result, index_nanos, refine_nanos) = match engine {
+        InferEngine::PerRule => {
+            let mut inf = Inference::new(facts);
+            let index_nanos = t0.elapsed().as_nanos() as u64;
+            inf.timed = true;
+            let result = inf.run();
+            (result, index_nanos, inf.refine_nanos.get())
+        }
+        InferEngine::Tree => {
+            let mut inf = tree::TreeInference::new(facts);
+            let index_nanos = t0.elapsed().as_nanos() as u64;
+            inf.timed = true;
+            let result = inf.run();
+            (result, index_nanos, inf.refine_nanos.get())
+        }
+    };
+    let total = t0.elapsed().as_nanos() as u64;
+    let timing = InferTiming {
+        index_nanos,
+        match_nanos: total.saturating_sub(index_nanos + refine_nanos),
+        refine_nanos,
+    };
+    (result, timing)
 }
 
 struct Candidate {
@@ -112,6 +197,9 @@ struct Inference<'a> {
     index: FactsIndex,
     rules: Vec<RuleId>,
     vyper: bool,
+    /// Accumulate refinement wall-clock into `refine_nanos` (stats mode).
+    timed: bool,
+    refine_nanos: Cell<u64>,
 }
 
 impl<'a> Inference<'a> {
@@ -121,6 +209,8 @@ impl<'a> Inference<'a> {
             index: FactsIndex::build(facts),
             rules: Vec::new(),
             vyper: false,
+            timed: false,
+            refine_nanos: Cell::new(0),
         }
     }
 
@@ -139,7 +229,7 @@ impl<'a> Inference<'a> {
             .collect()
     }
 
-    fn run(mut self) -> RecoveredParams {
+    fn run(&mut self) -> RecoveredParams {
         let mut candidates: Vec<Candidate> = Vec::new();
 
         // Group loads by location key (the same slot is often read several
@@ -174,7 +264,7 @@ impl<'a> Inference<'a> {
             if base < 4 || len == 0 || len % 32 != 0 {
                 continue;
             }
-            let loop_bounds = self.loop_bounds_for(copy);
+            let loop_bounds = loop_bounds_for(self.facts, copy);
             let mut dims: Vec<u64> = Vec::new();
             let mut dynamic_outer = false;
             for b in &loop_bounds {
@@ -219,7 +309,7 @@ impl<'a> Inference<'a> {
                 continue;
             }
             seen_bases.push(base);
-            let bounds = self.const_guard_bounds(&syms);
+            let bounds = const_guard_bounds(self.facts, &syms);
             if bounds.is_empty() {
                 // A symbolic read with no bound checks: no array evidence.
                 let (ty, _) = self.refine_basic_key(&g.loc.key());
@@ -254,7 +344,7 @@ impl<'a> Inference<'a> {
 
         candidates.sort_by_key(|c| c.start);
         if self.vyper {
-            self.vyperise_rules();
+            vyperise(&mut self.rules);
         }
         RecoveredParams {
             params: candidates.into_iter().map(|c| c.ty).collect(),
@@ -322,7 +412,7 @@ impl<'a> Inference<'a> {
                 };
             }
             // Multi-dimensional dynamic array copied blockwise (R10).
-            let bounds = self.loop_bounds_for(copy);
+            let bounds = loop_bounds_for(self.facts, copy);
             let has_dyn = bounds.iter().any(|b| matches!(b, Bound::Dynamic));
             let consts: Vec<u64> = bounds
                 .iter()
@@ -379,7 +469,7 @@ impl<'a> Inference<'a> {
         }
         let num_guarded = num
             .as_ref()
-            .map(|n| self.is_guard_bound(n))
+            .map(|n| is_guard_bound(self.facts, n))
             .unwrap_or(false);
 
         // One-level item loads with symbolic components.
@@ -400,7 +490,7 @@ impl<'a> Inference<'a> {
             // Word-granular item with ×32 → dynamic array (R2).
             if let Some(item) = items.iter().find(|l| mul32_outside(&l.loc, o)) {
                 let syms = syms_outside(&item.loc, o);
-                let inner = self.const_guard_bounds(&syms);
+                let inner = const_guard_bounds(self.facts, &syms);
                 let element = self.refine_basic_key_counted(&item.loc.key());
                 let mut ty = element;
                 for &d in inner.iter().rev() {
@@ -431,7 +521,7 @@ impl<'a> Inference<'a> {
             if !syms_outside(&marker_load.loc, o).is_empty() {
                 // Static-count outer dimension (bound-checked).
                 let syms = syms_outside(&marker_load.loc, o);
-                let bounds = self.const_guard_bounds(&syms);
+                let bounds = const_guard_bounds(self.facts, &syms);
                 self.rules.push(RuleId::R22);
                 let inner = self.classify_offset_param(&inner_marker);
                 let n = bounds.first().copied().unwrap_or(1) as usize;
@@ -511,66 +601,8 @@ impl<'a> Inference<'a> {
             })
             .collect();
         // Prefer one that is actually used as a bound or length.
-        candidates.sort_by_key(|l| !self.is_count_like(&l.value));
+        candidates.sort_by_key(|l| !is_count_like(self.facts, &l.value));
         candidates.first().map(|l| Rc::clone(&l.value))
-    }
-
-    fn is_guard_bound(&self, v: &Rc<Expr>) -> bool {
-        self.facts
-            .guards
-            .iter()
-            .any(|g| matches!(g.cond.kind(), ExprKind::Binary(BinOp::Lt, _, rhs) if **rhs == **v))
-    }
-
-    fn is_count_like(&self, v: &Rc<Expr>) -> bool {
-        self.is_guard_bound(v) || self.facts.copies.iter().any(|c| c.len.contains(v))
-    }
-
-    /// Bounds of constant guards whose left side shares a free symbol with
-    /// the item location, ordered by guard pc (outermost first).
-    fn const_guard_bounds(&self, item_syms: &[u32]) -> Vec<u64> {
-        let mut out: Vec<(usize, u64)> = Vec::new();
-        for g in &self.facts.guards {
-            let ExprKind::Binary(BinOp::Lt, lhs, rhs) = g.cond.kind() else {
-                continue;
-            };
-            if lhs.depends_on_calldata() {
-                continue; // Vyper value range check, not a bound check
-            }
-            let Some(bound) = rhs.eval().and_then(|v| v.as_u64()) else {
-                continue;
-            };
-            let lsyms = lhs.free_syms();
-            if lsyms.is_empty() || !lsyms.iter().all(|s| item_syms.contains(s)) {
-                continue;
-            }
-            out.push((g.pc, bound));
-        }
-        out.sort_by_key(|(pc, _)| *pc);
-        out.dedup();
-        out.into_iter().map(|(_, b)| b).collect()
-    }
-
-    /// Loop bounds governing a copy by pc-range containment, outermost
-    /// first.
-    fn loop_bounds_for(&self, copy: &CopyFact) -> Vec<Bound> {
-        let mut out: Vec<(usize, Bound)> = Vec::new();
-        for g in &self.facts.guards {
-            let Some(exit) = g.loop_exit_pc else { continue };
-            if !(g.pc < copy.pc && copy.pc < exit) {
-                continue;
-            }
-            let ExprKind::Binary(BinOp::Lt, _, rhs) = g.cond.kind() else {
-                continue;
-            };
-            let bound = match rhs.eval().and_then(|v| v.as_u64()) {
-                Some(b) => Bound::Const(b),
-                None => Bound::Dynamic,
-            };
-            out.push((g.pc, bound));
-        }
-        out.sort_by_key(|(pc, _)| *pc);
-        out.into_iter().map(|(_, b)| b).collect()
     }
 
     /// True if some byte-granular use mentions the parameter rooted at `o`
@@ -617,7 +649,7 @@ impl<'a> Inference<'a> {
             .iter()
             .map(|&i| &self.facts.uses[i as usize].usage)
             .collect();
-        let (ty, rules) = refine_from_usages(&uses);
+        let (ty, rules) = self.refined(&uses);
         self.note_refinement(&rules);
         ty
     }
@@ -639,7 +671,7 @@ impl<'a> Inference<'a> {
             .flatten()
             .map(|&i| &self.facts.uses[i as usize].usage)
             .collect();
-        refine_from_usages(&uses)
+        self.refined(&uses)
     }
 
     fn note_refinement(&mut self, rules: &[RuleId]) {
@@ -651,24 +683,100 @@ impl<'a> Inference<'a> {
         }
     }
 
-    /// Relabels Solidity-flavoured rule applications with their Vyper
-    /// counterparts once Vyper evidence is established, and records R20.
-    fn vyperise_rules(&mut self) {
-        for r in &mut self.rules {
-            *r = match *r {
-                RuleId::R4 => RuleId::R25,
-                RuleId::R3 => RuleId::R24,
-                RuleId::R18 => RuleId::R31,
-                other => other,
-            };
+    /// Times one refinement dispatch when stats mode asks for the phase
+    /// split.
+    fn refined(&self, uses: &[&Usage]) -> (AbiType, Vec<RuleId>) {
+        if !self.timed {
+            return refine_from_usages(uses);
         }
-        self.rules.insert(0, RuleId::R20);
+        let t = Instant::now();
+        let out = refine_from_usages(uses);
+        self.refine_nanos
+            .set(self.refine_nanos.get() + t.elapsed().as_nanos() as u64);
+        out
     }
 }
 
 enum Bound {
     Const(u64),
     Dynamic,
+}
+
+/// True if `v` appears as the right side of a `Lt` guard (it bounds some
+/// index — the "num used as bound" test of R1/R22).
+fn is_guard_bound(facts: &FunctionFacts, v: &Rc<Expr>) -> bool {
+    facts
+        .guards
+        .iter()
+        .any(|g| matches!(g.cond.kind(), ExprKind::Binary(BinOp::Lt, _, rhs) if **rhs == **v))
+}
+
+/// True if `v` is used as a loop bound or copy length (count evidence).
+fn is_count_like(facts: &FunctionFacts, v: &Rc<Expr>) -> bool {
+    is_guard_bound(facts, v) || facts.copies.iter().any(|c| c.len.contains(v))
+}
+
+/// Bounds of constant guards whose left side shares a free symbol with
+/// the item location, ordered by guard pc (outermost first). Shared by
+/// both engines: the probe only runs on the (rare) array-shaped paths, so
+/// the tree engine gains nothing from precomputing it.
+fn const_guard_bounds(facts: &FunctionFacts, item_syms: &[u32]) -> Vec<u64> {
+    let mut out: Vec<(usize, u64)> = Vec::new();
+    for g in &facts.guards {
+        let ExprKind::Binary(BinOp::Lt, lhs, rhs) = g.cond.kind() else {
+            continue;
+        };
+        if lhs.depends_on_calldata() {
+            continue; // Vyper value range check, not a bound check
+        }
+        let Some(bound) = rhs.eval().and_then(|v| v.as_u64()) else {
+            continue;
+        };
+        let lsyms = lhs.free_syms();
+        if lsyms.is_empty() || !lsyms.iter().all(|s| item_syms.contains(s)) {
+            continue;
+        }
+        out.push((g.pc, bound));
+    }
+    out.sort_by_key(|(pc, _)| *pc);
+    out.dedup();
+    out.into_iter().map(|(_, b)| b).collect()
+}
+
+/// Loop bounds governing a copy by pc-range containment, outermost
+/// first.
+fn loop_bounds_for(facts: &FunctionFacts, copy: &CopyFact) -> Vec<Bound> {
+    let mut out: Vec<(usize, Bound)> = Vec::new();
+    for g in &facts.guards {
+        let Some(exit) = g.loop_exit_pc else { continue };
+        if !(g.pc < copy.pc && copy.pc < exit) {
+            continue;
+        }
+        let ExprKind::Binary(BinOp::Lt, _, rhs) = g.cond.kind() else {
+            continue;
+        };
+        let bound = match rhs.eval().and_then(|v| v.as_u64()) {
+            Some(b) => Bound::Const(b),
+            None => Bound::Dynamic,
+        };
+        out.push((g.pc, bound));
+    }
+    out.sort_by_key(|(pc, _)| *pc);
+    out.into_iter().map(|(_, b)| b).collect()
+}
+
+/// Relabels Solidity-flavoured rule applications with their Vyper
+/// counterparts once Vyper evidence is established, and records R20.
+fn vyperise(rules: &mut Vec<RuleId>) {
+    for r in rules.iter_mut() {
+        *r = match *r {
+            RuleId::R4 => RuleId::R25,
+            RuleId::R3 => RuleId::R24,
+            RuleId::R18 => RuleId::R31,
+            other => other,
+        };
+    }
+    rules.insert(0, RuleId::R20);
 }
 
 /// Fine-grained basic-type refinement (rules R11–R18 and R26–R31).

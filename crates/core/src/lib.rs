@@ -42,7 +42,9 @@ pub use cow::{CowJournal, CowStack};
 pub use exec::{ExecStats, ForkMode, Tase, TaseConfig};
 pub use extract::{extract_dispatch, extract_dispatch_diag, DispatchEntry, DispatchExtraction};
 pub use facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
-pub use infer::{infer, Language, RecoveredParams};
+pub use infer::{
+    infer, infer_timed, infer_with, InferEngine, InferTiming, Language, RecoveredParams,
+};
 pub use outcome::{BudgetKind, Diagnostic, MalformedKind, RecoveryOutcome, TruncationKind};
 pub use pipeline::{Explanation, RecoveredFunction, SigRec};
 pub use rules::{RuleId, RuleStats};

@@ -18,7 +18,7 @@ use crate::cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, R
 use crate::exec::{ExecEngine, ExecStats, Tase, TaseConfig};
 use crate::extract::{extract_dispatch_diag, DispatchEntry};
 use crate::facts::FunctionFacts;
-use crate::infer::{infer, Language};
+use crate::infer::{infer_timed, infer_with, InferTiming, Language};
 use crate::outcome::{assemble_diagnostics, BudgetKind, Diagnostic, RecoveryOutcome};
 use crate::rules::RuleId;
 use sigrec_abi::{AbiType, FunctionSignature, Selector};
@@ -386,7 +386,7 @@ impl SigRec {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             let mut facts = FunctionFacts::default();
             facts.add_budget(BudgetKind::Deadline);
-            let result = infer(&facts);
+            let result = infer_with(&facts, self.config.infer_engine);
             let function = RecoveredFunction {
                 selector: entry.selector,
                 entry: entry.entry,
@@ -404,10 +404,19 @@ impl SigRec {
         }
         let (facts, exec) = tase.explore_stats(entry.entry);
         let tase_done = self.stats.as_ref().map(|_| Instant::now());
-        let result = infer(&facts);
-        if let (Some(acc), Some(tase_done)) = (&self.stats, tase_done) {
-            acc.record(&exec, tase_done - start, tase_done.elapsed(), &result.rules);
-        }
+        let result = if let (Some(acc), Some(tase_done)) = (&self.stats, tase_done) {
+            let (result, timing) = infer_timed(&facts, self.config.infer_engine);
+            acc.record(
+                &exec,
+                tase_done - start,
+                tase_done.elapsed(),
+                &result.rules,
+                &timing,
+            );
+            result
+        } else {
+            infer_with(&facts, self.config.infer_engine)
+        };
         // Memoising by body-extent hash is only sound when exploration
         // stayed inside `code[entry..extent)`: a body that reaches shared
         // helper code before its entry, or falls through past the next
@@ -474,6 +483,14 @@ struct StatsAccum {
     functions: AtomicU64,
     tase_nanos: AtomicU64,
     infer_nanos: AtomicU64,
+    /// Inference sub-phases (from [`InferTiming`]): side-table / bitset
+    /// build, coarse matching, fine-grained refinement.
+    infer_index_nanos: AtomicU64,
+    infer_match_nanos: AtomicU64,
+    infer_refine_nanos: AtomicU64,
+    /// The shared/prefix bucket of the exclusive attribution: index-build
+    /// time, calls that fired no rules, and division remainders.
+    infer_shared_nanos: AtomicU64,
     /// Wall-clock spent block-compiling programs (plan stage).
     compile_nanos: AtomicU64,
     /// Failed scheduler-queue pops, reported by the batch driver after
@@ -494,6 +511,10 @@ impl Default for StatsAccum {
             functions: AtomicU64::new(0),
             tase_nanos: AtomicU64::new(0),
             infer_nanos: AtomicU64::new(0),
+            infer_index_nanos: AtomicU64::new(0),
+            infer_match_nanos: AtomicU64::new(0),
+            infer_refine_nanos: AtomicU64::new(0),
+            infer_shared_nanos: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
             contention: AtomicU64::new(0),
             rule_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -503,7 +524,14 @@ impl Default for StatsAccum {
 }
 
 impl StatsAccum {
-    fn record(&self, exec: &ExecStats, tase: Duration, infer: Duration, rules: &[RuleId]) {
+    fn record(
+        &self,
+        exec: &ExecStats,
+        tase: Duration,
+        infer: Duration,
+        rules: &[RuleId],
+        timing: &InferTiming,
+    ) {
         let r = Ordering::Relaxed;
         self.steps.fetch_add(exec.steps, r);
         self.paths.fetch_add(exec.paths, r);
@@ -514,16 +542,35 @@ impl StatsAccum {
         self.tase_nanos.fetch_add(tase.as_nanos() as u64, r);
         let infer_nanos = infer.as_nanos() as u64;
         self.infer_nanos.fetch_add(infer_nanos, r);
-        // Attribute the whole inference call to each distinct rule that
-        // fired in it (rules are not timed individually — attribution
-        // shows where inference time concentrates, not exclusive cost).
+        self.infer_index_nanos.fetch_add(timing.index_nanos, r);
+        self.infer_match_nanos.fetch_add(timing.match_nanos, r);
+        self.infer_refine_nanos.fetch_add(timing.refine_nanos, r);
+        // Exclusive attribution: the index build belongs to no single
+        // rule and goes to the shared bucket (as does the whole call when
+        // no rule fired); the remainder splits evenly across the distinct
+        // rules that fired. The division remainder also stays shared, so
+        // per call `shared + Σ shares == infer_nanos` exactly — summed
+        // per-rule time can never exceed the infer phase.
         let mut mask = 0u32;
+        let mut distinct = 0u64;
         for rule in rules {
-            mask |= 1 << rule.index();
+            let bit = 1u32 << rule.index();
+            if mask & bit == 0 {
+                distinct += 1;
+            }
+            mask |= bit;
         }
+        if distinct == 0 {
+            self.infer_shared_nanos.fetch_add(infer_nanos, r);
+            return;
+        }
+        let divisible = infer_nanos.saturating_sub(timing.index_nanos);
+        let share = divisible / distinct;
+        self.infer_shared_nanos
+            .fetch_add(infer_nanos - share * distinct, r);
         for (i, slot) in self.rule_nanos.iter().enumerate() {
             if mask & (1 << i) != 0 {
-                slot.fetch_add(infer_nanos, r);
+                slot.fetch_add(share, r);
                 self.rule_hits[i].fetch_add(1, r);
             }
         }
@@ -543,13 +590,19 @@ impl StatsAccum {
             functions_explored: self.functions.load(r),
             tase_time: Duration::from_nanos(self.tase_nanos.load(r)),
             infer_time: Duration::from_nanos(self.infer_nanos.load(r)),
+            infer_index_time: Duration::from_nanos(self.infer_index_nanos.load(r)),
+            infer_match_time: Duration::from_nanos(self.infer_match_nanos.load(r)),
+            infer_refine_time: Duration::from_nanos(self.infer_refine_nanos.load(r)),
+            infer_shared_time: Duration::from_nanos(self.infer_shared_nanos.load(r)),
             compile_time: Duration::from_nanos(self.compile_nanos.load(r)),
+            // Keyed on hits, not on nonzero time: a rule whose exclusive
+            // share rounds to zero nanoseconds still fired.
             rule_time: RuleId::ALL
                 .iter()
                 .enumerate()
                 .filter_map(|(i, &rule)| {
-                    let nanos = self.rule_nanos[i].load(r);
-                    (nanos > 0).then(|| (rule, Duration::from_nanos(nanos)))
+                    let hits = self.rule_hits[i].load(r);
+                    (hits > 0).then(|| (rule, Duration::from_nanos(self.rule_nanos[i].load(r))))
                 })
                 .collect(),
             rule_hits: RuleId::ALL
@@ -578,12 +631,27 @@ pub struct PipelineStats {
     pub tase_time: Duration,
     /// Wall-clock spent inside rule inference.
     pub infer_time: Duration,
+    /// Inference sub-phase: building the per-function side tables /
+    /// feature bitsets ([`InferTiming::index_nanos`] summed).
+    pub infer_index_time: Duration,
+    /// Inference sub-phase: coarse classification and rule matching.
+    pub infer_match_time: Duration,
+    /// Inference sub-phase: fine-grained refinement dispatch.
+    pub infer_refine_time: Duration,
+    /// The shared/prefix bucket of the exclusive per-rule attribution:
+    /// index builds, calls that fired no rules, and rounding remainders.
+    /// `infer_shared_time + Σ rule_time == infer_time` (up to the clock
+    /// quantisation of each call).
+    pub infer_shared_time: Duration,
     /// Wall-clock spent block-compiling programs at plan time (zero under
     /// [`ExecEngine::Instr`]; shared compiles are counted once).
     pub compile_time: Duration,
-    /// Per-rule attributed inference time: each inference call's full
-    /// duration is charged to every distinct rule that fired in it, so
-    /// entries overlap and do not sum to `infer_time`.
+    /// Per-rule *exclusive* inference time: each call's duration minus
+    /// its index build splits evenly across the distinct rules that
+    /// fired, so entries never overlap and
+    /// `Σ rule_time == infer_time − infer_shared_time` (and therefore
+    /// `Σ rule_time ≤ infer_time`) holds by construction. Rules that
+    /// never fired are omitted.
     pub rule_time: Vec<(RuleId, Duration)>,
     /// Per-rule fire counts: each inference call bumps every *distinct*
     /// rule it fired once, so a rule firing twice inside one function

@@ -10,7 +10,9 @@
 //!    pipeline paths (cold/warm/batch × execution engines × fork modes)
 //!    produce the same structural digest, truncated or not, plus a
 //!    twenty-first check that a warm [`SigRec::recover_with_outcome`]
-//!    replays the cold outcome's diagnostics exactly.
+//!    replays the cold outcome's diagnostics exactly, plus a
+//!    twenty-second check that the per-rule inference reference recovers
+//!    the same digest as the (default) tree matcher on the hostile facts.
 //! 3. **Diagnostics populated** — cases engineered to truncate
 //!    (`TruncatedPushTail`, `DeepLoop`) must surface a diagnostic, never
 //!    degrade silently.
@@ -20,7 +22,7 @@
 //! [`SigRec::recover_with_outcome`]: sigrec_core::SigRec
 
 use sigrec_conformance::{execution_paths, path_digest};
-use sigrec_core::{BudgetKind, Diagnostic, MalformedKind, SigRec, TaseConfig};
+use sigrec_core::{BudgetKind, Diagnostic, InferEngine, MalformedKind, SigRec, TaseConfig};
 use sigrec_corpus::adversarial::{adversarial_cases, AdversarialCase, AdversarialKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -174,6 +176,24 @@ fn check_case(
                 ),
             ));
         }
+        // Twenty-second path: the per-rule inference reference on the
+        // same hostile, budget-truncated facts must match the tree
+        // matcher's digest exactly (rule lists included).
+        let per_rule = SigRec::with_config(TaseConfig {
+            infer_engine: InferEngine::PerRule,
+            ..tight
+        })
+        .recover_cold(&code);
+        paths += 1;
+        if path_digest(&per_rule) != reference_digest {
+            mismatches.push((
+                "infer-perrule".to_string(),
+                format!(
+                    "expected {reference_digest:?}, got {:?}",
+                    path_digest(&per_rule)
+                ),
+            ));
+        }
         (reference, mismatches, paths)
     }));
     let reference = match checked {
@@ -283,9 +303,9 @@ mod tests {
         });
         assert_eq!(report.cases, 14);
         assert!(report.is_green(), "{}", report.summary());
-        // 21 paths per case (engines × fork modes × pipeline paths, plus
-        // the warm-outcome replay).
-        assert_eq!(report.paths_checked, 14 * 21);
+        // 22 paths per case (engines × fork modes × pipeline paths, plus
+        // the warm-outcome replay and the per-rule inference cross-check).
+        assert_eq!(report.paths_checked, 14 * 22);
         // The corpus contains engineered truncations; at least the two
         // DeepLoop cases must have been cut by budgets.
         assert!(report.truncated_cases >= 2, "{}", report.summary());

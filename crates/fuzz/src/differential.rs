@@ -6,13 +6,19 @@
 //! behaviour-preserving transform, and hands the pair to the conformance
 //! oracle — every execution path must agree with the reference recovery,
 //! and the variant's signature set must match the identity emission's.
-//! Any disagreement comes back already shrunk to a minimal reproducer.
+//! On top of the oracle (which runs under the tree inference engine and
+//! already cross-checks one cold per-rule recovery), every case re-runs
+//! all twenty execution paths under [`InferEngine::PerRule`] and compares
+//! them *path for path* against the tree engine's — same path name, same
+//! structural digest. Any disagreement comes back already shrunk to a
+//! minimal reproducer (oracle violations) or as a named path mismatch
+//! (engine divergences).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sigrec_conformance::{check_case, Mismatch};
-use sigrec_core::RuleStats;
-use sigrec_corpus::metamorph::{random_sources, standard_transforms};
+use sigrec_conformance::{check_case, execution_paths, path_digest, Mismatch};
+use sigrec_core::{InferEngine, RuleStats, TaseConfig};
+use sigrec_corpus::metamorph::{random_sources, standard_transforms, SourceContract, Transform};
 
 /// Parameters for a differential campaign.
 #[derive(Clone, Copy, Debug)]
@@ -53,7 +59,7 @@ pub fn run_differential(campaign: &DifferentialCampaign) -> DifferentialReport {
     for source in &sources {
         let transforms = standard_transforms(source, rng.gen());
         let transform = &transforms[rng.gen_range(0..transforms.len())];
-        let outcome = check_case(source, transform);
+        let outcome = check_case(source, transform, InferEngine::Tree);
         report.cases += 1;
         report.paths += outcome.paths;
         for f in &outcome.functions {
@@ -62,8 +68,58 @@ pub fn run_differential(campaign: &DifferentialCampaign) -> DifferentialReport {
         if let Some(m) = outcome.mismatch {
             report.mismatches.push(m);
         }
+        compare_engines_pathwise(source, transform, &mut report);
     }
     report
+}
+
+/// Runs every execution path once per inference engine and diffs the
+/// pairs path-for-path. The conformance oracle's cross-engine relation
+/// only covers one cold recovery; this covers warm, cached, and batch
+/// paths under both engines too.
+fn compare_engines_pathwise(
+    source: &SourceContract,
+    transform: &Transform,
+    report: &mut DifferentialReport,
+) {
+    let code = source.compile_variant(transform);
+    let tree_cfg = TaseConfig {
+        infer_engine: InferEngine::Tree,
+        ..TaseConfig::default()
+    };
+    let per_cfg = TaseConfig {
+        infer_engine: InferEngine::PerRule,
+        ..TaseConfig::default()
+    };
+    let tree_paths = execution_paths(&tree_cfg, &code);
+    let per_paths = execution_paths(&per_cfg, &code);
+    debug_assert_eq!(tree_paths.len(), per_paths.len());
+    for ((name, tree), (per_name, per)) in tree_paths.into_iter().zip(per_paths) {
+        debug_assert_eq!(name, per_name);
+        report.paths += 1;
+        let (expected, got) = (path_digest(&tree), path_digest(&per));
+        if expected != got {
+            let detail = expected
+                .iter()
+                .zip(got.iter())
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("tree `{a}`, per-rule `{b}`"))
+                .unwrap_or_else(|| {
+                    format!(
+                        "tree {} function(s), per-rule {}",
+                        expected.len(),
+                        got.len()
+                    )
+                });
+            report.mismatches.push(Mismatch {
+                source: source.describe(),
+                transform: transform.name().to_string(),
+                path: format!("infer-engine[{name}]"),
+                detail,
+                minimized: None,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
