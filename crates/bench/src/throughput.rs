@@ -6,14 +6,16 @@
 //! experiment builds a synthetic corpus with an on-chain-like duplication
 //! profile (~20× mean duplication, skewed so a few templates dominate),
 //! runs it through the naive per-contract scheduler and the dedup-aware
-//! function-grained scheduler at several worker counts, verifies every
-//! run recovers identical signatures, and reports contracts/s,
-//! worker-scaling figures, executor fork-cost stats (CoW vs eager-clone
-//! forking), a compile/explore/infer phase breakdown (with the inference
-//! phase further split into index/match/refine sub-phases and the
-//! per-rule attribution reported *exclusively* — shared index/dispatch
-//! time in its own bucket, so the per-rule figures sum to at most the
-//! phase total), the worklist contention counter, a single-worker
+//! function-grained sharded work-stealing scheduler at worker counts
+//! {1, 2, 4, 8, 16} (best of several profiled runs per point), verifies
+//! every run recovers identical signatures, and reports contracts/s,
+//! per-point contract-latency tails (p50/p90/p99/max from the
+//! scheduler's log-bucketed histogram) and steal/park counters, executor
+//! fork-cost stats (CoW vs eager-clone forking), a compile/explore/infer
+//! phase breakdown (with the inference phase further split into
+//! index/match/refine sub-phases and the per-rule attribution reported
+//! *exclusively* — shared index/dispatch time in its own bucket, so the
+//! per-rule figures sum to at most the phase total), a single-worker
 //! block-vs-instruction engine probe and a single-worker
 //! tree-vs-per-rule inference probe (both double as CI gates: each
 //! engine pair must recover identical signatures), cache hit rates and
@@ -33,10 +35,32 @@ use sigrec_corpus::datasets;
 use std::time::{Duration, Instant};
 
 /// Worker counts swept by the scaling table.
-const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const WORKER_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// The worker count whose run is reported as "the" dedup figure.
 const REFERENCE_WORKERS: usize = 4;
+
+/// Profiled runs per sweep point; each point reports its best run. A
+/// full dedup pass is tens of milliseconds — well within scheduler
+/// jitter on a shared box — so a single sample per worker count would
+/// make the scaling curve mostly noise.
+const SWEEP_REPS: usize = 3;
+
+/// One worker count's best run in the scaling sweep: wall seconds plus
+/// the scheduler telemetry that run produced — the per-contract latency
+/// tail (from the batch's log-bucketed histogram) and the steal/park
+/// counters aggregated from the per-worker scheduler counters.
+struct SweepPoint {
+    workers: usize,
+    secs: f64,
+    p50: Duration,
+    p90: Duration,
+    p99: Duration,
+    max: Duration,
+    steals: u64,
+    steal_failures: u64,
+    contention: u64,
+}
 
 /// Expands `distinct` codes into a `total`-element corpus with a skewed
 /// (harmonic) duplication profile: template `i` receives weight
@@ -306,27 +330,59 @@ pub fn throughput(scale: &Scale) -> String {
 
     // The naive baseline runs at the machine's real parallelism: per-function
     // latencies are wall-clock, and oversubscribing a small box would charge
-    // scheduler preemption to individual functions.
-    let machine_workers = std::thread::available_parallelism()
+    // scheduler preemption to individual functions. Snapped down to a sweep
+    // point so the dedup latency comparison below has a matching run.
+    let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(REFERENCE_WORKERS);
+    let machine_workers = WORKER_SWEEP
+        .iter()
+        .copied()
+        .filter(|&w| w <= available)
+        .max()
+        .unwrap_or(1);
     let naive_rec = SigRec::new();
     let t0 = Instant::now();
     let naive = recover_batch_naive(&naive_rec, &codes, machine_workers);
     let naive_secs = t0.elapsed().as_secs_f64();
 
-    // Worker-scaling sweep: a fresh profiled SigRec per worker count, each
-    // run checked against the naive baseline signatures.
-    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    // Worker-scaling sweep: a fresh profiled SigRec per run, every run
+    // checked against the naive baseline signatures, best of SWEEP_REPS
+    // kept per point along with that run's latency tail and steal/park
+    // counters.
+    let mut sweep: Vec<SweepPoint> = Vec::new();
     let mut reference: Option<(BatchResult, SigRec, f64)> = None;
+    let mut latency_reference: Option<Vec<Duration>> = None;
     for &workers in &WORKER_SWEEP {
-        let rec = SigRec::new().with_exec_stats();
-        let t = Instant::now();
-        let result = recover_batch(&rec, &codes, workers);
-        let secs = t.elapsed().as_secs_f64();
-        assert_equivalent(&naive, &result);
-        sweep.push((workers, secs));
+        let mut best: Option<(f64, BatchResult, SigRec)> = None;
+        for _ in 0..SWEEP_REPS {
+            let rec = SigRec::new().with_exec_stats();
+            let t = Instant::now();
+            let result = recover_batch(&rec, &codes, workers);
+            let secs = t.elapsed().as_secs_f64();
+            assert_equivalent(&naive, &result);
+            if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
+                best = Some((secs, result, rec));
+            }
+        }
+        let (secs, result, rec) = best.expect("SWEEP_REPS > 0");
+        let profile = rec.exec_stats().expect("profiling enabled");
+        let hist = &result.contract_latency_hist;
+        sweep.push(SweepPoint {
+            workers,
+            secs,
+            p50: hist.p50(),
+            p90: hist.p90(),
+            p99: hist.p99(),
+            max: hist.max(),
+            steals: profile.exec.steals,
+            steal_failures: profile.exec.steal_failures,
+            contention: profile.exec.worklist_contention,
+        });
+        if workers == machine_workers {
+            latency_reference = Some(result.contract_latencies.clone());
+        }
         if workers == REFERENCE_WORKERS {
             reference = Some((result, rec, secs));
         }
@@ -367,11 +423,17 @@ pub fn throughput(scale: &Scale) -> String {
     };
 
     // Whole-contract wall-clock latency, plan → last function done.
-    // Naive gives per-input-contract figures; the dedup reference run
-    // gives per-distinct figures under function-grained scheduling.
+    // Naive gives per-input-contract figures; the dedup run gives
+    // per-distinct figures under function-grained scheduling. Both sides
+    // are taken at the machine's real parallelism (the naive run above
+    // and the matching sweep point here): comparing an oversubscribed
+    // dedup run against a non-oversubscribed naive baseline would charge
+    // kernel time-slicing — every contract in flight when its worker is
+    // descheduled absorbs a preemption quantum — to the scheduler. The
+    // sweep table still reports every worker count's tail unfiltered.
     let mut naive_clat = naive.contract_latencies.clone();
     naive_clat.sort_unstable();
-    let mut dedup_clat = dedup.contract_latencies.clone();
+    let mut dedup_clat = latency_reference.expect("machine_workers is in the sweep");
     dedup_clat.sort_unstable();
 
     // Per-rule *exclusive* inference time, heaviest first; the shared
@@ -410,15 +472,31 @@ pub fn throughput(scale: &Scale) -> String {
         cache.contract_hit_rate(),
         cache.function_hit_rate(),
     ));
+    json.push_str(&format!(
+        "  \"machine\": {{ \"available_parallelism\": {} }},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    ));
     json.push_str("  \"scaling\": [\n");
-    for (i, (workers, secs)) in sweep.iter().enumerate() {
+    for (i, p) in sweep.iter().enumerate() {
         json.push_str(&format!(
             "    {{ \"workers\": {}, \"seconds\": {:.4}, \"contracts_per_sec\": {:.2}, \
-             \"speedup_vs_naive\": {:.2} }}{}\n",
-            workers,
-            secs,
-            codes.len() as f64 / secs.max(1e-9),
-            naive_secs / secs.max(1e-9),
+             \"speedup_vs_naive\": {:.2}, \
+             \"latency\": {{ \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"max_us\": {:.1} }}, \
+             \"steals\": {}, \"steal_failures\": {}, \"contention\": {} }}{}\n",
+            p.workers,
+            p.secs,
+            codes.len() as f64 / p.secs.max(1e-9),
+            naive_secs / p.secs.max(1e-9),
+            micros(p.p50),
+            micros(p.p90),
+            micros(p.p99),
+            micros(p.max),
+            p.steals,
+            p.steal_failures,
+            p.contention,
             if i + 1 < sweep.len() { "," } else { "" },
         ));
     }
@@ -426,7 +504,8 @@ pub fn throughput(scale: &Scale) -> String {
     json.push_str(&format!(
         "  \"exec\": {{ \"steps\": {}, \"paths\": {}, \"forks\": {}, \
          \"fork_units_copied\": {}, \"worklist_peak\": {}, \
-         \"worklist_contention\": {}, \"functions_explored\": {}, \
+         \"worklist_contention\": {}, \"steals\": {}, \"steal_failures\": {}, \
+         \"functions_explored\": {}, \
          \"tase_ms\": {:.2}, \"infer_ms\": {:.2} }},\n",
         profile.exec.steps,
         profile.exec.paths,
@@ -434,6 +513,8 @@ pub fn throughput(scale: &Scale) -> String {
         profile.exec.fork_units_copied,
         profile.exec.worklist_peak,
         profile.exec.worklist_contention,
+        profile.exec.steals,
+        profile.exec.steal_failures,
         profile.functions_explored,
         profile.tase_time.as_secs_f64() * 1e3,
         profile.infer_time.as_secs_f64() * 1e3,
@@ -506,16 +587,21 @@ pub fn throughput(scale: &Scale) -> String {
         micros(*lat.last().unwrap_or(&Duration::ZERO)),
         tail_ratio(&lat),
     ));
+    let naive_p99 = percentile(&naive_clat, 0.99);
+    let dedup_p99 = percentile(&dedup_clat, 0.99);
     json.push_str(&format!(
         "  \"contract_latency\": {{ \"naive_p99_us\": {:.1}, \"naive_max_us\": {:.1}, \
          \"naive_max_over_p99\": {:.2}, \"dedup_p99_us\": {:.1}, \"dedup_max_us\": {:.1}, \
-         \"dedup_max_over_p99\": {:.2} }}\n",
-        micros(percentile(&naive_clat, 0.99)),
+         \"dedup_max_over_p99\": {:.2}, \"dedup_p99_over_naive_p99\": {:.2}, \
+         \"heavy_admissions\": {} }}\n",
+        micros(naive_p99),
         micros(*naive_clat.last().unwrap_or(&Duration::ZERO)),
         tail_ratio(&naive_clat),
-        micros(percentile(&dedup_clat, 0.99)),
+        micros(dedup_p99),
         micros(*dedup_clat.last().unwrap_or(&Duration::ZERO)),
         tail_ratio(&dedup_clat),
+        dedup_p99.as_secs_f64() / naive_p99.as_secs_f64().max(1e-9),
+        dedup.heavy_admissions,
     ));
     json.push_str("}\n");
     if let Err(e) = std::fs::write("BENCH_throughput.json", &json) {
@@ -549,11 +635,21 @@ pub fn throughput(scale: &Scale) -> String {
         format!("{:.1}", functions as f64 / dedup_secs.max(1e-9)),
     ]);
     t.row(&["speedup".into(), "1.0×".into(), format!("{speedup:.1}×")]);
-    for (workers, secs) in &sweep {
+    for p in &sweep {
         t.row(&[
-            format!("contracts/s @{workers}w"),
+            format!("contracts/s @{}w", p.workers),
             "—".into(),
-            format!("{:.1}", codes.len() as f64 / secs.max(1e-9)),
+            format!("{:.1}", codes.len() as f64 / p.secs.max(1e-9)),
+        ]);
+        t.row(&[
+            format!("p99/max contract @{}w", p.workers),
+            "—".into(),
+            format!("{:.0}µs / {:.0}µs", micros(p.p99), micros(p.max)),
+        ]);
+        t.row(&[
+            format!("steals/parks @{}w", p.workers),
+            "—".into(),
+            format!("{} / {}", p.steals, p.contention),
         ]);
     }
     t.row(&[
@@ -587,9 +683,14 @@ pub fn throughput(scale: &Scale) -> String {
         format!("{:.1}× (tree)", inf_probe.infer_speedup()),
     ]);
     t.row(&[
-        "worklist contention".into(),
+        "scheduler parks (ref)".into(),
         "—".into(),
         profile.exec.worklist_contention.to_string(),
+    ]);
+    t.row(&[
+        "steals / failed probes (ref)".into(),
+        "—".into(),
+        format!("{} / {}", profile.exec.steals, profile.exec.steal_failures),
     ]);
     t.row(&[
         "p99 fn latency".into(),

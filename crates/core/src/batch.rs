@@ -1,4 +1,5 @@
-//! Parallel batch recovery with dedup-first, function-grained scheduling.
+//! Parallel batch recovery with dedup-first, function-grained scheduling
+//! on sharded work-stealing deques.
 //!
 //! The paper's efficiency experiments run SigRec over 47 M functions, and
 //! deployed bytecode is massively duplicated (factory clones, token
@@ -6,11 +7,20 @@
 //! **before** dispatching work, and parallelises *inside* contracts: each
 //! distinct code is planned once ([`SigRec::plan`]: disassembly + dispatch
 //! extraction), then every (contract, dispatch-entry) pair becomes its own
-//! work unit pulled by whichever worker is free. Wide contracts no longer
-//! serialise on one worker, which is what collapses the latency tail. The
-//! finished contract is assembled in dispatcher order, memoised, and the
-//! `Arc`-shared result is fanned out to every duplicate index without
-//! cloning function vectors.
+//! work unit. The finished contract is assembled in dispatcher order,
+//! memoised, and the `Arc`-shared result is fanned out to every duplicate
+//! index without cloning function vectors.
+//!
+//! Scheduling is sharded: every worker owns a deque, claims from its own
+//! back (LIFO — depth-first, cache-hot), and steals from victims' fronts
+//! (FIFO — the oldest, coarsest jobs) when empty. Size-aware admission
+//! keeps giant contracts from head-of-line-blocking a batch: plans
+//! classified *heavy* at plan time (dispatcher width or bytecode size)
+//! scatter their function jobs across every shard's front, where they
+//! fill idle capacity without ever jumping ahead of a worker's in-flight
+//! light contracts. Light plans keep their fan-out in hand, so a small
+//! contract's latency is its own work, not its queue position. See
+//! "Sharded scheduling" in `docs/INTERNALS.md` for the full protocol.
 //!
 //! [`recover_batch_naive`] runs the same scheduler with singleton groups
 //! and the cache bypassed, as the equivalence/throughput baseline.
@@ -24,7 +34,7 @@ use crate::rules::RuleStats;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -94,6 +104,117 @@ impl BatchTimings {
     }
 }
 
+/// A log-bucketed latency histogram: bucket `i` counts observations in
+/// `[2^i, 2^(i+1))` nanoseconds, so the whole `u64` nanosecond range fits
+/// in 64 fixed buckets and recording is branch-free arithmetic — cheap
+/// enough to sit on the scheduler's completion path. Quantile reads
+/// return the *upper bound* of the bucket the quantile lands in (clamped
+/// to the exact recorded maximum), i.e. they over-estimate by at most 2×
+/// — the right bias for tail monitoring, which must never under-report.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    max: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            max: Duration::ZERO,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// The bucket index an observation falls into: `floor(log2(ns))`,
+    /// with sub-nanosecond observations clamped into bucket 0.
+    fn bucket(d: Duration) -> usize {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        ns.max(1).ilog2() as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        self.buckets[Self::bucket(d)] += 1;
+        self.count += 1;
+        self.max = self.max.max(d);
+    }
+
+    /// Accumulates another histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact maximum observation (not bucket-quantised).
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// The raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))` ns).
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (clamped to the recorded maximum). Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((self.count as f64 * q.clamp(0.0, 1.0)).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Duration::from_nanos(upper).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (bucket upper bound).
+    pub fn p90(&self) -> Duration {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Rebuilds a histogram from raw parts (the pipeline's atomic stats
+    /// accumulator stores the buckets as plain counters).
+    pub(crate) fn from_parts(buckets: [u64; 64], count: u64, max: Duration) -> Self {
+        LatencyHistogram {
+            buckets,
+            count,
+            max,
+        }
+    }
+}
+
 /// Aggregated output of [`recover_batch`].
 #[derive(Debug, Default)]
 pub struct BatchResult {
@@ -111,6 +232,14 @@ pub struct BatchResult {
     /// function completed (function-grained scheduling shows up here:
     /// a wide contract's entries run on several workers at once).
     pub contract_latencies: Vec<Duration>,
+    /// Log-bucketed histogram over `contract_latencies` — the tail
+    /// (p50/p90/p99/max) without hauling the raw vector around.
+    pub contract_latency_hist: LatencyHistogram,
+    /// Distinct contracts the size-aware admission classified *heavy*
+    /// (dispatcher width ≥ the admission threshold, or bytecode past the
+    /// EIP-170 deploy cap) and therefore scattered across every shard
+    /// instead of running depth-first on one worker.
+    pub heavy_admissions: usize,
 }
 
 impl BatchResult {
@@ -181,7 +310,7 @@ fn code_fingerprint(code: &[u8]) -> u64 {
 /// The baseline scheduler: every contract is its own group (duplicates
 /// are *not* coalesced) and the cache is bypassed, so each function is
 /// re-explored exactly as [`SigRec::recover_cold`] would. Runs on the
-/// same function-grained scheduler as [`recover_batch`].
+/// same sharded work-stealing scheduler as [`recover_batch`].
 pub fn recover_batch_naive(sigrec: &SigRec, codes: &[Vec<u8>], workers: usize) -> BatchResult {
     let groups = (0..codes.len()).map(|i| (i, vec![i])).collect();
     run_scheduler(sigrec, codes, groups, workers, CacheMode::Bypass)
@@ -189,87 +318,247 @@ pub fn recover_batch_naive(sigrec: &SigRec, codes: &[Vec<u8>], workers: usize) -
 
 /// One unit of scheduler work.
 enum Job {
-    /// Plan group `g`: disassemble, extract the dispatch table, enqueue
-    /// one [`Job::Func`] per entry.
+    /// Plan group `g`: disassemble, extract the dispatch table, fan one
+    /// [`Job::Func`] per entry (in hand for light plans, scattered across
+    /// shards for heavy ones).
     Plan(usize),
     /// Recover dispatch entry `idx` of group `group`'s plan.
     Func { group: usize, idx: usize },
 }
 
-/// Jobs a worker claims per lock acquisition. Batching amortises the
-/// mutex and condvar traffic that throttled scaling past 4 workers;
-/// kept small so depth-first ordering and work distribution survive.
-const POP_BATCH: usize = 4;
+/// Size-aware admission: a plan whose dispatch table has at least this
+/// many entries is *heavy* — its function jobs scatter across every
+/// shard's front so the whole pool chips in, instead of running
+/// depth-first (and head-of-line-blocking) on one worker. Light plans
+/// (the overwhelming majority of real contracts) stay below it and keep
+/// their fan-out in hand.
+const HEAVY_ENTRIES: usize = 32;
 
-/// Shared scheduler queue: a deque of jobs plus the count of jobs
-/// currently being executed. Workers exit when both reach zero.
-struct Queue {
-    inner: Mutex<QueueInner>,
-    ready: Condvar,
-    /// Pop attempts that found the queue empty and had to wait (one per
-    /// condvar wait) — the contention signal behind the worker-scaling
-    /// plateau, reported to the stats accumulator after the batch.
-    contention: AtomicU64,
+/// The bytecode-size admission trigger: EIP-170's deploy cap. Anything
+/// past it is synthetic (adversarial corpus, pre-spurious-dragon chains)
+/// and treated as heavy even before its dispatcher width is known to be
+/// wide — size is the plan-time signal that exploration will be slow.
+const HEAVY_CODE_BYTES: usize = 24_576;
+
+/// Upper bound on jobs moved per shard-lock acquisition, for local claims
+/// and steals alike. The actual claim is adaptive (see [`claim_size`]);
+/// the cap bounds how much work one worker can hide in hand from thieves.
+const CLAIM_CAP: usize = 8;
+
+/// Jobs a worker claims from its *own* shard per lock acquisition,
+/// adapted to the backlog-per-worker ratio: `len / workers`, clamped to
+/// `[1, CLAIM_CAP]`. A deep backlog amortises the lock over more jobs; a
+/// shallow one claims less, leaving the remainder visible to thieves
+/// instead of hidden in one worker's hand — the fixed pop constant this
+/// replaces over-grabbed exactly when the queue was nearly drained and
+/// siblings were starving.
+fn claim_size(len: usize, workers: usize) -> usize {
+    (len / workers.max(1)).clamp(1, CLAIM_CAP)
 }
 
-struct QueueInner {
-    jobs: VecDeque<Job>,
-    running: usize,
+/// Jobs a thief takes from a victim's front: steal-half, clamped to
+/// `[1, CLAIM_CAP]`. Halving keeps the victim supplied while giving the
+/// thief enough to amortise the (cross-shard) lock touch.
+fn steal_size(len: usize) -> usize {
+    (len / 2).clamp(1, CLAIM_CAP)
 }
 
-impl Queue {
-    fn new(jobs: VecDeque<Job>) -> Self {
-        Queue {
-            inner: Mutex::new(QueueInner { jobs, running: 0 }),
-            ready: Condvar::new(),
-            contention: AtomicU64::new(0),
+/// Per-worker scheduler counters. Plain (non-atomic) `u64`s: each worker
+/// owns its struct exclusively for the lifetime of the pool (handed out
+/// by `iter_mut` before the scope spawns), and the aggregation happens
+/// only after `std::thread::scope` joins every worker — the join is the
+/// happens-before edge that makes every increment visible, the same
+/// quiescence argument `StatsAccum`'s Relaxed counters rely on, taken to
+/// its limit: no atomics at all on the hot path, because no two threads
+/// ever touch the same counter and nothing reads them mid-flight.
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerCounters {
+    /// Jobs obtained by stealing from another worker's shard.
+    steals: u64,
+    /// Steal probes that found a victim's shard empty.
+    steal_failures: u64,
+    /// Times this worker parked (registered as a sleeper and waited)
+    /// because every shard was drained — the contention/idleness signal.
+    parks: u64,
+}
+
+/// One worker's deque. Owners push and claim at the *back* (LIFO,
+/// depth-first, cache-hot); thieves and heavy-admission scatter use the
+/// *front* (FIFO — the oldest, coarsest jobs, and the lowest local
+/// priority).
+struct Shard {
+    deque: Mutex<VecDeque<Job>>,
+}
+
+/// The sharded work-stealing scheduler core: per-worker deques plus the
+/// steal-aware quiescence protocol.
+///
+/// Termination: `pending` counts every job that has been created and not
+/// yet finished, wherever it lives (a shard, a worker's hand, or mid-run).
+/// Follow-up jobs are counted *before* their parent decrements, so
+/// `pending == 0` is reachable only at true quiescence. An idle worker
+/// that fails to claim or steal parks on the epoch condvar; every push
+/// bumps the epoch when sleepers are registered, and the sleeper
+/// re-scans *after* registering — one side of that pair always observes
+/// the other, so a wake-up cannot be lost. The worker finishing the last
+/// job bumps the epoch unconditionally, releasing every parked worker to
+/// observe `pending == 0` and exit.
+struct Scheduler {
+    shards: Vec<Shard>,
+    /// Jobs created and not yet finished (queued + in hand + running).
+    pending: AtomicUsize,
+    /// Workers currently registered as (about to be) parked.
+    sleepers: AtomicUsize,
+    /// Wake-up epoch: bumped by pushes (when sleepers are registered) and
+    /// by batch completion; parked workers wait for it to move.
+    epoch: Mutex<u64>,
+    wake: Condvar,
+}
+
+impl Scheduler {
+    /// Builds the scheduler with `jobs` seeded round-robin across
+    /// `workers` shards.
+    fn new(workers: usize, jobs: impl ExactSizeIterator<Item = Job>) -> Self {
+        let mut deques: Vec<VecDeque<Job>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let total = jobs.len();
+        for (k, job) in jobs.enumerate() {
+            deques[k % workers].push_back(job);
+        }
+        Scheduler {
+            shards: deques
+                .into_iter()
+                .map(|deque| Shard {
+                    deque: Mutex::new(deque),
+                })
+                .collect(),
+            pending: AtomicUsize::new(total),
+            sleepers: AtomicUsize::new(0),
+            epoch: Mutex::new(0),
+            wake: Condvar::new(),
         }
     }
 
-    /// Claims up to `max` jobs under one lock acquisition, blocking while
-    /// the queue is empty but other workers still run (they may enqueue
-    /// follow-up jobs). Returns `false` when the batch is drained.
-    fn pop_batch(&self, out: &mut VecDeque<Job>, max: usize) -> bool {
-        let mut inner = self.inner.lock().expect("scheduler poisoned");
-        loop {
-            if !inner.jobs.is_empty() {
-                let n = inner.jobs.len().min(max);
-                out.extend(inner.jobs.drain(..n));
-                inner.running += n;
-                return true;
+    fn lock(&self, shard: usize) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.shards[shard].deque.lock().expect("scheduler poisoned")
+    }
+
+    /// Bumps the wake-up epoch and wakes every parked worker.
+    fn wake_all(&self) {
+        let mut epoch = self.epoch.lock().expect("scheduler poisoned");
+        *epoch += 1;
+        drop(epoch);
+        self.wake.notify_all();
+    }
+
+    /// Wakes parked workers iff any are registered (pushes call this
+    /// after making jobs visible; the sleeper-side re-scan closes the
+    /// race, see the type-level docs).
+    fn wake_if_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.wake_all();
+        }
+    }
+
+    /// Scatters `jobs` round-robin across every shard's *front*, starting
+    /// after `from` — the heavy-admission path. Counted into `pending`
+    /// before becoming visible so quiescence can't be declared between
+    /// visibility and accounting.
+    fn push_scatter(&self, from: usize, jobs: Vec<Job>) {
+        let shards = self.shards.len();
+        self.pending.fetch_add(jobs.len(), Ordering::SeqCst);
+        let mut per_shard: Vec<Vec<Job>> = (0..shards).map(|_| Vec::new()).collect();
+        for (k, job) in jobs.into_iter().enumerate() {
+            per_shard[(from + 1 + k) % shards].push(job);
+        }
+        for (s, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
             }
-            if inner.running == 0 {
-                return false;
+            let mut deque = self.lock(s);
+            for job in batch {
+                deque.push_front(job);
             }
-            self.contention.fetch_add(1, Ordering::Relaxed);
-            inner = self.ready.wait(inner).expect("scheduler poisoned");
+        }
+        self.wake_if_sleepers();
+    }
+
+    /// Accounts follow-up jobs a worker keeps *in hand* (never visible in
+    /// a shard): they still hold the quiescence count until finished.
+    fn adopt_in_hand(&self, n: usize) {
+        self.pending.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Claims an adaptive batch from the worker's own back. Returns how
+    /// many jobs were appended to `out`.
+    fn claim_local(&self, me: usize, out: &mut VecDeque<Job>) -> usize {
+        let mut deque = self.lock(me);
+        let len = deque.len();
+        if len == 0 {
+            return 0;
+        }
+        let n = claim_size(len, self.shards.len());
+        for _ in 0..n {
+            let job = deque.pop_back().expect("len checked");
+            out.push_back(job);
+        }
+        n
+    }
+
+    /// Tries every victim once (round-robin from `me + 1`), stealing half
+    /// of the first non-empty shard's front. Returns how many jobs were
+    /// appended to `out`; updates the thief's counters either way.
+    fn steal(&self, me: usize, out: &mut VecDeque<Job>, counters: &mut WorkerCounters) -> usize {
+        let shards = self.shards.len();
+        for k in 1..shards {
+            let victim = (me + k) % shards;
+            let mut deque = self.lock(victim);
+            let len = deque.len();
+            if len == 0 {
+                counters.steal_failures += 1;
+                continue;
+            }
+            let n = steal_size(len);
+            for _ in 0..n {
+                let job = deque.pop_front().expect("len checked");
+                out.push_back(job);
+            }
+            counters.steals += n as u64;
+            return n;
+        }
+        0
+    }
+
+    /// Marks one job finished; the last one wakes everyone so parked
+    /// workers can observe quiescence and exit.
+    fn finish_job(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.wake_all();
         }
     }
 
-    /// Enqueues follow-up jobs at the *front* of the queue. Function jobs
-    /// jump ahead of not-yet-planned contracts, so an in-flight contract
-    /// drains before new ones open — depth-first scheduling keeps the
-    /// number of half-done contracts (and their slot buffers) bounded by
-    /// the worker count and makes per-contract latency measure work, not
-    /// queue position.
-    fn push_front_many(&self, jobs: impl IntoIterator<Item = Job>) {
-        let mut inner = self.inner.lock().expect("scheduler poisoned");
-        for (at, job) in jobs.into_iter().enumerate() {
-            inner.jobs.insert(at, job);
-        }
-        drop(inner);
-        self.ready.notify_all();
+    /// True when any shard has visible work.
+    fn any_queued(&self) -> bool {
+        (0..self.shards.len()).any(|s| !self.lock(s).is_empty())
     }
 
-    /// Marks one popped job as finished.
-    fn finish(&self) {
-        let mut inner = self.inner.lock().expect("scheduler poisoned");
-        inner.running -= 1;
-        let drained = inner.running == 0 && inner.jobs.is_empty();
-        drop(inner);
-        if drained {
-            self.ready.notify_all();
+    /// Parks until the epoch moves or the batch quiesces. The re-scan
+    /// after registering as a sleeper pairs with `wake_if_sleepers`'s
+    /// post-push check: whichever side runs second sees the other, so a
+    /// job pushed concurrently with parking is never slept through.
+    fn park(&self, counters: &mut WorkerCounters) {
+        let seen = *self.epoch.lock().expect("scheduler poisoned");
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.pending.load(Ordering::SeqCst) == 0 || self.any_queued() {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
         }
+        counters.parks += 1;
+        let mut epoch = self.epoch.lock().expect("scheduler poisoned");
+        while *epoch == seen && self.pending.load(Ordering::SeqCst) != 0 {
+            epoch = self.wake.wait(epoch).expect("scheduler poisoned");
+        }
+        drop(epoch);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -318,12 +607,23 @@ fn panic_diagnostic(context: &str, payload: &(dyn Any + Send)) -> Diagnostic {
     }
 }
 
+/// Everything a worker needs by reference.
+struct Ctx<'a> {
+    sigrec: &'a SigRec,
+    codes: &'a [Vec<u8>],
+    states: &'a [GroupState],
+    sched: Scheduler,
+    mode: CacheMode,
+    /// Distinct contracts classified heavy at plan time.
+    heavy: AtomicUsize,
+}
+
 /// The one scheduler both batch entry points share. `groups` maps each
 /// distinct work unit to (representative index, duplicate indices);
 /// `mode` decides cache participation. Workers pull (contract,
-/// dispatch-entry) jobs from a shared queue: planning a contract fans its
-/// entries back into the queue, and the last entry to finish assembles,
-/// seals, and timestamps the contract.
+/// dispatch-entry) jobs from sharded deques: planning a contract fans its
+/// entries (in hand when light, scattered when heavy), and the last entry
+/// to finish assembles, seals, and timestamps the contract.
 fn run_scheduler(
     sigrec: &SigRec,
     codes: &[Vec<u8>],
@@ -355,119 +655,50 @@ fn run_scheduler(
             done: OnceLock::new(),
         })
         .collect();
-    let queue = Queue::new((0..states.len()).map(Job::Plan).collect());
-    let workers = workers.max(1).min(states.len());
+    let workers = workers.max(1);
+    // Longest-plan-first seeding, the classic makespan heuristic: a
+    // giant planned early has the whole batch to amortise over instead
+    // of landing on one worker at the end. Owners claim from their
+    // shard's *back*, so the seeds are sorted ascending by code size —
+    // the largest plans land at the backs and are claimed first, while
+    // thieves (stealing from fronts) start on the small fry. Result
+    // assembly is by group index, so the schedule order is free.
+    let mut order: Vec<usize> = (0..states.len()).collect();
+    order.sort_by_key(|&g| codes[states[g].rep].len());
+    let ctx = Ctx {
+        sigrec,
+        codes,
+        states: &states,
+        sched: Scheduler::new(workers, order.into_iter().map(Job::Plan)),
+        mode,
+        heavy: AtomicUsize::new(0),
+    };
+    let mut counters: Vec<WorkerCounters> = vec![WorkerCounters::default(); workers];
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let queue = &queue;
-            let states = &states;
-            scope.spawn(move || {
-                let mut local = VecDeque::new();
-                while queue.pop_batch(&mut local, POP_BATCH) {
-                    while let Some(job) = local.pop_front() {
-                        match job {
-                            Job::Plan(g) => {
-                                let gs = &states[g];
-                                let _ = gs.started.set(Instant::now());
-                                // Panic isolation: a worker that dies planning
-                                // (or, below, recovering) one contract must not
-                                // unwind through the scope and poison the whole
-                                // batch — the contract gets an `InternalError`
-                                // diagnostic and every other contract completes.
-                                let planned = catch_unwind(AssertUnwindSafe(|| {
-                                    Arc::new(sigrec.plan(&codes[gs.rep], mode))
-                                }));
-                                let plan = match planned {
-                                    Ok(plan) => plan,
-                                    Err(payload) => {
-                                        gs.finish(
-                                            Arc::new(Vec::new()),
-                                            Arc::new(vec![panic_diagnostic(
-                                                "planning panicked",
-                                                &*payload,
-                                            )]),
-                                        );
-                                        queue.finish();
-                                        continue;
-                                    }
-                                };
-                                if let Some(hit) = &plan.cached {
-                                    let diags =
-                                        assemble_diagnostics(&hit.extraction_diags, &hit.functions);
-                                    gs.finish(Arc::clone(&hit.functions), Arc::new(diags));
-                                } else if plan.table.is_empty() {
-                                    let functions = Arc::new(Vec::new());
-                                    sigrec.seal(&plan, &functions);
-                                    gs.finish(functions, Arc::new(plan.extraction_diags.clone()));
-                                } else {
-                                    let n = plan.table.len();
-                                    *gs.slots.lock().expect("slots poisoned") =
-                                        (0..n).map(|_| None).collect();
-                                    gs.remaining.store(n, Ordering::Release);
-                                    gs.plan.set(plan).expect("plan set once");
-                                    queue.push_front_many(
-                                        (0..n).map(|idx| Job::Func { group: g, idx }),
-                                    );
-                                }
-                            }
-                            Job::Func { group, idx } => {
-                                let gs = &states[group];
-                                let plan = gs.plan.get().expect("plan precedes entries");
-                                let recovered = catch_unwind(AssertUnwindSafe(|| {
-                                    sigrec.run_entry(&codes[gs.rep], plan, idx, mode).0
-                                }));
-                                match recovered {
-                                    Ok(f) => {
-                                        gs.slots.lock().expect("slots poisoned")[idx] = Some(f)
-                                    }
-                                    Err(payload) => {
-                                        let entry = plan.table[idx];
-                                        gs.panics.lock().expect("panics poisoned").push(
-                                            panic_diagnostic(
-                                                &format!("recovery of {} panicked", entry.selector),
-                                                &*payload,
-                                            ),
-                                        );
-                                    }
-                                }
-                                if gs.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    // Last entry of the contract: assemble in
-                                    // dispatcher order (panicked entries leave
-                                    // gaps), memoise unless poisoned, timestamp.
-                                    let functions: Vec<RecoveredFunction> = gs
-                                        .slots
-                                        .lock()
-                                        .expect("slots poisoned")
-                                        .iter_mut()
-                                        .filter_map(Option::take)
-                                        .collect();
-                                    let panics = std::mem::take(
-                                        &mut *gs.panics.lock().expect("panics poisoned"),
-                                    );
-                                    if panics.is_empty() {
-                                        sigrec.seal(plan, &functions);
-                                    }
-                                    let mut diags =
-                                        assemble_diagnostics(&plan.extraction_diags, &functions);
-                                    diags.extend(panics);
-                                    gs.finish(Arc::new(functions), Arc::new(diags));
-                                }
-                            }
-                        }
-                        queue.finish();
-                    }
-                }
-            });
+        for (me, mine) in counters.iter_mut().enumerate() {
+            let ctx = &ctx;
+            scope.spawn(move || worker_loop(ctx, me, mine));
         }
     });
-    // Workers are joined; the queue's counter is quiescent.
-    sigrec.note_contention(queue.contention.load(Ordering::Relaxed));
+    // Workers are joined; the scheduler is quiescent. Aggregate the
+    // per-worker counters and hand them (plus the latency tail) to the
+    // stats accumulator.
+    let mut parks = 0u64;
+    let mut steals = 0u64;
+    let mut steal_failures = 0u64;
+    for c in &counters {
+        parks += c.parks;
+        steals += c.steals;
+        steal_failures += c.steal_failures;
+    }
+    result.heavy_admissions = ctx.heavy.load(Ordering::Relaxed);
     for gs in &states {
         let (functions, diagnostics, elapsed) = gs.done.get().expect("every group finished");
         for f in functions.iter() {
             result.timings.record(f.elapsed);
         }
         result.contract_latencies.push(*elapsed);
+        result.contract_latency_hist.record(*elapsed);
         let mut stats = RuleStats::new();
         for f in functions.iter() {
             stats.absorb(&f.rules);
@@ -481,8 +712,130 @@ fn run_scheduler(
             });
         }
     }
+    sigrec.note_scheduler(parks, steals, steal_failures, &result.contract_latencies);
     result.items.sort_by_key(|i| i.index);
     result
+}
+
+/// One worker: drain in-hand jobs, then claim from the own shard, then
+/// steal, then park; exit at quiescence.
+fn worker_loop(ctx: &Ctx<'_>, me: usize, counters: &mut WorkerCounters) {
+    let mut hand: VecDeque<Job> = VecDeque::new();
+    loop {
+        let job = match hand.pop_front() {
+            Some(job) => job,
+            None => {
+                if ctx.sched.claim_local(me, &mut hand) > 0
+                    || ctx.sched.steal(me, &mut hand, counters) > 0
+                {
+                    continue;
+                }
+                if ctx.sched.pending.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                ctx.sched.park(counters);
+                continue;
+            }
+        };
+        run_job(ctx, me, job, &mut hand);
+        ctx.sched.finish_job();
+    }
+}
+
+/// Executes one job. A light plan's fan-out goes to the *front* of the
+/// worker's hand, so the contract drains depth-first before anything else
+/// the worker has claimed — its latency measures its own work, not queue
+/// position. A heavy plan's fan-out scatters across every shard instead.
+fn run_job(ctx: &Ctx<'_>, me: usize, job: Job, hand: &mut VecDeque<Job>) {
+    match job {
+        Job::Plan(g) => {
+            let gs = &ctx.states[g];
+            let _ = gs.started.set(Instant::now());
+            // Panic isolation: a worker that dies planning (or, below,
+            // recovering) one contract must not unwind through the scope
+            // and poison the whole batch — the contract gets an
+            // `InternalError` diagnostic and every other contract
+            // completes, stolen siblings included.
+            let planned = catch_unwind(AssertUnwindSafe(|| {
+                Arc::new(ctx.sigrec.plan(&ctx.codes[gs.rep], ctx.mode))
+            }));
+            let plan = match planned {
+                Ok(plan) => plan,
+                Err(payload) => {
+                    gs.finish(
+                        Arc::new(Vec::new()),
+                        Arc::new(vec![panic_diagnostic("planning panicked", &*payload)]),
+                    );
+                    return;
+                }
+            };
+            if let Some(hit) = &plan.cached {
+                let diags = assemble_diagnostics(&hit.extraction_diags, &hit.functions);
+                gs.finish(Arc::clone(&hit.functions), Arc::new(diags));
+            } else if plan.table.is_empty() {
+                let functions = Arc::new(Vec::new());
+                ctx.sigrec.seal(&plan, &functions);
+                gs.finish(functions, Arc::new(plan.extraction_diags.clone()));
+            } else {
+                let n = plan.table.len();
+                let heavy = n >= HEAVY_ENTRIES || ctx.codes[gs.rep].len() >= HEAVY_CODE_BYTES;
+                *gs.slots.lock().expect("slots poisoned") = (0..n).map(|_| None).collect();
+                gs.remaining.store(n, Ordering::Release);
+                gs.plan.set(plan).expect("plan set once");
+                let jobs: Vec<Job> = (0..n).map(|idx| Job::Func { group: g, idx }).collect();
+                if heavy {
+                    ctx.heavy.fetch_add(1, Ordering::Relaxed);
+                    ctx.sched.push_scatter(me, jobs);
+                } else {
+                    ctx.sched.adopt_in_hand(jobs.len());
+                    for (at, job) in jobs.into_iter().enumerate() {
+                        hand.insert(at, job);
+                    }
+                }
+            }
+        }
+        Job::Func { group, idx } => {
+            let gs = &ctx.states[group];
+            let plan = gs.plan.get().expect("plan precedes entries");
+            let recovered = catch_unwind(AssertUnwindSafe(|| {
+                ctx.sigrec
+                    .run_entry(&ctx.codes[gs.rep], plan, idx, ctx.mode)
+                    .0
+            }));
+            match recovered {
+                Ok(f) => gs.slots.lock().expect("slots poisoned")[idx] = Some(f),
+                Err(payload) => {
+                    let entry = plan.table[idx];
+                    gs.panics
+                        .lock()
+                        .expect("panics poisoned")
+                        .push(panic_diagnostic(
+                            &format!("recovery of {} panicked", entry.selector),
+                            &*payload,
+                        ));
+                }
+            }
+            if gs.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last entry of the contract: assemble in dispatcher
+                // order (panicked entries leave gaps), memoise unless
+                // poisoned, timestamp.
+                let functions: Vec<RecoveredFunction> = gs
+                    .slots
+                    .lock()
+                    .expect("slots poisoned")
+                    .iter_mut()
+                    .filter_map(Option::take)
+                    .collect();
+                let panics = std::mem::take(&mut *gs.panics.lock().expect("panics poisoned"));
+                if panics.is_empty() {
+                    ctx.sigrec.seal(plan, &functions);
+                }
+                let mut diags = assemble_diagnostics(&plan.extraction_diags, &functions);
+                diags.extend(panics);
+                gs.finish(Arc::new(functions), Arc::new(diags));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -515,6 +868,8 @@ mod tests {
         assert_eq!(result.function_count(), 4);
         assert_eq!(result.dedup.distinct_contracts, 4);
         assert_eq!(result.contract_latencies.len(), 4);
+        assert_eq!(result.contract_latency_hist.count(), 4);
+        assert_eq!(result.heavy_admissions, 0, "small contracts stay light");
     }
 
     #[test]
@@ -532,6 +887,8 @@ mod tests {
         assert_eq!(result.function_count(), 0);
         assert_eq!(result.dedup.dedup_rate(), 0.0);
         assert!(result.contract_latencies.is_empty());
+        assert_eq!(result.contract_latency_hist.count(), 0);
+        assert_eq!(result.contract_latency_hist.p99(), Duration::ZERO);
     }
 
     #[test]
@@ -628,6 +985,7 @@ mod tests {
         let naive = recover_batch_naive(&SigRec::new(), &codes, 2);
         assert_eq!(naive.timings.count, 3);
         assert_eq!(naive.contract_latencies.len(), 3);
+        assert_eq!(naive.contract_latency_hist.count(), 3);
     }
 
     #[test]
@@ -681,6 +1039,83 @@ mod tests {
                 assert_eq!(df.selector, nf.selector);
                 assert_eq!(df.params, nf.params);
             }
+        }
+    }
+
+    #[test]
+    fn claim_is_adaptive_in_backlog_and_workers() {
+        // Deep backlog, few workers: claim the cap. Shallow backlog, many
+        // workers: claim one, leaving the rest visible to thieves.
+        assert_eq!(claim_size(64, 4), CLAIM_CAP);
+        assert_eq!(claim_size(64, 64), 1);
+        assert_eq!(claim_size(3, 8), 1);
+        assert_eq!(claim_size(1, 1), 1);
+        assert_eq!(claim_size(100, 1), CLAIM_CAP);
+        // Never zero, even on an (impossible) zero-worker call.
+        assert_eq!(claim_size(5, 0), 5.min(CLAIM_CAP));
+    }
+
+    #[test]
+    fn steal_takes_half_up_to_the_cap() {
+        assert_eq!(steal_size(1), 1);
+        assert_eq!(steal_size(2), 1);
+        assert_eq!(steal_size(7), 3);
+        assert_eq!(steal_size(100), CLAIM_CAP);
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_merge() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        // 99 fast observations and one slow outlier: p50/p90 stay in the
+        // fast bucket's bound, p99 reaches at most the next bucket up,
+        // max is exact.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), Duration::from_millis(50));
+        // 100 µs lands in [2^16, 2^17) ns → upper bound 131 071 ns.
+        assert!(h.p50() >= Duration::from_micros(100));
+        assert!(h.p50() < Duration::from_micros(200));
+        assert!(h.p90() < Duration::from_micros(200));
+        // p99 is the 99th fast observation, still in the fast bucket.
+        assert!(h.p99() < Duration::from_micros(200));
+        assert_eq!(h.quantile(1.0), Duration::from_millis(50));
+        // Merge keeps counts and the exact max.
+        let mut other = LatencyHistogram::default();
+        other.record(Duration::from_millis(80));
+        h.merge(&other);
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.max(), Duration::from_millis(80));
+        // Sub-nanosecond observations clamp into bucket 0, not a panic.
+        let mut zero = LatencyHistogram::default();
+        zero.record(Duration::ZERO);
+        assert_eq!(zero.count(), 1);
+        assert_eq!(zero.buckets()[0], 1);
+    }
+
+    #[test]
+    fn histogram_quantile_never_underestimates() {
+        // The tail-monitoring contract: quantile(q) is an upper bound on
+        // the true q-quantile (clamped to the exact max).
+        let mut h = LatencyHistogram::default();
+        let samples: Vec<Duration> = (1..=200).map(|i| Duration::from_micros(i * 37)).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            assert!(
+                h.quantile(q) >= truth,
+                "q={q}: histogram {:?} under-reports true {truth:?}",
+                h.quantile(q)
+            );
+            assert!(h.quantile(q) <= h.max());
         }
     }
 }

@@ -36,6 +36,7 @@ pub mod shrink;
 
 pub use batch::{
     recover_batch, recover_batch_naive, BatchItem, BatchResult, BatchTimings, DedupStats,
+    LatencyHistogram,
 };
 pub use cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, RecoveryCache};
 pub use cow::{CowJournal, CowStack};

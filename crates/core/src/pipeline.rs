@@ -14,6 +14,7 @@
 //! whole contracts by `keccak256(code)`, individual functions by
 //! `(body-extent hash, entry pc)`.
 
+use crate::batch::LatencyHistogram;
 use crate::cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, RecoveryCache};
 use crate::exec::{ExecEngine, ExecStats, Tase, TaseConfig};
 use crate::extract::{extract_dispatch_diag, DispatchEntry};
@@ -190,11 +191,34 @@ impl SigRec {
         self.cache.stats()
     }
 
-    /// Records scheduler-queue contention (failed pop attempts) observed
-    /// by the batch driver. A no-op without [`SigRec::with_exec_stats`].
-    pub(crate) fn note_contention(&self, failed_pops: u64) {
+    /// Records one batch run's scheduler telemetry, reported by the batch
+    /// driver after its workers join: park events (the contention /
+    /// idleness signal), steal counts, and the per-contract latency
+    /// distribution. A no-op without [`SigRec::with_exec_stats`].
+    pub(crate) fn note_scheduler(
+        &self,
+        parks: u64,
+        steals: u64,
+        steal_failures: u64,
+        latencies: &[Duration],
+    ) {
         if let Some(acc) = &self.stats {
-            acc.contention.fetch_add(failed_pops, Ordering::Relaxed);
+            let r = Ordering::Relaxed;
+            acc.contention.fetch_add(parks, r);
+            acc.steals.fetch_add(steals, r);
+            acc.steal_failures.fetch_add(steal_failures, r);
+            let mut hist = LatencyHistogram::default();
+            for &d in latencies {
+                hist.record(d);
+            }
+            for (slot, &n) in acc.latency_buckets.iter().zip(hist.buckets()) {
+                if n > 0 {
+                    slot.fetch_add(n, r);
+                }
+            }
+            acc.latency_count.fetch_add(hist.count(), r);
+            acc.latency_max_nanos
+                .fetch_max(hist.max().as_nanos() as u64, r);
         }
     }
 
@@ -493,9 +517,25 @@ struct StatsAccum {
     infer_shared_nanos: AtomicU64,
     /// Wall-clock spent block-compiling programs (plan stage).
     compile_nanos: AtomicU64,
-    /// Failed scheduler-queue pops, reported by the batch driver after
-    /// its workers join.
+    /// Scheduler park events, reported by the batch driver after its
+    /// workers join. The batch scheduler itself keeps *plain* per-worker
+    /// counters (each owned exclusively by one worker for the pool's
+    /// lifetime) and sums them only after `std::thread::scope` joins —
+    /// the same quiescence argument as above, taken further: the join is
+    /// the sole visibility edge, so the hot path needs no atomics at all,
+    /// and these accumulator slots only ever see the already-aggregated
+    /// totals.
     contention: AtomicU64,
+    /// Work-steal successes (jobs taken from another worker's shard),
+    /// aggregated like `contention`.
+    steals: AtomicU64,
+    /// Steal probes that found the victim empty, aggregated likewise.
+    steal_failures: AtomicU64,
+    /// Per-contract latency histogram (log2-nanosecond buckets mirroring
+    /// [`LatencyHistogram`]), merged in per batch after the workers join.
+    latency_buckets: [AtomicU64; 64],
+    latency_count: AtomicU64,
+    latency_max_nanos: AtomicU64,
     rule_nanos: [AtomicU64; RuleId::ALL.len()],
     rule_hits: [AtomicU64; RuleId::ALL.len()],
 }
@@ -517,6 +557,11 @@ impl Default for StatsAccum {
             infer_shared_nanos: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
             contention: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            steal_failures: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_count: AtomicU64::new(0),
+            latency_max_nanos: AtomicU64::new(0),
             rule_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
             rule_hits: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -586,7 +631,14 @@ impl StatsAccum {
                 fork_units_copied: self.fork_units.load(r),
                 worklist_peak: self.worklist_peak.load(r),
                 worklist_contention: self.contention.load(r),
+                steals: self.steals.load(r),
+                steal_failures: self.steal_failures.load(r),
             },
+            contract_latency: LatencyHistogram::from_parts(
+                std::array::from_fn(|i| self.latency_buckets[i].load(r)),
+                self.latency_count.load(r),
+                Duration::from_nanos(self.latency_max_nanos.load(r)),
+            ),
             functions_explored: self.functions.load(r),
             tase_time: Duration::from_nanos(self.tase_nanos.load(r)),
             infer_time: Duration::from_nanos(self.infer_nanos.load(r)),
@@ -625,6 +677,10 @@ impl StatsAccum {
 pub struct PipelineStats {
     /// Summed executor counters (`worklist_peak` takes the max).
     pub exec: ExecStats,
+    /// Per-contract wall-clock latency distribution over every batch run
+    /// this instance drove (plan to last function; distinct contracts
+    /// only). Empty for non-batch usage.
+    pub contract_latency: LatencyHistogram,
     /// Functions actually explored (= function-cache misses that ran).
     pub functions_explored: u64,
     /// Wall-clock spent inside TASE exploration.

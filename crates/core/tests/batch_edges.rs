@@ -1,7 +1,8 @@
 //! Worker-count and degenerate-input edges of the batch schedulers.
 //!
-//! The scheduler clamps `workers` to `max(1).min(jobs)`, fans duplicate
-//! contracts out from one recovery, and must survive contracts with no
+//! The scheduler clamps `workers` to at least 1 (surplus workers beyond
+//! the job count park and exit at quiescence), fans duplicate contracts
+//! out from one recovery, and must survive contracts with no
 //! dispatcher at all. These tests pin those edges for both the
 //! dedup-first and naive schedulers, always checking the two agree with
 //! each other and with serial cold recovery.
@@ -75,9 +76,10 @@ fn single_contract_single_worker() {
 
 #[test]
 fn far_more_workers_than_jobs() {
-    // 64 workers for 3 contracts: the clamp means the surplus threads
-    // are never spawned, and the results are position-for-position
-    // identical to the serial reference.
+    // 64 workers for 3 contracts: the surplus workers find every shard
+    // empty, park, and exit at quiescence without disturbing the
+    // results, which stay position-for-position identical to the serial
+    // reference.
     let codes = vec![
         code(&["transfer(address,uint256)"]),
         code(&["sum(uint256[])", "set(bytes)"]),

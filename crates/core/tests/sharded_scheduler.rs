@@ -1,0 +1,252 @@
+//! Scheduler-level guarantees of the sharded work-stealing batch driver.
+//!
+//! Three properties the unit tests can't pin from inside `batch.rs`:
+//! naive≡dedup result equivalence across the whole worker-count range
+//! (including counts far above the job count, where most workers only
+//! ever steal or park), panic isolation when the poisoned contract is
+//! *heavy* — its entries scattered across every shard, so the panic fires
+//! on a stolen sibling's worker — and the size-aware admission guarantee
+//! that a giant dispatcher cannot head-of-line-block small contracts.
+
+use sigrec_core::exec::TaseConfig;
+use sigrec_core::outcome::Diagnostic;
+use sigrec_core::{recover_batch, recover_batch_naive, BatchResult, SigRec};
+use sigrec_solc::{compile, CompilerConfig, FunctionSpec, Visibility};
+use std::sync::Arc;
+
+fn contract(decls: &[&str]) -> Vec<u8> {
+    let specs: Vec<FunctionSpec> = decls
+        .iter()
+        .map(|d| FunctionSpec::parse(d, Visibility::External).expect("valid test declaration"))
+        .collect();
+    compile(&specs, &CompilerConfig::default()).code
+}
+
+/// A dispatcher wide enough to cross the heavy-admission threshold
+/// (32 entries), with every entry doing real recovery work.
+fn wide_contract(functions: usize) -> Vec<u8> {
+    let types = [
+        "uint8",
+        "bool",
+        "address",
+        "uint256",
+        "bytes4",
+        "uint16",
+        "int128",
+        "bytes",
+        "uint256[]",
+        "string",
+    ];
+    let decls: Vec<String> = (0..functions)
+        .map(|i| format!("w{i}({})", types[i % types.len()]))
+        .collect();
+    let refs: Vec<&str> = decls.iter().map(String::as_str).collect();
+    contract(&refs)
+}
+
+fn assert_equivalent(dedup: &BatchResult, naive: &BatchResult, codes: &[Vec<u8>], label: &str) {
+    assert_eq!(dedup.items.len(), codes.len(), "{label}");
+    assert_eq!(naive.items.len(), codes.len(), "{label}");
+    for (d, n) in dedup.items.iter().zip(&naive.items) {
+        assert_eq!(d.index, n.index, "{label}");
+        assert_eq!(
+            d.functions.len(),
+            n.functions.len(),
+            "{label}: contract {} function count",
+            d.index
+        );
+        for (df, nf) in d.functions.iter().zip(n.functions.iter()) {
+            assert_eq!(df.selector, nf.selector, "{label}: contract {}", d.index);
+            assert_eq!(df.entry, nf.entry, "{label}: contract {}", d.index);
+            assert_eq!(
+                df.params, nf.params,
+                "{label}: contract {} {:?}",
+                d.index, df.selector
+            );
+            assert_eq!(df.language, nf.language, "{label}: contract {}", d.index);
+        }
+    }
+    let rules = |r: &BatchResult| r.rule_stats.iter().collect::<Vec<_>>();
+    assert_eq!(rules(dedup), rules(naive), "{label}: rule stats");
+}
+
+#[test]
+fn naive_and_dedup_agree_across_the_worker_range() {
+    // A mixed corpus with duplicate fan-out: 18 contracts, 6 distinct,
+    // one of them wide enough to be admitted heavy. Worker counts span
+    // serial, moderate, above the distinct-group count, and far above
+    // the total job count (64 workers for ~50 jobs: most workers live
+    // entirely off stealing and parking).
+    let distinct = [
+        contract(&["transfer(address,uint256)", "balanceOf(address)"]),
+        contract(&["sum(uint256[])"]),
+        contract(&["pair(uint8,uint16)", "mix(bytes,bool)"]),
+        contract(&["note(string)"]),
+        contract(&["burn(uint256)", "mint(address,uint256)"]),
+        wide_contract(34),
+    ];
+    let codes: Vec<Vec<u8>> = (0..18)
+        .map(|i| distinct[i % distinct.len()].clone())
+        .collect();
+    for workers in [1, 2, 8, 16, 64] {
+        let dedup = recover_batch(&SigRec::new(), &codes, workers);
+        let naive = recover_batch_naive(&SigRec::new(), &codes, workers);
+        assert_equivalent(&dedup, &naive, &codes, &format!("workers={workers}"));
+        assert_eq!(dedup.dedup.total_contracts, 18);
+        assert_eq!(dedup.dedup.distinct_contracts, 6);
+        assert_eq!(naive.dedup.distinct_contracts, 18);
+        // The wide contract crosses the 32-entry admission threshold in
+        // every mode; the dedup run admits its one distinct copy, the
+        // naive run all three.
+        assert_eq!(dedup.heavy_admissions, 1, "workers={workers}");
+        assert_eq!(naive.heavy_admissions, 3, "workers={workers}");
+        // Duplicates share one Arc (indices 0, 6, 12 are the same code).
+        assert!(Arc::ptr_eq(
+            &dedup.items[0].functions,
+            &dedup.items[6].functions
+        ));
+        assert!(Arc::ptr_eq(
+            &dedup.items[0].functions,
+            &dedup.items[12].functions
+        ));
+        // Latency accounting covers exactly the distinct work.
+        assert_eq!(dedup.contract_latencies.len(), 6);
+        assert_eq!(dedup.contract_latency_hist.count(), 6);
+        assert!(dedup.contract_latency_hist.p99() <= dedup.contract_latency_hist.max());
+    }
+}
+
+#[test]
+fn heavy_contract_panic_does_not_poison_stolen_siblings() {
+    // The victim is heavy (33 entries), so its function jobs scatter
+    // across every shard and the injected panic fires on whichever
+    // worker stole that entry — isolation must hold across the steal
+    // boundary, and the victim's *other* 32 entries (also running on
+    // other workers) must still assemble into the partial result.
+    let victim = wide_contract(33);
+    let victim_fns = SigRec::new().recover_cold(&victim);
+    assert_eq!(victim_fns.len(), 33);
+    let poisoned_selector = victim_fns[16].selector;
+    let bystanders: Vec<Vec<u8>> = (0..6)
+        .map(|i| contract(&[&format!("clean{i}(uint256)")]))
+        .collect();
+    let mut codes = vec![victim.clone()];
+    codes.extend(bystanders);
+    codes.push(victim.clone()); // duplicate of the poisoned contract
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let config = TaseConfig {
+        panic_on_selector: Some(poisoned_selector.as_u32()),
+        ..TaseConfig::default()
+    };
+    let result = recover_batch(&SigRec::with_config(config), &codes, 8);
+    std::panic::set_hook(hook);
+    assert_eq!(result.items.len(), 8);
+    for item in &result.items {
+        if item.index == 0 || item.index == 7 {
+            // The poisoned entry is missing; the other 32 survive, with
+            // an internal-error diagnostic recording the panic.
+            assert_eq!(item.functions.len(), 32, "victim #{}", item.index);
+            assert!(
+                item.diagnostics
+                    .iter()
+                    .any(|d| matches!(d, Diagnostic::InternalError { context } if context.contains("panicked"))),
+                "victim #{}: {:?}",
+                item.index,
+                item.diagnostics
+            );
+        } else {
+            assert_eq!(item.functions.len(), 1, "bystander #{}", item.index);
+            assert!(
+                item.diagnostics.is_empty(),
+                "bystander #{} contaminated: {:?}",
+                item.index,
+                item.diagnostics
+            );
+        }
+    }
+    // Both victim copies fan out from the one (partial) recovery.
+    assert!(Arc::ptr_eq(
+        &result.items[0].functions,
+        &result.items[7].functions
+    ));
+    // A poisoned group is never memoised: recovering the same bytes
+    // without the injection succeeds from scratch.
+    assert_eq!(SigRec::new().recover(&victim).len(), 33);
+}
+
+#[test]
+fn giant_dispatcher_does_not_head_of_line_block_small_contracts() {
+    // One giant (64 entries, each doing real TASE work — the naive
+    // scheduler bypasses the cache, so repeated body shapes don't
+    // collapse into hits) in front of 200 distinct small contracts, on
+    // two workers. Size-aware admission classifies the giant heavy at
+    // plan time and scatters its entries at *lowest* local priority:
+    // small contracts drain depth-first in a worker's hand (latency =
+    // own work), while the giant's entries fill otherwise-idle capacity
+    // and finish near the batch's end.
+    let giant = wide_contract(64);
+    let types = ["uint8", "bool", "address", "uint16", "bytes4"];
+    let mut codes = vec![giant];
+    for i in 0..200 {
+        codes.push(contract(&[&format!("s{i}({})", types[i % types.len()])]));
+    }
+    let start = std::time::Instant::now();
+    let result = recover_batch_naive(&SigRec::new(), &codes, 2);
+    let wall = start.elapsed();
+    assert_eq!(result.items.len(), 201);
+    assert_eq!(result.items[0].functions.len(), 64);
+    assert_eq!(
+        result.heavy_admissions, 1,
+        "exactly the giant crosses the admission threshold"
+    );
+    // Latencies are recorded per group in input order: index 0 is the
+    // giant. Its plan starts early (largest-first seeding) and its
+    // lowest-priority entries drain across the whole batch, so its
+    // latency spans a large fraction of the batch wall-clock — if it
+    // ran depth-first on one worker instead (admission broken), its
+    // latency would be just its own ~64 functions of work, a sliver of
+    // the 200-contract batch.
+    assert_eq!(result.contract_latencies.len(), 201);
+    let giant_latency = result.contract_latencies[0];
+    assert!(
+        giant_latency >= wall / 4,
+        "giant finished depth-first ({giant_latency:?} of {wall:?} wall) — \
+         heavy admission did not scatter it"
+    );
+    // Every small's latency is its own work, far below the giant's
+    // batch-spanning drain. OS preemption on a loaded box can inflate a
+    // few smalls mid-flight, so assert the distribution, not each
+    // sample: the median stays well under the giant and outliers above
+    // half the giant's latency stay rare.
+    let smalls = &result.contract_latencies[1..];
+    let mut sorted = smalls.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    assert!(
+        median * 10 < giant_latency,
+        "median small latency {median:?} is not clearly below the giant's {giant_latency:?}"
+    );
+    let blocked = smalls.iter().filter(|&&s| s >= giant_latency / 2).count();
+    assert!(
+        blocked <= 5,
+        "{blocked} of 200 small contracts waited on the giant \
+         (≥ {:?})",
+        giant_latency / 2
+    );
+    // The histogram sees the same tail: its exact max is the slowest
+    // group's latency.
+    assert_eq!(
+        result.contract_latency_hist.max(),
+        *result.contract_latencies.iter().max().unwrap()
+    );
+    // Correctness spot-check against serial recovery.
+    for &i in &[0usize, 1, 100, 200] {
+        let reference = SigRec::new().recover_cold(&codes[i]);
+        assert_eq!(result.items[i].functions.len(), reference.len());
+        for (got, want) in result.items[i].functions.iter().zip(&reference) {
+            assert_eq!(got.selector, want.selector);
+            assert_eq!(got.params, want.params);
+        }
+    }
+}
