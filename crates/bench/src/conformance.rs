@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use sigrec_conformance::{run, write_coverage_json, RunOptions};
 use sigrec_core::RuleId;
 use sigrec_corpus::metamorph::{conformance_corpus, random_sources};
+use sigrec_corpus::scenario::ScenarioClass;
 
 /// Runs the conformance harness and renders the coverage report.
 pub fn conformance(scale: &Scale) -> String {
@@ -54,17 +55,30 @@ pub fn conformance(scale: &Scale) -> String {
         table.row(&cells);
     }
 
+    // The dispatcher-scenario battery's per-class coverage (gated by the
+    // harness: a class at zero turns the whole run red).
+    let mut scenarios = TextTable::new(&["scenario class", "cases"]);
+    for class in ScenarioClass::all() {
+        let n = report
+            .scenario_class_hits
+            .get(class.name())
+            .copied()
+            .unwrap_or(0);
+        scenarios.row(&[class.name().to_string(), n.to_string()]);
+    }
+
     if let Err(e) = write_coverage_json(&report, "CONFORMANCE_coverage.json") {
         eprintln!("warning: could not write CONFORMANCE_coverage.json: {e}");
     }
 
     format!(
         "Conformance ({} targeted + {} random sources; \
-         CONFORMANCE_coverage.json written)\n{}\n{}",
+         CONFORMANCE_coverage.json written)\n{}\n{}\n{}",
         targeted,
         extras,
         report.summary().trim_end(),
-        table.render()
+        table.render(),
+        scenarios.render()
     )
 }
 
@@ -80,6 +94,8 @@ mod tests {
             seed: 9,
         });
         assert!(report.contains("rule coverage: 31/31"), "{report}");
+        assert!(report.contains("scenario classes: 7/7"), "{report}");
+        assert!(report.contains("minimal-proxy"), "{report}");
         assert!(report.contains("mismatches: 0"), "{report}");
         let _ = std::fs::remove_file("CONFORMANCE_coverage.json");
     }

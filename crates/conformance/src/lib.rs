@@ -30,10 +30,14 @@
 
 use sigrec_core::exec::{ExecEngine, ForkMode};
 use sigrec_core::{
-    recover_batch, recover_batch_naive, InferEngine, RecoveredFunction, RuleId, RuleStats, SigRec,
-    TaseConfig,
+    recover_batch, recover_batch_naive, Diagnostic, InferEngine, RecoveredFunction, RuleId,
+    RuleStats, SigRec, TaseConfig,
 };
 use sigrec_corpus::metamorph::{standard_transforms, SourceContract, Transform};
+use sigrec_corpus::scenario::{
+    scenario_corpus, DispatchScenario, ScenarioBundle, ScenarioClass, ScenarioExpectation,
+};
+use std::collections::BTreeMap;
 
 /// One observed conformance violation.
 #[derive(Clone, Debug)]
@@ -107,6 +111,11 @@ pub struct ConformanceReport {
     pub paths_checked: usize,
     /// How often each rule R1–R31 fired across every reference recovery.
     pub rule_hits: RuleStats,
+    /// Checked cases per dispatcher scenario class
+    /// ([`ScenarioClass::name`] → count). A class at zero means the
+    /// deployment-shape battery regressed to not exercising it, which
+    /// [`is_green`](Self::is_green) treats as a failure in its own right.
+    pub scenario_class_hits: BTreeMap<String, usize>,
     /// All violations found.
     pub mismatches: Vec<Mismatch>,
 }
@@ -121,17 +130,31 @@ impl ConformanceReport {
             .collect()
     }
 
-    /// True when every rule fired and no path disagreed.
+    /// Dispatcher scenario classes with zero covered cases.
+    pub fn uncovered_scenarios(&self) -> Vec<&'static str> {
+        ScenarioClass::all()
+            .iter()
+            .map(|c| c.name())
+            .filter(|name| self.scenario_class_hits.get(*name).copied().unwrap_or(0) == 0)
+            .collect()
+    }
+
+    /// True when every rule fired, every scenario class was exercised,
+    /// and no path disagreed.
     pub fn is_green(&self) -> bool {
-        self.mismatches.is_empty() && self.uncovered().is_empty()
+        self.mismatches.is_empty()
+            && self.uncovered().is_empty()
+            && self.uncovered_scenarios().is_empty()
     }
 
     /// A human-readable summary block.
     pub fn summary(&self) -> String {
         let covered = RuleId::ALL.len() - self.uncovered().len();
+        let class_total = ScenarioClass::all().len();
         let mut out = format!(
             "conformance: {} contracts, {} cases, {} paths compared\n\
              rule coverage: {}/{} ({})\n\
+             scenario classes: {}/{} ({})\n\
              mismatches: {}\n",
             self.contracts,
             self.cases,
@@ -143,6 +166,13 @@ impl ConformanceReport {
             } else {
                 let missing: Vec<String> = self.uncovered().iter().map(|r| r.to_string()).collect();
                 format!("missing {}", missing.join(", "))
+            },
+            class_total - self.uncovered_scenarios().len(),
+            class_total,
+            if self.uncovered_scenarios().is_empty() {
+                "full".to_string()
+            } else {
+                format!("missing {}", self.uncovered_scenarios().join(", "))
             },
             self.mismatches.len(),
         );
@@ -190,6 +220,25 @@ impl ConformanceReport {
             .map(|(r, n)| format!("    \"{r}\": {n}"))
             .collect();
         json.push_str(&hits.join(",\n"));
+        json.push_str("\n  },\n");
+        // Per-class coverage table for the dispatcher-scenario battery.
+        // Every class is listed (zeroes included) so CI can gate on "no
+        // class reports 0 covered cases" without knowing the class list.
+        let class_total = ScenarioClass::all().len();
+        json.push_str(&format!(
+            "  \"scenario_classes_covered\": {},\n  \"scenario_classes_total\": {},\n",
+            class_total - self.uncovered_scenarios().len(),
+            class_total
+        ));
+        json.push_str("  \"scenario_classes\": {\n");
+        let classes: Vec<String> = ScenarioClass::all()
+            .iter()
+            .map(|c| {
+                let n = self.scenario_class_hits.get(c.name()).copied().unwrap_or(0);
+                format!("    \"{}\": {n}", c.name())
+            })
+            .collect();
+        json.push_str(&classes.join(",\n"));
         json.push_str("\n  },\n");
         json.push_str("  \"mismatches\": [\n");
         let items: Vec<String> = self
@@ -369,14 +418,27 @@ pub fn find_mismatch(
     transform: &Transform,
     engine: InferEngine,
 ) -> Option<(String, String)> {
-    let code = source.compile_variant(transform);
     let base = TaseConfig {
         infer_engine: engine,
         ..TaseConfig::default()
     };
-    let reference = recover_reference_with(&code, engine);
+    find_mismatch_with(source, transform, &base)
+}
+
+/// Like [`find_mismatch`] but under an explicit base configuration: every
+/// checked path inherits all of `base`'s budget and feature knobs, with
+/// only `exec_engine`/`fork_mode`/`infer_engine` swept. This is what the
+/// oracle meta-tests use to prove the harness *would* catch a divergence
+/// (e.g. the hidden `disagree_on_selector` fault-injection knob).
+pub fn find_mismatch_with(
+    source: &SourceContract,
+    transform: &Transform,
+    base: &TaseConfig,
+) -> Option<(String, String)> {
+    let code = source.compile_variant(transform);
+    let reference = SigRec::with_config(*base).recover_cold(&code);
     let reference_digest = path_digest(&reference);
-    for (name, recovered) in execution_paths(&base, &code) {
+    for (name, recovered) in execution_paths(base, &code) {
         if let Some(detail) = diff(&reference_digest, &path_digest(&recovered)) {
             return Some((name, detail));
         }
@@ -384,14 +446,19 @@ pub fn find_mismatch(
     // Cross-engine relation: the other rule matcher must recover the
     // byte-identical structural digest — parameters, language, and the
     // fired-rule list in application order.
-    let other = other_engine(engine);
-    let cross = recover_reference_with(&code, other);
+    let other = other_engine(base.infer_engine);
+    let cross = SigRec::with_config(TaseConfig {
+        infer_engine: other,
+        ..*base
+    })
+    .recover_cold(&code);
     if let Some(detail) = diff(&reference_digest, &path_digest(&cross)) {
         return Some((format!("infer-cross[{other:?}]"), detail));
     }
     // Metamorphic relation: the signature set matches the identity
     // variant's.
-    let identity = recover_reference_with(&source.compile_variant(&Transform::Identity), engine);
+    let identity =
+        SigRec::with_config(*base).recover_cold(&source.compile_variant(&Transform::Identity));
     diff(&set_digest(&identity), &set_digest(&reference))
         .map(|detail| ("metamorphic-set".to_string(), detail))
 }
@@ -404,13 +471,27 @@ pub fn check_case(
     transform: &Transform,
     engine: InferEngine,
 ) -> CaseOutcome {
+    let base = TaseConfig {
+        infer_engine: engine,
+        ..TaseConfig::default()
+    };
+    check_case_with(source, transform, &base)
+}
+
+/// Like [`check_case`] under an explicit base configuration (see
+/// [`find_mismatch_with`]).
+pub fn check_case_with(
+    source: &SourceContract,
+    transform: &Transform,
+    base: &TaseConfig,
+) -> CaseOutcome {
     let code = source.compile_variant(transform);
-    let functions = recover_reference_with(&code, engine);
-    let mismatch = find_mismatch(source, transform, engine).map(|(path, detail)| {
+    let functions = SigRec::with_config(*base).recover_cold(&code);
+    let mismatch = find_mismatch_with(source, transform, base).map(|(path, detail)| {
         let indices: Vec<usize> = (0..source.function_count()).collect();
         let minimal = sigrec_core::shrink::minimize(&indices, |keep| {
             let sub = source.with_function_subset(keep);
-            find_mismatch(&sub, transform, engine).is_some()
+            find_mismatch_with(&sub, transform, base).is_some()
         });
         let minimized = (minimal.len() < indices.len()).then(|| {
             let sub = source.with_function_subset(&minimal);
@@ -432,6 +513,166 @@ pub fn check_case(
         functions,
         paths: PATHS_PER_CASE,
         mismatch,
+    }
+}
+
+/// Number of comparisons one scenario case performs: the full
+/// [`PATHS_PER_CASE`] sweep on the deployed bytecode plus the
+/// expectation check (linked-vs-direct resolution, forced diagnostic, or
+/// empty-and-complete).
+pub const SCENARIO_PATHS_PER_CASE: usize = PATHS_PER_CASE + 1;
+
+fn is_unresolved(d: &Diagnostic) -> bool {
+    matches!(d, Diagnostic::UnresolvedIndirection { .. })
+}
+
+/// Checks a built scenario's ground-truth expectation; returns the
+/// failure detail if violated.
+fn expectation_detail(bundle: &ScenarioBundle, base: &TaseConfig) -> Option<String> {
+    let sigrec = SigRec::with_config(*base);
+    match bundle.expectation {
+        ScenarioExpectation::ResolvesToImplementation => {
+            let implementation = bundle.implementation.as_ref().expect("linkable scenario");
+            let linked = sigrec.recover_linked_with_outcome(&bundle.deployed, &bundle.links);
+            let direct = SigRec::with_config(*base).recover_cold(implementation);
+            if let Some(detail) = diff(&set_digest(&direct), &set_digest(&linked.functions)) {
+                return Some(format!("linked != direct: {detail}"));
+            }
+            linked
+                .diagnostics
+                .iter()
+                .find(|d| is_unresolved(d))
+                .map(|d| format!("indirection left unresolved after linking: {d}"))
+        }
+        ScenarioExpectation::UnresolvedIndirection => {
+            let plain = sigrec.recover_with_outcome(&bundle.deployed);
+            let linked = sigrec.recover_linked_with_outcome(&bundle.deployed, &bundle.links);
+            for (tag, outcome) in [("plain", &plain), ("linked", &linked)] {
+                if !outcome.diagnostics.iter().any(is_unresolved) {
+                    return Some(format!(
+                        "{tag} recovery silently dropped the indirection ({} function(s), {} diagnostic(s))",
+                        outcome.functions.len(),
+                        outcome.diagnostics.len()
+                    ));
+                }
+            }
+            None
+        }
+        ScenarioExpectation::DirectRecovery => {
+            let implementation = bundle.implementation.as_ref().expect("reference scenario");
+            let direct = SigRec::with_config(*base).recover_cold(implementation);
+            let deployed = sigrec.recover_cold(&bundle.deployed);
+            diff(&set_digest(&direct), &set_digest(&deployed))
+                .map(|detail| format!("deployed != reference: {detail}"))
+        }
+        ScenarioExpectation::EmptyComplete => {
+            let outcome = sigrec.recover_with_outcome(&bundle.deployed);
+            if !outcome.functions.is_empty() {
+                return Some(format!(
+                    "{} phantom function(s) recovered from a selector-free contract",
+                    outcome.functions.len()
+                ));
+            }
+            (!outcome.diagnostics.is_empty())
+                .then(|| format!("spurious diagnostics: {:?}", outcome.diagnostics))
+        }
+    }
+}
+
+/// Checks one `(scenario, transform)` case without shrinking: the full
+/// per-bytecode path sweep and cross-engine relation on the *deployed*
+/// code, the metamorphic set relation against the identity build, and
+/// the scenario's ground-truth expectation.
+pub fn find_scenario_mismatch(
+    scenario: &DispatchScenario,
+    transform: &Transform,
+    base: &TaseConfig,
+) -> Option<(String, String)> {
+    let bundle = scenario.build(transform);
+    let reference = SigRec::with_config(*base).recover_cold(&bundle.deployed);
+    let reference_digest = path_digest(&reference);
+    for (name, recovered) in execution_paths(base, &bundle.deployed) {
+        if let Some(detail) = diff(&reference_digest, &path_digest(&recovered)) {
+            return Some((name, detail));
+        }
+    }
+    let other = other_engine(base.infer_engine);
+    let cross = SigRec::with_config(TaseConfig {
+        infer_engine: other,
+        ..*base
+    })
+    .recover_cold(&bundle.deployed);
+    if let Some(detail) = diff(&reference_digest, &path_digest(&cross)) {
+        return Some((format!("infer-cross[{other:?}]"), detail));
+    }
+    let identity =
+        SigRec::with_config(*base).recover_cold(&scenario.build(&Transform::Identity).deployed);
+    if let Some(detail) = diff(&set_digest(&identity), &set_digest(&reference)) {
+        return Some(("metamorphic-set".to_string(), detail));
+    }
+    expectation_detail(&bundle, base).map(|detail| ("scenario-expectation".to_string(), detail))
+}
+
+/// Checks one scenario case and, on violation, ddmin-shrinks the *inner
+/// source's* function list, redeploying the same wrapper around every
+/// candidate — the reproducer is always a well-formed deployment, never
+/// a byte-level mutation.
+pub fn check_scenario_case(
+    scenario: &DispatchScenario,
+    transform: &Transform,
+    base: &TaseConfig,
+) -> CaseOutcome {
+    let bundle = scenario.build(transform);
+    let functions = SigRec::with_config(*base).recover_cold(&bundle.deployed);
+    let mismatch = find_scenario_mismatch(scenario, transform, base).map(|(path, detail)| {
+        let indices: Vec<usize> = (0..scenario.function_count()).collect();
+        let minimal = sigrec_core::shrink::minimize(&indices, |keep| {
+            let sub = scenario.with_function_subset(keep);
+            find_scenario_mismatch(&sub, transform, base).is_some()
+        });
+        let minimized = (minimal.len() < indices.len()).then(|| {
+            let sub = scenario.with_function_subset(&minimal);
+            Minimized {
+                source: sub.describe(),
+                functions: minimal.len(),
+                bytecode_hex: hex(&sub.build(transform).deployed),
+            }
+        });
+        Mismatch {
+            source: scenario.describe(),
+            transform: transform.name().to_string(),
+            path,
+            detail,
+            minimized,
+        }
+    });
+    CaseOutcome {
+        functions,
+        paths: SCENARIO_PATHS_PER_CASE,
+        mismatch,
+    }
+}
+
+/// Runs the dispatcher-scenario battery into `report`: every scenario in
+/// [`scenario_corpus`] under the identity and one re-emission transform,
+/// with per-class coverage recorded for the CI gate.
+fn run_scenarios(report: &mut ConformanceReport, base: &TaseConfig) {
+    for scenario in scenario_corpus() {
+        for transform in [Transform::Identity, Transform::OptimizeToggle] {
+            let outcome = check_scenario_case(&scenario, &transform, base);
+            report.cases += 1;
+            report.paths_checked += outcome.paths;
+            for f in &outcome.functions {
+                report.rule_hits.absorb(&f.rules);
+            }
+            *report
+                .scenario_class_hits
+                .entry(scenario.class.name().to_string())
+                .or_insert(0) += 1;
+            if let Some(m) = outcome.mismatch {
+                report.mismatches.push(m);
+            }
+        }
     }
 }
 
@@ -505,6 +746,9 @@ pub fn run(sources: &[SourceContract], opts: &RunOptions) -> ConformanceReport {
             });
         }
     }
+    // The deployment-shape battery: proxies, forwarders, diamonds,
+    // factory children, handler-only contracts, alternate codegen.
+    run_scenarios(&mut report, &base);
     report
 }
 
@@ -645,11 +889,65 @@ mod tests {
         let report = ConformanceReport::default();
         let json = report.to_json();
         assert!(json.contains("\"rules_total\": 31"));
+        assert!(json.contains("\"scenario_classes_total\": 7"));
+        assert!(json.contains("\"minimal-proxy\": 0"));
         assert!(json.contains("\"green\": false")); // nothing covered yet
+        assert_eq!(report.uncovered_scenarios().len(), 7);
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn scenario_battery_is_green_across_every_class() {
+        let base = TaseConfig::default();
+        for scenario in scenario_corpus() {
+            for transform in [Transform::Identity, Transform::OptimizeToggle] {
+                let outcome = check_scenario_case(&scenario, &transform, &base);
+                assert!(
+                    outcome.mismatch.is_none(),
+                    "{} under {}: {:?}",
+                    scenario.describe(),
+                    transform.name(),
+                    outcome.mismatch
+                );
+            }
+        }
+    }
+
+    /// Oracle meta-test: plant the hidden fault-injection knob
+    /// (`TaseConfig::disagree_on_selector` appends a phantom parameter
+    /// under `ForkMode::EagerClone` only) and prove the 11-path
+    /// differential oracle actually catches an engine disagreement and
+    /// ddmin shrinks it to a tiny reproducer. Guards against the harness
+    /// degenerating into comparing a path with itself.
+    #[test]
+    fn planted_disagreement_is_caught_and_shrunk() {
+        let source = &conformance_corpus()[0];
+        let victim = source.declared()[3].selector;
+        let base = TaseConfig {
+            disagree_on_selector: Some(victim.as_u32()),
+            ..TaseConfig::default()
+        };
+        let outcome = check_case_with(source, &Transform::Identity, &base);
+        let m = outcome
+            .mismatch
+            .expect("the oracle must catch the planted disagreement");
+        assert!(
+            m.path.contains("eager"),
+            "disagreement fires only under EagerClone, caught on {}",
+            m.path
+        );
+        assert!(m.detail.contains("bool"), "{}", m.detail);
+        let min = m.minimized.expect("ddmin must produce a reproducer");
+        assert!(min.functions <= 2, "shrunk to {} functions", min.functions);
+        // Sanity: without the knob the identical case is clean.
+        assert!(
+            check_case_with(source, &Transform::Identity, &TaseConfig::default())
+                .mismatch
+                .is_none()
         );
     }
 }

@@ -1,7 +1,10 @@
 //! The conformance CLI: runs the metamorphic differential harness over
-//! the deterministic rule-coverage corpus plus extra random sources,
-//! prints a summary, writes the coverage JSON, and exits non-zero on any
-//! mismatch or uncovered rule (CI gates on this).
+//! the deterministic rule-coverage corpus plus extra random sources and
+//! the dispatcher-scenario battery (proxies, forwarders, diamonds,
+//! factory children, handler-only contracts, alternate codegen), prints
+//! a summary, writes the coverage JSON, and exits non-zero on any
+//! mismatch, uncovered rule, or scenario class with zero covered cases
+//! (CI gates on this).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,7 +66,9 @@ fn main() {
                      Runs the targeted R1-R31 coverage corpus plus N random extra\n\
                      sources (default 12) through every transform and execution\n\
                      path (each case also cross-checks the other inference\n\
-                     engine); writes FILE (default CONFORMANCE_coverage.json)."
+                     engine), then the dispatcher-scenario battery (per-class\n\
+                     coverage is gated); writes FILE (default\n\
+                     CONFORMANCE_coverage.json)."
                 );
                 return;
             }

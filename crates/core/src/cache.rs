@@ -26,7 +26,7 @@
 //! [`SigRec`]: crate::SigRec
 
 use crate::infer::Language;
-use crate::outcome::{BudgetKind, Diagnostic};
+use crate::outcome::{BudgetKind, DelegateTarget, Diagnostic};
 use crate::pipeline::RecoveredFunction;
 use crate::rules::RuleId;
 use sigrec_abi::AbiType;
@@ -51,6 +51,13 @@ pub struct CachedFunction {
     /// never stored (the caller gates that), so `Deadline` never appears
     /// here.
     pub budgets: Vec<BudgetKind>,
+    /// The delegatecall target when the body is a router, so warm
+    /// lookups replay the same `UnresolvedIndirection` diagnostic the
+    /// cold path reported. The *resolution* of the target (via
+    /// [`SigRec::recover_linked`](crate::SigRec::recover_linked)) is
+    /// never memoised here: it depends on the caller's link set, not on
+    /// this contract's bytes.
+    pub delegate: Option<DelegateTarget>,
 }
 
 /// A memoised whole-contract recovery: the functions plus the
@@ -296,6 +303,7 @@ mod tests {
                 language: Language::Solidity,
                 rules: Vec::new(),
                 budgets: Vec::new(),
+                delegate: None,
             },
         );
         assert!(cache.lookup_function(42, 7).is_some());

@@ -19,7 +19,7 @@ use crate::expr::{bin, un, BinOp, Expr, ExprKind, UnOp};
 use crate::facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
 use crate::infer::InferEngine;
 use crate::memory::SymMemory;
-use crate::outcome::BudgetKind;
+use crate::outcome::{BudgetKind, DelegateTarget};
 use sigrec_evm::program::{JumpTarget, Program, Step, StepKind, SHUFFLE_SWAP};
 use sigrec_evm::{Disassembly, Opcode, U256};
 use std::collections::HashMap;
@@ -114,6 +114,13 @@ pub struct TaseConfig {
     /// real bug; `None` (the default) injects nothing.
     #[doc(hidden)]
     pub panic_on_selector: Option<u32>,
+    /// Test-only fault injection: the pipeline appends a phantom `bool`
+    /// parameter to the function whose selector matches, but only under
+    /// [`ForkMode::EagerClone`] — a deliberate engine disagreement for
+    /// proving the differential oracle actually catches one. `None` (the
+    /// default) injects nothing.
+    #[doc(hidden)]
+    pub disagree_on_selector: Option<u32>,
 }
 
 /// The deadline is polled when `total_steps & DEADLINE_CHECK_MASK == 0`:
@@ -135,6 +142,7 @@ impl Default for TaseConfig {
             collect_stats: false,
             max_wall_time: None,
             panic_on_selector: None,
+            disagree_on_selector: None,
         }
     }
 }
@@ -843,8 +851,23 @@ impl<'a> Tase<'a> {
                 }
             }
             Create | Create2 | Call | CallCode | DelegateCall | StaticCall => {
-                for _ in 0..op.stack_in() {
+                if matches!(op, DelegateCall) {
+                    // gas, address, args_off, args_len, ret_off, ret_len —
+                    // the second operand names where execution forwards.
+                    // The body is a router, not a real function: record
+                    // the target so the pipeline can surface
+                    // `UnresolvedIndirection` (or resolve it when the
+                    // implementation code is supplied).
                     pop!();
+                    let addr = pop!();
+                    self.facts.add_delegate(delegate_target(&addr));
+                    for _ in 0..(op.stack_in() - 2) {
+                        pop!();
+                    }
+                } else {
+                    for _ in 0..op.stack_in() {
+                        pop!();
+                    }
                 }
                 let s = self.fresh("call", pc);
                 st.stack.push(s);
@@ -1028,6 +1051,23 @@ impl<'a> Tase<'a> {
 enum Flow {
     Continue(usize),
     End,
+}
+
+/// Classifies a `DELEGATECALL` address operand: a concrete value that
+/// fits 160 bits is a compile-time-constant target (minimal proxies,
+/// hand-rolled forwarders, immediate-address diamond facets); anything
+/// else — storage loads, calldata, oversized constants — is only
+/// resolvable at run time.
+fn delegate_target(addr: &Rc<Expr>) -> DelegateTarget {
+    match addr.eval() {
+        Some(v) if v.bits() <= 160 => {
+            let be = v.to_be_bytes();
+            let mut out = [0u8; 20];
+            out.copy_from_slice(&be[12..]);
+            DelegateTarget::Address(out)
+        }
+        _ => DelegateTarget::Unknown,
+    }
 }
 
 /// True if the expression contains a calldata-derived value that has been

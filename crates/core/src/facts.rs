@@ -7,7 +7,7 @@
 //! engine (rules R1–R31) consumes only these facts.
 
 use crate::expr::Expr;
-use crate::outcome::BudgetKind;
+use crate::outcome::{BudgetKind, DelegateTarget};
 use sigrec_evm::U256;
 use std::rc::Rc;
 
@@ -121,6 +121,12 @@ pub struct FunctionFacts {
     /// order. Lossy kinds mean the facts (and thus the inference) may be
     /// partial; see [`BudgetKind::is_lossy`].
     pub budgets: Vec<BudgetKind>,
+    /// Set when some explored path executed a `DELEGATECALL`: the body
+    /// forwards execution, so the calldata facts above describe the
+    /// *forwarder*, not the real function. First hit wins — a body that
+    /// delegates on one path is a router regardless of what its other
+    /// paths do.
+    pub delegate: Option<DelegateTarget>,
 }
 
 impl FunctionFacts {
@@ -153,6 +159,14 @@ impl FunctionFacts {
             .any(|f| f.pc == fact.pc && f.usage == fact.usage && f.keys == fact.keys)
         {
             self.uses.push(fact);
+        }
+    }
+
+    /// Records a delegatecall target; the first hit wins so the fact is
+    /// deterministic under the worklist's exploration order.
+    pub fn add_delegate(&mut self, target: DelegateTarget) {
+        if self.delegate.is_none() {
+            self.delegate = Some(target);
         }
     }
 

@@ -27,6 +27,7 @@ pub mod exec;
 pub mod expr;
 pub mod extract;
 pub mod facts;
+pub mod indirect;
 pub mod infer;
 pub mod memory;
 pub mod outcome;
@@ -43,10 +44,13 @@ pub use cow::{CowJournal, CowStack};
 pub use exec::{ExecStats, ForkMode, Tase, TaseConfig};
 pub use extract::{extract_dispatch, extract_dispatch_diag, DispatchEntry, DispatchExtraction};
 pub use facts::{CopyFact, FunctionFacts, GuardFact, LoadFact, Usage, UseFact};
+pub use indirect::{detect_forwarder, match_eip1167};
 pub use infer::{
     infer, infer_timed, infer_with, InferEngine, InferTiming, Language, RecoveredParams,
 };
-pub use outcome::{BudgetKind, Diagnostic, MalformedKind, RecoveryOutcome, TruncationKind};
-pub use pipeline::{Explanation, RecoveredFunction, SigRec};
+pub use outcome::{
+    BudgetKind, DelegateTarget, Diagnostic, MalformedKind, RecoveryOutcome, TruncationKind,
+};
+pub use pipeline::{Explanation, LinkSet, RecoveredFunction, SigRec};
 pub use rules::{RuleId, RuleStats};
 pub use shrink::minimize;

@@ -121,6 +121,33 @@ impl fmt::Display for MalformedKind {
     }
 }
 
+/// Where a delegatecall-forwarding contract sends execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DelegateTarget {
+    /// The target address is a compile-time constant embedded in the
+    /// code (minimal proxies, hand-rolled forwarders, diamond facet
+    /// tables with immediate addresses).
+    Address([u8; 20]),
+    /// The target is computed at run time (storage slot, calldata,
+    /// mapping lookup): unresolvable from this contract's bytes alone.
+    Unknown,
+}
+
+impl fmt::Display for DelegateTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelegateTarget::Address(a) => {
+                f.write_str("0x")?;
+                for b in a {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+            DelegateTarget::Unknown => f.write_str("<runtime-computed>"),
+        }
+    }
+}
+
 /// One diagnostic attached to a recovery.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Diagnostic {
@@ -144,6 +171,21 @@ pub enum Diagnostic {
         /// What the worker was doing, plus the panic payload when it
         /// was a string.
         context: String,
+    },
+    /// The contract forwards execution elsewhere via `DELEGATECALL` and
+    /// the real signatures live in the target's code, which was not
+    /// supplied. Fires per routed selector for diamond-style routing
+    /// (`selector: Some(..)`) and once with `selector: None` for
+    /// whole-contract forwarders (EIP-1167 minimal proxies,
+    /// fallback-only upgradeable proxies). Resolve it by re-running
+    /// through [`SigRec::recover_linked`](crate::SigRec::recover_linked)
+    /// with the implementation code supplied.
+    UnresolvedIndirection {
+        /// The routed selector, when the indirection sits behind one
+        /// dispatcher entry rather than the whole contract.
+        selector: Option<Selector>,
+        /// Where the delegatecall goes, as far as the bytes reveal.
+        target: DelegateTarget,
     },
 }
 
@@ -171,6 +213,10 @@ impl fmt::Display for Diagnostic {
             }
             Diagnostic::MalformedCode(kind) => write!(f, "malformed code: {kind}"),
             Diagnostic::InternalError { context } => write!(f, "internal error: {context}"),
+            Diagnostic::UnresolvedIndirection { selector, target } => match selector {
+                Some(sel) => write!(f, "{sel}: delegatecall indirection to {target}"),
+                None => write!(f, "contract forwards all calls to {target}"),
+            },
         }
     }
 }
@@ -215,6 +261,12 @@ pub(crate) fn assemble_diagnostics(
                 selector: f.selector,
                 entry: f.entry,
                 kind,
+            });
+        }
+        if let Some(target) = f.delegate {
+            out.push(Diagnostic::UnresolvedIndirection {
+                selector: Some(f.selector),
+                target,
             });
         }
     }
@@ -276,5 +328,32 @@ mod tests {
         assert!(s.contains("total step cap"), "{s}");
         let m = Diagnostic::MalformedCode(MalformedKind::TruncatedPush { pc: 7 });
         assert!(m.to_string().contains("0x7"), "{m}");
+    }
+
+    #[test]
+    fn unresolved_indirection_is_lossy_and_readable() {
+        let mut addr = [0u8; 20];
+        addr[0] = 0xbe;
+        addr[19] = 0xef;
+        let whole = Diagnostic::UnresolvedIndirection {
+            selector: None,
+            target: DelegateTarget::Address(addr),
+        };
+        assert!(whole.is_lossy());
+        let s = whole.to_string();
+        assert!(s.contains("forwards all calls"), "{s}");
+        assert!(s.starts_with("contract"), "{s}");
+        assert!(
+            s.contains("0xbe000000000000000000000000000000000000ef"),
+            "{s}"
+        );
+        let routed = Diagnostic::UnresolvedIndirection {
+            selector: Some(Selector::from_u32(0xa9059cbb)),
+            target: DelegateTarget::Unknown,
+        };
+        assert!(routed.is_lossy());
+        let s = routed.to_string();
+        assert!(s.contains("0xa9059cbb"), "{s}");
+        assert!(s.contains("<runtime-computed>"), "{s}");
     }
 }

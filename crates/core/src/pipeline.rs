@@ -16,11 +16,15 @@
 
 use crate::batch::LatencyHistogram;
 use crate::cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, RecoveryCache};
+use crate::exec::ForkMode;
 use crate::exec::{ExecEngine, ExecStats, Tase, TaseConfig};
 use crate::extract::{extract_dispatch_diag, DispatchEntry};
 use crate::facts::FunctionFacts;
+use crate::indirect::detect_forwarder;
 use crate::infer::{infer_timed, infer_with, InferTiming, Language};
-use crate::outcome::{assemble_diagnostics, BudgetKind, Diagnostic, RecoveryOutcome};
+use crate::outcome::{
+    assemble_diagnostics, BudgetKind, DelegateTarget, Diagnostic, RecoveryOutcome,
+};
 use crate::rules::RuleId;
 use sigrec_abi::{AbiType, FunctionSignature, Selector};
 use sigrec_evm::{keccak256, Disassembly, Program};
@@ -48,6 +52,13 @@ pub struct RecoveredFunction {
     /// Wall-clock time spent on this function (TASE + inference). For a
     /// cache hit this is the lookup time, not a re-measurement.
     pub elapsed: Duration,
+    /// Set when the body forwards execution via `DELEGATECALL` (diamond
+    /// facet routing, per-entry proxies): `params`/`rules` are empty —
+    /// the facts describe the router, not the real function — and the
+    /// outcome carries a matching
+    /// [`Diagnostic::UnresolvedIndirection`]. Resolve it with
+    /// [`SigRec::recover_linked`].
+    pub delegate: Option<DelegateTarget>,
 }
 
 impl RecoveredFunction {
@@ -55,6 +66,46 @@ impl RecoveredFunction {
     /// [`FunctionSignature::recovered`]).
     pub fn signature(&self) -> FunctionSignature {
         FunctionSignature::recovered(self.selector, self.params.clone())
+    }
+}
+
+/// How many proxy hops [`SigRec::recover_linked`] follows before giving
+/// up. Real deployments chain at most proxy → beacon → implementation;
+/// anything deeper is adversarial.
+const MAX_LINK_DEPTH: usize = 4;
+
+/// Implementation code supplied alongside a proxy/diamond recovery:
+/// maps the 20-byte addresses embedded in (or routed through) the
+/// deployed code to the runtime bytecode living at those addresses.
+#[derive(Clone, Debug, Default)]
+pub struct LinkSet {
+    code: std::collections::HashMap<[u8; 20], Vec<u8>>,
+}
+
+impl LinkSet {
+    /// An empty link set (every indirection stays unresolved).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Supplies the runtime code deployed at `addr`.
+    pub fn insert(&mut self, addr: [u8; 20], code: Vec<u8>) {
+        self.code.insert(addr, code);
+    }
+
+    /// The code linked at `addr`, if supplied.
+    pub fn get(&self, addr: &[u8; 20]) -> Option<&[u8]> {
+        self.code.get(addr).map(Vec::as_slice)
+    }
+
+    /// Number of linked addresses.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when no addresses are linked.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
     }
 }
 
@@ -271,6 +322,111 @@ impl SigRec {
         }
     }
 
+    /// Like [`SigRec::recover`] but resolving delegatecall indirection
+    /// through `links`: whole-contract forwarders (minimal proxies)
+    /// recover the linked implementation's signatures, and per-entry
+    /// routers (diamond facets) splice the linked facet's matching
+    /// function in. Targets missing from `links` keep their
+    /// [`Diagnostic::UnresolvedIndirection`] (visible through
+    /// [`SigRec::recover_linked_with_outcome`]).
+    pub fn recover_linked(&self, code: &[u8], links: &LinkSet) -> Vec<RecoveredFunction> {
+        self.recover_linked_with_outcome(code, links).functions
+    }
+
+    /// Outcome-reporting variant of [`SigRec::recover_linked`].
+    ///
+    /// Each contract in the chain is recovered through the normal
+    /// pipeline and memoised *under its own key only* — the linked
+    /// combination is never cached, because it depends on the caller's
+    /// link set, not on any one contract's bytes (see INTERNALS.md).
+    /// Proxy chains are followed to a small depth bound, and a target
+    /// already on the current chain (cyclic routing) keeps its
+    /// diagnostic instead of recursing.
+    pub fn recover_linked_with_outcome(&self, code: &[u8], links: &LinkSet) -> RecoveryOutcome {
+        self.resolve_links(code, links, &mut Vec::new())
+    }
+
+    fn resolve_links(
+        &self,
+        code: &[u8],
+        links: &LinkSet,
+        chain: &mut Vec<[u8; 32]>,
+    ) -> RecoveryOutcome {
+        let mut out = self.recover_with_outcome(code);
+        if chain.len() >= MAX_LINK_DEPTH {
+            return out;
+        }
+        let key = keccak256(code);
+        if chain.contains(&key) {
+            return out;
+        }
+        chain.push(key);
+        // Whole-contract forwarder: the implementation's result *is*
+        // the proxy's result.
+        let whole = out.diagnostics.iter().position(|d| {
+            matches!(
+                d,
+                Diagnostic::UnresolvedIndirection {
+                    selector: None,
+                    target: DelegateTarget::Address(a),
+                } if links.get(a).is_some()
+            )
+        });
+        if let Some(i) = whole {
+            let Diagnostic::UnresolvedIndirection {
+                target: DelegateTarget::Address(addr),
+                ..
+            } = out.diagnostics[i].clone()
+            else {
+                unreachable!("position matched an UnresolvedIndirection");
+            };
+            let impl_code = links
+                .get(&addr)
+                .expect("position checked the link")
+                .to_vec();
+            let resolved = self.resolve_links(&impl_code, links, chain);
+            out.diagnostics.remove(i);
+            out.functions = resolved.functions;
+            out.diagnostics.extend(resolved.diagnostics);
+            chain.pop();
+            return out;
+        }
+        // Per-entry routing (diamond facets): splice each linked
+        // facet's matching function over the router stub.
+        let mut kept = Vec::new();
+        for d in std::mem::take(&mut out.diagnostics) {
+            let resolved = match &d {
+                Diagnostic::UnresolvedIndirection {
+                    selector: Some(sel),
+                    target: DelegateTarget::Address(a),
+                } => links.get(a).map(|c| (*sel, c.to_vec())),
+                _ => None,
+            };
+            let Some((sel, facet_code)) = resolved else {
+                kept.push(d);
+                continue;
+            };
+            let facet = self.resolve_links(&facet_code, links, chain);
+            match facet.functions.iter().find(|f| f.selector == sel) {
+                // A facet function that still carries a delegate fact is
+                // itself an unresolved router stub — splicing it in
+                // (cyclic routing, depth cut) would silently drop the
+                // indirection. Only a genuinely resolved body counts.
+                Some(f) if f.delegate.is_none() => {
+                    if let Some(slot) = out.functions.iter_mut().find(|g| g.selector == sel) {
+                        *slot = f.clone();
+                    }
+                }
+                // The facet does not implement the routed selector (or
+                // only re-routes it): the indirection stays unresolved.
+                _ => kept.push(d),
+            }
+        }
+        out.diagnostics = kept;
+        chain.pop();
+        out
+    }
+
     /// Stage 1 of the pipeline: contract-level cache probe (ReadWrite
     /// only), disassembly, dispatch extraction, body extents. On a
     /// contract-level hit the plan carries the memoised result and an
@@ -297,7 +453,24 @@ impl SigRec {
             }
         }
         let disasm = Disassembly::new(code);
-        let extraction = extract_dispatch_diag(&disasm);
+        let mut extraction = extract_dispatch_diag(&disasm);
+        // A clean, empty dispatch table is where whole-contract
+        // forwarders (minimal proxies, fallback-only upgradeable
+        // proxies) live: check for one so an empty result is never
+        // silent. The verdict is a pure function of the code bytes, so
+        // sealing it with the contract entry is sound. A truncated or
+        // malformed walk keeps its own diagnostic instead — fabricating
+        // a target from half-read bytes would be worse than none.
+        if extraction.table.is_empty() && extraction.diagnostics.is_empty() {
+            if let Some(target) = detect_forwarder(&disasm) {
+                extraction
+                    .diagnostics
+                    .push(Diagnostic::UnresolvedIndirection {
+                        selector: None,
+                        target,
+                    });
+            }
+        }
         let extents = body_extents(code.len(), &extraction.table);
         let program = match self.config.exec_engine {
             ExecEngine::Block => {
@@ -396,6 +569,7 @@ impl SigRec {
                     rules: hit.rules,
                     budgets: hit.budgets,
                     elapsed: start.elapsed(),
+                    delegate: hit.delegate,
                 };
                 return (function, None);
             }
@@ -419,6 +593,7 @@ impl SigRec {
                 rules: result.rules,
                 budgets: facts.budgets.clone(),
                 elapsed: start.elapsed(),
+                delegate: None,
             };
             return (function, Some(facts));
         }
@@ -428,7 +603,7 @@ impl SigRec {
         }
         let (facts, exec) = tase.explore_stats(entry.entry);
         let tase_done = self.stats.as_ref().map(|_| Instant::now());
-        let result = if let (Some(acc), Some(tase_done)) = (&self.stats, tase_done) {
+        let mut result = if let (Some(acc), Some(tase_done)) = (&self.stats, tase_done) {
             let (result, timing) = infer_timed(&facts, self.config.infer_engine);
             acc.record(
                 &exec,
@@ -441,6 +616,24 @@ impl SigRec {
         } else {
             infer_with(&facts, self.config.infer_engine)
         };
+        // A body that delegatecalls is a router: its calldata facts
+        // describe the forwarding glue, not the real function, so no
+        // parameter list inferred from them is trustworthy. Report an
+        // empty signature plus the delegate fact (which `assemble_
+        // diagnostics` turns into `UnresolvedIndirection`) instead of a
+        // phantom one.
+        if facts.delegate.is_some() {
+            result.params.clear();
+            result.rules.clear();
+        }
+        if self.config.disagree_on_selector == Some(entry.selector.as_u32())
+            && self.config.fork_mode == ForkMode::EagerClone
+        {
+            // Injected engine disagreement (see `TaseConfig::
+            // disagree_on_selector`): a phantom trailing parameter that
+            // only one fork mode reports.
+            result.params.push(AbiType::Bool);
+        }
         // Memoising by body-extent hash is only sound when exploration
         // stayed inside `code[entry..extent)`: a body that reaches shared
         // helper code before its entry, or falls through past the next
@@ -459,6 +652,7 @@ impl SigRec {
                     language: result.language,
                     rules: result.rules.clone(),
                     budgets: facts.budgets.clone(),
+                    delegate: facts.delegate,
                 },
             );
         }
@@ -470,6 +664,7 @@ impl SigRec {
             rules: result.rules,
             budgets: facts.budgets.clone(),
             elapsed: start.elapsed(),
+            delegate: facts.delegate,
         };
         (function, Some(facts))
     }

@@ -32,6 +32,11 @@ pub enum AdversarialKind {
     StackUnderflowDispatcher,
     /// A dispatch table comparing the same selector twice with different
     /// targets; the duplicate must not yield two recovered functions.
+    /// Every fourth seed ([`collision_is_fallback_only`]) degenerates to
+    /// the 0-entry form of the same shape: the selector is computed and
+    /// dropped, and everything funnels into a storage-delegating
+    /// fallback. Recovery must return *empty with a diagnostic*, never a
+    /// phantom function for the uncompared selector.
     SelectorCollisionTable,
     /// A linear `EQ`-chain dispatcher with 1 000 entries — large enough
     /// to stress the dispatcher walk without tripping its step cap.
@@ -42,11 +47,25 @@ pub enum AdversarialKind {
     /// into a long concrete spin loop, engineered to exhaust step budgets
     /// (`max_steps_per_path`, then `max_total_steps`).
     DeepLoop,
+    /// An EIP-1167 minimal proxy cut off inside its `PUSH20` target
+    /// immediate. The zero-filled partial address must never be reported
+    /// as a resolved target — the truncation diagnostic wins.
+    ProxyTruncatedTarget,
+    /// A diamond-style router whose single facet address
+    /// ([`cyclic_target`]) points back at the router itself. Linked
+    /// resolution must terminate on the cycle with the indirection
+    /// diagnostic intact, not recurse forever.
+    DiamondCyclicRouting,
+    /// A real dispatcher followed by a constructor-argument/metadata
+    /// tail of unreachable bytes ([`factory_child_parts`]), as
+    /// factory-deployed children carry. Recovery must equal the
+    /// tail-less code exactly.
+    FactoryChildConstructorTail,
 }
 
 impl AdversarialKind {
     /// Every kind, in campaign round-robin order.
-    pub fn all() -> [AdversarialKind; 7] {
+    pub fn all() -> [AdversarialKind; 10] {
         [
             AdversarialKind::TruncatedPushTail,
             AdversarialKind::JumpdestlessBackEdge,
@@ -55,6 +74,9 @@ impl AdversarialKind {
             AdversarialKind::GiantDispatcher,
             AdversarialKind::ByteSoup,
             AdversarialKind::DeepLoop,
+            AdversarialKind::ProxyTruncatedTarget,
+            AdversarialKind::DiamondCyclicRouting,
+            AdversarialKind::FactoryChildConstructorTail,
         ]
     }
 
@@ -68,6 +90,9 @@ impl AdversarialKind {
             AdversarialKind::GiantDispatcher => "giant-dispatcher",
             AdversarialKind::ByteSoup => "byte-soup",
             AdversarialKind::DeepLoop => "deep-loop",
+            AdversarialKind::ProxyTruncatedTarget => "proxy-truncated-target",
+            AdversarialKind::DiamondCyclicRouting => "diamond-cyclic-routing",
+            AdversarialKind::FactoryChildConstructorTail => "factory-child-constructor-tail",
         }
     }
 }
@@ -110,6 +135,13 @@ pub fn generate(kind: AdversarialKind, seed: u64) -> Vec<u8> {
         AdversarialKind::GiantDispatcher => giant_dispatcher(seed),
         AdversarialKind::ByteSoup => byte_soup(seed),
         AdversarialKind::DeepLoop => deep_loop(seed),
+        AdversarialKind::ProxyTruncatedTarget => proxy_truncated_target(seed),
+        AdversarialKind::DiamondCyclicRouting => diamond_cyclic_routing(seed),
+        AdversarialKind::FactoryChildConstructorTail => {
+            let (mut core, tail) = factory_child_parts(seed);
+            core.extend_from_slice(&tail);
+            core
+        }
     }
 }
 
@@ -165,7 +197,29 @@ fn stack_underflow_dispatcher(seed: u64) -> Vec<u8> {
     code
 }
 
+/// Whether `SelectorCollisionTable` with this seed produced the 0-entry
+/// dispatcher + `fallback`-only degenerate form instead of the duplicate
+/// two-entry table. Fuzz expectations key on this to demand an
+/// empty-with-diagnostic result rather than deduplicated functions.
+pub fn collision_is_fallback_only(seed: u64) -> bool {
+    seed.is_multiple_of(4)
+}
+
 fn selector_collision_table(seed: u64) -> Vec<u8> {
+    if collision_is_fallback_only(seed) {
+        // 0-entry form: the selector is extracted and immediately
+        // dropped; the lone fallback forwards everything through a
+        // storage-loaded delegatecall. The uncompared selector must not
+        // become a phantom function, and the delegation must surface as
+        // `UnresolvedIndirection`, not a silent empty.
+        let mut code = shr_prologue();
+        code.push(0x50); // POP the selector — no entry ever compares it
+        code.extend([0x36, 0x3d, 0x3d, 0x37]); // calldatacopy(0, 0, calldatasize)
+        code.extend([0x3d, 0x3d, 0x36, 0x3d]); // retLen retOff argsLen argsOff
+        code.extend([0x60, (seed % 7) as u8, 0x54]); // PUSH1 slot; SLOAD
+        code.extend([0x5a, 0xf4, 0x00]); // GAS DELEGATECALL STOP
+        return code;
+    }
     let mut code = shr_prologue();
     let sel = (splitmix(seed) as u32).to_be_bytes();
     // Two entries comparing the SAME selector, different targets.
@@ -258,6 +312,101 @@ fn deep_loop(seed: u64) -> Vec<u8> {
     asm.assemble()
 }
 
+/// The facet address a `DiamondCyclicRouting` case routes through.
+/// Campaign harnesses map this address back to the router's own code to
+/// close the cycle.
+pub fn cyclic_target(seed: u64) -> [u8; 20] {
+    let mut addr = [0u8; 20];
+    for (i, chunk) in addr.chunks_mut(8).enumerate() {
+        let w = splitmix(seed ^ 0x2535 ^ i as u64).to_be_bytes();
+        chunk.copy_from_slice(&w[..chunk.len()]);
+    }
+    addr[0] |= 0x01; // never the zero address
+    addr
+}
+
+fn proxy_truncated_target(seed: u64) -> Vec<u8> {
+    // EIP-1167 prologue, then the PUSH20 with only 0–19 of its immediate
+    // bytes before end of code.
+    let mut code = vec![0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73];
+    let addr = cyclic_target(splitmix(seed));
+    code.extend_from_slice(&addr[..(seed % 20) as usize]);
+    code
+}
+
+fn diamond_cyclic_routing(seed: u64) -> Vec<u8> {
+    let sel = splitmix(seed) as u32;
+    let addr = cyclic_target(seed);
+    let mut asm = Assembler::new();
+    let body = asm.fresh_label();
+    asm.push_u64(0)
+        .op(Opcode::CallDataLoad)
+        .push_u64(224)
+        .op(Opcode::Shr)
+        .op(Opcode::Dup(1))
+        .push_sized(U256::from(sel as u64), 4)
+        .op(Opcode::Eq)
+        .push_label(body)
+        .op(Opcode::JumpI)
+        .op(Opcode::Stop);
+    asm.jumpdest(body);
+    // Facet forward: calldatacopy(0, 0, cds); delegatecall(gas, addr, 0,
+    // cds, 0, 0) — with `addr` mapped back to this very code.
+    asm.op(Opcode::CallDataSize)
+        .push_u64(0)
+        .push_u64(0)
+        .op(Opcode::CallDataCopy);
+    asm.push_u64(0)
+        .push_u64(0)
+        .op(Opcode::CallDataSize)
+        .push_u64(0)
+        .push_bytes(&addr)
+        .op(Opcode::Gas)
+        .op(Opcode::DelegateCall)
+        .op(Opcode::Pop)
+        .op(Opcode::Stop);
+    asm.assemble()
+}
+
+/// The `FactoryChildConstructorTail` case split into its executable core
+/// and the unreachable tail, so campaign harnesses can demand
+/// tail-invariant recovery.
+pub fn factory_child_parts(seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let sel = splitmix(seed ^ 0xfac1) as u32;
+    let mut asm = Assembler::new();
+    let body = asm.fresh_label();
+    asm.push_u64(0)
+        .op(Opcode::CallDataLoad)
+        .push_u64(224)
+        .op(Opcode::Shr)
+        .op(Opcode::Dup(1))
+        .push_sized(U256::from(sel as u64), 4)
+        .op(Opcode::Eq)
+        .push_label(body)
+        .op(Opcode::JumpI)
+        .op(Opcode::Stop);
+    asm.jumpdest(body);
+    asm.push_u64(4)
+        .op(Opcode::CallDataLoad)
+        .push_u64(seed % 11)
+        .op(Opcode::SStore)
+        .op(Opcode::Stop);
+    let core = asm.assemble();
+    // Constructor-argument/metadata tail: 16–80 bytes of seeded noise
+    // with the solc-style two-byte length trailer.
+    let mut tail = Vec::new();
+    let mut state = splitmix(seed) | 1;
+    for _ in 0..(16 + seed % 64) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        tail.push((state >> 24) as u8);
+    }
+    let len = tail.len() as u16 + 2;
+    tail.extend_from_slice(&len.to_be_bytes());
+    (core, tail)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,11 +428,53 @@ mod tests {
 
     #[test]
     fn cases_round_robin_all_kinds() {
-        let cases = adversarial_cases(3, 14);
+        let cases = adversarial_cases(3, 20);
         for (i, kind) in AdversarialKind::all().iter().enumerate() {
             assert_eq!(cases[i].kind, *kind);
-            assert_eq!(cases[i + 7].kind, *kind);
+            assert_eq!(cases[i + 10].kind, *kind);
         }
+    }
+
+    #[test]
+    fn collision_table_has_both_variants() {
+        // The degenerate form ends in DELEGATECALL+STOP and compares no
+        // selector; the duplicate form keeps its two EQ entries.
+        let fallback = selector_collision_table(4);
+        assert!(collision_is_fallback_only(4));
+        assert!(!fallback.contains(&0x14), "no EQ in the 0-entry form");
+        assert_eq!(&fallback[fallback.len() - 2..], &[0xf4, 0x00]);
+        let dup = selector_collision_table(5);
+        assert!(!collision_is_fallback_only(5));
+        assert_eq!(dup.iter().filter(|&&b| b == 0x14).count(), 2);
+    }
+
+    #[test]
+    fn proxy_truncation_never_reaches_a_full_address() {
+        for seed in 0..40 {
+            let code = proxy_truncated_target(seed);
+            assert_eq!(code[9], 0x73);
+            assert!(code.len() < 30, "immediate must stay incomplete");
+        }
+    }
+
+    #[test]
+    fn cyclic_router_embeds_its_recoverable_target() {
+        let code = diamond_cyclic_routing(9);
+        let addr = cyclic_target(9);
+        assert!(
+            code.windows(20).any(|w| w == addr),
+            "router must embed the address harnesses map back to it"
+        );
+    }
+
+    #[test]
+    fn factory_child_concatenates_its_parts() {
+        let (core, tail) = factory_child_parts(6);
+        let whole = generate(AdversarialKind::FactoryChildConstructorTail, 6);
+        assert_eq!(whole.len(), core.len() + tail.len());
+        assert_eq!(&whole[..core.len()], &core[..]);
+        let trailer = u16::from_be_bytes([tail[tail.len() - 2], tail[tail.len() - 1]]);
+        assert_eq!(trailer as usize, tail.len());
     }
 
     #[test]

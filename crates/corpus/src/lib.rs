@@ -17,6 +17,7 @@ pub mod contracts;
 pub mod datasets;
 pub mod eval;
 pub mod metamorph;
+pub mod scenario;
 pub mod traffic;
 pub mod typegen;
 pub mod valuegen;
@@ -26,6 +27,9 @@ pub use contracts::{Corpus, LabeledContract, LabeledFunction, Toolchain};
 pub use eval::{evaluate, Evaluation, FunctionOutcome};
 pub use metamorph::{
     conformance_corpus, random_sources, standard_transforms, SourceContract, Transform,
+};
+pub use scenario::{
+    scenario_corpus, DispatchScenario, ScenarioBundle, ScenarioClass, ScenarioExpectation,
 };
 pub use traffic::{generate_traffic, MalformKind, TrafficLabel, TrafficParams, Transaction};
 pub use valuegen::{random_value, ValueLimits};

@@ -256,7 +256,7 @@ impl Transform {
 }
 
 /// A seeded Fisher–Yates permutation of `0..n`.
-fn permutation(n: usize, seed: u64) -> Vec<usize> {
+pub(crate) fn permutation(n: usize, seed: u64) -> Vec<usize> {
     // xorshift64*, same family as the junk-block generator: deterministic
     // and independent of the vendored rand's stream layout.
     let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;

@@ -1,0 +1,687 @@
+//! Deployment-scenario generators: the dispatcher zoo real traffic is
+//! made of.
+//!
+//! The metamorphic corpus in [`crate::metamorph`] only emits *direct*
+//! single-dispatcher contracts, while the paper's 37M-contract
+//! evaluation is dominated by other deployment shapes: EIP-1167 minimal
+//! proxies, hand-rolled delegatecall forwarders, EIP-2535 diamond
+//! routing, factory/CREATE2-deployed children with metadata tails,
+//! `receive`/`fallback`-only contracts, and non-solc codegen idioms.
+//! A [`DispatchScenario`] wraps a [`SourceContract`] in one of those
+//! shapes and states the ground truth as a [`ScenarioExpectation`], so
+//! the conformance oracle can check recovery — including linked
+//! proxy/diamond resolution through [`LinkSet`] — against it on every
+//! execution path.
+//!
+//! Like the metamorphic transforms, scenarios are rebuilt from specs
+//! (never byte-patched), so every variant is well-formed by
+//! construction and ddmin shrinking stays sound: shrinking a scenario
+//! shrinks its *inner source* and redeploys the wrapper.
+
+use crate::metamorph::{SourceContract, Transform};
+use sigrec_core::LinkSet;
+use sigrec_evm::{Assembler, Opcode};
+
+/// The scenario classes, used as coverage-table keys: CI fails if any
+/// class regresses to zero covered cases.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum ScenarioClass {
+    /// An EIP-1167 minimal proxy (45 bytes) in front of the compiled
+    /// implementation; the implementation is supplied via the link set.
+    MinimalProxy,
+    /// A hand-rolled calldata-forwarding dispatcher whose target is a
+    /// `PUSH20` immediate — statically resolvable, implementation
+    /// linked.
+    ForwarderImmediate,
+    /// The same forwarder shape reading its target from storage — the
+    /// upgradeable-proxy pattern. Unknowable from the bytes alone:
+    /// recovery must report the indirection, never a silent empty.
+    ForwarderStorage,
+    /// EIP-2535 diamond routing: a real selector dispatcher whose
+    /// per-selector bodies delegatecall into facet contracts (loupe
+    /// mapping lowered to immediate facet addresses, as after an
+    /// optimiser constant-folds the storage lookup).
+    Diamond,
+    /// A factory/CREATE2-deployed child: the implementation's runtime
+    /// code with a non-executable constructor/metadata tail appended,
+    /// as factories leave on chain. Must recover exactly like the
+    /// tail-less code.
+    FactoryChild,
+    /// A contract with only `receive`/`fallback` handlers — zero
+    /// dispatched selectors, zero delegation. The one shape where an
+    /// empty, diagnostic-free result is the *correct* answer.
+    ReceiveFallbackOnly,
+    /// The solang codegen dispatcher idiom (`CALLDATASIZE` guard,
+    /// `DIV 2²²⁴` + `AND 0xffffffff` selector), recovered directly.
+    SolangStyle,
+}
+
+impl ScenarioClass {
+    /// Every class, in coverage-table order.
+    pub fn all() -> [ScenarioClass; 7] {
+        [
+            ScenarioClass::MinimalProxy,
+            ScenarioClass::ForwarderImmediate,
+            ScenarioClass::ForwarderStorage,
+            ScenarioClass::Diamond,
+            ScenarioClass::FactoryChild,
+            ScenarioClass::ReceiveFallbackOnly,
+            ScenarioClass::SolangStyle,
+        ]
+    }
+
+    /// Stable key for reports and the coverage table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioClass::MinimalProxy => "minimal-proxy",
+            ScenarioClass::ForwarderImmediate => "forwarder-immediate",
+            ScenarioClass::ForwarderStorage => "forwarder-storage",
+            ScenarioClass::Diamond => "diamond",
+            ScenarioClass::FactoryChild => "factory-child",
+            ScenarioClass::ReceiveFallbackOnly => "receive-fallback-only",
+            ScenarioClass::SolangStyle => "solang-style",
+        }
+    }
+}
+
+/// What the oracle must observe when recovering the deployed code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScenarioExpectation {
+    /// `recover_linked` with the bundle's links must recover the same
+    /// signature set as recovering the implementation directly, with no
+    /// `UnresolvedIndirection` left.
+    ResolvesToImplementation,
+    /// The target is unknowable: plain and linked recovery both keep an
+    /// `UnresolvedIndirection` diagnostic and recover no trustworthy
+    /// parameters.
+    UnresolvedIndirection,
+    /// Plain recovery of the deployed code must equal direct recovery
+    /// of the reference implementation (no indirection involved).
+    DirectRecovery,
+    /// Plain recovery must be empty *and* complete — no functions, no
+    /// lossy diagnostics. Only correct for `receive`/`fallback`-only
+    /// contracts.
+    EmptyComplete,
+}
+
+/// One deployment scenario: an inner source contract plus the class of
+/// wrapper it is deployed behind.
+#[derive(Clone, Debug)]
+pub struct DispatchScenario {
+    /// The deployment shape.
+    pub class: ScenarioClass,
+    /// The functions the deployment ultimately serves (empty for
+    /// `ReceiveFallbackOnly`).
+    pub source: SourceContract,
+    /// Seed for synthetic addresses and tail bytes.
+    pub seed: u64,
+}
+
+/// A built scenario: what is on chain, what is linked, and what the
+/// oracle must observe.
+#[derive(Clone, Debug)]
+pub struct ScenarioBundle {
+    /// The deployed runtime bytecode recovery is pointed at.
+    pub deployed: Vec<u8>,
+    /// Implementation code supplied alongside (empty when nothing is
+    /// linkable).
+    pub links: LinkSet,
+    /// The reference code whose *direct* recovery defines the ground
+    /// truth signature set (`None` for `EmptyComplete` scenarios).
+    pub implementation: Option<Vec<u8>>,
+    /// What the oracle must observe.
+    pub expectation: ScenarioExpectation,
+}
+
+impl DispatchScenario {
+    /// Number of functions the deployment serves.
+    pub fn function_count(&self) -> usize {
+        self.source.function_count()
+    }
+
+    /// Human-readable label for mismatch reports.
+    pub fn describe(&self) -> String {
+        format!("{}({})", self.class.name(), self.source.describe())
+    }
+
+    /// The ddmin shrink operation: keep a subset of the inner source's
+    /// functions and redeploy the same wrapper around it.
+    pub fn with_function_subset(&self, keep: &[usize]) -> DispatchScenario {
+        DispatchScenario {
+            class: self.class,
+            source: self.source.with_function_subset(keep),
+            seed: self.seed,
+        }
+    }
+
+    /// Builds the scenario with `transform` applied to the inner
+    /// source's emission (wrapper bytes are transform-independent; the
+    /// metamorphic relation is that the *observed signature set* stays
+    /// invariant anyway).
+    pub fn build(&self, transform: &Transform) -> ScenarioBundle {
+        let seed = self.seed;
+        match self.class {
+            ScenarioClass::MinimalProxy => {
+                let implementation = self.source.compile_variant(transform);
+                let addr = scenario_address(seed);
+                let mut links = LinkSet::new();
+                links.insert(addr, implementation.clone());
+                ScenarioBundle {
+                    deployed: eip1167(addr),
+                    links,
+                    implementation: Some(implementation),
+                    expectation: ScenarioExpectation::ResolvesToImplementation,
+                }
+            }
+            ScenarioClass::ForwarderImmediate => {
+                let implementation = self.source.compile_variant(transform);
+                let addr = scenario_address(seed ^ 0x1167);
+                let mut links = LinkSet::new();
+                links.insert(addr, implementation.clone());
+                ScenarioBundle {
+                    deployed: forwarder(ForwardTarget::Immediate(addr)),
+                    links,
+                    implementation: Some(implementation),
+                    expectation: ScenarioExpectation::ResolvesToImplementation,
+                }
+            }
+            ScenarioClass::ForwarderStorage => {
+                let implementation = self.source.compile_variant(transform);
+                ScenarioBundle {
+                    deployed: forwarder(ForwardTarget::StorageSlot(seed % 7)),
+                    links: LinkSet::new(),
+                    implementation: Some(implementation),
+                    expectation: ScenarioExpectation::UnresolvedIndirection,
+                }
+            }
+            ScenarioClass::Diamond => {
+                let selectors: Vec<u32> = self
+                    .source
+                    .declared()
+                    .iter()
+                    .map(|s| s.selector.as_u32())
+                    .collect();
+                // Loupe mapping: even-indexed selectors route to facet
+                // A, odd-indexed to facet B.
+                let evens: Vec<usize> = (0..selectors.len()).step_by(2).collect();
+                let odds: Vec<usize> = (1..selectors.len()).step_by(2).collect();
+                let addr_a = scenario_address(seed ^ 0x2535);
+                let addr_b = scenario_address(seed ^ 0xfacade);
+                let mut links = LinkSet::new();
+                let mut routes = Vec::with_capacity(selectors.len());
+                let facet_a = self.source.with_function_subset(&evens);
+                links.insert(addr_a, facet_a.compile_variant(transform));
+                for &i in &evens {
+                    routes.push((selectors[i], addr_a));
+                }
+                if !odds.is_empty() {
+                    let facet_b = self.source.with_function_subset(&odds);
+                    links.insert(addr_b, facet_b.compile_variant(transform));
+                    for &i in &odds {
+                        routes.push((selectors[i], addr_b));
+                    }
+                }
+                routes.sort_by_key(|&(sel, _)| {
+                    selectors
+                        .iter()
+                        .position(|&s| s == sel)
+                        .unwrap_or(usize::MAX)
+                });
+                ScenarioBundle {
+                    deployed: diamond_router(&routes),
+                    links,
+                    implementation: Some(self.source.compile_variant(transform)),
+                    expectation: ScenarioExpectation::ResolvesToImplementation,
+                }
+            }
+            ScenarioClass::FactoryChild => {
+                let implementation = self.source.compile_variant(transform);
+                let mut deployed = implementation.clone();
+                deployed.extend_from_slice(&metadata_tail(seed));
+                ScenarioBundle {
+                    deployed,
+                    links: LinkSet::new(),
+                    implementation: Some(implementation),
+                    expectation: ScenarioExpectation::DirectRecovery,
+                }
+            }
+            ScenarioClass::ReceiveFallbackOnly => ScenarioBundle {
+                deployed: receive_fallback_only(seed),
+                links: LinkSet::new(),
+                implementation: None,
+                expectation: ScenarioExpectation::EmptyComplete,
+            },
+            ScenarioClass::SolangStyle => {
+                let deployed = compile_solang_style(&self.source, transform);
+                ScenarioBundle {
+                    deployed: deployed.clone(),
+                    links: LinkSet::new(),
+                    implementation: Some(deployed),
+                    expectation: ScenarioExpectation::DirectRecovery,
+                }
+            }
+        }
+    }
+}
+
+/// Where a generated forwarder finds its target.
+enum ForwardTarget {
+    Immediate([u8; 20]),
+    StorageSlot(u64),
+}
+
+/// A deterministic synthetic deployment address.
+fn scenario_address(seed: u64) -> [u8; 20] {
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state ^= state >> 30;
+        state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x94d0_49bb_1331_11eb);
+        state ^= state >> 31;
+        state
+    };
+    let mut addr = [0u8; 20];
+    for chunk in addr.chunks_mut(8) {
+        let w = next().to_be_bytes();
+        chunk.copy_from_slice(&w[..chunk.len()]);
+    }
+    // A zero address would read as "no target"; force a nonzero byte.
+    addr[0] |= 0x10;
+    addr
+}
+
+/// The canonical 45-byte EIP-1167 minimal-proxy runtime.
+pub fn eip1167(addr: [u8; 20]) -> Vec<u8> {
+    let mut code = Vec::with_capacity(45);
+    code.extend_from_slice(&[0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73]);
+    code.extend_from_slice(&addr);
+    code.extend_from_slice(&[
+        0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b, 0xf3,
+    ]);
+    code
+}
+
+/// Emits the calldata-forward + delegatecall sequence:
+/// `calldatacopy(0, 0, calldatasize)`, then
+/// `delegatecall(gas, target, 0, calldatasize, 0, 0)`, result popped.
+fn emit_forward(asm: &mut Assembler, target: &ForwardTarget) {
+    asm.op(Opcode::CallDataSize)
+        .push_u64(0)
+        .push_u64(0)
+        .op(Opcode::CallDataCopy);
+    asm.push_u64(0)
+        .push_u64(0)
+        .op(Opcode::CallDataSize)
+        .push_u64(0);
+    match target {
+        ForwardTarget::Immediate(addr) => {
+            asm.push_bytes(addr);
+        }
+        ForwardTarget::StorageSlot(slot) => {
+            asm.push_u64(*slot).op(Opcode::SLoad);
+        }
+    }
+    asm.op(Opcode::Gas)
+        .op(Opcode::DelegateCall)
+        .op(Opcode::Pop)
+        .op(Opcode::Stop);
+}
+
+/// A whole-contract forwarding dispatcher (no selector table of its
+/// own).
+fn forwarder(target: ForwardTarget) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    emit_forward(&mut asm, &target);
+    asm.assemble()
+}
+
+/// A diamond router: a real `SHR`-era selector dispatcher whose
+/// per-selector bodies forward to their facet address.
+fn diamond_router(routes: &[(u32, [u8; 20])]) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.push_u64(0).op(Opcode::CallDataLoad);
+    asm.push_u64(0xe0).op(Opcode::Shr);
+    let entries: Vec<_> = routes.iter().map(|_| asm.fresh_label()).collect();
+    for (&(sel, _), &entry) in routes.iter().zip(&entries) {
+        asm.op(Opcode::Dup(1));
+        asm.push_sized(sigrec_evm::U256::from(sel as u64), 4);
+        asm.op(Opcode::Eq);
+        asm.push_label(entry).op(Opcode::JumpI);
+    }
+    asm.op(Opcode::Pop).op(Opcode::Stop);
+    for (&(_, addr), &entry) in routes.iter().zip(&entries) {
+        asm.jumpdest(entry);
+        emit_forward(&mut asm, &ForwardTarget::Immediate(addr));
+    }
+    asm.assemble()
+}
+
+/// A `receive`/`fallback`-only contract: an empty-calldata check
+/// routing to the receive handler, a fallback body, no selector
+/// comparisons anywhere.
+fn receive_fallback_only(seed: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    let receive = asm.fresh_label();
+    asm.op(Opcode::CallDataSize).op(Opcode::IsZero);
+    asm.push_label(receive).op(Opcode::JumpI);
+    // Fallback: log the caller, stop.
+    asm.op(Opcode::Caller)
+        .push_u64(seed % 251)
+        .op(Opcode::SStore);
+    asm.op(Opcode::Stop);
+    asm.jumpdest(receive);
+    // Receive: count plain transfers.
+    asm.push_u64(1).push_u64(seed % 13).op(Opcode::SStore);
+    asm.op(Opcode::Stop);
+    asm.assemble()
+}
+
+/// A CBOR-style metadata/constructor-argument tail like the ones
+/// factories and solc leave after the runtime code. Never executable:
+/// nothing jumps past the final `STOP`/`RETURN` of the real code.
+fn metadata_tail(seed: u64) -> Vec<u8> {
+    let mut out = vec![0xa2, 0x64, b'i', b'p', b'f', b's', 0x58, 0x22];
+    let mut state = seed | 1;
+    for _ in 0..34 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.push((state >> 24) as u8);
+    }
+    // Solidity convention: the last two bytes give the metadata length.
+    let len = out.len() as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out
+}
+
+/// Compiles a Solidity source with the solang-style dispatcher idiom,
+/// composing with the metamorphic transform the same way
+/// [`SourceContract::compile_variant`] does.
+fn compile_solang_style(source: &SourceContract, transform: &Transform) -> Vec<u8> {
+    use sigrec_solc::{compile_with_variant, DispatcherShape, EmitVariant, SolcVersion};
+    let SourceContract::Solidity { specs, config } = source else {
+        panic!("solang-style scenarios wrap Solidity sources");
+    };
+    let mut specs = specs.clone();
+    let mut config = *config;
+    let mut variant = EmitVariant {
+        solang_style: true,
+        ..Default::default()
+    };
+    match transform {
+        Transform::Identity => {}
+        Transform::OptimizeToggle => config.optimize = !config.optimize,
+        Transform::ReorderFunctions(rot) => {
+            let len = specs.len();
+            if len > 0 {
+                specs.rotate_left(rot % len);
+            }
+        }
+        Transform::PermuteDispatch(seed) => {
+            variant.dispatch_order = Some(crate::metamorph::permutation(specs.len(), *seed));
+        }
+        Transform::JunkPadding {
+            blocks,
+            seed,
+            between_bodies,
+        } => {
+            variant.junk_blocks = *blocks;
+            variant.junk_seed = *seed;
+            variant.junk_between_bodies = *between_bodies;
+        }
+        Transform::ForceLinearDispatch => variant.dispatcher = DispatcherShape::Linear,
+        Transform::ForceBinaryDispatch => variant.dispatcher = DispatcherShape::BinarySearch,
+        // The DIV+AND idiom is already the legacy-family selector
+        // shape; version pinning keeps the callvalue-guard era stable.
+        Transform::LegacyDispatch => config.version = SolcVersion::V0_8_0,
+    }
+    compile_with_variant(&specs, &config, &variant).code
+}
+
+/// The deterministic scenario battery: at least one scenario per class,
+/// wrapping sources drawn from the same declaration families as the
+/// conformance corpus so rule coverage is preserved through the
+/// indirection.
+pub fn scenario_corpus() -> Vec<DispatchScenario> {
+    use crate::metamorph::conformance_corpus;
+    let base = conformance_corpus();
+    // base[0]: 8-function basic-word Solidity source; base[1]: external
+    // arrays; base[5]: Vyper basic refinement.
+    vec![
+        DispatchScenario {
+            class: ScenarioClass::MinimalProxy,
+            source: base[0].clone(),
+            seed: 0x1167_0001,
+        },
+        DispatchScenario {
+            class: ScenarioClass::MinimalProxy,
+            source: base[5].clone(),
+            seed: 0x1167_0002,
+        },
+        DispatchScenario {
+            class: ScenarioClass::ForwarderImmediate,
+            source: base[1].clone(),
+            seed: 0xf0f0_0001,
+        },
+        DispatchScenario {
+            class: ScenarioClass::ForwarderStorage,
+            source: base[0].clone(),
+            seed: 0x5105_0001,
+        },
+        DispatchScenario {
+            class: ScenarioClass::Diamond,
+            source: base[0].clone(),
+            seed: 0x2535_0001,
+        },
+        DispatchScenario {
+            class: ScenarioClass::Diamond,
+            source: base[3].clone(),
+            seed: 0x2535_0002,
+        },
+        DispatchScenario {
+            class: ScenarioClass::FactoryChild,
+            source: base[2].clone(),
+            seed: 0xfac1_0001,
+        },
+        DispatchScenario {
+            class: ScenarioClass::ReceiveFallbackOnly,
+            source: base[0].with_function_subset(&[]),
+            seed: 0xfa11_0001,
+        },
+        DispatchScenario {
+            class: ScenarioClass::SolangStyle,
+            source: base[0].clone(),
+            seed: 0x501a_0001,
+        },
+        DispatchScenario {
+            class: ScenarioClass::SolangStyle,
+            source: base[1].clone(),
+            seed: 0x501a_0002,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigrec_core::{DelegateTarget, Diagnostic, SigRec};
+
+    fn set_of(functions: &[sigrec_core::RecoveredFunction]) -> Vec<(u32, String)> {
+        let mut v: Vec<(u32, String)> = functions
+            .iter()
+            .map(|f| (f.selector.as_u32(), f.signature().param_list()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn corpus_covers_every_class() {
+        let corpus = scenario_corpus();
+        for class in ScenarioClass::all() {
+            assert!(
+                corpus.iter().any(|s| s.class == class),
+                "class {} missing from the scenario corpus",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_proxy_resolves_to_direct_recovery() {
+        let scenario = &scenario_corpus()[0];
+        let bundle = scenario.build(&Transform::Identity);
+        assert_eq!(bundle.deployed.len(), 45);
+        let sigrec = SigRec::new();
+        let plain = sigrec.recover_with_outcome(&bundle.deployed);
+        assert!(plain.functions.is_empty());
+        assert!(
+            plain.diagnostics.iter().any(|d| matches!(
+                d,
+                Diagnostic::UnresolvedIndirection {
+                    selector: None,
+                    target: DelegateTarget::Address(_)
+                }
+            )),
+            "plain proxy recovery must name the indirection: {:?}",
+            plain.diagnostics
+        );
+        let linked = sigrec.recover_linked_with_outcome(&bundle.deployed, &bundle.links);
+        let direct = sigrec.recover(bundle.implementation.as_ref().unwrap());
+        assert_eq!(set_of(&linked.functions), set_of(&direct));
+        assert!(
+            !linked
+                .diagnostics
+                .iter()
+                .any(|d| matches!(d, Diagnostic::UnresolvedIndirection { .. })),
+            "linked recovery must resolve the indirection"
+        );
+    }
+
+    #[test]
+    fn diamond_routes_resolve_per_selector() {
+        let scenario = scenario_corpus()
+            .into_iter()
+            .find(|s| s.class == ScenarioClass::Diamond)
+            .unwrap();
+        let bundle = scenario.build(&Transform::Identity);
+        let sigrec = SigRec::new();
+        let plain = sigrec.recover_with_outcome(&bundle.deployed);
+        assert_eq!(plain.functions.len(), scenario.function_count());
+        for f in &plain.functions {
+            assert!(f.params.is_empty(), "router stubs carry no params");
+            assert!(matches!(f.delegate, Some(DelegateTarget::Address(_))));
+        }
+        let routed = plain
+            .diagnostics
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d,
+                    Diagnostic::UnresolvedIndirection {
+                        selector: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(routed, scenario.function_count());
+        let linked = sigrec.recover_linked_with_outcome(&bundle.deployed, &bundle.links);
+        let direct = sigrec.recover(bundle.implementation.as_ref().unwrap());
+        assert_eq!(set_of(&linked.functions), set_of(&direct));
+        assert!(linked.is_complete(), "{:?}", linked.diagnostics);
+    }
+
+    #[test]
+    fn storage_forwarder_stays_unresolved() {
+        let scenario = scenario_corpus()
+            .into_iter()
+            .find(|s| s.class == ScenarioClass::ForwarderStorage)
+            .unwrap();
+        let bundle = scenario.build(&Transform::Identity);
+        let sigrec = SigRec::new();
+        for outcome in [
+            sigrec.recover_with_outcome(&bundle.deployed),
+            sigrec.recover_linked_with_outcome(&bundle.deployed, &bundle.links),
+        ] {
+            assert!(outcome.functions.is_empty());
+            assert!(outcome
+                .diagnostics
+                .contains(&Diagnostic::UnresolvedIndirection {
+                    selector: None,
+                    target: DelegateTarget::Unknown,
+                }));
+        }
+    }
+
+    #[test]
+    fn factory_child_ignores_the_tail() {
+        let scenario = scenario_corpus()
+            .into_iter()
+            .find(|s| s.class == ScenarioClass::FactoryChild)
+            .unwrap();
+        let bundle = scenario.build(&Transform::Identity);
+        let implementation = bundle.implementation.as_ref().unwrap();
+        assert!(bundle.deployed.len() > implementation.len());
+        let sigrec = SigRec::new();
+        assert_eq!(
+            set_of(&sigrec.recover_cold(&bundle.deployed)),
+            set_of(&sigrec.recover_cold(implementation))
+        );
+    }
+
+    #[test]
+    fn receive_fallback_only_is_empty_and_complete() {
+        let scenario = scenario_corpus()
+            .into_iter()
+            .find(|s| s.class == ScenarioClass::ReceiveFallbackOnly)
+            .unwrap();
+        let bundle = scenario.build(&Transform::Identity);
+        let outcome = SigRec::new().recover_with_outcome(&bundle.deployed);
+        assert!(outcome.functions.is_empty());
+        assert!(outcome.is_complete(), "{:?}", outcome.diagnostics);
+        assert!(outcome.diagnostics.is_empty(), "{:?}", outcome.diagnostics);
+    }
+
+    #[test]
+    fn solang_style_recovers_directly() {
+        let scenario = scenario_corpus()
+            .into_iter()
+            .find(|s| s.class == ScenarioClass::SolangStyle)
+            .unwrap();
+        let bundle = scenario.build(&Transform::Identity);
+        let recovered = SigRec::new().recover(&bundle.deployed);
+        let declared = scenario.source.declared();
+        assert_eq!(recovered.len(), declared.len());
+        for d in &declared {
+            let r = recovered
+                .iter()
+                .find(|r| r.selector == d.selector)
+                .expect("declared selector recovered");
+            assert!(d.matches(&r.signature()), "{}", d.canonical());
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        for scenario in scenario_corpus() {
+            let a = scenario.build(&Transform::Identity);
+            let b = scenario.build(&Transform::Identity);
+            assert_eq!(a.deployed, b.deployed, "{}", scenario.describe());
+        }
+    }
+
+    #[test]
+    fn shrinking_redeploys_the_wrapper() {
+        let scenario = scenario_corpus()
+            .into_iter()
+            .find(|s| s.class == ScenarioClass::Diamond)
+            .unwrap();
+        let small = scenario.with_function_subset(&[0]);
+        assert_eq!(small.function_count(), 1);
+        let bundle = small.build(&Transform::Identity);
+        let outcome = SigRec::new().recover_with_outcome(&bundle.deployed);
+        assert_eq!(outcome.functions.len(), 1);
+    }
+}

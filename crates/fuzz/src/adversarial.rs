@@ -18,12 +18,21 @@
 //!    degrade silently.
 //! 4. **Deadline respected** — with a wall-clock budget set, recovery
 //!    returns within the deadline plus a scheduling slack.
+//! 5. **Indirection honesty** — fallback-only delegators and truncated
+//!    proxies are diagnosed (never a phantom function or a fabricated
+//!    target), cyclic diamond routing terminates with its indirection
+//!    diagnostic intact, and factory-child metadata tails change nothing.
 //!
 //! [`SigRec::recover_with_outcome`]: sigrec_core::SigRec
 
 use sigrec_conformance::{execution_paths, path_digest};
-use sigrec_core::{BudgetKind, Diagnostic, InferEngine, MalformedKind, SigRec, TaseConfig};
-use sigrec_corpus::adversarial::{adversarial_cases, AdversarialCase, AdversarialKind};
+use sigrec_core::{
+    BudgetKind, DelegateTarget, Diagnostic, InferEngine, LinkSet, MalformedKind, SigRec, TaseConfig,
+};
+use sigrec_corpus::adversarial::{
+    adversarial_cases, collision_is_fallback_only, cyclic_target, factory_child_parts,
+    AdversarialCase, AdversarialKind,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -248,6 +257,128 @@ fn check_case(
                 ),
             ));
         }
+        // The 0-entry dispatcher + fallback-only degenerate: the
+        // uncompared selector must not become a phantom function, and
+        // the storage delegation must surface as a diagnostic — empty
+        // with a diagnostic, never silently empty.
+        AdversarialKind::SelectorCollisionTable if collision_is_fallback_only(case.seed) => {
+            if !reference.functions.is_empty() {
+                report.violations.push(violation(
+                    "no-phantom-function",
+                    format!(
+                        "0-entry dispatcher recovered {} phantom function(s)",
+                        reference.functions.len()
+                    ),
+                ));
+            }
+            let has_indirection = reference
+                .diagnostics
+                .iter()
+                .any(|d| matches!(d, Diagnostic::UnresolvedIndirection { .. }));
+            if !has_indirection {
+                report.violations.push(violation(
+                    "diagnostics-populated",
+                    format!(
+                        "fallback-only delegation left undiagnosed: {:?}",
+                        reference.diagnostics
+                    ),
+                ));
+            }
+        }
+        // A proxy cut off inside its PUSH20 target: the truncation must
+        // be diagnosed and the zero-filled partial address must never be
+        // reported as a resolved target.
+        AdversarialKind::ProxyTruncatedTarget => {
+            let has_malformed = reference.diagnostics.iter().any(|d| {
+                matches!(
+                    d,
+                    Diagnostic::MalformedCode(MalformedKind::TruncatedPush { .. })
+                )
+            });
+            if !has_malformed {
+                report.violations.push(violation(
+                    "diagnostics-populated",
+                    format!(
+                        "truncated proxy target yielded no malformed-code diagnostic: {:?}",
+                        reference.diagnostics
+                    ),
+                ));
+            }
+            let fabricated = reference.diagnostics.iter().any(|d| {
+                matches!(
+                    d,
+                    Diagnostic::UnresolvedIndirection {
+                        target: DelegateTarget::Address(_),
+                        ..
+                    }
+                )
+            });
+            if fabricated {
+                report.violations.push(violation(
+                    "no-fabricated-target",
+                    "zero-filled partial address reported as a resolved target".to_string(),
+                ));
+            }
+        }
+        // A diamond whose facet address maps back to the router itself:
+        // linked resolution must terminate and keep the indirection
+        // diagnosed instead of splicing the router's own stub over it.
+        AdversarialKind::DiamondCyclicRouting => {
+            let mut links = LinkSet::new();
+            links.insert(cyclic_target(case.seed), code.clone());
+            let linked = catch_unwind(AssertUnwindSafe(|| {
+                SigRec::with_config(tight).recover_linked_with_outcome(&code, &links)
+            }));
+            match linked {
+                Ok(outcome) => {
+                    report.paths_checked += 1;
+                    let diagnosed = outcome
+                        .diagnostics
+                        .iter()
+                        .any(|d| matches!(d, Diagnostic::UnresolvedIndirection { .. }));
+                    if !diagnosed {
+                        report.violations.push(violation(
+                            "cycle-diagnosed",
+                            format!(
+                                "cyclic routing resolved silently: {:?}",
+                                outcome.diagnostics
+                            ),
+                        ));
+                    }
+                    if outcome.functions.iter().any(|f| !f.params.is_empty()) {
+                        report.violations.push(violation(
+                            "no-phantom-function",
+                            "cyclic router stub grew parameters".to_string(),
+                        ));
+                    }
+                }
+                Err(_) => {
+                    report.violations.push(violation(
+                        "no-panic",
+                        "panicked resolving cyclic routing".to_string(),
+                    ));
+                }
+            }
+        }
+        // A factory-deployed child: the unreachable constructor/metadata
+        // tail must not change recovery in any way.
+        AdversarialKind::FactoryChildConstructorTail => {
+            let (core, _tail) = factory_child_parts(case.seed);
+            let tailless = SigRec::with_config(tight).recover_cold_with_outcome(&core);
+            report.paths_checked += 1;
+            if path_digest(&tailless.functions) != path_digest(&reference.functions)
+                || tailless.diagnostics != reference.diagnostics
+            {
+                report.violations.push(violation(
+                    "tail-invariance",
+                    format!(
+                        "tail changed recovery: tail-less {:?}, tailed {:?}",
+                        path_digest(&tailless.functions),
+                        path_digest(&reference.functions)
+                    ),
+                ));
+            }
+        }
         _ => {}
     }
 
@@ -298,14 +429,17 @@ mod tests {
     #[test]
     fn small_campaign_is_green() {
         let report = run_adversarial(&AdversarialCampaign {
-            cases: 14,
+            cases: 20,
             ..AdversarialCampaign::default()
         });
-        assert_eq!(report.cases, 14);
+        assert_eq!(report.cases, 20);
         assert!(report.is_green(), "{}", report.summary());
         // 22 paths per case (engines × fork modes × pipeline paths, plus
-        // the warm-outcome replay and the per-rule inference cross-check).
-        assert_eq!(report.paths_checked, 14 * 22);
+        // the warm-outcome replay and the per-rule inference cross-check),
+        // plus one extra linked-resolution path per cyclic-routing case
+        // and one tail-less comparison per factory-child case (two of
+        // each in two full rounds of the ten kinds).
+        assert_eq!(report.paths_checked, 20 * 22 + 2 + 2);
         // The corpus contains engineered truncations; at least the two
         // DeepLoop cases must have been cut by budgets.
         assert!(report.truncated_cases >= 2, "{}", report.summary());

@@ -49,6 +49,14 @@ pub struct EmitVariant {
     pub junk_between_bodies: bool,
     /// Seed for the junk block contents.
     pub junk_seed: u64,
+    /// Emit the selector the way solang's codegen does instead of
+    /// solc's: a `CALLDATASIZE < 4` guard jumping to a dedicated
+    /// fallback first, then `DIV 2²²⁴` followed by an explicit
+    /// `AND 0xffffffff` mask (solc omits the mask — `SHR`/`DIV` already
+    /// leave a clean 4-byte value). Behaviour-preserving for any
+    /// well-formed call, and a distinct dispatcher idiom the recovery's
+    /// selector-shape matcher must accept.
+    pub solang_style: bool,
 }
 
 /// A compiled contract: runtime bytecode plus its ground truth.
@@ -109,8 +117,24 @@ pub fn compile_with_variant(
     };
     let mut asm = Assembler::new();
     // --- dispatcher ---
+    // Solang guards the input length before touching the selector: a
+    // call shorter than 4 bytes goes straight to a dedicated fallback.
+    let solang_fallback = variant.solang_style.then(|| {
+        let l = asm.fresh_label();
+        asm.op(Opcode::CallDataSize)
+            .push_u64(4)
+            .op(Opcode::Swap(1))
+            .op(Opcode::Lt);
+        asm.push_label(l).op(Opcode::JumpI);
+        l
+    });
     asm.push_u64(0).op(Opcode::CallDataLoad);
-    if config.version.uses_shr_dispatch() {
+    if variant.solang_style {
+        asm.push(U256::ONE << 224u32)
+            .op(Opcode::Swap(1))
+            .op(Opcode::Div);
+        asm.push_u64(0xffff_ffff).op(Opcode::And);
+    } else if config.version.uses_shr_dispatch() {
         asm.push_u64(0xe0).op(Opcode::Shr);
     } else {
         asm.push(U256::ONE << 224u32)
@@ -166,6 +190,12 @@ pub fn compile_with_variant(
     }
     // Fallback: no matching selector.
     asm.op(Opcode::Pop).op(Opcode::Stop);
+    if let Some(l) = solang_fallback {
+        // Short-calldata fallback: reached with an empty stack, so it
+        // gets its own STOP instead of sharing the popping one above.
+        asm.jumpdest(l);
+        asm.op(Opcode::Stop);
+    }
     // Dead padding between the fallback and the first body: unreachable,
     // so invisible to both execution and dispatcher extraction.
     for k in 0..variant.junk_blocks {
@@ -458,6 +488,17 @@ mod tests {
                 junk_seed: 7,
                 ..Default::default()
             },
+            EmitVariant {
+                solang_style: true,
+                ..Default::default()
+            },
+            EmitVariant {
+                solang_style: true,
+                dispatcher: DispatcherShape::BinarySearch,
+                junk_blocks: 1,
+                junk_seed: 3,
+                ..Default::default()
+            },
         ];
         let sig = FunctionSignature::parse("b(bool)").unwrap();
         let cd = encode_call(&sig, &[AbiValue::Bool(true)]).unwrap();
@@ -469,6 +510,27 @@ mod tests {
                 .run(&Env::with_calldata(vec![0xde, 0xad, 0xbe, 0xef]));
             assert_eq!(miss.outcome, Outcome::Stop, "fallback under {:?}", v);
         }
+    }
+
+    #[test]
+    fn solang_style_guards_short_calldata() {
+        let fns = vec![FunctionSpec::new(
+            FunctionSignature::parse("f(uint256)").unwrap(),
+            Visibility::External,
+        )];
+        let contract = compile_with_variant(
+            &fns,
+            &CompilerConfig::default(),
+            &EmitVariant {
+                solang_style: true,
+                ..Default::default()
+            },
+        );
+        // Two bytes of calldata: the length guard must route to the
+        // dedicated fallback, not underflow the selector pop.
+        let exec = Interpreter::new(&contract.code).run(&Env::with_calldata(vec![0xde, 0xad]));
+        assert_eq!(exec.outcome, Outcome::Stop);
+        assert!(exec.steps < 12, "short calldata must skip the dispatcher");
     }
 
     #[test]
