@@ -4,7 +4,7 @@
 //! repro <experiment> [--contracts N] [--seed S]
 //! experiments: rq1 fig15 fig16 fig17 fig18 fig19
 //!              table1 table2 table3 table4 table5
-//!              attacks fuzzing erays throughput conformance all
+//!              attacks fuzzing erays throughput replay conformance all
 //! ```
 
 use sigrec_bench::{Scale, *};
@@ -51,6 +51,7 @@ fn main() {
             "ablation" => ablation(&scale),
             "obfuscation" => obfuscation(&scale),
             "throughput" => throughput(&scale),
+            "replay" => replay(&scale),
             "conformance" => conformance(&scale),
             _ => return None,
         })
@@ -73,6 +74,7 @@ fn main() {
         "ablation",
         "obfuscation",
         "throughput",
+        "replay",
         "conformance",
     ];
     if which == "all" {

@@ -11,6 +11,7 @@ pub mod ablation;
 pub mod accuracy;
 pub mod apps;
 pub mod conformance;
+pub mod replay;
 pub mod report;
 pub mod throughput;
 pub mod timing;
@@ -19,5 +20,6 @@ pub use ablation::{ablated_accuracy, ablation, obfuscation, Ablation};
 pub use accuracy::{fig15, fig16, rq1, table1, table2, table3, table4, table5, Scale};
 pub use apps::{attacks, erays, fig19, fuzzing};
 pub use conformance::conformance;
+pub use replay::replay;
 pub use throughput::{duplicate_with_skew, throughput};
 pub use timing::{dimension_series, fig17, fig18};

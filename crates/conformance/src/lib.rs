@@ -30,8 +30,8 @@
 
 use sigrec_core::exec::{ExecEngine, ForkMode};
 use sigrec_core::{
-    recover_batch, recover_batch_naive, Diagnostic, InferEngine, RecoveredFunction, RuleId,
-    RuleStats, SigRec, TaseConfig,
+    recover_batch, recover_batch_naive, Diagnostic, InferEngine, PersistentStore,
+    RecoveredFunction, RecoveryCache, RuleId, RuleStats, SigRec, TaseConfig,
 };
 use sigrec_corpus::metamorph::{standard_transforms, SourceContract, Transform};
 use sigrec_corpus::scenario::{
@@ -357,12 +357,26 @@ fn diff(expected: &[String], got: &[String]) -> Option<String> {
     )
 }
 
+/// A fresh scratch directory for one persistent-path check, unique per
+/// process and call.
+fn persist_scratch() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "sigrec-conf-store-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
 /// Every per-bytecode execution path, as `(name, recovery)` pairs: the
 /// five pipeline paths (cold, first/warm recover, dedup and naive batch)
-/// under both execution engines crossed with both fork modes, twenty in
-/// total, with every budget knob other than `exec_engine` and `fork_mode`
-/// taken from `base`. Public so the adversarial fuzz campaign can re-run
-/// the exact same paths under tightened budgets.
+/// under both execution engines crossed with both fork modes, plus the
+/// persistent-store pair (recover through a store-backed cache, then
+/// again across a simulated process restart over the warm store) —
+/// twenty-two in total, with every budget knob other than `exec_engine`
+/// and `fork_mode` taken from `base`. Public so the adversarial fuzz
+/// campaign can re-run the exact same paths under tightened budgets.
 pub fn execution_paths(base: &TaseConfig, code: &[u8]) -> Vec<(String, Vec<RecoveredFunction>)> {
     let mut out = Vec::new();
     for (engine, etag) in [(ExecEngine::Block, "block"), (ExecEngine::Instr, "instr")] {
@@ -394,14 +408,33 @@ pub fn execution_paths(base: &TaseConfig, code: &[u8]) -> Vec<(String, Vec<Recov
             ));
         }
     }
+    // Persistent-store pair: the disk tier sits beneath the engine/fork
+    // sweep, so one round trip under `base`'s own knobs suffices. The
+    // warm-restart path proves a record written by the cold path decodes
+    // to the byte-identical structural digest in a fresh "process"
+    // (fresh in-memory cache over the reopened store).
+    let dir = persist_scratch();
+    {
+        let store = PersistentStore::open(&dir).expect("open scratch store");
+        let sigrec = SigRec::with_config(*base).with_cache(RecoveryCache::persistent(store));
+        out.push(("persist-cold".to_string(), sigrec.recover(code)));
+        sigrec.flush_store().expect("flush scratch store");
+    }
+    {
+        let store = PersistentStore::open(&dir).expect("reopen scratch store");
+        let sigrec = SigRec::with_config(*base).with_cache(RecoveryCache::persistent(store));
+        out.push(("persist-warm-restart".to_string(), sigrec.recover(code)));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     out
 }
 
 /// Number of comparisons [`find_mismatch`] performs per case: five paths
-/// under two execution engines crossed with two fork modes, plus one cold
-/// recovery under the *other* inference engine, plus the cross-variant
-/// metamorphic relation.
-pub const PATHS_PER_CASE: usize = 22;
+/// under two execution engines crossed with two fork modes, plus the
+/// persistent-store cold/warm-restart pair, plus one cold recovery under
+/// the *other* inference engine, plus the cross-variant metamorphic
+/// relation.
+pub const PATHS_PER_CASE: usize = 24;
 
 /// The other inference engine — the one a case's cross-engine path runs.
 fn other_engine(engine: InferEngine) -> InferEngine {

@@ -22,6 +22,11 @@
 //! The cache is shared: cloning a [`SigRec`] clones an `Arc` handle, so all
 //! batch workers populate and profit from one table.
 //!
+//! A [`PersistentStore`] can sit beneath the contract level
+//! ([`RecoveryCache::persistent`]): misses read through to disk, seals
+//! write behind to disk, and results survive the process — see
+//! [`crate::store`] for the on-disk format and its crash-safety rules.
+//!
 //! [`SigRec::recover`]: crate::SigRec::recover
 //! [`SigRec`]: crate::SigRec
 
@@ -29,6 +34,7 @@ use crate::infer::Language;
 use crate::outcome::{BudgetKind, DelegateTarget, Diagnostic};
 use crate::pipeline::RecoveredFunction;
 use crate::rules::RuleId;
+use crate::store::{PersistentStore, StoreStats};
 use sigrec_abi::AbiType;
 use sigrec_evm::{Disassembly, Program};
 use std::collections::HashMap;
@@ -89,6 +95,13 @@ pub struct CacheStats {
     pub program_hits: u64,
     /// Compiled-program lookups that compiled fresh.
     pub program_misses: u64,
+    /// Contract lookups that missed memory but were served from the
+    /// persistent tier (a subset of `contract_hits`). Zero without a
+    /// [`PersistentStore`].
+    pub disk_hits: u64,
+    /// Contract lookups that missed both memory and disk. Zero without
+    /// a [`PersistentStore`].
+    pub disk_misses: u64,
 }
 
 impl CacheStats {
@@ -106,6 +119,12 @@ impl CacheStats {
     pub fn program_hit_rate(&self) -> f64 {
         rate(self.program_hits, self.program_misses)
     }
+
+    /// Fraction of disk probes served from the persistent tier (0 when
+    /// idle or when no store is attached).
+    pub fn disk_hit_rate(&self) -> f64 {
+        rate(self.disk_hits, self.disk_misses)
+    }
 }
 
 fn rate(hits: u64, misses: u64) -> f64 {
@@ -119,6 +138,12 @@ fn rate(hits: u64, misses: u64) -> f64 {
 
 #[derive(Debug, Default)]
 struct CacheInner {
+    /// The optional persistent tier: read-through on contract misses,
+    /// write-behind on contract seals. Function-level entries and
+    /// compiled programs stay memory-only (programs recompile from the
+    /// caller-supplied bytes in microseconds; function extents are an
+    /// intra-process sharing optimisation).
+    store: Option<PersistentStore>,
     contracts: Mutex<HashMap<[u8; 32], Arc<CachedContract>>>,
     functions: Mutex<HashMap<(u64, usize), CachedFunction>>,
     /// Block-compiled programs, keyed like contracts: a pure function of
@@ -145,7 +170,43 @@ impl RecoveryCache {
         Self::default()
     }
 
-    /// Looks up a whole contract by its code hash.
+    /// An empty in-memory cache backed by `store`: contract-level misses
+    /// read through to disk, contract-level seals write behind to disk.
+    /// The disk tier inherits the memory tier's seal discipline and adds
+    /// its own gate (see [`PersistentStore::append`]), so only complete,
+    /// deterministic, direct-recovery results ever reach a segment.
+    pub fn persistent(store: PersistentStore) -> Self {
+        RecoveryCache {
+            inner: Arc::new(CacheInner {
+                store: Some(store),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// The persistent tier, when one is attached.
+    pub fn store(&self) -> Option<&PersistentStore> {
+        self.inner.store.as_ref()
+    }
+
+    /// A snapshot of the persistent tier's counters, when one is
+    /// attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.inner.store.as_ref().map(|s| s.stats())
+    }
+
+    /// Flushes the persistent tier (segment fsync + index write); a
+    /// no-op without one.
+    pub fn flush_store(&self) -> std::io::Result<()> {
+        match &self.inner.store {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Looks up a whole contract by its code hash: memory first, then
+    /// the persistent tier. A disk hit is promoted into the memory map
+    /// so later duplicates skip the read and the deserialisation.
     pub fn lookup_contract(&self, key: &[u8; 32]) -> Option<Arc<CachedContract>> {
         let hit = self
             .inner
@@ -154,23 +215,47 @@ impl RecoveryCache {
             .expect("cache poisoned")
             .get(key)
             .cloned();
-        match &hit {
-            Some(_) => self.inner.contract_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.inner.contract_misses.fetch_add(1, Ordering::Relaxed),
-        };
-        hit
+        if let Some(hit) = hit {
+            self.inner.contract_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        if let Some(store) = &self.inner.store {
+            if let Some((functions, extraction_diags)) = store.lookup(key) {
+                let entry = Arc::new(CachedContract {
+                    functions: Arc::new(functions),
+                    extraction_diags,
+                });
+                self.inner
+                    .contracts
+                    .lock()
+                    .expect("cache poisoned")
+                    .entry(*key)
+                    .or_insert_with(|| Arc::clone(&entry));
+                self.inner.contract_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry);
+            }
+        }
+        self.inner.contract_misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Memoises a whole contract's recovery with its extraction-level
-    /// diagnostics. Callers must not store deadline-truncated results
+    /// diagnostics, writing through to the persistent tier when one is
+    /// attached. Callers must not store deadline-truncated results
     /// (they are nondeterministic — a warm lookup would replay one run's
-    /// arbitrary cut).
+    /// arbitrary cut); the disk tier additionally rejects them itself. A
+    /// disk write error is absorbed (counted in
+    /// [`StoreStats::io_errors`]) — persistence is an accelerator, never
+    /// a correctness dependency.
     pub fn store_contract(
         &self,
         key: [u8; 32],
         functions: Vec<RecoveredFunction>,
         extraction_diags: Vec<Diagnostic>,
     ) {
+        if let Some(store) = &self.inner.store {
+            let _ = store.append(key, &functions, &extraction_diags);
+        }
         self.inner.contracts.lock().expect("cache poisoned").insert(
             key,
             Arc::new(CachedContract {
@@ -233,8 +318,15 @@ impl RecoveryCache {
             .clone()
     }
 
-    /// A snapshot of the hit/miss counters.
+    /// A snapshot of the hit/miss counters (both tiers).
     pub fn stats(&self) -> CacheStats {
+        let (disk_hits, disk_misses) = match &self.inner.store {
+            Some(store) => {
+                let s = store.stats();
+                (s.disk_hits, s.disk_misses)
+            }
+            None => (0, 0),
+        };
         CacheStats {
             contract_hits: self.inner.contract_hits.load(Ordering::Relaxed),
             contract_misses: self.inner.contract_misses.load(Ordering::Relaxed),
@@ -242,6 +334,8 @@ impl RecoveryCache {
             function_misses: self.inner.function_misses.load(Ordering::Relaxed),
             program_hits: self.inner.program_hits.load(Ordering::Relaxed),
             program_misses: self.inner.program_misses.load(Ordering::Relaxed),
+            disk_hits,
+            disk_misses,
         }
     }
 
@@ -350,5 +444,35 @@ mod tests {
         let stats = RecoveryCache::new().stats();
         assert_eq!(stats.contract_hit_rate(), 0.0);
         assert_eq!(stats.function_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn persistent_tier_reads_through_and_writes_behind() {
+        let dir = std::env::temp_dir().join(format!("sigrec-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = RecoveryCache::persistent(PersistentStore::open(&dir).unwrap());
+            cache.store_contract([5u8; 32], Vec::new(), Vec::new());
+            cache.flush_store().unwrap();
+        }
+        // A fresh in-memory cache over the same directory: the lookup
+        // misses memory, hits disk, and promotes into the memory map.
+        let cache = RecoveryCache::persistent(PersistentStore::open(&dir).unwrap());
+        assert_eq!(cache.contract_count(), 0);
+        assert!(cache.lookup_contract(&[5u8; 32]).is_some());
+        assert_eq!(cache.contract_count(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.contract_hits, 1);
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.disk_misses, 0);
+        // The second lookup is a pure memory hit: no new disk probe.
+        assert!(cache.lookup_contract(&[5u8; 32]).is_some());
+        assert_eq!(cache.stats().disk_hits, 1);
+        // An absent key misses both tiers.
+        assert!(cache.lookup_contract(&[6u8; 32]).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.disk_misses, 1);
+        assert!((stats.disk_hit_rate() - 0.5).abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -34,6 +34,7 @@ pub mod outcome;
 pub mod pipeline;
 pub mod rules;
 pub mod shrink;
+pub mod store;
 
 pub use batch::{
     recover_batch, recover_batch_naive, BatchItem, BatchResult, BatchTimings, DedupStats,
@@ -54,3 +55,4 @@ pub use outcome::{
 pub use pipeline::{Explanation, LinkSet, RecoveredFunction, SigRec};
 pub use rules::{RuleId, RuleStats};
 pub use shrink::minimize;
+pub use store::{PersistentStore, StoreDiagnostic, StoreOptions, StoreStats};

@@ -26,6 +26,7 @@ use crate::outcome::{
     assemble_diagnostics, BudgetKind, DelegateTarget, Diagnostic, RecoveryOutcome,
 };
 use crate::rules::RuleId;
+use crate::store::StoreStats;
 use sigrec_abi::{AbiType, FunctionSignature, Selector};
 use sigrec_evm::{keccak256, Disassembly, Program};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -232,14 +233,32 @@ impl SigRec {
     }
 
     /// A snapshot of the accumulated executor profile, if
-    /// [`SigRec::with_exec_stats`] enabled collection.
+    /// [`SigRec::with_exec_stats`] enabled collection. When the shared
+    /// cache carries a persistent tier, its [`StoreStats`] ride along.
     pub fn exec_stats(&self) -> Option<PipelineStats> {
-        self.stats.as_ref().map(|acc| acc.snapshot())
+        self.stats.as_ref().map(|acc| {
+            let mut stats = acc.snapshot();
+            stats.store = self.cache.store_stats();
+            stats
+        })
     }
 
     /// A snapshot of the shared cache's hit/miss counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// A snapshot of the persistent tier's counters, when the shared
+    /// cache has a [`PersistentStore`](crate::PersistentStore) attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.cache.store_stats()
+    }
+
+    /// Flushes the cache's persistent tier (segment fsync + index
+    /// write); a no-op for a memory-only cache. Call on graceful
+    /// shutdown so the next open skips the segment scan.
+    pub fn flush_store(&self) -> std::io::Result<()> {
+        self.cache.flush_store()
     }
 
     /// Records one batch run's scheduler telemetry, reported by the batch
@@ -526,6 +545,10 @@ impl SigRec {
     /// A no-op in [`CacheMode::Bypass`] plans (no contract key), and for
     /// deadline-truncated results — those are nondeterministic, and a
     /// memoised one would replay an arbitrary cut on every warm lookup.
+    /// The same gate protects the persistent tier: a result skipped here
+    /// never reaches `store_contract`, hence never reaches a segment
+    /// (and the store re-checks on its own — see
+    /// [`PersistentStore::append`](crate::PersistentStore::append)).
     pub(crate) fn seal(&self, plan: &ContractPlan, functions: &[RecoveredFunction]) {
         let deadline_hit = functions
             .iter()
@@ -860,6 +883,8 @@ impl StatsAccum {
                     (hits > 0).then_some((rule, hits))
                 })
                 .collect(),
+            // Stamped by `SigRec::exec_stats`, which can see the cache.
+            store: None,
         }
     }
 }
@@ -909,6 +934,11 @@ pub struct PipelineStats {
     /// still counts a single hit for that function. Rules that never
     /// fired are omitted.
     pub rule_hits: Vec<(RuleId, u64)>,
+    /// The persistent tier's counters, when the shared cache has a
+    /// [`PersistentStore`](crate::PersistentStore) attached — disk
+    /// hits/misses, bytes moved, fsyncs, and the crash-recovery /
+    /// seal-gate counters. `None` for a memory-only cache.
+    pub store: Option<StoreStats>,
 }
 
 /// A diagnostic view of one function's recovery: what TASE saw and which

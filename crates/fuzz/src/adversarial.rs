@@ -6,13 +6,14 @@
 //!
 //! 1. **No panic** — every path on every case completes or is caught as a
 //!    violation, never unwinds.
-//! 2. **Path agreement** — under purely deterministic budgets all twenty
-//!    pipeline paths (cold/warm/batch × execution engines × fork modes)
+//! 2. **Path agreement** — under purely deterministic budgets all
+//!    twenty-two pipeline paths (cold/warm/batch × execution engines ×
+//!    fork modes, plus the persistent-store cold/warm-restart pair)
 //!    produce the same structural digest, truncated or not, plus a
-//!    twenty-first check that a warm [`SigRec::recover_with_outcome`]
-//!    replays the cold outcome's diagnostics exactly, plus a
-//!    twenty-second check that the per-rule inference reference recovers
-//!    the same digest as the (default) tree matcher on the hostile facts.
+//!    further check that a warm [`SigRec::recover_with_outcome`]
+//!    replays the cold outcome's diagnostics exactly, plus a final
+//!    check that the per-rule inference reference recovers the same
+//!    digest as the (default) tree matcher on the hostile facts.
 //! 3. **Diagnostics populated** — cases engineered to truncate
 //!    (`TruncatedPushTail`, `DeepLoop`) must surface a diagnostic, never
 //!    degrade silently.
@@ -151,7 +152,7 @@ fn check_case(
     let tight = tight_config();
     let code = case.code.clone();
 
-    // Guarantees 1–3: no panic, twenty-path agreement, outcome replay,
+    // Guarantees 1–3: no panic, all-path agreement, outcome replay,
     // and populated diagnostics — all under deterministic budgets.
     let checked = catch_unwind(AssertUnwindSafe(|| {
         let reference = SigRec::with_config(tight).recover_cold_with_outcome(&code);
@@ -168,8 +169,8 @@ fn check_case(
                 ));
             }
         }
-        // Twenty-first path: a warm repeat must replay the first call's
-        // full outcome — functions and diagnostics.
+        // Extra path: a warm repeat must replay the first call's full
+        // outcome — functions and diagnostics.
         let warm = SigRec::with_config(tight);
         let first = warm.recover_with_outcome(&code);
         let second = warm.recover_with_outcome(&code);
@@ -185,9 +186,9 @@ fn check_case(
                 ),
             ));
         }
-        // Twenty-second path: the per-rule inference reference on the
-        // same hostile, budget-truncated facts must match the tree
-        // matcher's digest exactly (rule lists included).
+        // Final path: the per-rule inference reference on the same
+        // hostile, budget-truncated facts must match the tree matcher's
+        // digest exactly (rule lists included).
         let per_rule = SigRec::with_config(TaseConfig {
             infer_engine: InferEngine::PerRule,
             ..tight
@@ -434,12 +435,13 @@ mod tests {
         });
         assert_eq!(report.cases, 20);
         assert!(report.is_green(), "{}", report.summary());
-        // 22 paths per case (engines × fork modes × pipeline paths, plus
-        // the warm-outcome replay and the per-rule inference cross-check),
-        // plus one extra linked-resolution path per cyclic-routing case
-        // and one tail-less comparison per factory-child case (two of
-        // each in two full rounds of the ten kinds).
-        assert_eq!(report.paths_checked, 20 * 22 + 2 + 2);
+        // 24 paths per case (engines × fork modes × pipeline paths, the
+        // persistent-store cold/warm-restart pair, plus the warm-outcome
+        // replay and the per-rule inference cross-check), plus one extra
+        // linked-resolution path per cyclic-routing case and one
+        // tail-less comparison per factory-child case (two of each in
+        // two full rounds of the ten kinds).
+        assert_eq!(report.paths_checked, 20 * 24 + 2 + 2);
         // The corpus contains engineered truncations; at least the two
         // DeepLoop cases must have been cut by budgets.
         assert!(report.truncated_cases >= 2, "{}", report.summary());
