@@ -34,10 +34,10 @@ use crate::infer::Language;
 use crate::outcome::{BudgetKind, DelegateTarget, Diagnostic};
 use crate::pipeline::RecoveredFunction;
 use crate::rules::RuleId;
-use crate::store::{PersistentStore, StoreStats};
+use crate::store::{PersistentStore, ProgramLookup, ProgramVerify, StoreStats};
 use sigrec_abi::AbiType;
 use sigrec_evm::{Disassembly, Program};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -136,13 +136,27 @@ fn rate(hits: u64, misses: u64) -> f64 {
     }
 }
 
+/// Where [`RecoveryCache::program_for`] found its program — the pipeline
+/// attributes compile-phase time by this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramSource {
+    /// Shared from the in-memory program map (another worker or an
+    /// earlier entry already paid for it).
+    Memory,
+    /// Decoded from a persisted program record — the compile phase was
+    /// skipped entirely.
+    Disk,
+    /// Compiled fresh (lazily, over the reachable blocks).
+    Compiled,
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
-    /// The optional persistent tier: read-through on contract misses,
-    /// write-behind on contract seals. Function-level entries and
-    /// compiled programs stay memory-only (programs recompile from the
-    /// caller-supplied bytes in microseconds; function extents are an
-    /// intra-process sharing optimisation).
+    /// The optional persistent tier: read-through on contract misses
+    /// *and* program misses, write-behind on contract seals (which
+    /// persist the compiled program alongside the functions). Only
+    /// function-level extent entries stay memory-only — they are an
+    /// intra-process sharing optimisation.
     store: Option<PersistentStore>,
     contracts: Mutex<HashMap<[u8; 32], Arc<CachedContract>>>,
     functions: Mutex<HashMap<(u64, usize), CachedFunction>>,
@@ -150,6 +164,12 @@ struct CacheInner {
     /// the bytes, so entries never invalidate and duplicates across a
     /// batch share one compile.
     programs: Mutex<HashMap<[u8; 32], Arc<Program>>>,
+    /// Keys whose persisted program record has been verified (checksum +
+    /// format version) but not yet decoded. The warm promote path fills
+    /// this instead of materialising steps nobody may ever execute;
+    /// [`RecoveryCache::program_for`] drains it with the deferred decode
+    /// on first actual use.
+    disk_programs: Mutex<HashSet<[u8; 32]>>,
     contract_hits: AtomicU64,
     contract_misses: AtomicU64,
     function_hits: AtomicU64,
@@ -231,6 +251,21 @@ impl RecoveryCache {
                     .expect("cache poisoned")
                     .entry(*key)
                     .or_insert_with(|| Arc::clone(&entry));
+                // Promote the persisted compiled program in the same
+                // breath — verify-only, decode deferred. Warm contract
+                // hits short-circuit the plan stage before it would ever
+                // ask for a program, so this is the read path that makes
+                // a graceful restart skip the compile phase for every
+                // distinct contract, and deferring the body decode keeps
+                // the promote at one checksum pass over the mapped
+                // record instead of a full step materialisation.
+                if let ProgramVerify::Ok = store.verify_program(key) {
+                    self.inner
+                        .disk_programs
+                        .lock()
+                        .expect("cache poisoned")
+                        .insert(*key);
+                }
                 self.inner.contract_hits.fetch_add(1, Ordering::Relaxed);
                 return Some(entry);
             }
@@ -253,8 +288,27 @@ impl RecoveryCache {
         functions: Vec<RecoveredFunction>,
         extraction_diags: Vec<Diagnostic>,
     ) {
+        self.store_contract_with_program(key, functions, extraction_diags, None);
+    }
+
+    /// [`RecoveryCache::store_contract`], additionally persisting the
+    /// contract's compiled program so the next process skips the compile
+    /// phase. The program is written only when the contract record
+    /// itself passes the seal gate — an unsealable recovery persists
+    /// nothing at all.
+    pub fn store_contract_with_program(
+        &self,
+        key: [u8; 32],
+        functions: Vec<RecoveredFunction>,
+        extraction_diags: Vec<Diagnostic>,
+        program: Option<&Program>,
+    ) {
         if let Some(store) = &self.inner.store {
-            let _ = store.append(key, &functions, &extraction_diags);
+            if let (Ok(true), Some(program)) =
+                (store.append(key, &functions, &extraction_diags), program)
+            {
+                let _ = store.append_program(key, program);
+            }
         }
         self.inner.contracts.lock().expect("cache poisoned").insert(
             key,
@@ -291,11 +345,21 @@ impl RecoveryCache {
     }
 
     /// Returns the block-compiled [`Program`] for the contract hashing to
-    /// `key`, compiling (outside the lock) and memoising it on first use.
-    /// Compilation is a pure function of the bytes, so when two workers
-    /// race on the same key the loser's compile is simply dropped in
-    /// favour of the first inserted `Arc`.
-    pub fn program_for(&self, key: &[u8; 32], disasm: &Disassembly) -> Arc<Program> {
+    /// `key`: memory first, then the persistent tier's program records,
+    /// then a fresh lazy compile over the blocks reachable from
+    /// `entries` (outside the lock), memoised on first use. Compilation
+    /// is a pure function of the bytes, so when two workers race on the
+    /// same key the loser's compile is simply dropped in favour of the
+    /// first inserted `Arc`. A stale persisted program (format-version
+    /// mismatch) triggers the recompile; the recompiled program is
+    /// returned as [`ProgramSource::Compiled`], so the plan's seal
+    /// appends a current-format record that shadows the stale one.
+    pub fn program_for(
+        &self,
+        key: &[u8; 32],
+        disasm: &Disassembly,
+        entries: &[usize],
+    ) -> (Arc<Program>, ProgramSource) {
         if let Some(hit) = self
             .inner
             .programs
@@ -305,17 +369,53 @@ impl RecoveryCache {
             .cloned()
         {
             self.inner.program_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return (hit, ProgramSource::Memory);
+        }
+        if let Some(store) = &self.inner.store {
+            // A record the promote path already verified decodes without
+            // re-counting (the serve was counted then); otherwise the
+            // full store lookup verifies, decodes, and counts in one go.
+            let promoted = self
+                .inner
+                .disk_programs
+                .lock()
+                .expect("cache poisoned")
+                .remove(key);
+            let decoded = if promoted {
+                store.decode_program(key)
+            } else {
+                match store.lookup_program(key) {
+                    ProgramLookup::Hit(program) => Some(program),
+                    // Stale and Miss both fall through to a fresh
+                    // compile; the store's counters record which it was.
+                    ProgramLookup::Stale | ProgramLookup::Miss => None,
+                }
+            };
+            if let Some(program) = decoded {
+                self.inner.program_hits.fetch_add(1, Ordering::Relaxed);
+                let decoded = Arc::new(program);
+                let shared = self
+                    .inner
+                    .programs
+                    .lock()
+                    .expect("cache poisoned")
+                    .entry(*key)
+                    .or_insert_with(|| Arc::clone(&decoded))
+                    .clone();
+                return (shared, ProgramSource::Disk);
+            }
         }
         self.inner.program_misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = Arc::new(Program::compile(disasm));
-        self.inner
+        let compiled = Arc::new(Program::compile_reachable(disasm, entries));
+        let shared = self
+            .inner
             .programs
             .lock()
             .expect("cache poisoned")
             .entry(*key)
             .or_insert(compiled)
-            .clone()
+            .clone();
+        (shared, ProgramSource::Compiled)
     }
 
     /// A snapshot of the hit/miss counters (both tiers).

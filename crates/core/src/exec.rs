@@ -177,6 +177,9 @@ pub struct ExecStats {
     pub steals: u64,
     /// Steal probes that found the victim's shard empty. Batch-only.
     pub steal_failures: u64,
+    /// Bounded spin-backoff rounds a worker served after consecutive
+    /// failed steal sweeps, before it escalated to parking. Batch-only.
+    pub steal_backoffs: u64,
 }
 
 impl ExecStats {
@@ -190,6 +193,7 @@ impl ExecStats {
         self.worklist_contention += other.worklist_contention;
         self.steals += other.steals;
         self.steal_failures += other.steal_failures;
+        self.steal_backoffs += other.steal_backoffs;
     }
 }
 
@@ -446,7 +450,24 @@ impl<'a> Tase<'a> {
             let Some(idx) = p.step_index(st.pc) else {
                 return;
             };
-            match self.block_step(&mut st, &p.steps()[idx], worklist) {
+            let step = &p.steps()[idx];
+            // Lazily-compiled programs leave statically-unreachable blocks
+            // as placeholder steps (no immediates, no fusion). A computed
+            // jump can still land here; run those instructions through the
+            // reference per-instruction semantics so the result is
+            // bit-identical to a full compile.
+            let flow = if p.block_compiled(step.block) {
+                self.block_step(&mut st, step, worklist)
+            } else {
+                let Some(ins) = self.disasm.at(st.pc) else {
+                    return;
+                };
+                let next_pc = ins.next_pc();
+                let pc = st.pc;
+                self.bookkeep(&mut st, pc, next_pc);
+                self.step(&mut st, ins.opcode, ins.push_value(), next_pc, worklist)
+            };
+            match flow {
                 Flow::Continue(pc) => st.pc = pc,
                 Flow::End => return,
             }
@@ -1294,5 +1315,46 @@ mod tests {
             f.guards[0].cond.kind(),
             ExprKind::Binary(BinOp::Lt, ..)
         ));
+    }
+
+    #[test]
+    fn lazy_program_falls_back_on_computed_jump_targets() {
+        // PUSH1 3; PUSH1 4; ADD; JUMP lands on a JUMPDEST no pushed
+        // constant names, so the lazy compile leaves the landing block as
+        // placeholders — the executor must run it through the reference
+        // per-instruction semantics and still observe the load.
+        let code = [
+            0x60, 0x03, // PUSH1 3
+            0x60, 0x04, // PUSH1 4
+            0x01, // ADD        -> 7
+            0x56, // JUMP
+            0x00, // STOP (dead)
+            0x5b, // JUMPDEST @ 7
+            0x60, 0x04, // PUSH1 4
+            0x35, // CALLDATALOAD
+            0x50, // POP
+            0x00, // STOP
+        ];
+        let d = Disassembly::new(&code);
+        let lazy = Program::compile_reachable(&d, &[0]);
+        assert!(
+            lazy.uncompiled_block_count() > 0,
+            "the landing block must be a placeholder for this test to bite"
+        );
+        let block = Tase::new(&d, TaseConfig::default())
+            .with_program(Arc::new(lazy))
+            .explore(0);
+        let instr = Tase::new(
+            &d,
+            TaseConfig {
+                exec_engine: ExecEngine::Instr,
+                ..TaseConfig::default()
+            },
+        )
+        .explore(0);
+        assert_eq!(block.loads.len(), 1);
+        assert_eq!(block.loads.len(), instr.loads.len());
+        assert_eq!(block.loads[0].pc, instr.loads[0].pc);
+        assert_eq!(block.paths_explored, instr.paths_explored);
     }
 }

@@ -30,6 +30,7 @@ pub mod facts;
 pub mod indirect;
 pub mod infer;
 pub mod memory;
+mod mmap;
 pub mod outcome;
 pub mod pipeline;
 pub mod rules;
@@ -40,7 +41,9 @@ pub use batch::{
     recover_batch, recover_batch_naive, BatchItem, BatchResult, BatchTimings, DedupStats,
     LatencyHistogram,
 };
-pub use cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, RecoveryCache};
+pub use cache::{
+    body_span_hash, CacheStats, CachedContract, CachedFunction, ProgramSource, RecoveryCache,
+};
 pub use cow::{CowJournal, CowStack};
 pub use exec::{ExecStats, ForkMode, Tase, TaseConfig};
 pub use extract::{extract_dispatch, extract_dispatch_diag, DispatchEntry, DispatchExtraction};
@@ -55,4 +58,4 @@ pub use outcome::{
 pub use pipeline::{Explanation, LinkSet, RecoveredFunction, SigRec};
 pub use rules::{RuleId, RuleStats};
 pub use shrink::minimize;
-pub use store::{PersistentStore, StoreDiagnostic, StoreOptions, StoreStats};
+pub use store::{PersistentStore, ProgramLookup, StoreDiagnostic, StoreOptions, StoreStats};

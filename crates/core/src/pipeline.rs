@@ -15,7 +15,9 @@
 //! `(body-extent hash, entry pc)`.
 
 use crate::batch::LatencyHistogram;
-use crate::cache::{body_span_hash, CacheStats, CachedContract, CachedFunction, RecoveryCache};
+use crate::cache::{
+    body_span_hash, CacheStats, CachedContract, CachedFunction, ProgramSource, RecoveryCache,
+};
 use crate::exec::ForkMode;
 use crate::exec::{ExecEngine, ExecStats, Tase, TaseConfig};
 use crate::extract::{extract_dispatch_diag, DispatchEntry};
@@ -168,6 +170,11 @@ pub(crate) struct ContractPlan {
     /// keyed modes) when [`ExecEngine::Block`] is selected; `None` under
     /// [`ExecEngine::Instr`] and for contract-level cache hits.
     program: Option<Arc<Program>>,
+    /// Where the plan's program came from (memory tier, persisted program
+    /// record, or a fresh compile). Seal uses this to persist exactly the
+    /// freshly-compiled programs — a program served from disk is already
+    /// on disk. `None` when `program` is.
+    program_source: Option<ProgramSource>,
     /// Dispatch table, in dispatcher order.
     pub(crate) table: Vec<DispatchEntry>,
     /// Per-entry exclusive end of the function body: the next-larger
@@ -270,6 +277,7 @@ impl SigRec {
         parks: u64,
         steals: u64,
         steal_failures: u64,
+        steal_backoffs: u64,
         latencies: &[Duration],
     ) {
         if let Some(acc) = &self.stats {
@@ -277,6 +285,7 @@ impl SigRec {
             acc.contention.fetch_add(parks, r);
             acc.steals.fetch_add(steals, r);
             acc.steal_failures.fetch_add(steal_failures, r);
+            acc.steal_backoffs.fetch_add(steal_backoffs, r);
             let mut hist = LatencyHistogram::default();
             for &d in latencies {
                 hist.record(d);
@@ -464,6 +473,7 @@ impl SigRec {
                     cached: Some(hit),
                     disasm: Disassembly::new(&[]),
                     program: None,
+                    program_source: None,
                     table: Vec::new(),
                     extents: Vec::new(),
                     extraction_diags: Vec::new(),
@@ -491,28 +501,52 @@ impl SigRec {
             }
         }
         let extents = body_extents(code.len(), &extraction.table);
-        let program = match self.config.exec_engine {
+        let (program, program_source) = match self.config.exec_engine {
             ExecEngine::Block => {
                 let compile_start = self.stats.as_ref().map(|_| Instant::now());
-                let program = match &key {
+                // Lazy compile: only blocks reachable from the dispatch
+                // entries get the full pre-decode; the executor falls back
+                // to per-instruction semantics for anything a computed
+                // jump discovers at run time.
+                let entry_pcs: Vec<usize> = extraction.table.iter().map(|e| e.entry).collect();
+                let (program, source) = match &key {
                     // Keyed modes share one compile per distinct contract
-                    // across plans, workers, and batch duplicates.
-                    Some(k) => self.cache.program_for(k, &disasm),
-                    None => Arc::new(Program::compile(&disasm)),
+                    // across plans, workers, and batch duplicates — and
+                    // read persisted programs through the store first.
+                    Some(k) => self.cache.program_for(k, &disasm, &entry_pcs),
+                    None => (
+                        Arc::new(Program::compile_reachable(&disasm, &entry_pcs)),
+                        ProgramSource::Compiled,
+                    ),
                 };
                 if let (Some(acc), Some(t0)) = (&self.stats, compile_start) {
-                    acc.compile_nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let r = Ordering::Relaxed;
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    acc.compile_nanos.fetch_add(nanos, r);
+                    match source {
+                        ProgramSource::Compiled => {
+                            acc.compile_cold_nanos.fetch_add(nanos, r);
+                            acc.lazy_blocks_skipped
+                                .fetch_add(program.uncompiled_block_count() as u64, r);
+                        }
+                        ProgramSource::Disk => {
+                            acc.compile_store_nanos.fetch_add(nanos, r);
+                        }
+                        ProgramSource::Memory => {
+                            acc.compile_memo_nanos.fetch_add(nanos, r);
+                        }
+                    }
                 }
-                Some(program)
+                (Some(program), Some(source))
             }
-            ExecEngine::Instr => None,
+            ExecEngine::Instr => (None, None),
         };
         ContractPlan {
             key,
             cached: None,
             disasm,
             program,
+            program_source,
             table: extraction.table,
             extents,
             extraction_diags: extraction.diagnostics,
@@ -557,8 +591,20 @@ impl SigRec {
             return;
         }
         if let Some(key) = plan.key {
-            self.cache
-                .store_contract(key, functions.to_vec(), plan.extraction_diags.clone());
+            // Persist the program only when this plan compiled it fresh:
+            // a Disk-sourced program is already a current-format record,
+            // and a Memory hit was persisted by whichever plan compiled
+            // it (or is about to be, by that plan's own seal).
+            let program = match plan.program_source {
+                Some(ProgramSource::Compiled) => plan.program.as_deref(),
+                _ => None,
+            };
+            self.cache.store_contract_with_program(
+                key,
+                functions.to_vec(),
+                plan.extraction_diags.clone(),
+                program,
+            );
         }
     }
 
@@ -735,6 +781,15 @@ struct StatsAccum {
     infer_shared_nanos: AtomicU64,
     /// Wall-clock spent block-compiling programs (plan stage).
     compile_nanos: AtomicU64,
+    /// `compile_nanos` split by [`ProgramSource`]: fresh compiles, plans
+    /// served by a persisted program record, and plans served by the
+    /// in-memory program memo. The three sum to `compile_nanos`.
+    compile_cold_nanos: AtomicU64,
+    compile_store_nanos: AtomicU64,
+    compile_memo_nanos: AtomicU64,
+    /// Blocks the lazy reachable-block compiler left as placeholders,
+    /// summed over fresh compiles only.
+    lazy_blocks_skipped: AtomicU64,
     /// Scheduler park events, reported by the batch driver after its
     /// workers join. The batch scheduler itself keeps *plain* per-worker
     /// counters (each owned exclusively by one worker for the pool's
@@ -749,6 +804,9 @@ struct StatsAccum {
     steals: AtomicU64,
     /// Steal probes that found the victim empty, aggregated likewise.
     steal_failures: AtomicU64,
+    /// Spin-backoff rounds served after consecutive failed steal sweeps,
+    /// aggregated likewise.
+    steal_backoffs: AtomicU64,
     /// Per-contract latency histogram (log2-nanosecond buckets mirroring
     /// [`LatencyHistogram`]), merged in per batch after the workers join.
     latency_buckets: [AtomicU64; 64],
@@ -774,9 +832,14 @@ impl Default for StatsAccum {
             infer_refine_nanos: AtomicU64::new(0),
             infer_shared_nanos: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
+            compile_cold_nanos: AtomicU64::new(0),
+            compile_store_nanos: AtomicU64::new(0),
+            compile_memo_nanos: AtomicU64::new(0),
+            lazy_blocks_skipped: AtomicU64::new(0),
             contention: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             steal_failures: AtomicU64::new(0),
+            steal_backoffs: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_count: AtomicU64::new(0),
             latency_max_nanos: AtomicU64::new(0),
@@ -851,6 +914,7 @@ impl StatsAccum {
                 worklist_contention: self.contention.load(r),
                 steals: self.steals.load(r),
                 steal_failures: self.steal_failures.load(r),
+                steal_backoffs: self.steal_backoffs.load(r),
             },
             contract_latency: LatencyHistogram::from_parts(
                 std::array::from_fn(|i| self.latency_buckets[i].load(r)),
@@ -865,6 +929,10 @@ impl StatsAccum {
             infer_refine_time: Duration::from_nanos(self.infer_refine_nanos.load(r)),
             infer_shared_time: Duration::from_nanos(self.infer_shared_nanos.load(r)),
             compile_time: Duration::from_nanos(self.compile_nanos.load(r)),
+            compile_cold_time: Duration::from_nanos(self.compile_cold_nanos.load(r)),
+            compile_store_time: Duration::from_nanos(self.compile_store_nanos.load(r)),
+            compile_memo_time: Duration::from_nanos(self.compile_memo_nanos.load(r)),
+            lazy_blocks_skipped: self.lazy_blocks_skipped.load(r),
             // Keyed on hits, not on nonzero time: a rule whose exclusive
             // share rounds to zero nanoseconds still fired.
             rule_time: RuleId::ALL
@@ -922,6 +990,20 @@ pub struct PipelineStats {
     /// Wall-clock spent block-compiling programs at plan time (zero under
     /// [`ExecEngine::Instr`]; shared compiles are counted once).
     pub compile_time: Duration,
+    /// The slice of [`PipelineStats::compile_time`] spent on plans whose
+    /// program was freshly compiled — the genuine compile cost.
+    pub compile_cold_time: Duration,
+    /// The slice spent on plans served by a persisted program record
+    /// (decode cost, no compile).
+    pub compile_store_time: Duration,
+    /// The slice spent on plans served by the in-memory program memo
+    /// (lookup cost only). `compile_cold_time + compile_store_time +
+    /// compile_memo_time == compile_time`.
+    pub compile_memo_time: Duration,
+    /// Basic blocks the lazy reachable-block compiler left as cheap
+    /// placeholders instead of fully pre-decoding, summed over fresh
+    /// compiles.
+    pub lazy_blocks_skipped: u64,
     /// Per-rule *exclusive* inference time: each call's duration minus
     /// its index build splits evenly across the distinct rules that
     /// fired, so entries never overlap and

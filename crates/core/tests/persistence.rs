@@ -483,3 +483,207 @@ fn batch_runs_share_the_store_across_restarts() {
     assert_eq!(stats.records_appended, 0);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// FNV-1a over `key || payload_len || payload`, mirroring the store's
+/// record checksum so the fault injectors below can re-frame a doctored
+/// record.
+fn record_checksum(key: &[u8; 32], payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(key);
+    eat(&(payload.len() as u32).to_le_bytes());
+    eat(payload);
+    h
+}
+
+/// Tentpole regression: a graceful restart must serve both the contract
+/// result *and* its compiled program from disk — the compile phase is
+/// eliminated, not just the exploration.
+#[test]
+fn graceful_restart_reads_programs_and_skips_compile() {
+    let dir = scratch("programs");
+    let contract = compile(
+        &[
+            spec("transfer(address,uint256)"),
+            spec("approve(address,uint256)"),
+        ],
+        &CompilerConfig::default(),
+    );
+    let cold = {
+        let sigrec = SigRec::new()
+            .with_cache(RecoveryCache::persistent(
+                PersistentStore::open(&dir).unwrap(),
+            ))
+            .with_exec_stats();
+        let outcome = sigrec.recover_with_outcome(&contract.code);
+        let store = sigrec.store_stats().unwrap();
+        assert_eq!(
+            store.programs_appended, 1,
+            "cold seal persists the compiled program"
+        );
+        assert_eq!(
+            store.program_misses, 1,
+            "cold run probes the program tier once"
+        );
+        sigrec.flush_store().unwrap();
+        outcome
+    };
+
+    let sigrec = SigRec::new()
+        .with_cache(RecoveryCache::persistent(
+            PersistentStore::open(&dir).unwrap(),
+        ))
+        .with_exec_stats();
+    let warm = sigrec.recover_with_outcome(&contract.code);
+    assert_same(&cold.functions, &warm.functions);
+    let store = sigrec.store_stats().unwrap();
+    assert_eq!(store.program_hits, 1, "program served from its record");
+    assert_eq!(store.program_misses, 0);
+    assert_eq!(store.program_stale, 0);
+    assert_eq!(
+        store.programs_appended, 0,
+        "nothing recompiled or rewritten"
+    );
+    assert_eq!(
+        sigrec.exec_stats().unwrap().compile_time,
+        Duration::ZERO,
+        "warm restart must skip the compile phase entirely"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash that tears the segment mid-program-record costs exactly that
+/// program: the contract record beside it still serves, the program
+/// lookup degrades to a miss (never wrong decoded data), and recovery
+/// results stay byte-identical.
+#[test]
+fn torn_program_record_degrades_to_a_miss_never_wrong_data() {
+    let template = scratch("torn-prog-template");
+    let contract = compile(
+        &[spec("transfer(address,uint256)")],
+        &CompilerConfig::default(),
+    );
+    let key = keccak256(&contract.code);
+    let cold = {
+        let sigrec = SigRec::new().with_cache(RecoveryCache::persistent(
+            PersistentStore::open(&template).unwrap(),
+        ));
+        let outcome = sigrec.recover_with_outcome(&contract.code);
+        sigrec.flush_store().unwrap();
+        outcome
+    };
+    let seg_path = template.join("seg-00000.sigseg");
+    let segment = std::fs::read(&seg_path).unwrap();
+    let (last_start, last_end) = last_record_span(&segment);
+    assert_eq!(
+        segment[last_start + 44],
+        sigrec_core::store::PROGRAM_PAYLOAD_TAG,
+        "seal writes the program record after the contract record"
+    );
+
+    // Tear inside the framing, early in the payload, and one byte short
+    // of complete.
+    for cut in [
+        last_start + 1,
+        last_start + 40,
+        last_start + (last_end - last_start) / 2,
+        last_end - 1,
+    ] {
+        let dir = scratch("torn-prog-cut");
+        copy_store(&template, &dir);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join("seg-00000.sigseg"))
+            .unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+
+        let store = PersistentStore::open(&dir).unwrap();
+        assert!(
+            store.lookup(&key).is_some(),
+            "cut {cut}: contract record lost"
+        );
+        assert!(
+            matches!(store.lookup_program(&key), sigrec_core::ProgramLookup::Miss),
+            "cut {cut}: torn program must read as a miss"
+        );
+        let sigrec = SigRec::new().with_cache(RecoveryCache::persistent(store));
+        let warm = sigrec.recover_with_outcome(&contract.code);
+        assert_same(&cold.functions, &warm.functions);
+        // Two disk hits: the manual probe above and the warm recovery.
+        assert_eq!(sigrec.store_stats().unwrap().disk_hits, 2, "cut {cut}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&template).unwrap();
+}
+
+/// A persisted program from a *future* (or past) format version is
+/// reported stale, recompiled from the bytecode — never misdecoded —
+/// and rewritten in the current format so the next open reads it back.
+#[test]
+fn stale_program_version_recompiles_and_rewrites() {
+    let dir = scratch("stale-program");
+    let contract = compile(
+        &[spec("transfer(address,uint256)")],
+        &CompilerConfig::default(),
+    );
+    let key = keccak256(&contract.code);
+    {
+        let sigrec = SigRec::new().with_cache(RecoveryCache::persistent(
+            PersistentStore::open(&dir).unwrap(),
+        ));
+        let _ = sigrec.recover_with_outcome(&contract.code);
+        sigrec.flush_store().unwrap();
+    }
+
+    // Byte surgery: bump the persisted program's format version and
+    // re-frame the record so only the version check can reject it.
+    let seg_path = dir.join("seg-00000.sigseg");
+    let mut segment = std::fs::read(&seg_path).unwrap();
+    let (last_start, last_end) = last_record_span(&segment);
+    assert_eq!(
+        segment[last_start + 44],
+        sigrec_core::store::PROGRAM_PAYLOAD_TAG
+    );
+    let version = u16::from_le_bytes(
+        segment[last_start + 45..last_start + 47]
+            .try_into()
+            .unwrap(),
+    );
+    assert_eq!(version, sigrec_core::store::PROGRAM_FORMAT_VERSION);
+    segment[last_start + 45..last_start + 47].copy_from_slice(&(version + 1).to_le_bytes());
+    let sum = record_checksum(&key, &segment[last_start + 44..last_end]);
+    segment[last_start + 36..last_start + 44].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&seg_path, &segment).unwrap();
+
+    // `explain` re-runs TASE without reading the contract entry, so it
+    // reaches the program tier and hits the stale record.
+    let sigrec = SigRec::new().with_cache(RecoveryCache::persistent(
+        PersistentStore::open(&dir).unwrap(),
+    ));
+    let explained = sigrec.explain(&contract.code);
+    assert_eq!(explained.len(), 1);
+    let stats = sigrec.store_stats().unwrap();
+    assert_eq!(stats.program_stale, 1, "version mismatch must report stale");
+    assert_eq!(stats.corrupt_records, 0, "stale is not corruption");
+    assert_eq!(
+        stats.programs_appended, 1,
+        "stale program rewritten in the current format"
+    );
+    sigrec.flush_store().unwrap();
+
+    // The rewrite shadows the stale record: the next open serves the
+    // current-format program.
+    let store = PersistentStore::open(&dir).unwrap();
+    assert!(matches!(
+        store.lookup_program(&key),
+        sigrec_core::ProgramLookup::Hit(_)
+    ));
+    assert_eq!(store.stats().program_hits, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

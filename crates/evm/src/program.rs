@@ -151,6 +151,14 @@ pub struct Program {
     /// by guard pc (see [`detect_loop_exits`]). Computed once per contract
     /// here instead of once per function explore.
     loop_exits: Vec<(usize, usize)>,
+    /// Per-block flag: `true` when the block's steps carry the full
+    /// pre-decode (parsed immediates, fusion, resolved jump targets).
+    /// Blocks left `false` by [`Program::compile_reachable`] hold
+    /// placeholder steps that executors must never dispatch — they fall
+    /// back to reference per-instruction semantics instead. The cheap
+    /// whole-program tables (`pc_to_step`, `blocks`, `is_jumpdest`) are
+    /// always complete regardless of this mask.
+    compiled: Vec<bool>,
 }
 
 /// Statically detects loop-head guards: a `JUMPI` whose constant forward
@@ -220,8 +228,30 @@ fn fuses_with_push(op: Opcode) -> bool {
 impl Program {
     /// Compiles a disassembly. Total work is linear in the code size; the
     /// result depends only on the bytes, so one compile per distinct
-    /// contract can be cached and shared across threads.
+    /// contract can be cached and shared across threads. Every block is
+    /// fully pre-decoded ([`Program::block_compiled`] is `true` for all).
     pub fn compile(disasm: &Disassembly) -> Program {
+        Self::build(disasm, None)
+    }
+
+    /// Compiles only the basic blocks statically reachable from `entries`
+    /// (dispatcher function entry pcs; pc 0 is always included). The cheap
+    /// linear passes — leaders, block metadata, the `pc → step` table,
+    /// loop-exit detection — still cover the whole program, so
+    /// `is_jumpdest` and `block_of` behave exactly like a full compile.
+    /// Unreachable blocks skip immediate parsing, fusion, and jump-target
+    /// resolution; their placeholder steps report
+    /// [`Program::block_compiled`] `false` and executors dispatch them via
+    /// reference per-instruction semantics. Reachability follows resolved
+    /// constant jump targets, fallthrough edges, and every pushed constant
+    /// that names a `JUMPDEST` (covering return-address pushes), so blocks
+    /// this misses are only ever entered through computed jumps — which
+    /// the executor fallback handles bit-identically.
+    pub fn compile_reachable(disasm: &Disassembly, entries: &[usize]) -> Program {
+        Self::build(disasm, Some(entries))
+    }
+
+    fn build(disasm: &Disassembly, entries: Option<&[usize]>) -> Program {
         let instrs = disasm.instructions();
         let n = instrs.len();
         let code_len = disasm.code_len();
@@ -278,6 +308,68 @@ impl Program {
             pc_to_step[ins.pc] = i as u32;
         }
 
+        // Which blocks get the expensive pre-decode. A full compile takes
+        // them all; a reachable compile BFSes the static CFG from the
+        // entry pcs. Marking too much only costs decode time, marking too
+        // little only costs a runtime fallback — never correctness.
+        let compiled = match entries {
+            None => vec![true; blocks.len()],
+            Some(entries) => {
+                let block_at = |pc: usize| -> Option<u32> {
+                    match pc_to_step.get(pc) {
+                        Some(&i) if i != NO_STEP => Some(block_of[i as usize]),
+                        _ => None,
+                    }
+                };
+                let mut mask = vec![false; blocks.len()];
+                let mut work: Vec<u32> = Vec::new();
+                for pc in entries.iter().copied().chain(std::iter::once(0)) {
+                    if let Some(b) = block_at(pc) {
+                        if !mask[b as usize] {
+                            mask[b as usize] = true;
+                            work.push(b);
+                        }
+                    }
+                }
+                while let Some(b) = work.pop() {
+                    let info = &blocks[b as usize];
+                    let first = info.first_step as usize;
+                    let len = info.len as usize;
+                    // Any pushed constant naming a JUMPDEST is a potential
+                    // jump target (direct `PUSH; JUMP[I]`, or a return
+                    // address pushed before calling an internal function).
+                    for ins in &instrs[first..first + len] {
+                        if !matches!(ins.opcode, Opcode::Push(_)) {
+                            continue;
+                        }
+                        let Some(t) = ins.push_value().and_then(|v| v.as_usize()) else {
+                            continue;
+                        };
+                        let Some(tb) = block_at(t) else { continue };
+                        if instrs[pc_to_step[t] as usize].opcode == Opcode::JumpDest
+                            && !mask[tb as usize]
+                        {
+                            mask[tb as usize] = true;
+                            work.push(tb);
+                        }
+                    }
+                    // Fallthrough into the next block unless the block
+                    // ends in a no-fallthrough terminator (JUMPI and
+                    // plain leader cuts both fall through).
+                    let last = &instrs[first + len - 1];
+                    let next = b + 1;
+                    if !last.opcode.is_terminator()
+                        && (next as usize) < blocks.len()
+                        && !mask[next as usize]
+                    {
+                        mask[next as usize] = true;
+                        work.push(next);
+                    }
+                }
+                mask
+            }
+        };
+
         // Jump-target resolution needs the table and the opcode at the
         // target, so the fusion pass runs after both exist.
         let resolve = |value: U256| -> JumpTarget {
@@ -300,6 +392,22 @@ impl Program {
 
         let mut steps = Vec::with_capacity(n);
         for (i, ins) in instrs.iter().enumerate() {
+            if !compiled[block_of[i] as usize] {
+                // Placeholder for an unreachable block: keeps pc/block
+                // bookkeeping (and `is_jumpdest`, which only looks at
+                // plain JUMPDEST steps) without paying immediate parsing
+                // or fusion. Executors never dispatch these — the kind may
+                // even be a bare `Op(Push(_))`, which a compiled block
+                // would always pre-decode.
+                steps.push(Step {
+                    pc: ins.pc,
+                    next_pc: ins.next_pc(),
+                    block: block_of[i],
+                    width: 1,
+                    kind: StepKind::Op(ins.opcode),
+                });
+                continue;
+            }
             let (kind, width) = match ins.opcode {
                 Opcode::Push(_) => {
                     let value = ins.push_value().expect("push has an immediate");
@@ -351,7 +459,48 @@ impl Program {
             pc_to_step,
             code_len,
             loop_exits: detect_loop_exits(disasm),
+            compiled,
         }
+    }
+
+    /// Reassembles a program from persisted parts (the store's decoded
+    /// segment payload). The `pc → step` table is rebuilt in O(steps)
+    /// instead of being persisted. Returns `None` when the parts are
+    /// inconsistent — out-of-range pcs or block ids, or a mask/bounds
+    /// mismatch — so a corrupt-but-checksum-colliding payload can never
+    /// produce a program that indexes out of bounds.
+    pub fn from_parts(
+        steps: Vec<Step>,
+        blocks: Vec<BlockInfo>,
+        code_len: usize,
+        loop_exits: Vec<(usize, usize)>,
+        compiled: Vec<bool>,
+    ) -> Option<Program> {
+        if compiled.len() != blocks.len() {
+            return None;
+        }
+        for b in &blocks {
+            let first = b.first_step as usize;
+            if first + b.len as usize > steps.len() {
+                return None;
+            }
+        }
+        let mut pc_to_step = vec![NO_STEP; code_len];
+        for (i, s) in steps.iter().enumerate() {
+            let slot = pc_to_step.get_mut(s.pc)?;
+            if *slot != NO_STEP || (s.block as usize) >= blocks.len() {
+                return None;
+            }
+            *slot = i as u32;
+        }
+        Some(Program {
+            steps,
+            blocks,
+            pc_to_step,
+            code_len,
+            loop_exits,
+            compiled,
+        })
     }
 
     /// The step starting at `pc`, or `None` for non-instruction bytes
@@ -414,6 +563,31 @@ impl Program {
     /// ascending guard-pc order (see [`detect_loop_exits`]).
     pub fn loop_exits(&self) -> &[(usize, usize)] {
         &self.loop_exits
+    }
+
+    /// True when block `block` carries the full pre-decode and its steps
+    /// may be dispatched directly. `false` means the block holds
+    /// placeholder steps ([`Program::compile_reachable`] skipped it) and
+    /// the executor must fall back to reference per-instruction
+    /// semantics. Out-of-range ids conservatively report `false`.
+    #[inline]
+    pub fn block_compiled(&self, block: u32) -> bool {
+        self.compiled.get(block as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of blocks carrying the full pre-decode.
+    pub fn compiled_block_count(&self) -> usize {
+        self.compiled.iter().filter(|&&c| c).count()
+    }
+
+    /// Number of blocks left as placeholders by lazy compilation.
+    pub fn uncompiled_block_count(&self) -> usize {
+        self.compiled.len() - self.compiled_block_count()
+    }
+
+    /// The per-block compile mask, indexed by block id (for persistence).
+    pub fn compiled_mask(&self) -> &[bool] {
+        &self.compiled
     }
 }
 
@@ -585,5 +759,124 @@ mod tests {
         // PUSH 4; CALLDATALOAD fuses; the trailing STOP does not.
         let p = compile(&[0x60, 0x04, 0x35, 0x00]);
         assert_eq!(p.fused_step_count(), 1);
+    }
+
+    #[test]
+    fn full_compile_marks_every_block_compiled() {
+        let p = compile(&[0x60, 0x06, 0x57, 0x60, 0x00, 0x00, 0x5b, 0x00]);
+        assert_eq!(p.compiled_block_count(), p.blocks().len());
+        assert_eq!(p.uncompiled_block_count(), 0);
+        for b in 0..p.blocks().len() as u32 {
+            assert!(p.block_compiled(b));
+        }
+        // Out-of-range ids are conservatively uncompiled.
+        assert!(!p.block_compiled(p.blocks().len() as u32));
+    }
+
+    #[test]
+    fn reachable_compile_skips_dead_blocks_but_keeps_tables() {
+        // PUSH1 6; JUMP | STOP | JUMPDEST; STOP | JUMPDEST; STOP
+        // Only blocks 0 (entry) and 3 (jump target pc 6) are reachable.
+        let code = [0x60, 0x06, 0x56, 0x00, 0x5b, 0x00, 0x5b, 0x00];
+        let p = Program::compile_reachable(&Disassembly::new(&code), &[0]);
+        assert_eq!(p.blocks().len(), 4);
+        assert!(p.block_compiled(0));
+        assert!(!p.block_compiled(1)); // dead STOP after the JUMP
+        assert!(!p.block_compiled(2)); // JUMPDEST at 4, never named
+        assert!(p.block_compiled(3));
+        assert_eq!(p.compiled_block_count(), 2);
+        assert_eq!(p.uncompiled_block_count(), 2);
+        // The reachable jump still fuses and resolves.
+        assert_eq!(
+            p.step_at(0).unwrap().kind,
+            StepKind::FusedJump(JumpTarget::Valid { pc: 6, block: 3 })
+        );
+        // Whole-program tables stay complete: the dead JUMPDEST is still
+        // a legal jump destination and its block bookkeeping holds.
+        assert!(p.is_jumpdest(4));
+        assert_eq!(p.block_of(5), Some((2, 1)));
+        assert_eq!(p.steps().len(), 7);
+    }
+
+    #[test]
+    fn pushed_jumpdest_constants_count_as_reachable() {
+        // PUSH1 4; STOP | STOP | JUMPDEST; STOP — the pushed 4 names a
+        // JUMPDEST (a return-address idiom), so block 2 compiles even
+        // though no static JUMP names it; the dead pc-3 STOP does not.
+        let code = [0x60, 0x04, 0x00, 0x00, 0x5b, 0x00];
+        let p = Program::compile_reachable(&Disassembly::new(&code), &[0]);
+        assert!(p.block_compiled(0));
+        assert!(!p.block_compiled(1));
+        assert!(p.block_compiled(2));
+    }
+
+    #[test]
+    fn entry_pcs_seed_reachability() {
+        // STOP | JUMPDEST; STOP — pc 1 unreachable from pc 0, but listed
+        // as a dispatcher entry.
+        let code = [0x00, 0x5b, 0x00];
+        let p = Program::compile_reachable(&Disassembly::new(&code), &[1]);
+        assert!(p.block_compiled(0)); // pc 0 is always seeded
+        assert!(p.block_compiled(1));
+        let p = Program::compile_reachable(&Disassembly::new(&code), &[]);
+        assert!(!p.block_compiled(1));
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_compiled_program() {
+        let code = [
+            0x60, 0x06, 0x57, 0x60, 0x00, 0x00, 0x5b, 0x60, 0x04, 0x35, 0x80, 0x81, 0x90, 0x00,
+        ];
+        let p = Program::compile_reachable(&Disassembly::new(&code), &[6]);
+        let q = Program::from_parts(
+            p.steps().to_vec(),
+            p.blocks().to_vec(),
+            p.code_len(),
+            p.loop_exits().to_vec(),
+            p.compiled_mask().to_vec(),
+        )
+        .expect("parts are consistent");
+        assert_eq!(q.steps(), p.steps());
+        assert_eq!(q.blocks(), p.blocks());
+        assert_eq!(q.code_len(), p.code_len());
+        assert_eq!(q.loop_exits(), p.loop_exits());
+        assert_eq!(q.compiled_mask(), p.compiled_mask());
+        // The rebuilt pc → step table answers identically at every byte.
+        for pc in 0..=code.len() {
+            assert_eq!(q.step_index(pc), p.step_index(pc));
+            assert_eq!(q.is_jumpdest(pc), p.is_jumpdest(pc));
+            assert_eq!(q.block_of(pc), p.block_of(pc));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        let p = compile(&[0x60, 0x04, 0x56, 0x00, 0x5b, 0x00]);
+        let parts = |f: &dyn Fn(&mut Vec<Step>, &mut Vec<bool>)| {
+            let mut steps = p.steps().to_vec();
+            let mut mask = p.compiled_mask().to_vec();
+            f(&mut steps, &mut mask);
+            Program::from_parts(steps, p.blocks().to_vec(), p.code_len(), Vec::new(), mask)
+        };
+        assert!(parts(&|_, _| {}).is_some());
+        // Mask length must match the block count.
+        assert!(parts(&|_, m| m.push(true)).is_none());
+        // A step pc outside the code rebuilds no table slot.
+        assert!(parts(&|s, _| s[0].pc = 99).is_none());
+        // Two steps at one pc can't both own the slot.
+        assert!(parts(&|s, _| s[1].pc = s[0].pc).is_none());
+        // Block ids must index the block table.
+        assert!(parts(&|s, _| s[0].block = 77).is_none());
+        // A block spanning past the step array is rejected.
+        let mut blocks = p.blocks().to_vec();
+        blocks[0].len = 99;
+        assert!(Program::from_parts(
+            p.steps().to_vec(),
+            blocks,
+            p.code_len(),
+            Vec::new(),
+            p.compiled_mask().to_vec(),
+        )
+        .is_none());
     }
 }
